@@ -1,0 +1,37 @@
+//! Bench behind Figures 9-11: wall-clock time of each of the five `A·Aᵀ·B`
+//! algorithms on an instance with a small symmetric order (`d0`), using the
+//! real kernels. In this regime the paper finds abundant anomalies: the
+//! SYRK/SYMM-based algorithms 1 and 2 are the cheapest in FLOPs but the
+//! GEMM-based algorithms are often faster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lamb_expr::enumerate_aatb_algorithms;
+use lamb_kernels::BlockConfig;
+use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_aatb(c: &mut Criterion) {
+    let (d0, d1, d2) = (120usize, 420, 520);
+    let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+    let mut group = c.benchmark_group("aatb_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (i, alg) in algorithms.iter().enumerate() {
+        let id = BenchmarkId::new(
+            format!("alg{}", i + 1),
+            format!("{} ({} flops)", alg.kernel_summary(), alg.flops()),
+        );
+        group.bench_with_input(id, alg, |bench, alg| {
+            let mut exec =
+                MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0);
+            bench.iter(|| black_box(exec.execute_algorithm(alg).seconds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aatb);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench behind Figures 6-8: wall-clock time of each of the six matrix-chain
+//! algorithms on one skewed instance, using the real kernels. The expected
+//! shape is that the algorithms differ noticeably and that the ranking does
+//! not always follow the FLOP counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lamb_expr::enumerate_chain_algorithms;
+use lamb_kernels::BlockConfig;
+use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_chain(c: &mut Criterion) {
+    // A skewed instance: small inner dimensions make the multiplication order
+    // matter a lot.
+    let dims = [260usize, 60, 230, 70, 190];
+    let algorithms = enumerate_chain_algorithms(&dims);
+    let mut group = c.benchmark_group("chain_algorithms");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (i, alg) in algorithms.iter().enumerate() {
+        let id = BenchmarkId::new(format!("alg{}", i + 1), format!("{} flops", alg.flops()));
+        group.bench_with_input(id, alg, |bench, alg| {
+            let mut exec =
+                MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0);
+            bench.iter(|| black_box(exec.execute_algorithm(alg).seconds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench behind Figure 1: throughput of the real GEMM, SYRK and
+//! SYMM kernels on square operands of growing size. The reported throughput
+//! (in FLOP/s) divided by the machine peak is the efficiency curve of the
+//! paper's Figure 1; the expected shape is GEMM > SYMM ≳ SYRK with all three
+//! ramping up with size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lamb_kernels::flops::{gemm_flops, symm_flops, syrk_flops};
+use lamb_kernels::{gemm_new, symm_new, syrk_new, BlockConfig};
+use lamb_matrix::random::random_seeded;
+use lamb_matrix::{Side, Trans, Uplo};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let cfg = BlockConfig::default();
+    let mut group = c.benchmark_group("kernel_efficiency");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &size in &[96usize, 192, 384] {
+        let a = random_seeded(size, size, 1);
+        let b = random_seeded(size, size, 2);
+        let sym = {
+            let mut s = random_seeded(size, size, 3);
+            s.symmetrize_from(Uplo::Lower).unwrap();
+            s
+        };
+
+        group.throughput(Throughput::Elements(gemm_flops(size, size, size)));
+        group.bench_with_input(BenchmarkId::new("gemm", size), &size, |bench, _| {
+            bench.iter(|| black_box(gemm_new(Trans::No, &a, Trans::No, &b, &cfg).unwrap()));
+        });
+
+        group.throughput(Throughput::Elements(syrk_flops(size, size)));
+        group.bench_with_input(BenchmarkId::new("syrk", size), &size, |bench, _| {
+            bench.iter(|| black_box(syrk_new(Uplo::Lower, Trans::No, &a, &cfg).unwrap()));
+        });
+
+        group.throughput(Throughput::Elements(symm_flops(size, size)));
+        group.bench_with_input(BenchmarkId::new("symm", size), &size, |bench, _| {
+            bench.iter(|| {
+                black_box(symm_new(Side::Left, Uplo::Lower, &sym, &b, &cfg).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

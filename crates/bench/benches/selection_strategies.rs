@@ -1,0 +1,40 @@
+//! Bench for the algorithm-selection overhead: how long does it take to pick
+//! an algorithm with each strategy (FLOP counting only, versus consulting the
+//! kernel performance model)? Selection cost matters because run-time
+//! selection (symbolic sizes) sits on the critical path of the evaluated
+//! expression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lamb_expr::{enumerate_aatb_algorithms, enumerate_chain_algorithms};
+use lamb_perfmodel::SimulatedExecutor;
+use lamb_select::Strategy;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_selection(c: &mut Criterion) {
+    let chain = enumerate_chain_algorithms(&[331, 279, 338, 854, 427]);
+    let aatb = enumerate_aatb_algorithms(227, 260, 549);
+    let strategies = [
+        Strategy::MinFlops,
+        Strategy::MinPredictedTime,
+        Strategy::Hybrid { flop_margin: 0.5 },
+    ];
+    let mut group = c.benchmark_group("selection_strategies");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (label, algs) in [("chain", &chain), ("aatb", &aatb)] {
+        for strategy in strategies {
+            let id = BenchmarkId::new(strategy.name(), label);
+            group.bench_with_input(id, algs, |bench, algs| {
+                let mut exec = SimulatedExecutor::paper_like();
+                bench.iter(|| black_box(strategy.select(algs, &mut exec)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: how much faster are the selected algorithms when the selection
+//! strategy combines FLOP counts with kernel performance profiles, compared
+//! to the pure minimum-FLOP-count discriminant?
+//!
+//! This quantifies the paper's concluding conjecture ("combining FLOP counts
+//! with kernel performance models will significantly improve our ability to
+//! choose optimal algorithms").
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin ablation_strategies [-- --seed 3]
+//! ```
+
+use lamb_bench::RunOptions;
+use lamb_expr::{AatbExpression, Expression, MatrixChainExpression};
+use lamb_select::{evaluate_strategy, Strategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let instances = ((400.0 * opts.scale).ceil() as usize).max(20);
+    let strategies = [
+        Strategy::MinFlops,
+        Strategy::MinPredictedTime,
+        Strategy::Hybrid { flop_margin: 0.5 },
+        Strategy::Oracle,
+    ];
+
+    for (name, num_dims, algorithms_of) in [
+        (
+            "matrix chain ABCD",
+            5usize,
+            Box::new(|dims: &[usize]| MatrixChainExpression::abcd().algorithms(dims))
+                as Box<dyn Fn(&[usize]) -> Vec<lamb_expr::Algorithm>>,
+        ),
+        (
+            "A*A^T*B",
+            3usize,
+            Box::new(|dims: &[usize]| AatbExpression::new().algorithms(dims)),
+        ),
+    ] {
+        println!("==== strategy comparison on {name} ({instances} random instances) ====");
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let sampled: Vec<Vec<usize>> = (0..instances)
+            .map(|_| (0..num_dims).map(|_| rng.random_range(20..=1200)).collect())
+            .collect();
+        for strategy in strategies {
+            let mut executor = opts.build_executor();
+            let mut total_regret = 0.0;
+            let mut optimal = 0;
+            for dims in &sampled {
+                let algs = algorithms_of(dims);
+                let outcome = evaluate_strategy(strategy, &algs, executor.as_mut());
+                total_regret += outcome.regret();
+                if outcome.regret() < 1e-9 {
+                    optimal += 1;
+                }
+            }
+            println!(
+                "  {:<28} mean slowdown vs optimum {:>6.2}%   optimal picks {:>5.1}%",
+                strategy.name(),
+                100.0 * total_regret / instances as f64,
+                100.0 * optimal as f64 / instances as f64
+            );
+        }
+    }
+}

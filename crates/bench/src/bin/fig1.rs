@@ -1,0 +1,18 @@
+//! Regenerates **Figure 1**: efficiency of GEMM, SYRK and SYMM as the size of
+//! the (square) operands grows.
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin fig1 [-- --executor measured --sizes 1200]
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_experiments::run_figure1;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let sizes = opts.figure1_sizes();
+    let output = run_figure1(executor.as_mut(), &sizes, &opts.out_dir)
+        .expect("writing Figure 1 artifacts");
+    print_output("Figure 1: kernel efficiency vs operand size", &output);
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Figure 10**: the distribution of the thickness of the
+//! anomalous regions around the `A·Aᵀ·B` anomalies of Experiment 1, in each
+//! of the three dimensions `d0..d2` (Experiment 2).
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin fig10_regions_aatb [-- --scale 0.05]
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_expr::AatbExpression;
+use lamb_experiments::{run_experiment1, run_experiment2};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let expr = AatbExpression::new();
+    let (search, o1) = run_experiment1(
+        &expr,
+        executor.as_mut(),
+        &opts.aatb_search_config(),
+        &opts.out_dir,
+        "fig10_aatb",
+    )
+    .expect("running Experiment 1");
+    print_output("Experiment 1 (prerequisite)", &o1);
+    let (_, o2) = run_experiment2(
+        &expr,
+        executor.as_mut(),
+        &search,
+        &opts.line_config(),
+        &opts.out_dir,
+        "fig10_aatb",
+    )
+    .expect("writing Figure 10 artifacts");
+    print_output("Figure 10: region thickness per dimension (A*A^T*B)", &o2);
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Figure 11**: per-algorithm (and per-kernel-call)
+//! efficiencies along the three axis-aligned lines through `A·Aᵀ·B` anomalies
+//! highlighted in the paper.
+//!
+//! * left:   line `(227 ± 10x, 260, 549)`, dimension `d0`
+//! * centre: line `(80, 514 ± 10x, 768)`,  dimension `d1`
+//! * right:  line `(110, 301, 938 ± 10x)`, dimension `d2`
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin fig11_lines_aatb
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_expr::AatbExpression;
+use lamb_experiments::run_efficiency_line;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let expr = AatbExpression::new();
+    let cfg = opts.line_config();
+
+    let panels: [(&str, [usize; 3], usize); 3] = [
+        ("fig11_left_d0", [227, 260, 549], 0),
+        ("fig11_centre_d1", [80, 514, 768], 1),
+        ("fig11_right_d2", [110, 301, 938], 2),
+    ];
+    for (label, base, dim) in panels {
+        let output = run_efficiency_line(
+            &expr,
+            executor.as_mut(),
+            &base,
+            dim,
+            &cfg,
+            &opts.out_dir,
+            label,
+        )
+        .expect("writing Figure 11 artifacts");
+        print_output(
+            &format!("Figure 11 {label}: line through {base:?} along d{dim}"),
+            &output,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Figure 7**: the distribution of the thickness of the
+//! anomalous regions around the chain anomalies of Experiment 1, in each of
+//! the five dimensions `d0..d4` (Experiment 2).
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin fig7_regions_chain [-- --scale 0.1]
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_expr::MatrixChainExpression;
+use lamb_experiments::{run_experiment1, run_experiment2};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let expr = MatrixChainExpression::abcd();
+    let (search, o1) = run_experiment1(
+        &expr,
+        executor.as_mut(),
+        &opts.chain_search_config(),
+        &opts.out_dir,
+        "fig7_chain",
+    )
+    .expect("running Experiment 1");
+    print_output("Experiment 1 (prerequisite)", &o1);
+    let (_, o2) = run_experiment2(
+        &expr,
+        executor.as_mut(),
+        &search,
+        &opts.line_config(),
+        &opts.out_dir,
+        "fig7_chain",
+    )
+    .expect("writing Figure 7 artifacts");
+    print_output("Figure 7: region thickness per dimension (chain)", &o2);
+}

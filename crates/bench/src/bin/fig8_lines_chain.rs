@@ -1,0 +1,45 @@
+//! Regenerates **Figure 8**: per-algorithm (and per-GEMM-call) efficiencies
+//! along the two axis-aligned lines through chain anomalies highlighted in
+//! the paper, illustrating the two types of region-boundary transitions.
+//!
+//! * left column:  line `(331, 279, 338, 854, 427 ± 10x)`, dimension `d4`
+//! * right column: line `(320, 172, 293, 919 ± 10x, 284)`, dimension `d3`
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin fig8_lines_chain
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_expr::MatrixChainExpression;
+use lamb_experiments::run_efficiency_line;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let expr = MatrixChainExpression::abcd();
+    let cfg = opts.line_config();
+
+    let left = run_efficiency_line(
+        &expr,
+        executor.as_mut(),
+        &[331, 279, 338, 854, 427],
+        4,
+        &cfg,
+        &opts.out_dir,
+        "fig8_left_d4",
+    )
+    .expect("writing Figure 8 (left) artifacts");
+    print_output("Figure 8 left: line (331,279,338,854,427±10x), d4", &left);
+
+    let right = run_efficiency_line(
+        &expr,
+        executor.as_mut(),
+        &[320, 172, 293, 919, 284],
+        3,
+        &cfg,
+        &opts.out_dir,
+        "fig8_right_d3",
+    )
+    .expect("writing Figure 8 (right) artifacts");
+    print_output("Figure 8 right: line (320,172,293,919±10x,284), d3", &right);
+}

@@ -1,0 +1,29 @@
+//! Regenerates **Table 1**: the confusion matrix for predicting matrix-chain
+//! anomalies from isolated kernel benchmarks (Experiment 3, built on top of
+//! Experiments 1 and 2).
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin table1_predict_chain [-- --scale 0.1]
+//! ```
+
+use lamb_bench::{print_output, RunOptions};
+use lamb_expr::MatrixChainExpression;
+use lamb_experiments::{run_full_pipeline, PredictConfig};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let mut executor = opts.build_executor();
+    let expr = MatrixChainExpression::abcd();
+    let output = run_full_pipeline(
+        &expr,
+        executor.as_mut(),
+        &opts.chain_search_config(),
+        &opts.line_config(),
+        &PredictConfig::paper(),
+        &opts.out_dir,
+        "table1_chain",
+    )
+    .expect("running the chain pipeline");
+    print_output("Table 1: benchmark-based anomaly prediction (chain)", &output);
+    println!("paper reference: ~92% of anomalies predicted, ~96% of predictions are anomalies");
+}

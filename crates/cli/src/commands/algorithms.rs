@@ -1,0 +1,31 @@
+//! `lamb algorithms` — list the algorithm set of an expression instance with
+//! FLOP counts, kernel composition and the cheapest/most-expensive markers.
+
+use super::common;
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let (_, expr) = opts.expression()?;
+    let dims = opts.dims(expr.num_dims())?;
+    let algorithms = expr.algorithms(&dims);
+    let min_flops = algorithms.iter().map(|a| a.flops()).min().unwrap_or(0);
+
+    println!("{} with dims {:?}", expr.name(), dims);
+    println!("{} mathematically equivalent algorithms:", algorithms.len());
+    for (i, alg) in algorithms.iter().enumerate() {
+        let marker = if alg.flops() == min_flops { "  <-- cheapest" } else { "" };
+        println!(
+            "  [{}] {:<45} {:>16} FLOPs  kernels: {}{}",
+            i + 1,
+            alg.name,
+            alg.flops(),
+            alg.kernel_summary(),
+            marker
+        );
+        for call in &alg.calls {
+            println!("        {call}");
+        }
+    }
+    Ok(())
+}

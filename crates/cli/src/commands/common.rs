@@ -1,0 +1,232 @@
+//! Shared argument parsing for the CLI subcommands.
+
+use lamb_experiments::{LineConfig, SearchConfig};
+use lamb_expr::{AatbExpression, Expression, MatrixChainExpression};
+use lamb_kernels::BlockConfig;
+use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor, SimulatedExecutor};
+use std::path::PathBuf;
+
+/// Options shared by the experiment-style subcommands.
+#[derive(Debug, Clone)]
+pub struct CommonOptions {
+    /// Executor back end name (`simulated`, `smooth`, `measured`).
+    pub executor: String,
+    /// Workload scale factor in `(0, 1]`.
+    pub scale: f64,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Output directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Maximum square size for Figure-1 sweeps.
+    pub max_size: usize,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+    /// Value of `--strategy`, if given.
+    pub strategy: Option<String>,
+}
+
+impl Default for CommonOptions {
+    fn default() -> Self {
+        CommonOptions {
+            executor: "simulated".into(),
+            scale: 1.0,
+            seed: 20220829,
+            out_dir: PathBuf::from("results"),
+            max_size: 3000,
+            positional: Vec::new(),
+            strategy: None,
+        }
+    }
+}
+
+/// Parse flags and positional arguments.
+pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
+    let mut opts = CommonOptions::default();
+    let mut explicit_scale = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = |name: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--executor" => {
+                opts.executor = value("--executor")?;
+                i += 1;
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("invalid --scale: {e}"))?
+                    .clamp(1.0e-6, 1.0);
+                explicit_scale = true;
+                i += 1;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+                i += 1;
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(value("--out")?);
+                i += 1;
+            }
+            "--sizes" => {
+                opts.max_size = value("--sizes")?
+                    .parse()
+                    .map_err(|e| format!("invalid --sizes: {e}"))?;
+                i += 1;
+            }
+            "--strategy" => {
+                opts.strategy = Some(value("--strategy")?);
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            positional => opts.positional.push(positional.to_string()),
+        }
+        i += 1;
+    }
+    if opts.executor == "measured" && !explicit_scale {
+        opts.scale = 0.02;
+    }
+    Ok(opts)
+}
+
+impl CommonOptions {
+    /// Build the requested executor.
+    pub fn build_executor(&self) -> Result<Box<dyn Executor>, String> {
+        match self.executor.as_str() {
+            "simulated" | "sim" => Ok(Box::new(SimulatedExecutor::paper_like())),
+            "smooth" | "simulated-smooth" => Ok(Box::new(SimulatedExecutor::paper_like_smooth())),
+            "measured" | "real" => Ok(Box::new(MeasuredExecutor::new(
+                MachineModel::generic_laptop(),
+                BlockConfig::default(),
+                10,
+                64 * 1024 * 1024,
+            ))),
+            other => Err(format!(
+                "unknown executor `{other}` (expected simulated, smooth or measured)"
+            )),
+        }
+    }
+
+    /// Resolve the expression named by the first positional argument.
+    pub fn expression(&self) -> Result<(String, Box<dyn Expression>), String> {
+        let name = self
+            .positional
+            .first()
+            .ok_or("missing expression name (chain or aatb)")?;
+        match name.as_str() {
+            "chain" | "abcd" => Ok(("chain".into(), Box::new(MatrixChainExpression::abcd()))),
+            "aatb" => Ok(("aatb".into(), Box::new(AatbExpression::new()))),
+            other => Err(format!("unknown expression `{other}` (expected chain or aatb)")),
+        }
+    }
+
+    /// Parse the dimension tuple from the positional arguments after the
+    /// expression name and validate its length.
+    pub fn dims(&self, expected: usize) -> Result<Vec<usize>, String> {
+        let dims: Result<Vec<usize>, _> = self.positional[1..]
+            .iter()
+            .map(|s| s.parse::<usize>())
+            .collect();
+        let dims = dims.map_err(|e| format!("invalid dimension: {e}"))?;
+        if dims.len() != expected {
+            return Err(format!(
+                "expected {expected} dimension sizes, got {}",
+                dims.len()
+            ));
+        }
+        if dims.iter().any(|&d| d == 0) {
+            return Err("dimension sizes must be positive".into());
+        }
+        Ok(dims)
+    }
+
+    /// The scaled Experiment-1 configuration for the named expression.
+    pub fn search_config(&self, expression: &str) -> SearchConfig {
+        let base = if expression == "aatb" {
+            SearchConfig::paper_aatb()
+        } else {
+            SearchConfig::paper_chain()
+        };
+        SearchConfig {
+            seed: self.seed,
+            ..base.scaled(self.scale)
+        }
+    }
+
+    /// The Experiment-2 configuration (capped when the measured executor is
+    /// selected).
+    pub fn line_config(&self) -> LineConfig {
+        let cfg = LineConfig::paper();
+        if self.executor == "measured" {
+            cfg.with_max_anomalies(((100.0 * self.scale).ceil() as usize).max(1))
+        } else {
+            cfg
+        }
+    }
+
+    /// Sizes for Figure-1 sweeps.
+    pub fn figure1_sizes(&self) -> Vec<usize> {
+        (1..=self.max_size.max(100) / 100).map(|i| i * 100).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let opts = parse(&strs(&["aatb", "80", "514", "768", "--seed", "3", "--strategy", "oracle"]))
+            .unwrap();
+        assert_eq!(opts.positional, vec!["aatb", "80", "514", "768"]);
+        assert_eq!(opts.seed, 3);
+        assert_eq!(opts.strategy.as_deref(), Some("oracle"));
+        assert_eq!(opts.dims(3).unwrap(), vec![80, 514, 768]);
+        let (name, expr) = opts.expression().unwrap();
+        assert_eq!(name, "aatb");
+        assert_eq!(expr.num_dims(), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_dims() {
+        assert!(parse(&strs(&["--bogus"])).is_err());
+        let opts = parse(&strs(&["chain", "10", "20"])).unwrap();
+        assert!(opts.dims(5).is_err());
+        let opts = parse(&strs(&["chain", "10", "0", "3", "4", "5"])).unwrap();
+        assert!(opts.dims(5).is_err());
+    }
+
+    #[test]
+    fn measured_executor_defaults_to_reduced_scale() {
+        let opts = parse(&strs(&["aatb", "--executor", "measured"])).unwrap();
+        assert!(opts.scale < 0.1);
+        assert!(opts.line_config().max_anomalies.is_some());
+        let opts2 = parse(&strs(&["aatb", "--executor", "measured", "--scale", "0.9"])).unwrap();
+        assert!((opts2.scale - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_config_scales_with_expression() {
+        let opts = parse(&strs(&["aatb", "--scale", "0.1"])).unwrap();
+        assert_eq!(opts.search_config("aatb").target_anomalies, 100);
+        assert_eq!(opts.search_config("chain").target_anomalies, 10);
+    }
+
+    #[test]
+    fn unknown_executor_is_an_error() {
+        let opts = parse(&strs(&["chain", "--executor", "quantum"])).unwrap();
+        assert!(opts.build_executor().is_err());
+    }
+}

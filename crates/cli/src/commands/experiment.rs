@@ -1,0 +1,53 @@
+//! `lamb exp1` and `lamb pipeline` — the paper's experiments from the command
+//! line.
+
+use super::common;
+use lamb_experiments::{run_experiment1, run_full_pipeline, PredictConfig};
+
+/// Run Experiment 1 (random anomaly search) for the named expression.
+pub fn run_exp1(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let (name, expr) = opts.expression()?;
+    let mut executor = opts.build_executor()?;
+    let (result, output) = run_experiment1(
+        expr.as_ref(),
+        executor.as_mut(),
+        &opts.search_config(&name),
+        &opts.out_dir,
+        &format!("cli_exp1_{name}"),
+    )
+    .map_err(|e| format!("failed to write artifacts: {e}"))?;
+    println!("{}", output.report);
+    for (label, path) in &output.artifacts {
+        println!("wrote {label}: {path}");
+    }
+    println!(
+        "abundance: {:.2}% ({} anomalies / {} samples)",
+        100.0 * result.abundance(),
+        result.anomalies.len(),
+        result.samples_drawn
+    );
+    Ok(())
+}
+
+/// Run Experiments 1+2+3 end to end for the named expression.
+pub fn run_pipeline(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let (name, expr) = opts.expression()?;
+    let mut executor = opts.build_executor()?;
+    let output = run_full_pipeline(
+        expr.as_ref(),
+        executor.as_mut(),
+        &opts.search_config(&name),
+        &opts.line_config(),
+        &PredictConfig::paper(),
+        &opts.out_dir,
+        &format!("cli_pipeline_{name}"),
+    )
+    .map_err(|e| format!("failed to write artifacts: {e}"))?;
+    println!("{}", output.report);
+    for (label, path) in &output.artifacts {
+        println!("wrote {label}: {path}");
+    }
+    Ok(())
+}

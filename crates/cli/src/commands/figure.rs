@@ -1,0 +1,17 @@
+//! `lamb figure1` — the kernel-efficiency sweep of the paper's Figure 1.
+
+use super::common;
+
+/// Run the subcommand.
+pub fn run_figure1(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let mut executor = opts.build_executor()?;
+    let output =
+        lamb_experiments::run_figure1(executor.as_mut(), &opts.figure1_sizes(), &opts.out_dir)
+            .map_err(|e| format!("failed to write artifacts: {e}"))?;
+    println!("{}", output.report);
+    for (label, path) in &output.artifacts {
+        println!("wrote {label}: {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! CLI subcommands.
+
+pub mod algorithms;
+pub mod common;
+pub mod experiment;
+pub mod figure;
+pub mod select;
+
+/// Print the top-level usage text.
+pub fn print_help() {
+    println!(
+        "lamb — FLOPs as a discriminant for dense linear algebra algorithms (ICPP'22 reproduction)
+
+USAGE:
+    lamb <COMMAND> [ARGS]
+
+COMMANDS:
+    algorithms chain d0 d1 d2 d3 d4    list the six ABCD algorithms with FLOP counts
+    algorithms aatb d0 d1 d2           list the five A*A^T*B algorithms with FLOP counts
+    select [--strategy S] EXPR dims..  select an algorithm (S: min-flops, predicted, hybrid, oracle)
+    figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
+    exp1 chain|aatb [OPTS]             Experiment 1: random anomaly search (Figures 6/9)
+    pipeline chain|aatb [OPTS]         Experiments 1+2+3 end to end (Figures 7/10, Tables 1/2)
+    help                               show this message
+
+COMMON OPTIONS:
+    --executor simulated|smooth|measured   (default: simulated)
+    --scale <0..1>                         workload scale for experiments
+    --seed <u64>                           sampling seed
+    --out <dir>                            output directory for CSV artifacts (default: results)
+"
+    );
+}

@@ -1,0 +1,41 @@
+//! `lamb select` — choose an algorithm for a concrete instance with one of
+//! the selection strategies and report how it compares to the empirical
+//! optimum.
+
+use super::common;
+use lamb_select::{evaluate_strategy, Strategy};
+
+fn parse_strategy(name: &str) -> Result<Strategy, String> {
+    match name {
+        "min-flops" | "flops" => Ok(Strategy::MinFlops),
+        "predicted" | "min-predicted-time" => Ok(Strategy::MinPredictedTime),
+        "hybrid" => Ok(Strategy::Hybrid { flop_margin: 0.5 }),
+        "oracle" | "exhaustive" => Ok(Strategy::Oracle),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected min-flops, predicted, hybrid or oracle)"
+        )),
+    }
+}
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let (_, expr) = opts.expression()?;
+    let dims = opts.dims(expr.num_dims())?;
+    let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("min-flops"))?;
+    let mut executor = opts.build_executor()?;
+
+    let algorithms = expr.algorithms(&dims);
+    let outcome = evaluate_strategy(strategy, &algorithms, executor.as_mut());
+    let chosen = &algorithms[outcome.chosen];
+
+    println!("{} with dims {:?} ({} executor)", expr.name(), dims, opts.executor);
+    println!("strategy        : {}", outcome.strategy);
+    println!("chosen algorithm: {}", chosen.name);
+    println!("  kernels       : {}", chosen.kernel_summary());
+    println!("  FLOPs         : {}", chosen.flops());
+    println!("  time          : {:.6} s", outcome.chosen_seconds);
+    println!("best achievable : {:.6} s", outcome.best_seconds);
+    println!("slowdown vs best: {:.2}%", 100.0 * outcome.regret());
+    Ok(())
+}

@@ -1,0 +1,158 @@
+//! Configuration of the three experiments.
+//!
+//! The defaults reproduce the parameters reported in Sections 3.4 and 4 of
+//! the paper; the `scaled` constructors shrink the workloads for quick runs
+//! on the measured executor or in CI.
+
+/// Parameters of Experiment 1 (random search for anomalies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Lower bound of every dimension (paper: 20).
+    pub box_min: usize,
+    /// Upper bound of every dimension (paper: 1200).
+    pub box_max: usize,
+    /// Stop after this many distinct anomalies (paper: 100 for the chain,
+    /// 1000 for `A·Aᵀ·B`).
+    pub target_anomalies: usize,
+    /// Hard cap on the number of samples drawn.
+    pub max_samples: usize,
+    /// Time-score threshold for classifying an anomaly (paper: 10%).
+    pub time_score_threshold: f64,
+    /// Seed of the uniform sampler.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// The paper's Experiment 1 configuration for the matrix chain
+    /// (100 anomalies, threshold 10%, box `[20, 1200]`).
+    #[must_use]
+    pub fn paper_chain() -> Self {
+        SearchConfig {
+            box_min: 20,
+            box_max: 1200,
+            target_anomalies: 100,
+            max_samples: 200_000,
+            time_score_threshold: 0.10,
+            seed: 20220829,
+        }
+    }
+
+    /// The paper's Experiment 1 configuration for `A·Aᵀ·B`
+    /// (1000 anomalies, threshold 10%, box `[20, 1200]`).
+    #[must_use]
+    pub fn paper_aatb() -> Self {
+        SearchConfig {
+            target_anomalies: 1000,
+            ..SearchConfig::paper_chain()
+        }
+    }
+
+    /// Scale the workload down by `factor` (both the anomaly target and the
+    /// sample cap), keeping at least one target anomaly.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let f = factor.clamp(1.0e-6, 1.0);
+        self.target_anomalies = ((self.target_anomalies as f64 * f).round() as usize).max(1);
+        self.max_samples = ((self.max_samples as f64 * f).round() as usize).max(10);
+        self
+    }
+}
+
+/// Parameters of Experiment 2 (axis-aligned lines through anomalous regions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineConfig {
+    /// Step along the line (paper: 10).
+    pub step: usize,
+    /// Lower bound of the search box.
+    pub box_min: usize,
+    /// Upper bound of the search box.
+    pub box_max: usize,
+    /// Time-score threshold (paper: 5% for Experiments 2 and 3).
+    pub time_score_threshold: f64,
+    /// Maximum number of consecutive non-anomalies treated as a hole inside a
+    /// region (paper: one or two).
+    pub hole_tolerance: usize,
+    /// Number of consecutive non-anomalies that marks the end of a region
+    /// (paper: three).
+    pub end_run: usize,
+    /// Optional cap on the number of anomalies whose neighbourhood is scanned
+    /// (`None` scans all of them).
+    pub max_anomalies: Option<usize>,
+}
+
+impl LineConfig {
+    /// The paper's Experiment 2 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        LineConfig {
+            step: 10,
+            box_min: 20,
+            box_max: 1200,
+            time_score_threshold: 0.05,
+            hole_tolerance: 2,
+            end_run: 3,
+            max_anomalies: None,
+        }
+    }
+
+    /// Scan at most `n` anomalies (useful for quick runs).
+    #[must_use]
+    pub fn with_max_anomalies(mut self, n: usize) -> Self {
+        self.max_anomalies = Some(n);
+        self
+    }
+}
+
+/// Parameters of Experiment 3 (prediction from isolated kernel benchmarks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictConfig {
+    /// Time-score threshold used for both the actual and the predicted
+    /// classification (paper: 5%).
+    pub time_score_threshold: f64,
+}
+
+impl PredictConfig {
+    /// The paper's Experiment 3 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        PredictConfig {
+            time_score_threshold: 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_reported_parameters() {
+        let chain = SearchConfig::paper_chain();
+        assert_eq!(chain.box_min, 20);
+        assert_eq!(chain.box_max, 1200);
+        assert_eq!(chain.target_anomalies, 100);
+        assert!((chain.time_score_threshold - 0.10).abs() < 1e-12);
+        let aatb = SearchConfig::paper_aatb();
+        assert_eq!(aatb.target_anomalies, 1000);
+        let lines = LineConfig::paper();
+        assert_eq!(lines.step, 10);
+        assert_eq!(lines.end_run, 3);
+        assert!((lines.time_score_threshold - 0.05).abs() < 1e-12);
+        assert!((PredictConfig::paper().time_score_threshold - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_never_to_zero() {
+        let c = SearchConfig::paper_aatb().scaled(0.01);
+        assert_eq!(c.target_anomalies, 10);
+        assert!(c.max_samples >= 10);
+        let tiny = SearchConfig::paper_chain().scaled(0.0);
+        assert_eq!(tiny.target_anomalies, 1);
+    }
+
+    #[test]
+    fn line_config_anomaly_cap() {
+        let c = LineConfig::paper().with_max_anomalies(5);
+        assert_eq!(c.max_anomalies, Some(5));
+    }
+}

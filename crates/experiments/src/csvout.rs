@@ -1,0 +1,59 @@
+//! Minimal CSV/text output helpers: every figure/table binary writes its data
+//! series next to the printed summary so plots can be regenerated externally.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default output directory for experiment artifacts, relative to the current
+/// working directory.
+pub const DEFAULT_RESULTS_DIR: &str = "results";
+
+/// Write `content` to `<dir>/<name>` (creating `dir` if needed) and return the
+/// full path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_text(dir: &Path, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Build a CSV string from a header and rows of already-formatted cells.
+#[must_use]
+pub fn csv_from_rows(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_from_rows_builds_expected_text() {
+        let csv = csv_from_rows(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn write_text_creates_directories_and_files() {
+        let dir = std::env::temp_dir().join(format!("lamb-csv-test-{}", std::process::id()));
+        let path = write_text(&dir, "probe.csv", "x,y\n1,2\n").unwrap();
+        assert!(path.exists());
+        let read_back = fs::read_to_string(&path).unwrap();
+        assert!(read_back.contains("1,2"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,130 @@
+//! Anomalous-region detection along axis-aligned lines (Section 3.4.2).
+//!
+//! Starting from an anomaly and walking outwards along one dimension, a
+//! region keeps extending while instances are anomalous; one or two
+//! consecutive non-anomalous instances are treated as a *hole* inside the
+//! region, and three or more consecutive non-anomalous instances mark the end
+//! of the region, the first of them being the *boundary*. If the walk reaches
+//! the edge of the search box the last visited instance is the boundary.
+
+/// The extent of an anomalous region along one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionExtent {
+    /// Boundary on the decreasing side (`a` in the paper's notation).
+    pub lower: usize,
+    /// Boundary on the increasing side (`b` in the paper's notation).
+    pub upper: usize,
+}
+
+impl RegionExtent {
+    /// The paper's thickness definition: `b - a - 1`.
+    #[must_use]
+    pub fn thickness(&self) -> usize {
+        self.upper.saturating_sub(self.lower).saturating_sub(1)
+    }
+}
+
+/// Find the boundary of a region given the classifications of the instances
+/// visited while walking *outwards* from the anomaly (the anomaly itself is
+/// not included). `points` is a list of `(dimension value, is_anomaly)` in
+/// walking order; `end_run` is the number of consecutive non-anomalies that
+/// terminates the region (3 in the paper).
+///
+/// Returns the dimension value of the boundary: the first instance of the
+/// terminating run, or the last visited instance if the search-space edge was
+/// reached first, or `anomaly_value` itself if no step could be taken.
+#[must_use]
+pub fn find_boundary(anomaly_value: usize, points: &[(usize, bool)], end_run: usize) -> usize {
+    if points.is_empty() {
+        return anomaly_value;
+    }
+    let end_run = end_run.max(1);
+    let mut run_start: Option<usize> = None;
+    let mut run_len = 0usize;
+    for &(value, is_anomaly) in points {
+        if is_anomaly {
+            run_len = 0;
+            run_start = None;
+        } else {
+            if run_len == 0 {
+                run_start = Some(value);
+            }
+            run_len += 1;
+            if run_len >= end_run {
+                return run_start.expect("run started");
+            }
+        }
+    }
+    // Reached the edge of the search space: the last instance is the boundary.
+    points.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thickness_follows_paper_formula() {
+        let r = RegionExtent { lower: 417, upper: 700 };
+        assert_eq!(r.thickness(), 700 - 417 - 1);
+        // A single-point region bounded by its immediate neighbours at step 10.
+        let single = RegionExtent { lower: 90, upper: 110 };
+        assert_eq!(single.thickness(), 19);
+        // Degenerate.
+        let degenerate = RegionExtent { lower: 20, upper: 20 };
+        assert_eq!(degenerate.thickness(), 0);
+    }
+
+    #[test]
+    fn boundary_is_first_of_three_consecutive_non_anomalies() {
+        // Walk: anomalous, anomalous, then three clean instances.
+        let points = vec![
+            (110, true),
+            (120, true),
+            (130, false),
+            (140, false),
+            (150, false),
+            (160, false),
+        ];
+        assert_eq!(find_boundary(100, &points, 3), 130);
+    }
+
+    #[test]
+    fn holes_of_one_or_two_do_not_end_the_region() {
+        // A two-instance hole followed by more anomalies, then the real end.
+        let points = vec![
+            (110, true),
+            (120, false),
+            (130, false),
+            (140, true),
+            (150, false),
+            (160, false),
+            (170, false),
+        ];
+        assert_eq!(find_boundary(100, &points, 3), 150);
+    }
+
+    #[test]
+    fn reaching_the_search_space_edge_uses_last_instance() {
+        let points = vec![(110, true), (120, true), (130, false), (140, false)];
+        // Only two trailing non-anomalies: the walk hit the edge of the box.
+        assert_eq!(find_boundary(100, &points, 3), 140);
+    }
+
+    #[test]
+    fn empty_walk_returns_the_anomaly_itself() {
+        assert_eq!(find_boundary(1200, &[], 3), 1200);
+    }
+
+    #[test]
+    fn immediate_clean_run_gives_adjacent_boundary() {
+        let points = vec![(110, false), (120, false), (130, false)];
+        assert_eq!(find_boundary(100, &points, 3), 110);
+    }
+
+    #[test]
+    fn end_run_of_one_terminates_at_first_clean_instance() {
+        let points = vec![(110, true), (120, false), (130, true)];
+        assert_eq!(find_boundary(100, &points, 1), 120);
+    }
+}

@@ -1,0 +1,298 @@
+//! The expression `X := A·Aᵀ·B` (Section 3.2.2 of the paper) and its five
+//! algorithms built from GEMM, SYRK and SYMM.
+//!
+//! With `A ∈ R^{d0×d1}` and `B ∈ R^{d0×d2}`, the paper's algorithm set is:
+//!
+//! | # | first product | second product | FLOP count |
+//! |---|---------------|----------------|------------|
+//! | 1 | SYRK `M := A·Aᵀ` | SYMM `X := M·B` | `d0((d0+1)d1 + 2·d0·d2)` |
+//! | 2 | SYRK `M := A·Aᵀ`, copy triangle to full | GEMM `X := M·B` | same as 1 |
+//! | 3 | GEMM `M := A·Aᵀ` | SYMM `X := M·B` | `2·d0²(d1 + d2)` |
+//! | 4 | GEMM `M := A·Aᵀ` | GEMM `X := M·B` | same as 3 |
+//! | 5 | GEMM `M := Aᵀ·B` | GEMM `X := A·M` | `4·d0·d1·d2` |
+
+use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
+use crate::expression::Expression;
+use crate::kernel_call::{KernelCall, KernelOp};
+use crate::operand::OperandId;
+use lamb_matrix::{Side, Trans, Uplo};
+
+const A: OperandId = OperandId(0);
+const B: OperandId = OperandId(1);
+const M: OperandId = OperandId(2);
+const X: OperandId = OperandId(3);
+
+fn base_operands(d0: usize, d1: usize, d2: usize, m_rows: usize, m_cols: usize) -> Vec<OperandInfo> {
+    vec![
+        OperandInfo {
+            id: A,
+            rows: d0,
+            cols: d1,
+            role: OperandRole::Input,
+            name: "A".into(),
+        },
+        OperandInfo {
+            id: B,
+            rows: d0,
+            cols: d2,
+            role: OperandRole::Input,
+            name: "B".into(),
+        },
+        OperandInfo {
+            id: M,
+            rows: m_rows,
+            cols: m_cols,
+            role: OperandRole::Intermediate,
+            name: "M".into(),
+        },
+        OperandInfo {
+            id: X,
+            rows: d0,
+            cols: d2,
+            role: OperandRole::Output,
+            name: "X".into(),
+        },
+    ]
+}
+
+/// Enumerate the five algorithms for `X := A·Aᵀ·B` with `A ∈ R^{d0×d1}` and
+/// `B ∈ R^{d0×d2}`, in the paper's order.
+#[must_use]
+pub fn enumerate_aatb_algorithms(d0: usize, d1: usize, d2: usize) -> Vec<Algorithm> {
+    let uplo = Uplo::Lower;
+    let syrk_m = KernelCall {
+        op: KernelOp::Syrk {
+            uplo,
+            trans: Trans::No,
+            n: d0,
+            k: d1,
+        },
+        inputs: vec![A],
+        output: M,
+        label: "M := A*A^T (syrk)".into(),
+    };
+    let gemm_m_aat = KernelCall {
+        op: KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::Yes,
+            m: d0,
+            n: d0,
+            k: d1,
+        },
+        inputs: vec![A, A],
+        output: M,
+        label: "M := A*A^T (gemm)".into(),
+    };
+    let symm_x = KernelCall {
+        op: KernelOp::Symm {
+            side: Side::Left,
+            uplo,
+            m: d0,
+            n: d2,
+        },
+        inputs: vec![M, B],
+        output: X,
+        label: "X := M*B (symm)".into(),
+    };
+    let gemm_x_mb = KernelCall {
+        op: KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: d0,
+            n: d2,
+            k: d0,
+        },
+        inputs: vec![M, B],
+        output: X,
+        label: "X := M*B (gemm)".into(),
+    };
+    let copy_m = KernelCall {
+        op: KernelOp::CopyTriangle { uplo, n: d0 },
+        inputs: vec![M],
+        output: M,
+        label: "M := full(M) (copy triangle)".into(),
+    };
+    let gemm_m_atb = KernelCall {
+        op: KernelOp::Gemm {
+            transa: Trans::Yes,
+            transb: Trans::No,
+            m: d1,
+            n: d2,
+            k: d0,
+        },
+        inputs: vec![A, B],
+        output: M,
+        label: "M := A^T*B (gemm)".into(),
+    };
+    let gemm_x_am = KernelCall {
+        op: KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: d0,
+            n: d2,
+            k: d1,
+        },
+        inputs: vec![A, M],
+        output: X,
+        label: "X := A*M (gemm)".into(),
+    };
+
+    vec![
+        Algorithm {
+            name: "AAtB algorithm 1: syrk+symm".into(),
+            operands: base_operands(d0, d1, d2, d0, d0),
+            calls: vec![syrk_m.clone(), symm_x.clone()],
+        },
+        Algorithm {
+            name: "AAtB algorithm 2: syrk+copy+gemm".into(),
+            operands: base_operands(d0, d1, d2, d0, d0),
+            calls: vec![syrk_m, copy_m, gemm_x_mb.clone()],
+        },
+        Algorithm {
+            name: "AAtB algorithm 3: gemm+symm".into(),
+            operands: base_operands(d0, d1, d2, d0, d0),
+            calls: vec![gemm_m_aat.clone(), symm_x],
+        },
+        Algorithm {
+            name: "AAtB algorithm 4: gemm+gemm".into(),
+            operands: base_operands(d0, d1, d2, d0, d0),
+            calls: vec![gemm_m_aat, gemm_x_mb],
+        },
+        Algorithm {
+            name: "AAtB algorithm 5: gemm(AtB)+gemm".into(),
+            operands: base_operands(d0, d1, d2, d1, d2),
+            calls: vec![gemm_m_atb, gemm_x_am],
+        },
+    ]
+}
+
+/// The FLOP counts of the five `A·Aᵀ·B` algorithms as closed-form formulas,
+/// in the paper's order.
+#[must_use]
+pub fn aatb_flop_formulas(d0: usize, d1: usize, d2: usize) -> [u64; 5] {
+    let (d0, d1, d2) = (d0 as u64, d1 as u64, d2 as u64);
+    let alg12 = d0 * ((d0 + 1) * d1 + 2 * d0 * d2);
+    let alg34 = 2 * d0 * d0 * (d1 + d2);
+    let alg5 = 4 * d0 * d1 * d2;
+    [alg12, alg12, alg34, alg34, alg5]
+}
+
+/// The expression `A·Aᵀ·B` as an [`Expression`] usable by the experiment
+/// drivers; its instances are specified by the tuple `(d0, d1, d2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AatbExpression;
+
+impl AatbExpression {
+    /// Create the expression descriptor.
+    #[must_use]
+    pub fn new() -> Self {
+        AatbExpression
+    }
+}
+
+impl Expression for AatbExpression {
+    fn name(&self) -> String {
+        "A*A^T*B".into()
+    }
+
+    fn num_dims(&self) -> usize {
+        3
+    }
+
+    fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm> {
+        assert_eq!(dims.len(), 3, "A*A^T*B instances are (d0, d1, d2) tuples");
+        enumerate_aatb_algorithms(dims[0], dims[1], dims[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_algorithms_with_paper_flop_counts() {
+        let (d0, d1, d2) = (17, 29, 11);
+        let algs = enumerate_aatb_algorithms(d0, d1, d2);
+        assert_eq!(algs.len(), 5);
+        let formulas = aatb_flop_formulas(d0, d1, d2);
+        for (alg, expected) in algs.iter().zip(formulas) {
+            assert!(alg.is_well_formed(), "{} malformed", alg.name);
+            assert_eq!(alg.flops(), expected, "FLOP mismatch for {}", alg.name);
+        }
+    }
+
+    #[test]
+    fn flop_tie_structure_matches_paper() {
+        let algs = enumerate_aatb_algorithms(100, 80, 60);
+        // Algorithms 1 and 2 tie; 3 and 4 tie; 1/2 are strictly cheaper than 3/4.
+        assert_eq!(algs[0].flops(), algs[1].flops());
+        assert_eq!(algs[2].flops(), algs[3].flops());
+        assert!(algs[0].flops() < algs[2].flops());
+    }
+
+    #[test]
+    fn kernel_composition_matches_paper_figure5() {
+        let algs = enumerate_aatb_algorithms(10, 10, 10);
+        assert_eq!(algs[0].kernel_summary(), "syrk,symm");
+        assert_eq!(algs[1].kernel_summary(), "syrk,copy,gemm");
+        assert_eq!(algs[2].kernel_summary(), "gemm,symm");
+        assert_eq!(algs[3].kernel_summary(), "gemm,gemm");
+        assert_eq!(algs[4].kernel_summary(), "gemm,gemm");
+        // Algorithm 5 contracts over d0 first: its intermediate is d1 x d2.
+        let m5 = algs[4].operand(OperandId(2)).unwrap();
+        assert_eq!((m5.rows, m5.cols), (10, 10));
+    }
+
+    #[test]
+    fn intermediate_shapes_depend_on_the_algorithm() {
+        let algs = enumerate_aatb_algorithms(50, 20, 30);
+        // Algorithms 1-4 build the 50x50 symmetric intermediate.
+        for alg in &algs[0..4] {
+            let m = alg.operand(OperandId(2)).unwrap();
+            assert_eq!((m.rows, m.cols), (50, 50));
+        }
+        // Algorithm 5 builds the 20x30 intermediate A^T*B.
+        let m5 = algs[4].operand(OperandId(2)).unwrap();
+        assert_eq!((m5.rows, m5.cols), (20, 30));
+        // Output is always 50x30.
+        for alg in &algs {
+            let x = alg.output().unwrap();
+            assert_eq!((x.rows, x.cols), (50, 30));
+        }
+    }
+
+    #[test]
+    fn algorithm5_is_cheapest_when_d0_is_large() {
+        // 4 d0 d1 d2 < d0((d0+1)d1 + 2 d0 d2) when d0 >> d1, d2.
+        let f = aatb_flop_formulas(1000, 20, 30);
+        assert!(f[4] < f[0]);
+        assert!(f[0] < f[2]);
+    }
+
+    #[test]
+    fn algorithm1_is_cheapest_when_d1_d2_are_large() {
+        let f = aatb_flop_formulas(50, 800, 900);
+        assert!(f[0] < f[4]);
+        assert!(f[0] < f[2]);
+    }
+
+    #[test]
+    fn expression_trait_plumbing() {
+        let e = AatbExpression::new();
+        assert_eq!(e.num_dims(), 3);
+        assert_eq!(e.name(), "A*A^T*B");
+        assert_eq!(e.algorithms(&[5, 6, 7]).len(), 5);
+    }
+
+    #[test]
+    fn paper_headline_severity_example_is_representable() {
+        // The paper reports extreme instances where 45% more FLOPs give 40%
+        // lower time. Verify the FLOP-score side is achievable within the
+        // paper's search box: FLOP score = 1 - F_cheap / F_fast.
+        let f = aatb_flop_formulas(600, 1200, 300);
+        let cheapest = *f.iter().min().unwrap() as f64;
+        let most_expensive = *f.iter().max().unwrap() as f64;
+        let flop_gap = 1.0 - cheapest / most_expensive;
+        assert!(flop_gap > 0.30, "gap was {flop_gap}");
+    }
+}

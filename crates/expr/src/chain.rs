@@ -1,0 +1,385 @@
+//! The matrix chain expression `X := A·B·C·D` (Section 3.2.1 of the paper)
+//! and, more generally, chains of any length.
+//!
+//! The algorithm set is "all (reasonable) sequences of calls to the BLAS
+//! kernel GEMM that evaluate the expression": every order in which the
+//! adjacent multiplications can be performed. For a chain of `p` matrices
+//! there are `(p-1)!` such orders; for `A·B·C·D` that is `3! = 6`, matching
+//! the paper's Algorithms 1–6 (and their FLOP-count formulas).
+
+use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
+use crate::expression::Expression;
+use crate::kernel_call::{KernelCall, KernelOp};
+use crate::operand::OperandId;
+use lamb_matrix::Trans;
+
+/// Name of the `i`-th input matrix of a chain (`A`, `B`, ..., `Z`, `A26`, ...).
+fn input_name(i: usize) -> String {
+    if i < 26 {
+        char::from(b'A' + i as u8).to_string()
+    } else {
+        format!("A{i}")
+    }
+}
+
+/// A factor of the (partially evaluated) chain: either an original input or
+/// an intermediate product, covering the half-open dimension range
+/// `[start, end]` of the dimension tuple.
+#[derive(Debug, Clone)]
+struct Segment {
+    id: OperandId,
+    start: usize,
+    end: usize,
+    text: String,
+}
+
+/// Enumerate every multiplication order for the chain whose dimension tuple
+/// is `dims = [d0, d1, ..., dp]` (so matrix `i` has shape `d_i x d_{i+1}` and
+/// there are `p = dims.len() - 1` matrices).
+///
+/// The returned algorithms follow the same ordering convention as the paper's
+/// Figure 3 / Section 3.2.1 (for `p = 4`: Algorithms 1–6).
+///
+/// # Panics
+///
+/// Panics if fewer than two matrices are described (`dims.len() < 3`).
+#[must_use]
+pub fn enumerate_chain_algorithms(dims: &[usize]) -> Vec<Algorithm> {
+    assert!(
+        dims.len() >= 3,
+        "a matrix chain needs at least two matrices ({} dims given)",
+        dims.len()
+    );
+    let p = dims.len() - 1;
+    let inputs: Vec<OperandInfo> = (0..p)
+        .map(|i| OperandInfo {
+            id: OperandId(i),
+            rows: dims[i],
+            cols: dims[i + 1],
+            role: OperandRole::Input,
+            name: input_name(i),
+        })
+        .collect();
+    let segments: Vec<Segment> = (0..p)
+        .map(|i| Segment {
+            id: OperandId(i),
+            start: i,
+            end: i + 1,
+            text: input_name(i),
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    recurse(dims, &inputs, segments, Vec::new(), Vec::new(), &mut out);
+    for (idx, alg) in out.iter_mut().enumerate() {
+        alg.name = format!("Chain algorithm {}: {}", idx + 1, alg.name);
+    }
+    out
+}
+
+fn recurse(
+    dims: &[usize],
+    inputs: &[OperandInfo],
+    segments: Vec<Segment>,
+    calls: Vec<KernelCall>,
+    intermediates: Vec<OperandInfo>,
+    out: &mut Vec<Algorithm>,
+) {
+    if segments.len() == 1 {
+        let mut operands = inputs.to_vec();
+        let mut inters = intermediates;
+        if let Some(last) = inters.last_mut() {
+            last.role = OperandRole::Output;
+            last.name = "X".into();
+        }
+        operands.extend(inters);
+        out.push(Algorithm {
+            name: segments[0].text.clone(),
+            operands,
+            calls,
+        });
+        return;
+    }
+    let p = dims.len() - 1;
+    for i in 0..segments.len() - 1 {
+        let left = &segments[i];
+        let right = &segments[i + 1];
+        let m = dims[left.start];
+        let k = dims[left.end];
+        let n = dims[right.end];
+        let new_id = OperandId(p + calls.len());
+        let inter_index = calls.len() + 1;
+        let call = KernelCall {
+            op: KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m,
+                n,
+                k,
+            },
+            inputs: vec![left.id, right.id],
+            output: new_id,
+            label: format!("M{inter_index} := {}*{}", left.text, right.text),
+        };
+        let info = OperandInfo {
+            id: new_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            name: format!("M{inter_index}"),
+        };
+        let mut new_segments = segments.clone();
+        let merged = Segment {
+            id: new_id,
+            start: left.start,
+            end: right.end,
+            text: format!("({} {})", left.text, right.text),
+        };
+        new_segments[i] = merged;
+        new_segments.remove(i + 1);
+        let mut new_calls = calls.clone();
+        new_calls.push(call);
+        let mut new_inters = intermediates.clone();
+        new_inters.push(info);
+        recurse(dims, inputs, new_segments, new_calls, new_inters, out);
+    }
+}
+
+/// The FLOP counts of the six `A·B·C·D` algorithms as closed-form formulas,
+/// in the paper's order. Used by tests and by symbolic-size reasoning.
+#[must_use]
+pub fn abcd_flop_formulas(d: &[usize; 5]) -> [u64; 6] {
+    let d: Vec<u64> = d.iter().map(|&x| x as u64).collect();
+    [
+        2 * d[0] * (d[1] * d[2] + d[2] * d[3] + d[3] * d[4]),
+        2 * d[2] * (d[0] * d[1] + d[0] * d[4] + d[3] * d[4]),
+        2 * d[3] * (d[0] * d[1] + d[0] * d[4] + d[1] * d[2]),
+        2 * d[1] * (d[0] * d[4] + d[2] * d[3] + d[3] * d[4]),
+        2 * d[2] * (d[0] * d[1] + d[0] * d[4] + d[3] * d[4]),
+        2 * d[4] * (d[0] * d[1] + d[1] * d[2] + d[2] * d[3]),
+    ]
+}
+
+/// Classic dynamic-programming solution of the matrix chain ordering problem
+/// under the `2·m·n·k` GEMM cost model: returns the minimum achievable FLOP
+/// count together with a parenthesisation achieving it.
+///
+/// Note that the DP optimum always coincides with the cheapest enumerated
+/// algorithm; it is provided as the scalable way of finding a FLOP-minimal
+/// algorithm for long chains where full enumeration is factorial.
+///
+/// # Panics
+///
+/// Panics if fewer than two matrices are described.
+#[must_use]
+pub fn optimal_chain_order(dims: &[usize]) -> (u64, String) {
+    assert!(dims.len() >= 3, "a matrix chain needs at least two matrices");
+    let p = dims.len() - 1;
+    let d: Vec<u64> = dims.iter().map(|&x| x as u64).collect();
+    // cost[i][j]: minimal FLOPs to compute the product of matrices i..=j.
+    let mut cost = vec![vec![0u64; p]; p];
+    let mut split = vec![vec![0usize; p]; p];
+    for len in 2..=p {
+        for i in 0..=p - len {
+            let j = i + len - 1;
+            let mut best = u64::MAX;
+            let mut best_k = i;
+            for k in i..j {
+                let c = cost[i][k] + cost[k + 1][j] + 2 * d[i] * d[k + 1] * d[j + 1];
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best;
+            split[i][j] = best_k;
+        }
+    }
+    fn paren(split: &[Vec<usize>], i: usize, j: usize) -> String {
+        if i == j {
+            input_name(i)
+        } else {
+            let k = split[i][j];
+            format!("({} {})", paren(split, i, k), paren(split, k + 1, j))
+        }
+    }
+    (cost[0][p - 1], paren(&split, 0, p - 1))
+}
+
+/// The matrix chain expression with a fixed number of matrices, as an
+/// [`Expression`] usable by the experiment drivers. The paper's `A·B·C·D`
+/// corresponds to `MatrixChainExpression::new(4)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixChainExpression {
+    num_matrices: usize,
+}
+
+impl MatrixChainExpression {
+    /// Chain of `num_matrices` matrices (at least two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_matrices < 2`.
+    #[must_use]
+    pub fn new(num_matrices: usize) -> Self {
+        assert!(num_matrices >= 2, "a chain needs at least two matrices");
+        MatrixChainExpression { num_matrices }
+    }
+
+    /// The paper's four-matrix chain `A·B·C·D`.
+    #[must_use]
+    pub fn abcd() -> Self {
+        MatrixChainExpression::new(4)
+    }
+
+    /// Number of matrices in the chain.
+    #[must_use]
+    pub fn num_matrices(&self) -> usize {
+        self.num_matrices
+    }
+}
+
+impl Expression for MatrixChainExpression {
+    fn name(&self) -> String {
+        if self.num_matrices == 4 {
+            "matrix chain ABCD".into()
+        } else {
+            format!("matrix chain of {} matrices", self.num_matrices)
+        }
+    }
+
+    fn num_dims(&self) -> usize {
+        self.num_matrices + 1
+    }
+
+    fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm> {
+        assert_eq!(dims.len(), self.num_dims(), "dimension tuple length mismatch");
+        enumerate_chain_algorithms(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abcd_has_six_algorithms_in_paper_order() {
+        let dims = [13, 7, 11, 5, 3];
+        let algs = enumerate_chain_algorithms(&dims);
+        assert_eq!(algs.len(), 6);
+        let formulas = abcd_flop_formulas(&dims);
+        for (alg, expected) in algs.iter().zip(formulas) {
+            assert!(alg.is_well_formed(), "{} is malformed", alg.name);
+            assert_eq!(alg.flops(), expected, "FLOP mismatch for {}", alg.name);
+            assert_eq!(alg.calls.len(), 3);
+            assert_eq!(alg.kernel_summary(), "gemm,gemm,gemm");
+        }
+        // Algorithms 2 and 5 have identical FLOP counts (paper Section 3.2.1).
+        assert_eq!(algs[1].flops(), algs[4].flops());
+        // Their first multiplications differ (AB vs CD), so they are distinct
+        // algorithms nonetheless.
+        assert_ne!(algs[1].calls[0].label, algs[4].calls[0].label);
+    }
+
+    #[test]
+    fn paper_ordering_of_first_multiplications() {
+        let algs = enumerate_chain_algorithms(&[2, 3, 4, 5, 6]);
+        let firsts: Vec<&str> = algs.iter().map(|a| a.calls[0].label.as_str()).collect();
+        assert_eq!(
+            firsts,
+            vec![
+                "M1 := A*B",
+                "M1 := A*B",
+                "M1 := B*C",
+                "M1 := B*C",
+                "M1 := C*D",
+                "M1 := C*D"
+            ]
+        );
+    }
+
+    #[test]
+    fn two_matrix_chain_has_single_algorithm() {
+        let algs = enumerate_chain_algorithms(&[4, 5, 6]);
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].flops(), 2 * 4 * 5 * 6);
+        assert_eq!(algs[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn three_matrix_chain_has_two_algorithms() {
+        let algs = enumerate_chain_algorithms(&[4, 5, 6, 7]);
+        assert_eq!(algs.len(), 2);
+        // (AB)C and A(BC).
+        assert_eq!(algs[0].flops(), 2 * (4 * 5 * 6 + 4 * 6 * 7) as u64);
+        assert_eq!(algs[1].flops(), 2 * (5 * 6 * 7 + 4 * 5 * 7) as u64);
+    }
+
+    #[test]
+    fn five_matrix_chain_has_factorial_many_algorithms() {
+        let algs = enumerate_chain_algorithms(&[3, 4, 5, 6, 7, 8]);
+        assert_eq!(algs.len(), 24); // 4!
+        for alg in &algs {
+            assert!(alg.is_well_formed());
+            assert_eq!(alg.calls.len(), 4);
+        }
+    }
+
+    #[test]
+    fn dp_optimum_matches_cheapest_enumerated() {
+        for dims in [
+            vec![10, 30, 5, 60],
+            vec![40, 20, 30, 10, 30],
+            vec![7, 13, 5, 89, 3, 21],
+            vec![1200, 20, 1200, 20, 1200],
+        ] {
+            let algs = enumerate_chain_algorithms(&dims);
+            let cheapest = algs.iter().map(Algorithm::flops).min().unwrap();
+            let (dp, paren) = optimal_chain_order(&dims);
+            assert_eq!(dp, cheapest, "dims {dims:?}");
+            assert!(!paren.is_empty());
+        }
+    }
+
+    #[test]
+    fn dp_reproduces_textbook_example() {
+        // Classic CLRS example (scaled by the factor 2 of the GEMM flop model):
+        // dims 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 -> 15125 multiplications.
+        let (flops, paren) = optimal_chain_order(&[30, 35, 15, 5, 10, 20, 25]);
+        assert_eq!(flops, 2 * 15125);
+        assert_eq!(paren, "((A (B C)) ((D E) F))");
+    }
+
+    #[test]
+    fn expression_trait_plumbing() {
+        let expr = MatrixChainExpression::abcd();
+        assert_eq!(expr.num_dims(), 5);
+        assert_eq!(expr.num_matrices(), 4);
+        assert!(expr.name().contains("ABCD"));
+        let algs = expr.algorithms(&[10, 10, 10, 10, 10]);
+        assert_eq!(algs.len(), 6);
+        // All algorithms tie on a homogeneous square chain.
+        let flops: Vec<u64> = algs.iter().map(Algorithm::flops).collect();
+        assert!(flops.iter().all(|&f| f == flops[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two matrices")]
+    fn single_matrix_chain_is_rejected() {
+        let _ = enumerate_chain_algorithms(&[4, 5]);
+    }
+
+    #[test]
+    fn intermediate_operands_have_correct_shapes() {
+        let dims = [9, 8, 7, 6, 5];
+        let algs = enumerate_chain_algorithms(&dims);
+        // Algorithm 1 is ((AB)C)D: M1 is 9x7, M2 is 9x6, X is 9x5.
+        let alg1 = &algs[0];
+        let m1 = alg1.operand(OperandId(4)).unwrap();
+        assert_eq!((m1.rows, m1.cols), (9, 7));
+        let m2 = alg1.operand(OperandId(5)).unwrap();
+        assert_eq!((m2.rows, m2.cols), (9, 6));
+        let x = alg1.output().unwrap();
+        assert_eq!((x.rows, x.cols), (9, 5));
+    }
+}

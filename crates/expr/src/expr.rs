@@ -1,0 +1,232 @@
+//! A small symbolic expression AST for matrix products.
+//!
+//! This is the front end of the mini-LAMP pipeline: users (and the examples)
+//! write an expression tree such as `A * Aᵀ * B`, the
+//! [`generator`](crate::generator) recognises which algorithm family applies,
+//! and the enumerators produce the candidate algorithm set.
+
+use std::fmt;
+
+/// Errors produced by shape inference over expression trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Two factors cannot be multiplied because the inner dimensions differ.
+    IncompatibleProduct {
+        /// Shape of the left factor.
+        left: (usize, usize),
+        /// Shape of the right factor.
+        right: (usize, usize),
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::IncompatibleProduct { left, right } => write!(
+                f,
+                "cannot multiply a {}x{} matrix by a {}x{} matrix",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A named symbolic matrix operand with a concrete shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Var {
+    /// Operand name, e.g. `"A"`.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+/// A symbolic matrix expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A leaf operand.
+    Operand(Var),
+    /// The transpose of a sub-expression.
+    Transpose(Box<Expr>),
+    /// The product of two sub-expressions.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Create a leaf operand.
+    #[must_use]
+    pub fn var(name: &str, rows: usize, cols: usize) -> Expr {
+        Expr::Operand(Var {
+            name: name.to_string(),
+            rows,
+            cols,
+        })
+    }
+
+    /// Transpose this expression.
+    #[must_use]
+    pub fn t(self) -> Expr {
+        Expr::Transpose(Box::new(self))
+    }
+
+    /// Multiply this expression by `rhs`.
+    #[must_use]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// Build the product of a sequence of expressions, left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty.
+    #[must_use]
+    pub fn product(factors: Vec<Expr>) -> Expr {
+        let mut it = factors.into_iter();
+        let first = it.next().expect("product of at least one factor");
+        it.fold(first, |acc, x| acc.mul(x))
+    }
+
+    /// Infer the shape of the expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if a product has mismatched inner dimensions.
+    pub fn shape(&self) -> Result<(usize, usize), ShapeError> {
+        match self {
+            Expr::Operand(v) => Ok((v.rows, v.cols)),
+            Expr::Transpose(inner) => {
+                let (r, c) = inner.shape()?;
+                Ok((c, r))
+            }
+            Expr::Mul(l, r) => {
+                let ls = l.shape()?;
+                let rs = r.shape()?;
+                if ls.1 != rs.0 {
+                    return Err(ShapeError::IncompatibleProduct { left: ls, right: rs });
+                }
+                Ok((ls.0, rs.1))
+            }
+        }
+    }
+
+    /// Flatten the expression into an ordered list of product factors,
+    /// pushing transposes down to the leaves where possible
+    /// (`(X·Y)ᵀ = Yᵀ·Xᵀ`). Each factor is reported as `(Var, transposed)`.
+    ///
+    /// Returns `None` if a transpose is applied to something other than a
+    /// leaf or a product (cannot happen with the current AST) or if the tree
+    /// contains nested transposes that do not cancel; in practice this always
+    /// succeeds and the `Option` simply mirrors future extensibility.
+    #[must_use]
+    pub fn factors(&self) -> Vec<(Var, bool)> {
+        fn go(e: &Expr, transposed: bool, out: &mut Vec<(Var, bool)>) {
+            match e {
+                Expr::Operand(v) => out.push((v.clone(), transposed)),
+                Expr::Transpose(inner) => go(inner, !transposed, out),
+                Expr::Mul(l, r) => {
+                    if transposed {
+                        // (L·R)^T = R^T · L^T
+                        go(r, true, out);
+                        go(l, true, out);
+                    } else {
+                        go(l, false, out);
+                        go(r, false, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, false, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Operand(v) => write!(f, "{}", v.name),
+            Expr::Transpose(inner) => write!(f, "{inner}^T"),
+            Expr::Mul(l, r) => write!(f, "({l} {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_inference_for_products_and_transposes() {
+        let a = Expr::var("A", 3, 4);
+        let b = Expr::var("B", 4, 5);
+        let ab = a.clone().mul(b);
+        assert_eq!(ab.shape().unwrap(), (3, 5));
+        assert_eq!(a.clone().t().shape().unwrap(), (4, 3));
+        let aat = a.clone().mul(a.t());
+        assert_eq!(aat.shape().unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn incompatible_product_is_an_error() {
+        let a = Expr::var("A", 3, 4);
+        let b = Expr::var("B", 5, 6);
+        let err = a.mul(b).shape().unwrap_err();
+        assert!(err.to_string().contains("3x4"));
+        assert!(err.to_string().contains("5x6"));
+    }
+
+    #[test]
+    fn product_builder_associates_left() {
+        let factors = vec![
+            Expr::var("A", 2, 3),
+            Expr::var("B", 3, 4),
+            Expr::var("C", 4, 5),
+        ];
+        let p = Expr::product(factors);
+        assert_eq!(p.shape().unwrap(), (2, 5));
+        assert_eq!(p.to_string(), "((A B) C)");
+    }
+
+    #[test]
+    fn factors_flatten_plain_chain() {
+        let p = Expr::product(vec![
+            Expr::var("A", 2, 3),
+            Expr::var("B", 3, 4),
+            Expr::var("C", 4, 5),
+        ]);
+        let fs = p.factors();
+        let names: Vec<_> = fs.iter().map(|(v, t)| (v.name.as_str(), *t)).collect();
+        assert_eq!(names, vec![("A", false), ("B", false), ("C", false)]);
+    }
+
+    #[test]
+    fn factors_push_transpose_to_leaves() {
+        // (A B)^T = B^T A^T.
+        let a = Expr::var("A", 2, 3);
+        let b = Expr::var("B", 3, 4);
+        let expr = a.mul(b).t();
+        let fs = expr.factors();
+        let names: Vec<_> = fs.iter().map(|(v, t)| (v.name.as_str(), *t)).collect();
+        assert_eq!(names, vec![("B", true), ("A", true)]);
+    }
+
+    #[test]
+    fn double_transpose_cancels_in_factors() {
+        let a = Expr::var("A", 2, 3);
+        let expr = a.t().t();
+        let fs = expr.factors();
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].1);
+    }
+
+    #[test]
+    fn display_is_parenthesised() {
+        let a = Expr::var("A", 2, 3);
+        let b = Expr::var("B", 3, 2);
+        assert_eq!(a.clone().mul(b).t().to_string(), "(A B)^T");
+    }
+}

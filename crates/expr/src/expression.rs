@@ -1,0 +1,78 @@
+//! The [`Expression`] abstraction used by the experiment drivers.
+//!
+//! An expression (matrix chain, `A·Aᵀ·B`, ...) defines a *problem-instance
+//! space*: every instance is a tuple of dimension sizes, and for each instance
+//! the expression enumerates its set of mathematically equivalent algorithms.
+//! This is exactly the structure the paper's three experiments operate on.
+
+use crate::algorithm::Algorithm;
+
+/// A linear-algebra expression whose instances are dimension-size tuples.
+pub trait Expression: Send + Sync {
+    /// Human-readable name, e.g. `"matrix chain ABCD"`.
+    fn name(&self) -> String;
+
+    /// Number of dimension sizes that specify one instance
+    /// (5 for `A·B·C·D`: `d0..d4`; 3 for `A·Aᵀ·B`: `d0..d2`).
+    fn num_dims(&self) -> usize;
+
+    /// Enumerate the mathematically equivalent algorithms for the instance
+    /// `dims` (whose length must equal [`Expression::num_dims`]).
+    fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm>;
+
+    /// Labels of the dimensions (`d0`, `d1`, ...). The defaults match the
+    /// notation of the paper.
+    fn dim_labels(&self) -> Vec<String> {
+        (0..self.num_dims()).map(|i| format!("d{i}")).collect()
+    }
+
+    /// The minimum FLOP count over all algorithms for this instance.
+    fn min_flops(&self, dims: &[usize]) -> u64 {
+        self.algorithms(dims)
+            .iter()
+            .map(Algorithm::flops)
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aatb::AatbExpression;
+    use crate::chain::MatrixChainExpression;
+
+    #[test]
+    fn dim_labels_follow_paper_notation() {
+        let chain = MatrixChainExpression::abcd();
+        assert_eq!(chain.dim_labels(), vec!["d0", "d1", "d2", "d3", "d4"]);
+        let aatb = AatbExpression::new();
+        assert_eq!(aatb.dim_labels(), vec!["d0", "d1", "d2"]);
+    }
+
+    #[test]
+    fn min_flops_is_a_lower_bound_over_algorithms() {
+        let chain = MatrixChainExpression::abcd();
+        let dims = [200, 30, 400, 50, 600];
+        let min = chain.min_flops(&dims);
+        for alg in chain.algorithms(&dims) {
+            assert!(alg.flops() >= min);
+        }
+    }
+
+    #[test]
+    fn expressions_are_object_safe() {
+        let exprs: Vec<Box<dyn Expression>> = vec![
+            Box::new(MatrixChainExpression::abcd()),
+            Box::new(AatbExpression::new()),
+        ];
+        let counts: Vec<usize> = exprs
+            .iter()
+            .map(|e| {
+                let dims = vec![16; e.num_dims()];
+                e.algorithms(&dims).len()
+            })
+            .collect();
+        assert_eq!(counts, vec![6, 5]);
+    }
+}

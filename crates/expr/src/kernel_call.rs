@@ -1,0 +1,267 @@
+//! The kernel-call intermediate representation.
+//!
+//! A [`KernelCall`] is one invocation of a BLAS-3 kernel (or the
+//! triangle-to-full copy that Algorithm 2 of `A·Aᵀ·B` needs) on symbolic
+//! operands. Its FLOP count follows Section 3.1 of the paper exactly.
+
+use crate::operand::OperandId;
+use lamb_matrix::{Side, Trans, Uplo};
+use std::fmt;
+
+/// The operation performed by one kernel call, with its logical dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KernelOp {
+    /// `C := op(A)·op(B)` with `op(A) ∈ R^{m×k}`, `op(B) ∈ R^{k×n}`.
+    Gemm {
+        /// Transposition of the left operand.
+        transa: Trans,
+        /// Transposition of the right operand.
+        transb: Trans,
+        /// Rows of the result.
+        m: usize,
+        /// Columns of the result.
+        n: usize,
+        /// Inner (contracted) dimension.
+        k: usize,
+    },
+    /// One triangle of `op(A)·op(A)ᵀ` with `op(A) ∈ R^{n×k}`.
+    Syrk {
+        /// Which triangle of the result is computed.
+        uplo: Uplo,
+        /// Transposition of the operand.
+        trans: Trans,
+        /// Order of the (square) result.
+        n: usize,
+        /// Inner (contracted) dimension.
+        k: usize,
+    },
+    /// `C := A_sym·B` (Left) or `C := B·A_sym` (Right) with `C ∈ R^{m×n}`.
+    Symm {
+        /// Side from which the symmetric operand multiplies.
+        side: Side,
+        /// Stored triangle of the symmetric operand.
+        uplo: Uplo,
+        /// Rows of the result.
+        m: usize,
+        /// Columns of the result.
+        n: usize,
+    },
+    /// Copy the `uplo` triangle of an `n×n` matrix into the other triangle,
+    /// making it explicitly full (zero FLOPs, but it moves data and costs time).
+    CopyTriangle {
+        /// Triangle that holds the data.
+        uplo: Uplo,
+        /// Order of the square matrix.
+        n: usize,
+    },
+}
+
+impl KernelOp {
+    /// FLOP count of this operation according to the paper's Section 3.1.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        match *self {
+            KernelOp::Gemm { m, n, k, .. } => 2 * (m as u64) * (n as u64) * (k as u64),
+            KernelOp::Syrk { n, k, .. } => (n as u64 + 1) * (n as u64) * (k as u64),
+            KernelOp::Symm { side, m, n, .. } => {
+                let (sym_dim, other) = match side {
+                    Side::Left => (m as u64, n as u64),
+                    Side::Right => (n as u64, m as u64),
+                };
+                2 * sym_dim * sym_dim * other
+            }
+            KernelOp::CopyTriangle { .. } => 0,
+        }
+    }
+
+    /// Shape `(rows, cols)` of the output of this operation.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize) {
+        match *self {
+            KernelOp::Gemm { m, n, .. } => (m, n),
+            KernelOp::Syrk { n, .. } => (n, n),
+            KernelOp::Symm { m, n, .. } => (m, n),
+            KernelOp::CopyTriangle { n, .. } => (n, n),
+        }
+    }
+
+    /// Number of `f64` elements written by this operation (used by
+    /// memory-traffic-aware time models).
+    #[must_use]
+    pub fn output_elements(&self) -> u64 {
+        match *self {
+            KernelOp::Gemm { m, n, .. } => (m as u64) * (n as u64),
+            KernelOp::Syrk { n, .. } => (n as u64) * (n as u64 + 1) / 2,
+            KernelOp::Symm { m, n, .. } => (m as u64) * (n as u64),
+            KernelOp::CopyTriangle { n, .. } => (n as u64) * (n as u64 - 1) / 2,
+        }
+    }
+
+    /// Short BLAS-style mnemonic (`gemm`, `syrk`, `symm`, `copy`).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            KernelOp::Gemm { .. } => "gemm",
+            KernelOp::Syrk { .. } => "syrk",
+            KernelOp::Symm { .. } => "symm",
+            KernelOp::CopyTriangle { .. } => "copy",
+        }
+    }
+
+    /// Whether this operation performs floating-point work.
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        !matches!(self, KernelOp::CopyTriangle { .. })
+    }
+}
+
+impl fmt::Display for KernelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            KernelOp::Gemm {
+                transa,
+                transb,
+                m,
+                n,
+                k,
+            } => write!(f, "gemm({}{} {}x{}x{})", transa.tag(), transb.tag(), m, n, k),
+            KernelOp::Syrk { uplo, trans, n, k } => {
+                write!(f, "syrk({}{} {}x{})", uplo.tag(), trans.tag(), n, k)
+            }
+            KernelOp::Symm { side, uplo, m, n } => {
+                write!(f, "symm({}{} {}x{})", side.tag(), uplo.tag(), m, n)
+            }
+            KernelOp::CopyTriangle { uplo, n } => write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag()),
+        }
+    }
+}
+
+/// One kernel invocation on symbolic operands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelCall {
+    /// The operation and its dimensions.
+    pub op: KernelOp,
+    /// Operands read by the call, in kernel argument order.
+    pub inputs: Vec<OperandId>,
+    /// Operand written by the call.
+    pub output: OperandId,
+    /// Human-readable description, e.g. `"M1 := A*B"`.
+    pub label: String,
+}
+
+impl KernelCall {
+    /// FLOP count of this call.
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        self.op.flops()
+    }
+
+    /// Whether `operand` is read by this call.
+    #[must_use]
+    pub fn reads(&self, operand: OperandId) -> bool {
+        self.inputs.contains(&operand)
+    }
+}
+
+impl fmt::Display for KernelCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.label, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_follow_paper() {
+        let op = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 10,
+            n: 20,
+            k: 30,
+        };
+        assert_eq!(op.flops(), 2 * 10 * 20 * 30);
+        assert_eq!(op.output_shape(), (10, 20));
+        assert_eq!(op.output_elements(), 200);
+        assert!(op.is_compute());
+    }
+
+    #[test]
+    fn syrk_flops_follow_paper() {
+        let op = KernelOp::Syrk {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            n: 7,
+            k: 5,
+        };
+        assert_eq!(op.flops(), 8 * 7 * 5);
+        assert_eq!(op.output_shape(), (7, 7));
+        assert_eq!(op.output_elements(), 28);
+    }
+
+    #[test]
+    fn symm_flops_follow_paper_for_both_sides() {
+        let left = KernelOp::Symm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            m: 6,
+            n: 9,
+        };
+        assert_eq!(left.flops(), 2 * 36 * 9);
+        let right = KernelOp::Symm {
+            side: Side::Right,
+            uplo: Uplo::Upper,
+            m: 6,
+            n: 9,
+        };
+        assert_eq!(right.flops(), 2 * 81 * 6);
+    }
+
+    #[test]
+    fn copy_triangle_is_zero_flops_but_not_compute() {
+        let op = KernelOp::CopyTriangle {
+            uplo: Uplo::Lower,
+            n: 100,
+        };
+        assert_eq!(op.flops(), 0);
+        assert!(!op.is_compute());
+        assert_eq!(op.output_elements(), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn call_reads_tracks_inputs() {
+        let call = KernelCall {
+            op: KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 2,
+                n: 2,
+                k: 2,
+            },
+            inputs: vec![OperandId(0), OperandId(1)],
+            output: OperandId(4),
+            label: "M1 := A*B".into(),
+        };
+        assert!(call.reads(OperandId(0)));
+        assert!(!call.reads(OperandId(4)));
+        assert_eq!(call.flops(), 16);
+        assert!(call.to_string().contains("M1 := A*B"));
+    }
+
+    #[test]
+    fn mnemonics_and_display_are_informative() {
+        let op = KernelOp::Syrk {
+            uplo: Uplo::Upper,
+            trans: Trans::Yes,
+            n: 3,
+            k: 4,
+        };
+        assert_eq!(op.mnemonic(), "syrk");
+        let s = op.to_string();
+        assert!(s.contains("syrk"));
+        assert!(s.contains('U'));
+        assert!(s.contains('T'));
+    }
+}

@@ -1,0 +1,44 @@
+//! # lamb-expr
+//!
+//! The symbolic layer of the `lamb` workspace: linear-algebra expressions,
+//! the kernel-call intermediate representation, and the enumeration of all
+//! mathematically equivalent algorithms for the two expressions studied in
+//! the ICPP'22 paper:
+//!
+//! * the **matrix chain** `X := A·B·C·D` (Section 3.2.1), whose six
+//!   algorithms use only GEMM, and
+//! * the expression `X := A·Aᵀ·B` (Section 3.2.2), whose five algorithms mix
+//!   GEMM, SYRK and SYMM (plus an explicit triangle-to-full copy).
+//!
+//! An [`Algorithm`](algorithm::Algorithm) is a sequence of
+//! [`KernelCall`](kernel_call::KernelCall)s over symbolic operands; its FLOP
+//! count is the sum of the per-kernel FLOP models of Section 3.1. Executors
+//! in `lamb-perfmodel` turn these symbolic sequences into measured or
+//! simulated execution times.
+//!
+//! ```
+//! use lamb_expr::chain::enumerate_chain_algorithms;
+//!
+//! let algs = enumerate_chain_algorithms(&[100, 90, 80, 70, 60]);
+//! assert_eq!(algs.len(), 6); // 3! orderings of the three multiplications
+//! let cheapest = algs.iter().map(|a| a.flops()).min().unwrap();
+//! assert!(cheapest > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod aatb;
+pub mod algorithm;
+pub mod chain;
+pub mod expr;
+pub mod expression;
+pub mod generator;
+pub mod kernel_call;
+pub mod operand;
+
+pub use aatb::{enumerate_aatb_algorithms, AatbExpression};
+pub use algorithm::{Algorithm, OperandInfo, OperandRole};
+pub use chain::{enumerate_chain_algorithms, optimal_chain_order, MatrixChainExpression};
+pub use expression::Expression;
+pub use kernel_call::{KernelCall, KernelOp};
+pub use operand::OperandId;

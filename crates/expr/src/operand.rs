@@ -1,0 +1,43 @@
+//! Symbolic operand identifiers.
+
+use std::fmt;
+
+/// Identifier of a symbolic operand (input matrix or intermediate result)
+/// within one algorithm. Identifiers are local to an [`crate::Algorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperandId(pub usize);
+
+impl OperandId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OperandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn operand_ids_are_ordered_and_hashable() {
+        let a = OperandId(1);
+        let b = OperandId(2);
+        assert!(a < b);
+        assert_eq!(a.index(), 1);
+        let set: HashSet<_> = [a, b, OperandId(1)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(OperandId(7).to_string(), "#7");
+    }
+}

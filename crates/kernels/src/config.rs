@@ -1,0 +1,120 @@
+//! Blocking and parallelisation configuration for the BLAS-3 kernels.
+
+/// Register-tile height of the micro-kernel (rows of `C` per micro-tile).
+pub const MR: usize = 8;
+/// Register-tile width of the micro-kernel (columns of `C` per micro-tile).
+pub const NR: usize = 4;
+
+/// Cache-blocking and parallelisation parameters shared by GEMM, SYRK and
+/// SYMM.
+///
+/// The defaults target a generic x86-64 core: an `MC x KC` block of the packed
+/// `A` operand fits comfortably in L2, a `KC x NR` sliver of packed `B` in L1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockConfig {
+    /// Rows of `C` (and of `op(A)`) per cache block.
+    pub mc: usize,
+    /// Inner (`k`) dimension per cache block.
+    pub kc: usize,
+    /// Columns of `C` (and of `op(B)`) per outermost block.
+    pub nc: usize,
+    /// Whether to parallelise over column panels of `C` with Rayon.
+    pub parallel: bool,
+    /// Minimum number of useful FLOPs before the parallel path is taken;
+    /// below this the Rayon fork/join overhead dominates.
+    pub parallel_flop_threshold: u64,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            mc: 128,
+            kc: 256,
+            nc: 4096,
+            parallel: true,
+            parallel_flop_threshold: 2 * 64 * 64 * 64,
+        }
+    }
+}
+
+impl BlockConfig {
+    /// A configuration that never uses Rayon; useful for baselines, for
+    /// nested-parallel contexts, and for isolating single-core efficiency.
+    #[must_use]
+    pub fn serial() -> Self {
+        BlockConfig {
+            parallel: false,
+            ..BlockConfig::default()
+        }
+    }
+
+    /// A configuration with tiny blocks, used by tests to force many edge
+    /// cases (partial tiles in every dimension) with small matrices.
+    #[must_use]
+    pub fn tiny() -> Self {
+        BlockConfig {
+            mc: 8,
+            kc: 8,
+            nc: 8,
+            parallel: false,
+            parallel_flop_threshold: u64::MAX,
+        }
+    }
+
+    /// Decide whether a problem of the given logical dimensions should run in
+    /// parallel under this configuration.
+    #[must_use]
+    pub fn should_parallelise(&self, m: usize, n: usize, k: usize) -> bool {
+        if !self.parallel || rayon::current_num_threads() <= 1 {
+            return false;
+        }
+        let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+        flops >= self.parallel_flop_threshold && n >= 2 * NR
+    }
+
+    /// Width of the column panels distributed to Rayon workers for an output
+    /// matrix with `n` columns.
+    #[must_use]
+    pub fn parallel_panel_width(&self, n: usize) -> usize {
+        let threads = rayon::current_num_threads().max(1);
+        let target = n.div_ceil(threads * 3).max(NR);
+        // Round up to a multiple of NR so that full micro-tiles dominate.
+        target.div_ceil(NR) * NR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_blocks_are_multiples_of_register_tiles() {
+        let c = BlockConfig::default();
+        assert_eq!(c.mc % MR, 0);
+        assert_eq!(c.nc % NR, 0);
+        assert!(c.parallel);
+    }
+
+    #[test]
+    fn serial_config_never_parallelises() {
+        let c = BlockConfig::serial();
+        assert!(!c.should_parallelise(4096, 4096, 4096));
+    }
+
+    #[test]
+    fn tiny_problems_stay_serial() {
+        let c = BlockConfig::default();
+        assert!(!c.should_parallelise(8, 8, 8));
+        assert!(!c.should_parallelise(1000, 2, 1000));
+    }
+
+    #[test]
+    fn panel_width_is_positive_multiple_of_nr() {
+        let c = BlockConfig::default();
+        for n in [1, 7, 64, 1000, 5000] {
+            let w = c.parallel_panel_width(n);
+            assert!(w >= NR);
+            assert_eq!(w % NR, 0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Convenience wrappers over the view-based kernels for owned [`Matrix`]
+//! operands. These are what the measured executor in `lamb-perfmodel` calls
+//! when it turns a symbolic kernel-call sequence into actual computation.
+
+use crate::config::BlockConfig;
+use crate::gemm::gemm;
+use crate::symm::symm;
+use crate::syrk::syrk;
+use lamb_matrix::{Matrix, Result, Side, Trans, Uplo};
+
+/// `C := op(A) * op(B)` into a freshly allocated matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`gemm`].
+pub fn gemm_new(
+    transa: Trans,
+    a: &Matrix,
+    transb: Trans,
+    b: &Matrix,
+    cfg: &BlockConfig,
+) -> Result<Matrix> {
+    let (m, _) = transa.apply(a.shape());
+    let (_, n) = transb.apply(b.shape());
+    let mut c = Matrix::zeros(m, n);
+    gemm(transa, transb, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)?;
+    Ok(c)
+}
+
+/// `C := op(A) * op(B)` into an existing, correctly sized output matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`gemm`].
+pub fn gemm_into(
+    transa: Trans,
+    a: &Matrix,
+    transb: Trans,
+    b: &Matrix,
+    c: &mut Matrix,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    gemm(transa, transb, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)
+}
+
+/// One triangle of `op(A)·op(A)ᵀ` into a freshly allocated matrix (the other
+/// triangle is left at zero).
+///
+/// # Errors
+///
+/// Propagates shape errors from [`syrk`].
+pub fn syrk_new(uplo: Uplo, trans: Trans, a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    let (n, _) = trans.apply(a.shape());
+    let mut c = Matrix::zeros(n, n);
+    syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c.view_mut(), cfg)?;
+    Ok(c)
+}
+
+/// One triangle of `op(A)·op(A)ᵀ` into an existing output matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`syrk`].
+pub fn syrk_into(
+    uplo: Uplo,
+    trans: Trans,
+    a: &Matrix,
+    c: &mut Matrix,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c.view_mut(), cfg)
+}
+
+/// `A_sym · B` (Left) or `B · A_sym` (Right) into a freshly allocated matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`symm`].
+pub fn symm_new(
+    side: Side,
+    uplo: Uplo,
+    a_sym: &Matrix,
+    b: &Matrix,
+    cfg: &BlockConfig,
+) -> Result<Matrix> {
+    let mut c = Matrix::zeros(b.rows(), b.cols());
+    symm(side, uplo, 1.0, &a_sym.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)?;
+    Ok(c)
+}
+
+/// `A_sym · B` (Left) or `B · A_sym` (Right) into an existing output matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`symm`].
+pub fn symm_into(
+    side: Side,
+    uplo: Uplo,
+    a_sym: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    symm(side, uplo, 1.0, &a_sym.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::random_seeded;
+
+    #[test]
+    fn gemm_new_and_into_agree() {
+        let cfg = BlockConfig::default();
+        let a = random_seeded(12, 9, 1);
+        let b = random_seeded(9, 14, 2);
+        let fresh = gemm_new(Trans::No, &a, Trans::No, &b, &cfg).unwrap();
+        let mut reused = Matrix::filled(12, 14, f64::NAN);
+        gemm_into(Trans::No, &a, Trans::No, &b, &mut reused, &cfg).unwrap();
+        assert!(max_abs_diff(&fresh, &reused).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn gemm_new_transposed_output_shape() {
+        let cfg = BlockConfig::default();
+        let a = random_seeded(5, 8, 3);
+        let b = random_seeded(5, 7, 4);
+        // C = A^T * B : (8x5)*(5x7) = 8x7
+        let c = gemm_new(Trans::Yes, &a, Trans::No, &b, &cfg).unwrap();
+        assert_eq!(c.shape(), (8, 7));
+    }
+
+    #[test]
+    fn syrk_new_produces_triangle_only() {
+        let cfg = BlockConfig::default();
+        let a = random_seeded(10, 6, 5);
+        let c = syrk_new(Uplo::Lower, Trans::No, &a, &cfg).unwrap();
+        assert_eq!(c.shape(), (10, 10));
+        for i in 0..10 {
+            for j in 0..10 {
+                if i < j {
+                    assert_eq!(c[(i, j)], 0.0, "upper triangle must stay zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symm_new_matches_explicit_full_product() {
+        let cfg = BlockConfig::default();
+        let a = random_seeded(8, 8, 6);
+        let mut sym_full = a.clone();
+        sym_full.symmetrize_from(Uplo::Lower).unwrap();
+        let b = random_seeded(8, 5, 7);
+        let via_symm = symm_new(Side::Left, Uplo::Lower, &sym_full, &b, &cfg).unwrap();
+        let mut expected = Matrix::zeros(8, 5);
+        gemm_naive(Trans::No, Trans::No, 1.0, &sym_full.view(), &b.view(), 0.0, &mut expected.view_mut()).unwrap();
+        assert!(max_abs_diff(&via_symm, &expected).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn aatb_two_step_pipelines_agree() {
+        // Full A*A^T*B computed two different ways must agree: this is the
+        // numerical-equivalence property that underpins the paper's algorithm
+        // set for the expression A·Aᵀ·B.
+        let cfg = BlockConfig::default();
+        let a = random_seeded(16, 9, 8);
+        let b = random_seeded(16, 11, 9);
+        // Way 1: M = A*A^T (full via gemm), X = M*B.
+        let m_full = gemm_new(Trans::No, &a, Trans::Yes, &a, &cfg).unwrap();
+        let x1 = gemm_new(Trans::No, &m_full, Trans::No, &b, &cfg).unwrap();
+        // Way 2: M = A^T*B, X = A*M.
+        let m2 = gemm_new(Trans::Yes, &a, Trans::No, &b, &cfg).unwrap();
+        let x2 = gemm_new(Trans::No, &a, Trans::No, &m2, &cfg).unwrap();
+        // Way 3: SYRK triangle + SYMM.
+        let tri = syrk_new(Uplo::Lower, Trans::No, &a, &cfg).unwrap();
+        let x3 = symm_new(Side::Left, Uplo::Lower, &tri, &b, &cfg).unwrap();
+        assert!(max_abs_diff(&x1, &x2).unwrap() < 1e-10);
+        assert!(max_abs_diff(&x1, &x3).unwrap() < 1e-10);
+    }
+}

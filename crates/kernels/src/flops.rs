@@ -1,0 +1,98 @@
+//! FLOP-count models for the kernels, exactly as defined in Section 3.1 of the
+//! paper.
+//!
+//! * GEMM computing `A·B` with `A` of size `m x k` and `B` of size `k x n`
+//!   costs `2·m·n·k` FLOPs.
+//! * SYRK computing one triangle of `A·Aᵀ` with `A` of size `m x k` costs
+//!   `(m + 1)·m·k` FLOPs.
+//! * SYMM computing `A·B` with symmetric `A` of size `m x m` and `B` of size
+//!   `m x n` costs `2·m²·n` FLOPs.
+//!
+//! The triangle-to-full copy used by Algorithm 2 of the `A·Aᵀ·B` expression
+//! performs no floating-point operations; it is still modelled (with zero
+//! FLOPs) so that executors can attribute time to it.
+
+/// FLOP count of `GEMM`: `C := A·B` with `A ∈ R^{m×k}`, `B ∈ R^{k×n}`.
+#[must_use]
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// FLOP count of `SYRK`: one triangle of `A·Aᵀ` with `A ∈ R^{m×k}`.
+#[must_use]
+pub fn syrk_flops(m: usize, k: usize) -> u64 {
+    (m as u64 + 1) * (m as u64) * (k as u64)
+}
+
+/// FLOP count of `SYMM`: `A·B` with symmetric `A ∈ R^{m×m}`, `B ∈ R^{m×n}`.
+#[must_use]
+pub fn symm_flops(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (m as u64) * (n as u64)
+}
+
+/// FLOP count of copying one triangle of an `n x n` matrix into the other
+/// triangle (zero: it moves data but performs no floating-point arithmetic).
+#[must_use]
+pub fn copy_triangle_flops(_n: usize) -> u64 {
+    0
+}
+
+/// Number of matrix elements moved by the triangle-to-full copy of an
+/// `n x n` matrix (useful for memory-bound time models).
+#[must_use]
+pub fn copy_triangle_elements(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_matches_paper_formula() {
+        assert_eq!(gemm_flops(2, 3, 4), 2 * 2 * 3 * 4);
+        assert_eq!(gemm_flops(100, 200, 300), 2 * 100 * 200 * 300);
+        assert_eq!(gemm_flops(0, 5, 5), 0);
+    }
+
+    #[test]
+    fn syrk_flops_matches_paper_formula() {
+        assert_eq!(syrk_flops(3, 4), 4 * 3 * 4);
+        assert_eq!(syrk_flops(1200, 700), 1201 * 1200 * 700);
+        assert_eq!(syrk_flops(0, 10), 0);
+    }
+
+    #[test]
+    fn symm_flops_matches_paper_formula() {
+        assert_eq!(symm_flops(3, 5), 2 * 9 * 5);
+        assert_eq!(symm_flops(1200, 20), 2 * 1200 * 1200 * 20);
+    }
+
+    #[test]
+    fn syrk_is_roughly_half_a_gemm() {
+        // SYRK computes only one triangle, so its FLOP count is about half of
+        // the GEMM that would compute the full product.
+        let m = 500;
+        let k = 321;
+        let syrk = syrk_flops(m, k) as f64;
+        let gemm = gemm_flops(m, m, k) as f64;
+        let ratio = syrk / gemm;
+        assert!(ratio > 0.5 && ratio < 0.51, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn copy_triangle_is_free_in_flops_but_moves_data() {
+        assert_eq!(copy_triangle_flops(1000), 0);
+        assert_eq!(copy_triangle_elements(4), 6);
+        assert_eq!(copy_triangle_elements(1), 0);
+    }
+
+    #[test]
+    fn flop_counts_fit_u64_for_paper_search_space() {
+        // The paper's search box is bounded by 1200; far larger sizes must not
+        // overflow either.
+        let f = gemm_flops(100_000, 100_000, 100_000);
+        assert!(f > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Serial cache-blocked, packed GEMM core shared by GEMM, SYRK and SYMM.
+//!
+//! The core routine accumulates `C += alpha * op(A) * op(B)` where the logical
+//! operands are presented through element accessor closures. Callers are
+//! responsible for applying `beta` to `C` beforehand (see
+//! [`scale_inplace`]). Presenting operands through accessors lets SYMM read
+//! its symmetric operand from a single stored triangle and lets SYRK feed the
+//! transposed row block of `A` as the `B` operand without materialising it.
+
+use crate::config::{BlockConfig, MR, NR};
+use crate::gemm::microkernel::microkernel;
+use crate::pack::{pack_a, pack_b};
+use lamb_matrix::MatrixViewMut;
+
+/// `C := beta * C` over a view, with the BLAS convention that `beta == 0`
+/// writes zeros without reading the (possibly uninitialised) contents.
+pub fn scale_inplace(beta: f64, c: &mut MatrixViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..c.cols() {
+        let col = c.col_mut(j);
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for x in col {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+/// Accumulate `C += alpha * OpA * OpB` serially with cache blocking and
+/// packing. `load_a(i, p)` is the logical `m x k` left operand and
+/// `load_b(p, j)` the logical `k x n` right operand.
+pub fn gemm_accumulate_serial<FA, FB>(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    load_a: &FA,
+    load_b: &FB,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &BlockConfig,
+) where
+    FA: Fn(usize, usize) -> f64,
+    FB: Fn(usize, usize) -> f64,
+{
+    debug_assert_eq!(c.rows(), m);
+    debug_assert_eq!(c.cols(), n);
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+    let mc = cfg.mc.max(MR);
+    let kc = cfg.kc.max(1);
+    let nc = cfg.nc.max(NR);
+
+    let mut a_pack: Vec<f64> = Vec::new();
+    let mut b_pack: Vec<f64> = Vec::new();
+    let mut acc = [0.0f64; MR * NR];
+
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            pack_b(kcb, ncb, |p, j| load_b(pc + p, jc + j), &mut b_pack);
+            let mut ic = 0;
+            while ic < m {
+                let mcb = mc.min(m - ic);
+                pack_a(mcb, kcb, |i, p| load_a(ic + i, pc + p), &mut a_pack);
+                macro_kernel(
+                    mcb,
+                    ncb,
+                    kcb,
+                    alpha,
+                    &a_pack,
+                    &b_pack,
+                    &mut c.subview_mut(ic, jc, mcb, ncb),
+                    &mut acc,
+                );
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Inner macro-kernel: sweep the packed block with `MR x NR` micro-tiles and
+/// accumulate `alpha` times the result into the output block.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mcb: usize,
+    ncb: usize,
+    kcb: usize,
+    alpha: f64,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    c_block: &mut MatrixViewMut<'_>,
+    acc: &mut [f64; MR * NR],
+) {
+    let mut jr = 0;
+    while jr < ncb {
+        let nrb = NR.min(ncb - jr);
+        let b_panel = &b_pack[(jr / NR) * kcb * NR..(jr / NR + 1) * kcb * NR];
+        let mut ir = 0;
+        while ir < mcb {
+            let mrb = MR.min(mcb - ir);
+            let a_panel = &a_pack[(ir / MR) * kcb * MR..(ir / MR + 1) * kcb * MR];
+            microkernel(kcb, a_panel, b_panel, acc);
+            for jj in 0..nrb {
+                let col = c_block.col_mut(jr + jj);
+                let acc_col = &acc[jj * MR..jj * MR + mrb];
+                for (ci, &av) in col[ir..ir + mrb].iter_mut().zip(acc_col) {
+                    *ci += alpha * av;
+                }
+            }
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::random_seeded;
+    use lamb_matrix::{Matrix, Trans};
+
+    fn reference(a: &Matrix, b: &Matrix, alpha: f64) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        gemm_naive(Trans::No, Trans::No, alpha, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        c
+    }
+
+    #[test]
+    fn blocked_core_matches_naive_for_awkward_sizes() {
+        // Sizes chosen to produce partial tiles in every blocking dimension.
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (33, 29, 31), (40, 24, 56)] {
+            let a = random_seeded(m, k, 1000 + m as u64);
+            let b = random_seeded(k, n, 2000 + n as u64);
+            let mut c = Matrix::zeros(m, n);
+            let cfg = BlockConfig::tiny();
+            let a_s = a.as_slice();
+            let b_s = b.as_slice();
+            gemm_accumulate_serial(
+                m,
+                n,
+                k,
+                1.0,
+                &|i, p| a_s[i + p * m],
+                &|p, j| b_s[p + j * k],
+                &mut c.view_mut(),
+                &cfg,
+            );
+            let expected = reference(&a, &b, 1.0);
+            assert!(max_abs_diff(&c, &expected).unwrap() < 1e-12, "size {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing_contents() {
+        let m = 6;
+        let n = 6;
+        let k = 6;
+        let a = random_seeded(m, k, 7);
+        let b = random_seeded(k, n, 8);
+        let mut c = Matrix::filled(m, n, 2.0);
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        gemm_accumulate_serial(
+            m,
+            n,
+            k,
+            0.5,
+            &|i, p| a_s[i + p * m],
+            &|p, j| b_s[p + j * k],
+            &mut c.view_mut(),
+            &BlockConfig::tiny(),
+        );
+        let mut expected = Matrix::filled(m, n, 2.0);
+        gemm_naive(Trans::No, Trans::No, 0.5, &a.view(), &b.view(), 1.0, &mut expected.view_mut()).unwrap();
+        assert!(max_abs_diff(&c, &expected).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_a_no_op() {
+        let mut c = Matrix::filled(4, 4, 3.0);
+        gemm_accumulate_serial(
+            4,
+            4,
+            4,
+            0.0,
+            &|_, _| f64::NAN,
+            &|_, _| f64::NAN,
+            &mut c.view_mut(),
+            &BlockConfig::tiny(),
+        );
+        assert!(c.as_slice().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn scale_inplace_handles_beta_zero_with_nan() {
+        let mut c = Matrix::filled(3, 3, f64::NAN);
+        scale_inplace(0.0, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scale_inplace_multiplies() {
+        let mut c = Matrix::filled(3, 2, 2.0);
+        scale_inplace(-1.5, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == -3.0));
+        scale_inplace(1.0, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == -3.0));
+    }
+}

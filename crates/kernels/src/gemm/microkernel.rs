@@ -1,0 +1,82 @@
+//! The register-blocked `MR x NR` micro-kernel operating on packed panels.
+
+use crate::config::{MR, NR};
+
+/// Compute `acc := Ap · Bp` for one micro-tile.
+///
+/// * `ap` is an `MR`-row packed panel: `ap[p * MR + r]` holds `op(A)[r, p]`.
+/// * `bp` is an `NR`-column packed panel: `bp[p * NR + c]` holds `op(B)[p, c]`.
+/// * `acc` is column-major: `acc[c * MR + r]` accumulates `C[r, c]`.
+///
+/// The accumulator is cleared on entry. `kb` is the depth of the current
+/// cache block.
+#[inline]
+pub fn microkernel(kb: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR]) {
+    acc.fill(0.0);
+    debug_assert!(ap.len() >= kb * MR);
+    debug_assert!(bp.len() >= kb * NR);
+    for p in 0..kb {
+        let a = &ap[p * MR..(p + 1) * MR];
+        let b = &bp[p * NR..(p + 1) * NR];
+        for c in 0..NR {
+            let bv = b[c];
+            let col = &mut acc[c * MR..(c + 1) * MR];
+            for r in 0..MR {
+                col[r] += a[r] * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack_a, pack_b};
+
+    #[test]
+    fn microkernel_matches_reference_product() {
+        // op(A) is MR x kb, op(B) is kb x NR; use small deterministic values.
+        let kb = 5;
+        let a = |i: usize, p: usize| (i as f64 + 1.0) * 0.5 + p as f64;
+        let b = |p: usize, j: usize| (p as f64 - 1.5) * (j as f64 + 0.25);
+        let mut ap = Vec::new();
+        let mut bp = Vec::new();
+        pack_a(MR, kb, a, &mut ap);
+        pack_b(kb, NR, b, &mut bp);
+        let mut acc = [0.0; MR * NR];
+        microkernel(kb, &ap, &bp, &mut acc);
+        for r in 0..MR {
+            for c in 0..NR {
+                let expected: f64 = (0..kb).map(|p| a(r, p) * b(p, c)).sum();
+                assert!(
+                    (acc[c * MR + r] - expected).abs() < 1e-12,
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_with_zero_depth_clears_accumulator() {
+        let ap = vec![0.0; 0];
+        let bp = vec![0.0; 0];
+        let mut acc = [7.0; MR * NR];
+        microkernel(0, &ap, &bp, &mut acc);
+        assert!(acc.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn microkernel_depth_one_is_outer_product() {
+        let mut ap = Vec::new();
+        let mut bp = Vec::new();
+        pack_a(MR, 1, |i, _| i as f64, &mut ap);
+        pack_b(1, NR, |_, j| (j + 1) as f64, &mut bp);
+        let mut acc = [0.0; MR * NR];
+        microkernel(1, &ap, &bp, &mut acc);
+        for r in 0..MR {
+            for c in 0..NR {
+                assert_eq!(acc[c * MR + r], (r as f64) * (c as f64 + 1.0));
+            }
+        }
+    }
+}

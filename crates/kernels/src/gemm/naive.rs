@@ -1,0 +1,135 @@
+//! Naive triple-loop GEMM used as the correctness reference for the blocked
+//! and parallel kernels, and as the fallback for degenerate problem sizes.
+
+use lamb_matrix::{MatrixError, MatrixView, MatrixViewMut, Result, Trans};
+
+/// `C := alpha * op(A) * op(B) + beta * C` with the textbook three nested
+/// loops. No blocking, no packing, no parallelism; numerically this is the
+/// ground truth all optimised kernels are validated against.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when the operand shapes are
+/// inconsistent.
+pub fn gemm_naive(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+) -> Result<()> {
+    let (m, ka) = transa.apply((a.rows(), a.cols()));
+    let (kb, n) = transb.apply((b.rows(), b.cols()));
+    if ka != kb {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm_naive inner dimension",
+            lhs: (m, ka),
+            rhs: (kb, n),
+        });
+    }
+    if c.rows() != m || c.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "gemm_naive output shape",
+            lhs: (c.rows(), c.cols()),
+            rhs: (m, n),
+        });
+    }
+    let k = ka;
+    let load_a = |i: usize, p: usize| match transa {
+        Trans::No => a.at(i, p),
+        Trans::Yes => a.at(p, i),
+    };
+    let load_b = |p: usize, j: usize| match transb {
+        Trans::No => b.at(p, j),
+        Trans::Yes => b.at(j, p),
+    };
+    for j in 0..n {
+        for i in 0..m {
+            let mut sum = 0.0;
+            for p in 0..k {
+                sum += load_a(i, p) * load_b(p, j);
+            }
+            let old = c.at(i, j);
+            let base = if beta == 0.0 { 0.0 } else { beta * old };
+            *c.at_mut(i, j) = base + alpha * sum;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_matrix::Matrix;
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let mut c = Matrix::zeros(3, 2);
+        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn transposes_are_honoured() {
+        // (A^T B^T)^T = B A, check a single element by hand.
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, &[1.0, -1.0, 0.5, 2.0]).unwrap();
+        // C = A^T * B : (3x2)*(2x2)
+        let mut c = Matrix::zeros(3, 2);
+        gemm_naive(Trans::Yes, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        // c[0,0] = a[0,0]*b[0,0] + a[1,0]*b[1,0] = 1*1 + 4*0.5 = 3
+        assert!((c[(0, 0)] - 3.0).abs() < 1e-15);
+        // c[2,1] = a[0,2]*b[0,1] + a[1,2]*b[1,1] = 3*(-1) + 6*2 = 9
+        assert!((c[(2, 1)] - 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alpha_beta_combine() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 3.0);
+        let mut c = Matrix::filled(2, 2, 10.0);
+        gemm_naive(Trans::No, Trans::No, 2.0, &a.view(), &b.view(), 0.5, &mut c.view_mut()).unwrap();
+        // c = 2*I*3 + 0.5*10 = 6 (off-diag: 0 + 5) ...
+        assert_eq!(c[(0, 0)], 11.0);
+        assert_eq!(c[(0, 1)], 11.0);
+    }
+
+    #[test]
+    fn beta_zero_ignores_nan_in_output() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        let mut c = Matrix::filled(2, 2, f64::NAN);
+        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).is_err());
+        let mut c_bad = Matrix::zeros(3, 2);
+        let b_ok = Matrix::zeros(3, 2);
+        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b_ok.view(), 0.0, &mut c_bad.view_mut()).is_err());
+    }
+
+    #[test]
+    fn zero_sized_products_are_ok() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(0, 2);
+        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).is_ok());
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::filled(2, 3, 5.0);
+        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 1.0, &mut c.view_mut()).unwrap();
+        // k = 0: C must be beta * C = C.
+        assert!(c.as_slice().iter().all(|&x| x == 5.0));
+    }
+}

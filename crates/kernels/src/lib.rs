@@ -1,0 +1,60 @@
+//! # lamb-kernels
+//!
+//! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels: GEMM, SYRK and
+//! SYMM — the three kernels from which every algorithm studied in the paper
+//! *"FLOPs as a Discriminant for Dense Linear Algebra Algorithms"* (ICPP'22)
+//! is built — together with their FLOP-count models, cache-flushing and
+//! median-of-N timing utilities.
+//!
+//! The kernels follow the classic GotoBLAS/BLIS structure: the operands are
+//! packed into contiguous panels (`MR`-row panels of `op(A)`, `NR`-column
+//! panels of `op(B)`) and a register-blocked micro-kernel accumulates
+//! `MR x NR` tiles of `C`. Parallelism is extracted over disjoint column
+//! panels of `C`, which keeps the implementation free of `unsafe`.
+//!
+//! This crate substitutes for the Intel MKL used in the paper's experimental
+//! setup; see `DESIGN.md` at the workspace root for the substitution argument.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lamb_kernels::{gemm, BlockConfig};
+//! use lamb_matrix::{Matrix, Trans};
+//!
+//! let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+//! let b = Matrix::from_fn(4, 2, |i, j| (i * j + 1) as f64);
+//! let mut c = Matrix::zeros(3, 2);
+//! gemm(
+//!     Trans::No,
+//!     Trans::No,
+//!     1.0,
+//!     &a.view(),
+//!     &b.view(),
+//!     0.0,
+//!     &mut c.view_mut(),
+//!     &BlockConfig::default(),
+//! )
+//! .unwrap();
+//! assert!((c[(0, 0)] - (0.0 + 1.0 + 2.0 + 3.0)).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dispatch;
+pub mod flops;
+pub mod gemm;
+pub mod pack;
+pub mod symm;
+pub mod syrk;
+pub mod timing;
+
+pub use cache::CacheFlusher;
+pub use config::BlockConfig;
+pub use dispatch::{gemm_into, gemm_new, symm_into, symm_new, syrk_into, syrk_new};
+pub use gemm::gemm;
+pub use gemm::naive::gemm_naive;
+pub use symm::symm;
+pub use syrk::syrk;
+pub use timing::{time_once, MedianTimer, TimingResult};

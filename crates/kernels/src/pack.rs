@@ -1,0 +1,150 @@
+//! Operand packing into contiguous panels, the heart of the GotoBLAS/BLIS
+//! kernel structure.
+//!
+//! * `op(A)` blocks are packed into consecutive `MR`-row panels: panel `q`
+//!   stores, for `p = 0..k`, the `MR` values `op(A)[q*MR + r, p]`
+//!   (`r = 0..MR`), zero-padded past the block edge.
+//! * `op(B)` blocks are packed into consecutive `NR`-column panels with the
+//!   symmetric layout.
+//!
+//! Packing goes through element accessor closures, which lets the same code
+//! path serve plain GEMM (`A` as stored), transposed operands (`Aᵀ` read
+//! during packing) and SYMM (elements mirrored from the stored triangle).
+
+use crate::config::{MR, NR};
+
+/// Number of `f64` slots required to pack an `mb x kb` block of `op(A)`.
+#[must_use]
+pub fn packed_a_len(mb: usize, kb: usize) -> usize {
+    mb.div_ceil(MR) * MR * kb
+}
+
+/// Number of `f64` slots required to pack a `kb x nb` block of `op(B)`.
+#[must_use]
+pub fn packed_b_len(kb: usize, nb: usize) -> usize {
+    nb.div_ceil(NR) * NR * kb
+}
+
+/// Pack an `mb x kb` block of `op(A)` into `buf` using MR-row panels.
+///
+/// `load(i, p)` must return the logical element `op(A)[i, p]` for
+/// `i < mb`, `p < kb`. Rows past `mb` within the last panel are zero-padded.
+pub fn pack_a<F: Fn(usize, usize) -> f64>(mb: usize, kb: usize, load: F, buf: &mut Vec<f64>) {
+    buf.clear();
+    buf.reserve(packed_a_len(mb, kb));
+    let mut ir = 0;
+    while ir < mb {
+        let rows = MR.min(mb - ir);
+        for p in 0..kb {
+            for r in 0..MR {
+                let v = if r < rows { load(ir + r, p) } else { 0.0 };
+                buf.push(v);
+            }
+        }
+        ir += MR;
+    }
+}
+
+/// Pack a `kb x nb` block of `op(B)` into `buf` using NR-column panels.
+///
+/// `load(p, j)` must return the logical element `op(B)[p, j]` for
+/// `p < kb`, `j < nb`. Columns past `nb` within the last panel are zero-padded.
+pub fn pack_b<F: Fn(usize, usize) -> f64>(kb: usize, nb: usize, load: F, buf: &mut Vec<f64>) {
+    buf.clear();
+    buf.reserve(packed_b_len(kb, nb));
+    let mut jr = 0;
+    while jr < nb {
+        let cols = NR.min(nb - jr);
+        for p in 0..kb {
+            for c in 0..NR {
+                let v = if c < cols { load(p, jr + c) } else { 0.0 };
+                buf.push(v);
+            }
+        }
+        jr += NR;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_lengths_round_up_to_full_panels() {
+        assert_eq!(packed_a_len(MR, 3), MR * 3);
+        assert_eq!(packed_a_len(MR + 1, 3), 2 * MR * 3);
+        assert_eq!(packed_b_len(3, NR), NR * 3);
+        assert_eq!(packed_b_len(3, NR + 1), 2 * NR * 3);
+        assert_eq!(packed_a_len(0, 5), 0);
+    }
+
+    #[test]
+    fn pack_a_layout_matches_microkernel_expectation() {
+        // 3 x 2 block, single panel (3 <= MR).
+        let mb = 3;
+        let kb = 2;
+        let mut buf = Vec::new();
+        pack_a(mb, kb, |i, p| (10 * i + p) as f64, &mut buf);
+        assert_eq!(buf.len(), packed_a_len(mb, kb));
+        // Panel stores column p = 0 first: rows 0,1,2 then padding.
+        assert_eq!(&buf[0..3], &[0.0, 10.0, 20.0]);
+        assert!(buf[3..MR].iter().all(|&x| x == 0.0));
+        // Then column p = 1.
+        assert_eq!(&buf[MR..MR + 3], &[1.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn pack_a_multiple_panels() {
+        let mb = MR + 2;
+        let kb = 1;
+        let mut buf = Vec::new();
+        pack_a(mb, kb, |i, _| i as f64, &mut buf);
+        assert_eq!(buf.len(), 2 * MR);
+        // First panel holds rows 0..MR.
+        for r in 0..MR {
+            assert_eq!(buf[r], r as f64);
+        }
+        // Second panel holds rows MR..MR+2 then zeros.
+        assert_eq!(buf[MR], MR as f64);
+        assert_eq!(buf[MR + 1], (MR + 1) as f64);
+        assert!(buf[MR + 2..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pack_b_layout_matches_microkernel_expectation() {
+        let kb = 2;
+        let nb = 3;
+        let mut buf = Vec::new();
+        pack_b(kb, nb, |p, j| (100 * p + j) as f64, &mut buf);
+        assert_eq!(buf.len(), packed_b_len(kb, nb));
+        // Row p = 0 of the single panel: columns 0,1,2, padding.
+        assert_eq!(&buf[0..3], &[0.0, 1.0, 2.0]);
+        assert_eq!(buf[3], 0.0);
+        // Row p = 1.
+        assert_eq!(&buf[NR..NR + 3], &[100.0, 101.0, 102.0]);
+    }
+
+    #[test]
+    fn pack_b_multiple_panels() {
+        let kb = 1;
+        let nb = NR + 1;
+        let mut buf = Vec::new();
+        pack_b(kb, nb, |_, j| j as f64, &mut buf);
+        assert_eq!(buf.len(), 2 * NR);
+        for c in 0..NR {
+            assert_eq!(buf[c], c as f64);
+        }
+        assert_eq!(buf[NR], NR as f64);
+        assert!(buf[NR + 1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn packing_reuses_buffer_capacity() {
+        let mut buf = Vec::new();
+        pack_a(MR, 16, |i, p| (i * p) as f64, &mut buf);
+        let cap = buf.capacity();
+        pack_a(MR, 8, |i, p| (i + p) as f64, &mut buf);
+        assert!(buf.capacity() >= cap.min(buf.len()));
+        assert_eq!(buf.len(), packed_a_len(MR, 8));
+    }
+}

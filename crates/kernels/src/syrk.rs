@@ -1,0 +1,263 @@
+//! Symmetric rank-k update: one triangle of `C := alpha * A·Aᵀ + beta * C`
+//! (or `Aᵀ·A` with the transposed variant).
+//!
+//! Only the triangle selected by [`Uplo`] is read and written — the opposite
+//! triangle of `C` is left untouched, exactly like the BLAS routine. This
+//! matters for the paper's Algorithm 2 of `A·Aᵀ·B`, which must explicitly
+//! copy the computed triangle into a full matrix before a subsequent GEMM can
+//! use it.
+
+use crate::config::BlockConfig;
+use crate::gemm::blocked::gemm_accumulate_serial;
+use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Trans, Uplo};
+use rayon::prelude::*;
+
+/// `C_uplo := alpha * op(A)·op(A)ᵀ + beta * C_uplo` where `op(A)` is `A`
+/// (`trans == No`, `A` is `n x k`) or `Aᵀ` (`trans == Yes`, `A` is `k x n`).
+///
+/// The FLOP count attributed to this kernel by the paper is `(n + 1)·n·k`
+/// (see [`crate::flops::syrk_flops`]).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `C` is not `n x n`.
+pub fn syrk(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &MatrixView<'_>,
+    beta: f64,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    let (n, k) = trans.apply((a.rows(), a.cols()));
+    if c.rows() != n || c.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "syrk output shape",
+            lhs: (c.rows(), c.cols()),
+            rhs: (n, n),
+        });
+    }
+
+    scale_triangle(beta, uplo, c);
+    if n == 0 || k == 0 || alpha == 0.0 {
+        return Ok(());
+    }
+
+    let a_data = a.as_slice();
+    let lda = a.ld();
+    // Logical op(A)[i, p] with op(A) of shape n x k.
+    let load = move |i: usize, p: usize| match trans {
+        Trans::No => a_data[i + p * lda],
+        Trans::Yes => a_data[p + i * lda],
+    };
+
+    let parallel = cfg.should_parallelise(n, n, k);
+    let width = if parallel {
+        cfg.parallel_panel_width(n)
+    } else {
+        n
+    };
+    let panels = c.subview_mut(0, 0, n, n).into_col_panels(width);
+
+    let work = |(idx, mut panel): (usize, MatrixViewMut<'_>)| {
+        let j0 = idx * width;
+        let w = panel.cols();
+        // Diagonal block: compute the full w x w product into a scratch
+        // buffer, then fold only the selected triangle into C so the opposite
+        // triangle of C is never written.
+        let mut diag = Matrix::zeros(w, w);
+        gemm_accumulate_serial(
+            w,
+            w,
+            k,
+            alpha,
+            &|i, p| load(j0 + i, p),
+            &|p, j| load(j0 + j, p),
+            &mut diag.view_mut(),
+            cfg,
+        );
+        match uplo {
+            Uplo::Lower => {
+                for jj in 0..w {
+                    for ii in jj..w {
+                        *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+                    }
+                }
+                let below_rows = n - (j0 + w);
+                if below_rows > 0 {
+                    let mut below = panel.subview_mut(j0 + w, 0, below_rows, w);
+                    gemm_accumulate_serial(
+                        below_rows,
+                        w,
+                        k,
+                        alpha,
+                        &|i, p| load(j0 + w + i, p),
+                        &|p, j| load(j0 + j, p),
+                        &mut below,
+                        cfg,
+                    );
+                }
+            }
+            Uplo::Upper => {
+                for jj in 0..w {
+                    for ii in 0..=jj {
+                        *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+                    }
+                }
+                if j0 > 0 {
+                    let mut above = panel.subview_mut(0, 0, j0, w);
+                    gemm_accumulate_serial(
+                        j0,
+                        w,
+                        k,
+                        alpha,
+                        &|i, p| load(i, p),
+                        &|p, j| load(j0 + j, p),
+                        &mut above,
+                        cfg,
+                    );
+                }
+            }
+        }
+    };
+
+    if parallel {
+        panels.into_par_iter().enumerate().for_each(work);
+    } else {
+        panels.into_iter().enumerate().for_each(work);
+    }
+    Ok(())
+}
+
+/// Scale only the `uplo` triangle of `c` by `beta`, honouring the BLAS rule
+/// that `beta == 0` writes zeros without reading the previous contents.
+fn scale_triangle(beta: f64, uplo: Uplo, c: &mut MatrixViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    let n = c.cols();
+    for j in 0..n {
+        let range = match uplo {
+            Uplo::Lower => j..n,
+            Uplo::Upper => 0..j + 1,
+        };
+        let col = c.col_mut(j);
+        for x in &mut col[range] {
+            *x = if beta == 0.0 { 0.0 } else { beta * *x };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use lamb_matrix::random::random_seeded;
+    use lamb_matrix::Matrix;
+
+    /// Reference: full product op(A)*op(A)^T via the naive kernel.
+    fn reference_full(trans: Trans, a: &Matrix, alpha: f64) -> Matrix {
+        let n = match trans {
+            Trans::No => a.rows(),
+            Trans::Yes => a.cols(),
+        };
+        let mut c = Matrix::zeros(n, n);
+        gemm_naive(trans, trans.flip(), alpha, &a.view(), &a.view(), 0.0, &mut c.view_mut()).unwrap();
+        c
+    }
+
+    fn check(uplo: Uplo, trans: Trans, n: usize, k: usize, alpha: f64, beta: f64, cfg: &BlockConfig) {
+        let (ar, ac) = trans.apply((n, k));
+        let a = random_seeded(ar, ac, 100 + n as u64 + k as u64);
+        let c0 = random_seeded(n, n, 55);
+        let mut c = c0.clone();
+        syrk(uplo, trans, alpha, &a.view(), beta, &mut c.view_mut(), cfg).unwrap();
+        let full = reference_full(trans, &a, alpha);
+        for i in 0..n {
+            for j in 0..n {
+                let expected = if uplo.contains(i, j) {
+                    beta * c0[(i, j)] + full[(i, j)]
+                } else {
+                    // The opposite triangle must be untouched.
+                    c0[(i, j)]
+                };
+                assert!(
+                    (c[(i, j)] - expected).abs() < 1e-10 * (k as f64).max(1.0),
+                    "uplo {:?} trans {:?} n={n} k={k} ({i},{j}): got {} expected {}",
+                    uplo,
+                    trans,
+                    c[(i, j)],
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_and_upper_match_reference_serial() {
+        let cfg = BlockConfig::serial();
+        for &uplo in &[Uplo::Lower, Uplo::Upper] {
+            check(uplo, Trans::No, 17, 9, 1.0, 0.0, &cfg);
+            check(uplo, Trans::No, 32, 40, 2.0, 1.0, &cfg);
+            check(uplo, Trans::Yes, 21, 13, 1.0, 0.5, &cfg);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_reference() {
+        let mut cfg = BlockConfig::default();
+        cfg.parallel_flop_threshold = 1;
+        for &uplo in &[Uplo::Lower, Uplo::Upper] {
+            check(uplo, Trans::No, 90, 64, 1.0, 0.0, &cfg);
+            check(uplo, Trans::Yes, 70, 110, -1.0, 2.0, &cfg);
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_exercises_partial_tiles() {
+        let cfg = BlockConfig::tiny();
+        check(Uplo::Lower, Trans::No, 13, 7, 1.0, 0.0, &cfg);
+        check(Uplo::Upper, Trans::No, 13, 7, 1.0, 0.0, &cfg);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let cfg = BlockConfig::default();
+        check(Uplo::Lower, Trans::No, 1, 1, 1.0, 0.0, &cfg);
+        check(Uplo::Upper, Trans::No, 1, 5, 1.0, 3.0, &cfg);
+        // k = 0: triangle is scaled by beta, nothing else happens.
+        let a = Matrix::zeros(4, 0);
+        let mut c = Matrix::filled(4, 4, 2.0);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.5, &mut c.view_mut(), &cfg).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = if i >= j { 1.0 } else { 2.0 };
+                assert_eq!(c[(i, j)], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn result_triangle_is_consistent_with_symmetry() {
+        // Computing the lower triangle and mirroring must equal computing the
+        // upper triangle and mirroring.
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(25, 14, 9);
+        let mut lower = Matrix::zeros(25, 25);
+        let mut upper = Matrix::zeros(25, 25);
+        syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.0, &mut lower.view_mut(), &cfg).unwrap();
+        syrk(Uplo::Upper, Trans::No, 1.0, &a.view(), 0.0, &mut upper.view_mut(), &cfg).unwrap();
+        lower.symmetrize_from(Uplo::Lower).unwrap();
+        upper.symmetrize_from(Uplo::Upper).unwrap();
+        assert!(lamb_matrix::ops::max_abs_diff(&lower, &upper).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let cfg = BlockConfig::default();
+        let a = Matrix::zeros(5, 3);
+        let mut c = Matrix::zeros(4, 4);
+        assert!(syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based validation of the optimised kernels against the naive
+//! reference, over randomly drawn shapes, transposition flags, scalars and
+//! blocking configurations.
+
+use lamb_kernels::{gemm, gemm_naive, symm, syrk, BlockConfig};
+use lamb_matrix::ops::{max_abs_diff, zero_opposite_triangle};
+use lamb_matrix::random::{random_seeded, random_symmetric};
+use lamb_matrix::{Matrix, Side, Trans, Uplo};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trans_strategy() -> impl Strategy<Value = Trans> {
+    prop_oneof![Just(Trans::No), Just(Trans::Yes)]
+}
+
+fn uplo_strategy() -> impl Strategy<Value = Uplo> {
+    prop_oneof![Just(Uplo::Lower), Just(Uplo::Upper)]
+}
+
+fn config_strategy() -> impl Strategy<Value = BlockConfig> {
+    prop_oneof![
+        Just(BlockConfig::tiny()),
+        Just(BlockConfig::serial()),
+        Just(BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..40,
+        n in 1usize..40,
+        k in 1usize..40,
+        transa in trans_strategy(),
+        transb in trans_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let (ar, ac) = transa.apply((m, k));
+        let (br, bc) = transb.apply((k, n));
+        let a = random_seeded(ar, ac, seed);
+        let b = random_seeded(br, bc, seed.wrapping_add(1));
+        let c0 = random_seeded(m, n, seed.wrapping_add(2));
+        let mut c_fast = c0.clone();
+        let mut c_ref = c0;
+        gemm(transa, transb, 1.5, &a.view(), &b.view(), -0.5, &mut c_fast.view_mut(), &cfg).unwrap();
+        gemm_naive(transa, transb, 1.5, &a.view(), &b.view(), -0.5, &mut c_ref.view_mut()).unwrap();
+        prop_assert!(max_abs_diff(&c_fast, &c_ref).unwrap() < 1e-11 * k as f64);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_triangle(
+        n in 1usize..32,
+        k in 1usize..32,
+        uplo in uplo_strategy(),
+        trans in trans_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let (ar, ac) = trans.apply((n, k));
+        let a = random_seeded(ar, ac, seed);
+        let mut c_syrk = Matrix::zeros(n, n);
+        syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c_syrk.view_mut(), &cfg).unwrap();
+        let mut full = Matrix::zeros(n, n);
+        gemm_naive(trans, trans.flip(), 1.0, &a.view(), &a.view(), 0.0, &mut full.view_mut()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                if uplo.contains(i, j) {
+                    prop_assert!((c_syrk[(i, j)] - full[(i, j)]).abs() < 1e-11 * k as f64);
+                } else {
+                    prop_assert_eq!(c_syrk[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symm_matches_full_gemm(
+        m in 1usize..32,
+        n in 1usize..32,
+        uplo in uplo_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = random_symmetric(m, &mut rng);
+        let mut stored = full.clone();
+        zero_opposite_triangle(&mut stored, uplo).unwrap();
+        let b = random_seeded(m, n, seed.wrapping_add(3));
+        let mut c_symm = Matrix::zeros(m, n);
+        symm(Side::Left, uplo, 1.0, &stored.view(), &b.view(), 0.0, &mut c_symm.view_mut(), &cfg).unwrap();
+        let mut c_ref = Matrix::zeros(m, n);
+        gemm_naive(Trans::No, Trans::No, 1.0, &full.view(), &b.view(), 0.0, &mut c_ref.view_mut()).unwrap();
+        prop_assert!(max_abs_diff(&c_symm, &c_ref).unwrap() < 1e-11 * m as f64);
+    }
+
+    #[test]
+    fn aatb_algorithm_variants_agree(
+        d0 in 1usize..24,
+        d1 in 1usize..24,
+        d2 in 1usize..24,
+        seed in 0u64..10_000,
+    ) {
+        // The five algorithm families of the paper's A·Aᵀ·B expression are
+        // mathematically equivalent; verify their kernel realisations agree.
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(d0, d1, seed);
+        let b = random_seeded(d0, d2, seed.wrapping_add(9));
+
+        // GEMM(A·Aᵀ) then GEMM(M·B).
+        let m_full = lamb_kernels::gemm_new(Trans::No, &a, Trans::Yes, &a, &cfg).unwrap();
+        let x_gg = lamb_kernels::gemm_new(Trans::No, &m_full, Trans::No, &b, &cfg).unwrap();
+        // SYRK then SYMM (triangle only).
+        let tri = lamb_kernels::syrk_new(Uplo::Lower, Trans::No, &a, &cfg).unwrap();
+        let x_ss = lamb_kernels::symm_new(Side::Left, Uplo::Lower, &tri, &b, &cfg).unwrap();
+        // SYRK, copy to full, then GEMM.
+        let mut full_from_tri = tri.clone();
+        full_from_tri.symmetrize_from(Uplo::Lower).unwrap();
+        let x_sg = lamb_kernels::gemm_new(Trans::No, &full_from_tri, Trans::No, &b, &cfg).unwrap();
+        // GEMM(Aᵀ·B) then GEMM(A·M).
+        let m_right = lamb_kernels::gemm_new(Trans::Yes, &a, Trans::No, &b, &cfg).unwrap();
+        let x_right = lamb_kernels::gemm_new(Trans::No, &a, Trans::No, &m_right, &cfg).unwrap();
+
+        let tol = 1e-10 * (d0 * d1) as f64;
+        prop_assert!(max_abs_diff(&x_gg, &x_ss).unwrap() < tol);
+        prop_assert!(max_abs_diff(&x_gg, &x_sg).unwrap() < tol);
+        prop_assert!(max_abs_diff(&x_gg, &x_right).unwrap() < tol);
+    }
+
+    #[test]
+    fn chain_parenthesisations_agree(
+        d0 in 1usize..16,
+        d1 in 1usize..16,
+        d2 in 1usize..16,
+        d3 in 1usize..16,
+        d4 in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        // All parenthesisations of A·B·C·D agree numerically (associativity).
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(d0, d1, seed);
+        let b = random_seeded(d1, d2, seed.wrapping_add(1));
+        let c = random_seeded(d2, d3, seed.wrapping_add(2));
+        let d = random_seeded(d3, d4, seed.wrapping_add(3));
+        let g = |x: &Matrix, y: &Matrix| lamb_kernels::gemm_new(Trans::No, x, Trans::No, y, &cfg).unwrap();
+        let left = g(&g(&g(&a, &b), &c), &d); // ((AB)C)D
+        let right = g(&a, &g(&b, &g(&c, &d))); // A(B(CD))
+        let mid = g(&g(&a, &b), &g(&c, &d)); // (AB)(CD)
+        let inner = g(&g(&a, &g(&b, &c)), &d); // (A(BC))D
+        let tol = 1e-9 * (d1 * d2 * d3) as f64;
+        prop_assert!(max_abs_diff(&left, &right).unwrap() < tol);
+        prop_assert!(max_abs_diff(&left, &mid).unwrap() < tol);
+        prop_assert!(max_abs_diff(&left, &inner).unwrap() < tol);
+    }
+}

@@ -1,0 +1,32 @@
+//! # lamb-matrix
+//!
+//! Dense, column-major matrix substrate used throughout the `lamb` workspace.
+//!
+//! The crate provides exactly what the BLAS-3 kernels and the experiment
+//! drivers need and nothing more:
+//!
+//! * [`Matrix`] — an owned, heap-allocated, column-major `f64` matrix.
+//! * [`MatrixView`] / [`MatrixViewMut`] — borrowed rectangular windows with an
+//!   explicit leading dimension, the lingua franca of the kernel crate.
+//! * Triangular helpers ([`Uplo`], [`Matrix::symmetrize_from`],
+//!   [`Matrix::copy_triangle`]) required by the SYRK/SYMM algorithms of the
+//!   paper's `A·Aᵀ·B` expression.
+//! * Comparison utilities (`max_abs_diff`, `approx_eq`) used by the test
+//!   suites to validate optimised kernels against naive references.
+//!
+//! The storage convention is FORTRAN/BLAS column-major: element `(i, j)` of a
+//! matrix with leading dimension `ld` lives at linear index `i + j * ld`.
+
+#![deny(missing_docs)]
+
+pub mod dense;
+pub mod error;
+pub mod ops;
+pub mod random;
+pub mod types;
+pub mod view;
+
+pub use dense::Matrix;
+pub use error::{MatrixError, Result};
+pub use types::{Side, Trans, Uplo};
+pub use view::{MatrixView, MatrixViewMut};

@@ -1,0 +1,109 @@
+//! Deterministic random matrix generation.
+//!
+//! The paper's operands are "dense and unstructured", so only their sizes (not
+//! their elements) affect performance; nonetheless all executors fill operands
+//! with reproducible pseudo-random values so that numerical validation across
+//! algorithm variants is meaningful.
+
+use crate::dense::Matrix;
+use rand::distr::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fill an existing matrix with uniform values in `[-1, 1)`.
+pub fn fill_uniform<R: Rng + ?Sized>(m: &mut Matrix, rng: &mut R) {
+    let dist = Uniform::new(-1.0f64, 1.0).expect("valid uniform range");
+    for x in m.as_mut_slice() {
+        *x = dist.sample(rng);
+    }
+}
+
+/// Create a `rows x cols` matrix with uniform values in `[-1, 1)`.
+#[must_use]
+pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    fill_uniform(&mut m, rng);
+    m
+}
+
+/// Create a `rows x cols` matrix seeded deterministically: the same
+/// `(rows, cols, seed)` triple always yields the same matrix.
+#[must_use]
+pub fn random_seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ mix(rows as u64, cols as u64));
+    random_uniform(rows, cols, &mut rng)
+}
+
+/// Create a random symmetric `n x n` matrix (A + Aᵀ scaled to stay in range).
+#[must_use]
+pub fn random_symmetric<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
+    let a = random_uniform(n, n, rng);
+    Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]))
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    // SplitMix64-style mixing so that different shapes decorrelate.
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::is_symmetric;
+
+    #[test]
+    fn random_seeded_is_deterministic() {
+        let a = random_seeded(8, 5, 42);
+        let b = random_seeded(8, 5, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_seeded_depends_on_seed() {
+        let a = random_seeded(8, 5, 1);
+        let b = random_seeded(8, 5, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_seeded_depends_on_shape() {
+        let a = random_seeded(4, 4, 7);
+        let b = random_seeded(2, 8, 7);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn values_are_in_range() {
+        let a = random_seeded(30, 30, 3);
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn values_are_not_constant() {
+        let a = random_seeded(10, 10, 9);
+        let first = a.as_slice()[0];
+        assert!(a.as_slice().iter().any(|&x| x != first));
+    }
+
+    #[test]
+    fn random_symmetric_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = random_symmetric(12, &mut rng);
+        assert!(is_symmetric(&s, 1e-15).unwrap());
+    }
+
+    #[test]
+    fn fill_uniform_overwrites_all_elements() {
+        let mut m = Matrix::filled(6, 6, 123.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        fill_uniform(&mut m, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x != 123.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Small BLAS-style enumerations shared between the matrix and kernel crates.
+
+/// Which triangle of a symmetric matrix is stored / referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Uplo {
+    /// The lower triangle (including the diagonal).
+    Lower,
+    /// The upper triangle (including the diagonal).
+    Upper,
+}
+
+impl Uplo {
+    /// The opposite triangle.
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Uplo::Lower => Uplo::Upper,
+            Uplo::Upper => Uplo::Lower,
+        }
+    }
+
+    /// Whether element `(i, j)` belongs to this triangle (diagonal included).
+    #[must_use]
+    pub fn contains(self, i: usize, j: usize) -> bool {
+        match self {
+            Uplo::Lower => i >= j,
+            Uplo::Upper => i <= j,
+        }
+    }
+
+    /// BLAS-style single character tag (`'L'` / `'U'`).
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            Uplo::Lower => 'L',
+            Uplo::Upper => 'U',
+        }
+    }
+}
+
+/// Whether an operand is used as-is or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    /// The opposite setting.
+    #[must_use]
+    pub fn flip(self) -> Self {
+        match self {
+            Trans::No => Trans::Yes,
+            Trans::Yes => Trans::No,
+        }
+    }
+
+    /// BLAS-style single character tag (`'N'` / `'T'`).
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            Trans::No => 'N',
+            Trans::Yes => 'T',
+        }
+    }
+
+    /// Apply the transposition to a `(rows, cols)` shape.
+    #[must_use]
+    pub fn apply(self, shape: (usize, usize)) -> (usize, usize) {
+        match self {
+            Trans::No => shape,
+            Trans::Yes => (shape.1, shape.0),
+        }
+    }
+}
+
+/// Which side a symmetric operand multiplies from in SYMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// `C := A * B` with `A` symmetric.
+    Left,
+    /// `C := B * A` with `A` symmetric.
+    Right,
+}
+
+impl Side {
+    /// BLAS-style single character tag (`'L'` / `'R'`).
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            Side::Left => 'L',
+            Side::Right => 'R',
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplo_flip_is_involution() {
+        assert_eq!(Uplo::Lower.flip(), Uplo::Upper);
+        assert_eq!(Uplo::Upper.flip(), Uplo::Lower);
+        assert_eq!(Uplo::Lower.flip().flip(), Uplo::Lower);
+    }
+
+    #[test]
+    fn uplo_contains_diagonal() {
+        for u in [Uplo::Lower, Uplo::Upper] {
+            for d in 0..5 {
+                assert!(u.contains(d, d));
+            }
+        }
+    }
+
+    #[test]
+    fn uplo_contains_off_diagonal() {
+        assert!(Uplo::Lower.contains(3, 1));
+        assert!(!Uplo::Lower.contains(1, 3));
+        assert!(Uplo::Upper.contains(1, 3));
+        assert!(!Uplo::Upper.contains(3, 1));
+    }
+
+    #[test]
+    fn uplo_partition_is_exact() {
+        // Every off-diagonal element belongs to exactly one triangle.
+        for i in 0..6 {
+            for j in 0..6 {
+                if i != j {
+                    assert_ne!(Uplo::Lower.contains(i, j), Uplo::Upper.contains(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trans_flip_and_apply() {
+        assert_eq!(Trans::No.flip(), Trans::Yes);
+        assert_eq!(Trans::Yes.apply((2, 7)), (7, 2));
+        assert_eq!(Trans::No.apply((2, 7)), (2, 7));
+        assert_eq!(Trans::Yes.flip().apply((2, 7)), (2, 7));
+    }
+
+    #[test]
+    fn tags_match_blas_convention() {
+        assert_eq!(Uplo::Lower.tag(), 'L');
+        assert_eq!(Uplo::Upper.tag(), 'U');
+        assert_eq!(Trans::No.tag(), 'N');
+        assert_eq!(Trans::Yes.tag(), 'T');
+        assert_eq!(Side::Left.tag(), 'L');
+        assert_eq!(Side::Right.tag(), 'R');
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the matrix substrate.
+
+use lamb_matrix::ops::{approx_eq, frobenius_norm, full_from_triangle, is_symmetric, max_abs_diff};
+use lamb_matrix::random::random_seeded;
+use lamb_matrix::{Matrix, Uplo};
+use proptest::prelude::*;
+
+fn shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..24, 1usize..24)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution((r, c) in shape(), seed in 0u64..1000) {
+        let a = random_seeded(r, c, seed);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_frobenius_norm((r, c) in shape(), seed in 0u64..1000) {
+        let a = random_seeded(r, c, seed);
+        let t = a.transposed();
+        prop_assert!((frobenius_norm(&a) - frobenius_norm(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric(n in 1usize..24, seed in 0u64..1000) {
+        let mut a = random_seeded(n, n, seed);
+        a.symmetrize_from(Uplo::Lower).unwrap();
+        prop_assert!(is_symmetric(&a, 0.0).unwrap());
+        let mut b = random_seeded(n, n, seed.wrapping_add(1));
+        b.symmetrize_from(Uplo::Upper).unwrap();
+        prop_assert!(is_symmetric(&b, 0.0).unwrap());
+    }
+
+    #[test]
+    fn full_from_triangle_agrees_with_symmetrize(n in 1usize..24, seed in 0u64..1000) {
+        let a = random_seeded(n, n, seed);
+        let f_lower = full_from_triangle(&a, Uplo::Lower).unwrap();
+        let mut b = a.clone();
+        b.symmetrize_from(Uplo::Lower).unwrap();
+        prop_assert_eq!(f_lower, b);
+    }
+
+    #[test]
+    fn max_abs_diff_is_a_metric((r, c) in shape(), s1 in 0u64..500, s2 in 0u64..500) {
+        let a = random_seeded(r, c, s1);
+        let b = random_seeded(r, c, s2);
+        let dab = max_abs_diff(&a, &b).unwrap();
+        let dba = max_abs_diff(&b, &a).unwrap();
+        prop_assert!((dab - dba).abs() < 1e-15);
+        prop_assert_eq!(max_abs_diff(&a, &a).unwrap(), 0.0);
+        if s1 == s2 {
+            prop_assert_eq!(dab, 0.0);
+        }
+    }
+
+    #[test]
+    fn approx_eq_is_reflexive((r, c) in shape(), seed in 0u64..1000) {
+        let a = random_seeded(r, c, seed);
+        prop_assert!(approx_eq(&a, &a, 0.0).unwrap());
+    }
+
+    #[test]
+    fn from_fn_and_index_agree((r, c) in shape()) {
+        let a = Matrix::from_fn(r, c, |i, j| (i * 131 + j * 7) as f64);
+        for i in 0..r {
+            for j in 0..c {
+                prop_assert_eq!(a[(i, j)], (i * 131 + j * 7) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn subview_matches_elementwise((r, c) in (3usize..20, 3usize..20), seed in 0u64..100) {
+        let a = random_seeded(r, c, seed);
+        let nr = r / 2;
+        let nc = c / 2;
+        let v = a.subview(1, 1, nr, nc);
+        for i in 0..nr {
+            for j in 0..nc {
+                prop_assert_eq!(v.at(i, j), a[(i + 1, j + 1)]);
+            }
+        }
+    }
+}

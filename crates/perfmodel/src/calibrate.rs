@@ -1,0 +1,272 @@
+//! Calibration utilities: estimating the machine peak and sweeping kernel
+//! efficiency profiles (the data behind the paper's Figure 1).
+
+use crate::executor::Executor;
+use crate::profile::SquareProfile;
+use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandInfo, OperandRole};
+use lamb_kernels::{gemm_new, BlockConfig};
+use lamb_matrix::random::random_seeded;
+use lamb_matrix::{Side, Trans, Uplo};
+use std::time::Instant;
+
+/// Build a single-call algorithm wrapping `op`, with freshly named operands of
+/// the right shapes. Used to benchmark kernels in isolation through the
+/// ordinary [`Executor`] interface.
+#[must_use]
+pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
+    let (out_rows, out_cols) = op.output_shape();
+    let mut operands = Vec::new();
+    let inputs: Vec<OperandId>;
+    match op {
+        KernelOp::Gemm { transa, transb, m, n, k } => {
+            let (ar, ac) = match transa {
+                Trans::No => (m, k),
+                Trans::Yes => (k, m),
+            };
+            let (br, bc) = match transb {
+                Trans::No => (k, n),
+                Trans::Yes => (n, k),
+            };
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: ar,
+                cols: ac,
+                role: OperandRole::Input,
+                name: "A".into(),
+            });
+            operands.push(OperandInfo {
+                id: OperandId(1),
+                rows: br,
+                cols: bc,
+                role: OperandRole::Input,
+                name: "B".into(),
+            });
+            inputs = vec![OperandId(0), OperandId(1)];
+        }
+        KernelOp::Syrk { trans, n, k, .. } => {
+            let (ar, ac) = match trans {
+                Trans::No => (n, k),
+                Trans::Yes => (k, n),
+            };
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: ar,
+                cols: ac,
+                role: OperandRole::Input,
+                name: "A".into(),
+            });
+            inputs = vec![OperandId(0)];
+        }
+        KernelOp::Symm { side, m, n, .. } => {
+            let sym_dim = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: sym_dim,
+                cols: sym_dim,
+                role: OperandRole::Input,
+                name: "A".into(),
+            });
+            operands.push(OperandInfo {
+                id: OperandId(1),
+                rows: m,
+                cols: n,
+                role: OperandRole::Input,
+                name: "B".into(),
+            });
+            inputs = vec![OperandId(0), OperandId(1)];
+        }
+        KernelOp::CopyTriangle { n, .. } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: n,
+                cols: n,
+                role: OperandRole::Input,
+                name: "A".into(),
+            });
+            inputs = vec![OperandId(0)];
+        }
+    }
+    // For benchmarking purposes the triangle copy is also given a distinct
+    // output operand (an `n x n` workspace); inside real algorithms the copy
+    // is performed in place on the intermediate.
+    let out_id = OperandId(operands.len());
+    operands.push(OperandInfo {
+        id: out_id,
+        rows: out_rows,
+        cols: out_cols,
+        role: OperandRole::Output,
+        name: "X".into(),
+    });
+    let output = out_id;
+    let label = format!("X := {op}");
+    Algorithm {
+        name: format!("single call {}", op.mnemonic()),
+        operands,
+        calls: vec![KernelCall {
+            op,
+            inputs,
+            output,
+            label,
+        }],
+    }
+}
+
+/// Estimate the achievable peak FLOP rate of this machine by running a few
+/// medium-sized GEMMs and taking the best observed rate. The value is meant to
+/// normalise efficiencies for reporting, not to be a vendor-sheet peak.
+#[must_use]
+pub fn estimate_peak_flops(cfg: &BlockConfig, size: usize, trials: usize) -> f64 {
+    let a = random_seeded(size, size, 11);
+    let b = random_seeded(size, size, 12);
+    let flops = 2.0 * (size as f64).powi(3);
+    let mut best = 0.0f64;
+    for _ in 0..trials.max(1) {
+        let start = Instant::now();
+        let c = gemm_new(Trans::No, &a, Trans::No, &b, cfg).expect("square gemm");
+        let dt = start.elapsed().as_secs_f64();
+        std::hint::black_box(c);
+        best = best.max(flops / dt);
+    }
+    best
+}
+
+/// The three square-operand kernel operations of the paper's Figure 1 at a
+/// given size.
+#[must_use]
+pub fn square_ops(size: usize) -> [KernelOp; 3] {
+    [
+        KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: size,
+            n: size,
+            k: size,
+        },
+        KernelOp::Syrk {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            n: size,
+            k: size,
+        },
+        KernelOp::Symm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            m: size,
+            n: size,
+        },
+    ]
+}
+
+/// Sweep the GEMM/SYRK/SYMM efficiency curves on square operands using any
+/// executor — the data behind the paper's Figure 1.
+pub fn measure_square_profiles(executor: &mut dyn Executor, sizes: &[usize]) -> Vec<SquareProfile> {
+    let machine = executor.machine().clone();
+    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = vec![
+        ("gemm".into(), Vec::new(), Vec::new()),
+        ("syrk".into(), Vec::new(), Vec::new()),
+        ("symm".into(), Vec::new(), Vec::new()),
+    ];
+    for &size in sizes {
+        for (idx, op) in square_ops(size).into_iter().enumerate() {
+            let flops = op.flops();
+            let alg = single_call_algorithm(op);
+            let seconds = executor.time_isolated_call(&alg, 0);
+            let eff = machine.efficiency(flops, seconds);
+            curves[idx].1.push(size);
+            curves[idx].2.push(eff);
+        }
+    }
+    curves
+        .into_iter()
+        .map(|(name, sizes, effs)| SquareProfile::new(&name, sizes, effs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::SimulatedExecutor;
+
+    #[test]
+    fn single_call_algorithms_are_well_formed() {
+        let ops = [
+            KernelOp::Gemm {
+                transa: Trans::Yes,
+                transb: Trans::No,
+                m: 5,
+                n: 6,
+                k: 7,
+            },
+            KernelOp::Syrk {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                n: 8,
+                k: 3,
+            },
+            KernelOp::Symm {
+                side: Side::Left,
+                uplo: Uplo::Upper,
+                m: 4,
+                n: 9,
+            },
+            KernelOp::CopyTriangle {
+                uplo: Uplo::Lower,
+                n: 6,
+            },
+        ];
+        for op in ops {
+            let alg = single_call_algorithm(op.clone());
+            assert!(alg.is_well_formed(), "{op:?}");
+            assert_eq!(alg.calls.len(), 1);
+            assert_eq!(alg.flops(), op.flops());
+        }
+    }
+
+    #[test]
+    fn gemm_operand_shapes_respect_transposition() {
+        let alg = single_call_algorithm(KernelOp::Gemm {
+            transa: Trans::Yes,
+            transb: Trans::Yes,
+            m: 3,
+            n: 4,
+            k: 5,
+        });
+        // op(A) is 3x5 so stored A is 5x3; op(B) is 5x4 so stored B is 4x5.
+        let a = alg.operand(OperandId(0)).unwrap();
+        let b = alg.operand(OperandId(1)).unwrap();
+        assert_eq!((a.rows, a.cols), (5, 3));
+        assert_eq!((b.rows, b.cols), (4, 5));
+        let x = alg.output().unwrap();
+        assert_eq!((x.rows, x.cols), (3, 4));
+    }
+
+    #[test]
+    fn simulated_square_profiles_reproduce_figure1_ordering() {
+        let mut sim = SimulatedExecutor::paper_like();
+        let sizes = [100, 400, 800, 1600, 3000];
+        let profiles = measure_square_profiles(&mut sim, &sizes);
+        assert_eq!(profiles.len(), 3);
+        let gemm = &profiles[0];
+        let syrk = &profiles[1];
+        let symm = &profiles[2];
+        assert_eq!(gemm.kernel, "gemm");
+        // GEMM dominates the other kernels at every sampled size (Figure 1).
+        for i in 0..sizes.len() {
+            assert!(gemm.efficiencies[i] >= syrk.efficiencies[i]);
+            assert!(gemm.efficiencies[i] >= symm.efficiencies[i]);
+        }
+        // Efficiency grows with size and ends up high for GEMM.
+        assert!(gemm.efficiencies.last().unwrap() > &0.8);
+        assert!(gemm.efficiencies[0] < gemm.efficiencies[sizes.len() - 1]);
+    }
+
+    #[test]
+    fn peak_estimate_is_positive_and_finite() {
+        let peak = estimate_peak_flops(&BlockConfig::default(), 96, 1);
+        assert!(peak.is_finite());
+        assert!(peak > 1.0e6, "even a tiny machine exceeds 1 MFLOP/s: {peak}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # lamb-perfmodel
+//!
+//! Machine and kernel performance models plus the two executors that attach
+//! execution times to the symbolic algorithms of `lamb-expr`:
+//!
+//! * [`MeasuredExecutor`] runs the real `lamb-kernels` BLAS-3 kernels and
+//!   times them with the paper's protocol (median of N repetitions, cache
+//!   flushed before each repetition).
+//! * [`SimulatedExecutor`] evaluates a deterministic analytic performance
+//!   model calibrated to reproduce the *qualitative* behaviour of the paper's
+//!   Xeon + MKL testbed: shape-dependent efficiency ramps, a GEMM > SYMM >
+//!   SYRK efficiency ordering, abrupt internal-variant switches, inter-kernel
+//!   cache effects, and bounded measurement noise. This is the substitution
+//!   (documented in `DESIGN.md`) that makes the paper-scale experiments —
+//!   tens of thousands of instances, hundreds of thousands of isolated-call
+//!   benchmarks — feasible and reproducible on any machine.
+//!
+//! Both implement the [`Executor`] trait, so every experiment driver in
+//! `lamb-experiments` runs unchanged on either.
+
+#![deny(missing_docs)]
+
+pub mod calibrate;
+pub mod efficiency;
+pub mod executor;
+pub mod machine;
+pub mod measured;
+pub mod profile;
+pub mod simulate;
+
+pub use calibrate::{estimate_peak_flops, measure_square_profiles, single_call_algorithm};
+pub use efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
+pub use executor::{AlgorithmTiming, CallTiming, Executor};
+pub use machine::MachineModel;
+pub use measured::MeasuredExecutor;
+pub use profile::{CallTimeTable, SquareProfile};
+pub use simulate::{SimulatedExecutor, SimulatorConfig};

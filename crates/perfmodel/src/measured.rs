@@ -1,0 +1,310 @@
+//! The measured executor: turns symbolic kernel-call sequences into actual
+//! invocations of the `lamb-kernels` BLAS-3 kernels and times them following
+//! the paper's protocol (median of N repetitions, cache flushed before each
+//! repetition).
+
+use crate::executor::{AlgorithmTiming, CallTiming, Executor};
+use crate::machine::MachineModel;
+use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandRole};
+use lamb_kernels::{gemm, symm, syrk, BlockConfig, CacheFlusher};
+use lamb_matrix::random::random_seeded;
+use lamb_matrix::Matrix;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Executes algorithms with the real kernels and wall-clock timing.
+#[derive(Debug)]
+pub struct MeasuredExecutor {
+    machine: MachineModel,
+    cfg: BlockConfig,
+    reps: usize,
+    flusher: Option<CacheFlusher>,
+    seed: u64,
+}
+
+impl MeasuredExecutor {
+    /// Full-protocol executor: `reps` repetitions per measurement and a cache
+    /// flush of `flush_bytes` bytes before each repetition (the paper uses 10
+    /// repetitions).
+    #[must_use]
+    pub fn new(machine: MachineModel, cfg: BlockConfig, reps: usize, flush_bytes: usize) -> Self {
+        MeasuredExecutor {
+            machine,
+            cfg,
+            reps: reps.max(1),
+            flusher: if flush_bytes > 0 {
+                Some(CacheFlusher::new(flush_bytes))
+            } else {
+                None
+            },
+            seed: 42,
+        }
+    }
+
+    /// A cheap configuration for tests and quick explorations: three
+    /// repetitions, a 16 MiB flush buffer, generic machine model.
+    #[must_use]
+    pub fn quick() -> Self {
+        MeasuredExecutor::new(
+            MachineModel::generic_laptop(),
+            BlockConfig::default(),
+            3,
+            16 * 1024 * 1024,
+        )
+    }
+
+    /// Override the seed used to fill input operands.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of repetitions per measurement.
+    #[must_use]
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Allocate every operand of the algorithm: inputs are filled with
+    /// reproducible random values, intermediates and the output with zeros.
+    fn allocate_operands(&self, alg: &Algorithm) -> HashMap<OperandId, Matrix> {
+        alg.operands
+            .iter()
+            .map(|info| {
+                let m = match info.role {
+                    OperandRole::Input => {
+                        random_seeded(info.rows, info.cols, self.seed ^ (info.id.index() as u64))
+                    }
+                    _ => Matrix::zeros(info.rows, info.cols),
+                };
+                (info.id, m)
+            })
+            .collect()
+    }
+
+    /// Execute one call against the operand map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm references operands it does not declare or if
+    /// kernel shape checks fail — both indicate a malformed algorithm.
+    fn run_call(&self, call: &KernelCall, operands: &mut HashMap<OperandId, Matrix>) {
+        let mut out = operands
+            .remove(&call.output)
+            .expect("output operand must be allocated");
+        match call.op {
+            KernelOp::Gemm { transa, transb, .. } => {
+                let a = &operands[&call.inputs[0]];
+                let b = &operands[&call.inputs[1]];
+                gemm(
+                    transa,
+                    transb,
+                    1.0,
+                    &a.view(),
+                    &b.view(),
+                    0.0,
+                    &mut out.view_mut(),
+                    &self.cfg,
+                )
+                .expect("gemm shapes consistent");
+            }
+            KernelOp::Syrk { uplo, trans, .. } => {
+                let a = &operands[&call.inputs[0]];
+                syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut out.view_mut(), &self.cfg)
+                    .expect("syrk shapes consistent");
+            }
+            KernelOp::Symm { side, uplo, .. } => {
+                let a_sym = &operands[&call.inputs[0]];
+                let b = &operands[&call.inputs[1]];
+                symm(
+                    side,
+                    uplo,
+                    1.0,
+                    &a_sym.view(),
+                    &b.view(),
+                    0.0,
+                    &mut out.view_mut(),
+                    &self.cfg,
+                )
+                .expect("symm shapes consistent");
+            }
+            KernelOp::CopyTriangle { uplo, .. } => {
+                out.symmetrize_from(uplo).expect("copy target is square");
+            }
+        }
+        operands.insert(call.output, out);
+    }
+
+    fn median(mut samples: Vec<f64>) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let n = samples.len();
+        if n == 0 {
+            0.0
+        } else if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            0.5 * (samples[n / 2 - 1] + samples[n / 2])
+        }
+    }
+}
+
+impl Executor for MeasuredExecutor {
+    fn name(&self) -> String {
+        "measured".into()
+    }
+
+    fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    fn execute_algorithm(&mut self, alg: &Algorithm) -> AlgorithmTiming {
+        let mut operands = self.allocate_operands(alg);
+        let n_calls = alg.calls.len();
+        let mut total_samples = Vec::with_capacity(self.reps);
+        let mut call_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(self.reps); n_calls];
+        for _ in 0..self.reps {
+            if let Some(flusher) = &mut self.flusher {
+                flusher.flush();
+            }
+            let mut total = 0.0;
+            for (i, call) in alg.calls.iter().enumerate() {
+                let start = Instant::now();
+                self.run_call(call, &mut operands);
+                let dt = start.elapsed().as_secs_f64();
+                call_samples[i].push(dt);
+                total += dt;
+            }
+            total_samples.push(total);
+        }
+        let per_call = alg
+            .calls
+            .iter()
+            .enumerate()
+            .map(|(i, call)| CallTiming {
+                index: i,
+                label: call.label.clone(),
+                flops: call.flops(),
+                seconds: Self::median(call_samples[i].clone()),
+            })
+            .collect();
+        AlgorithmTiming {
+            algorithm_name: alg.name.clone(),
+            seconds: Self::median(total_samples),
+            per_call,
+            flops: alg.flops(),
+        }
+    }
+
+    fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
+        let call = &alg.calls[call_index];
+        // Only the operands touched by this call are needed; their contents do
+        // not affect performance (dense unstructured operands), so inputs that
+        // are intermediates elsewhere are simply random here.
+        let mut operands: HashMap<OperandId, Matrix> = HashMap::new();
+        for id in call.inputs.iter().copied().chain([call.output]) {
+            let info = alg.operand(id).expect("operand declared");
+            operands
+                .entry(id)
+                .or_insert_with(|| random_seeded(info.rows, info.cols, self.seed ^ id.index() as u64));
+        }
+        let mut samples = Vec::with_capacity(self.reps);
+        for _ in 0..self.reps {
+            if let Some(flusher) = &mut self.flusher {
+                flusher.flush();
+            }
+            let start = Instant::now();
+            self.run_call(call, &mut operands);
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        Self::median(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_expr::{enumerate_aatb_algorithms, enumerate_chain_algorithms};
+    use lamb_matrix::ops::max_abs_diff;
+
+    fn tiny_executor() -> MeasuredExecutor {
+        MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 2, 0)
+    }
+
+    #[test]
+    fn all_chain_algorithms_produce_the_same_result_matrix() {
+        // Execute each of the six ABCD algorithms with identical inputs and
+        // compare the output operands numerically.
+        let exec = tiny_executor();
+        let algs = enumerate_chain_algorithms(&[30, 25, 20, 15, 10]);
+        let mut results = Vec::new();
+        for alg in &algs {
+            let mut operands = exec.allocate_operands(alg);
+            for call in &alg.calls {
+                exec.run_call(call, &mut operands);
+            }
+            let out_id = alg.output().unwrap().id;
+            results.push(operands.remove(&out_id).unwrap());
+        }
+        for other in &results[1..] {
+            assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_aatb_algorithms_produce_the_same_result_matrix() {
+        let exec = tiny_executor();
+        let algs = enumerate_aatb_algorithms(28, 17, 22);
+        let mut results = Vec::new();
+        for alg in &algs {
+            let mut operands = exec.allocate_operands(alg);
+            for call in &alg.calls {
+                exec.run_call(call, &mut operands);
+            }
+            let out_id = alg.output().unwrap().id;
+            results.push(operands.remove(&out_id).unwrap());
+        }
+        for other in &results[1..] {
+            assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timings_have_one_entry_per_call_and_are_positive() {
+        let mut exec = tiny_executor();
+        let alg = &enumerate_aatb_algorithms(40, 30, 20)[1]; // syrk + copy + gemm
+        let timing = exec.execute_algorithm(alg);
+        assert_eq!(timing.per_call.len(), 3);
+        assert!(timing.seconds > 0.0);
+        assert!(timing.per_call.iter().all(|c| c.seconds > 0.0));
+        assert_eq!(timing.flops, alg.flops());
+    }
+
+    #[test]
+    fn isolated_call_timing_is_positive() {
+        let mut exec = tiny_executor();
+        let alg = &enumerate_chain_algorithms(&[40, 30, 20, 10, 50])[0];
+        for i in 0..alg.calls.len() {
+            assert!(exec.time_isolated_call(alg, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(MeasuredExecutor::median(vec![]), 0.0);
+        assert_eq!(MeasuredExecutor::median(vec![2.0]), 2.0);
+        assert_eq!(MeasuredExecutor::median(vec![3.0, 1.0]), 2.0);
+        assert_eq!(MeasuredExecutor::median(vec![5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn quick_constructor_is_usable() {
+        let mut exec = MeasuredExecutor::quick().with_seed(7);
+        assert_eq!(exec.name(), "measured");
+        assert!(exec.reps() >= 1);
+        let alg = &enumerate_chain_algorithms(&[16, 16, 16, 16, 16])[0];
+        let t = exec.execute_algorithm(alg);
+        assert!(t.seconds > 0.0);
+        assert!(exec.machine().peak_flops > 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # lamb-select
+//!
+//! Algorithm selection and anomaly analysis:
+//!
+//! * the **time score** and **FLOP score** of Section 3.3 of the paper
+//!   ([`scores`]),
+//! * **anomaly classification** of an instance from the per-algorithm FLOP
+//!   counts and execution times ([`anomaly`]), and
+//! * **selection strategies** — minimum FLOP count (the discriminant under
+//!   study), performance-profile-based prediction, a hybrid of the two, and
+//!   an empirical oracle ([`strategy`]).
+
+#![deny(missing_docs)]
+
+pub mod anomaly;
+pub mod scores;
+pub mod strategy;
+
+pub use anomaly::{AlgorithmMeasurement, Classification, InstanceEvaluation};
+pub use scores::{flop_score, time_score};
+pub use strategy::{evaluate_instance, evaluate_strategy, Strategy, StrategyOutcome};

@@ -1,0 +1,74 @@
+//! The two severity scores of Section 3.3 of the paper.
+
+/// Time score: `(T_cheapest - T_fastest) / T_cheapest ∈ [0, 1]`.
+///
+/// `t_cheapest` is the shortest execution time among the *cheapest* (minimum
+/// FLOP count) algorithms and `t_fastest` the shortest execution time among
+/// *all* algorithms. A time score of `x` means the fastest algorithm is
+/// `100·x` percent faster than the best the cheapest algorithms can do.
+#[must_use]
+pub fn time_score(t_cheapest: f64, t_fastest: f64) -> f64 {
+    if t_cheapest <= 0.0 {
+        return 0.0;
+    }
+    ((t_cheapest - t_fastest) / t_cheapest).clamp(0.0, 1.0)
+}
+
+/// FLOP score: `(F_fastest - F_cheapest) / F_fastest ∈ [0, 1]`.
+///
+/// `f_cheapest` is the FLOP count of the cheapest algorithms and `f_fastest`
+/// the FLOP count of the cheapest algorithm *among the fastest* ones. A FLOP
+/// score of `x` means the cheapest algorithms perform `100·x` percent fewer
+/// FLOPs than the fastest algorithm.
+#[must_use]
+pub fn flop_score(f_cheapest: u64, f_fastest: u64) -> f64 {
+    if f_fastest == 0 {
+        return 0.0;
+    }
+    let diff = f_fastest.saturating_sub(f_cheapest) as f64;
+    (diff / f_fastest as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_score_zero_when_cheapest_is_fastest() {
+        assert_eq!(time_score(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn time_score_matches_paper_example() {
+        // "45% more FLOPs but 40% lower execution time": the cheapest takes
+        // 1.0 s, the fastest 0.6 s.
+        let s = time_score(1.0, 0.6);
+        assert!((s - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_score_is_clamped() {
+        assert_eq!(time_score(1.0, 2.0), 0.0); // fastest can't be slower in practice
+        assert_eq!(time_score(0.0, 1.0), 0.0);
+        assert_eq!(time_score(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn flop_score_zero_when_counts_match() {
+        assert_eq!(flop_score(100, 100), 0.0);
+    }
+
+    #[test]
+    fn flop_score_matches_paper_example() {
+        // Fastest performs 45% more FLOPs than the cheapest:
+        // F_fastest = 1.45 F_cheapest  ->  score = 0.45/1.45 ≈ 0.31.
+        let s = flop_score(100, 145);
+        assert!((s - 45.0 / 145.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_score_is_safe_on_degenerate_inputs() {
+        assert_eq!(flop_score(10, 0), 0.0);
+        assert_eq!(flop_score(200, 100), 0.0); // cheapest can't exceed fastest's count
+    }
+}

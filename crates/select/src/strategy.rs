@@ -1,0 +1,233 @@
+//! Algorithm selection strategies.
+//!
+//! The paper's motivating systems (Linnea, Armadillo, Julia) select the
+//! algorithm with the minimum FLOP count. Its conclusion conjectures that
+//! combining FLOP counts with kernel performance profiles would predict most
+//! anomalies and therefore select better algorithms. This module implements
+//! both, plus an oracle, so the claim can be quantified (see the
+//! `selection_strategies` bench and the `ablation_strategies` binary).
+
+use crate::anomaly::{AlgorithmMeasurement, InstanceEvaluation};
+use lamb_expr::Algorithm;
+use lamb_perfmodel::Executor;
+
+/// An algorithm selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Pick (one of) the algorithm(s) with the minimum FLOP count — the
+    /// discriminant whose reliability the paper studies.
+    MinFlops,
+    /// Pick the algorithm whose time, predicted by summing isolated-call
+    /// benchmarks (kernel performance profiles), is minimal.
+    MinPredictedTime,
+    /// Consider only algorithms within `flop_margin` (relative) of the
+    /// minimum FLOP count, then pick the one with the best predicted time.
+    Hybrid {
+        /// Relative FLOP slack, e.g. `0.5` admits algorithms with up to 50%
+        /// more FLOPs than the cheapest.
+        flop_margin: f64,
+    },
+    /// Pick the algorithm with the minimum *actual* execution time (brute
+    /// force / empirical oracle).
+    Oracle,
+}
+
+impl Strategy {
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::MinFlops => "min-flops".into(),
+            Strategy::MinPredictedTime => "min-predicted-time".into(),
+            Strategy::Hybrid { flop_margin } => format!("hybrid(margin={flop_margin})"),
+            Strategy::Oracle => "oracle".into(),
+        }
+    }
+
+    /// Select an algorithm index from `algorithms`, consulting `executor` for
+    /// predictions or (for the oracle) actual executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algorithms` is empty.
+    pub fn select(&self, algorithms: &[Algorithm], executor: &mut dyn Executor) -> usize {
+        assert!(!algorithms.is_empty(), "cannot select from an empty algorithm set");
+        match self {
+            Strategy::MinFlops => argmin_by_key(algorithms, |a| a.flops() as f64),
+            Strategy::MinPredictedTime => argmin_by_key(algorithms, |a| {
+                executor.predict_from_isolated_calls(a).seconds
+            }),
+            Strategy::Hybrid { flop_margin } => {
+                let min_flops = algorithms.iter().map(Algorithm::flops).min().unwrap_or(0) as f64;
+                let limit = min_flops * (1.0 + flop_margin.max(0.0));
+                let mut best = None;
+                let mut best_time = f64::INFINITY;
+                for (i, alg) in algorithms.iter().enumerate() {
+                    if alg.flops() as f64 <= limit {
+                        let t = executor.predict_from_isolated_calls(alg).seconds;
+                        if t < best_time {
+                            best_time = t;
+                            best = Some(i);
+                        }
+                    }
+                }
+                best.unwrap_or(0)
+            }
+            Strategy::Oracle => {
+                argmin_by_key(algorithms, |a| executor.execute_algorithm(a).seconds)
+            }
+        }
+    }
+}
+
+fn argmin_by_key(algorithms: &[Algorithm], mut key: impl FnMut(&Algorithm) -> f64) -> usize {
+    let mut best = 0;
+    let mut best_key = f64::INFINITY;
+    for (i, alg) in algorithms.iter().enumerate() {
+        let k = key(alg);
+        if k < best_key {
+            best_key = k;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The outcome of applying a strategy to one instance, judged against actual
+/// execution times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyOutcome {
+    /// Strategy that was evaluated.
+    pub strategy: String,
+    /// Index of the chosen algorithm.
+    pub chosen: usize,
+    /// Actual execution time of the chosen algorithm (seconds).
+    pub chosen_seconds: f64,
+    /// Actual execution time of the best algorithm (seconds).
+    pub best_seconds: f64,
+}
+
+impl StrategyOutcome {
+    /// Relative slowdown of the chosen algorithm versus the true optimum
+    /// (0 means the strategy picked a fastest algorithm).
+    #[must_use]
+    pub fn regret(&self) -> f64 {
+        if self.best_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.chosen_seconds - self.best_seconds).max(0.0) / self.best_seconds
+    }
+}
+
+/// Evaluate a strategy on one instance: let it choose using `executor`, then
+/// judge the choice against the actual execution time of every algorithm.
+pub fn evaluate_strategy(
+    strategy: Strategy,
+    algorithms: &[Algorithm],
+    executor: &mut dyn Executor,
+) -> StrategyOutcome {
+    let chosen = strategy.select(algorithms, executor);
+    let timings: Vec<f64> = algorithms
+        .iter()
+        .map(|a| executor.execute_algorithm(a).seconds)
+        .collect();
+    let best_seconds = timings.iter().copied().fold(f64::INFINITY, f64::min);
+    StrategyOutcome {
+        strategy: strategy.name(),
+        chosen,
+        chosen_seconds: timings[chosen],
+        best_seconds,
+    }
+}
+
+/// Build an [`InstanceEvaluation`] (the anomaly-classification input) from
+/// actual executions of every algorithm on one instance.
+pub fn evaluate_instance(
+    dims: &[usize],
+    algorithms: &[Algorithm],
+    executor: &mut dyn Executor,
+) -> InstanceEvaluation {
+    let measurements = algorithms
+        .iter()
+        .enumerate()
+        .map(|(i, alg)| AlgorithmMeasurement {
+            index: i,
+            name: alg.name.clone(),
+            flops: alg.flops(),
+            seconds: executor.execute_algorithm(alg).seconds,
+        })
+        .collect();
+    InstanceEvaluation {
+        dims: dims.to_vec(),
+        measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_expr::{enumerate_aatb_algorithms, enumerate_chain_algorithms};
+    use lamb_perfmodel::SimulatedExecutor;
+
+    #[test]
+    fn min_flops_picks_a_cheapest_algorithm() {
+        let algs = enumerate_chain_algorithms(&[100, 20, 300, 20, 500]);
+        let mut exec = SimulatedExecutor::paper_like();
+        let chosen = Strategy::MinFlops.select(&algs, &mut exec);
+        let min = algs.iter().map(Algorithm::flops).min().unwrap();
+        assert_eq!(algs[chosen].flops(), min);
+    }
+
+    #[test]
+    fn oracle_never_has_regret() {
+        let algs = enumerate_aatb_algorithms(300, 700, 900);
+        let mut exec = SimulatedExecutor::paper_like();
+        let outcome = evaluate_strategy(Strategy::Oracle, &algs, &mut exec);
+        assert!(outcome.regret() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_time_is_at_least_as_good_as_min_flops_on_anomalous_instances() {
+        // Pick an instance where the SYRK/SYMM route is cheapest but slower:
+        // d2 much larger than d1 makes the second (GEMM vs SYMM) product dominate.
+        let algs = enumerate_aatb_algorithms(400, 100, 1100);
+        let mut exec = SimulatedExecutor::paper_like();
+        let flops_outcome = evaluate_strategy(Strategy::MinFlops, &algs, &mut exec);
+        let pred_outcome = evaluate_strategy(Strategy::MinPredictedTime, &algs, &mut exec);
+        assert!(pred_outcome.regret() <= flops_outcome.regret() + 1e-9);
+    }
+
+    #[test]
+    fn hybrid_with_zero_margin_reduces_to_min_flops_choice_set() {
+        let algs = enumerate_aatb_algorithms(200, 300, 400);
+        let mut exec = SimulatedExecutor::paper_like();
+        let chosen = Strategy::Hybrid { flop_margin: 0.0 }.select(&algs, &mut exec);
+        let min = algs.iter().map(Algorithm::flops).min().unwrap();
+        assert_eq!(algs[chosen].flops(), min);
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::MinFlops.name(), "min-flops");
+        assert_eq!(Strategy::Oracle.name(), "oracle");
+        assert!(Strategy::Hybrid { flop_margin: 0.5 }.name().contains("0.5"));
+    }
+
+    #[test]
+    fn evaluate_instance_produces_one_measurement_per_algorithm() {
+        let algs = enumerate_chain_algorithms(&[50, 60, 70, 80, 90]);
+        let mut exec = SimulatedExecutor::paper_like();
+        let eval = evaluate_instance(&[50, 60, 70, 80, 90], &algs, &mut exec);
+        assert_eq!(eval.measurements.len(), 6);
+        assert!(eval.measurements.iter().all(|m| m.seconds > 0.0));
+        let c = eval.classify(0.10);
+        assert_eq!(c.cheapest.len() + c.fastest.len() >= 2, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty algorithm set")]
+    fn selecting_from_nothing_panics() {
+        let mut exec = SimulatedExecutor::paper_like();
+        let _ = Strategy::MinFlops.select(&[], &mut exec);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: from an expression to an algorithm choice.
+//!
+//! Builds the paper's two expressions symbolically, enumerates their
+//! algorithm sets, times them on the simulated machine model, and shows where
+//! the minimum-FLOP-count discriminant goes wrong.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lamb::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------- chain
+    // X := A·B·C·D with the instance (331, 279, 338, 854, 427) — one of the
+    // anomalies highlighted in the paper's Figure 8.
+    let dims = [331, 279, 338, 854, 427];
+    let a = Expr::var("A", dims[0], dims[1]);
+    let b = Expr::var("B", dims[1], dims[2]);
+    let c = Expr::var("C", dims[2], dims[3]);
+    let d = Expr::var("D", dims[3], dims[4]);
+    let chain = Expr::product(vec![a, b, c, d]);
+    let (pattern, algorithms) = generate_algorithms(&chain).expect("well-shaped expression");
+    println!("expression {chain} recognised as {pattern:?}: {} algorithms", algorithms.len());
+
+    let mut executor = SimulatedExecutor::paper_like();
+    let evaluation = evaluate_instance(&dims, &algorithms, &mut executor);
+    println!("\n{:<38} {:>16} {:>12}", "algorithm", "FLOPs", "time [ms]");
+    for m in &evaluation.measurements {
+        println!("{:<38} {:>16} {:>12.2}", m.name, m.flops, m.seconds * 1e3);
+    }
+    let verdict = evaluation.classify(0.10);
+    println!(
+        "cheapest: {:?}  fastest: {:?}  anomaly: {}  (time score {:.1}%, FLOP score {:.1}%)",
+        verdict.cheapest,
+        verdict.fastest,
+        verdict.is_anomaly,
+        100.0 * verdict.time_score,
+        100.0 * verdict.flop_score
+    );
+
+    // ----------------------------------------------------------------- AAtB
+    // X := A·Aᵀ·B with a small symmetric order — the regime where the paper
+    // finds abundant anomalies.
+    let (d0, d1, d2) = (80, 514, 768);
+    let a = Expr::var("A", d0, d1);
+    let bmat = Expr::var("B", d0, d2);
+    let aatb = a.clone().mul(a.t()).mul(bmat);
+    let (pattern, algorithms) = generate_algorithms(&aatb).expect("well-shaped expression");
+    println!("\nexpression {aatb} recognised as {pattern:?}: {} algorithms", algorithms.len());
+
+    let evaluation = evaluate_instance(&[d0, d1, d2], &algorithms, &mut executor);
+    println!("\n{:<38} {:>16} {:>12}", "algorithm", "FLOPs", "time [ms]");
+    for m in &evaluation.measurements {
+        println!("{:<38} {:>16} {:>12.2}", m.name, m.flops, m.seconds * 1e3);
+    }
+    let verdict = evaluation.classify(0.10);
+    println!(
+        "cheapest: {:?}  fastest: {:?}  anomaly: {}  (time score {:.1}%, FLOP score {:.1}%)",
+        verdict.cheapest,
+        verdict.fastest,
+        verdict.is_anomaly,
+        100.0 * verdict.time_score,
+        100.0 * verdict.flop_score
+    );
+
+    // ------------------------------------------------------------ selection
+    // What would the different selection strategies pick?
+    for strategy in [Strategy::MinFlops, Strategy::MinPredictedTime, Strategy::Oracle] {
+        let outcome = evaluate_strategy(strategy, &algorithms, &mut executor);
+        println!(
+            "strategy {:<22} picks algorithm {} ({:.2} ms, {:.1}% slower than optimal)",
+            outcome.strategy,
+            outcome.chosen + 1,
+            outcome.chosen_seconds * 1e3,
+            100.0 * outcome.regret()
+        );
+    }
+}

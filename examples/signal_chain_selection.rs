@@ -1,0 +1,72 @@
+//! Matrix-chain algorithm selection for a signal-processing-style pipeline.
+//!
+//! The paper's introduction motivates the problem with expressions from
+//! signal processing and data assimilation in which a chain of operators with
+//! very different dimensions (wide measurement matrices, skinny projection
+//! matrices) is applied to data. The multiplication order then changes the
+//! FLOP count by orders of magnitude — and, as this example shows, the
+//! FLOP-optimal order is not always the time-optimal one.
+//!
+//! ```text
+//! cargo run --release --example signal_chain_selection
+//! ```
+
+use lamb::prelude::*;
+
+fn main() {
+    // A four-operator pipeline: projection (tall-skinny), two mixing
+    // operators, and a wide readout — dimensions chosen so the multiplication
+    // order matters a lot.
+    let dims = [900usize, 64, 720, 48, 1024];
+    println!("operator chain A*B*C*D with dimensions {dims:?}\n");
+
+    let algorithms = enumerate_chain_algorithms(&dims);
+    let (dp_flops, dp_paren) = optimal_chain_order(&dims);
+    println!("dynamic-programming optimum: {dp_paren} with {dp_flops} FLOPs\n");
+
+    let mut executor = SimulatedExecutor::paper_like();
+    let evaluation = evaluate_instance(&dims, &algorithms, &mut executor);
+    let cheapest_flops = evaluation
+        .measurements
+        .iter()
+        .map(|m| m.flops)
+        .min()
+        .unwrap();
+    println!(
+        "{:<44} {:>16} {:>12} {:>10}",
+        "algorithm", "FLOPs", "time [ms]", "vs cheapest"
+    );
+    for m in &evaluation.measurements {
+        println!(
+            "{:<44} {:>16} {:>12.2} {:>9.2}x",
+            m.name,
+            m.flops,
+            m.seconds * 1e3,
+            m.flops as f64 / cheapest_flops as f64
+        );
+    }
+    assert_eq!(dp_flops, cheapest_flops, "the DP optimum is the cheapest enumerated algorithm");
+
+    let verdict = evaluation.classify(0.05);
+    println!(
+        "\ncheapest: {:?}  fastest: {:?}  anomaly at 5%: {}",
+        verdict.cheapest, verdict.fastest, verdict.is_anomaly
+    );
+
+    // Compare what the different selection strategies would pick across a
+    // sweep of the unknown readout width d4 (the "symbolic size" scenario of
+    // the paper's conclusions).
+    println!("\nsweep of the readout width d4 (selection under a symbolic size):");
+    println!("{:>6} {:>12} {:>14} {:>12}", "d4", "min-flops", "predicted-time", "oracle");
+    for d4 in [64usize, 128, 256, 512, 1024, 2048] {
+        let mut dims = dims;
+        dims[4] = d4;
+        let algorithms = enumerate_chain_algorithms(&dims);
+        let mut row = Vec::new();
+        for strategy in [Strategy::MinFlops, Strategy::MinPredictedTime, Strategy::Oracle] {
+            let outcome = evaluate_strategy(strategy, &algorithms, &mut executor);
+            row.push(format!("alg{} ({:.0}ms)", outcome.chosen + 1, outcome.chosen_seconds * 1e3));
+        }
+        println!("{:>6} {:>12} {:>14} {:>12}", d4, row[0], row[1], row[2]);
+    }
+}

@@ -1,0 +1,91 @@
+//! # lamb
+//!
+//! A Rust reproduction of **"FLOPs as a Discriminant for Dense Linear Algebra
+//! Algorithms"** (López, Karlsson, Bientinesi — ICPP 2022), packaged as a
+//! workspace of focused crates and re-exported here as a single facade.
+//!
+//! A linear algebra expression such as the matrix chain `A·B·C·D` or
+//! `A·Aᵀ·B` can be evaluated by many mathematically equivalent sequences of
+//! BLAS kernel calls. High-level tools usually pick the sequence with the
+//! fewest floating-point operations. The paper — and this library — study
+//! *anomalies*: problem instances where that minimum-FLOP choice is **not**
+//! among the fastest algorithms.
+//!
+//! ## What is in the box
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`matrix`] | `lamb-matrix` | dense column-major matrices, views, triangular helpers |
+//! | [`kernels`] | `lamb-kernels` | blocked, packed, Rayon-parallel GEMM / SYRK / SYMM + FLOP models |
+//! | [`expr`] | `lamb-expr` | expressions, kernel-call IR, algorithm enumeration (6 chain + 5 `A·Aᵀ·B` algorithms) |
+//! | [`perfmodel`] | `lamb-perfmodel` | machine models, measured & simulated executors, performance profiles |
+//! | [`select`] | `lamb-select` | FLOP/time scores, anomaly classification, selection strategies |
+//! | [`experiments`] | `lamb-experiments` | the paper's Experiments 1–3, figure/table data generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lamb::prelude::*;
+//!
+//! // The paper's second expression: X := A·Aᵀ·B with A 80x514 and B 80x768.
+//! let algorithms = enumerate_aatb_algorithms(80, 514, 768);
+//! assert_eq!(algorithms.len(), 5);
+//!
+//! // Time every algorithm on the simulated machine model and classify.
+//! let mut executor = SimulatedExecutor::paper_like();
+//! let evaluation = evaluate_instance(&[80, 514, 768], &algorithms, &mut executor);
+//! let verdict = evaluation.classify(0.10);
+//!
+//! // On this instance the cheapest (SYRK/SYMM-based) algorithms are *not*
+//! // the fastest: a FLOP-count discriminant picks a slow algorithm.
+//! assert!(verdict.is_anomaly);
+//! assert!(verdict.time_score > 0.10);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use lamb_experiments as experiments;
+pub use lamb_expr as expr;
+pub use lamb_kernels as kernels;
+pub use lamb_matrix as matrix;
+pub use lamb_perfmodel as perfmodel;
+pub use lamb_select as select;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use lamb_experiments::{
+        run_efficiency_line, run_experiment1, run_experiment2, run_experiment3, run_figure1,
+        run_full_pipeline, run_random_search, LineConfig, PredictConfig, SearchConfig,
+    };
+    pub use lamb_expr::{
+        enumerate_aatb_algorithms, enumerate_chain_algorithms, optimal_chain_order,
+        AatbExpression, Algorithm, Expression, KernelCall, KernelOp, MatrixChainExpression,
+    };
+    pub use lamb_expr::expr::Expr;
+    pub use lamb_expr::generator::{generate_algorithms, RecognisedPattern};
+    pub use lamb_kernels::{gemm, gemm_new, symm, symm_new, syrk, syrk_new, BlockConfig};
+    pub use lamb_matrix::{Matrix, Side, Trans, Uplo};
+    pub use lamb_perfmodel::{
+        AlgorithmTiming, AnalyticEfficiencyModel, Executor, MachineModel, MeasuredExecutor,
+        SimulatedExecutor, SimulatorConfig,
+    };
+    pub use lamb_select::{
+        evaluate_instance, evaluate_strategy, Classification, InstanceEvaluation, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_re_exports_are_usable_together() {
+        let algs = enumerate_chain_algorithms(&[100, 40, 120, 30, 90]);
+        let mut exec = SimulatedExecutor::paper_like();
+        let eval = evaluate_instance(&[100, 40, 120, 30, 90], &algs, &mut exec);
+        let class = eval.classify(0.10);
+        assert_eq!(eval.measurements.len(), 6);
+        assert!(!class.cheapest.is_empty());
+        assert!(!class.fastest.is_empty());
+    }
+}

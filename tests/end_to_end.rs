@@ -1,0 +1,164 @@
+//! End-to-end integration tests: the full experimental pipeline on the
+//! simulated executor, exercised through the public facade exactly as the
+//! figure/table binaries do.
+
+use lamb::experiments::{
+    run_full_pipeline, LineConfig, PredictConfig, SearchConfig,
+};
+use lamb::prelude::*;
+
+fn small_search(target: usize, samples: usize, seed: u64) -> SearchConfig {
+    SearchConfig {
+        target_anomalies: target,
+        max_samples: samples,
+        seed,
+        ..SearchConfig::paper_aatb()
+    }
+}
+
+#[test]
+fn aatb_anomalies_are_abundant_and_chain_anomalies_are_rare() {
+    // The headline qualitative result of the paper's Experiment 1.
+    let mut exec = SimulatedExecutor::paper_like();
+    let cfg = SearchConfig {
+        target_anomalies: usize::MAX,
+        max_samples: 1500,
+        ..small_search(0, 0, 99)
+    };
+    let aatb = run_random_search(&AatbExpression::new(), &mut exec, &cfg);
+    let chain = run_random_search(&MatrixChainExpression::abcd(), &mut exec, &cfg);
+    assert!(
+        aatb.abundance() > 0.03,
+        "A*A^T*B anomalies should be abundant, got {:.3}",
+        aatb.abundance()
+    );
+    assert!(
+        chain.abundance() < 0.02,
+        "chain anomalies should be rare, got {:.3}",
+        chain.abundance()
+    );
+    assert!(aatb.abundance() > 3.0 * chain.abundance());
+}
+
+#[test]
+fn anomaly_severity_can_reach_the_paper_headline() {
+    // "performing 45% more FLOPs reduces the execution time by 40%": verify
+    // that severe anomalies (time score >= 20%) exist in the search box.
+    let mut exec = SimulatedExecutor::paper_like();
+    let result = run_random_search(
+        &AatbExpression::new(),
+        &mut exec,
+        &small_search(60, 4000, 7),
+    );
+    assert!(!result.anomalies.is_empty());
+    let max_ts = result
+        .anomalies
+        .iter()
+        .map(|a| a.time_score)
+        .fold(0.0f64, f64::max);
+    assert!(max_ts > 0.20, "expected a severe anomaly, max time score {max_ts}");
+}
+
+#[test]
+fn full_pipeline_produces_consistent_confusion_matrix() {
+    let dir = std::env::temp_dir().join(format!("lamb-e2e-{}", std::process::id()));
+    let expr = AatbExpression::new();
+    let mut exec = SimulatedExecutor::paper_like();
+    let out = run_full_pipeline(
+        &expr,
+        &mut exec,
+        &small_search(3, 4000, 11),
+        &LineConfig::paper().with_max_anomalies(2),
+        &PredictConfig::paper(),
+        &dir,
+        "e2e",
+    )
+    .expect("pipeline runs");
+    assert!(out.report.contains("Experiment 1"));
+    assert!(out.report.contains("Experiment 3"));
+    assert_eq!(out.artifacts.len(), 3);
+    for (_, path) in &out.artifacts {
+        let content = std::fs::read_to_string(path).expect("artifact written");
+        assert!(!content.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiments_are_reproducible_for_a_fixed_seed() {
+    let cfg = small_search(5, 3000, 1234);
+    let mut e1 = SimulatedExecutor::paper_like();
+    let mut e2 = SimulatedExecutor::paper_like();
+    let r1 = run_random_search(&AatbExpression::new(), &mut e1, &cfg);
+    let r2 = run_random_search(&AatbExpression::new(), &mut e2, &cfg);
+    assert_eq!(r1, r2);
+    // A different seed explores different instances.
+    let mut e3 = SimulatedExecutor::paper_like();
+    let r3 = run_random_search(&AatbExpression::new(), &mut e3, &small_search(5, 3000, 4321));
+    assert_ne!(r1.anomalies, r3.anomalies);
+}
+
+#[test]
+fn figure1_data_reproduces_kernel_ordering() {
+    let dir = std::env::temp_dir().join(format!("lamb-fig1-{}", std::process::id()));
+    let mut exec = SimulatedExecutor::paper_like();
+    let out = run_figure1(&mut exec, &[200, 600, 1000, 2000, 3000], &dir).unwrap();
+    let csv = std::fs::read_to_string(&out.artifacts[0].1).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm");
+    for line in lines {
+        let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+        let (gemm, syrk, symm) = (cells[0], cells[1], cells[2]);
+        assert!(gemm >= syrk && gemm >= symm, "GEMM must dominate: {line}");
+        assert!(gemm > 0.0 && gemm <= 1.0);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn anomalies_cluster_into_regions_with_positive_thickness() {
+    // Experiment 2 on the simulator: most anomalies should sit inside a
+    // region thicker than a single instance.
+    let expr = AatbExpression::new();
+    let mut exec = SimulatedExecutor::paper_like();
+    let search = run_random_search(&expr, &mut exec, &small_search(5, 4000, 3));
+    let scans = lamb::experiments::scan_lines_around(
+        &expr,
+        &mut exec,
+        &search.anomalies,
+        &LineConfig::paper(),
+    );
+    assert_eq!(scans.len(), search.anomalies.len() * 3);
+    let thick = scans.iter().filter(|s| s.thickness() > 19).count();
+    assert!(
+        thick * 2 >= scans.len(),
+        "at least half of the scans should show a multi-instance region ({thick}/{})",
+        scans.len()
+    );
+}
+
+#[test]
+fn strategy_with_performance_profiles_beats_min_flops_on_average() {
+    // The paper's concluding conjecture, checked on random instances.
+    let mut exec = SimulatedExecutor::paper_like();
+    let mut flops_regret = 0.0;
+    let mut predicted_regret = 0.0;
+    let mut rng_dims = 20usize;
+    let mut count = 0;
+    for seed in 0..40u64 {
+        rng_dims = (rng_dims * 7 + seed as usize * 13) % 1180 + 20;
+        let d0 = (seed as usize * 37) % 500 + 20;
+        let d1 = (seed as usize * 91) % 1180 + 20;
+        let d2 = rng_dims;
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        flops_regret += evaluate_strategy(Strategy::MinFlops, &algorithms, &mut exec).regret();
+        predicted_regret +=
+            evaluate_strategy(Strategy::MinPredictedTime, &algorithms, &mut exec).regret();
+        count += 1;
+    }
+    assert!(count > 0);
+    assert!(
+        predicted_regret <= flops_regret,
+        "profiles+flops ({predicted_regret}) should not lose to flops alone ({flops_regret})"
+    );
+}

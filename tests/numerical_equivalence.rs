@@ -1,0 +1,139 @@
+//! Cross-crate numerical validation: every enumerated algorithm, when
+//! executed with the real kernels, computes the same matrix — the
+//! "mathematically equivalent" premise of the paper — and the symbolic FLOP
+//! counts match the closed-form formulas of Section 3.2.
+//!
+//! The interpreter here is written independently of the `MeasuredExecutor`
+//! (it walks the kernel-call IR directly), so it also cross-checks the IR's
+//! operand bookkeeping.
+
+use lamb::expr::aatb::aatb_flop_formulas;
+use lamb::expr::chain::abcd_flop_formulas;
+use lamb::kernels::{gemm_into, symm_into, syrk_into};
+use lamb::matrix::ops::max_abs_diff;
+use lamb::matrix::random::random_seeded;
+use lamb::prelude::*;
+use std::collections::HashMap;
+
+/// Execute an algorithm on concrete operands by interpreting its kernel-call
+/// sequence, returning the final result matrix.
+fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
+    let cfg = BlockConfig::default();
+    let mut store: HashMap<usize, Matrix> = HashMap::new();
+    for info in &alg.operands {
+        let m = match info.role {
+            lamb::expr::OperandRole::Input => random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64),
+            _ => Matrix::zeros(info.rows, info.cols),
+        };
+        store.insert(info.id.index(), m);
+    }
+    for call in &alg.calls {
+        let mut out = store.remove(&call.output.index()).expect("output allocated");
+        match call.op {
+            KernelOp::Gemm { transa, transb, .. } => {
+                let a = &store[&call.inputs[0].index()];
+                let b = &store[&call.inputs[1].index()];
+                gemm_into(transa, a, transb, b, &mut out, &cfg).unwrap();
+            }
+            KernelOp::Syrk { uplo, trans, .. } => {
+                let a = &store[&call.inputs[0].index()];
+                syrk_into(uplo, trans, a, &mut out, &cfg).unwrap();
+            }
+            KernelOp::Symm { side, uplo, .. } => {
+                let a = &store[&call.inputs[0].index()];
+                let b = &store[&call.inputs[1].index()];
+                symm_into(side, uplo, a, b, &mut out, &cfg).unwrap();
+            }
+            KernelOp::CopyTriangle { uplo, .. } => {
+                out.symmetrize_from(uplo).unwrap();
+            }
+        }
+        store.insert(call.output.index(), out);
+    }
+    let out_id = alg.output().expect("single output").id.index();
+    store.remove(&out_id).expect("output computed")
+}
+
+#[test]
+fn all_six_chain_algorithms_compute_the_same_matrix() {
+    let dims = [45, 28, 37, 22, 31];
+    let algorithms = enumerate_chain_algorithms(&dims);
+    assert_eq!(algorithms.len(), 6);
+    let results: Vec<Matrix> = algorithms.iter().map(|a| interpret(a, 77)).collect();
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let diff = max_abs_diff(&results[0], r).unwrap();
+        assert!(diff < 1e-9, "algorithm {} differs by {diff}", i + 1);
+    }
+    // And they match a direct naive evaluation ((AB)C)D performed elsewhere:
+    // the first algorithm IS ((AB)C)D, so transitivity covers it.
+}
+
+#[test]
+fn all_five_aatb_algorithms_compute_the_same_matrix() {
+    let (d0, d1, d2) = (33, 26, 41);
+    let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+    assert_eq!(algorithms.len(), 5);
+    let results: Vec<Matrix> = algorithms.iter().map(|a| interpret(a, 13)).collect();
+    for (i, r) in results.iter().enumerate().skip(1) {
+        let diff = max_abs_diff(&results[0], r).unwrap();
+        assert!(diff < 1e-9, "algorithm {} differs by {diff}", i + 1);
+    }
+    assert_eq!(results[0].shape(), (d0, d2));
+}
+
+#[test]
+fn generator_output_is_numerically_consistent_with_direct_enumeration() {
+    // Build A*A^T*B through the expression front end and check it produces
+    // the same algorithm set (and the same numbers) as the direct enumerator.
+    let (d0, d1, d2) = (24, 19, 29);
+    let a = Expr::var("A", d0, d1);
+    let b = Expr::var("B", d0, d2);
+    let expr = a.clone().mul(a.t()).mul(b);
+    let (pattern, from_generator) = generate_algorithms(&expr).unwrap();
+    assert_eq!(pattern, RecognisedPattern::Aatb);
+    let direct = enumerate_aatb_algorithms(d0, d1, d2);
+    assert_eq!(from_generator.len(), direct.len());
+    for (g, d) in from_generator.iter().zip(&direct) {
+        assert_eq!(g.flops(), d.flops());
+        let diff = max_abs_diff(&interpret(g, 5), &interpret(d, 5)).unwrap();
+        assert!(diff < 1e-10);
+    }
+}
+
+#[test]
+fn chain_flop_counts_match_section_321_formulas() {
+    let dims = [331, 279, 338, 854, 427];
+    let algorithms = enumerate_chain_algorithms(&dims);
+    let formulas = abcd_flop_formulas(&dims);
+    for (alg, expected) in algorithms.iter().zip(formulas) {
+        assert_eq!(alg.flops(), expected, "{}", alg.name);
+    }
+}
+
+#[test]
+fn aatb_flop_counts_match_section_322_formulas() {
+    for (d0, d1, d2) in [(227, 260, 549), (80, 514, 768), (110, 301, 938), (1200, 20, 20)] {
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        let formulas = aatb_flop_formulas(d0, d1, d2);
+        for (alg, expected) in algorithms.iter().zip(formulas) {
+            assert_eq!(alg.flops(), expected, "{} at ({d0},{d1},{d2})", alg.name);
+        }
+    }
+}
+
+#[test]
+fn measured_executor_classification_agrees_with_itself_on_repeat() {
+    // The measured executor is noisy, but the FLOP side of the classification
+    // and the structural invariants must be stable.
+    let (d0, d1, d2) = (48, 40, 56);
+    let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+    let mut exec = MeasuredExecutor::quick();
+    let eval = evaluate_instance(&[d0, d1, d2], &algorithms, &mut exec);
+    let c = eval.classify(0.10);
+    // Algorithms 1 and 2 share the minimum FLOP count on every instance.
+    assert!(c.cheapest.contains(&0));
+    assert!(c.cheapest.contains(&1));
+    assert!(!c.fastest.is_empty());
+    assert!(c.time_score >= 0.0 && c.time_score <= 1.0);
+    assert!(c.flop_score >= 0.0 && c.flop_score <= 1.0);
+}

@@ -1,0 +1,126 @@
+//! Cross-crate property-based tests: invariants of the algorithm enumerators,
+//! the simulated time model, and the anomaly classification, over randomly
+//! drawn instances.
+
+use lamb::prelude::*;
+use proptest::prelude::*;
+// Both preludes export a `Strategy` item (proptest's trait, lamb's selection
+// enum); name the one we mean explicitly.
+use lamb::select::Strategy;
+
+fn dims5() -> impl proptest::strategy::Strategy<Value = [usize; 5]> {
+    [20usize..1200, 20usize..1200, 20usize..1200, 20usize..1200, 20usize..1200]
+}
+
+fn dims3() -> impl proptest::strategy::Strategy<Value = [usize; 3]> {
+    [20usize..1200, 20usize..1200, 20usize..1200]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_enumeration_invariants(dims in dims5()) {
+        let algorithms = enumerate_chain_algorithms(&dims);
+        prop_assert_eq!(algorithms.len(), 6);
+        let (dp_flops, _) = optimal_chain_order(&dims);
+        let min = algorithms.iter().map(|a| a.flops()).min().unwrap();
+        prop_assert_eq!(dp_flops, min, "DP optimum must equal the cheapest enumerated algorithm");
+        for alg in &algorithms {
+            prop_assert!(alg.is_well_formed());
+            prop_assert_eq!(alg.calls.len(), 3);
+            let out = alg.output().unwrap();
+            prop_assert_eq!((out.rows, out.cols), (dims[0], dims[4]));
+        }
+        // Algorithms 2 and 5 always tie in FLOPs (paper Section 3.2.1).
+        prop_assert_eq!(algorithms[1].flops(), algorithms[4].flops());
+    }
+
+    #[test]
+    fn aatb_enumeration_invariants(dims in dims3()) {
+        let [d0, d1, d2] = dims;
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        prop_assert_eq!(algorithms.len(), 5);
+        for alg in &algorithms {
+            prop_assert!(alg.is_well_formed());
+            let out = alg.output().unwrap();
+            prop_assert_eq!((out.rows, out.cols), (d0, d2));
+        }
+        // FLOP tie structure of Section 3.2.2.
+        prop_assert_eq!(algorithms[0].flops(), algorithms[1].flops());
+        prop_assert_eq!(algorithms[2].flops(), algorithms[3].flops());
+        prop_assert!(algorithms[0].flops() <= algorithms[2].flops());
+    }
+
+    #[test]
+    fn simulated_times_are_positive_finite_and_flop_monotone(dims in dims3()) {
+        let [d0, d1, d2] = dims;
+        let mut exec = SimulatedExecutor::paper_like();
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        for alg in &algorithms {
+            let t = exec.execute_algorithm(alg);
+            prop_assert!(t.seconds.is_finite() && t.seconds > 0.0);
+            prop_assert_eq!(t.per_call.len(), alg.calls.len());
+            // Doubling every dimension increases the work and the time.
+            let bigger = enumerate_aatb_algorithms(d0 * 2, d1 * 2, d2 * 2);
+            let tb = exec.execute_algorithm(&bigger[0]);
+            prop_assert!(tb.seconds > exec.execute_algorithm(&algorithms[0]).seconds);
+            break;
+        }
+    }
+
+    #[test]
+    fn classification_invariants_hold(dims in dims3(), threshold in 0.0f64..0.3) {
+        let [d0, d1, d2] = dims;
+        let mut exec = SimulatedExecutor::paper_like();
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        let eval = evaluate_instance(&dims, &algorithms, &mut exec);
+        let c = eval.classify(threshold);
+        prop_assert!(!c.cheapest.is_empty());
+        prop_assert!(!c.fastest.is_empty());
+        prop_assert!((0.0..=1.0).contains(&c.time_score));
+        prop_assert!((0.0..=1.0).contains(&c.flop_score));
+        let disjoint = !c.cheapest.iter().any(|i| c.fastest.contains(i));
+        if c.is_anomaly {
+            prop_assert!(disjoint, "anomalies require disjoint cheapest/fastest sets");
+            prop_assert!(c.time_score > threshold);
+        }
+        if !disjoint {
+            prop_assert!(!c.is_anomaly);
+            prop_assert!(c.time_score == 0.0);
+        }
+        // Raising the threshold can only remove anomalies.
+        let stricter = eval.classify(threshold + 0.2);
+        if stricter.is_anomaly {
+            prop_assert!(c.is_anomaly);
+        }
+    }
+
+    #[test]
+    fn isolated_prediction_is_close_to_sequence_time(dims in dims3()) {
+        // The predictor of Experiment 3 ignores inter-kernel cache effects and
+        // uses different noise, but it must stay within a modest band of the
+        // sequence time — this is why it predicts most anomalies.
+        let [d0, d1, d2] = dims;
+        let mut exec = SimulatedExecutor::paper_like();
+        for alg in enumerate_aatb_algorithms(d0, d1, d2) {
+            let seq = exec.execute_algorithm(&alg).seconds;
+            let pred = exec.predict_from_isolated_calls(&alg).seconds;
+            let ratio = pred / seq;
+            prop_assert!((0.85..=1.25).contains(&ratio), "ratio {ratio} for {}", alg.name);
+        }
+    }
+
+    #[test]
+    fn oracle_strategy_is_never_beaten(dims in dims3()) {
+        let [d0, d1, d2] = dims;
+        let mut exec = SimulatedExecutor::paper_like();
+        let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
+        let oracle = evaluate_strategy(Strategy::Oracle, &algorithms, &mut exec);
+        prop_assert!(oracle.regret() < 1e-9);
+        for strategy in [Strategy::MinFlops, Strategy::MinPredictedTime, Strategy::Hybrid { flop_margin: 0.5 }] {
+            let outcome = evaluate_strategy(strategy, &algorithms, &mut exec);
+            prop_assert!(outcome.chosen_seconds + 1e-15 >= oracle.chosen_seconds);
+        }
+    }
+}
