@@ -26,34 +26,68 @@ fn bench_variants(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", size), &size, |bench, _| {
             let mut out = Matrix::zeros(size, size);
             bench.iter(|| {
-                gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut out.view_mut())
-                    .unwrap();
+                gemm_naive(
+                    Trans::No,
+                    Trans::No,
+                    1.0,
+                    &a.view(),
+                    &b.view(),
+                    0.0,
+                    &mut out.view_mut(),
+                )
+                .unwrap();
                 black_box(&out);
             });
         });
 
         let serial = BlockConfig::serial();
-        group.bench_with_input(BenchmarkId::new("blocked_serial", size), &size, |bench, _| {
-            let mut out = Matrix::zeros(size, size);
-            bench.iter(|| {
-                gemm(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut out.view_mut(), &serial)
+        group.bench_with_input(
+            BenchmarkId::new("blocked_serial", size),
+            &size,
+            |bench, _| {
+                let mut out = Matrix::zeros(size, size);
+                bench.iter(|| {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut out.view_mut(),
+                        &serial,
+                    )
                     .unwrap();
-                black_box(&out);
-            });
-        });
+                    black_box(&out);
+                });
+            },
+        );
 
         let parallel = BlockConfig {
             parallel_flop_threshold: 1,
             ..BlockConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("blocked_parallel", size), &size, |bench, _| {
-            let mut out = Matrix::zeros(size, size);
-            bench.iter(|| {
-                gemm(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut out.view_mut(), &parallel)
+        group.bench_with_input(
+            BenchmarkId::new("blocked_parallel", size),
+            &size,
+            |bench, _| {
+                let mut out = Matrix::zeros(size, size);
+                bench.iter(|| {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        1.0,
+                        &a.view(),
+                        &b.view(),
+                        0.0,
+                        &mut out.view_mut(),
+                        &parallel,
+                    )
                     .unwrap();
-                black_box(&out);
-            });
-        });
+                    black_box(&out);
+                });
+            },
+        );
     }
     group.finish();
 }

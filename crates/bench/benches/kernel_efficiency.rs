@@ -40,9 +40,7 @@ fn bench_kernels(c: &mut Criterion) {
 
         group.throughput(Throughput::Elements(symm_flops(size, size)));
         group.bench_with_input(BenchmarkId::new("symm", size), &size, |bench, _| {
-            bench.iter(|| {
-                black_box(symm_new(Side::Left, Uplo::Lower, &sym, &b, &cfg).unwrap())
-            });
+            bench.iter(|| black_box(symm_new(Side::Left, Uplo::Lower, &sym, &b, &cfg).unwrap()));
         });
     }
     group.finish();

@@ -1,23 +1,25 @@
 //! Bench for the algorithm-selection overhead: how long does it take to pick
-//! an algorithm with each strategy (FLOP counting only, versus consulting the
-//! kernel performance model)? Selection cost matters because run-time
-//! selection (symbolic sizes) sits on the critical path of the evaluated
-//! expression.
+//! an algorithm with each selection policy (FLOP counting only, versus
+//! consulting the kernel performance model), and how much does the planner's
+//! shared prediction cache recover on repeated selections? Selection cost
+//! matters because run-time selection (symbolic sizes) sits on the critical
+//! path of the evaluated expression.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lamb_expr::{enumerate_aatb_algorithms, enumerate_chain_algorithms};
+use lamb_expr::{enumerate_aatb_algorithms, enumerate_chain_algorithms, AatbExpression};
 use lamb_perfmodel::SimulatedExecutor;
-use lamb_select::Strategy;
+use lamb_plan::Planner;
+use lamb_select::{Hybrid, MinFlops, MinPredictedTime, SelectionPolicy};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_selection(c: &mut Criterion) {
     let chain = enumerate_chain_algorithms(&[331, 279, 338, 854, 427]);
     let aatb = enumerate_aatb_algorithms(227, 260, 549);
-    let strategies = [
-        Strategy::MinFlops,
-        Strategy::MinPredictedTime,
-        Strategy::Hybrid { flop_margin: 0.5 },
+    let policies: Vec<Box<dyn SelectionPolicy>> = vec![
+        Box::new(MinFlops),
+        Box::new(MinPredictedTime),
+        Box::new(Hybrid { flop_margin: 0.5 }),
     ];
     let mut group = c.benchmark_group("selection_strategies");
     group
@@ -25,16 +27,40 @@ fn bench_selection(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     for (label, algs) in [("chain", &chain), ("aatb", &aatb)] {
-        for strategy in strategies {
-            let id = BenchmarkId::new(strategy.name(), label);
+        for policy in &policies {
+            let id = BenchmarkId::new(policy.name(), label);
             group.bench_with_input(id, algs, |bench, algs| {
                 let mut exec = SimulatedExecutor::paper_like();
-                bench.iter(|| black_box(strategy.select(algs, &mut exec)));
+                bench.iter(|| black_box(policy.select(algs, &mut exec).unwrap()));
             });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_selection);
+fn bench_planner_cache(c: &mut Criterion) {
+    // Repeatedly planning the same instance with MinPredictedTime: the
+    // second and later plans are dominated by prediction-cache hits.
+    let expr = AatbExpression::new();
+    let dims = [227usize, 260, 549];
+    let mut group = c.benchmark_group("planner_prediction_cache");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_with_input(BenchmarkId::new("cold", "aatb"), &dims, |bench, dims| {
+        bench.iter(|| {
+            let planner = Planner::for_expression(&expr).policy(MinPredictedTime);
+            black_box(planner.plan(&dims[..]).unwrap().chosen)
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("warm", "aatb"), &dims, |bench, dims| {
+        let planner = Planner::for_expression(&expr).policy(MinPredictedTime);
+        let _ = planner.plan(&dims[..]).unwrap();
+        bench.iter(|| black_box(planner.plan(&dims[..]).unwrap().chosen));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_planner_cache);
 criterion_main!(benches);

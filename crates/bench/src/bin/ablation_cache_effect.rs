@@ -13,11 +13,9 @@
 //! ```
 
 use lamb_bench::RunOptions;
-use lamb_expr::AatbExpression;
 use lamb_experiments::{classify_instance, run_random_search};
-use lamb_perfmodel::{
-    AnalyticEfficiencyModel, MachineModel, SimulatedExecutor, SimulatorConfig,
-};
+use lamb_expr::AatbExpression;
+use lamb_perfmodel::{AnalyticEfficiencyModel, MachineModel, SimulatedExecutor, SimulatorConfig};
 
 fn main() {
     let opts = RunOptions::from_env();

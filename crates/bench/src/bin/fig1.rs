@@ -12,7 +12,7 @@ fn main() {
     let opts = RunOptions::from_env();
     let mut executor = opts.build_executor();
     let sizes = opts.figure1_sizes();
-    let output = run_figure1(executor.as_mut(), &sizes, &opts.out_dir)
-        .expect("writing Figure 1 artifacts");
+    let output =
+        run_figure1(executor.as_mut(), &sizes, &opts.out_dir).expect("writing Figure 1 artifacts");
     print_output("Figure 1: kernel efficiency vs operand size", &output);
 }

@@ -11,8 +11,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::AatbExpression;
 use lamb_experiments::run_efficiency_line;
+use lamb_expr::AatbExpression;
 
 fn main() {
     let opts = RunOptions::from_env();

@@ -6,8 +6,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::MatrixChainExpression;
 use lamb_experiments::run_experiment1;
+use lamb_expr::MatrixChainExpression;
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -21,7 +21,10 @@ fn main() {
         "fig6_chain",
     )
     .expect("writing Figure 6 artifacts");
-    print_output("Figure 6 / Section 4.1.1: chain anomalies (Experiment 1)", &output);
+    print_output(
+        "Figure 6 / Section 4.1.1: chain anomalies (Experiment 1)",
+        &output,
+    );
     println!(
         "paper reference: 100 anomalies in 22,962 samples (abundance 0.4%); this run: {} anomalies in {} samples ({:.2}%)",
         result.anomalies.len(),

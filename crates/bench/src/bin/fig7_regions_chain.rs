@@ -7,8 +7,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::MatrixChainExpression;
 use lamb_experiments::{run_experiment1, run_experiment2};
+use lamb_expr::MatrixChainExpression;
 
 fn main() {
     let opts = RunOptions::from_env();

@@ -10,8 +10,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::MatrixChainExpression;
 use lamb_experiments::run_efficiency_line;
+use lamb_expr::MatrixChainExpression;
 
 fn main() {
     let opts = RunOptions::from_env();

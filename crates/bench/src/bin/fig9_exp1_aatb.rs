@@ -6,8 +6,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::AatbExpression;
 use lamb_experiments::run_experiment1;
+use lamb_expr::AatbExpression;
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -21,7 +21,10 @@ fn main() {
         "fig9_aatb",
     )
     .expect("writing Figure 9 artifacts");
-    print_output("Figure 9 / Section 4.2.1: A*A^T*B anomalies (Experiment 1)", &output);
+    print_output(
+        "Figure 9 / Section 4.2.1: A*A^T*B anomalies (Experiment 1)",
+        &output,
+    );
     println!(
         "paper reference: 1,000 anomalies in 10,258 samples (abundance 9.7%, 39.2% severe); this run: {} anomalies in {} samples ({:.2}%, {:.1}% severe)",
         result.anomalies.len(),

@@ -7,8 +7,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::MatrixChainExpression;
 use lamb_experiments::{run_full_pipeline, PredictConfig};
+use lamb_expr::MatrixChainExpression;
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -24,6 +24,9 @@ fn main() {
         "table1_chain",
     )
     .expect("running the chain pipeline");
-    print_output("Table 1: benchmark-based anomaly prediction (chain)", &output);
+    print_output(
+        "Table 1: benchmark-based anomaly prediction (chain)",
+        &output,
+    );
     println!("paper reference: ~92% of anomalies predicted, ~96% of predictions are anomalies");
 }

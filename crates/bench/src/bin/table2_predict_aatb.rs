@@ -7,8 +7,8 @@
 //! ```
 
 use lamb_bench::{print_output, RunOptions};
-use lamb_expr::AatbExpression;
 use lamb_experiments::{run_full_pipeline, PredictConfig};
+use lamb_expr::AatbExpression;
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -24,6 +24,9 @@ fn main() {
         "table2_aatb",
     )
     .expect("running the A*A^T*B pipeline");
-    print_output("Table 2: benchmark-based anomaly prediction (A*A^T*B)", &output);
+    print_output(
+        "Table 2: benchmark-based anomaly prediction (A*A^T*B)",
+        &output,
+    );
     println!("paper reference: ~75% of anomalies predicted, ~98.5% of predictions are anomalies");
 }

@@ -217,9 +217,18 @@ mod tests {
     #[test]
     fn flags_are_parsed() {
         let o = RunOptions::parse(
-            ["--executor", "measured", "--seed", "7", "--out", "/tmp/x", "--sizes", "800"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--executor",
+                "measured",
+                "--seed",
+                "7",
+                "--out",
+                "/tmp/x",
+                "--sizes",
+                "800",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(o.executor, ExecutorKind::Measured);
         assert_eq!(o.seed, 7);
@@ -243,7 +252,10 @@ mod tests {
     #[test]
     fn executor_kind_parsing() {
         assert_eq!(ExecutorKind::parse("sim"), Some(ExecutorKind::Simulated));
-        assert_eq!(ExecutorKind::parse("smooth"), Some(ExecutorKind::SimulatedSmooth));
+        assert_eq!(
+            ExecutorKind::parse("smooth"),
+            Some(ExecutorKind::SimulatedSmooth)
+        );
         assert_eq!(ExecutorKind::parse("real"), Some(ExecutorKind::Measured));
         assert_eq!(ExecutorKind::parse("gpu"), None);
         assert_eq!(ExecutorKind::Measured.name(), "measured");

@@ -14,7 +14,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!("{} with dims {:?}", expr.name(), dims);
     println!("{} mathematically equivalent algorithms:", algorithms.len());
     for (i, alg) in algorithms.iter().enumerate() {
-        let marker = if alg.flops() == min_flops { "  <-- cheapest" } else { "" };
+        let marker = if alg.flops() == min_flops {
+            "  <-- cheapest"
+        } else {
+            ""
+        };
         println!(
             "  [{}] {:<45} {:>16} FLOPs  kernels: {}{}",
             i + 1,

@@ -124,7 +124,9 @@ impl CommonOptions {
         match name.as_str() {
             "chain" | "abcd" => Ok(("chain".into(), Box::new(MatrixChainExpression::abcd()))),
             "aatb" => Ok(("aatb".into(), Box::new(AatbExpression::new()))),
-            other => Err(format!("unknown expression `{other}` (expected chain or aatb)")),
+            other => Err(format!(
+                "unknown expression `{other}` (expected chain or aatb)"
+            )),
         }
     }
 
@@ -142,7 +144,7 @@ impl CommonOptions {
                 dims.len()
             ));
         }
-        if dims.iter().any(|&d| d == 0) {
+        if dims.contains(&0) {
             return Err("dimension sizes must be positive".into());
         }
         Ok(dims)
@@ -174,7 +176,9 @@ impl CommonOptions {
 
     /// Sizes for Figure-1 sweeps.
     pub fn figure1_sizes(&self) -> Vec<usize> {
-        (1..=self.max_size.max(100) / 100).map(|i| i * 100).collect()
+        (1..=self.max_size.max(100) / 100)
+            .map(|i| i * 100)
+            .collect()
     }
 }
 
@@ -188,8 +192,17 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let opts = parse(&strs(&["aatb", "80", "514", "768", "--seed", "3", "--strategy", "oracle"]))
-            .unwrap();
+        let opts = parse(&strs(&[
+            "aatb",
+            "80",
+            "514",
+            "768",
+            "--seed",
+            "3",
+            "--strategy",
+            "oracle",
+        ]))
+        .unwrap();
         assert_eq!(opts.positional, vec!["aatb", "80", "514", "768"]);
         assert_eq!(opts.seed, 3);
         assert_eq!(opts.strategy.as_deref(), Some("oracle"));

@@ -1,9 +1,11 @@
-//! `lamb select` — choose an algorithm for a concrete instance with one of
-//! the selection strategies and report how it compares to the empirical
-//! optimum.
+//! `lamb select` — plan a concrete instance with the unified `Planner`
+//! pipeline: enumerate the algorithms, score them, let the selection policy
+//! choose, execute, and report how the choice compares to the empirical
+//! optimum (plus the instance's anomaly verdict).
 
 use super::common;
-use lamb_select::{evaluate_strategy, Strategy};
+use lamb_plan::Planner;
+use lamb_select::Strategy;
 
 fn parse_strategy(name: &str) -> Result<Strategy, String> {
     match name {
@@ -25,17 +27,56 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let strategy = parse_strategy(opts.strategy.as_deref().unwrap_or("min-flops"))?;
     let mut executor = opts.build_executor()?;
 
-    let algorithms = expr.algorithms(&dims);
-    let outcome = evaluate_strategy(strategy, &algorithms, executor.as_mut());
-    let chosen = &algorithms[outcome.chosen];
+    // Only benchmark predicted-time scores when the policy consults them:
+    // with a measured executor, filling the column for min-flops/oracle would
+    // run real isolated-call benchmarks the selection never uses.
+    let wants_predictions = matches!(
+        strategy,
+        Strategy::MinPredictedTime | Strategy::Hybrid { .. }
+    );
+    let planner = Planner::for_expression(expr.as_ref())
+        .strategy(strategy)
+        .score_predictions(wants_predictions);
+    let plan = planner
+        .plan_with(&dims, executor.as_mut())
+        .map_err(|e| e.to_string())?;
+    let outcome = plan.execute_with(executor.as_mut());
 
-    println!("{} with dims {:?} ({} executor)", expr.name(), dims, opts.executor);
-    println!("strategy        : {}", outcome.strategy);
+    println!(
+        "{} with dims {:?} ({} executor)",
+        plan.expression, dims, opts.executor
+    );
+    println!("policy          : {}", plan.policy);
+    println!("algorithm set   :");
+    for score in &plan.scores {
+        let marker = if score.index == plan.chosen {
+            "->"
+        } else {
+            "  "
+        };
+        let predicted = score
+            .predicted_seconds
+            .map_or(String::from("      n/a"), |s| format!("{:9.6}", s));
+        println!(
+            "  {} [{}] {:<40} {:>16} FLOPs  predicted {predicted} s",
+            marker, score.index, score.name, score.flops
+        );
+    }
+    let chosen = plan.chosen_algorithm();
     println!("chosen algorithm: {}", chosen.name);
     println!("  kernels       : {}", chosen.kernel_summary());
-    println!("  FLOPs         : {}", chosen.flops());
     println!("  time          : {:.6} s", outcome.chosen_seconds);
     println!("best achievable : {:.6} s", outcome.best_seconds);
     println!("slowdown vs best: {:.2}%", 100.0 * outcome.regret());
+    println!(
+        "anomaly verdict : {} (time score {:.1}%, FLOP score {:.1}%)",
+        if outcome.is_anomaly() {
+            "ANOMALY"
+        } else {
+            "not an anomaly"
+        },
+        100.0 * outcome.verdict.time_score,
+        100.0 * outcome.verdict.flop_score
+    );
     Ok(())
 }

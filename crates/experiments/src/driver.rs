@@ -83,7 +83,11 @@ pub fn run_experiment1(
         report: search_report(&result),
         artifacts: Vec::new(),
     };
-    let path = write_text(out_dir, &format!("{label}_scatter.csv"), &scatter_csv(&result))?;
+    let path = write_text(
+        out_dir,
+        &format!("{label}_scatter.csv"),
+        &scatter_csv(&result),
+    )?;
     out.add_artifact("time-score vs FLOP-score scatter", &path);
     Ok((result, out))
 }
@@ -144,7 +148,11 @@ pub fn run_efficiency_line(
 ) -> std::io::Result<DriverOutput> {
     let line = efficiency_along_line(expr, executor, base_dims, dimension, config);
     let mut out = DriverOutput::default();
-    let path = write_text(out_dir, &format!("{label}_efficiency_line.csv"), &line.to_csv())?;
+    let path = write_text(
+        out_dir,
+        &format!("{label}_efficiency_line.csv"),
+        &line.to_csv(),
+    )?;
     out.add_artifact("per-algorithm efficiency along line", &path);
     let anomalous = line.points.iter().filter(|p| p.is_anomaly).count();
     let _ = writeln!(
@@ -157,9 +165,11 @@ pub fn run_efficiency_line(
         anomalous
     );
     // Report which algorithm is fastest / cheapest at the line centre.
-    if let Some(centre) = line.points.iter().min_by_key(|p| {
-        (p.value as i64 - base_dims[dimension] as i64).abs()
-    }) {
+    if let Some(centre) = line
+        .points
+        .iter()
+        .min_by_key(|p| (p.value as i64 - base_dims[dimension] as i64).abs())
+    {
         for alg in &centre.algorithms {
             let _ = writeln!(
                 out.report,
@@ -186,10 +196,10 @@ pub fn run_full_pipeline(
     let (search, o1) = run_experiment1(expr, executor, search_cfg, out_dir, label)?;
     let (scans, o2) = run_experiment2(expr, executor, &search, line_cfg, out_dir, label)?;
     let (_, o3) = run_experiment3(expr, executor, &scans, predict_cfg, out_dir, label)?;
-    let mut out = DriverOutput::default();
-    out.report = format!("{}\n{}\n{}", o1.report, o2.report, o3.report);
-    out.artifacts = [o1.artifacts, o2.artifacts, o3.artifacts].concat();
-    Ok(out)
+    Ok(DriverOutput {
+        report: format!("{}\n{}\n{}", o1.report, o2.report, o3.report),
+        artifacts: [o1.artifacts, o2.artifacts, o3.artifacts].concat(),
+    })
 }
 
 #[cfg(test)]
@@ -253,9 +263,16 @@ mod tests {
         let mut cfg = LineConfig::paper();
         cfg.box_min = 80;
         cfg.box_max = 200;
-        let out =
-            run_efficiency_line(&expr, &mut exec, &[110, 301, 938], 0, &cfg, &dir, "fig11_right")
-                .unwrap();
+        let out = run_efficiency_line(
+            &expr,
+            &mut exec,
+            &[110, 301, 938],
+            0,
+            &cfg,
+            &dir,
+            "fig11_right",
+        )
+        .unwrap();
         assert!(out.report.contains("Efficiency line"));
         assert!(out.report.contains("cheapest="));
         std::fs::remove_dir_all(&dir).ok();

@@ -259,8 +259,12 @@ mod tests {
             assert_eq!(csv.lines().count(), 1);
             return;
         }
-        let scans =
-            crate::lines::scan_lines_around(&expr, &mut exec, &result.anomalies, &LineConfig::paper());
+        let scans = crate::lines::scan_lines_around(
+            &expr,
+            &mut exec,
+            &result.anomalies,
+            &LineConfig::paper(),
+        );
         let csv = thickness_distribution_csv(&scans, 5);
         assert_eq!(csv.lines().count(), scans.len() + 1);
         assert!(csv.contains("d0,0,"));

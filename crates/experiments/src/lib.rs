@@ -33,7 +33,10 @@ pub use driver::{
     run_efficiency_line, run_experiment1, run_experiment2, run_experiment3, run_figure1,
     run_full_pipeline, DriverOutput,
 };
-pub use figures::{efficiency_along_line, figure1_csv, figure1_kernel_efficiency, scatter_csv, thickness_distribution_csv, EfficiencyLine};
+pub use figures::{
+    efficiency_along_line, figure1_csv, figure1_kernel_efficiency, scatter_csv,
+    thickness_distribution_csv, EfficiencyLine,
+};
 pub use lines::{scan_line, scan_lines_around, thickness_by_dimension, LinePoint, LineScan};
 pub use predict::{predict_from_benchmarks, ConfusionMatrix, PredictionResult};
 pub use region::{find_boundary, RegionExtent};

@@ -9,10 +9,11 @@
 
 use crate::config::LineConfig;
 use crate::region::{find_boundary, RegionExtent};
-use crate::search::AnomalyRecord;
+use crate::search::{pipeline, AnomalyRecord};
 use lamb_expr::Expression;
 use lamb_perfmodel::Executor;
-use lamb_select::{evaluate_instance, Classification, InstanceEvaluation};
+use lamb_plan::Planner;
+use lamb_select::{Classification, InstanceEvaluation};
 
 /// One instance visited during a line traversal.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,25 +64,25 @@ impl LineScan {
 }
 
 /// Classify the instance obtained by replacing dimension `dim` of `base` with
-/// `value`.
+/// `value`, routed through the [`Planner`] pipeline.
 fn classify_at(
-    expr: &dyn Expression,
+    planner: &Planner<'_>,
     executor: &mut dyn Executor,
     base: &[usize],
     dim: usize,
     value: usize,
-    threshold: f64,
 ) -> LinePoint {
     let mut dims = base.to_vec();
     dims[dim] = value;
-    let algorithms = expr.algorithms(&dims);
-    let evaluation = evaluate_instance(&dims, &algorithms, executor);
-    let classification = evaluation.classify(threshold);
+    let executed = planner
+        .plan_with(&dims, executor)
+        .unwrap_or_else(|e| panic!("cannot classify instance {dims:?}: {e}"))
+        .execute_with(executor);
     LinePoint {
         dims,
         value,
-        evaluation,
-        classification,
+        evaluation: executed.evaluation,
+        classification: executed.verdict,
     }
 }
 
@@ -93,9 +94,9 @@ pub fn scan_line(
     dim: usize,
     config: &LineConfig,
 ) -> LineScan {
-    let threshold = config.time_score_threshold;
+    let planner = pipeline(expr, config.time_score_threshold);
     let centre_value = anomaly[dim];
-    let centre = classify_at(expr, executor, anomaly, dim, centre_value, threshold);
+    let centre = classify_at(&planner, executor, anomaly, dim, centre_value);
 
     // Walk outwards in both directions until the region provably ends
     // (end_run consecutive non-anomalies) or the box edge is reached.
@@ -110,7 +111,7 @@ pub fn scan_line(
                 break;
             }
             let value = value as usize;
-            let point = classify_at(expr, executor, anomaly, dim, value, threshold);
+            let point = classify_at(&planner, executor, anomaly, dim, value);
             let is_anomaly = point.classification.is_anomaly;
             flags.push((value, is_anomaly));
             points.push(point);

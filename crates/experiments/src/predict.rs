@@ -11,8 +11,8 @@
 use crate::config::PredictConfig;
 use crate::lines::LineScan;
 use lamb_expr::Expression;
-use lamb_perfmodel::{CallTimeTable, Executor};
-use lamb_select::{AlgorithmMeasurement, InstanceEvaluation};
+use lamb_perfmodel::Executor;
+use lamb_plan::Planner;
 use std::fmt;
 
 /// A 2x2 confusion matrix over (actual anomaly, predicted anomaly).
@@ -133,15 +133,16 @@ pub struct PredictionResult {
 ///
 /// The ground-truth classification is re-derived from the stored Experiment-2
 /// measurements at the Experiment-3 threshold; the predicted classification
-/// uses per-algorithm times formed by summing memoised isolated-call
-/// benchmarks obtained from `executor`.
+/// comes from [`Planner::predict_instance`], whose shared cache memoises the
+/// isolated-call benchmarks by kernel-call signature — identical calls are
+/// benchmarked once across all scans.
 pub fn predict_from_benchmarks(
     expr: &dyn Expression,
     executor: &mut dyn Executor,
     scans: &[LineScan],
     config: &PredictConfig,
 ) -> PredictionResult {
-    let mut table = CallTimeTable::new();
+    let planner = Planner::for_expression(expr).score_predictions(false);
     let mut confusion = ConfusionMatrix::default();
     let mut instances = 0;
     for scan in scans {
@@ -151,35 +152,9 @@ pub fn predict_from_benchmarks(
                 .evaluation
                 .classify(config.time_score_threshold)
                 .is_anomaly;
-
-            let algorithms = expr.algorithms(&point.dims);
-            let measurements: Vec<AlgorithmMeasurement> = algorithms
-                .iter()
-                .enumerate()
-                .map(|(i, alg)| {
-                    let seconds: f64 = alg
-                        .calls
-                        .iter()
-                        .enumerate()
-                        .map(|(ci, call)| {
-                            table.get_or_insert_with(&call.op, || {
-                                executor.time_isolated_call(alg, ci)
-                            })
-                        })
-                        .sum();
-                    AlgorithmMeasurement {
-                        index: i,
-                        name: alg.name.clone(),
-                        flops: alg.flops(),
-                        seconds,
-                    }
-                })
-                .collect();
-            let predicted_eval = InstanceEvaluation {
-                dims: point.dims.clone(),
-                measurements,
-            };
-            let predicted = predicted_eval
+            let predicted = planner
+                .predict_instance(&point.dims, executor)
+                .unwrap_or_else(|e| panic!("cannot predict instance {:?}: {e}", point.dims))
                 .classify(config.time_score_threshold)
                 .is_anomaly;
             confusion.record(actual, predicted);
@@ -187,7 +162,7 @@ pub fn predict_from_benchmarks(
     }
     PredictionResult {
         confusion,
-        distinct_calls: table.len(),
+        distinct_calls: planner.cache_len(),
         instances,
     }
 }

@@ -65,13 +65,22 @@ mod tests {
 
     #[test]
     fn thickness_follows_paper_formula() {
-        let r = RegionExtent { lower: 417, upper: 700 };
+        let r = RegionExtent {
+            lower: 417,
+            upper: 700,
+        };
         assert_eq!(r.thickness(), 700 - 417 - 1);
         // A single-point region bounded by its immediate neighbours at step 10.
-        let single = RegionExtent { lower: 90, upper: 110 };
+        let single = RegionExtent {
+            lower: 90,
+            upper: 110,
+        };
         assert_eq!(single.thickness(), 19);
         // Degenerate.
-        let degenerate = RegionExtent { lower: 20, upper: 20 };
+        let degenerate = RegionExtent {
+            lower: 20,
+            upper: 20,
+        };
         assert_eq!(degenerate.thickness(), 0);
     }
 

@@ -55,10 +55,18 @@ pub fn search_report(result: &SearchResult) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Experiment 1 (random search) — {}", result.expression);
     let _ = writeln!(out, "  executor            : {}", result.executor);
-    let _ = writeln!(out, "  time-score threshold: {:.0}%", 100.0 * result.threshold);
+    let _ = writeln!(
+        out,
+        "  time-score threshold: {:.0}%",
+        100.0 * result.threshold
+    );
     let _ = writeln!(out, "  samples drawn       : {}", result.samples_drawn);
     let _ = writeln!(out, "  anomalies found     : {}", result.anomalies.len());
-    let _ = writeln!(out, "  abundance           : {:.2}%", 100.0 * result.abundance());
+    let _ = writeln!(
+        out,
+        "  abundance           : {:.2}%",
+        100.0 * result.abundance()
+    );
     let _ = writeln!(
         out,
         "  severe (ts>20% or fs>30%): {:.1}%",
@@ -109,7 +117,10 @@ pub fn region_report(scans: &[LineScan], num_dims: usize) -> String {
 #[must_use]
 pub fn prediction_report(result: &PredictionResult) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Experiment 3 (prediction from isolated kernel benchmarks)");
+    let _ = writeln!(
+        out,
+        "Experiment 3 (prediction from isolated kernel benchmarks)"
+    );
     let _ = writeln!(out, "  instances evaluated : {}", result.instances);
     let _ = writeln!(out, "  distinct calls      : {}", result.distinct_calls);
     let _ = writeln!(out, "{}", result.confusion);
@@ -175,7 +186,10 @@ mod tests {
             anomaly_dims: vec![100, 200, 300],
             dimension: 1,
             points: Vec::new(),
-            region: RegionExtent { lower: 150, upper: 260 },
+            region: RegionExtent {
+                lower: 150,
+                upper: 260,
+            },
         };
         let report = region_report(&[scan], 3);
         assert!(report.contains("d1: 1 lines"));

@@ -9,7 +9,8 @@
 use crate::config::SearchConfig;
 use lamb_expr::Expression;
 use lamb_perfmodel::Executor;
-use lamb_select::{evaluate_instance, Classification};
+use lamb_plan::Planner;
+use lamb_select::Classification;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -89,16 +90,27 @@ pub(crate) fn sample_dims(rng: &mut StdRng, num_dims: usize, config: &SearchConf
         .collect()
 }
 
-/// Classify one instance by timing every algorithm with `executor`.
+/// The experiment pipeline for `expr` at `threshold`: plan, execute, judge —
+/// with prediction scoring disabled (classification needs only executions).
+pub(crate) fn pipeline(expr: &dyn Expression, threshold: f64) -> Planner<'_> {
+    Planner::for_expression(expr)
+        .threshold(threshold)
+        .score_predictions(false)
+}
+
+/// Classify one instance by timing every algorithm with `executor`, routed
+/// through the [`Planner`] pipeline.
 pub fn classify_instance(
     expr: &dyn Expression,
     executor: &mut dyn Executor,
     dims: &[usize],
     threshold: f64,
 ) -> Classification {
-    let algorithms = expr.algorithms(dims);
-    let evaluation = evaluate_instance(dims, &algorithms, executor);
-    evaluation.classify(threshold)
+    pipeline(expr, threshold)
+        .plan_with(dims, executor)
+        .unwrap_or_else(|e| panic!("cannot classify instance {dims:?}: {e}"))
+        .execute_with(executor)
+        .verdict
 }
 
 /// Run Experiment 1.
@@ -107,6 +119,7 @@ pub fn run_random_search(
     executor: &mut dyn Executor,
     config: &SearchConfig,
 ) -> SearchResult {
+    let planner = pipeline(expr, config.time_score_threshold);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut anomalies = Vec::new();
     let mut seen: HashSet<Vec<usize>> = HashSet::new();
@@ -114,7 +127,11 @@ pub fn run_random_search(
     while anomalies.len() < config.target_anomalies && samples_drawn < config.max_samples {
         let dims = sample_dims(&mut rng, expr.num_dims(), config);
         samples_drawn += 1;
-        let classification = classify_instance(expr, executor, &dims, config.time_score_threshold);
+        let classification = planner
+            .plan_with(&dims, executor)
+            .unwrap_or_else(|e| panic!("cannot classify instance {dims:?}: {e}"))
+            .execute_with(executor)
+            .verdict;
         if classification.is_anomaly && !seen.contains(&dims) {
             seen.insert(dims.clone());
             anomalies.push(AnomalyRecord {
@@ -168,8 +185,17 @@ mod tests {
         let expr = AatbExpression::new();
         let mut exec = SimulatedExecutor::paper_like();
         let result = run_random_search(&expr, &mut exec, &quick_config(10, 3000));
-        assert_eq!(result.anomalies.len(), 10, "sampled {}", result.samples_drawn);
-        assert!(result.abundance() > 0.01, "abundance {}", result.abundance());
+        assert_eq!(
+            result.anomalies.len(),
+            10,
+            "sampled {}",
+            result.samples_drawn
+        );
+        assert!(
+            result.abundance() > 0.01,
+            "abundance {}",
+            result.abundance()
+        );
         for a in &result.anomalies {
             assert!(a.time_score > 0.10);
             assert!(a.flop_score > 0.0);

@@ -22,7 +22,13 @@ const B: OperandId = OperandId(1);
 const M: OperandId = OperandId(2);
 const X: OperandId = OperandId(3);
 
-fn base_operands(d0: usize, d1: usize, d2: usize, m_rows: usize, m_cols: usize) -> Vec<OperandInfo> {
+fn base_operands(
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    m_rows: usize,
+    m_cols: usize,
+) -> Vec<OperandInfo> {
     vec![
         OperandInfo {
             id: A,

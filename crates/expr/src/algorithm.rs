@@ -2,6 +2,7 @@
 
 use crate::kernel_call::KernelCall;
 use crate::operand::OperandId;
+use std::collections::HashSet;
 use std::fmt;
 
 /// The role an operand plays inside an algorithm.
@@ -72,7 +73,9 @@ impl Algorithm {
 
     /// The operands that are inputs of the expression.
     pub fn inputs(&self) -> impl Iterator<Item = &OperandInfo> {
-        self.operands.iter().filter(|o| o.role == OperandRole::Input)
+        self.operands
+            .iter()
+            .filter(|o| o.role == OperandRole::Input)
     }
 
     /// The operand holding the final result.
@@ -104,7 +107,7 @@ impl Algorithm {
     /// the operand table, and exactly one operand must be the output.
     #[must_use]
     pub fn is_well_formed(&self) -> bool {
-        let mut produced: Vec<OperandId> = self
+        let mut produced: HashSet<OperandId> = self
             .operands
             .iter()
             .filter(|o| o.role == OperandRole::Input)
@@ -119,9 +122,7 @@ impl Algorithm {
                     return false;
                 }
             }
-            if !produced.contains(&call.output) {
-                produced.push(call.output);
-            }
+            produced.insert(call.output);
         }
         let outputs = self
             .operands
@@ -153,21 +154,63 @@ mod tests {
         Algorithm {
             name: "toy".into(),
             operands: vec![
-                OperandInfo { id: OperandId(0), rows: 2, cols: 3, role: OperandRole::Input, name: "A".into() },
-                OperandInfo { id: OperandId(1), rows: 3, cols: 4, role: OperandRole::Input, name: "B".into() },
-                OperandInfo { id: OperandId(2), rows: 4, cols: 5, role: OperandRole::Input, name: "C".into() },
-                OperandInfo { id: OperandId(3), rows: 2, cols: 4, role: OperandRole::Intermediate, name: "M1".into() },
-                OperandInfo { id: OperandId(4), rows: 2, cols: 5, role: OperandRole::Output, name: "X".into() },
+                OperandInfo {
+                    id: OperandId(0),
+                    rows: 2,
+                    cols: 3,
+                    role: OperandRole::Input,
+                    name: "A".into(),
+                },
+                OperandInfo {
+                    id: OperandId(1),
+                    rows: 3,
+                    cols: 4,
+                    role: OperandRole::Input,
+                    name: "B".into(),
+                },
+                OperandInfo {
+                    id: OperandId(2),
+                    rows: 4,
+                    cols: 5,
+                    role: OperandRole::Input,
+                    name: "C".into(),
+                },
+                OperandInfo {
+                    id: OperandId(3),
+                    rows: 2,
+                    cols: 4,
+                    role: OperandRole::Intermediate,
+                    name: "M1".into(),
+                },
+                OperandInfo {
+                    id: OperandId(4),
+                    rows: 2,
+                    cols: 5,
+                    role: OperandRole::Output,
+                    name: "X".into(),
+                },
             ],
             calls: vec![
                 KernelCall {
-                    op: KernelOp::Gemm { transa: Trans::No, transb: Trans::No, m: 2, n: 4, k: 3 },
+                    op: KernelOp::Gemm {
+                        transa: Trans::No,
+                        transb: Trans::No,
+                        m: 2,
+                        n: 4,
+                        k: 3,
+                    },
                     inputs: vec![OperandId(0), OperandId(1)],
                     output: OperandId(3),
                     label: "M1 := A*B".into(),
                 },
                 KernelCall {
-                    op: KernelOp::Gemm { transa: Trans::No, transb: Trans::No, m: 2, n: 5, k: 4 },
+                    op: KernelOp::Gemm {
+                        transa: Trans::No,
+                        transb: Trans::No,
+                        m: 2,
+                        n: 5,
+                        k: 4,
+                    },
                     inputs: vec![OperandId(3), OperandId(2)],
                     output: OperandId(4),
                     label: "X := M1*C".into(),

@@ -173,7 +173,10 @@ pub fn abcd_flop_formulas(d: &[usize; 5]) -> [u64; 6] {
 /// Panics if fewer than two matrices are described.
 #[must_use]
 pub fn optimal_chain_order(dims: &[usize]) -> (u64, String) {
-    assert!(dims.len() >= 3, "a matrix chain needs at least two matrices");
+    assert!(
+        dims.len() >= 3,
+        "a matrix chain needs at least two matrices"
+    );
     let p = dims.len() - 1;
     let d: Vec<u64> = dims.iter().map(|&x| x as u64).collect();
     // cost[i][j]: minimal FLOPs to compute the product of matrices i..=j.
@@ -253,7 +256,11 @@ impl Expression for MatrixChainExpression {
     }
 
     fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm> {
-        assert_eq!(dims.len(), self.num_dims(), "dimension tuple length mismatch");
+        assert_eq!(
+            dims.len(),
+            self.num_dims(),
+            "dimension tuple length mismatch"
+        );
         enumerate_chain_algorithms(dims)
     }
 }

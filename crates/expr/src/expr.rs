@@ -73,6 +73,9 @@ impl Expr {
     }
 
     /// Multiply this expression by `rhs`.
+    // Not `std::ops::Mul`: builders chain more readably as `a.mul(b).mul(c)`
+    // and the operator form would force reference gymnastics on `Box`ed trees.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
@@ -106,7 +109,10 @@ impl Expr {
                 let ls = l.shape()?;
                 let rs = r.shape()?;
                 if ls.1 != rs.0 {
-                    return Err(ShapeError::IncompatibleProduct { left: ls, right: rs });
+                    return Err(ShapeError::IncompatibleProduct {
+                        left: ls,
+                        right: rs,
+                    });
                 }
                 Ok((ls.0, rs.1))
             }

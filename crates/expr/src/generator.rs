@@ -64,7 +64,9 @@ pub enum RecognisedPattern {
 /// # Errors
 ///
 /// Returns [`GenerateError`] if the expression is shape-inconsistent.
-pub fn generate_algorithms(expr: &Expr) -> Result<(RecognisedPattern, Vec<Algorithm>), GenerateError> {
+pub fn generate_algorithms(
+    expr: &Expr,
+) -> Result<(RecognisedPattern, Vec<Algorithm>), GenerateError> {
     // Validate shapes up front so every later step can assume consistency.
     expr.shape()?;
     let factors = expr.factors();
@@ -82,7 +84,10 @@ pub fn generate_algorithms(expr: &Expr) -> Result<(RecognisedPattern, Vec<Algori
     }
 
     if let Some((d0, d1, d2)) = aatb_dims(&factors) {
-        return Ok((RecognisedPattern::Aatb, enumerate_aatb_algorithms(d0, d1, d2)));
+        return Ok((
+            RecognisedPattern::Aatb,
+            enumerate_aatb_algorithms(d0, d1, d2),
+        ));
     }
 
     Ok((
@@ -142,7 +147,13 @@ fn left_to_right_algorithm(factors: &[(Var, bool)]) -> Algorithm {
         })
         .collect();
 
-    let logical = |v: &Var, t: bool| if t { (v.cols, v.rows) } else { (v.rows, v.cols) };
+    let logical = |v: &Var, t: bool| {
+        if t {
+            (v.cols, v.rows)
+        } else {
+            (v.rows, v.cols)
+        }
+    };
 
     let mut calls = Vec::new();
     if factors.len() == 1 {

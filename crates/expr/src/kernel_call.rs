@@ -124,14 +124,24 @@ impl fmt::Display for KernelOp {
                 m,
                 n,
                 k,
-            } => write!(f, "gemm({}{} {}x{}x{})", transa.tag(), transb.tag(), m, n, k),
+            } => write!(
+                f,
+                "gemm({}{} {}x{}x{})",
+                transa.tag(),
+                transb.tag(),
+                m,
+                n,
+                k
+            ),
             KernelOp::Syrk { uplo, trans, n, k } => {
                 write!(f, "syrk({}{} {}x{})", uplo.tag(), trans.tag(), n, k)
             }
             KernelOp::Symm { side, uplo, m, n } => {
                 write!(f, "symm({}{} {}x{})", side.tag(), uplo.tag(), m, n)
             }
-            KernelOp::CopyTriangle { uplo, n } => write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag()),
+            KernelOp::CopyTriangle { uplo, n } => {
+                write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag())
+            }
         }
     }
 }

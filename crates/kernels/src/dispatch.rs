@@ -23,7 +23,16 @@ pub fn gemm_new(
     let (m, _) = transa.apply(a.shape());
     let (_, n) = transb.apply(b.shape());
     let mut c = Matrix::zeros(m, n);
-    gemm(transa, transb, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)?;
+    gemm(
+        transa,
+        transb,
+        1.0,
+        &a.view(),
+        &b.view(),
+        0.0,
+        &mut c.view_mut(),
+        cfg,
+    )?;
     Ok(c)
 }
 
@@ -40,7 +49,16 @@ pub fn gemm_into(
     c: &mut Matrix,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    gemm(transa, transb, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)
+    gemm(
+        transa,
+        transb,
+        1.0,
+        &a.view(),
+        &b.view(),
+        0.0,
+        &mut c.view_mut(),
+        cfg,
+    )
 }
 
 /// One triangle of `op(A)·op(A)ᵀ` into a freshly allocated matrix (the other
@@ -84,7 +102,16 @@ pub fn symm_new(
     cfg: &BlockConfig,
 ) -> Result<Matrix> {
     let mut c = Matrix::zeros(b.rows(), b.cols());
-    symm(side, uplo, 1.0, &a_sym.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)?;
+    symm(
+        side,
+        uplo,
+        1.0,
+        &a_sym.view(),
+        &b.view(),
+        0.0,
+        &mut c.view_mut(),
+        cfg,
+    )?;
     Ok(c)
 }
 
@@ -101,7 +128,16 @@ pub fn symm_into(
     c: &mut Matrix,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    symm(side, uplo, 1.0, &a_sym.view(), &b.view(), 0.0, &mut c.view_mut(), cfg)
+    symm(
+        side,
+        uplo,
+        1.0,
+        &a_sym.view(),
+        &b.view(),
+        0.0,
+        &mut c.view_mut(),
+        cfg,
+    )
 }
 
 #[cfg(test)]
@@ -156,7 +192,16 @@ mod tests {
         let b = random_seeded(8, 5, 7);
         let via_symm = symm_new(Side::Left, Uplo::Lower, &sym_full, &b, &cfg).unwrap();
         let mut expected = Matrix::zeros(8, 5);
-        gemm_naive(Trans::No, Trans::No, 1.0, &sym_full.view(), &b.view(), 0.0, &mut expected.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &sym_full.view(),
+            &b.view(),
+            0.0,
+            &mut expected.view_mut(),
+        )
+        .unwrap();
         assert!(max_abs_diff(&via_symm, &expected).unwrap() < 1e-11);
     }
 

@@ -33,6 +33,7 @@ pub fn scale_inplace(beta: f64, c: &mut MatrixViewMut<'_>) {
 /// Accumulate `C += alpha * OpA * OpB` serially with cache blocking and
 /// packing. `load_a(i, p)` is the logical `m x k` left operand and
 /// `load_b(p, j)` the logical `k x n` right operand.
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub fn gemm_accumulate_serial<FA, FB>(
     m: usize,
     n: usize,
@@ -133,14 +134,29 @@ mod tests {
 
     fn reference(a: &Matrix, b: &Matrix, alpha: f64) -> Matrix {
         let mut c = Matrix::zeros(a.rows(), b.cols());
-        gemm_naive(Trans::No, Trans::No, alpha, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            alpha,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         c
     }
 
     #[test]
     fn blocked_core_matches_naive_for_awkward_sizes() {
         // Sizes chosen to produce partial tiles in every blocking dimension.
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (33, 29, 31), (40, 24, 56)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 13, 9),
+            (33, 29, 31),
+            (40, 24, 56),
+        ] {
             let a = random_seeded(m, k, 1000 + m as u64);
             let b = random_seeded(k, n, 2000 + n as u64);
             let mut c = Matrix::zeros(m, n);
@@ -158,7 +174,10 @@ mod tests {
                 &cfg,
             );
             let expected = reference(&a, &b, 1.0);
-            assert!(max_abs_diff(&c, &expected).unwrap() < 1e-12, "size {m}x{n}x{k}");
+            assert!(
+                max_abs_diff(&c, &expected).unwrap() < 1e-12,
+                "size {m}x{n}x{k}"
+            );
         }
     }
 
@@ -183,7 +202,16 @@ mod tests {
             &BlockConfig::tiny(),
         );
         let mut expected = Matrix::filled(m, n, 2.0);
-        gemm_naive(Trans::No, Trans::No, 0.5, &a.view(), &b.view(), 1.0, &mut expected.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            0.5,
+            &a.view(),
+            &b.view(),
+            1.0,
+            &mut expected.view_mut(),
+        )
+        .unwrap();
         assert!(max_abs_diff(&c, &expected).unwrap() < 1e-12);
     }
 

@@ -23,6 +23,7 @@ use rayon::prelude::*;
 ///
 /// Returns [`MatrixError::DimensionMismatch`] when the operand shapes are
 /// inconsistent with the output shape.
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub fn gemm(
     transa: Trans,
     transb: Trans,
@@ -80,6 +81,7 @@ pub fn gemm(
 /// Distribute disjoint column panels of `C` to Rayon workers; each worker runs
 /// the serial blocked core on its panel with a column-shifted `op(B)`
 /// accessor.
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub(crate) fn parallel_accumulate<FA, FB>(
     m: usize,
     n: usize,
@@ -114,6 +116,7 @@ mod tests {
     use lamb_matrix::random::random_seeded;
     use lamb_matrix::Matrix;
 
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS-style signature under test
     fn check_against_naive(
         transa: Trans,
         transb: Trans,
@@ -131,8 +134,27 @@ mod tests {
         let c0 = random_seeded(m, n, 30 + k as u64);
         let mut c_fast = c0.clone();
         let mut c_ref = c0;
-        gemm(transa, transb, alpha, &a.view(), &b.view(), beta, &mut c_fast.view_mut(), cfg).unwrap();
-        gemm_naive(transa, transb, alpha, &a.view(), &b.view(), beta, &mut c_ref.view_mut()).unwrap();
+        gemm(
+            transa,
+            transb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut c_fast.view_mut(),
+            cfg,
+        )
+        .unwrap();
+        gemm_naive(
+            transa,
+            transb,
+            alpha,
+            &a.view(),
+            &b.view(),
+            beta,
+            &mut c_ref.view_mut(),
+        )
+        .unwrap();
         let diff = max_abs_diff(&c_fast, &c_ref).unwrap();
         assert!(
             diff < 1e-10 * (k as f64).max(1.0),
@@ -155,8 +177,10 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_naive() {
-        let mut cfg = BlockConfig::default();
-        cfg.parallel_flop_threshold = 1; // force the parallel path
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1, // force the parallel path
+            ..BlockConfig::default()
+        };
         check_against_naive(Trans::No, Trans::No, 120, 90, 75, 1.0, 0.0, &cfg);
         check_against_naive(Trans::Yes, Trans::No, 64, 200, 33, 2.0, 1.0, &cfg);
         check_against_naive(Trans::No, Trans::Yes, 150, 150, 150, 1.0, 0.5, &cfg);
@@ -172,7 +196,17 @@ mod tests {
         let a = Matrix::zeros(4, 0);
         let b = Matrix::zeros(0, 4);
         let mut c = Matrix::filled(4, 4, 3.0);
-        gemm(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 2.0, &mut c.view_mut(), &cfg).unwrap();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            2.0,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         assert!(c.as_slice().iter().all(|&x| x == 6.0));
     }
 
@@ -182,11 +216,31 @@ mod tests {
         let a = Matrix::zeros(3, 4);
         let b = Matrix::zeros(5, 2);
         let mut c = Matrix::zeros(3, 2);
-        assert!(gemm(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+        assert!(gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg
+        )
+        .is_err());
         // Transposing B fixes the inner dimension but breaks the output shape.
         let b2 = Matrix::zeros(2, 4);
         let mut c_bad = Matrix::zeros(3, 5);
-        assert!(gemm(Trans::No, Trans::Yes, 1.0, &a.view(), &b2.view(), 0.0, &mut c_bad.view_mut(), &cfg).is_err());
+        assert!(gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            &a.view(),
+            &b2.view(),
+            0.0,
+            &mut c_bad.view_mut(),
+            &cfg
+        )
+        .is_err());
     }
 
     #[test]
@@ -198,13 +252,53 @@ mod tests {
         let b = random_seeded(30, 10, 2);
         let c = random_seeded(10, 25, 3);
         let mut ab = Matrix::zeros(20, 10);
-        gemm(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut ab.view_mut(), &cfg).unwrap();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut ab.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         let mut ab_c = Matrix::zeros(20, 25);
-        gemm(Trans::No, Trans::No, 1.0, &ab.view(), &c.view(), 0.0, &mut ab_c.view_mut(), &cfg).unwrap();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &ab.view(),
+            &c.view(),
+            0.0,
+            &mut ab_c.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         let mut bc = Matrix::zeros(30, 25);
-        gemm(Trans::No, Trans::No, 1.0, &b.view(), &c.view(), 0.0, &mut bc.view_mut(), &cfg).unwrap();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &b.view(),
+            &c.view(),
+            0.0,
+            &mut bc.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         let mut a_bc = Matrix::zeros(20, 25);
-        gemm(Trans::No, Trans::No, 1.0, &a.view(), &bc.view(), 0.0, &mut a_bc.view_mut(), &cfg).unwrap();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &bc.view(),
+            0.0,
+            &mut a_bc.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         assert!(max_abs_diff(&ab_c, &a_bc).unwrap() < 1e-10);
     }
 }

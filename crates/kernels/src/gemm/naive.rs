@@ -69,7 +69,16 @@ mod tests {
         let a = Matrix::identity(3);
         let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
         let mut c = Matrix::zeros(3, 2);
-        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         assert_eq!(c, b);
     }
 
@@ -80,7 +89,16 @@ mod tests {
         let b = Matrix::from_rows(2, 2, &[1.0, -1.0, 0.5, 2.0]).unwrap();
         // C = A^T * B : (3x2)*(2x2)
         let mut c = Matrix::zeros(3, 2);
-        gemm_naive(Trans::Yes, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         // c[0,0] = a[0,0]*b[0,0] + a[1,0]*b[1,0] = 1*1 + 4*0.5 = 3
         assert!((c[(0, 0)] - 3.0).abs() < 1e-15);
         // c[2,1] = a[0,2]*b[0,1] + a[1,2]*b[1,1] = 3*(-1) + 6*2 = 9
@@ -92,7 +110,16 @@ mod tests {
         let a = Matrix::identity(2);
         let b = Matrix::filled(2, 2, 3.0);
         let mut c = Matrix::filled(2, 2, 10.0);
-        gemm_naive(Trans::No, Trans::No, 2.0, &a.view(), &b.view(), 0.5, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            2.0,
+            &a.view(),
+            &b.view(),
+            0.5,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         // c = 2*I*3 + 0.5*10 = 6 (off-diag: 0 + 5) ...
         assert_eq!(c[(0, 0)], 11.0);
         assert_eq!(c[(0, 1)], 11.0);
@@ -103,7 +130,16 @@ mod tests {
         let a = Matrix::identity(2);
         let b = Matrix::filled(2, 2, 1.0);
         let mut c = Matrix::filled(2, 2, f64::NAN);
-        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         assert!(c.as_slice().iter().all(|x| x.is_finite()));
     }
 
@@ -112,10 +148,28 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let mut c = Matrix::zeros(2, 2);
-        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).is_err());
+        assert!(gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut()
+        )
+        .is_err());
         let mut c_bad = Matrix::zeros(3, 2);
         let b_ok = Matrix::zeros(3, 2);
-        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b_ok.view(), 0.0, &mut c_bad.view_mut()).is_err());
+        assert!(gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b_ok.view(),
+            0.0,
+            &mut c_bad.view_mut()
+        )
+        .is_err());
     }
 
     #[test]
@@ -123,12 +177,30 @@ mod tests {
         let a = Matrix::zeros(0, 3);
         let b = Matrix::zeros(3, 2);
         let mut c = Matrix::zeros(0, 2);
-        assert!(gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut()).is_ok());
+        assert!(gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut()
+        )
+        .is_ok());
 
         let a = Matrix::zeros(2, 0);
         let b = Matrix::zeros(0, 3);
         let mut c = Matrix::filled(2, 3, 5.0);
-        gemm_naive(Trans::No, Trans::No, 1.0, &a.view(), &b.view(), 1.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &b.view(),
+            1.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         // k = 0: C must be beta * C = C.
         assert!(c.as_slice().iter().all(|&x| x == 5.0));
     }

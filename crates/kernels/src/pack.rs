@@ -101,8 +101,8 @@ mod tests {
         pack_a(mb, kb, |i, _| i as f64, &mut buf);
         assert_eq!(buf.len(), 2 * MR);
         // First panel holds rows 0..MR.
-        for r in 0..MR {
-            assert_eq!(buf[r], r as f64);
+        for (r, &v) in buf.iter().take(MR).enumerate() {
+            assert_eq!(v, r as f64);
         }
         // Second panel holds rows MR..MR+2 then zeros.
         assert_eq!(buf[MR], MR as f64);
@@ -131,8 +131,8 @@ mod tests {
         let mut buf = Vec::new();
         pack_b(kb, nb, |_, j| j as f64, &mut buf);
         assert_eq!(buf.len(), 2 * NR);
-        for c in 0..NR {
-            assert_eq!(buf[c], c as f64);
+        for (c, &v) in buf.iter().take(NR).enumerate() {
+            assert_eq!(v, c as f64);
         }
         assert_eq!(buf[NR], NR as f64);
         assert!(buf[NR + 1..].iter().all(|&x| x == 0.0));

@@ -24,6 +24,7 @@ use lamb_matrix::{MatrixError, MatrixView, MatrixViewMut, Result, Side, Uplo};
 ///
 /// Returns [`MatrixError::DimensionMismatch`] or [`MatrixError::NotSquare`]
 /// when the operand shapes are inconsistent.
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub fn symm(
     side: Side,
     uplo: Uplo,
@@ -140,16 +141,40 @@ mod tests {
         let c0 = random_seeded(m, n, 88);
 
         let mut c_fast = c0.clone();
-        symm(side, uplo, alpha, &stored.view(), &b.view(), beta, &mut c_fast.view_mut(), cfg).unwrap();
+        symm(
+            side,
+            uplo,
+            alpha,
+            &stored.view(),
+            &b.view(),
+            beta,
+            &mut c_fast.view_mut(),
+            cfg,
+        )
+        .unwrap();
 
         let mut c_ref = c0;
         match side {
-            Side::Left => {
-                gemm_naive(Trans::No, Trans::No, alpha, &full.view(), &b.view(), beta, &mut c_ref.view_mut()).unwrap()
-            }
-            Side::Right => {
-                gemm_naive(Trans::No, Trans::No, alpha, &b.view(), &full.view(), beta, &mut c_ref.view_mut()).unwrap()
-            }
+            Side::Left => gemm_naive(
+                Trans::No,
+                Trans::No,
+                alpha,
+                &full.view(),
+                &b.view(),
+                beta,
+                &mut c_ref.view_mut(),
+            )
+            .unwrap(),
+            Side::Right => gemm_naive(
+                Trans::No,
+                Trans::No,
+                alpha,
+                &b.view(),
+                &full.view(),
+                beta,
+                &mut c_ref.view_mut(),
+            )
+            .unwrap(),
         }
         let diff = max_abs_diff(&c_fast, &c_ref).unwrap();
         assert!(
@@ -177,8 +202,10 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_reference() {
-        let mut cfg = BlockConfig::default();
-        cfg.parallel_flop_threshold = 1;
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
         check(Side::Left, Uplo::Lower, 96, 80, 1.0, 0.0, &cfg);
         check(Side::Left, Uplo::Upper, 64, 120, 1.0, 1.0, &cfg);
     }
@@ -215,8 +242,28 @@ mod tests {
         let b = random_seeded(20, 7, 5);
         let mut c1 = Matrix::zeros(20, 7);
         let mut c2 = Matrix::zeros(20, 7);
-        symm(Side::Left, Uplo::Lower, 1.0, &lower.view(), &b.view(), 0.0, &mut c1.view_mut(), &cfg).unwrap();
-        symm(Side::Left, Uplo::Upper, 1.0, &upper.view(), &b.view(), 0.0, &mut c2.view_mut(), &cfg).unwrap();
+        symm(
+            Side::Left,
+            Uplo::Lower,
+            1.0,
+            &lower.view(),
+            &b.view(),
+            0.0,
+            &mut c1.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+        symm(
+            Side::Left,
+            Uplo::Upper,
+            1.0,
+            &upper.view(),
+            &b.view(),
+            0.0,
+            &mut c2.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         assert!(max_abs_diff(&c1, &c2).unwrap() < 1e-12);
     }
 
@@ -226,11 +273,41 @@ mod tests {
         let a = Matrix::zeros(4, 5);
         let b = Matrix::zeros(4, 3);
         let mut c = Matrix::zeros(4, 3);
-        assert!(symm(Side::Left, Uplo::Lower, 1.0, &a.view(), &b.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+        assert!(symm(
+            Side::Left,
+            Uplo::Lower,
+            1.0,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg
+        )
+        .is_err());
         let a_sq = Matrix::zeros(5, 5);
-        assert!(symm(Side::Left, Uplo::Lower, 1.0, &a_sq.view(), &b.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+        assert!(symm(
+            Side::Left,
+            Uplo::Lower,
+            1.0,
+            &a_sq.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg
+        )
+        .is_err());
         let a_ok = Matrix::zeros(4, 4);
         let b_bad = Matrix::zeros(5, 3);
-        assert!(symm(Side::Left, Uplo::Lower, 1.0, &a_ok.view(), &b_bad.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+        assert!(symm(
+            Side::Left,
+            Uplo::Lower,
+            1.0,
+            &a_ok.view(),
+            &b_bad.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg
+        )
+        .is_err());
     }
 }

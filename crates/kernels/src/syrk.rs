@@ -163,11 +163,28 @@ mod tests {
             Trans::Yes => a.cols(),
         };
         let mut c = Matrix::zeros(n, n);
-        gemm_naive(trans, trans.flip(), alpha, &a.view(), &a.view(), 0.0, &mut c.view_mut()).unwrap();
+        gemm_naive(
+            trans,
+            trans.flip(),
+            alpha,
+            &a.view(),
+            &a.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
         c
     }
 
-    fn check(uplo: Uplo, trans: Trans, n: usize, k: usize, alpha: f64, beta: f64, cfg: &BlockConfig) {
+    fn check(
+        uplo: Uplo,
+        trans: Trans,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+        cfg: &BlockConfig,
+    ) {
         let (ar, ac) = trans.apply((n, k));
         let a = random_seeded(ar, ac, 100 + n as u64 + k as u64);
         let c0 = random_seeded(n, n, 55);
@@ -206,8 +223,10 @@ mod tests {
 
     #[test]
     fn parallel_path_matches_reference() {
-        let mut cfg = BlockConfig::default();
-        cfg.parallel_flop_threshold = 1;
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
         for &uplo in &[Uplo::Lower, Uplo::Upper] {
             check(uplo, Trans::No, 90, 64, 1.0, 0.0, &cfg);
             check(uplo, Trans::Yes, 70, 110, -1.0, 2.0, &cfg);
@@ -229,7 +248,16 @@ mod tests {
         // k = 0: triangle is scaled by beta, nothing else happens.
         let a = Matrix::zeros(4, 0);
         let mut c = Matrix::filled(4, 4, 2.0);
-        syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.5, &mut c.view_mut(), &cfg).unwrap();
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &a.view(),
+            0.5,
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 let expected = if i >= j { 1.0 } else { 2.0 };
@@ -246,8 +274,26 @@ mod tests {
         let a = random_seeded(25, 14, 9);
         let mut lower = Matrix::zeros(25, 25);
         let mut upper = Matrix::zeros(25, 25);
-        syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.0, &mut lower.view_mut(), &cfg).unwrap();
-        syrk(Uplo::Upper, Trans::No, 1.0, &a.view(), 0.0, &mut upper.view_mut(), &cfg).unwrap();
+        syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut lower.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+        syrk(
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut upper.view_mut(),
+            &cfg,
+        )
+        .unwrap();
         lower.symmetrize_from(Uplo::Lower).unwrap();
         upper.symmetrize_from(Uplo::Upper).unwrap();
         assert!(lamb_matrix::ops::max_abs_diff(&lower, &upper).unwrap() < 1e-11);
@@ -258,6 +304,15 @@ mod tests {
         let cfg = BlockConfig::default();
         let a = Matrix::zeros(5, 3);
         let mut c = Matrix::zeros(4, 4);
-        assert!(syrk(Uplo::Lower, Trans::No, 1.0, &a.view(), 0.0, &mut c.view_mut(), &cfg).is_err());
+        assert!(syrk(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &a.view(),
+            0.0,
+            &mut c.view_mut(),
+            &cfg
+        )
+        .is_err());
     }
 }

@@ -196,7 +196,11 @@ impl Matrix {
     /// Panics if `j >= cols`.
     #[must_use]
     pub fn col(&self, j: usize) -> &[f64] {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         &self.data[j * self.rows..j * self.rows + self.rows]
     }
 
@@ -206,7 +210,11 @@ impl Matrix {
     ///
     /// Panics if `j >= cols`.
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
-        assert!(j < self.cols, "column index {j} out of bounds ({})", self.cols);
+        assert!(
+            j < self.cols,
+            "column index {j} out of bounds ({})",
+            self.cols
+        );
         &mut self.data[j * self.rows..j * self.rows + self.rows]
     }
 
@@ -230,7 +238,10 @@ impl Matrix {
     /// Panics if the window does not fit inside the matrix.
     #[must_use]
     pub fn subview(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatrixView<'_> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "subview out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "subview out of bounds"
+        );
         let start = r0 + c0 * self.rows;
         let end = if nr == 0 || nc == 0 {
             start
@@ -371,7 +382,10 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
-        assert!(matches!(err, MatrixError::DataLengthMismatch { len: 3, .. }));
+        assert!(matches!(
+            err,
+            MatrixError::DataLengthMismatch { len: 3, .. }
+        ));
     }
 
     #[test]
@@ -432,7 +446,11 @@ mod tests {
 
     #[test]
     fn symmetrize_from_lower() {
-        let mut m = Matrix::from_fn(3, 3, |i, j| if i >= j { (i * 3 + j + 1) as f64 } else { -1.0 });
+        let mut m = Matrix::from_fn(
+            3,
+            3,
+            |i, j| if i >= j { (i * 3 + j + 1) as f64 } else { -1.0 },
+        );
         m.symmetrize_from(Uplo::Lower).unwrap();
         for i in 0..3 {
             for j in 0..3 {
@@ -444,7 +462,11 @@ mod tests {
 
     #[test]
     fn symmetrize_from_upper() {
-        let mut m = Matrix::from_fn(3, 3, |i, j| if i <= j { (i + 3 * j + 1) as f64 } else { -1.0 });
+        let mut m = Matrix::from_fn(
+            3,
+            3,
+            |i, j| if i <= j { (i + 3 * j + 1) as f64 } else { -1.0 },
+        );
         m.symmetrize_from(Uplo::Upper).unwrap();
         for i in 0..3 {
             for j in 0..3 {

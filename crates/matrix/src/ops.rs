@@ -240,7 +240,11 @@ mod tests {
 
     #[test]
     fn full_from_triangle_lower_mirrors() {
-        let a = Matrix::from_fn(3, 3, |i, j| if i >= j { (i * 3 + j + 1) as f64 } else { 99.0 });
+        let a = Matrix::from_fn(
+            3,
+            3,
+            |i, j| if i >= j { (i * 3 + j + 1) as f64 } else { 99.0 },
+        );
         let f = full_from_triangle(&a, Uplo::Lower).unwrap();
         assert!(is_symmetric(&f, 0.0).unwrap());
         assert_eq!(f[(2, 0)], a[(2, 0)]);
@@ -249,7 +253,11 @@ mod tests {
 
     #[test]
     fn full_from_triangle_upper_mirrors() {
-        let a = Matrix::from_fn(3, 3, |i, j| if i <= j { (i + 3 * j + 1) as f64 } else { -5.0 });
+        let a = Matrix::from_fn(
+            3,
+            3,
+            |i, j| if i <= j { (i + 3 * j + 1) as f64 } else { -5.0 },
+        );
         let f = full_from_triangle(&a, Uplo::Upper).unwrap();
         assert!(is_symmetric(&f, 0.0).unwrap());
         assert_eq!(f[(0, 2)], a[(0, 2)]);

@@ -44,7 +44,12 @@ impl<'a> MatrixView<'a> {
                 len: data.len(),
             });
         }
-        Ok(MatrixView { data, rows, cols, ld })
+        Ok(MatrixView {
+            data,
+            rows,
+            cols,
+            ld,
+        })
     }
 
     /// Number of rows.
@@ -100,7 +105,10 @@ impl<'a> MatrixView<'a> {
     /// Panics if the window does not fit.
     #[must_use]
     pub fn subview(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatrixView<'a> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "subview out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "subview out of bounds"
+        );
         let start = r0 + c0 * self.ld;
         let end = start + required_len(nr, nc, self.ld);
         MatrixView {
@@ -149,7 +157,12 @@ impl<'a> MatrixViewMut<'a> {
                 len: data.len(),
             });
         }
-        Ok(MatrixViewMut { data, rows, cols, ld })
+        Ok(MatrixViewMut {
+            data,
+            rows,
+            cols,
+            ld,
+        })
     }
 
     /// Number of rows.
@@ -236,7 +249,10 @@ impl<'a> MatrixViewMut<'a> {
     ///
     /// Panics if the window does not fit.
     pub fn subview_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatrixViewMut<'_> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "subview out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "subview out of bounds"
+        );
         let start = r0 + c0 * self.ld;
         let end = start + required_len(nr, nc, self.ld);
         MatrixViewMut {

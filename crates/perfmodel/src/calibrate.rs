@@ -16,9 +16,14 @@ use std::time::Instant;
 pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
     let (out_rows, out_cols) = op.output_shape();
     let mut operands = Vec::new();
-    let inputs: Vec<OperandId>;
-    match op {
-        KernelOp::Gemm { transa, transb, m, n, k } => {
+    let inputs: Vec<OperandId> = match op {
+        KernelOp::Gemm {
+            transa,
+            transb,
+            m,
+            n,
+            k,
+        } => {
             let (ar, ac) = match transa {
                 Trans::No => (m, k),
                 Trans::Yes => (k, m),
@@ -41,7 +46,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 role: OperandRole::Input,
                 name: "B".into(),
             });
-            inputs = vec![OperandId(0), OperandId(1)];
+            vec![OperandId(0), OperandId(1)]
         }
         KernelOp::Syrk { trans, n, k, .. } => {
             let (ar, ac) = match trans {
@@ -55,7 +60,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 role: OperandRole::Input,
                 name: "A".into(),
             });
-            inputs = vec![OperandId(0)];
+            vec![OperandId(0)]
         }
         KernelOp::Symm { side, m, n, .. } => {
             let sym_dim = match side {
@@ -76,7 +81,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 role: OperandRole::Input,
                 name: "B".into(),
             });
-            inputs = vec![OperandId(0), OperandId(1)];
+            vec![OperandId(0), OperandId(1)]
         }
         KernelOp::CopyTriangle { n, .. } => {
             operands.push(OperandInfo {
@@ -86,9 +91,9 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 role: OperandRole::Input,
                 name: "A".into(),
             });
-            inputs = vec![OperandId(0)];
+            vec![OperandId(0)]
         }
-    }
+    };
     // For benchmarking purposes the triangle copy is also given a distinct
     // output operand (an `n x n` workspace); inside real algorithms the copy
     // is performed in place on the intermediate.
@@ -267,6 +272,9 @@ mod tests {
     fn peak_estimate_is_positive_and_finite() {
         let peak = estimate_peak_flops(&BlockConfig::default(), 96, 1);
         assert!(peak.is_finite());
-        assert!(peak > 1.0e6, "even a tiny machine exceeds 1 MFLOP/s: {peak}");
+        assert!(
+            peak > 1.0e6,
+            "even a tiny machine exceeds 1 MFLOP/s: {peak}"
+        );
     }
 }

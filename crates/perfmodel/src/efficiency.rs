@@ -233,10 +233,16 @@ mod tests {
         for size in [8, 32, 128, 512, 1024, 2048, 3000] {
             let e = model.square_gemm_efficiency(size);
             assert!(e > 0.0 && e <= 1.0);
-            assert!(e >= last, "square GEMM efficiency must not decrease with size");
+            assert!(
+                e >= last,
+                "square GEMM efficiency must not decrease with size"
+            );
             last = e;
         }
-        assert!(last > 0.8, "large square GEMM should run near peak, got {last}");
+        assert!(
+            last > 0.8,
+            "large square GEMM should run near peak, got {last}"
+        );
     }
 
     #[test]
@@ -277,7 +283,10 @@ mod tests {
         let below = model.efficiency(&gemm_op(500, 500, 95));
         let above = model.efficiency(&gemm_op(500, 500, 96));
         // Crossing k = 96 removes the 0.86 penalty: a visible jump.
-        assert!(above / below > 1.05, "expected a jump, got {below} -> {above}");
+        assert!(
+            above / below > 1.05,
+            "expected a jump, got {below} -> {above}"
+        );
         let smooth = AnalyticEfficiencyModel::smooth();
         let below_s = smooth.efficiency(&gemm_op(500, 500, 95));
         let above_s = smooth.efficiency(&gemm_op(500, 500, 96));

@@ -111,8 +111,16 @@ impl MeasuredExecutor {
             }
             KernelOp::Syrk { uplo, trans, .. } => {
                 let a = &operands[&call.inputs[0]];
-                syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut out.view_mut(), &self.cfg)
-                    .expect("syrk shapes consistent");
+                syrk(
+                    uplo,
+                    trans,
+                    1.0,
+                    &a.view(),
+                    0.0,
+                    &mut out.view_mut(),
+                    &self.cfg,
+                )
+                .expect("syrk shapes consistent");
             }
             KernelOp::Symm { side, uplo, .. } => {
                 let a_sym = &operands[&call.inputs[0]];
@@ -204,9 +212,9 @@ impl Executor for MeasuredExecutor {
         let mut operands: HashMap<OperandId, Matrix> = HashMap::new();
         for id in call.inputs.iter().copied().chain([call.output]) {
             let info = alg.operand(id).expect("operand declared");
-            operands
-                .entry(id)
-                .or_insert_with(|| random_seeded(info.rows, info.cols, self.seed ^ id.index() as u64));
+            operands.entry(id).or_insert_with(|| {
+                random_seeded(info.rows, info.cols, self.seed ^ id.index() as u64)
+            });
         }
         let mut samples = Vec::with_capacity(self.reps);
         for _ in 0..self.reps {

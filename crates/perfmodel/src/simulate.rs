@@ -214,8 +214,14 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
     }
 
     fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
+        // An isolated benchmark is identified by the call's signature alone:
+        // it has no notion of the position the call occupies inside some
+        // algorithm, so (unlike sequence noise) its noise must not be keyed
+        // on `call_index`. This also makes the benchmark memoisable by
+        // signature — Experiment 3 and the planner's prediction cache rely
+        // on identical calls having identical isolated times.
         let call = &alg.calls[call_index];
-        self.base_call_time(call) * self.noise_factor(call, call_index, "isolated")
+        self.base_call_time(call) * self.noise_factor(call, 0, "isolated")
     }
 }
 

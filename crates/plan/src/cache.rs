@@ -1,0 +1,190 @@
+//! The planner's shared, memoized prediction cache.
+//!
+//! Predicting an algorithm's time from isolated-call benchmarks (the paper's
+//! Experiment 3, and the `MinPredictedTime` / `Hybrid` policies) repeatedly
+//! times the *same* kernel calls: equivalent algorithms of one instance share
+//! calls, neighbouring instances of a grid sweep share calls, and every
+//! selection consults the same profiles. [`PredictionCache`] memoizes those
+//! benchmarks keyed by the exact kernel-call signature — operation, operand
+//! dimensions and transposition flags, i.e. the whole
+//! [`KernelOp`](lamb_expr::KernelOp) value — behind a mutex, so one cache can
+//! be shared by all algorithms, instances and worker threads of a planner.
+
+use lamb_expr::Algorithm;
+use lamb_perfmodel::{AlgorithmTiming, CallTimeTable, CallTiming, Executor, MachineModel};
+use std::sync::Mutex;
+
+/// A thread-safe memo table of isolated-call benchmark times.
+#[derive(Debug, Default)]
+pub struct PredictionCache {
+    table: Mutex<CallTimeTable>,
+}
+
+impl PredictionCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictionCache::default()
+    }
+
+    /// Time call `index` of `alg` in isolation, reusing the memoised result
+    /// when the same kernel-call signature has been benchmarked before.
+    ///
+    /// The lock is *not* held while the executor runs, so concurrent workers
+    /// never serialise on a slow benchmark; two threads may race to benchmark
+    /// the same call, in which case both results are identical for the
+    /// deterministic executors and the last write wins.
+    pub fn cached_isolated_call(
+        &self,
+        executor: &mut dyn Executor,
+        alg: &Algorithm,
+        index: usize,
+    ) -> f64 {
+        let op = &alg.calls[index].op;
+        if let Some(t) = self.table.lock().expect("cache poisoned").lookup(op) {
+            return t;
+        }
+        let t = executor.time_isolated_call(alg, index);
+        self.table
+            .lock()
+            .expect("cache poisoned")
+            .insert(op.clone(), t);
+        t
+    }
+
+    /// Predict `alg`'s time as the sum of its (cached) isolated-call
+    /// benchmarks — the cached equivalent of
+    /// [`Executor::predict_from_isolated_calls`].
+    pub fn predict(&self, executor: &mut dyn Executor, alg: &Algorithm) -> AlgorithmTiming {
+        let per_call: Vec<CallTiming> = alg
+            .calls
+            .iter()
+            .enumerate()
+            .map(|(i, call)| CallTiming {
+                index: i,
+                label: call.label.clone(),
+                flops: call.flops(),
+                seconds: self.cached_isolated_call(executor, alg, i),
+            })
+            .collect();
+        AlgorithmTiming {
+            algorithm_name: alg.name.clone(),
+            seconds: per_call.iter().map(|c| c.seconds).sum(),
+            per_call,
+            flops: alg.flops(),
+        }
+    }
+
+    /// Number of distinct kernel-call signatures benchmarked so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing has been benchmarked yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.lock().expect("cache poisoned").is_empty()
+    }
+
+    /// `(hits, misses)` counters: how much benchmarking the memoisation
+    /// avoided.
+    #[must_use]
+    pub fn stats(&self) -> (usize, usize) {
+        self.table.lock().expect("cache poisoned").stats()
+    }
+}
+
+/// An [`Executor`] adapter that routes isolated-call benchmarks through a
+/// [`PredictionCache`] and passes whole-algorithm executions straight
+/// through.
+///
+/// Selection policies receive this adapter from the planner, so
+/// `MinPredictedTime` and `Hybrid` transparently share profile benchmarks
+/// across algorithms, instances and planner invocations. Whole-algorithm
+/// executions are *not* cached: for measured executors they are genuine
+/// timing runs, and for the anomaly classification every instance must be
+/// executed.
+pub struct CachingExecutor<'a> {
+    inner: &'a mut dyn Executor,
+    cache: &'a PredictionCache,
+}
+
+impl<'a> CachingExecutor<'a> {
+    /// Wrap `inner`, memoizing isolated-call timings in `cache`.
+    pub fn new(inner: &'a mut dyn Executor, cache: &'a PredictionCache) -> Self {
+        CachingExecutor { inner, cache }
+    }
+}
+
+impl Executor for CachingExecutor<'_> {
+    fn name(&self) -> String {
+        format!("cached({})", self.inner.name())
+    }
+
+    fn machine(&self) -> &MachineModel {
+        self.inner.machine()
+    }
+
+    fn execute_algorithm(&mut self, alg: &Algorithm) -> AlgorithmTiming {
+        self.inner.execute_algorithm(alg)
+    }
+
+    fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
+        self.cache.cached_isolated_call(self.inner, alg, call_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_expr::enumerate_aatb_algorithms;
+    use lamb_perfmodel::SimulatedExecutor;
+
+    #[test]
+    fn cached_prediction_equals_uncached_prediction() {
+        let cache = PredictionCache::new();
+        let mut cached_exec = SimulatedExecutor::paper_like();
+        let mut plain_exec = SimulatedExecutor::paper_like();
+        for alg in enumerate_aatb_algorithms(80, 514, 768) {
+            let cached = cache.predict(&mut cached_exec, &alg);
+            let plain = plain_exec.predict_from_isolated_calls(&alg);
+            assert_eq!(cached.seconds, plain.seconds, "{}", alg.name);
+            assert_eq!(cached.per_call, plain.per_call, "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn repeated_predictions_hit_the_cache() {
+        let cache = PredictionCache::new();
+        let mut exec = SimulatedExecutor::paper_like();
+        let algs = enumerate_aatb_algorithms(100, 200, 300);
+        for alg in &algs {
+            cache.predict(&mut exec, alg);
+        }
+        let (_, misses_first) = cache.stats();
+        for alg in &algs {
+            cache.predict(&mut exec, alg);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_first, "second pass must not re-benchmark");
+        assert!(hits >= algs.iter().map(|a| a.calls.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn caching_executor_is_transparent_for_whole_algorithm_execution() {
+        let cache = PredictionCache::new();
+        let mut inner = SimulatedExecutor::paper_like();
+        let mut reference = SimulatedExecutor::paper_like();
+        let alg = &enumerate_aatb_algorithms(90, 110, 130)[0];
+        let mut wrapped = CachingExecutor::new(&mut inner, &cache);
+        assert_eq!(
+            wrapped.execute_algorithm(alg),
+            reference.execute_algorithm(alg)
+        );
+        assert!(wrapped.name().contains("simulated"));
+        assert!(cache.is_empty(), "execution must not touch the cache");
+        let _ = wrapped.predict_from_isolated_calls(alg);
+        assert_eq!(cache.len(), alg.calls.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! # lamb-plan
+//!
+//! The unified planning pipeline of the `lamb` workspace: **one** code path
+//! from an expression instance to a selected, executed algorithm and its
+//! anomaly verdict.
+//!
+//! The ICPP'22 paper this workspace reproduces is fundamentally about a
+//! selection pipeline: enumerate the mathematically equivalent algorithms of
+//! an expression instance, rank them by a discriminant (FLOP count, predicted
+//! time, or a hybrid), execute the choice, and ask whether the discriminant
+//! was misled (an *anomaly*). [`Planner`] packages that pipeline behind a
+//! builder:
+//!
+//! ```
+//! use lamb_expr::AatbExpression;
+//! use lamb_plan::Planner;
+//! use lamb_select::MinPredictedTime;
+//!
+//! let expr = AatbExpression::new();
+//! let plan = Planner::for_expression(&expr)
+//!     .policy(MinPredictedTime)          // or any custom SelectionPolicy
+//!     .threshold(0.10)                   // anomaly time-score threshold
+//!     .plan(&[80, 514, 768])             // the paper's Figure-11 instance
+//!     .unwrap();
+//!
+//! println!("chosen: {}", plan.chosen_algorithm().name);
+//! let outcome = plan.execute();
+//! assert!(outcome.is_anomaly());        // FLOP counts mislead here...
+//! assert!(outcome.regret() < 0.05);     // ...but prediction does not.
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`Planner`] — builder over an expression: policy, executor (factory),
+//!   threshold, prediction scoring; `plan` / `plan_with` for one instance,
+//!   [`Planner::plan_grid`] for a batched sweep fanned out across worker
+//!   threads, [`Planner::predict_instance`] for Experiment-3-style predicted
+//!   verdicts.
+//! * [`Plan`] — the enumerated algorithm set with per-algorithm
+//!   [`AlgorithmScore`]s and the policy's chosen index;
+//!   [`Plan::execute`] / [`Plan::execute_with`] time every algorithm and
+//!   produce a [`PlanExecution`] carrying the [`Classification`] verdict.
+//! * [`PredictionCache`] / [`CachingExecutor`] — a memo table of
+//!   isolated-call benchmark times keyed by the exact kernel-call signature
+//!   (operation, dimensions, transposition), shared across algorithms,
+//!   instances and threads, so repeated profile benchmarks are paid once.
+//!
+//! [`Classification`]: lamb_select::Classification
+
+#![deny(missing_docs)]
+
+pub mod cache;
+mod plan;
+mod planner;
+
+pub use cache::{CachingExecutor, PredictionCache};
+pub use plan::{AlgorithmScore, Plan, PlanError, PlanExecution};
+pub use planner::Planner;
+
+// The selection vocabulary the planner builds on, re-exported so that
+// `lamb_plan` alone suffices for most call sites.
+pub use lamb_select::{
+    Hybrid, MinFlops, MinPredictedTime, Oracle, SelectError, SelectionPolicy, Strategy,
+};

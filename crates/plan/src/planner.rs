@@ -1,0 +1,390 @@
+//! The builder-style [`Planner`]: one pipeline from expression instance to
+//! selected algorithm.
+
+use crate::cache::{CachingExecutor, PredictionCache};
+use crate::plan::{AlgorithmScore, Plan, PlanError};
+use lamb_expr::Expression;
+use lamb_perfmodel::{Executor, SimulatedExecutor};
+use lamb_select::{AlgorithmMeasurement, InstanceEvaluation, MinFlops, SelectionPolicy, Strategy};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Plans expression instances: enumerate the mathematically equivalent
+/// algorithms, score them, and let a [`SelectionPolicy`] choose.
+///
+/// ```
+/// use lamb_expr::AatbExpression;
+/// use lamb_plan::Planner;
+/// use lamb_select::MinPredictedTime;
+///
+/// let expr = AatbExpression::new();
+/// let planner = Planner::for_expression(&expr).policy(MinPredictedTime);
+/// let plan = planner.plan(&[80, 514, 768]).unwrap();
+/// let outcome = plan.execute();
+/// // On this paper instance the cheapest algorithms are not the fastest,
+/// // and the prediction-based policy avoids the trap.
+/// assert!(outcome.is_anomaly());
+/// assert!(outcome.regret() < 0.05);
+/// ```
+pub struct Planner<'e> {
+    expr: &'e dyn Expression,
+    policy: Arc<dyn SelectionPolicy>,
+    factory: Arc<dyn Fn() -> Box<dyn Executor> + Send + Sync>,
+    threshold: f64,
+    score_predictions: bool,
+    cache: Arc<PredictionCache>,
+}
+
+impl<'e> Planner<'e> {
+    /// Start planning for `expr` with the defaults: the `MinFlops` policy
+    /// (what Linnea/Armadillo/Julia do), the paper-like simulated executor,
+    /// predicted-time scoring enabled, and the 10% anomaly threshold of
+    /// Experiment 1.
+    #[must_use]
+    pub fn for_expression(expr: &'e dyn Expression) -> Self {
+        Planner {
+            expr,
+            policy: Arc::new(MinFlops),
+            factory: Arc::new(|| Box::new(SimulatedExecutor::paper_like())),
+            threshold: 0.10,
+            score_predictions: true,
+            cache: Arc::new(PredictionCache::new()),
+        }
+    }
+
+    /// Use `policy` to choose among the enumerated algorithms.
+    #[must_use]
+    pub fn policy(mut self, policy: impl SelectionPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// Use the built-in policy named by `strategy` (back-compat constructor).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.policy = Arc::from(strategy.to_policy());
+        self
+    }
+
+    /// Time algorithms with clones of `executor` (one clone per worker in
+    /// [`Planner::plan_grid`]).
+    #[must_use]
+    pub fn executor<E: Executor + Clone + Sync + 'static>(self, executor: E) -> Self {
+        self.executor_factory(move || Box::new(executor.clone()))
+    }
+
+    /// Time algorithms with executors built by `factory`. The factory is
+    /// invoked once per [`Planner::plan`] call and once per worker thread in
+    /// [`Planner::plan_grid`].
+    #[must_use]
+    pub fn executor_factory(
+        mut self,
+        factory: impl Fn() -> Box<dyn Executor> + Send + Sync + 'static,
+    ) -> Self {
+        self.factory = Arc::new(factory);
+        self
+    }
+
+    /// Time-score threshold used when executed plans classify anomalies
+    /// (paper: 10% in Experiment 1, 5% in Experiments 2-3).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Whether [`Plan::scores`](crate::Plan) should include predicted times
+    /// (benchmarked through the shared cache). Disable for tight loops that
+    /// only need the FLOP scores and the policy's choice.
+    #[must_use]
+    pub fn score_predictions(mut self, enabled: bool) -> Self {
+        self.score_predictions = enabled;
+        self
+    }
+
+    /// The expression being planned.
+    #[must_use]
+    pub fn expression(&self) -> &'e dyn Expression {
+        self.expr
+    }
+
+    /// The shared prediction cache: distinct kernel calls benchmarked so far.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `(hits, misses)` of the shared prediction cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.cache.stats()
+    }
+
+    fn validate(&self, dims: &[usize]) -> Result<(), PlanError> {
+        let expected = self.expr.num_dims();
+        if dims.len() != expected {
+            return Err(PlanError::DimensionMismatch {
+                expected,
+                got: dims.len(),
+            });
+        }
+        if let Some(index) = dims.iter().position(|&d| d == 0) {
+            return Err(PlanError::ZeroDimension { index });
+        }
+        Ok(())
+    }
+
+    /// Plan one instance with a fresh executor from the factory.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan(&self, dims: &[usize]) -> Result<Plan, PlanError> {
+        let mut executor = (self.factory)();
+        self.plan_with(dims, executor.as_mut())
+    }
+
+    /// Plan one instance, consulting `executor` (through the shared
+    /// prediction cache) for predicted times.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn plan_with(
+        &self,
+        dims: &[usize],
+        executor: &mut dyn Executor,
+    ) -> Result<Plan, PlanError> {
+        self.validate(dims)?;
+        let algorithms = self.expr.algorithms(dims);
+        if algorithms.is_empty() {
+            return Err(PlanError::NoAlgorithms);
+        }
+        let mut caching = CachingExecutor::new(executor, &self.cache);
+        let scores: Vec<AlgorithmScore> = algorithms
+            .iter()
+            .enumerate()
+            .map(|(index, alg)| AlgorithmScore {
+                index,
+                name: alg.name.clone(),
+                flops: alg.flops(),
+                predicted_seconds: self
+                    .score_predictions
+                    .then(|| caching.predict_from_isolated_calls(alg).seconds),
+            })
+            .collect();
+        let chosen = self.policy.select(&algorithms, &mut caching)?;
+        Ok(Plan {
+            dims: dims.to_vec(),
+            expression: self.expr.name(),
+            algorithms,
+            scores,
+            chosen,
+            policy: self.policy.name(),
+            threshold: self.threshold,
+            factory: Arc::clone(&self.factory),
+            cache: Arc::clone(&self.cache),
+        })
+    }
+
+    /// Plan a batch of instances, fanning out across worker threads: the
+    /// grid is split into one contiguous chunk per worker, each worker
+    /// builds one executor from the factory, and the prediction cache is
+    /// shared by all of them.
+    ///
+    /// Results come back in input order, one per instance; an invalid
+    /// instance yields its own `Err` without failing the rest. Verdicts are
+    /// independent of the number of worker threads because the deterministic
+    /// executors key their timings on the kernel-call signatures alone.
+    #[must_use]
+    pub fn plan_grid(&self, grid: &[Vec<usize>]) -> Vec<Result<Plan, PlanError>> {
+        if grid.is_empty() {
+            return Vec::new();
+        }
+        let workers = rayon::current_num_threads().clamp(1, grid.len());
+        let chunk_size = grid.len().div_ceil(workers);
+        let chunks: Vec<Vec<Vec<usize>>> = grid.chunks(chunk_size).map(<[_]>::to_vec).collect();
+        let per_chunk: Vec<Vec<Result<Plan, PlanError>>> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut executor = (self.factory)();
+                chunk
+                    .iter()
+                    .map(|dims| self.plan_with(dims, executor.as_mut()))
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Build the *predicted* evaluation of one instance: per-algorithm times
+    /// formed by summing (cached) isolated-call benchmarks — the predictor of
+    /// the paper's Experiment 3. Classify the result to get the predicted
+    /// anomaly verdict.
+    ///
+    /// # Errors
+    ///
+    /// See [`PlanError`].
+    pub fn predict_instance(
+        &self,
+        dims: &[usize],
+        executor: &mut dyn Executor,
+    ) -> Result<InstanceEvaluation, PlanError> {
+        self.validate(dims)?;
+        let algorithms = self.expr.algorithms(dims);
+        if algorithms.is_empty() {
+            return Err(PlanError::NoAlgorithms);
+        }
+        let measurements = algorithms
+            .iter()
+            .enumerate()
+            .map(|(index, alg)| AlgorithmMeasurement {
+                index,
+                name: alg.name.clone(),
+                flops: alg.flops(),
+                seconds: self.cache.predict(executor, alg).seconds,
+            })
+            .collect();
+        Ok(InstanceEvaluation {
+            dims: dims.to_vec(),
+            measurements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_expr::{AatbExpression, MatrixChainExpression};
+    use lamb_select::{MinPredictedTime, Oracle, SelectError};
+
+    #[test]
+    fn planning_validates_dimensions() {
+        let expr = AatbExpression::new();
+        let planner = Planner::for_expression(&expr);
+        assert_eq!(
+            planner.plan(&[10, 20]).unwrap_err(),
+            PlanError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            planner.plan(&[10, 0, 30]).unwrap_err(),
+            PlanError::ZeroDimension { index: 1 }
+        );
+    }
+
+    #[test]
+    fn default_policy_is_min_flops() {
+        let expr = MatrixChainExpression::abcd();
+        let planner = Planner::for_expression(&expr);
+        let plan = planner.plan(&[100, 20, 300, 20, 500]).unwrap();
+        assert_eq!(plan.policy, "min-flops");
+        let min = plan.scores.iter().map(|s| s.flops).min().unwrap();
+        assert_eq!(plan.chosen_score().flops, min);
+        assert_eq!(plan.algorithms.len(), 6);
+        assert_eq!(plan.expression, expr.name());
+    }
+
+    #[test]
+    fn scores_include_predictions_by_default_and_can_be_disabled() {
+        let expr = AatbExpression::new();
+        let planner = Planner::for_expression(&expr);
+        let plan = planner.plan(&[80, 100, 120]).unwrap();
+        assert!(plan.scores.iter().all(|s| s.predicted_seconds.is_some()));
+        assert!(planner.cache_len() > 0);
+
+        let lean = Planner::for_expression(&expr).score_predictions(false);
+        let plan = lean.plan(&[80, 100, 120]).unwrap();
+        assert!(plan.scores.iter().all(|s| s.predicted_seconds.is_none()));
+        assert_eq!(lean.cache_len(), 0, "min-flops must not benchmark");
+    }
+
+    #[test]
+    fn policy_and_strategy_builders_agree() {
+        let expr = AatbExpression::new();
+        let dims = [400usize, 100, 1100];
+        let via_policy = Planner::for_expression(&expr)
+            .policy(MinPredictedTime)
+            .plan(&dims)
+            .unwrap();
+        let via_strategy = Planner::for_expression(&expr)
+            .strategy(Strategy::MinPredictedTime)
+            .plan(&dims)
+            .unwrap();
+        assert_eq!(via_policy.chosen, via_strategy.chosen);
+        assert_eq!(via_policy.policy, via_strategy.policy);
+    }
+
+    #[test]
+    fn execution_judges_the_choice_against_the_optimum() {
+        let expr = AatbExpression::new();
+        let oracle = Planner::for_expression(&expr).policy(Oracle);
+        let outcome = oracle.plan(&[300, 700, 900]).unwrap().execute();
+        assert!(outcome.regret() < 1e-12, "the oracle has no regret");
+        assert_eq!(outcome.timings.len(), 5);
+        assert!(outcome.best_seconds > 0.0);
+    }
+
+    #[test]
+    fn select_errors_surface_as_plan_errors() {
+        // A planner over an expression that enumerates nothing.
+        struct Empty;
+        impl Expression for Empty {
+            fn name(&self) -> String {
+                "empty".into()
+            }
+            fn num_dims(&self) -> usize {
+                1
+            }
+            fn algorithms(&self, _dims: &[usize]) -> Vec<lamb_expr::Algorithm> {
+                Vec::new()
+            }
+        }
+        let expr = Empty;
+        let planner = Planner::for_expression(&expr);
+        assert_eq!(planner.plan(&[10]).unwrap_err(), PlanError::NoAlgorithms);
+        // And the SelectError conversion is exercised directly.
+        assert_eq!(
+            PlanError::from(SelectError::EmptyAlgorithmSet),
+            PlanError::Select(SelectError::EmptyAlgorithmSet)
+        );
+    }
+
+    #[test]
+    fn plan_grid_builds_at_most_one_executor_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let expr = AatbExpression::new();
+        let built = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&built);
+        let planner = Planner::for_expression(&expr).executor_factory(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Box::new(lamb_perfmodel::SimulatedExecutor::paper_like())
+        });
+        let grid: Vec<Vec<usize>> = (1..=64).map(|i| vec![20 + i, 100, 200]).collect();
+        let results = planner.plan_grid(&grid);
+        assert_eq!(results.len(), 64);
+        assert!(results.iter().all(Result::is_ok));
+        let factories = built.load(Ordering::Relaxed);
+        assert!(
+            factories <= rayon::current_num_threads(),
+            "{factories} executors for {} workers",
+            rayon::current_num_threads()
+        );
+    }
+
+    #[test]
+    fn the_shared_cache_spans_instances() {
+        let expr = AatbExpression::new();
+        let planner = Planner::for_expression(&expr).policy(MinPredictedTime);
+        let _ = planner.plan(&[80, 100, 120]).unwrap();
+        let after_first = planner.cache_stats();
+        // The same instance again: only hits, no new misses.
+        let _ = planner.plan(&[80, 100, 120]).unwrap();
+        let after_second = planner.cache_stats();
+        assert_eq!(after_first.1, after_second.1, "no new benchmarks");
+        assert!(after_second.0 > after_first.0, "cache hits increased");
+    }
+}

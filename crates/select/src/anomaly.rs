@@ -110,8 +110,16 @@ impl InstanceEvaluation {
             .fold(f64::INFINITY, f64::min);
         // FLOP count of the cheapest algorithms and of the cheapest among the
         // fastest algorithms.
-        let f_cheapest = cheapest.iter().map(|&i| by_index(i).flops).min().unwrap_or(0);
-        let f_fastest = fastest.iter().map(|&i| by_index(i).flops).min().unwrap_or(0);
+        let f_cheapest = cheapest
+            .iter()
+            .map(|&i| by_index(i).flops)
+            .min()
+            .unwrap_or(0);
+        let f_fastest = fastest
+            .iter()
+            .map(|&i| by_index(i).flops)
+            .min()
+            .unwrap_or(0);
 
         let ts = time_score(t_cheapest, t_fastest);
         let fs = flop_score(f_cheapest, f_fastest);

@@ -6,16 +6,23 @@
 //!   ([`scores`]),
 //! * **anomaly classification** of an instance from the per-algorithm FLOP
 //!   counts and execution times ([`anomaly`]), and
-//! * **selection strategies** — minimum FLOP count (the discriminant under
+//! * **selection policies** — minimum FLOP count (the discriminant under
 //!   study), performance-profile-based prediction, a hybrid of the two, and
-//!   an empirical oracle ([`strategy`]).
+//!   an empirical oracle, behind the object-safe [`SelectionPolicy`] trait
+//!   ([`policy`]), with the closed [`Strategy`] enum kept as a thin
+//!   constructor ([`strategy`]).
+//!
+//! The `lamb-plan` crate builds the user-facing `Planner` pipeline on top of
+//! these pieces.
 
 #![deny(missing_docs)]
 
 pub mod anomaly;
+pub mod policy;
 pub mod scores;
 pub mod strategy;
 
 pub use anomaly::{AlgorithmMeasurement, Classification, InstanceEvaluation};
+pub use policy::{Hybrid, MinFlops, MinPredictedTime, Oracle, SelectError, SelectionPolicy};
 pub use scores::{flop_score, time_score};
 pub use strategy::{evaluate_instance, evaluate_strategy, Strategy, StrategyOutcome};

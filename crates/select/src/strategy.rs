@@ -1,17 +1,19 @@
-//! Algorithm selection strategies.
+//! The closed enumeration of built-in selection strategies.
 //!
-//! The paper's motivating systems (Linnea, Armadillo, Julia) select the
-//! algorithm with the minimum FLOP count. Its conclusion conjectures that
-//! combining FLOP counts with kernel performance profiles would predict most
-//! anomalies and therefore select better algorithms. This module implements
-//! both, plus an oracle, so the claim can be quantified (see the
-//! `selection_strategies` bench and the `ablation_strategies` binary).
+//! [`Strategy`] predates the open [`SelectionPolicy`] trait and is kept as a
+//! thin, `Copy`able constructor over the built-in policies: it is convenient
+//! to iterate over in experiments (`for strategy in [Strategy::MinFlops,
+//! ...]`) and to parse from command-line flags. New selection logic should
+//! implement [`SelectionPolicy`] directly; the `lamb-plan` `Planner` accepts
+//! either.
 
 use crate::anomaly::{AlgorithmMeasurement, InstanceEvaluation};
+use crate::policy::{Hybrid, MinFlops, MinPredictedTime, Oracle, SelectError, SelectionPolicy};
 use lamb_expr::Algorithm;
 use lamb_perfmodel::Executor;
 
-/// An algorithm selection strategy.
+/// An algorithm selection strategy (constructor for the built-in
+/// [`SelectionPolicy`] implementations).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Strategy {
     /// Pick (one of) the algorithm(s) with the minimum FLOP count — the
@@ -33,64 +35,36 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// The equivalent boxed [`SelectionPolicy`].
+    #[must_use]
+    pub fn to_policy(&self) -> Box<dyn SelectionPolicy> {
+        match *self {
+            Strategy::MinFlops => Box::new(MinFlops),
+            Strategy::MinPredictedTime => Box::new(MinPredictedTime),
+            Strategy::Hybrid { flop_margin } => Box::new(Hybrid { flop_margin }),
+            Strategy::Oracle => Box::new(Oracle),
+        }
+    }
+
     /// Short name for reports.
     #[must_use]
     pub fn name(&self) -> String {
-        match self {
-            Strategy::MinFlops => "min-flops".into(),
-            Strategy::MinPredictedTime => "min-predicted-time".into(),
-            Strategy::Hybrid { flop_margin } => format!("hybrid(margin={flop_margin})"),
-            Strategy::Oracle => "oracle".into(),
-        }
+        self.to_policy().name()
     }
 
     /// Select an algorithm index from `algorithms`, consulting `executor` for
     /// predictions or (for the oracle) actual executions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `algorithms` is empty.
-    pub fn select(&self, algorithms: &[Algorithm], executor: &mut dyn Executor) -> usize {
-        assert!(!algorithms.is_empty(), "cannot select from an empty algorithm set");
-        match self {
-            Strategy::MinFlops => argmin_by_key(algorithms, |a| a.flops() as f64),
-            Strategy::MinPredictedTime => argmin_by_key(algorithms, |a| {
-                executor.predict_from_isolated_calls(a).seconds
-            }),
-            Strategy::Hybrid { flop_margin } => {
-                let min_flops = algorithms.iter().map(Algorithm::flops).min().unwrap_or(0) as f64;
-                let limit = min_flops * (1.0 + flop_margin.max(0.0));
-                let mut best = None;
-                let mut best_time = f64::INFINITY;
-                for (i, alg) in algorithms.iter().enumerate() {
-                    if alg.flops() as f64 <= limit {
-                        let t = executor.predict_from_isolated_calls(alg).seconds;
-                        if t < best_time {
-                            best_time = t;
-                            best = Some(i);
-                        }
-                    }
-                }
-                best.unwrap_or(0)
-            }
-            Strategy::Oracle => {
-                argmin_by_key(algorithms, |a| executor.execute_algorithm(a).seconds)
-            }
-        }
+    /// Returns [`SelectError::EmptyAlgorithmSet`] when `algorithms` is empty.
+    pub fn select(
+        &self,
+        algorithms: &[Algorithm],
+        executor: &mut dyn Executor,
+    ) -> Result<usize, SelectError> {
+        self.to_policy().select(algorithms, executor)
     }
-}
-
-fn argmin_by_key(algorithms: &[Algorithm], mut key: impl FnMut(&Algorithm) -> f64) -> usize {
-    let mut best = 0;
-    let mut best_key = f64::INFINITY;
-    for (i, alg) in algorithms.iter().enumerate() {
-        let k = key(alg);
-        if k < best_key {
-            best_key = k;
-            best = i;
-        }
-    }
-    best
 }
 
 /// The outcome of applying a strategy to one instance, judged against actual
@@ -121,12 +95,19 @@ impl StrategyOutcome {
 
 /// Evaluate a strategy on one instance: let it choose using `executor`, then
 /// judge the choice against the actual execution time of every algorithm.
+///
+/// # Panics
+///
+/// Panics if `algorithms` is empty — there is nothing to evaluate. Use
+/// [`Strategy::select`] directly to handle that case as an error.
 pub fn evaluate_strategy(
     strategy: Strategy,
     algorithms: &[Algorithm],
     executor: &mut dyn Executor,
 ) -> StrategyOutcome {
-    let chosen = strategy.select(algorithms, executor);
+    let chosen = strategy
+        .select(algorithms, executor)
+        .expect("cannot evaluate a strategy on an empty algorithm set");
     let timings: Vec<f64> = algorithms
         .iter()
         .map(|a| executor.execute_algorithm(a).seconds)
@@ -173,7 +154,7 @@ mod tests {
     fn min_flops_picks_a_cheapest_algorithm() {
         let algs = enumerate_chain_algorithms(&[100, 20, 300, 20, 500]);
         let mut exec = SimulatedExecutor::paper_like();
-        let chosen = Strategy::MinFlops.select(&algs, &mut exec);
+        let chosen = Strategy::MinFlops.select(&algs, &mut exec).unwrap();
         let min = algs.iter().map(Algorithm::flops).min().unwrap();
         assert_eq!(algs[chosen].flops(), min);
     }
@@ -201,7 +182,9 @@ mod tests {
     fn hybrid_with_zero_margin_reduces_to_min_flops_choice_set() {
         let algs = enumerate_aatb_algorithms(200, 300, 400);
         let mut exec = SimulatedExecutor::paper_like();
-        let chosen = Strategy::Hybrid { flop_margin: 0.0 }.select(&algs, &mut exec);
+        let chosen = Strategy::Hybrid { flop_margin: 0.0 }
+            .select(&algs, &mut exec)
+            .unwrap();
         let min = algs.iter().map(Algorithm::flops).min().unwrap();
         assert_eq!(algs[chosen].flops(), min);
     }
@@ -221,13 +204,24 @@ mod tests {
         assert_eq!(eval.measurements.len(), 6);
         assert!(eval.measurements.iter().all(|m| m.seconds > 0.0));
         let c = eval.classify(0.10);
-        assert_eq!(c.cheapest.len() + c.fastest.len() >= 2, true);
+        assert!(c.cheapest.len() + c.fastest.len() >= 2);
     }
 
     #[test]
-    #[should_panic(expected = "empty algorithm set")]
-    fn selecting_from_nothing_panics() {
+    fn selecting_from_nothing_is_an_error_not_a_panic() {
         let mut exec = SimulatedExecutor::paper_like();
-        let _ = Strategy::MinFlops.select(&[], &mut exec);
+        for strategy in [
+            Strategy::MinFlops,
+            Strategy::MinPredictedTime,
+            Strategy::Hybrid { flop_margin: 0.5 },
+            Strategy::Oracle,
+        ] {
+            assert_eq!(
+                strategy.select(&[], &mut exec),
+                Err(SelectError::EmptyAlgorithmSet),
+                "{}",
+                strategy.name()
+            );
+        }
     }
 }

@@ -12,8 +12,8 @@
 //! ```
 
 use lamb::experiments::{
-    predict_from_benchmarks, prediction_report, region_report, run_random_search, scan_lines_around,
-    search_report, LineConfig, PredictConfig, SearchConfig,
+    predict_from_benchmarks, prediction_report, region_report, run_random_search,
+    scan_lines_around, search_report, LineConfig, PredictConfig, SearchConfig,
 };
 use lamb::prelude::*;
 
@@ -63,6 +63,7 @@ fn main() {
     println!("{}", region_report(&scans, expr.num_dims()));
 
     // Experiment 3: would isolated kernel benchmarks have predicted them?
-    let prediction = predict_from_benchmarks(&expr, executor.as_mut(), &scans, &PredictConfig::paper());
+    let prediction =
+        predict_from_benchmarks(&expr, executor.as_mut(), &scans, &PredictConfig::paper());
     println!("{}", prediction_report(&prediction));
 }

@@ -30,7 +30,10 @@ fn main() {
     );
 
     // Time each algorithm with the paper's measurement protocol.
-    println!("{:<42} {:>14} {:>12} {:>8}", "algorithm", "FLOPs", "time [ms]", "eff");
+    println!(
+        "{:<42} {:>14} {:>12} {:>8}",
+        "algorithm", "FLOPs", "time [ms]", "eff"
+    );
     let machine = executor.machine().clone();
     let mut timings = Vec::new();
     for alg in &algorithms {

@@ -21,7 +21,10 @@ fn main() {
     let d = Expr::var("D", dims[3], dims[4]);
     let chain = Expr::product(vec![a, b, c, d]);
     let (pattern, algorithms) = generate_algorithms(&chain).expect("well-shaped expression");
-    println!("expression {chain} recognised as {pattern:?}: {} algorithms", algorithms.len());
+    println!(
+        "expression {chain} recognised as {pattern:?}: {} algorithms",
+        algorithms.len()
+    );
 
     let mut executor = SimulatedExecutor::paper_like();
     let evaluation = evaluate_instance(&dims, &algorithms, &mut executor);
@@ -47,7 +50,10 @@ fn main() {
     let bmat = Expr::var("B", d0, d2);
     let aatb = a.clone().mul(a.t()).mul(bmat);
     let (pattern, algorithms) = generate_algorithms(&aatb).expect("well-shaped expression");
-    println!("\nexpression {aatb} recognised as {pattern:?}: {} algorithms", algorithms.len());
+    println!(
+        "\nexpression {aatb} recognised as {pattern:?}: {} algorithms",
+        algorithms.len()
+    );
 
     let evaluation = evaluate_instance(&[d0, d1, d2], &algorithms, &mut executor);
     println!("\n{:<38} {:>16} {:>12}", "algorithm", "FLOPs", "time [ms]");
@@ -66,7 +72,11 @@ fn main() {
 
     // ------------------------------------------------------------ selection
     // What would the different selection strategies pick?
-    for strategy in [Strategy::MinFlops, Strategy::MinPredictedTime, Strategy::Oracle] {
+    for strategy in [
+        Strategy::MinFlops,
+        Strategy::MinPredictedTime,
+        Strategy::Oracle,
+    ] {
         let outcome = evaluate_strategy(strategy, &algorithms, &mut executor);
         println!(
             "strategy {:<22} picks algorithm {} ({:.2} ms, {:.1}% slower than optimal)",

@@ -45,7 +45,10 @@ fn main() {
             m.flops as f64 / cheapest_flops as f64
         );
     }
-    assert_eq!(dp_flops, cheapest_flops, "the DP optimum is the cheapest enumerated algorithm");
+    assert_eq!(
+        dp_flops, cheapest_flops,
+        "the DP optimum is the cheapest enumerated algorithm"
+    );
 
     let verdict = evaluation.classify(0.05);
     println!(
@@ -57,15 +60,26 @@ fn main() {
     // sweep of the unknown readout width d4 (the "symbolic size" scenario of
     // the paper's conclusions).
     println!("\nsweep of the readout width d4 (selection under a symbolic size):");
-    println!("{:>6} {:>12} {:>14} {:>12}", "d4", "min-flops", "predicted-time", "oracle");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "d4", "min-flops", "predicted-time", "oracle"
+    );
     for d4 in [64usize, 128, 256, 512, 1024, 2048] {
         let mut dims = dims;
         dims[4] = d4;
         let algorithms = enumerate_chain_algorithms(&dims);
         let mut row = Vec::new();
-        for strategy in [Strategy::MinFlops, Strategy::MinPredictedTime, Strategy::Oracle] {
+        for strategy in [
+            Strategy::MinFlops,
+            Strategy::MinPredictedTime,
+            Strategy::Oracle,
+        ] {
             let outcome = evaluate_strategy(strategy, &algorithms, &mut executor);
-            row.push(format!("alg{} ({:.0}ms)", outcome.chosen + 1, outcome.chosen_seconds * 1e3));
+            row.push(format!(
+                "alg{} ({:.0}ms)",
+                outcome.chosen + 1,
+                outcome.chosen_seconds * 1e3
+            ));
         }
         println!("{:>6} {:>12} {:>14} {:>12}", d4, row[0], row[1], row[2]);
     }

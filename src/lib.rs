@@ -19,28 +19,46 @@
 //! | [`kernels`] | `lamb-kernels` | blocked, packed, Rayon-parallel GEMM / SYRK / SYMM + FLOP models |
 //! | [`expr`] | `lamb-expr` | expressions, kernel-call IR, algorithm enumeration (6 chain + 5 `A·Aᵀ·B` algorithms) |
 //! | [`perfmodel`] | `lamb-perfmodel` | machine models, measured & simulated executors, performance profiles |
-//! | [`select`] | `lamb-select` | FLOP/time scores, anomaly classification, selection strategies |
+//! | [`select`] | `lamb-select` | FLOP/time scores, anomaly classification, selection policies |
+//! | [`plan`] | `lamb-plan` | the unified `Planner` pipeline: plan → select → execute → verdict |
 //! | [`experiments`] | `lamb-experiments` | the paper's Experiments 1–3, figure/table data generators |
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Planner` is the front door
 //!
 //! ```
 //! use lamb::prelude::*;
 //!
 //! // The paper's second expression: X := A·Aᵀ·B with A 80x514 and B 80x768.
-//! let algorithms = enumerate_aatb_algorithms(80, 514, 768);
-//! assert_eq!(algorithms.len(), 5);
+//! let expr = AatbExpression::new();
+//! let plan = Planner::for_expression(&expr)
+//!     .policy(MinPredictedTime)   // FLOPs + kernel performance profiles
+//!     .threshold(0.10)            // Experiment-1 anomaly threshold
+//!     .plan(&[80, 514, 768])
+//!     .unwrap();
+//! assert_eq!(plan.algorithms.len(), 5);
 //!
-//! // Time every algorithm on the simulated machine model and classify.
-//! let mut executor = SimulatedExecutor::paper_like();
-//! let evaluation = evaluate_instance(&[80, 514, 768], &algorithms, &mut executor);
-//! let verdict = evaluation.classify(0.10);
+//! // Execute every algorithm on the simulated machine model and classify.
+//! let outcome = plan.execute();
 //!
 //! // On this instance the cheapest (SYRK/SYMM-based) algorithms are *not*
-//! // the fastest: a FLOP-count discriminant picks a slow algorithm.
-//! assert!(verdict.is_anomaly);
-//! assert!(verdict.time_score > 0.10);
+//! // the fastest: a FLOP-count discriminant picks a slow algorithm, while
+//! // the prediction-based policy stays near the optimum.
+//! assert!(outcome.is_anomaly());
+//! assert!(outcome.verdict.time_score > 0.10);
+//! assert!(outcome.regret() < 0.05);
+//!
+//! // Batched sweeps fan out across worker threads with a shared
+//! // prediction cache:
+//! let grid: Vec<Vec<usize>> = (1..=4).map(|i| vec![80 * i, 514, 768]).collect();
+//! let plans = Planner::for_expression(&expr).plan_grid(&grid);
+//! assert_eq!(plans.len(), 4);
+//! # assert!(plans.iter().all(|p| p.is_ok()));
 //! ```
+//!
+//! The lower-level pieces remain available: `enumerate_*_algorithms` for the
+//! raw algorithm sets, [`prelude::evaluate_instance`] for classification
+//! without selection, and [`prelude::Strategy`] as a `Copy`able constructor
+//! for the built-in [`prelude::SelectionPolicy`] implementations.
 
 #![deny(missing_docs)]
 
@@ -49,6 +67,7 @@ pub use lamb_expr as expr;
 pub use lamb_kernels as kernels;
 pub use lamb_matrix as matrix;
 pub use lamb_perfmodel as perfmodel;
+pub use lamb_plan as plan;
 pub use lamb_select as select;
 
 /// The most commonly used items, re-exported flat.
@@ -57,20 +76,24 @@ pub mod prelude {
         run_efficiency_line, run_experiment1, run_experiment2, run_experiment3, run_figure1,
         run_full_pipeline, run_random_search, LineConfig, PredictConfig, SearchConfig,
     };
-    pub use lamb_expr::{
-        enumerate_aatb_algorithms, enumerate_chain_algorithms, optimal_chain_order,
-        AatbExpression, Algorithm, Expression, KernelCall, KernelOp, MatrixChainExpression,
-    };
     pub use lamb_expr::expr::Expr;
     pub use lamb_expr::generator::{generate_algorithms, RecognisedPattern};
+    pub use lamb_expr::{
+        enumerate_aatb_algorithms, enumerate_chain_algorithms, optimal_chain_order, AatbExpression,
+        Algorithm, Expression, KernelCall, KernelOp, MatrixChainExpression,
+    };
     pub use lamb_kernels::{gemm, gemm_new, symm, symm_new, syrk, syrk_new, BlockConfig};
     pub use lamb_matrix::{Matrix, Side, Trans, Uplo};
     pub use lamb_perfmodel::{
         AlgorithmTiming, AnalyticEfficiencyModel, Executor, MachineModel, MeasuredExecutor,
         SimulatedExecutor, SimulatorConfig,
     };
+    pub use lamb_plan::{
+        AlgorithmScore, CachingExecutor, Plan, PlanError, PlanExecution, Planner, PredictionCache,
+    };
     pub use lamb_select::{
-        evaluate_instance, evaluate_strategy, Classification, InstanceEvaluation, Strategy,
+        evaluate_instance, evaluate_strategy, Classification, Hybrid, InstanceEvaluation, MinFlops,
+        MinPredictedTime, Oracle, SelectError, SelectionPolicy, Strategy,
     };
 }
 
@@ -87,5 +110,18 @@ mod tests {
         assert_eq!(eval.measurements.len(), 6);
         assert!(!class.cheapest.is_empty());
         assert!(!class.fastest.is_empty());
+    }
+
+    #[test]
+    fn the_planner_front_door_is_reachable_from_the_prelude() {
+        let expr = MatrixChainExpression::abcd();
+        let plan = Planner::for_expression(&expr)
+            .policy(MinFlops)
+            .plan(&[100, 40, 120, 30, 90])
+            .unwrap();
+        assert_eq!(plan.algorithms.len(), 6);
+        let outcome = plan.execute();
+        assert_eq!(outcome.timings.len(), 6);
+        assert!(outcome.best_seconds > 0.0);
     }
 }

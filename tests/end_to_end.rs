@@ -2,9 +2,7 @@
 //! simulated executor, exercised through the public facade exactly as the
 //! figure/table binaries do.
 
-use lamb::experiments::{
-    run_full_pipeline, LineConfig, PredictConfig, SearchConfig,
-};
+use lamb::experiments::{run_full_pipeline, LineConfig, PredictConfig, SearchConfig};
 use lamb::prelude::*;
 
 fn small_search(target: usize, samples: usize, seed: u64) -> SearchConfig {
@@ -56,7 +54,10 @@ fn anomaly_severity_can_reach_the_paper_headline() {
         .iter()
         .map(|a| a.time_score)
         .fold(0.0f64, f64::max);
-    assert!(max_ts > 0.20, "expected a severe anomaly, max time score {max_ts}");
+    assert!(
+        max_ts > 0.20,
+        "expected a severe anomaly, max time score {max_ts}"
+    );
 }
 
 #[test]
@@ -94,7 +95,11 @@ fn experiments_are_reproducible_for_a_fixed_seed() {
     assert_eq!(r1, r2);
     // A different seed explores different instances.
     let mut e3 = SimulatedExecutor::paper_like();
-    let r3 = run_random_search(&AatbExpression::new(), &mut e3, &small_search(5, 3000, 4321));
+    let r3 = run_random_search(
+        &AatbExpression::new(),
+        &mut e3,
+        &small_search(5, 3000, 4321),
+    );
     assert_ne!(r1.anomalies, r3.anomalies);
 }
 
@@ -107,7 +112,11 @@ fn figure1_data_reproduces_kernel_ordering() {
     let mut lines = csv.lines();
     assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm");
     for line in lines {
-        let cells: Vec<f64> = line.split(',').skip(1).map(|c| c.parse().unwrap()).collect();
+        let cells: Vec<f64> = line
+            .split(',')
+            .skip(1)
+            .map(|c| c.parse().unwrap())
+            .collect();
         let (gemm, syrk, symm) = (cells[0], cells[1], cells[2]);
         assert!(gemm >= syrk && gemm >= symm, "GEMM must dominate: {line}");
         assert!(gemm > 0.0 && gemm <= 1.0);

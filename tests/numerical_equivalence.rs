@@ -22,13 +22,17 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
     let mut store: HashMap<usize, Matrix> = HashMap::new();
     for info in &alg.operands {
         let m = match info.role {
-            lamb::expr::OperandRole::Input => random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64),
+            lamb::expr::OperandRole::Input => {
+                random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64)
+            }
             _ => Matrix::zeros(info.rows, info.cols),
         };
         store.insert(info.id.index(), m);
     }
     for call in &alg.calls {
-        let mut out = store.remove(&call.output.index()).expect("output allocated");
+        let mut out = store
+            .remove(&call.output.index())
+            .expect("output allocated");
         match call.op {
             KernelOp::Gemm { transa, transb, .. } => {
                 let a = &store[&call.inputs[0].index()];
@@ -112,7 +116,12 @@ fn chain_flop_counts_match_section_321_formulas() {
 
 #[test]
 fn aatb_flop_counts_match_section_322_formulas() {
-    for (d0, d1, d2) in [(227, 260, 549), (80, 514, 768), (110, 301, 938), (1200, 20, 20)] {
+    for (d0, d1, d2) in [
+        (227, 260, 549),
+        (80, 514, 768),
+        (110, 301, 938),
+        (1200, 20, 20),
+    ] {
         let algorithms = enumerate_aatb_algorithms(d0, d1, d2);
         let formulas = aatb_flop_formulas(d0, d1, d2);
         for (alg, expected) in algorithms.iter().zip(formulas) {

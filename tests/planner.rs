@@ -1,0 +1,165 @@
+//! Facade-level tests of the unified `Planner` pipeline:
+//!
+//! * **parity** — the planner reproduces the legacy `Strategy::select`
+//!   choices for every built-in policy on both paper expressions,
+//! * **cache** — predictions served through the shared cache are identical
+//!   to uncached `predict_from_isolated_calls` timings,
+//! * **determinism** — `plan_grid` fan-out yields the same choices and
+//!   verdicts as planning the same instances one by one, on every run.
+
+use lamb::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_grid(num_dims: usize, instances: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..instances)
+        .map(|_| (0..num_dims).map(|_| rng.random_range(20..=1200)).collect())
+        .collect()
+}
+
+fn expressions() -> Vec<Box<dyn Expression>> {
+    vec![
+        Box::new(MatrixChainExpression::abcd()),
+        Box::new(AatbExpression::new()),
+    ]
+}
+
+#[test]
+fn planner_reproduces_legacy_strategy_selection_on_both_paper_expressions() {
+    for expr in expressions() {
+        let grid = random_grid(expr.num_dims(), 25, 20220829);
+        for strategy in [
+            Strategy::MinFlops,
+            Strategy::MinPredictedTime,
+            Strategy::Hybrid { flop_margin: 0.5 },
+            Strategy::Oracle,
+        ] {
+            let planner = Planner::for_expression(expr.as_ref()).strategy(strategy);
+            for dims in &grid {
+                // Legacy path: enumerate + Strategy::select on a fresh executor.
+                let algorithms = expr.algorithms(dims);
+                let mut legacy_exec = SimulatedExecutor::paper_like();
+                let legacy = strategy
+                    .select(&algorithms, &mut legacy_exec)
+                    .expect("non-empty algorithm set");
+                // New pipeline.
+                let plan = planner.plan(dims).expect("planning succeeds");
+                assert_eq!(
+                    plan.chosen,
+                    legacy,
+                    "{} with {} on {:?}",
+                    expr.name(),
+                    strategy.name(),
+                    dims
+                );
+                assert_eq!(plan.policy, strategy.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_execution_matches_legacy_evaluate_instance() {
+    let expr = AatbExpression::new();
+    let planner = Planner::for_expression(&expr).threshold(0.10);
+    for dims in random_grid(3, 10, 7) {
+        let algorithms = expr.algorithms(&dims);
+        let mut legacy_exec = SimulatedExecutor::paper_like();
+        let legacy_eval = evaluate_instance(&dims, &algorithms, &mut legacy_exec);
+        let legacy_verdict = legacy_eval.classify(0.10);
+
+        let outcome = planner.plan(&dims).unwrap().execute();
+        assert_eq!(outcome.evaluation, legacy_eval, "on {dims:?}");
+        assert_eq!(outcome.verdict, legacy_verdict, "on {dims:?}");
+    }
+}
+
+#[test]
+fn cached_predictions_are_identical_to_uncached_predictions() {
+    for expr in expressions() {
+        let planner = Planner::for_expression(expr.as_ref());
+        let grid = random_grid(expr.num_dims(), 8, 99);
+        for dims in &grid {
+            let mut exec = SimulatedExecutor::paper_like();
+            let predicted = planner.predict_instance(dims, &mut exec).unwrap();
+            let mut plain_exec = SimulatedExecutor::paper_like();
+            for (m, alg) in predicted.measurements.iter().zip(expr.algorithms(dims)) {
+                let plain = plain_exec.predict_from_isolated_calls(&alg);
+                assert_eq!(m.seconds, plain.seconds, "{} on {:?}", alg.name, dims);
+                assert_eq!(m.flops, plain.flops);
+            }
+        }
+        // The cache must actually have been shared: repeated predictions on
+        // the same grid produce hits and no new benchmarks.
+        let (_, misses_before) = planner.cache_stats();
+        for dims in &grid {
+            let mut exec = SimulatedExecutor::paper_like();
+            let _ = planner.predict_instance(dims, &mut exec).unwrap();
+        }
+        let (hits, misses_after) = planner.cache_stats();
+        assert_eq!(misses_before, misses_after);
+        assert!(hits > 0);
+    }
+}
+
+#[test]
+fn plan_grid_verdicts_are_deterministic_and_match_sequential_planning() {
+    let expr = AatbExpression::new();
+    let grid = random_grid(3, 40, 4210);
+
+    let run = || {
+        let planner = Planner::for_expression(&expr)
+            .policy(MinPredictedTime)
+            .threshold(0.10);
+        planner
+            .plan_grid(&grid)
+            .into_iter()
+            .map(|plan| {
+                let plan = plan.expect("planning succeeds");
+                let outcome = plan.execute();
+                (plan.chosen, outcome.is_anomaly(), outcome.verdict.clone())
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Two parallel runs agree with each other (thread scheduling must not
+    // leak into the results)...
+    let first = run();
+    let second = run();
+    assert_eq!(first, second);
+
+    // ...and with planning each instance sequentially on one thread.
+    let sequential_planner = Planner::for_expression(&expr)
+        .policy(MinPredictedTime)
+        .threshold(0.10);
+    let mut exec = SimulatedExecutor::paper_like();
+    for (dims, parallel) in grid.iter().zip(&first) {
+        let plan = sequential_planner.plan_with(dims, &mut exec).unwrap();
+        let outcome = plan.execute_with(&mut exec);
+        assert_eq!(plan.chosen, parallel.0, "chosen index on {dims:?}");
+        assert_eq!(outcome.is_anomaly(), parallel.1, "verdict on {dims:?}");
+        assert_eq!(outcome.verdict, parallel.2, "classification on {dims:?}");
+    }
+}
+
+#[test]
+fn plan_grid_reports_per_instance_errors_without_failing_the_batch() {
+    let expr = AatbExpression::new();
+    let planner = Planner::for_expression(&expr);
+    let grid = vec![vec![100, 200, 300], vec![100, 200], vec![100, 0, 300]];
+    let results = planner.plan_grid(&grid);
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert_eq!(
+        results[1].as_ref().unwrap_err(),
+        &PlanError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+    );
+    assert_eq!(
+        results[2].as_ref().unwrap_err(),
+        &PlanError::ZeroDimension { index: 1 }
+    );
+}

@@ -1,0 +1,213 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the slice of `criterion` its benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput` /
+//! `bench_with_input` / `finish`, [`BenchmarkId`], [`Throughput`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and a re-export of
+//! [`black_box`]. Measurements are simple medians over `sample_size`
+//! iterations after a warm-up, printed as
+//! `group/function/parameter  time: <median>`; there is no statistical
+//! analysis, plotting or HTML report.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does) every
+//! benchmark body runs exactly once so the benches double as smoke tests.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter value.
+    pub fn new<F: ToString, P: ToString>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Units of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of elements (here: FLOPs) processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling (a single untimed run here).
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target measurement duration (used only to bound the sample count).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size
+        };
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        if !self.criterion.test_mode {
+            // One untimed warm-up run.
+            let mut b = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+        }
+        let budget_start = Instant::now();
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+            times.push(b.elapsed);
+            if budget_start.elapsed() > self.measurement_time.max(Duration::from_millis(100)) {
+                break;
+            }
+        }
+        times.sort();
+        let median = times
+            .get(times.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{label:<60} time: {median:>12.3?}   thrpt: {rate:.3e} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                let rate = n as f64 / median.as_secs_f64();
+                println!("{label:<60} time: {median:>12.3?}   thrpt: {rate:.3e} B/s");
+            }
+            _ => println!("{label:<60} time: {median:>12.3?}"),
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Criterion {
+            test_mode: args.iter().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named benchmark group.
+    pub fn benchmark_group<S: ToString>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` passes --list to enumerate tests;
+            // report none and exit cleanly.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                println!("0 tests, 0 benchmarks");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

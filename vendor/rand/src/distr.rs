@@ -1,0 +1,73 @@
+//! Distributions (the subset the workspace uses: uniform `f64`).
+
+use crate::Rng;
+use std::fmt;
+
+/// Error constructing a distribution (e.g. an inverted uniform range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl Uniform<f64> {
+    /// Create a uniform distribution over `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the range is empty or not finite.
+    pub fn new(low: f64, high: f64) -> Result<Self, Error> {
+        if low < high && low.is_finite() && high.is_finite() {
+            Ok(Uniform { low, high })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.low + rng.next_f64() * (self.high - self.low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let dist = Uniform::new(-1.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn inverted_range_is_rejected() {
+        assert!(Uniform::new(1.0, -1.0).is_err());
+        assert!(Uniform::new(f64::NAN, 1.0).is_err());
+    }
+}

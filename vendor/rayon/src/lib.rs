@@ -1,0 +1,187 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the slice of `rayon` it uses:
+//! [`current_num_threads`], [`prelude::IntoParallelIterator`] for `Vec<T>`
+//! and ranges, and the `enumerate` / `map` / `for_each` / `collect`
+//! combinators. Work **is** executed on real OS threads (via
+//! [`std::thread::scope`]) with dynamic work stealing through a shared
+//! atomic cursor, so the parallel GEMM/SYRK panels and the planner's grid
+//! fan-out genuinely run concurrently; only rayon's lazy-splitting machinery
+//! is simplified into an eager, materialised pipeline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel iterator will use: the
+/// `RAYON_NUM_THREADS` environment variable when set (as in rayon), else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item on a pool of scoped threads, preserving input
+/// order in the result. Items are claimed through a shared atomic cursor so
+/// threads self-balance across uneven work.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("work item claimed twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker panicked before storing a result")
+        })
+        .collect()
+}
+
+/// An eager "parallel iterator": a materialised list of items whose
+/// consuming combinators run on multiple threads.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair every item with its index, like [`Iterator::enumerate`].
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Apply `f` to every item in parallel, preserving order.
+    #[must_use]
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _ = par_apply(self.items, f);
+    }
+
+    /// Collect the (already computed) items, preserving order.
+    #[must_use]
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Build the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// The traits and types most users need.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<i32> = (0usize..100)
+            .into_par_iter()
+            .map(|i| i as i32 * 2)
+            .collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let seen = Mutex::new(HashSet::new());
+        (0usize..257).into_par_iter().for_each(|i| {
+            assert!(seen.lock().unwrap().insert(i));
+        });
+        assert_eq!(seen.lock().unwrap().len(), 257);
+    }
+
+    #[test]
+    fn enumerate_matches_serial_enumerate() {
+        let items = vec!["a", "b", "c"];
+        let out: Vec<(usize, &str)> = items.into_par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, "a"), (1, "b"), (2, "c")]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
