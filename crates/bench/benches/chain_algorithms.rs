@@ -14,7 +14,7 @@ fn bench_chain(c: &mut Criterion) {
     // A skewed instance: small inner dimensions make the multiplication order
     // matter a lot.
     let dims = [260usize, 60, 230, 70, 190];
-    let algorithms = enumerate_chain_algorithms(&dims);
+    let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
     let mut group = c.benchmark_group("chain_algorithms");
     group
         .sample_size(10)

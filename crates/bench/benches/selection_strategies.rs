@@ -14,7 +14,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_selection(c: &mut Criterion) {
-    let chain = enumerate_chain_algorithms(&[331, 279, 338, 854, 427]);
+    let chain = enumerate_chain_algorithms(&[331, 279, 338, 854, 427]).expect("valid chain");
     let aatb = enumerate_aatb_algorithms(227, 260, 549);
     let policies: Vec<Box<dyn SelectionPolicy>> = vec![
         Box::new(MinFlops),

@@ -30,13 +30,20 @@ fn main() {
         (
             "matrix chain ABCD",
             5usize,
-            Box::new(|dims: &[usize]| MatrixChainExpression::abcd().algorithms(dims))
-                as Box<dyn Fn(&[usize]) -> Vec<lamb_expr::Algorithm>>,
+            Box::new(|dims: &[usize]| {
+                MatrixChainExpression::abcd()
+                    .algorithms(dims)
+                    .expect("valid chain instance")
+            }) as Box<dyn Fn(&[usize]) -> Vec<lamb_expr::Algorithm>>,
         ),
         (
             "A*A^T*B",
             3usize,
-            Box::new(|dims: &[usize]| AatbExpression::new().algorithms(dims)),
+            Box::new(|dims: &[usize]| {
+                AatbExpression::new()
+                    .algorithms(dims)
+                    .expect("valid aatb instance")
+            }),
         ),
     ] {
         println!("==== strategy comparison on {name} ({instances} random instances) ====");

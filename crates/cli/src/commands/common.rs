@@ -1,7 +1,7 @@
 //! Shared argument parsing for the CLI subcommands.
 
 use lamb_experiments::{LineConfig, SearchConfig};
-use lamb_expr::{AatbExpression, Expression, MatrixChainExpression};
+use lamb_expr::{AatbExpression, Expression, MatrixChainExpression, TreeExpression};
 use lamb_kernels::BlockConfig;
 use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor, SimulatedExecutor};
 use std::path::PathBuf;
@@ -23,6 +23,12 @@ pub struct CommonOptions {
     pub positional: Vec<String>,
     /// Value of `--strategy`, if given.
     pub strategy: Option<String>,
+    /// Expression text given via `--expr`, e.g. `"A*A^T*B"`.
+    pub expr_text: Option<String>,
+    /// Dimension tuple given via `--dims` (comma-separated).
+    pub dims_flag: Option<Vec<usize>>,
+    /// Enumeration cap given via `--top-k`.
+    pub top_k: Option<usize>,
 }
 
 impl Default for CommonOptions {
@@ -35,6 +41,9 @@ impl Default for CommonOptions {
             max_size: 3000,
             positional: Vec::new(),
             strategy: None,
+            expr_text: None,
+            dims_flag: None,
+            top_k: None,
         }
     }
 }
@@ -84,6 +93,27 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
                 opts.strategy = Some(value("--strategy")?);
                 i += 1;
             }
+            "--expr" => {
+                opts.expr_text = Some(value("--expr")?);
+                i += 1;
+            }
+            "--dims" => {
+                let text = value("--dims")?;
+                let dims: Result<Vec<usize>, _> =
+                    text.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                opts.dims_flag = Some(dims.map_err(|e| format!("invalid --dims `{text}`: {e}"))?);
+                i += 1;
+            }
+            "--top-k" => {
+                let k: usize = value("--top-k")?
+                    .parse()
+                    .map_err(|e| format!("invalid --top-k: {e}"))?;
+                if k == 0 {
+                    return Err("--top-k must be at least 1".into());
+                }
+                opts.top_k = Some(k);
+                i += 1;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -115,29 +145,44 @@ impl CommonOptions {
         }
     }
 
-    /// Resolve the expression named by the first positional argument.
+    /// Resolve the expression: either parsed from `--expr <text>` or named
+    /// by the first positional argument.
     pub fn expression(&self) -> Result<(String, Box<dyn Expression>), String> {
+        if let Some(text) = &self.expr_text {
+            let parsed = TreeExpression::parse(text)
+                .map_err(|e| format!("cannot parse --expr `{text}`: {e}"))?;
+            return Ok(("expr".into(), Box::new(parsed)));
+        }
         let name = self
             .positional
             .first()
-            .ok_or("missing expression name (chain or aatb)")?;
+            .ok_or("missing expression (chain, aatb, or --expr \"...\")")?;
         match name.as_str() {
             "chain" | "abcd" => Ok(("chain".into(), Box::new(MatrixChainExpression::abcd()))),
             "aatb" => Ok(("aatb".into(), Box::new(AatbExpression::new()))),
             other => Err(format!(
-                "unknown expression `{other}` (expected chain or aatb)"
+                "unknown expression `{other}` (expected chain, aatb, or --expr \"...\")"
             )),
         }
     }
 
-    /// Parse the dimension tuple from the positional arguments after the
-    /// expression name and validate its length.
+    /// Parse the dimension tuple — from `--dims` when given, otherwise from
+    /// the positional arguments after the expression name — and validate its
+    /// length.
     pub fn dims(&self, expected: usize) -> Result<Vec<usize>, String> {
-        let dims: Result<Vec<usize>, _> = self.positional[1..]
-            .iter()
-            .map(|s| s.parse::<usize>())
-            .collect();
-        let dims = dims.map_err(|e| format!("invalid dimension: {e}"))?;
+        let dims = if let Some(dims) = &self.dims_flag {
+            dims.clone()
+        } else {
+            let start = usize::from(self.expr_text.is_none());
+            let parsed: Result<Vec<usize>, _> = self
+                .positional
+                .get(start.min(self.positional.len())..)
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| s.parse::<usize>())
+                .collect();
+            parsed.map_err(|e| format!("invalid dimension: {e}"))?
+        };
         if dims.len() != expected {
             return Err(format!(
                 "expected {expected} dimension sizes, got {}",

@@ -17,7 +17,11 @@ USAGE:
 COMMANDS:
     algorithms chain d0 d1 d2 d3 d4    list the six ABCD algorithms with FLOP counts
     algorithms aatb d0 d1 d2           list the five A*A^T*B algorithms with FLOP counts
+    algorithms --expr \"A*A^T*B\" --dims d0,d1,d2
+                                       enumerate any parsed product expression
     select [--strategy S] EXPR dims..  select an algorithm (S: min-flops, predicted, hybrid, oracle)
+    select --expr \"A*B*C*D\" --dims d0,..,d4 [--top-k K]
+                                       parse, enumerate, select and execute any expression
     figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
     exp1 chain|aatb [OPTS]             Experiment 1: random anomaly search (Figures 6/9)
     pipeline chain|aatb [OPTS]         Experiments 1+2+3 end to end (Figures 7/10, Tables 1/2)
@@ -25,6 +29,9 @@ COMMANDS:
 
 COMMON OPTIONS:
     --executor simulated|smooth|measured   (default: simulated)
+    --expr <text>                          expression text, e.g. \"A*A^T*B\" (grammar: see README)
+    --dims d0,d1,...                       comma-separated dimension tuple for --expr
+    --top-k <K>                            keep only the K FLOP-cheapest algorithms (long chains)
     --scale <0..1>                         workload scale for experiments
     --seed <u64>                           sampling seed
     --out <dir>                            output directory for CSV artifacts (default: results)

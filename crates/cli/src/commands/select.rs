@@ -2,6 +2,15 @@
 //! pipeline: enumerate the algorithms, score them, let the selection policy
 //! choose, execute, and report how the choice compares to the empirical
 //! optimum (plus the instance's anomaly verdict).
+//!
+//! Besides the named paper expressions, any product expression can be given
+//! as text and planned end to end:
+//!
+//! ```text
+//! lamb select --expr "A*A^T*B" --dims 80,514,768
+//! lamb select --strategy predicted --expr "A*B*C*D*E*F*G*H" \
+//!     --dims 600,40,800,30,900,50,700,60,500 --top-k 8
+//! ```
 
 use super::common;
 use lamb_plan::Planner;
@@ -34,9 +43,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         strategy,
         Strategy::MinPredictedTime | Strategy::Hybrid { .. }
     );
-    let planner = Planner::for_expression(expr.as_ref())
+    let mut planner = Planner::for_expression(expr.as_ref())
         .strategy(strategy)
         .score_predictions(wants_predictions);
+    if let Some(k) = opts.top_k {
+        planner = planner.top_k(k);
+    }
     let plan = planner
         .plan_with(&dims, executor.as_mut())
         .map_err(|e| e.to_string())?;
@@ -47,6 +59,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         plan.expression, dims, opts.executor
     );
     println!("policy          : {}", plan.policy);
+    if plan.duplicates_removed > 0 {
+        println!(
+            "deduplication   : removed {} rewrite-equivalent algorithm(s)",
+            plan.duplicates_removed
+        );
+    }
+    if let Some(k) = opts.top_k {
+        println!("pruning         : top-{k} by FLOP count");
+    }
     println!("algorithm set   :");
     for score in &plan.scores {
         let marker = if score.index == plan.chosen {
@@ -79,4 +100,46 @@ pub fn run(args: &[String]) -> Result<(), String> {
         100.0 * outcome.verdict.flop_score
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parsed_expression_round_trips_through_the_planner_to_a_verdict() {
+        // The acceptance path of the general enumerator: text -> parse ->
+        // enumerate -> select -> execute -> verdict, on the paper's A*A^T*B
+        // anomaly instance.
+        assert!(run(&strs(&["--expr", "A*A^T*B", "--dims", "80,514,768"])).is_ok());
+        // And with a prediction-based strategy plus pruning on a long chain.
+        assert!(run(&strs(&[
+            "--strategy",
+            "predicted",
+            "--expr",
+            "A*B*C*D*E*F",
+            "--dims",
+            "60,20,90,30,120,40,70",
+            "--top-k",
+            "4"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn named_expressions_still_select() {
+        assert!(run(&strs(&["aatb", "40", "50", "60"])).is_ok());
+    }
+
+    #[test]
+    fn bad_expression_text_fails_cleanly() {
+        let err = run(&strs(&["--expr", "A*(B", "--dims", "4,5,6"])).unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+        let err = run(&strs(&["--expr", "A*B", "--dims", "4,5"])).unwrap_err();
+        assert!(err.contains("expected 3"), "{err}");
+    }
 }

@@ -155,7 +155,9 @@ pub fn efficiency_along_line(
     let machine = executor.machine().clone();
     let mut points = Vec::with_capacity(scan.points.len());
     for point in &scan.points {
-        let algorithms = expr.algorithms(&point.dims);
+        let algorithms = expr
+            .algorithms(&point.dims)
+            .unwrap_or_else(|e| panic!("cannot enumerate algorithms at {:?}: {e}", point.dims));
         let mut entries = Vec::with_capacity(algorithms.len());
         for (i, alg) in algorithms.iter().enumerate() {
             // Re-execute to recover the per-call breakdown (the classification

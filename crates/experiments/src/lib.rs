@@ -26,6 +26,7 @@ pub mod lines;
 pub mod predict;
 pub mod region;
 pub mod report;
+pub mod scenarios;
 pub mod search;
 
 pub use config::{LineConfig, PredictConfig, SearchConfig};
@@ -41,4 +42,7 @@ pub use lines::{scan_line, scan_lines_around, thickness_by_dimension, LinePoint,
 pub use predict::{predict_from_benchmarks, ConfusionMatrix, PredictionResult};
 pub use region::{find_boundary, RegionExtent};
 pub use report::{prediction_report, region_report, search_report, summary_stats};
+pub use scenarios::{
+    mixed_transpose_scenarios, sweep_csv, sweep_scenarios, Scenario, ScenarioSweepRow,
+};
 pub use search::{classify_instance, run_random_search, AnomalyRecord, SearchResult};

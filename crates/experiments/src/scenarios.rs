@@ -1,0 +1,200 @@
+//! Scenario sweeps beyond the paper's two expressions: longer chains and
+//! mixed/transposed products, enumerated by the general expression engine.
+//!
+//! The paper conjectures that anomalies grow more frequent as expressions
+//! get more algorithmic variety — especially when the variants mix
+//! *different* kernels (SYRK/SYMM versus GEMM), as `A·Aᵀ·B` does. With the
+//! general enumerator every product expression is searchable, so this module
+//! packages a standard set of scenarios and runs the Experiment-1 random
+//! search over each of them under identical sampling conditions.
+
+use crate::config::SearchConfig;
+use crate::search::{run_random_search, SearchResult};
+use lamb_expr::{Expression, TreeExpression};
+use lamb_perfmodel::Executor;
+
+/// A named expression scenario for anomaly sweeps.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short name used in reports and CSV rows.
+    pub name: String,
+    /// The parsed expression.
+    pub expression: TreeExpression,
+}
+
+impl Scenario {
+    /// Build a scenario from a name and an expression text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` does not parse (scenario sets are static data).
+    #[must_use]
+    pub fn new(name: &str, text: &str) -> Self {
+        Scenario {
+            name: name.to_string(),
+            expression: TreeExpression::parse(text)
+                .unwrap_or_else(|e| panic!("scenario `{name}` does not parse: {e}")),
+        }
+    }
+
+    /// Number of algorithms the expression enumerates on a probe instance.
+    #[must_use]
+    pub fn algorithm_count(&self) -> usize {
+        let dims = vec![64; self.expression.num_dims()];
+        self.expression
+            .algorithms(&dims)
+            .map(|algs| algs.len())
+            .unwrap_or(0)
+    }
+}
+
+/// The standard mixed-transpose scenario set: the paper's two expressions
+/// plus Gram-flavoured and transposed products that exercise the SYRK/SYMM
+/// rewrites, and longer GEMM-only chains for scale.
+#[must_use]
+pub fn mixed_transpose_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("chain4", "A*B*C*D"),
+        Scenario::new("chain5", "A*B*C*D*E"),
+        Scenario::new("chain6", "A*B*C*D*E*F"),
+        Scenario::new("aatb", "A*A^T*B"),
+        Scenario::new("atab", "A^T*A*B"),
+        Scenario::new("abbt", "A*B*B^T"),
+        Scenario::new("sandwich", "A^T*B*A"),
+        Scenario::new("gram2", "A*A^T*B*B^T"),
+    ]
+}
+
+/// One row of a scenario sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioSweepRow {
+    /// Scenario name.
+    pub name: String,
+    /// Expression text.
+    pub expression: String,
+    /// Dimensions per instance.
+    pub num_dims: usize,
+    /// Algorithms enumerated on a probe instance.
+    pub num_algorithms: usize,
+    /// The random-search outcome.
+    pub result: SearchResult,
+}
+
+/// Run the Experiment-1 random search over every scenario with the same
+/// configuration and executor settings.
+pub fn sweep_scenarios(
+    scenarios: &[Scenario],
+    executor: &mut dyn Executor,
+    config: &SearchConfig,
+) -> Vec<ScenarioSweepRow> {
+    scenarios
+        .iter()
+        .map(|scenario| {
+            let result = run_random_search(&scenario.expression, executor, config);
+            ScenarioSweepRow {
+                name: scenario.name.clone(),
+                expression: scenario.expression.name(),
+                num_dims: scenario.expression.num_dims(),
+                num_algorithms: scenario.algorithm_count(),
+                result,
+            }
+        })
+        .collect()
+}
+
+/// CSV rows (`scenario,expression,dims,algorithms,samples,anomalies,abundance`)
+/// for a sweep.
+#[must_use]
+pub fn sweep_csv(rows: &[ScenarioSweepRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.name.clone(),
+                row.expression.clone(),
+                row.num_dims.to_string(),
+                row.num_algorithms.to_string(),
+                row.result.samples_drawn.to_string(),
+                row.result.anomalies.len().to_string(),
+                format!("{:.6}", row.result.abundance()),
+            ]
+        })
+        .collect();
+    crate::csvout::csv_from_rows(
+        &[
+            "scenario",
+            "expression",
+            "dims",
+            "algorithms",
+            "samples",
+            "anomalies",
+            "abundance",
+        ],
+        &data,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_perfmodel::SimulatedExecutor;
+
+    #[test]
+    fn the_standard_scenarios_parse_and_enumerate() {
+        let scenarios = mixed_transpose_scenarios();
+        assert!(scenarios.len() >= 6);
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // The Gram-flavoured expressions have kernel variety beyond GEMM.
+        let aatb = scenarios.iter().find(|s| s.name == "aatb").unwrap();
+        assert_eq!(aatb.algorithm_count(), 5);
+        let gram2 = scenarios.iter().find(|s| s.name == "gram2").unwrap();
+        assert!(gram2.algorithm_count() > 5);
+    }
+
+    #[test]
+    fn sweeping_scenarios_produces_one_row_each_and_csv() {
+        let scenarios = vec![
+            Scenario::new("aatb", "A*A^T*B"),
+            Scenario::new("abbt", "A*B*B^T"),
+        ];
+        let mut exec = SimulatedExecutor::paper_like();
+        let config = SearchConfig {
+            target_anomalies: usize::MAX,
+            max_samples: 60,
+            seed: 11,
+            ..SearchConfig::paper_aatb()
+        };
+        let rows = sweep_scenarios(&scenarios, &mut exec, &config);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.result.samples_drawn, 60);
+            assert_eq!(row.num_dims, 3);
+        }
+        let csv = sweep_csv(&rows);
+        assert!(csv.starts_with("scenario,expression,dims,"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("A*A^T*B"));
+    }
+
+    #[test]
+    fn gram_scenarios_find_anomalies_like_the_paper_expression() {
+        // A*B*B^T has the same SYRK/SYMM-versus-GEMM structure as A*A^T*B,
+        // so the simulator should flag anomalies for it too.
+        let scenario = Scenario::new("abbt", "A*B*B^T");
+        let mut exec = SimulatedExecutor::paper_like();
+        let config = SearchConfig {
+            target_anomalies: 5,
+            max_samples: 4000,
+            seed: 3,
+            ..SearchConfig::paper_aatb()
+        };
+        let result = run_random_search(&scenario.expression, &mut exec, &config);
+        assert!(
+            !result.anomalies.is_empty(),
+            "no anomalies in {} samples",
+            result.samples_drawn
+        );
+    }
+}

@@ -12,7 +12,10 @@
 //! | 5 | GEMM `M := Aᵀ·B` | GEMM `X := A·M` | `4·d0·d1·d2` |
 
 use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
+use crate::enumerate::enumerate_expr_algorithms_pruned;
+use crate::expr::Expr;
 use crate::expression::Expression;
+use crate::generator::GenerateError;
 use crate::kernel_call::{KernelCall, KernelOp};
 use crate::operand::OperandId;
 use lamb_matrix::{Side, Trans, Uplo};
@@ -63,6 +66,11 @@ fn base_operands(
 
 /// Enumerate the five algorithms for `X := A·Aᵀ·B` with `A ∈ R^{d0×d1}` and
 /// `B ∈ R^{d0×d2}`, in the paper's order.
+///
+/// This is the hand-written reference table kept for parity testing; the
+/// general engine in [`crate::enumerate`] derives the same five algorithms
+/// from the `A·Aᵀ·B` expression tree, and [`AatbExpression`] routes through
+/// the engine.
 #[must_use]
 pub fn enumerate_aatb_algorithms(d0: usize, d1: usize, d2: usize) -> Vec<Algorithm> {
     let uplo = Uplo::Lower;
@@ -194,6 +202,16 @@ impl AatbExpression {
     pub fn new() -> Self {
         AatbExpression
     }
+
+    /// The [`Expr`] tree of one instance: `A·Aᵀ·B` with `A ∈ d0×d1` and
+    /// `B ∈ d0×d2`.
+    #[must_use]
+    pub fn expr(&self, dims: &[usize]) -> Expr {
+        assert_eq!(dims.len(), 3, "A*A^T*B instances are (d0, d1, d2) tuples");
+        let a = Expr::var("A", dims[0], dims[1]);
+        let b = Expr::var("B", dims[0], dims[2]);
+        a.clone().mul(a.t()).mul(b)
+    }
 }
 
 impl Expression for AatbExpression {
@@ -205,9 +223,16 @@ impl Expression for AatbExpression {
         3
     }
 
-    fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm> {
-        assert_eq!(dims.len(), 3, "A*A^T*B instances are (d0, d1, d2) tuples");
-        enumerate_aatb_algorithms(dims[0], dims[1], dims[2])
+    fn algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.expr(dims), None)
+    }
+
+    fn algorithms_pruned(
+        &self,
+        dims: &[usize],
+        top_k: Option<usize>,
+    ) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.expr(dims), top_k)
     }
 }
 
@@ -287,7 +312,7 @@ mod tests {
         let e = AatbExpression::new();
         assert_eq!(e.num_dims(), 3);
         assert_eq!(e.name(), "A*A^T*B");
-        assert_eq!(e.algorithms(&[5, 6, 7]).len(), 5);
+        assert_eq!(e.algorithms(&[5, 6, 7]).unwrap().len(), 5);
     }
 
     #[test]

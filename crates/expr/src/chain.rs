@@ -6,15 +6,23 @@
 //! adjacent multiplications can be performed. For a chain of `p` matrices
 //! there are `(p-1)!` such orders; for `A·B·C·D` that is `3! = 6`, matching
 //! the paper's Algorithms 1–6 (and their FLOP-count formulas).
+//!
+//! [`enumerate_chain_algorithms`] is the paper's hand-written reference
+//! table; the general engine in [`crate::enumerate`] derives the same
+//! algorithms from the expression tree (parity tests assert they are
+//! identical), and [`MatrixChainExpression`] routes through the engine.
 
 use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
+use crate::enumerate::enumerate_expr_algorithms_pruned;
+use crate::expr::Expr;
 use crate::expression::Expression;
+use crate::generator::GenerateError;
 use crate::kernel_call::{KernelCall, KernelOp};
 use crate::operand::OperandId;
 use lamb_matrix::Trans;
 
 /// Name of the `i`-th input matrix of a chain (`A`, `B`, ..., `Z`, `A26`, ...).
-fn input_name(i: usize) -> String {
+pub(crate) fn input_name(i: usize) -> String {
     if i < 26 {
         char::from(b'A' + i as u8).to_string()
     } else {
@@ -40,16 +48,19 @@ struct Segment {
 /// The returned algorithms follow the same ordering convention as the paper's
 /// Figure 3 / Section 3.2.1 (for `p = 4`: Algorithms 1–6).
 ///
-/// # Panics
+/// This is the hand-written reference implementation kept for parity testing
+/// against the general enumerator.
 ///
-/// Panics if fewer than two matrices are described (`dims.len() < 3`).
-#[must_use]
-pub fn enumerate_chain_algorithms(dims: &[usize]) -> Vec<Algorithm> {
-    assert!(
-        dims.len() >= 3,
-        "a matrix chain needs at least two matrices ({} dims given)",
-        dims.len()
-    );
+/// # Errors
+///
+/// Returns [`GenerateError::TooFewMatrices`] if fewer than two matrices are
+/// described (`dims.len() < 3`).
+pub fn enumerate_chain_algorithms(dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+    if dims.len() < 3 {
+        return Err(GenerateError::TooFewMatrices {
+            dims_len: dims.len(),
+        });
+    }
     let p = dims.len() - 1;
     let inputs: Vec<OperandInfo> = (0..p)
         .map(|i| OperandInfo {
@@ -74,7 +85,7 @@ pub fn enumerate_chain_algorithms(dims: &[usize]) -> Vec<Algorithm> {
     for (idx, alg) in out.iter_mut().enumerate() {
         alg.name = format!("Chain algorithm {}: {}", idx + 1, alg.name);
     }
-    out
+    Ok(out)
 }
 
 fn recurse(
@@ -168,15 +179,16 @@ pub fn abcd_flop_formulas(d: &[usize; 5]) -> [u64; 6] {
 /// algorithm; it is provided as the scalable way of finding a FLOP-minimal
 /// algorithm for long chains where full enumeration is factorial.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than two matrices are described.
-#[must_use]
-pub fn optimal_chain_order(dims: &[usize]) -> (u64, String) {
-    assert!(
-        dims.len() >= 3,
-        "a matrix chain needs at least two matrices"
-    );
+/// Returns [`GenerateError::TooFewMatrices`] if fewer than two matrices are
+/// described.
+pub fn optimal_chain_order(dims: &[usize]) -> Result<(u64, String), GenerateError> {
+    if dims.len() < 3 {
+        return Err(GenerateError::TooFewMatrices {
+            dims_len: dims.len(),
+        });
+    }
     let p = dims.len() - 1;
     let d: Vec<u64> = dims.iter().map(|&x| x as u64).collect();
     // cost[i][j]: minimal FLOPs to compute the product of matrices i..=j.
@@ -206,12 +218,16 @@ pub fn optimal_chain_order(dims: &[usize]) -> (u64, String) {
             format!("({} {})", paren(split, i, k), paren(split, k + 1, j))
         }
     }
-    (cost[0][p - 1], paren(&split, 0, p - 1))
+    Ok((cost[0][p - 1], paren(&split, 0, p - 1)))
 }
 
 /// The matrix chain expression with a fixed number of matrices, as an
 /// [`Expression`] usable by the experiment drivers. The paper's `A·B·C·D`
 /// corresponds to `MatrixChainExpression::new(4)`.
+///
+/// This is a thin adapter over the general enumerator: each instance binds
+/// its dimension tuple onto an [`Expr`] product tree and derives the
+/// `(p-1)!` multiplication orders from the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatrixChainExpression {
     num_matrices: usize,
@@ -240,6 +256,22 @@ impl MatrixChainExpression {
     pub fn num_matrices(&self) -> usize {
         self.num_matrices
     }
+
+    /// The [`Expr`] tree of one instance (left-associated product of
+    /// `A, B, C, ...` with the given dimension tuple).
+    #[must_use]
+    pub fn expr(&self, dims: &[usize]) -> Expr {
+        assert_eq!(
+            dims.len(),
+            self.num_dims(),
+            "dimension tuple length mismatch"
+        );
+        Expr::product(
+            (0..self.num_matrices)
+                .map(|i| Expr::var(&input_name(i), dims[i], dims[i + 1]))
+                .collect(),
+        )
+    }
 }
 
 impl Expression for MatrixChainExpression {
@@ -255,13 +287,16 @@ impl Expression for MatrixChainExpression {
         self.num_matrices + 1
     }
 
-    fn algorithms(&self, dims: &[usize]) -> Vec<Algorithm> {
-        assert_eq!(
-            dims.len(),
-            self.num_dims(),
-            "dimension tuple length mismatch"
-        );
-        enumerate_chain_algorithms(dims)
+    fn algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.expr(dims), None)
+    }
+
+    fn algorithms_pruned(
+        &self,
+        dims: &[usize],
+        top_k: Option<usize>,
+    ) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.expr(dims), top_k)
     }
 }
 
@@ -272,7 +307,7 @@ mod tests {
     #[test]
     fn abcd_has_six_algorithms_in_paper_order() {
         let dims = [13, 7, 11, 5, 3];
-        let algs = enumerate_chain_algorithms(&dims);
+        let algs = enumerate_chain_algorithms(&dims).unwrap();
         assert_eq!(algs.len(), 6);
         let formulas = abcd_flop_formulas(&dims);
         for (alg, expected) in algs.iter().zip(formulas) {
@@ -290,7 +325,7 @@ mod tests {
 
     #[test]
     fn paper_ordering_of_first_multiplications() {
-        let algs = enumerate_chain_algorithms(&[2, 3, 4, 5, 6]);
+        let algs = enumerate_chain_algorithms(&[2, 3, 4, 5, 6]).unwrap();
         let firsts: Vec<&str> = algs.iter().map(|a| a.calls[0].label.as_str()).collect();
         assert_eq!(
             firsts,
@@ -307,7 +342,7 @@ mod tests {
 
     #[test]
     fn two_matrix_chain_has_single_algorithm() {
-        let algs = enumerate_chain_algorithms(&[4, 5, 6]);
+        let algs = enumerate_chain_algorithms(&[4, 5, 6]).unwrap();
         assert_eq!(algs.len(), 1);
         assert_eq!(algs[0].flops(), 2 * 4 * 5 * 6);
         assert_eq!(algs[0].calls.len(), 1);
@@ -315,7 +350,7 @@ mod tests {
 
     #[test]
     fn three_matrix_chain_has_two_algorithms() {
-        let algs = enumerate_chain_algorithms(&[4, 5, 6, 7]);
+        let algs = enumerate_chain_algorithms(&[4, 5, 6, 7]).unwrap();
         assert_eq!(algs.len(), 2);
         // (AB)C and A(BC).
         assert_eq!(algs[0].flops(), 2 * (4 * 5 * 6 + 4 * 6 * 7) as u64);
@@ -324,7 +359,7 @@ mod tests {
 
     #[test]
     fn five_matrix_chain_has_factorial_many_algorithms() {
-        let algs = enumerate_chain_algorithms(&[3, 4, 5, 6, 7, 8]);
+        let algs = enumerate_chain_algorithms(&[3, 4, 5, 6, 7, 8]).unwrap();
         assert_eq!(algs.len(), 24); // 4!
         for alg in &algs {
             assert!(alg.is_well_formed());
@@ -340,9 +375,9 @@ mod tests {
             vec![7, 13, 5, 89, 3, 21],
             vec![1200, 20, 1200, 20, 1200],
         ] {
-            let algs = enumerate_chain_algorithms(&dims);
+            let algs = enumerate_chain_algorithms(&dims).unwrap();
             let cheapest = algs.iter().map(Algorithm::flops).min().unwrap();
-            let (dp, paren) = optimal_chain_order(&dims);
+            let (dp, paren) = optimal_chain_order(&dims).unwrap();
             assert_eq!(dp, cheapest, "dims {dims:?}");
             assert!(!paren.is_empty());
         }
@@ -352,7 +387,7 @@ mod tests {
     fn dp_reproduces_textbook_example() {
         // Classic CLRS example (scaled by the factor 2 of the GEMM flop model):
         // dims 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 -> 15125 multiplications.
-        let (flops, paren) = optimal_chain_order(&[30, 35, 15, 5, 10, 20, 25]);
+        let (flops, paren) = optimal_chain_order(&[30, 35, 15, 5, 10, 20, 25]).unwrap();
         assert_eq!(flops, 2 * 15125);
         assert_eq!(paren, "((A (B C)) ((D E) F))");
     }
@@ -363,7 +398,7 @@ mod tests {
         assert_eq!(expr.num_dims(), 5);
         assert_eq!(expr.num_matrices(), 4);
         assert!(expr.name().contains("ABCD"));
-        let algs = expr.algorithms(&[10, 10, 10, 10, 10]);
+        let algs = expr.algorithms(&[10, 10, 10, 10, 10]).unwrap();
         assert_eq!(algs.len(), 6);
         // All algorithms tie on a homogeneous square chain.
         let flops: Vec<u64> = algs.iter().map(Algorithm::flops).collect();
@@ -371,15 +406,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two matrices")]
-    fn single_matrix_chain_is_rejected() {
-        let _ = enumerate_chain_algorithms(&[4, 5]);
+    fn single_matrix_chain_is_rejected_as_an_error() {
+        assert_eq!(
+            enumerate_chain_algorithms(&[4, 5]).unwrap_err(),
+            GenerateError::TooFewMatrices { dims_len: 2 }
+        );
+        assert_eq!(
+            optimal_chain_order(&[4]).unwrap_err(),
+            GenerateError::TooFewMatrices { dims_len: 1 }
+        );
     }
 
     #[test]
     fn intermediate_operands_have_correct_shapes() {
         let dims = [9, 8, 7, 6, 5];
-        let algs = enumerate_chain_algorithms(&dims);
+        let algs = enumerate_chain_algorithms(&dims).unwrap();
         // Algorithm 1 is ((AB)C)D: M1 is 9x7, M2 is 9x6, X is 9x5.
         let alg1 = &algs[0];
         let m1 = alg1.operand(OperandId(4)).unwrap();

@@ -1,0 +1,727 @@
+//! The general algorithm enumerator: from an arbitrary [`Expr`] tree to the
+//! set of mathematically equivalent kernel-call algorithms.
+//!
+//! This is the engine behind every [`Expression`](crate::Expression) in the
+//! workspace. It generalises the hand-written enumerators of
+//! [`crate::chain`] and [`crate::aatb`]:
+//!
+//! 1. the tree is flattened into a list of (possibly transposed) leaf
+//!    factors, pushing transposes down with `(A·B)ᵀ = Bᵀ·Aᵀ`;
+//! 2. a recursive merge search enumerates every *order* in which adjacent
+//!    factors can be multiplied — `(p-1)!` orders for `p` factors, exactly
+//!    the algorithm set of the paper's Section 3.2.1;
+//! 3. at each merge the rewrite rules of [`crate::rewrite`] contribute the
+//!    kernel variants (SYRK for Gram products `X·Xᵀ`, SYMM and triangle
+//!    copies for symmetric intermediates), which is how the five `A·Aᵀ·B`
+//!    algorithms of Section 3.2.2 fall out of the same engine.
+//!
+//! A memoized parenthesization lower bound (the generalisation of the matrix
+//! chain DP in [`crate::chain::optimal_chain_order`]) powers the optional
+//! **top-k FLOPs pruning**: with [`EnumerateOptions::top_k`] set, branches
+//! that provably cannot reach the k cheapest algorithms are cut, which keeps
+//! planning tractable for chains of length 8–10 where full enumeration is
+//! factorial.
+//!
+//! ```
+//! use lamb_expr::enumerate::enumerate_expr_algorithms;
+//! use lamb_expr::expr::Expr;
+//!
+//! let a = Expr::var("A", 80, 514);
+//! let b = Expr::var("B", 80, 768);
+//! let aatb = a.clone().mul(a.t()).mul(b);
+//! let algorithms = enumerate_expr_algorithms(&aatb).unwrap();
+//! assert_eq!(algorithms.len(), 5); // the paper's five A*A^T*B algorithms
+//! ```
+
+use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
+use crate::expr::{Expr, Var};
+use crate::generator::GenerateError;
+use crate::kernel_call::{KernelCall, KernelOp};
+use crate::operand::OperandId;
+use crate::rewrite::{merge_variants, MergeKind, MergeOperand, Storage};
+use lamb_matrix::{Side, Trans, Uplo};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Knobs of the general enumerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerateOptions {
+    /// Keep only the `k` algorithms with the smallest FLOP counts, pruning
+    /// provably-too-expensive branches during the search (`None` enumerates
+    /// everything). The surviving algorithms are returned sorted by
+    /// ascending FLOP count (ties keep enumeration order).
+    pub top_k: Option<usize>,
+    /// Whether the structural rewrites (SYRK, SYMM, triangle copies) are
+    /// applied. With `false` every merge lowers to plain GEMM, which is
+    /// useful for ablations.
+    pub rewrites: bool,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            top_k: None,
+            rewrites: true,
+        }
+    }
+}
+
+/// One factor of the partially evaluated product: an original (possibly
+/// transposed) leaf or an intermediate, covering the factor range
+/// `[start, end)` of the flattened expression.
+#[derive(Debug, Clone)]
+struct Segment {
+    id: OperandId,
+    /// Logical number of rows (after leaf transposition).
+    rows: usize,
+    /// Logical number of columns (after leaf transposition).
+    cols: usize,
+    /// Leaf transposition; `Trans::No` for intermediates.
+    trans: Trans,
+    /// Index of the distinct leaf (for Gram-pair detection).
+    leaf: Option<usize>,
+    storage: Storage,
+    /// First flattened-factor index covered by this segment.
+    start: usize,
+    /// One past the last flattened-factor index covered.
+    end: usize,
+    /// Parenthesised text, e.g. `"(A B)"`.
+    text: String,
+    /// Operand name, e.g. `"A"` or `"M1"`.
+    name: String,
+}
+
+impl Segment {
+    fn merge_operand(&self) -> MergeOperand {
+        MergeOperand {
+            leaf: self.leaf,
+            trans: self.trans,
+            storage: self.storage,
+        }
+    }
+}
+
+/// Enumerate every algorithm for `expr` with the default options (full
+/// enumeration, rewrites enabled).
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if the expression is shape-inconsistent, has no
+/// factors, or reuses an operand name with two different shapes.
+pub fn enumerate_expr_algorithms(expr: &Expr) -> Result<Vec<Algorithm>, GenerateError> {
+    enumerate_expr_algorithms_with(expr, &EnumerateOptions::default())
+}
+
+/// Enumerate with an optional top-k FLOPs cap and rewrites enabled — the
+/// convenience the [`Expression`](crate::Expression) adapters build their
+/// `algorithms` / `algorithms_pruned` methods on.
+///
+/// # Errors
+///
+/// See [`enumerate_expr_algorithms`].
+pub fn enumerate_expr_algorithms_pruned(
+    expr: &Expr,
+    top_k: Option<usize>,
+) -> Result<Vec<Algorithm>, GenerateError> {
+    enumerate_expr_algorithms_with(
+        expr,
+        &EnumerateOptions {
+            top_k,
+            ..EnumerateOptions::default()
+        },
+    )
+}
+
+/// Enumerate the algorithms for `expr` under `options`.
+///
+/// # Errors
+///
+/// See [`enumerate_expr_algorithms`].
+pub fn enumerate_expr_algorithms_with(
+    expr: &Expr,
+    options: &EnumerateOptions,
+) -> Result<Vec<Algorithm>, GenerateError> {
+    expr.shape()?;
+    let factors = expr.factors();
+    if factors.is_empty() {
+        return Err(GenerateError::Empty);
+    }
+    let inputs = distinct_inputs(&factors)?;
+
+    if factors.len() == 1 {
+        // A single leaf: a call-free algorithm whose output is the operand
+        // itself. A single *transposed* leaf cannot be represented — no
+        // kernel performs a standalone transpose — so it is rejected rather
+        // than silently returning the untransposed operand.
+        let (v, t) = &factors[0];
+        if *t {
+            return Err(GenerateError::BareTranspose {
+                name: v.name.clone(),
+            });
+        }
+        let mut operand = inputs[0].clone();
+        operand.role = OperandRole::Output;
+        return Ok(vec![Algorithm {
+            name: format!("Algorithm 1: {}", v.name),
+            operands: vec![operand],
+            calls: Vec::new(),
+        }]);
+    }
+
+    let leaf_index: HashMap<&str, usize> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, info)| (info.name.as_str(), i))
+        .collect();
+    let segments: Vec<Segment> = factors
+        .iter()
+        .enumerate()
+        .map(|(pos, (v, t))| {
+            let leaf = leaf_index[v.name.as_str()];
+            let (rows, cols) = if *t {
+                (v.cols, v.rows)
+            } else {
+                (v.rows, v.cols)
+            };
+            let text = format!("{}{}", v.name, if *t { "^T" } else { "" });
+            Segment {
+                id: inputs[leaf].id,
+                rows,
+                cols,
+                trans: if *t { Trans::Yes } else { Trans::No },
+                leaf: Some(leaf),
+                storage: Storage::General,
+                start: pos,
+                end: pos + 1,
+                name: v.name.clone(),
+                text,
+            }
+        })
+        .collect();
+
+    let mut ctx = Ctx {
+        options,
+        inputs: &inputs,
+        best: BinaryHeap::new(),
+        lb_memo: HashMap::new(),
+        out: Vec::new(),
+    };
+    recurse(&mut ctx, &segments, &[], &[], 0);
+    let mut out = ctx.out;
+    if let Some(k) = options.top_k {
+        out.sort_by_key(Algorithm::flops); // stable: ties keep search order
+        out.truncate(k.max(1));
+    }
+    for (idx, alg) in out.iter_mut().enumerate() {
+        // The kernel composition disambiguates rewrite variants that share a
+        // parenthesization (e.g. syrk,symm vs gemm,gemm for (A A^T) B).
+        alg.name = format!(
+            "Algorithm {}: {} [{}]",
+            idx + 1,
+            alg.name,
+            alg.kernel_summary()
+        );
+    }
+    Ok(out)
+}
+
+/// Build the deduplicated input-operand table (one entry per distinct leaf
+/// name, in order of first appearance).
+fn distinct_inputs(factors: &[(Var, bool)]) -> Result<Vec<OperandInfo>, GenerateError> {
+    let mut inputs: Vec<OperandInfo> = Vec::new();
+    for (v, _) in factors {
+        if let Some(existing) = inputs.iter().find(|i| i.name == v.name) {
+            if (existing.rows, existing.cols) != (v.rows, v.cols) {
+                return Err(GenerateError::InconsistentOperand {
+                    name: v.name.clone(),
+                });
+            }
+        } else {
+            inputs.push(OperandInfo {
+                id: OperandId(inputs.len()),
+                rows: v.rows,
+                cols: v.cols,
+                role: OperandRole::Input,
+                name: v.name.clone(),
+            });
+        }
+    }
+    Ok(inputs)
+}
+
+struct Ctx<'a> {
+    options: &'a EnumerateOptions,
+    inputs: &'a [OperandInfo],
+    /// Max-heap of the FLOP totals of the best `top_k` complete algorithms
+    /// found so far (used only for pruning).
+    best: BinaryHeap<u64>,
+    /// Lower-bound memo keyed by the partition boundaries of a state.
+    lb_memo: HashMap<Vec<usize>, u64>,
+    out: Vec<Algorithm>,
+}
+
+fn recurse(
+    ctx: &mut Ctx<'_>,
+    segments: &[Segment],
+    calls: &[KernelCall],
+    intermediates: &[OperandInfo],
+    partial_flops: u64,
+) {
+    if segments.len() == 1 {
+        let mut operands = ctx.inputs.to_vec();
+        let mut inters = intermediates.to_vec();
+        if let Some(last) = inters.last_mut() {
+            last.role = OperandRole::Output;
+            last.name = "X".into();
+        }
+        operands.extend(inters);
+        if let Some(k) = ctx.options.top_k {
+            ctx.best.push(partial_flops);
+            if ctx.best.len() > k.max(1) {
+                ctx.best.pop();
+            }
+        }
+        ctx.out.push(Algorithm {
+            name: segments[0].text.clone(),
+            operands,
+            calls: calls.to_vec(),
+        });
+        return;
+    }
+    if let Some(k) = ctx.options.top_k {
+        if ctx.best.len() >= k.max(1) {
+            let bound = partial_flops + lower_bound(&mut ctx.lb_memo, segments);
+            if bound >= *ctx.best.peek().expect("heap is non-empty") {
+                return;
+            }
+        }
+    }
+    for i in 0..segments.len() - 1 {
+        let left = &segments[i];
+        let right = &segments[i + 1];
+        let variants = merge_variants(
+            &left.merge_operand(),
+            &right.merge_operand(),
+            segments.len() == 2,
+            ctx.options.rewrites,
+        );
+        let ambiguous = variants.len() > 1;
+        for kind in variants {
+            let out_id = OperandId(ctx.inputs.len() + intermediates.len());
+            let out_name = format!("M{}", intermediates.len() + 1);
+            let (new_calls, merged) = build_merge(left, right, kind, out_id, &out_name, ambiguous);
+            let added_flops: u64 = new_calls.iter().map(KernelCall::flops).sum();
+            let mut next_segments = segments.to_vec();
+            next_segments[i] = merged.0;
+            next_segments.remove(i + 1);
+            let mut next_calls = calls.to_vec();
+            next_calls.extend(new_calls);
+            let mut next_inters = intermediates.to_vec();
+            next_inters.push(merged.1);
+            recurse(
+                ctx,
+                &next_segments,
+                &next_calls,
+                &next_inters,
+                partial_flops + added_flops,
+            );
+        }
+    }
+}
+
+/// Build the kernel calls of one merge variant together with the merged
+/// segment and the new intermediate's operand entry.
+fn build_merge(
+    left: &Segment,
+    right: &Segment,
+    kind: MergeKind,
+    out_id: OperandId,
+    out_name: &str,
+    ambiguous: bool,
+) -> (Vec<KernelCall>, (Segment, OperandInfo)) {
+    let uplo = Uplo::Lower;
+    let (m, k, n) = (left.rows, left.cols, right.cols);
+    debug_assert_eq!(left.cols, right.rows, "validated by Expr::shape");
+    let product_label = |kernel: &str| {
+        if ambiguous {
+            format!("{out_name} := {}*{} ({kernel})", left.text, right.text)
+        } else {
+            format!("{out_name} := {}*{}", left.text, right.text)
+        }
+    };
+    let copy_call = |seg: &Segment| KernelCall {
+        op: KernelOp::CopyTriangle { uplo, n: seg.rows },
+        inputs: vec![seg.id],
+        output: seg.id,
+        label: format!("{0} := full({0}) (copy triangle)", seg.name),
+    };
+    let gemm_call = |transa: Trans, transb: Trans, label: String| KernelCall {
+        op: KernelOp::Gemm {
+            transa,
+            transb,
+            m,
+            n,
+            k,
+        },
+        inputs: vec![left.id, right.id],
+        output: out_id,
+        label,
+    };
+    let symm_call = |side: Side| {
+        let inputs = match side {
+            Side::Left => vec![left.id, right.id],
+            Side::Right => vec![right.id, left.id],
+        };
+        KernelCall {
+            op: KernelOp::Symm { side, uplo, m, n },
+            inputs,
+            output: out_id,
+            label: product_label("symm"),
+        }
+    };
+    let syrk_call = || KernelCall {
+        op: KernelOp::Syrk {
+            uplo,
+            trans: left.trans,
+            n: m,
+            k,
+        },
+        inputs: vec![left.id],
+        output: out_id,
+        label: product_label("syrk"),
+    };
+
+    let calls = match kind {
+        MergeKind::Gemm => {
+            let label = product_label("gemm");
+            vec![gemm_call(left.trans, right.trans, label)]
+        }
+        MergeKind::GemmSymmetric => {
+            vec![gemm_call(left.trans, right.trans, product_label("gemm"))]
+        }
+        MergeKind::SyrkTriangle => vec![syrk_call()],
+        MergeKind::SyrkThenCopy => vec![
+            syrk_call(),
+            KernelCall {
+                op: KernelOp::CopyTriangle { uplo, n: m },
+                inputs: vec![out_id],
+                output: out_id,
+                label: format!("{out_name} := full({out_name}) (copy triangle)"),
+            },
+        ],
+        MergeKind::SymmLeft => vec![symm_call(Side::Left)],
+        MergeKind::SymmRight => vec![symm_call(Side::Right)],
+        MergeKind::CopyLeftThenGemm => vec![
+            copy_call(left),
+            gemm_call(Trans::No, right.trans, product_label("gemm")),
+        ],
+        MergeKind::CopyRightThenGemm => vec![
+            copy_call(right),
+            gemm_call(left.trans, Trans::No, product_label("gemm")),
+        ],
+        MergeKind::CopyBothThenGemm => vec![
+            copy_call(left),
+            copy_call(right),
+            gemm_call(Trans::No, Trans::No, product_label("gemm")),
+        ],
+        MergeKind::CopyRightThenSymmLeft => vec![copy_call(right), symm_call(Side::Left)],
+        MergeKind::CopyLeftThenSymmRight => vec![copy_call(left), symm_call(Side::Right)],
+    };
+
+    let merged = Segment {
+        id: out_id,
+        rows: m,
+        cols: n,
+        trans: Trans::No,
+        leaf: None,
+        storage: kind.result_storage(),
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name.to_string(),
+    };
+    let info = OperandInfo {
+        id: out_id,
+        rows: m,
+        cols: n,
+        role: OperandRole::Intermediate,
+        name: out_name.to_string(),
+    };
+    (calls, (merged, info))
+}
+
+/// A memoized lower bound on the FLOPs still needed to merge `segments` into
+/// one result: the classic parenthesization DP over the current segment
+/// list, costing each product `2·m·n·k` except adjacent Gram leaf pairs,
+/// which may use the cheaper SYRK count `(n+1)·n·k`. Triangle copies cost 0
+/// FLOPs and SYMM ties GEMM, so no completion can beat this bound.
+fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64 {
+    let t = segments.len();
+    if t <= 1 {
+        return 0;
+    }
+    let key: Vec<usize> = segments
+        .iter()
+        .map(|s| s.start)
+        .chain([segments[t - 1].end])
+        .collect();
+    if let Some(&cached) = memo.get(&key) {
+        return cached;
+    }
+    let d: Vec<u64> = std::iter::once(segments[0].rows as u64)
+        .chain(segments.iter().map(|s| s.cols as u64))
+        .collect();
+    let gram: Vec<bool> = segments
+        .windows(2)
+        .map(|w| crate::rewrite::is_gram_pair(&w[0].merge_operand(), &w[1].merge_operand()))
+        .collect();
+    let mut cost = vec![vec![0u64; t]; t];
+    for len in 2..=t {
+        for i in 0..=t - len {
+            let j = i + len - 1;
+            let mut best = u64::MAX;
+            for s in i..j {
+                let merge = if len == 2 && gram[i] {
+                    (d[i] + 1) * d[i] * d[i + 1]
+                } else {
+                    2 * d[i] * d[s + 1] * d[j + 1]
+                };
+                best = best.min(cost[i][s] + cost[s + 1][j] + merge);
+            }
+            cost[i][j] = best;
+        }
+    }
+    memo.insert(key, cost[0][t - 1]);
+    cost[0][t - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aatb::enumerate_aatb_algorithms;
+    use crate::chain::enumerate_chain_algorithms;
+
+    fn chain_expr(dims: &[usize]) -> Expr {
+        let factors: Vec<Expr> = (0..dims.len() - 1)
+            .map(|i| {
+                Expr::var(
+                    &char::from(b'A' + u8::try_from(i).unwrap()).to_string(),
+                    dims[i],
+                    dims[i + 1],
+                )
+            })
+            .collect();
+        Expr::product(factors)
+    }
+
+    #[test]
+    fn chain_enumeration_matches_the_legacy_reference_bit_for_bit() {
+        let dims = [13, 7, 11, 5, 3];
+        let engine = enumerate_expr_algorithms(&chain_expr(&dims)).unwrap();
+        let reference = enumerate_chain_algorithms(&dims).unwrap();
+        assert_eq!(engine.len(), reference.len());
+        for (e, r) in engine.iter().zip(&reference) {
+            assert_eq!(e.calls, r.calls, "call sequences must be identical");
+            assert_eq!(e.operands, r.operands, "operand tables must be identical");
+            assert_eq!(e.flops(), r.flops());
+        }
+    }
+
+    #[test]
+    fn aatb_enumeration_derives_the_five_paper_algorithms() {
+        let (d0, d1, d2) = (17, 29, 11);
+        let a = Expr::var("A", d0, d1);
+        let b = Expr::var("B", d0, d2);
+        let engine = enumerate_expr_algorithms(&a.clone().mul(a.t()).mul(b)).unwrap();
+        let reference = enumerate_aatb_algorithms(d0, d1, d2);
+        assert_eq!(engine.len(), 5);
+        for (e, r) in engine.iter().zip(&reference) {
+            assert_eq!(e.calls.len(), r.calls.len(), "{}", r.name);
+            for (ec, rc) in e.calls.iter().zip(&r.calls) {
+                assert_eq!(ec.op, rc.op, "{}", r.name);
+                assert_eq!(ec.inputs, rc.inputs, "{}", r.name);
+                assert_eq!(ec.output, rc.output, "{}", r.name);
+            }
+            assert_eq!(e.flops(), r.flops(), "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn transposed_factors_are_enumerated_with_all_orders() {
+        // X := A^T * B * A has two multiplication orders, both plain GEMM.
+        let a = Expr::var("A", 10, 6);
+        let b = Expr::var("B", 10, 10);
+        let algs = enumerate_expr_algorithms(&a.clone().t().mul(b).mul(a)).unwrap();
+        assert_eq!(algs.len(), 2);
+        for alg in &algs {
+            assert!(alg.is_well_formed());
+            assert_eq!(alg.kernel_summary(), "gemm,gemm");
+            let out = alg.output().unwrap();
+            assert_eq!((out.rows, out.cols), (6, 6));
+        }
+        // The two orders contract the dimensions differently.
+        assert_ne!(algs[0].calls[0].op, algs[1].calls[0].op);
+    }
+
+    #[test]
+    fn final_gram_product_is_completed_to_full_storage() {
+        let a = Expr::var("A", 6, 9);
+        let algs = enumerate_expr_algorithms(&a.clone().mul(a.t())).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert_eq!(algs[0].kernel_summary(), "syrk,copy");
+        assert_eq!(algs[1].kernel_summary(), "gemm");
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+    }
+
+    #[test]
+    fn double_gram_expression_mixes_symm_and_copies() {
+        // X := A*A^T*B*B^T with A 8x5 and B 8x6.
+        let a = Expr::var("A", 8, 5);
+        let b = Expr::var("B", 8, 6);
+        let expr = a.clone().mul(a.t()).mul(b.clone()).mul(b.t());
+        let algs = enumerate_expr_algorithms(&expr).unwrap();
+        assert!(algs.len() > 5, "got {}", algs.len());
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+        assert!(algs.iter().any(|a| a.kernel_summary().contains("syrk")));
+        assert!(algs.iter().any(|a| a.kernel_summary().contains("symm")));
+        for alg in &algs {
+            let out = alg.output().unwrap();
+            assert_eq!((out.rows, out.cols), (8, 8));
+        }
+    }
+
+    #[test]
+    fn disabling_rewrites_keeps_only_gemm_orders() {
+        let a = Expr::var("A", 10, 20);
+        let b = Expr::var("B", 10, 30);
+        let expr = a.clone().mul(a.t()).mul(b);
+        let opts = EnumerateOptions {
+            rewrites: false,
+            ..EnumerateOptions::default()
+        };
+        let algs = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+        assert_eq!(algs.len(), 2); // (A A^T) B and A (A^T B)
+        assert!(algs.iter().all(|a| a.kernel_summary() == "gemm,gemm"));
+    }
+
+    #[test]
+    fn top_k_pruning_returns_the_cheapest_algorithms_sorted() {
+        let dims = [40, 20, 30, 10, 30, 25];
+        let expr = chain_expr(&dims);
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        assert_eq!(full.len(), 24);
+        let mut cheapest: Vec<u64> = full.iter().map(Algorithm::flops).collect();
+        cheapest.sort_unstable();
+        for k in [1, 3, 24, 100] {
+            let opts = EnumerateOptions {
+                top_k: Some(k),
+                ..EnumerateOptions::default()
+            };
+            let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+            assert_eq!(pruned.len(), k.min(24));
+            let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
+            assert_eq!(got, cheapest[..k.min(24)].to_vec(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_pruning_agrees_with_full_enumeration_on_gram_expressions() {
+        let a = Expr::var("A", 30, 7);
+        let b = Expr::var("B", 30, 11);
+        let expr = a.clone().mul(a.t()).mul(b);
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        let mut flops: Vec<u64> = full.iter().map(Algorithm::flops).collect();
+        flops.sort_unstable();
+        let opts = EnumerateOptions {
+            top_k: Some(2),
+            ..EnumerateOptions::default()
+        };
+        let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+        let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
+        assert_eq!(got, flops[..2].to_vec());
+    }
+
+    #[test]
+    fn single_leaf_expressions_lower_to_a_call_free_algorithm() {
+        let algs = enumerate_expr_algorithms(&Expr::var("A", 3, 4)).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert!(algs[0].calls.is_empty());
+        assert_eq!(algs[0].flops(), 0);
+        assert_eq!(algs[0].output().unwrap().name, "A");
+    }
+
+    #[test]
+    fn a_lone_transposed_leaf_is_rejected() {
+        // No kernel performs a standalone transpose; returning the stored
+        // operand would silently compute A instead of A^T.
+        let err = enumerate_expr_algorithms(&Expr::var("A", 3, 4).t()).unwrap_err();
+        assert_eq!(err, GenerateError::BareTranspose { name: "A".into() });
+        assert!(err.to_string().contains("transpose"));
+        // A cancelled double transpose is fine.
+        let algs = enumerate_expr_algorithms(&Expr::var("A", 3, 4).t().t()).unwrap();
+        assert_eq!(algs.len(), 1);
+    }
+
+    #[test]
+    fn inconsistent_operand_reuse_is_an_error() {
+        // "A" used with two different shapes (but shape-consistent as a
+        // product: 2x3 times 3x4).
+        let expr = Expr::var("A", 2, 3).mul(Expr::var("A", 3, 4));
+        assert!(matches!(
+            enumerate_expr_algorithms(&expr),
+            Err(GenerateError::InconsistentOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let expr = Expr::var("A", 2, 3).mul(Expr::var("B", 4, 5));
+        assert!(matches!(
+            enumerate_expr_algorithms(&expr),
+            Err(GenerateError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_same_orientation_operand_is_a_plain_product() {
+        let a = Expr::var("A", 8, 8);
+        let algs = enumerate_expr_algorithms(&a.clone().mul(a)).unwrap();
+        assert_eq!(algs.len(), 1, "A*A is not a Gram product");
+        assert_eq!(algs[0].kernel_summary(), "gemm");
+        assert_eq!(algs[0].flops(), 2 * 8 * 8 * 8);
+        // The single input operand is referenced twice by the call.
+        assert_eq!(algs[0].calls[0].inputs, vec![OperandId(0), OperandId(0)]);
+        assert_eq!(algs[0].inputs().count(), 1);
+    }
+
+    #[test]
+    fn lower_bound_matches_the_chain_dp_on_plain_chains() {
+        use crate::chain::optimal_chain_order;
+        let dims = [30, 35, 15, 5, 10, 20, 25];
+        let expr = chain_expr(&dims);
+        let factors = expr.factors();
+        let inputs = distinct_inputs(&factors).unwrap();
+        let segments: Vec<Segment> = factors
+            .iter()
+            .enumerate()
+            .map(|(pos, (v, _))| Segment {
+                id: OperandId(pos),
+                rows: v.rows,
+                cols: v.cols,
+                trans: Trans::No,
+                leaf: Some(pos),
+                storage: Storage::General,
+                start: pos,
+                end: pos + 1,
+                text: v.name.clone(),
+                name: v.name.clone(),
+            })
+            .collect();
+        let _ = inputs;
+        let mut memo = HashMap::new();
+        let lb = lower_bound(&mut memo, &segments);
+        let (dp, _) = optimal_chain_order(&dims).unwrap();
+        assert_eq!(lb, dp);
+        // The memo caches the full-range entry.
+        assert!(memo.len() == 1);
+    }
+}

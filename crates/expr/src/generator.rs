@@ -1,24 +1,18 @@
-//! From expression trees to candidate algorithm sets (a miniature version of
-//! the "generate all mathematically equivalent algorithms" step that tools
-//! like Linnea perform before selecting one).
+//! From expression trees to candidate algorithm sets (the "generate all
+//! mathematically equivalent algorithms" step that tools like Linnea perform
+//! before selecting one).
 //!
-//! Three patterns are recognised:
-//!
-//! 1. a plain **matrix chain** `X1·X2·…·Xp` of distinct, untransposed
-//!    operands — enumerated by [`crate::chain::enumerate_chain_algorithms`];
-//! 2. the paper's second expression `A·Aᵀ·B` — enumerated by
-//!    [`crate::aatb::enumerate_aatb_algorithms`];
-//! 3. any other product of (possibly transposed) leaf operands — lowered to a
-//!    single left-to-right GEMM sequence (no algorithmic choice, but still
-//!    executable and FLOP-countable).
+//! Enumeration is handled uniformly by the general engine in
+//! [`crate::enumerate`]: every multiplication order of the flattened factor
+//! list, expanded by the rewrite rules of [`crate::rewrite`] (SYRK for Gram
+//! products, SYMM and triangle copies for symmetric intermediates). The
+//! pattern classification returned alongside the algorithms is purely
+//! informational — it reports which of the paper's studied shapes the
+//! expression matches, but no longer decides *how* enumeration happens.
 
-use crate::aatb::enumerate_aatb_algorithms;
-use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
-use crate::chain::enumerate_chain_algorithms;
+use crate::algorithm::Algorithm;
+use crate::enumerate::{enumerate_expr_algorithms_with, EnumerateOptions};
 use crate::expr::{Expr, ShapeError, Var};
-use crate::kernel_call::{KernelCall, KernelOp};
-use crate::operand::OperandId;
-use lamb_matrix::Trans;
 use std::fmt;
 
 /// Errors produced while generating algorithms from an expression tree.
@@ -28,6 +22,22 @@ pub enum GenerateError {
     Shape(ShapeError),
     /// The expression has no factors (cannot happen with the public builders).
     Empty,
+    /// A matrix chain was described with fewer than two matrices.
+    TooFewMatrices {
+        /// Length of the offending dimension tuple.
+        dims_len: usize,
+    },
+    /// The same operand name is used with two different shapes.
+    InconsistentOperand {
+        /// The offending operand name.
+        name: String,
+    },
+    /// The expression is a single transposed operand, which no kernel in the
+    /// paper's set can realise (there is no standalone transpose kernel).
+    BareTranspose {
+        /// The transposed operand's name.
+        name: String,
+    },
 }
 
 impl fmt::Display for GenerateError {
@@ -35,6 +45,19 @@ impl fmt::Display for GenerateError {
         match self {
             GenerateError::Shape(e) => write!(f, "shape error: {e}"),
             GenerateError::Empty => write!(f, "expression has no factors"),
+            GenerateError::TooFewMatrices { dims_len } => write!(
+                f,
+                "a matrix chain needs at least two matrices ({dims_len} dims given)"
+            ),
+            GenerateError::InconsistentOperand { name } => {
+                write!(f, "operand `{name}` is used with two different shapes")
+            }
+            GenerateError::BareTranspose { name } => {
+                write!(
+                    f,
+                    "`{name}^T` alone has no kernel realisation (no standalone transpose kernel)"
+                )
+            }
         }
     }
 }
@@ -47,185 +70,78 @@ impl From<ShapeError> for GenerateError {
     }
 }
 
-/// Which enumeration strategy [`generate_algorithms`] picked.
+/// Which of the paper's studied shapes [`generate_algorithms`] recognised
+/// (informational; enumeration is the same general engine either way).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecognisedPattern {
-    /// A plain matrix chain of `p` operands.
+    /// A plain matrix chain of `p` distinct, untransposed operands.
     Chain(usize),
-    /// The `A·Aᵀ·B` expression.
+    /// The paper's `A·Aᵀ·B` expression.
     Aatb,
-    /// Generic product lowered to one left-to-right algorithm.
+    /// Any other product of (possibly transposed, possibly repeated) leaves.
     GenericProduct,
 }
 
 /// Generate the candidate algorithm set for an expression tree and report
-/// which pattern was recognised.
+/// which of the paper's patterns it matches.
 ///
 /// # Errors
 ///
-/// Returns [`GenerateError`] if the expression is shape-inconsistent.
+/// Returns [`GenerateError`] if the expression is shape-inconsistent, empty,
+/// or reuses an operand name with different shapes.
 pub fn generate_algorithms(
     expr: &Expr,
 ) -> Result<(RecognisedPattern, Vec<Algorithm>), GenerateError> {
-    // Validate shapes up front so every later step can assume consistency.
-    expr.shape()?;
+    generate_algorithms_with(expr, &EnumerateOptions::default())
+}
+
+/// [`generate_algorithms`] with explicit enumerator options (top-k FLOPs
+/// pruning, rewrite toggling).
+///
+/// # Errors
+///
+/// See [`generate_algorithms`].
+pub fn generate_algorithms_with(
+    expr: &Expr,
+    options: &EnumerateOptions,
+) -> Result<(RecognisedPattern, Vec<Algorithm>), GenerateError> {
+    let algorithms = enumerate_expr_algorithms_with(expr, options)?;
+    Ok((classify(expr), algorithms))
+}
+
+/// Classify the expression against the paper's studied shapes.
+fn classify(expr: &Expr) -> RecognisedPattern {
     let factors = expr.factors();
-    if factors.is_empty() {
-        return Err(GenerateError::Empty);
+    if factors.len() >= 2 && is_plain_chain(&factors) {
+        RecognisedPattern::Chain(factors.len())
+    } else if is_aatb(&factors) {
+        RecognisedPattern::Aatb
+    } else {
+        RecognisedPattern::GenericProduct
     }
-
-    if let Some(dims) = plain_chain_dims(&factors) {
-        if factors.len() >= 2 {
-            return Ok((
-                RecognisedPattern::Chain(factors.len()),
-                enumerate_chain_algorithms(&dims),
-            ));
-        }
-    }
-
-    if let Some((d0, d1, d2)) = aatb_dims(&factors) {
-        return Ok((
-            RecognisedPattern::Aatb,
-            enumerate_aatb_algorithms(d0, d1, d2),
-        ));
-    }
-
-    Ok((
-        RecognisedPattern::GenericProduct,
-        vec![left_to_right_algorithm(&factors)],
-    ))
 }
 
-/// If every factor is a distinct untransposed operand, return the chain
-/// dimension tuple `[d0, ..., dp]`.
-fn plain_chain_dims(factors: &[(Var, bool)]) -> Option<Vec<usize>> {
+/// Whether every factor is a distinct untransposed operand.
+fn is_plain_chain(factors: &[(Var, bool)]) -> bool {
     if factors.iter().any(|(_, t)| *t) {
-        return None;
+        return false;
     }
-    let names: Vec<&str> = factors.iter().map(|(v, _)| v.name.as_str()).collect();
-    let mut unique = names.clone();
-    unique.sort_unstable();
-    unique.dedup();
-    if unique.len() != names.len() {
-        return None;
-    }
-    let mut dims = Vec::with_capacity(factors.len() + 1);
-    dims.push(factors[0].0.rows);
-    for (v, _) in factors {
-        dims.push(v.cols);
-    }
-    Some(dims)
+    let mut names: Vec<&str> = factors.iter().map(|(v, _)| v.name.as_str()).collect();
+    names.sort_unstable();
+    let before = names.len();
+    names.dedup();
+    names.len() == before
 }
 
-/// If the factor list matches `A, Aᵀ, B`, return `(d0, d1, d2)`.
-fn aatb_dims(factors: &[(Var, bool)]) -> Option<(usize, usize, usize)> {
+/// Whether the factor list matches `A, Aᵀ, B`.
+fn is_aatb(factors: &[(Var, bool)]) -> bool {
     if factors.len() != 3 {
-        return None;
+        return false;
     }
     let (a, ta) = &factors[0];
     let (at, tat) = &factors[1];
     let (b, tb) = &factors[2];
-    if a.name == at.name && !ta && *tat && !tb && a.name != b.name {
-        Some((a.rows, a.cols, b.cols))
-    } else {
-        None
-    }
-}
-
-/// Lower an arbitrary product of (possibly transposed) leaves to a single
-/// left-to-right GEMM sequence.
-fn left_to_right_algorithm(factors: &[(Var, bool)]) -> Algorithm {
-    let mut operands: Vec<OperandInfo> = factors
-        .iter()
-        .enumerate()
-        .map(|(i, (v, _))| OperandInfo {
-            id: OperandId(i),
-            rows: v.rows,
-            cols: v.cols,
-            role: OperandRole::Input,
-            name: v.name.clone(),
-        })
-        .collect();
-
-    let logical = |v: &Var, t: bool| {
-        if t {
-            (v.cols, v.rows)
-        } else {
-            (v.rows, v.cols)
-        }
-    };
-
-    let mut calls = Vec::new();
-    if factors.len() == 1 {
-        // A single (possibly transposed) operand: represent it as a 1-element
-        // "chain" by multiplying with nothing — we instead emit a copy-free
-        // no-op algorithm with zero calls and the operand as output.
-        operands[0].role = OperandRole::Output;
-        return Algorithm {
-            name: format!("generic product: {}", operands[0].name),
-            operands,
-            calls,
-        };
-    }
-
-    let mut acc_shape = logical(&factors[0].0, factors[0].1);
-    let mut acc_id = OperandId(0);
-    let mut acc_trans = if factors[0].1 { Trans::Yes } else { Trans::No };
-    let mut acc_text = format!(
-        "{}{}",
-        factors[0].0.name,
-        if factors[0].1 { "^T" } else { "" }
-    );
-    for (step, (v, t)) in factors.iter().enumerate().skip(1) {
-        let rhs_shape = logical(v, *t);
-        let m = acc_shape.0;
-        let k = acc_shape.1;
-        let n = rhs_shape.1;
-        let out_id = OperandId(factors.len() + step - 1);
-        let label = format!(
-            "M{} := {}*{}{}",
-            step,
-            acc_text,
-            v.name,
-            if *t { "^T" } else { "" }
-        );
-        calls.push(KernelCall {
-            op: KernelOp::Gemm {
-                transa: acc_trans,
-                transb: if *t { Trans::Yes } else { Trans::No },
-                m,
-                n,
-                k,
-            },
-            inputs: vec![acc_id, OperandId(step)],
-            output: out_id,
-            label,
-        });
-        operands.push(OperandInfo {
-            id: out_id,
-            rows: m,
-            cols: n,
-            role: OperandRole::Intermediate,
-            name: format!("M{step}"),
-        });
-        acc_shape = (m, n);
-        acc_id = out_id;
-        acc_trans = Trans::No;
-        acc_text = format!("M{step}");
-    }
-    if let Some(last) = operands.last_mut() {
-        last.role = OperandRole::Output;
-        last.name = "X".into();
-    }
-    let text: Vec<String> = factors
-        .iter()
-        .map(|(v, t)| format!("{}{}", v.name, if *t { "^T" } else { "" }))
-        .collect();
-    Algorithm {
-        name: format!("generic left-to-right product: {}", text.join(" ")),
-        operands,
-        calls,
-    }
+    a.name == at.name && !ta && *tat && !tb && a.name != b.name
 }
 
 #[cfg(test)]
@@ -261,29 +177,30 @@ mod tests {
     }
 
     #[test]
-    fn generic_product_with_transposes_falls_back_to_one_algorithm() {
-        // X := A^T * B * A is not one of the studied patterns.
+    fn generic_products_now_enumerate_every_order() {
+        // X := A^T * B * A is not one of the studied patterns, but the
+        // general engine still enumerates both multiplication orders (the
+        // legacy generator lowered this to a single left-to-right sequence).
         let a = Expr::var("A", 10, 6);
         let b = Expr::var("B", 10, 10);
         let expr = a.clone().t().mul(b).mul(a);
         let (pattern, algs) = generate_algorithms(&expr).unwrap();
         assert_eq!(pattern, RecognisedPattern::GenericProduct);
-        assert_eq!(algs.len(), 1);
-        let alg = &algs[0];
-        assert!(alg.is_well_formed());
-        assert_eq!(alg.calls.len(), 2);
-        let out = alg.output().unwrap();
-        assert_eq!((out.rows, out.cols), (6, 6));
-        // FLOPs: (6x10)*(10x10) = 1200, then (6x10)*(10x6)... careful:
+        assert_eq!(algs.len(), 2);
+        for alg in &algs {
+            assert!(alg.is_well_formed());
+            assert_eq!(alg.calls.len(), 2);
+            let out = alg.output().unwrap();
+            assert_eq!((out.rows, out.cols), (6, 6));
+        }
+        // Left-to-right order: (A^T B) then (.. A):
         // step1: A^T(6x10) * B(10x10) -> 6x10, 2*6*10*10 = 1200
         // step2: M1(6x10) * A(10x6) -> 6x6, 2*6*6*10 = 720
-        assert_eq!(alg.flops(), 1200 + 720);
+        assert_eq!(algs[0].flops(), 1200 + 720);
     }
 
     #[test]
     fn repeated_untransposed_operands_are_not_a_plain_chain() {
-        // A * A with the same name is a generic product (the chain enumerator
-        // assumes distinct operands).
         let a = Expr::var("A", 8, 8);
         let expr = a.clone().mul(a);
         let (pattern, algs) = generate_algorithms(&expr).unwrap();
@@ -322,5 +239,38 @@ mod tests {
         assert_eq!(pattern, RecognisedPattern::GenericProduct);
         assert_eq!(algs[0].calls.len(), 0);
         assert_eq!(algs[0].flops(), 0);
+    }
+
+    #[test]
+    fn pruning_options_thread_through() {
+        let dims = [9usize, 8, 7, 6, 5, 4];
+        let factors: Vec<Expr> = (0..5)
+            .map(|i| {
+                Expr::var(
+                    &char::from(b'A' + u8::try_from(i).unwrap()).to_string(),
+                    dims[i],
+                    dims[i + 1],
+                )
+            })
+            .collect();
+        let expr = Expr::product(factors);
+        let opts = EnumerateOptions {
+            top_k: Some(4),
+            ..EnumerateOptions::default()
+        };
+        let (pattern, algs) = generate_algorithms_with(&expr, &opts).unwrap();
+        assert_eq!(pattern, RecognisedPattern::Chain(5));
+        assert_eq!(algs.len(), 4);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(GenerateError::Empty.to_string().contains("no factors"));
+        assert!(GenerateError::TooFewMatrices { dims_len: 2 }
+            .to_string()
+            .contains("at least two"));
+        assert!(GenerateError::InconsistentOperand { name: "A".into() }
+            .to_string()
+            .contains('A'));
     }
 }

@@ -2,24 +2,37 @@
 //!
 //! The symbolic layer of the `lamb` workspace: linear-algebra expressions,
 //! the kernel-call intermediate representation, and the enumeration of all
-//! mathematically equivalent algorithms for the two expressions studied in
-//! the ICPP'22 paper:
+//! mathematically equivalent algorithms for arbitrary products of (possibly
+//! transposed, possibly repeated) matrices.
+//!
+//! The heart of the crate is the **general enumerator**
+//! ([`enumerate`]): a recursive merge search over the flattened factor list
+//! of an [`Expr`](expr::Expr) tree composed with the rewrite rules of
+//! [`rewrite`] (transpose pushing, SYRK for Gram products `X·Xᵀ`, SYMM and
+//! triangle copies for symmetric intermediates). The two expressions studied
+//! in the ICPP'22 paper fall out as special cases:
 //!
 //! * the **matrix chain** `X := A·B·C·D` (Section 3.2.1), whose six
 //!   algorithms use only GEMM, and
 //! * the expression `X := A·Aᵀ·B` (Section 3.2.2), whose five algorithms mix
 //!   GEMM, SYRK and SYMM (plus an explicit triangle-to-full copy).
 //!
-//! An [`Algorithm`](algorithm::Algorithm) is a sequence of
-//! [`KernelCall`](kernel_call::KernelCall)s over symbolic operands; its FLOP
+//! The hand-written enumerators in [`chain`] and [`aatb`] are kept as the
+//! paper's reference tables; parity tests assert the engine reproduces them
+//! exactly. Text expressions such as `"A*A^T*B"` are parsed by [`parse`]
+//! into dimension-parameterised [`Expression`]s.
+//!
+//! An [`Algorithm`] is a sequence of
+//! [`KernelCall`]s over symbolic operands; its FLOP
 //! count is the sum of the per-kernel FLOP models of Section 3.1. Executors
 //! in `lamb-perfmodel` turn these symbolic sequences into measured or
 //! simulated execution times.
 //!
 //! ```
-//! use lamb_expr::chain::enumerate_chain_algorithms;
+//! use lamb_expr::{Expression, TreeExpression};
 //!
-//! let algs = enumerate_chain_algorithms(&[100, 90, 80, 70, 60]);
+//! let chain = TreeExpression::parse("A*B*C*D").unwrap();
+//! let algs = chain.algorithms(&[100, 90, 80, 70, 60]).unwrap();
 //! assert_eq!(algs.len(), 6); // 3! orderings of the three multiplications
 //! let cheapest = algs.iter().map(|a| a.flops()).min().unwrap();
 //! assert!(cheapest > 0);
@@ -30,15 +43,24 @@
 pub mod aatb;
 pub mod algorithm;
 pub mod chain;
+pub mod enumerate;
 pub mod expr;
 pub mod expression;
 pub mod generator;
 pub mod kernel_call;
 pub mod operand;
+pub mod parse;
+pub mod rewrite;
 
 pub use aatb::{enumerate_aatb_algorithms, AatbExpression};
 pub use algorithm::{Algorithm, OperandInfo, OperandRole};
 pub use chain::{enumerate_chain_algorithms, optimal_chain_order, MatrixChainExpression};
+pub use enumerate::{
+    enumerate_expr_algorithms, enumerate_expr_algorithms_pruned, enumerate_expr_algorithms_with,
+    EnumerateOptions,
+};
 pub use expression::Expression;
+pub use generator::{generate_algorithms, GenerateError, RecognisedPattern};
 pub use kernel_call::{KernelCall, KernelOp};
 pub use operand::OperandId;
+pub use parse::{ParseError, TreeExpression};

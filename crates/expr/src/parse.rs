@@ -1,0 +1,546 @@
+//! Text front end: parse expressions such as `"A*B*C*D"` or `"A*A^T*B"` into
+//! a dimension-parameterised [`Expression`] whose sizes are bound later (at
+//! the CLI, from a `--dims` tuple).
+//!
+//! # Grammar
+//!
+//! ```text
+//! expr    := factor ( "*" factor )*
+//! factor  := primary ( "^T" | "'" )*
+//! primary := IDENT | "(" expr ")"
+//! IDENT   := [A-Za-z][A-Za-z0-9_]*
+//! ```
+//!
+//! Whitespace is ignored. `^T` and the postfix apostrophe both denote
+//! transposition; `(A*B)^T` is accepted and rewritten to `B^T*A^T` during
+//! enumeration. Reusing a name (as in `A*A^T*B`) reuses the operand.
+//!
+//! # Dimension parameters
+//!
+//! The parser assigns dimension indices `d0, d1, ...` by walking the
+//! flattened factor list and unifying sizes that products and operand reuse
+//! force to be equal. For `"A*B*C*D"` this yields the paper's 5-tuple
+//! (`A ∈ d0×d1`, ..., `D ∈ d3×d4`); for `"A*A^T*B"` it yields the 3-tuple
+//! (`A ∈ d0×d1`, `B ∈ d0×d2`). [`TreeExpression::num_dims`] reports the
+//! count; binding a tuple produces a concrete [`Expr`] for the enumerator.
+//!
+//! ```
+//! use lamb_expr::parse::TreeExpression;
+//! use lamb_expr::Expression;
+//!
+//! let aatb = TreeExpression::parse("A*A^T*B").unwrap();
+//! assert_eq!(aatb.num_dims(), 3);
+//! let algorithms = aatb.algorithms(&[80, 514, 768]).unwrap();
+//! assert_eq!(algorithms.len(), 5);
+//! ```
+
+use crate::algorithm::Algorithm;
+use crate::enumerate::enumerate_expr_algorithms_pruned;
+use crate::expr::Expr;
+use crate::expression::Expression;
+use crate::generator::GenerateError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing an expression text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input contained no expression.
+    Empty,
+    /// An unexpected character at `position`.
+    UnexpectedChar {
+        /// Byte offset into the input.
+        position: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The input ended where a factor or `)` was expected.
+    UnexpectedEnd,
+    /// A `^` not followed by `T`/`t` at `position`.
+    BadTranspose {
+        /// Byte offset into the input.
+        position: usize,
+    },
+    /// An operand name is reused in a way that forces contradictory shapes
+    /// (cannot happen with products alone; reserved for future operators).
+    InconsistentShapes {
+        /// The offending operand name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty expression"),
+            ParseError::UnexpectedChar { position, found } => {
+                write!(f, "unexpected character `{found}` at position {position}")
+            }
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of expression"),
+            ParseError::BadTranspose { position } => {
+                write!(f, "`^` must be followed by `T` (position {position})")
+            }
+            ParseError::InconsistentShapes { name } => {
+                write!(f, "operand `{name}` is used with contradictory shapes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A shape-less expression AST (shapes are bound later from a dims tuple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ast {
+    Var(String),
+    Transpose(Box<Ast>),
+    Mul(Box<Ast>, Box<Ast>),
+}
+
+impl Ast {
+    /// Flatten into `(name, transposed)` factors, pushing transposes to the
+    /// leaves with `(A·B)ᵀ = Bᵀ·Aᵀ` (mirroring [`Expr::factors`]).
+    fn factors(&self) -> Vec<(String, bool)> {
+        fn go(ast: &Ast, transposed: bool, out: &mut Vec<(String, bool)>) {
+            match ast {
+                Ast::Var(name) => out.push((name.clone(), transposed)),
+                Ast::Transpose(inner) => go(inner, !transposed, out),
+                Ast::Mul(l, r) => {
+                    if transposed {
+                        go(r, true, out);
+                        go(l, true, out);
+                    } else {
+                        go(l, false, out);
+                        go(r, false, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, false, &mut out);
+        out
+    }
+
+    fn display(&self) -> String {
+        match self {
+            Ast::Var(name) => name.clone(),
+            Ast::Transpose(inner) => match inner.as_ref() {
+                Ast::Mul(..) => format!("({})^T", inner.display()),
+                _ => format!("{}^T", inner.display()),
+            },
+            Ast::Mul(l, r) => format!("{}*{}", l.display(), r.display()),
+        }
+    }
+}
+
+/// A parsed, dimension-parameterised expression: the tree of a text such as
+/// `"A*A^T*B"` plus the mapping from operand shapes to the dimension tuple
+/// `d0..d{n-1}`. Implements [`Expression`], so it plugs directly into the
+/// `Planner` and the experiment drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeExpression {
+    text: String,
+    ast: Ast,
+    /// Per distinct operand name: `(name, row dim index, col dim index)` in
+    /// stored (untransposed) orientation, in order of first appearance.
+    var_dims: Vec<(String, usize, usize)>,
+    num_dims: usize,
+}
+
+/// Union-find over dimension symbols.
+fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    if parent[x] != x {
+        let root = find(parent, parent[x]);
+        parent[x] = root;
+    }
+    parent[x]
+}
+
+fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        parent[rb] = ra;
+    }
+}
+
+impl TreeExpression {
+    /// Parse `text` into a dimension-parameterised expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let ast = Parser::new(text).parse()?;
+        let factors = ast.factors();
+
+        // Two symbols (stored rows, stored cols) per distinct name.
+        let mut sym_of: HashMap<String, (usize, usize)> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut next = 0;
+        for (name, _) in &factors {
+            sym_of.entry(name.clone()).or_insert_with(|| {
+                order.push(name.clone());
+                let pair = (next, next + 1);
+                next += 2;
+                pair
+            });
+        }
+        let mut parent: Vec<usize> = (0..next).collect();
+        let logical = |sym_of: &HashMap<String, (usize, usize)>, name: &str, t: bool| {
+            let (r, c) = sym_of[name];
+            if t {
+                (c, r)
+            } else {
+                (r, c)
+            }
+        };
+        for pair in factors.windows(2) {
+            let (_, lc) = logical(&sym_of, &pair[0].0, pair[0].1);
+            let (rr, _) = logical(&sym_of, &pair[1].0, pair[1].1);
+            union(&mut parent, lc, rr);
+        }
+
+        // Assign dimension indices in boundary-walk order: rows of the first
+        // factor, then the columns of each factor in turn.
+        let mut index_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut assign = |parent: &mut Vec<usize>, sym: usize| {
+            let root = find(parent, sym);
+            let n = index_of_root.len();
+            *index_of_root.entry(root).or_insert(n)
+        };
+        let (first_row, _) = logical(&sym_of, &factors[0].0, factors[0].1);
+        let _ = assign(&mut parent, first_row);
+        for (name, t) in &factors {
+            let (_, c) = logical(&sym_of, name, *t);
+            let _ = assign(&mut parent, c);
+        }
+        let num_dims = index_of_root.len();
+        let var_dims = order
+            .iter()
+            .map(|name| {
+                let (r, c) = sym_of[name];
+                (
+                    name.clone(),
+                    index_of_root[&find(&mut parent, r)],
+                    index_of_root[&find(&mut parent, c)],
+                )
+            })
+            .collect();
+        Ok(TreeExpression {
+            text: ast.display(),
+            ast,
+            var_dims,
+            num_dims,
+        })
+    }
+
+    /// Bind the dimension tuple and build the concrete [`Expr`] tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len()` differs from [`TreeExpression::num_dims`]
+    /// (callers such as the `Planner` validate the tuple first).
+    #[must_use]
+    pub fn bind(&self, dims: &[usize]) -> Expr {
+        assert_eq!(
+            dims.len(),
+            self.num_dims,
+            "dimension tuple length mismatch for `{}`",
+            self.text
+        );
+        let shapes: HashMap<&str, (usize, usize)> = self
+            .var_dims
+            .iter()
+            .map(|(name, r, c)| (name.as_str(), (dims[*r], dims[*c])))
+            .collect();
+        fn build(ast: &Ast, shapes: &HashMap<&str, (usize, usize)>) -> Expr {
+            match ast {
+                Ast::Var(name) => {
+                    let (r, c) = shapes[name.as_str()];
+                    Expr::var(name, r, c)
+                }
+                Ast::Transpose(inner) => build(inner, shapes).t(),
+                Ast::Mul(l, r) => build(l, shapes).mul(build(r, shapes)),
+            }
+        }
+        build(&self.ast, &shapes)
+    }
+
+    /// The normalized expression text.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The `(name, row dim index, col dim index)` of every distinct operand,
+    /// in order of first appearance.
+    #[must_use]
+    pub fn operand_dims(&self) -> &[(String, usize, usize)] {
+        &self.var_dims
+    }
+}
+
+impl fmt::Display for TreeExpression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+impl Expression for TreeExpression {
+    fn name(&self) -> String {
+        self.text.clone()
+    }
+
+    fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    fn algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.bind(dims), None)
+    }
+
+    fn algorithms_pruned(
+        &self,
+        dims: &[usize],
+        top_k: Option<usize>,
+    ) -> Result<Vec<Algorithm>, GenerateError> {
+        enumerate_expr_algorithms_pruned(&self.bind(dims), top_k)
+    }
+}
+
+/// Recursive-descent parser over the byte positions of the input.
+struct Parser<'a> {
+    text: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            chars: text.char_indices().collect(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.get(self.pos), Some((_, c)) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<(usize, char)> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse(mut self) -> Result<Ast, ParseError> {
+        if self.peek().is_none() {
+            return Err(ParseError::Empty);
+        }
+        let ast = self.expr()?;
+        match self.peek() {
+            None => Ok(ast),
+            Some((position, found)) => Err(ParseError::UnexpectedChar { position, found }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Ast, ParseError> {
+        let mut lhs = self.factor()?;
+        while let Some((_, '*')) = self.peek() {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Ast::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Ast, ParseError> {
+        let mut ast = self.primary()?;
+        loop {
+            match self.peek() {
+                Some((_, '\'')) => {
+                    self.pos += 1;
+                    ast = Ast::Transpose(Box::new(ast));
+                }
+                Some((position, '^')) => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some((_, 'T' | 't')) => {
+                            self.pos += 1;
+                            ast = Ast::Transpose(Box::new(ast));
+                        }
+                        _ => return Err(ParseError::BadTranspose { position }),
+                    }
+                }
+                _ => return Ok(ast),
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            None => Err(ParseError::UnexpectedEnd),
+            Some((_, '(')) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                match self.peek() {
+                    Some((_, ')')) => {
+                        self.pos += 1;
+                        Ok(inner)
+                    }
+                    Some((position, found)) => Err(ParseError::UnexpectedChar { position, found }),
+                    None => Err(ParseError::UnexpectedEnd),
+                }
+            }
+            Some((start, c)) if c.is_ascii_alphabetic() => {
+                let mut end = self.pos + 1;
+                while matches!(self.chars.get(end), Some((_, c)) if c.is_ascii_alphanumeric() || *c == '_')
+                {
+                    end += 1;
+                }
+                let stop = self
+                    .chars
+                    .get(end)
+                    .map_or(self.text.len(), |(offset, _)| *offset);
+                self.pos = end;
+                Ok(Ast::Var(self.text[start..stop].to_string()))
+            }
+            Some((position, found)) => Err(ParseError::UnexpectedChar { position, found }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_chain_gets_the_paper_dimension_tuple() {
+        let chain = TreeExpression::parse("A*B*C*D").unwrap();
+        assert_eq!(chain.num_dims(), 5);
+        assert_eq!(chain.name(), "A*B*C*D");
+        assert_eq!(
+            chain.operand_dims(),
+            &[
+                ("A".into(), 0, 1),
+                ("B".into(), 1, 2),
+                ("C".into(), 2, 3),
+                ("D".into(), 3, 4)
+            ]
+        );
+        let algs = chain.algorithms(&[10, 20, 30, 40, 50]).unwrap();
+        assert_eq!(algs.len(), 6);
+    }
+
+    #[test]
+    fn aatb_reuses_the_operand_and_has_three_dims() {
+        let aatb = TreeExpression::parse("A*A^T*B").unwrap();
+        assert_eq!(aatb.num_dims(), 3);
+        assert_eq!(
+            aatb.operand_dims(),
+            &[("A".into(), 0, 1), ("B".into(), 0, 2)]
+        );
+        let algs = aatb.algorithms(&[80, 514, 768]).unwrap();
+        assert_eq!(algs.len(), 5);
+    }
+
+    #[test]
+    fn sandwich_expression_unifies_to_two_dims() {
+        // A^T*B*A forces B to be square of A's row size: with the tuple
+        // (d0, d1), A is d1 x d0 and B is d1 x d1.
+        let e = TreeExpression::parse("A^T*B*A").unwrap();
+        assert_eq!(e.num_dims(), 2);
+        let expr = e.bind(&[10, 6]);
+        assert_eq!(expr.shape().unwrap(), (10, 10));
+    }
+
+    #[test]
+    fn transposed_products_and_apostrophes_parse() {
+        let e = TreeExpression::parse("(A*B)'").unwrap();
+        assert_eq!(e.name(), "(A*B)^T");
+        assert_eq!(e.num_dims(), 3);
+        // (A*B)^T = B^T*A^T: two factors, one algorithm. Dimension indices
+        // follow the flattened order, so B^T is d0 x d1 and A^T is d1 x d2.
+        let algs = e.algorithms(&[4, 5, 6]).unwrap();
+        assert_eq!(algs.len(), 1);
+        let out = algs[0].output().unwrap();
+        assert_eq!((out.rows, out.cols), (4, 6));
+    }
+
+    #[test]
+    fn double_transpose_cancels() {
+        let e = TreeExpression::parse("A^T^T*B").unwrap();
+        assert_eq!(e.num_dims(), 3);
+        let algs = e.algorithms(&[3, 4, 5]).unwrap();
+        assert_eq!(algs[0].output().unwrap().rows, 3);
+    }
+
+    #[test]
+    fn whitespace_and_long_names_are_accepted() {
+        let e = TreeExpression::parse("  Input1 * Weights_2^T ").unwrap();
+        assert_eq!(e.num_dims(), 3);
+        assert_eq!(e.operand_dims()[1].0, "Weights_2");
+        // Whitespace is ignored everywhere, including between `^` and `T`.
+        let spaced = TreeExpression::parse("A ^ T * B").unwrap();
+        assert_eq!(spaced.name(), "A^T*B");
+        assert_eq!(spaced.num_dims(), 3);
+    }
+
+    #[test]
+    fn squares_unify_dimensions() {
+        let e = TreeExpression::parse("A*A").unwrap();
+        assert_eq!(e.num_dims(), 1, "A*A forces A to be square");
+        let algs = e.algorithms(&[8]).unwrap();
+        assert_eq!(algs[0].flops(), 2 * 8 * 8 * 8);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_positions() {
+        assert_eq!(TreeExpression::parse(""), Err(ParseError::Empty));
+        assert_eq!(TreeExpression::parse("   "), Err(ParseError::Empty));
+        assert_eq!(TreeExpression::parse("A*"), Err(ParseError::UnexpectedEnd));
+        assert_eq!(
+            TreeExpression::parse("A^"),
+            Err(ParseError::BadTranspose { position: 1 })
+        );
+        assert_eq!(
+            TreeExpression::parse("(A*B"),
+            Err(ParseError::UnexpectedEnd)
+        );
+        assert!(matches!(
+            TreeExpression::parse("A*B)"),
+            Err(ParseError::UnexpectedChar { found: ')', .. })
+        ));
+        assert!(matches!(
+            TreeExpression::parse("2A"),
+            Err(ParseError::UnexpectedChar { found: '2', .. })
+        ));
+        let err = ParseError::UnexpectedChar {
+            position: 3,
+            found: '?',
+        };
+        assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn planner_accepts_a_parsed_expression() {
+        use lamb_matrix::Trans;
+        let e = TreeExpression::parse("A^T*B*C").unwrap();
+        assert_eq!(e.num_dims(), 4);
+        let algs = e.algorithms(&[7, 9, 11, 13]).unwrap();
+        assert_eq!(algs.len(), 2);
+        for alg in &algs {
+            assert!(alg.is_well_formed());
+        }
+        // The A^T leaf keeps its transposition in the GEMM flags.
+        let first = &algs[0].calls[0];
+        match first.op {
+            crate::kernel_call::KernelOp::Gemm { transa, .. } => {
+                assert_eq!(transa, Trans::Yes);
+            }
+            _ => panic!("expected GEMM"),
+        }
+    }
+}

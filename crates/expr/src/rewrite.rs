@@ -1,0 +1,333 @@
+//! The rewrite-rule layer of the general enumerator: structural opportunities
+//! that let one product step be computed by different (sets of) kernels.
+//!
+//! The enumerator in [`crate::enumerate`] walks an expression tree as a list
+//! of factors and repeatedly merges two adjacent sub-results `L·R`. For each
+//! merge this module reports the set of *variants* — kernel sequences that
+//! compute the same product. Three families of rewrites are recognised:
+//!
+//! * **Transpose pushing** `(A·B)ᵀ → Bᵀ·Aᵀ` happens before enumeration, when
+//!   the tree is flattened by [`crate::expr::Expr::factors`]: transposes are
+//!   moved onto the leaves (cancelling double transposes), so every merge is
+//!   a plain product of possibly-transposed leaves or intermediates.
+//! * **Gram products** `X·Xᵀ` (the same leaf on both sides, one transposed)
+//!   can be computed by SYRK — writing one triangle of the symmetric result —
+//!   instead of GEMM. The SYRK variant stores the result as a triangle; the
+//!   GEMM variant stores it fully but the engine still remembers that the
+//!   *values* are symmetric. This is what derives the paper's `A·Aᵀ·B`
+//!   algorithms 1/2 (SYRK-based) versus 3/4 (GEMM-based).
+//! * **Symmetric-operand products**: when one side of a merge is a known
+//!   symmetric intermediate it can multiply through SYMM (reading only the
+//!   stored triangle) instead of GEMM; a triangle-stored operand can instead
+//!   be completed into a full matrix by a triangle copy first and then fed to
+//!   GEMM. These derive algorithm 1 (SYMM) versus 2 (copy + GEMM).
+//!
+//! The variant *order* within each merge follows the paper's presentation
+//! (SYRK before GEMM, SYMM before copy+GEMM), which is how the engine
+//! reproduces the paper's algorithm numbering for `A·Aᵀ·B`.
+
+use lamb_matrix::Trans;
+
+/// How the values of a sub-result are stored, as tracked by the enumerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// A general dense matrix with no known structure.
+    General,
+    /// A symmetric matrix stored in full (every element explicit), e.g. the
+    /// result of computing `X·Xᵀ` with GEMM.
+    SymmetricFull,
+    /// A symmetric matrix with only the lower triangle stored, e.g. the
+    /// result of SYRK. Reading it as a general matrix is invalid until a
+    /// triangle copy completes the other half.
+    SymmetricTriangle,
+}
+
+impl Storage {
+    /// Whether the values are known to be symmetric (regardless of storage).
+    #[must_use]
+    pub fn is_symmetric(self) -> bool {
+        !matches!(self, Storage::General)
+    }
+}
+
+/// The enumerator's view of one side of a merge, as far as the rewrite rules
+/// are concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeOperand {
+    /// Index of the distinct leaf this side is (None for intermediates).
+    pub leaf: Option<usize>,
+    /// Leaf transposition (always [`Trans::No`] for intermediates).
+    pub trans: Trans,
+    /// How the side's values are stored.
+    pub storage: Storage,
+}
+
+impl MergeOperand {
+    /// The view of a leaf factor.
+    #[must_use]
+    pub fn leaf(index: usize, trans: Trans) -> Self {
+        MergeOperand {
+            leaf: Some(index),
+            trans,
+            storage: Storage::General,
+        }
+    }
+
+    /// The view of an intermediate with the given storage.
+    #[must_use]
+    pub fn intermediate(storage: Storage) -> Self {
+        MergeOperand {
+            leaf: None,
+            trans: Trans::No,
+            storage,
+        }
+    }
+}
+
+/// One way of computing a merge `L·R`, possibly with preparatory calls
+/// (triangle copies) on the operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// Plain GEMM.
+    Gemm,
+    /// `X·Xᵀ` via SYRK; the result is stored as a (lower) triangle.
+    SyrkTriangle,
+    /// `X·Xᵀ` via SYRK followed by a triangle copy that completes the full
+    /// matrix (used when the Gram product is the final result, which must be
+    /// stored in full).
+    SyrkThenCopy,
+    /// `X·Xᵀ` via GEMM; the result is stored in full but known symmetric.
+    GemmSymmetric,
+    /// SYMM with the left operand as the symmetric one.
+    SymmLeft,
+    /// SYMM with the right operand as the symmetric one.
+    SymmRight,
+    /// Triangle-copy the left operand to full storage, then GEMM.
+    CopyLeftThenGemm,
+    /// Triangle-copy the right operand to full storage, then GEMM.
+    CopyRightThenGemm,
+    /// Triangle-copy both operands, then GEMM (both sides triangle-stored).
+    CopyBothThenGemm,
+    /// Triangle-copy the right operand, then SYMM on the (triangle-stored)
+    /// left operand.
+    CopyRightThenSymmLeft,
+    /// Triangle-copy the left operand, then SYMM on the (triangle-stored)
+    /// right operand.
+    CopyLeftThenSymmRight,
+}
+
+impl MergeKind {
+    /// How the result of this merge variant is stored.
+    #[must_use]
+    pub fn result_storage(self) -> Storage {
+        match self {
+            MergeKind::SyrkTriangle => Storage::SymmetricTriangle,
+            MergeKind::GemmSymmetric => Storage::SymmetricFull,
+            _ => Storage::General,
+        }
+    }
+}
+
+/// Whether two merge operands form a Gram product `X·Xᵀ` (or `Xᵀ·X`): the
+/// same leaf on both sides with opposite transposition.
+#[must_use]
+pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
+    match (left.leaf, right.leaf) {
+        (Some(l), Some(r)) => l == r && left.trans != right.trans,
+        _ => false,
+    }
+}
+
+/// The set of variants for the merge `left·right`, in the paper's
+/// presentation order.
+///
+/// `is_final` marks the merge that produces the expression's result, which
+/// must be stored in full (a SYRK-produced triangle is completed by a copy).
+/// With `rewrites` disabled every merge lowers to plain GEMM (triangle-stored
+/// operands cannot occur in that mode because nothing produces them).
+#[must_use]
+pub fn merge_variants(
+    left: &MergeOperand,
+    right: &MergeOperand,
+    is_final: bool,
+    rewrites: bool,
+) -> Vec<MergeKind> {
+    if !rewrites {
+        return vec![MergeKind::Gemm];
+    }
+    if is_gram_pair(left, right) {
+        return if is_final {
+            vec![MergeKind::SyrkThenCopy, MergeKind::Gemm]
+        } else {
+            vec![MergeKind::SyrkTriangle, MergeKind::GemmSymmetric]
+        };
+    }
+    use Storage::{General, SymmetricFull, SymmetricTriangle};
+    // SYMM carries no transposition flags, so the rectangular (general) side
+    // of a SYMM must be an untransposed operand; transposed leaves fall back
+    // to the GEMM-based variants (GEMM does carry transposition flags).
+    let left_symm_partner = left.trans == Trans::No;
+    let right_symm_partner = right.trans == Trans::No;
+    match (left.storage, right.storage) {
+        (SymmetricTriangle, SymmetricTriangle) => vec![
+            MergeKind::CopyRightThenSymmLeft,
+            MergeKind::CopyLeftThenSymmRight,
+            MergeKind::CopyBothThenGemm,
+        ],
+        (SymmetricTriangle, SymmetricFull) => vec![
+            MergeKind::SymmLeft,
+            MergeKind::CopyLeftThenSymmRight,
+            MergeKind::CopyLeftThenGemm,
+        ],
+        (SymmetricTriangle, General) => {
+            if right_symm_partner {
+                vec![MergeKind::SymmLeft, MergeKind::CopyLeftThenGemm]
+            } else {
+                vec![MergeKind::CopyLeftThenGemm]
+            }
+        }
+        (SymmetricFull, SymmetricTriangle) => vec![
+            MergeKind::SymmRight,
+            MergeKind::CopyRightThenSymmLeft,
+            MergeKind::CopyRightThenGemm,
+        ],
+        (SymmetricFull, SymmetricFull) => {
+            vec![MergeKind::SymmLeft, MergeKind::SymmRight, MergeKind::Gemm]
+        }
+        (SymmetricFull, General) => {
+            if right_symm_partner {
+                vec![MergeKind::SymmLeft, MergeKind::Gemm]
+            } else {
+                vec![MergeKind::Gemm]
+            }
+        }
+        (General, SymmetricTriangle) => {
+            if left_symm_partner {
+                vec![MergeKind::SymmRight, MergeKind::CopyRightThenGemm]
+            } else {
+                vec![MergeKind::CopyRightThenGemm]
+            }
+        }
+        (General, SymmetricFull) => {
+            if left_symm_partner {
+                vec![MergeKind::SymmRight, MergeKind::Gemm]
+            } else {
+                vec![MergeKind::Gemm]
+            }
+        }
+        (General, General) => vec![MergeKind::Gemm],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_pairs_require_same_leaf_and_opposite_transposition() {
+        let a = MergeOperand::leaf(0, Trans::No);
+        let at = MergeOperand::leaf(0, Trans::Yes);
+        let b = MergeOperand::leaf(1, Trans::No);
+        let m = MergeOperand::intermediate(Storage::SymmetricFull);
+        assert!(is_gram_pair(&a, &at));
+        assert!(is_gram_pair(&at, &a));
+        assert!(!is_gram_pair(&a, &a), "A*A is not a Gram product");
+        assert!(!is_gram_pair(&a, &b));
+        assert!(!is_gram_pair(&m, &m), "intermediates are never Gram pairs");
+    }
+
+    #[test]
+    fn gram_merges_offer_syrk_then_gemm_in_paper_order() {
+        let a = MergeOperand::leaf(0, Trans::No);
+        let at = MergeOperand::leaf(0, Trans::Yes);
+        assert_eq!(
+            merge_variants(&a, &at, false, true),
+            vec![MergeKind::SyrkTriangle, MergeKind::GemmSymmetric]
+        );
+        // As the final result the triangle must be completed by a copy.
+        assert_eq!(
+            merge_variants(&a, &at, true, true),
+            vec![MergeKind::SyrkThenCopy, MergeKind::Gemm]
+        );
+    }
+
+    #[test]
+    fn symmetric_left_operand_offers_symm_before_copy_gemm() {
+        let tri = MergeOperand::intermediate(Storage::SymmetricTriangle);
+        let full = MergeOperand::intermediate(Storage::SymmetricFull);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&tri, &b, true, true),
+            vec![MergeKind::SymmLeft, MergeKind::CopyLeftThenGemm]
+        );
+        assert_eq!(
+            merge_variants(&full, &b, true, true),
+            vec![MergeKind::SymmLeft, MergeKind::Gemm]
+        );
+    }
+
+    #[test]
+    fn symmetric_right_operand_mirrors_the_left_rules() {
+        let tri = MergeOperand::intermediate(Storage::SymmetricTriangle);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&b, &tri, true, true),
+            vec![MergeKind::SymmRight, MergeKind::CopyRightThenGemm]
+        );
+    }
+
+    #[test]
+    fn transposed_rectangular_sides_exclude_symm() {
+        // SYMM has no transposition flags: M_sym * B^T cannot be a SYMM.
+        let tri = MergeOperand::intermediate(Storage::SymmetricTriangle);
+        let full = MergeOperand::intermediate(Storage::SymmetricFull);
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert_eq!(
+            merge_variants(&tri, &bt, true, true),
+            vec![MergeKind::CopyLeftThenGemm]
+        );
+        assert_eq!(
+            merge_variants(&full, &bt, true, true),
+            vec![MergeKind::Gemm]
+        );
+        assert_eq!(
+            merge_variants(&bt, &tri, true, true),
+            vec![MergeKind::CopyRightThenGemm]
+        );
+        assert_eq!(
+            merge_variants(&bt, &full, true, true),
+            vec![MergeKind::Gemm]
+        );
+    }
+
+    #[test]
+    fn two_triangles_require_at_least_one_copy() {
+        let tri = MergeOperand::intermediate(Storage::SymmetricTriangle);
+        let variants = merge_variants(&tri, &tri, true, true);
+        assert_eq!(variants.len(), 3);
+        assert!(!variants.contains(&MergeKind::Gemm));
+        assert!(!variants.contains(&MergeKind::SymmLeft));
+    }
+
+    #[test]
+    fn disabling_rewrites_lowers_everything_to_gemm() {
+        let a = MergeOperand::leaf(0, Trans::No);
+        let at = MergeOperand::leaf(0, Trans::Yes);
+        assert_eq!(merge_variants(&a, &at, false, false), vec![MergeKind::Gemm]);
+    }
+
+    #[test]
+    fn result_storage_tracks_the_variant() {
+        assert_eq!(
+            MergeKind::SyrkTriangle.result_storage(),
+            Storage::SymmetricTriangle
+        );
+        assert_eq!(
+            MergeKind::GemmSymmetric.result_storage(),
+            Storage::SymmetricFull
+        );
+        assert_eq!(MergeKind::SymmLeft.result_storage(), Storage::General);
+        assert!(Storage::SymmetricTriangle.is_symmetric());
+        assert!(!Storage::General.is_symmetric());
+    }
+}

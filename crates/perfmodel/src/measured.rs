@@ -144,6 +144,26 @@ impl MeasuredExecutor {
         operands.insert(call.output, out);
     }
 
+    /// Execute the algorithm once (untimed) with the real kernels and return
+    /// the final result matrix. Inputs are filled from the executor's seed,
+    /// so two algorithms of the same expression see identical operands —
+    /// this is how the numerical-equivalence tests check that every
+    /// enumerated algorithm computes the same mathematical object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm is malformed (no declared output operand or
+    /// inconsistent kernel shapes).
+    #[must_use]
+    pub fn compute_result(&self, alg: &Algorithm) -> Matrix {
+        let mut operands = self.allocate_operands(alg);
+        for call in &alg.calls {
+            self.run_call(call, &mut operands);
+        }
+        let out_id = alg.output().expect("algorithm declares an output").id;
+        operands.remove(&out_id).expect("output operand allocated")
+    }
+
     fn median(mut samples: Vec<f64>) -> f64 {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let n = samples.len();
@@ -244,7 +264,7 @@ mod tests {
         // Execute each of the six ABCD algorithms with identical inputs and
         // compare the output operands numerically.
         let exec = tiny_executor();
-        let algs = enumerate_chain_algorithms(&[30, 25, 20, 15, 10]);
+        let algs = enumerate_chain_algorithms(&[30, 25, 20, 15, 10]).unwrap();
         let mut results = Vec::new();
         for alg in &algs {
             let mut operands = exec.allocate_operands(alg);
@@ -291,7 +311,7 @@ mod tests {
     #[test]
     fn isolated_call_timing_is_positive() {
         let mut exec = tiny_executor();
-        let alg = &enumerate_chain_algorithms(&[40, 30, 20, 10, 50])[0];
+        let alg = &enumerate_chain_algorithms(&[40, 30, 20, 10, 50]).unwrap()[0];
         for i in 0..alg.calls.len() {
             assert!(exec.time_isolated_call(alg, i) > 0.0);
         }
@@ -310,7 +330,7 @@ mod tests {
         let mut exec = MeasuredExecutor::quick().with_seed(7);
         assert_eq!(exec.name(), "measured");
         assert!(exec.reps() >= 1);
-        let alg = &enumerate_chain_algorithms(&[16, 16, 16, 16, 16])[0];
+        let alg = &enumerate_chain_algorithms(&[16, 16, 16, 16, 16]).unwrap()[0];
         let t = exec.execute_algorithm(alg);
         assert!(t.seconds > 0.0);
         assert!(exec.machine().peak_flops > 0.0);

@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let mut sim = SimulatedExecutor::paper_like();
-        let algs = enumerate_chain_algorithms(&[300, 200, 100, 400, 250]);
+        let algs = enumerate_chain_algorithms(&[300, 200, 100, 400, 250]).unwrap();
         let t1 = sim.execute_algorithm(&algs[0]);
         let t2 = sim.execute_algorithm(&algs[0]);
         assert_eq!(t1, t2);
@@ -242,8 +242,8 @@ mod tests {
     #[test]
     fn times_are_positive_and_scale_with_work() {
         let mut sim = SimulatedExecutor::paper_like();
-        let small = enumerate_chain_algorithms(&[50, 50, 50, 50, 50]);
-        let large = enumerate_chain_algorithms(&[500, 500, 500, 500, 500]);
+        let small = enumerate_chain_algorithms(&[50, 50, 50, 50, 50]).unwrap();
+        let large = enumerate_chain_algorithms(&[500, 500, 500, 500, 500]).unwrap();
         let ts = sim.execute_algorithm(&small[0]).seconds;
         let tl = sim.execute_algorithm(&large[0]).seconds;
         assert!(ts > 0.0);
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn noise_is_bounded() {
         let sim = SimulatedExecutor::paper_like();
-        let alg = &enumerate_chain_algorithms(&[100, 100, 100, 100, 100])[0];
+        let alg = &enumerate_chain_algorithms(&[100, 100, 100, 100, 100]).unwrap()[0];
         for (i, call) in alg.calls.iter().enumerate() {
             let f = sim.noise_factor(call, i, "sequence");
             assert!((f - 1.0).abs() <= 2.0 * sim.config().noise_sigma + 1e-12);

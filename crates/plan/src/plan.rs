@@ -2,7 +2,7 @@
 //! executed and judged.
 
 use crate::cache::PredictionCache;
-use lamb_expr::Algorithm;
+use lamb_expr::{Algorithm, GenerateError};
 use lamb_perfmodel::{AlgorithmTiming, Executor};
 use lamb_select::{AlgorithmMeasurement, Classification, InstanceEvaluation, SelectError};
 use std::fmt;
@@ -25,6 +25,9 @@ pub enum PlanError {
     },
     /// The expression enumerated no algorithms for this instance.
     NoAlgorithms,
+    /// Algorithm enumeration itself failed (shape inconsistency, degenerate
+    /// chain, inconsistent operand reuse, ...).
+    Generate(GenerateError),
     /// The selection policy failed.
     Select(SelectError),
 }
@@ -39,6 +42,7 @@ impl fmt::Display for PlanError {
                 write!(f, "dimension d{index} is zero; sizes must be positive")
             }
             PlanError::NoAlgorithms => write!(f, "the expression enumerated no algorithms"),
+            PlanError::Generate(e) => write!(f, "enumeration failed: {e}"),
             PlanError::Select(e) => write!(f, "selection failed: {e}"),
         }
     }
@@ -49,6 +53,12 @@ impl std::error::Error for PlanError {}
 impl From<SelectError> for PlanError {
     fn from(e: SelectError) -> Self {
         PlanError::Select(e)
+    }
+}
+
+impl From<GenerateError> for PlanError {
+    fn from(e: GenerateError) -> Self {
+        PlanError::Generate(e)
     }
 }
 
@@ -84,6 +94,10 @@ pub struct Plan {
     pub chosen: usize,
     /// Name of the policy that made the choice.
     pub policy: String,
+    /// How many enumerated algorithms were dropped because their kernel-call
+    /// signature duplicated an earlier one (rewrites can derive the same
+    /// call sequence along different paths).
+    pub duplicates_removed: usize,
     pub(crate) threshold: f64,
     pub(crate) factory: Arc<dyn Fn() -> Box<dyn Executor> + Send + Sync>,
     pub(crate) cache: Arc<PredictionCache>,

@@ -3,10 +3,11 @@
 
 use crate::cache::{CachingExecutor, PredictionCache};
 use crate::plan::{AlgorithmScore, Plan, PlanError};
-use lamb_expr::Expression;
+use lamb_expr::{Algorithm, Expression, KernelOp, OperandId};
 use lamb_perfmodel::{Executor, SimulatedExecutor};
 use lamb_select::{AlgorithmMeasurement, InstanceEvaluation, MinFlops, SelectionPolicy, Strategy};
 use rayon::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Plans expression instances: enumerate the mathematically equivalent
@@ -32,6 +33,7 @@ pub struct Planner<'e> {
     factory: Arc<dyn Fn() -> Box<dyn Executor> + Send + Sync>,
     threshold: f64,
     score_predictions: bool,
+    top_k: Option<usize>,
     cache: Arc<PredictionCache>,
 }
 
@@ -48,6 +50,7 @@ impl<'e> Planner<'e> {
             factory: Arc::new(|| Box::new(SimulatedExecutor::paper_like())),
             threshold: 0.10,
             score_predictions: true,
+            top_k: None,
             cache: Arc::new(PredictionCache::new()),
         }
     }
@@ -99,6 +102,16 @@ impl<'e> Planner<'e> {
     #[must_use]
     pub fn score_predictions(mut self, enabled: bool) -> Self {
         self.score_predictions = enabled;
+        self
+    }
+
+    /// Restrict enumeration to the `k` algorithms with the smallest FLOP
+    /// counts (branch-and-bound pruned by the general enumerator). This
+    /// keeps [`Planner::plan`] and [`Planner::plan_grid`] tractable on long
+    /// chains, whose full algorithm set grows factorially.
+    #[must_use]
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k.max(1));
         self
     }
 
@@ -156,7 +169,8 @@ impl<'e> Planner<'e> {
         executor: &mut dyn Executor,
     ) -> Result<Plan, PlanError> {
         self.validate(dims)?;
-        let algorithms = self.expr.algorithms(dims);
+        let enumerated = self.expr.algorithms_pruned(dims, self.top_k)?;
+        let (algorithms, duplicates_removed) = dedup_by_signature(enumerated);
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
         }
@@ -181,6 +195,7 @@ impl<'e> Planner<'e> {
             scores,
             chosen,
             policy: self.policy.name(),
+            duplicates_removed,
             threshold: self.threshold,
             factory: Arc::clone(&self.factory),
             cache: Arc::clone(&self.cache),
@@ -231,7 +246,7 @@ impl<'e> Planner<'e> {
         executor: &mut dyn Executor,
     ) -> Result<InstanceEvaluation, PlanError> {
         self.validate(dims)?;
-        let algorithms = self.expr.algorithms(dims);
+        let (algorithms, _) = dedup_by_signature(self.expr.algorithms_pruned(dims, self.top_k)?);
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
         }
@@ -252,10 +267,35 @@ impl<'e> Planner<'e> {
     }
 }
 
+/// The behavioural identity of an algorithm: its kernel-call signature
+/// (operation, operand wiring) with the presentational labels stripped.
+type CallSignature = Vec<(KernelOp, Vec<OperandId>, OperandId)>;
+
+fn call_signature(alg: &Algorithm) -> CallSignature {
+    alg.calls
+        .iter()
+        .map(|c| (c.op.clone(), c.inputs.clone(), c.output))
+        .collect()
+}
+
+/// Drop algorithms whose kernel-call signature duplicates an earlier one
+/// (rewrites can derive the same sequence along different paths), returning
+/// the survivors in order and the number removed.
+fn dedup_by_signature(algorithms: Vec<Algorithm>) -> (Vec<Algorithm>, usize) {
+    let before = algorithms.len();
+    let mut seen: HashSet<CallSignature> = HashSet::with_capacity(before);
+    let deduped: Vec<Algorithm> = algorithms
+        .into_iter()
+        .filter(|alg| seen.insert(call_signature(alg)))
+        .collect();
+    let removed = before - deduped.len();
+    (deduped, removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lamb_expr::{AatbExpression, MatrixChainExpression};
+    use lamb_expr::{AatbExpression, GenerateError, MatrixChainExpression, TreeExpression};
     use lamb_select::{MinPredictedTime, Oracle, SelectError};
 
     #[test]
@@ -338,8 +378,8 @@ mod tests {
             fn num_dims(&self) -> usize {
                 1
             }
-            fn algorithms(&self, _dims: &[usize]) -> Vec<lamb_expr::Algorithm> {
-                Vec::new()
+            fn algorithms(&self, _dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+                Ok(Vec::new())
             }
         }
         let expr = Empty;
@@ -349,6 +389,89 @@ mod tests {
         assert_eq!(
             PlanError::from(SelectError::EmptyAlgorithmSet),
             PlanError::Select(SelectError::EmptyAlgorithmSet)
+        );
+    }
+
+    #[test]
+    fn enumeration_errors_surface_as_plan_errors() {
+        struct Broken;
+        impl Expression for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn num_dims(&self) -> usize {
+                1
+            }
+            fn algorithms(&self, _dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+                Err(GenerateError::Empty)
+            }
+        }
+        let expr = Broken;
+        let planner = Planner::for_expression(&expr);
+        assert_eq!(
+            planner.plan(&[10]).unwrap_err(),
+            PlanError::Generate(GenerateError::Empty)
+        );
+        let message = planner.plan(&[10]).unwrap_err().to_string();
+        assert!(message.contains("enumeration failed"), "{message}");
+    }
+
+    #[test]
+    fn duplicate_call_signatures_are_removed_and_reported() {
+        // An expression that (artificially) enumerates the same algorithm
+        // twice under different names.
+        struct Doubled;
+        impl Expression for Doubled {
+            fn name(&self) -> String {
+                "doubled".into()
+            }
+            fn num_dims(&self) -> usize {
+                3
+            }
+            fn algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+                let aatb = AatbExpression::new();
+                let mut algs = aatb.algorithms(dims)?;
+                let mut twin = algs[0].clone();
+                twin.name = "the same algorithm again".into();
+                for call in &mut twin.calls {
+                    call.label = format!("{} (relabelled)", call.label);
+                }
+                algs.push(twin);
+                Ok(algs)
+            }
+        }
+        let expr = Doubled;
+        let plan = Planner::for_expression(&expr)
+            .plan(&[80, 100, 120])
+            .unwrap();
+        assert_eq!(plan.duplicates_removed, 1, "the relabelled twin is a dup");
+        assert_eq!(plan.algorithms.len(), 5);
+        // The paper expressions have no duplicates.
+        let aatb = AatbExpression::new();
+        let plan = Planner::for_expression(&aatb)
+            .plan(&[80, 100, 120])
+            .unwrap();
+        assert_eq!(plan.duplicates_removed, 0);
+        assert_eq!(plan.algorithms.len(), 5);
+    }
+
+    #[test]
+    fn top_k_limits_the_scored_algorithm_set() {
+        let expr = TreeExpression::parse("A*B*C*D*E*F").unwrap();
+        let planner = Planner::for_expression(&expr).score_predictions(false);
+        let dims = [60, 20, 90, 30, 120, 40, 70];
+        let full = planner.plan(&dims).unwrap();
+        assert_eq!(full.algorithms.len(), 120); // 5!
+        let pruned_planner = Planner::for_expression(&expr)
+            .score_predictions(false)
+            .top_k(8);
+        let pruned = pruned_planner.plan(&dims).unwrap();
+        assert_eq!(pruned.algorithms.len(), 8);
+        // The pruned set contains the FLOP-cheapest algorithm, so min-flops
+        // selection is unaffected.
+        assert_eq!(
+            pruned.chosen_score().flops,
+            full.scores.iter().map(|s| s.flops).min().unwrap()
         );
     }
 

@@ -185,7 +185,7 @@ mod tests {
             Box::new(Hybrid { flop_margin: 0.5 }),
             Box::new(Oracle),
         ];
-        let algs = enumerate_chain_algorithms(&[60, 70, 80, 90, 100]);
+        let algs = enumerate_chain_algorithms(&[60, 70, 80, 90, 100]).unwrap();
         let mut exec = SimulatedExecutor::paper_like();
         for p in &policies {
             assert!(!p.name().is_empty());

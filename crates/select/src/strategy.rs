@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn min_flops_picks_a_cheapest_algorithm() {
-        let algs = enumerate_chain_algorithms(&[100, 20, 300, 20, 500]);
+        let algs = enumerate_chain_algorithms(&[100, 20, 300, 20, 500]).unwrap();
         let mut exec = SimulatedExecutor::paper_like();
         let chosen = Strategy::MinFlops.select(&algs, &mut exec).unwrap();
         let min = algs.iter().map(Algorithm::flops).min().unwrap();
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn evaluate_instance_produces_one_measurement_per_algorithm() {
-        let algs = enumerate_chain_algorithms(&[50, 60, 70, 80, 90]);
+        let algs = enumerate_chain_algorithms(&[50, 60, 70, 80, 90]).unwrap();
         let mut exec = SimulatedExecutor::paper_like();
         let eval = evaluate_instance(&[50, 60, 70, 80, 90], &algs, &mut exec);
         assert_eq!(eval.measurements.len(), 6);

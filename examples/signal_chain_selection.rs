@@ -20,8 +20,8 @@ fn main() {
     let dims = [900usize, 64, 720, 48, 1024];
     println!("operator chain A*B*C*D with dimensions {dims:?}\n");
 
-    let algorithms = enumerate_chain_algorithms(&dims);
-    let (dp_flops, dp_paren) = optimal_chain_order(&dims);
+    let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
+    let (dp_flops, dp_paren) = optimal_chain_order(&dims).expect("valid chain");
     println!("dynamic-programming optimum: {dp_paren} with {dp_flops} FLOPs\n");
 
     let mut executor = SimulatedExecutor::paper_like();
@@ -67,7 +67,7 @@ fn main() {
     for d4 in [64usize, 128, 256, 512, 1024, 2048] {
         let mut dims = dims;
         dims[4] = d4;
-        let algorithms = enumerate_chain_algorithms(&dims);
+        let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
         let mut row = Vec::new();
         for strategy in [
             Strategy::MinFlops,

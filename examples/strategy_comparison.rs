@@ -40,7 +40,7 @@ fn main() {
             let mut optimal = 0usize;
             for dims in &sampled {
                 let algorithms = if num_dims == 5 {
-                    enumerate_chain_algorithms(dims)
+                    enumerate_chain_algorithms(dims).expect("valid chain")
                 } else {
                     enumerate_aatb_algorithms(dims[0], dims[1], dims[2])
                 };

@@ -77,10 +77,12 @@ pub mod prelude {
         run_full_pipeline, run_random_search, LineConfig, PredictConfig, SearchConfig,
     };
     pub use lamb_expr::expr::Expr;
-    pub use lamb_expr::generator::{generate_algorithms, RecognisedPattern};
+    pub use lamb_expr::generator::{generate_algorithms, GenerateError, RecognisedPattern};
     pub use lamb_expr::{
-        enumerate_aatb_algorithms, enumerate_chain_algorithms, optimal_chain_order, AatbExpression,
-        Algorithm, Expression, KernelCall, KernelOp, MatrixChainExpression,
+        enumerate_aatb_algorithms, enumerate_chain_algorithms, enumerate_expr_algorithms,
+        enumerate_expr_algorithms_with, optimal_chain_order, AatbExpression, Algorithm,
+        EnumerateOptions, Expression, KernelCall, KernelOp, MatrixChainExpression, ParseError,
+        TreeExpression,
     };
     pub use lamb_kernels::{gemm, gemm_new, symm, symm_new, syrk, syrk_new, BlockConfig};
     pub use lamb_matrix::{Matrix, Side, Trans, Uplo};
@@ -103,7 +105,7 @@ mod tests {
 
     #[test]
     fn facade_re_exports_are_usable_together() {
-        let algs = enumerate_chain_algorithms(&[100, 40, 120, 30, 90]);
+        let algs = enumerate_chain_algorithms(&[100, 40, 120, 30, 90]).expect("valid chain");
         let mut exec = SimulatedExecutor::paper_like();
         let eval = evaluate_instance(&[100, 40, 120, 30, 90], &algs, &mut exec);
         let class = eval.classify(0.10);

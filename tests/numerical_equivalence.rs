@@ -61,7 +61,7 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
 #[test]
 fn all_six_chain_algorithms_compute_the_same_matrix() {
     let dims = [45, 28, 37, 22, 31];
-    let algorithms = enumerate_chain_algorithms(&dims);
+    let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
     assert_eq!(algorithms.len(), 6);
     let results: Vec<Matrix> = algorithms.iter().map(|a| interpret(a, 77)).collect();
     for (i, r) in results.iter().enumerate().skip(1) {
@@ -107,7 +107,7 @@ fn generator_output_is_numerically_consistent_with_direct_enumeration() {
 #[test]
 fn chain_flop_counts_match_section_321_formulas() {
     let dims = [331, 279, 338, 854, 427];
-    let algorithms = enumerate_chain_algorithms(&dims);
+    let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
     let formulas = abcd_flop_formulas(&dims);
     for (alg, expected) in algorithms.iter().zip(formulas) {
         assert_eq!(alg.flops(), expected, "{}", alg.name);

@@ -1,0 +1,174 @@
+//! Parity: the general expression-tree enumerator reproduces the paper's
+//! hand-written algorithm tables exactly.
+//!
+//! * For plain chains the derived algorithms are **bit-identical** to the
+//!   legacy `enumerate_chain_algorithms` tables: same kernel calls (ops,
+//!   operand wiring, labels) and same operand tables, in the same order.
+//! * For `A·Aᵀ·B` the derived algorithms carry the same kernel-call
+//!   sequences (operation + dimensions + transposition/uplo flags, operand
+//!   wiring) and FLOP counts as the five paper algorithms, in the paper's
+//!   order. Only the presentational strings (algorithm names, call labels)
+//!   differ, and the executors key exclusively on the kernel-call
+//!   signatures, so timings and verdicts are identical too.
+
+use lamb::prelude::*;
+
+/// The behavioural signature of an algorithm: ops and operand wiring.
+fn signature(
+    alg: &Algorithm,
+) -> Vec<(KernelOp, Vec<lamb::expr::OperandId>, lamb::expr::OperandId)> {
+    alg.calls
+        .iter()
+        .map(|c| (c.op.clone(), c.inputs.clone(), c.output))
+        .collect()
+}
+
+#[test]
+fn chain_algorithms_are_bit_identical_to_the_legacy_tables() {
+    for dims in [
+        vec![331, 279, 338, 854, 427],
+        vec![13, 7, 11, 5, 3],
+        vec![4, 5, 6],
+        vec![40, 20, 30, 10, 30, 25],
+    ] {
+        let legacy = enumerate_chain_algorithms(&dims).expect("valid chain");
+        let derived = MatrixChainExpression::new(dims.len() - 1)
+            .algorithms(&dims)
+            .expect("valid chain");
+        assert_eq!(derived.len(), legacy.len(), "dims {dims:?}");
+        for (d, l) in derived.iter().zip(&legacy) {
+            assert_eq!(d.calls, l.calls, "calls (incl. labels) for {}", l.name);
+            assert_eq!(d.operands, l.operands, "operand table for {}", l.name);
+            assert_eq!(d.flops(), l.flops(), "FLOPs for {}", l.name);
+        }
+    }
+}
+
+#[test]
+fn abcd_derivation_has_six_algorithms_with_the_paper_flop_formulas() {
+    use lamb::expr::chain::abcd_flop_formulas;
+    let dims = [331usize, 279, 338, 854, 427];
+    let derived = MatrixChainExpression::abcd()
+        .algorithms(&dims)
+        .expect("valid chain");
+    assert_eq!(derived.len(), 6);
+    for (alg, expected) in derived.iter().zip(abcd_flop_formulas(&dims)) {
+        assert_eq!(alg.flops(), expected, "{}", alg.name);
+        assert_eq!(alg.kernel_summary(), "gemm,gemm,gemm");
+    }
+}
+
+#[test]
+fn aatb_derivation_reproduces_the_five_paper_algorithms_exactly() {
+    use lamb::expr::aatb::aatb_flop_formulas;
+    for (d0, d1, d2) in [(227, 260, 549), (80, 514, 768), (1200, 20, 20)] {
+        let legacy = enumerate_aatb_algorithms(d0, d1, d2);
+        let derived = AatbExpression::new()
+            .algorithms(&[d0, d1, d2])
+            .expect("valid instance");
+        assert_eq!(derived.len(), 5, "({d0},{d1},{d2})");
+        for (d, l) in derived.iter().zip(&legacy) {
+            assert_eq!(
+                signature(d),
+                signature(l),
+                "kernel-call sequence for {} at ({d0},{d1},{d2})",
+                l.name
+            );
+            assert_eq!(d.flops(), l.flops(), "FLOPs for {}", l.name);
+            // Operand shapes and roles agree entry by entry.
+            assert_eq!(d.operands.len(), l.operands.len());
+            for (od, ol) in d.operands.iter().zip(&l.operands) {
+                assert_eq!(
+                    (od.id, od.rows, od.cols, od.role),
+                    (ol.id, ol.rows, ol.cols, ol.role)
+                );
+            }
+        }
+        // The paper's kernel compositions, in the paper's order.
+        let kernels: Vec<String> = derived.iter().map(Algorithm::kernel_summary).collect();
+        assert_eq!(
+            kernels,
+            vec![
+                "syrk,symm",
+                "syrk,copy,gemm",
+                "gemm,symm",
+                "gemm,gemm",
+                "gemm,gemm"
+            ],
+            "({d0},{d1},{d2})"
+        );
+        for (alg, expected) in derived.iter().zip(aatb_flop_formulas(d0, d1, d2)) {
+            assert_eq!(alg.flops(), expected);
+        }
+    }
+}
+
+#[test]
+fn derived_and_legacy_aatb_sets_produce_identical_verdicts() {
+    // The simulated executor keys on kernel-call signatures, so the derived
+    // set must classify every instance exactly as the legacy tables do.
+    for dims in [[80usize, 514, 768], [227, 260, 549], [400, 100, 1100]] {
+        let legacy = enumerate_aatb_algorithms(dims[0], dims[1], dims[2]);
+        let derived = AatbExpression::new().algorithms(&dims).expect("valid");
+        let mut exec_a = SimulatedExecutor::paper_like();
+        let mut exec_b = SimulatedExecutor::paper_like();
+        let eval_legacy = evaluate_instance(&dims, &legacy, &mut exec_a);
+        let eval_derived = evaluate_instance(&dims, &derived, &mut exec_b);
+        let cl = eval_legacy.classify(0.10);
+        let cd = eval_derived.classify(0.10);
+        assert_eq!(cl.is_anomaly, cd.is_anomaly, "{dims:?}");
+        assert_eq!(cl.cheapest, cd.cheapest, "{dims:?}");
+        assert_eq!(cl.fastest, cd.fastest, "{dims:?}");
+        assert!((cl.time_score - cd.time_score).abs() < 1e-12);
+        for (ml, md) in eval_legacy
+            .measurements
+            .iter()
+            .zip(&eval_derived.measurements)
+        {
+            assert_eq!(ml.flops, md.flops);
+            assert!((ml.seconds - md.seconds).abs() < 1e-15);
+        }
+    }
+}
+
+#[test]
+fn parsed_text_expressions_match_the_built_in_expressions() {
+    // "A*B*C*D" parses to the same instance space and algorithm sets as
+    // MatrixChainExpression::abcd(), and "A*A^T*B" to AatbExpression.
+    let chain_text = TreeExpression::parse("A*B*C*D").unwrap();
+    let chain = MatrixChainExpression::abcd();
+    assert_eq!(chain_text.num_dims(), chain.num_dims());
+    let dims = [331usize, 279, 338, 854, 427];
+    let from_text = chain_text.algorithms(&dims).unwrap();
+    let built_in = chain.algorithms(&dims).unwrap();
+    assert_eq!(from_text.len(), built_in.len());
+    for (t, b) in from_text.iter().zip(&built_in) {
+        assert_eq!(signature(t), signature(b));
+    }
+
+    let aatb_text = TreeExpression::parse("A*A^T*B").unwrap();
+    let aatb = AatbExpression::new();
+    assert_eq!(aatb_text.num_dims(), 3);
+    let dims = [80usize, 514, 768];
+    let from_text = aatb_text.algorithms(&dims).unwrap();
+    let built_in = aatb.algorithms(&dims).unwrap();
+    for (t, b) in from_text.iter().zip(&built_in) {
+        assert_eq!(signature(t), signature(b));
+    }
+}
+
+#[test]
+fn planner_top_k_keeps_the_cheapest_chain_orders() {
+    // End to end: a parsed length-8 chain planned with pruning selects the
+    // same algorithm (by FLOPs) that the chain DP proves optimal.
+    let expr = TreeExpression::parse("A*B*C*D*E*F*G*H").unwrap();
+    assert_eq!(expr.num_dims(), 9);
+    let dims = [60usize, 20, 90, 30, 120, 40, 70, 25, 110];
+    let planner = Planner::for_expression(&expr)
+        .score_predictions(false)
+        .top_k(8);
+    let plan = planner.plan(&dims).unwrap();
+    assert_eq!(plan.algorithms.len(), 8);
+    let (dp_flops, _) = optimal_chain_order(&dims).unwrap();
+    assert_eq!(plan.chosen_score().flops, dp_flops);
+}

@@ -38,7 +38,7 @@ fn planner_reproduces_legacy_strategy_selection_on_both_paper_expressions() {
             let planner = Planner::for_expression(expr.as_ref()).strategy(strategy);
             for dims in &grid {
                 // Legacy path: enumerate + Strategy::select on a fresh executor.
-                let algorithms = expr.algorithms(dims);
+                let algorithms = expr.algorithms(dims).expect("enumeration succeeds");
                 let mut legacy_exec = SimulatedExecutor::paper_like();
                 let legacy = strategy
                     .select(&algorithms, &mut legacy_exec)
@@ -64,7 +64,7 @@ fn planner_execution_matches_legacy_evaluate_instance() {
     let expr = AatbExpression::new();
     let planner = Planner::for_expression(&expr).threshold(0.10);
     for dims in random_grid(3, 10, 7) {
-        let algorithms = expr.algorithms(&dims);
+        let algorithms = expr.algorithms(&dims).expect("enumeration succeeds");
         let mut legacy_exec = SimulatedExecutor::paper_like();
         let legacy_eval = evaluate_instance(&dims, &algorithms, &mut legacy_exec);
         let legacy_verdict = legacy_eval.classify(0.10);
@@ -84,7 +84,11 @@ fn cached_predictions_are_identical_to_uncached_predictions() {
             let mut exec = SimulatedExecutor::paper_like();
             let predicted = planner.predict_instance(dims, &mut exec).unwrap();
             let mut plain_exec = SimulatedExecutor::paper_like();
-            for (m, alg) in predicted.measurements.iter().zip(expr.algorithms(dims)) {
+            for (m, alg) in predicted
+                .measurements
+                .iter()
+                .zip(expr.algorithms(dims).expect("enumeration succeeds"))
+            {
                 let plain = plain_exec.predict_from_isolated_calls(&alg);
                 assert_eq!(m.seconds, plain.seconds, "{} on {:?}", alg.name, dims);
                 assert_eq!(m.flops, plain.flops);

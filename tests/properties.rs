@@ -2,6 +2,7 @@
 //! the simulated time model, and the anomaly classification, over randomly
 //! drawn instances.
 
+use lamb::matrix::ops::{max_abs, max_abs_diff};
 use lamb::prelude::*;
 use proptest::prelude::*;
 // Both preludes export a `Strategy` item (proptest's trait, lamb's selection
@@ -22,14 +23,55 @@ fn dims3() -> impl proptest::strategy::Strategy<Value = [usize; 3]> {
     [20usize..1200, 20usize..1200, 20usize..1200]
 }
 
+fn small_dims7() -> impl proptest::strategy::Strategy<Value = [usize; 7]> {
+    [
+        2usize..=12,
+        2usize..=12,
+        2usize..=12,
+        2usize..=12,
+        2usize..=12,
+        2usize..=12,
+        2usize..=12,
+    ]
+}
+
+/// Execute every algorithm with the real kernels (via the measured executor)
+/// and check well-formedness plus numerical identity of the results within
+/// `1e-10 · ‖X‖`.
+fn assert_numerically_identical(
+    algorithms: &[Algorithm],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let executor =
+        MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0)
+            .with_seed(20220829);
+    let mut reference: Option<lamb::matrix::Matrix> = None;
+    for alg in algorithms {
+        prop_assert!(alg.is_well_formed(), "{} is malformed", alg.name);
+        let result = executor.compute_result(alg);
+        match &reference {
+            None => reference = Some(result),
+            Some(expected) => {
+                let tolerance = 1e-10 * max_abs(expected).max(1.0);
+                let diff = max_abs_diff(expected, &result).expect("matching shapes");
+                prop_assert!(
+                    diff <= tolerance,
+                    "{} differs by {diff} (tolerance {tolerance})",
+                    alg.name
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn chain_enumeration_invariants(dims in dims5()) {
-        let algorithms = enumerate_chain_algorithms(&dims);
+        let algorithms = enumerate_chain_algorithms(&dims).expect("valid chain");
         prop_assert_eq!(algorithms.len(), 6);
-        let (dp_flops, _) = optimal_chain_order(&dims);
+        let (dp_flops, _) = optimal_chain_order(&dims).expect("valid chain");
         let min = algorithms.iter().map(|a| a.flops()).min().unwrap();
         prop_assert_eq!(dp_flops, min, "DP optimum must equal the cheapest enumerated algorithm");
         for alg in &algorithms {
@@ -114,6 +156,43 @@ proptest! {
             let ratio = pred / seq;
             prop_assert!((0.85..=1.25).contains(&ratio), "ratio {ratio} for {}", alg.name);
         }
+    }
+
+    #[test]
+    fn enumerated_chain_algorithms_execute_to_identical_matrices(
+        dims in small_dims7(),
+        p in 2usize..=6,
+    ) {
+        // Every multiplication order of a random chain, executed with the
+        // real kernels through the measured executor, computes the same
+        // matrix to within 1e-10 of its magnitude.
+        let expr = MatrixChainExpression::new(p);
+        let instance = &dims[..=p];
+        let algorithms = expr.algorithms(instance).expect("valid chain instance");
+        prop_assert_eq!(algorithms.len(), (1..p).product::<usize>());
+        assert_numerically_identical(&algorithms)?;
+    }
+
+    #[test]
+    fn enumerated_mixed_transpose_algorithms_execute_to_identical_matrices(
+        dims in small_dims7(),
+        scenario in 0usize..6,
+    ) {
+        // Same property over expressions that exercise the rewrite rules
+        // (SYRK, SYMM, triangle copies, transposed factors).
+        let texts = [
+            "A*A^T*B",
+            "A^T*A*B",
+            "A*B*B^T",
+            "A^T*B*A",
+            "A*A^T*B*B^T",
+            "(A*B)^T*C",
+        ];
+        let expr = TreeExpression::parse(texts[scenario]).expect("scenario parses");
+        let instance = &dims[..expr.num_dims()];
+        let algorithms = expr.algorithms(instance).expect("valid instance");
+        prop_assert!(!algorithms.is_empty());
+        assert_numerically_identical(&algorithms)?;
     }
 
     #[test]
