@@ -1,0 +1,265 @@
+//! Batch planning throughput: cold cache versus a warm calibration store.
+//!
+//! Generates a scenario-mixed workload of ≥100 parsed expression instances
+//! (the same generator that backs `lamb batch --demo`, with dimensions
+//! snapped to a palette so kernel-call signatures genuinely repeat across
+//! instances, as they do along the paper's Experiment-2 lines), then plans
+//! it three ways:
+//!
+//! 1. **cold** — an empty prediction cache: every distinct kernel call is
+//!    benchmarked through the executor;
+//! 2. **warm** — a fresh planner whose cache is preloaded from a calibration
+//!    store built out of the cold run's snapshot: planning never benchmarks;
+//! 3. **warm+rerun** — the warm batch planned again (steady state of a
+//!    long-lived server).
+//!
+//! By default the isolated-call benchmarks run the **real kernels** under a
+//! quick version of the paper's protocol (3 repetitions, cache flushed), so
+//! the cold phase pays genuine measurement time and the warm phase shows the
+//! full value of the persistent store; the bench asserts the warm speedup,
+//! and holds cold-versus-warm predictions to a tolerance (cold-phase workers
+//! can race to benchmark the same timing key, and two wall-clock
+//! measurements of the same call differ slightly). With
+//! `--executor simulated` the benchmarks are analytic and nearly free — the
+//! bench then only reports the (noise-level) timing difference and asserts
+//! the structural wins: zero warm misses, bit-identical predictions.
+//!
+//! Reported per phase: wall time, expressions/second, cache hits/misses and
+//! the speedup versus cold, as `batch_throughput.csv` in the results
+//! harness.
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin batch_throughput
+//! cargo run --release -p lamb-bench --bin batch_throughput -- --executor simulated
+//! ```
+
+use lamb_bench::RunOptions;
+use lamb_experiments::csvout::{csv_from_rows, write_text};
+use lamb_experiments::{mixed_transpose_scenarios, scenario_batch_requests};
+use lamb_kernels::BlockConfig;
+use lamb_perfmodel::{CalibrationStore, Executor, MachineModel, MeasuredExecutor};
+use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest};
+
+const TOP_K: usize = 8;
+
+/// The quick measured protocol this bench defaults to: real kernels, 3
+/// repetitions, an 8 MiB flush — enough to make benchmarks genuinely cost
+/// wall-clock time without turning the bench into a coffee break.
+fn quick_measured() -> Box<dyn Executor> {
+    Box::new(MeasuredExecutor::new(
+        MachineModel::generic_laptop(),
+        BlockConfig::default(),
+        3,
+        8 * 1024 * 1024,
+    ))
+}
+
+/// Snap every dimension to a small palette: serving traffic clusters around
+/// recurring shapes, and recurring shapes are what a call-time store
+/// amortises.
+fn snap_dims(requests: Vec<BatchRequest>, palette: &[usize]) -> Vec<BatchRequest> {
+    requests
+        .into_iter()
+        .map(|req| {
+            let dims: Vec<usize> = req
+                .dims
+                .iter()
+                .map(|&d| {
+                    *palette
+                        .iter()
+                        .min_by_key(|&&p| p.abs_diff(d))
+                        .expect("non-empty palette")
+                })
+                .collect();
+            BatchRequest::new(req.expr, dims).expect("snapping preserves arity")
+        })
+        .collect()
+}
+
+fn phase_row(phase: &str, outcome: &BatchOutcome, cold_elapsed: f64) -> (Vec<String>, f64) {
+    let stats = &outcome.stats;
+    let speedup = if phase == "cold" {
+        1.0
+    } else if stats.elapsed_seconds > 0.0 {
+        cold_elapsed / stats.elapsed_seconds
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{:>11}: {:8.4} s  {:>9.0} exprs/s  hits {:>6}  misses {:>6}  hit rate {:>5.1}%  speedup {:>7.2}x",
+        phase,
+        stats.elapsed_seconds,
+        stats.expressions_per_second(),
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.hit_rate(),
+        speedup,
+    );
+    let row = vec![
+        phase.to_string(),
+        stats.planned.to_string(),
+        format!("{:.6}", stats.elapsed_seconds),
+        format!("{:.1}", stats.expressions_per_second()),
+        stats.cache_hits.to_string(),
+        stats.cache_misses.to_string(),
+        format!("{:.4}", stats.hit_rate()),
+        format!("{speedup:.3}"),
+    ];
+    (row, speedup)
+}
+
+/// Compare cold and warm predictions. `max_rel_diff` is 0 for deterministic
+/// executors (bit-identical required); for the wall-clock measured executor
+/// a small tolerance is allowed, because two workers can race to benchmark
+/// the same timing key during the cold phase — each uses its own genuine
+/// measurement while last-write-wins decides what the snapshot (and thus the
+/// warm run) replays.
+fn assert_matching_predictions(cold: &BatchOutcome, warm: &BatchOutcome, max_rel_diff: f64) {
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        let (c, w) = (
+            c.as_ref().expect("cold plan ok"),
+            w.as_ref().expect("warm plan ok"),
+        );
+        for (cs, ws) in c.scores.iter().zip(&w.scores) {
+            let (cs, ws) = (
+                cs.predicted_seconds.expect("scored"),
+                ws.predicted_seconds.expect("scored"),
+            );
+            if max_rel_diff == 0.0 {
+                assert_eq!(
+                    cs.to_bits(),
+                    ws.to_bits(),
+                    "warm start changed a prediction"
+                );
+            } else {
+                let rel = (cs - ws).abs() / cs.max(ws).max(f64::MIN_POSITIVE);
+                assert!(
+                    rel <= max_rel_diff,
+                    "cold and warm predictions diverge by {:.1}% (> {:.1}%)",
+                    100.0 * rel,
+                    100.0 * max_rel_diff
+                );
+            }
+        }
+        if max_rel_diff == 0.0 {
+            assert_eq!(c.chosen, w.chosen, "warm start changed a selection");
+        }
+    }
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    // This bench defaults to real measured benchmarking (that is the cost a
+    // store amortises); an explicit --executor flag overrides.
+    let explicit_executor = std::env::args().any(|a| a == "--executor");
+    let measured_mode = !explicit_executor;
+    let planner_for = |warm_from: Option<&CalibrationStore>| {
+        let run = opts.clone();
+        let planner = BatchPlanner::new()
+            .executor_factory(move || {
+                if measured_mode {
+                    quick_measured()
+                } else {
+                    run.build_executor()
+                }
+            })
+            .top_k(TOP_K);
+        match warm_from {
+            Some(store) => planner.with_store(store),
+            None => planner,
+        }
+    };
+
+    let per_scenario = ((40.0 * opts.scale).ceil() as usize).max(13);
+    let palette: &[usize] = if measured_mode {
+        &[32, 48, 64, 96, 128] // real kernels: keep individual calls small
+    } else {
+        &[64, 128, 256, 384, 512, 768]
+    };
+    let scenarios = mixed_transpose_scenarios();
+    let requests = snap_dims(
+        scenario_batch_requests(&scenarios, per_scenario, opts.seed, palette[0], {
+            *palette.last().expect("non-empty")
+        }),
+        palette,
+    );
+    println!(
+        "batch throughput: {} expressions from {} scenarios, {} executor, dim palette {palette:?}, top-{TOP_K}",
+        requests.len(),
+        scenarios.len(),
+        if measured_mode {
+            "measured-quick"
+        } else {
+            opts.executor.name()
+        },
+    );
+    assert!(
+        requests.len() >= 100,
+        "the throughput workload must hold at least 100 expressions"
+    );
+
+    // Phase 1: cold.
+    let cold_planner = planner_for(None);
+    let cold = cold_planner.plan_batch(&requests);
+    let (row, _) = phase_row("cold", &cold, 0.0);
+    let mut rows = vec![row];
+    let cold_elapsed = cold.stats.elapsed_seconds;
+
+    // The store a `lamb calibrate --exprs <workload>` run would have written.
+    let mut store = CalibrationStore::new(MachineModel::generic_laptop(), "bench");
+    store.calls = cold_planner.snapshot_cache();
+
+    // Phase 2: warm from the persisted store (fresh planner, fresh cache).
+    let warm_planner = planner_for(Some(&store));
+    let warm = warm_planner.plan_batch(&requests);
+    let (row, warm_speedup) = phase_row("warm", &warm, cold_elapsed);
+    rows.push(row);
+
+    // Phase 3: steady state.
+    let rerun = warm_planner.plan_batch(&requests);
+    let (row, _) = phase_row("warm+rerun", &rerun, cold_elapsed);
+    rows.push(row);
+
+    assert_eq!(
+        warm.stats.cache_misses, 0,
+        "a warm store must eliminate every benchmark"
+    );
+    if measured_mode {
+        // Real wall-clock times: allow for cold-phase benchmark races (two
+        // workers measuring the same key see slightly different times).
+        assert_matching_predictions(&cold, &warm, 0.5);
+        assert!(
+            warm_speedup > 1.0,
+            "warm batch planning must beat cold ({warm_speedup:.3}x)"
+        );
+        println!(
+            "\nwarm start skipped {} real benchmark(s): {:.2}x faster than cold",
+            cold.stats.cache_misses, warm_speedup
+        );
+    } else {
+        // Deterministic executors: the warm run must be bit-identical.
+        assert_matching_predictions(&cold, &warm, 0.0);
+        println!(
+            "\nwarm start skipped {} simulated benchmark(s) (near-free: timing delta is noise); predictions identical",
+            cold.stats.cache_misses
+        );
+    }
+
+    let csv = csv_from_rows(
+        &[
+            "phase",
+            "expressions",
+            "seconds",
+            "exprs_per_sec",
+            "cache_hits",
+            "cache_misses",
+            "hit_rate",
+            "speedup_vs_cold",
+        ],
+        &rows,
+    );
+    match write_text(&opts.out_dir, "batch_throughput.csv", &csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write CSV: {e}"),
+    }
+}

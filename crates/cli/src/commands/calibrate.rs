@@ -1,0 +1,269 @@
+//! `lamb calibrate` — run calibration sweeps and persist them.
+//!
+//! Builds (or refines) a versioned on-disk [`CalibrationStore`]:
+//!
+//! * a **square sweep** measures the GEMM/SYRK/SYMM efficiency curves on
+//!   square operands (the paper's Figure 1) and seeds the isolated-call
+//!   table with those benchmarks;
+//! * an optional **workload sweep** (`--exprs FILE`) benchmarks every
+//!   distinct kernel call the given batch of expression instances needs, so
+//!   a later `lamb batch` against the same workload starts 100% warm.
+//!
+//! By default a new sweep *merges* into an existing store (newer entries
+//! win); `--no-merge` replaces it. The command prints coverage (distinct
+//! calls per kernel) and staleness warnings.
+//!
+//! ```text
+//! lamb calibrate --store results/calibration.json --sizes 1200
+//! lamb calibrate --store store.json --exprs workload.txt --executor measured
+//! ```
+
+use super::common::{self, CommonOptions};
+use lamb_perfmodel::store::now_unix;
+use lamb_perfmodel::{CalibrationStore, SquareProfile};
+use lamb_plan::{BatchPlanner, BatchRequest};
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+    let executor_label = opts.executor_label()?;
+    let mut executor = opts.build_executor()?;
+    let (block_fingerprint, timing_reps) = opts.timing_metadata();
+
+    let mut store = CalibrationStore::new(executor.machine().clone(), executor_label);
+    store.meta.block_fingerprint = block_fingerprint.clone();
+    store.meta.timing_reps = timing_reps;
+
+    // Square sweep: benchmark the three kernels on square operands, fill the
+    // call table, and derive the efficiency curves from the same times.
+    let sizes = opts.figure1_sizes();
+    println!(
+        "calibrating ({executor_label}) on square sizes {}..={} ...",
+        sizes.first().copied().unwrap_or(0),
+        sizes.last().copied().unwrap_or(0)
+    );
+    let machine = executor.machine().clone();
+    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = ["gemm", "syrk", "symm"]
+        .iter()
+        .map(|name| ((*name).to_string(), Vec::new(), Vec::new()))
+        .collect();
+    for &size in &sizes {
+        for (curve, op) in curves
+            .iter_mut()
+            .zip(lamb_perfmodel::calibrate::square_ops(size))
+        {
+            let alg = lamb_perfmodel::single_call_algorithm(op.clone());
+            let seconds = executor.time_isolated_call(&alg, 0);
+            curve.1.push(size);
+            curve.2.push(machine.efficiency(op.flops(), seconds));
+            store.calls.insert(op, seconds);
+        }
+    }
+    for (name, sizes, effs) in curves {
+        let profile = SquareProfile::new(&name, sizes, effs);
+        println!(
+            "  {name:<5}: {} sizes, peak efficiency {:.2}",
+            profile.sizes.len(),
+            profile.max_efficiency()
+        );
+        store.profiles.push(profile);
+    }
+
+    // Workload sweep: benchmark exactly the calls a request file needs.
+    if let Some(path) = &opts.exprs_file {
+        let contents = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read --exprs {}: {e}", path.display()))?;
+        let requests = BatchRequest::parse_file(&contents).map_err(|e| e.to_string())?;
+        let factory_opts = opts.clone();
+        let planner = BatchPlanner::new()
+            .executor_factory(move || {
+                factory_opts
+                    .build_executor()
+                    .expect("executor name validated above")
+            })
+            .threshold(opts.threshold.unwrap_or(0.10));
+        let planner = match opts.top_k {
+            Some(k) => planner.top_k(k),
+            None => planner,
+        };
+        let outcome = planner.plan_batch(&requests);
+        store.calls.merge_from(&planner.snapshot_cache());
+        println!(
+            "  workload: {} request(s) from {}, {} distinct call(s) benchmarked",
+            requests.len(),
+            path.display(),
+            outcome.stats.cache_misses
+        );
+        if outcome.stats.failed > 0 {
+            return Err(format!(
+                "{} request(s) in {} failed to plan",
+                outcome.stats.failed,
+                path.display()
+            ));
+        }
+    }
+
+    // Merge into (or replace) the on-disk store.
+    let path = opts.store_path();
+    let final_store = if path.exists() && !opts.no_merge {
+        let mut existing = CalibrationStore::load(&path).map_err(|e| {
+            format!(
+                "cannot merge into {}: {e} (use --no-merge to overwrite)",
+                path.display()
+            )
+        })?;
+        existing.merge_from(&store).map_err(|e| {
+            format!(
+                "cannot merge into {}: {e} (use --no-merge to overwrite)",
+                path.display()
+            )
+        })?;
+        existing
+    } else {
+        store
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    final_store
+        .save(&path)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+
+    print_coverage(&final_store, &opts, &block_fingerprint);
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+fn print_coverage(store: &CalibrationStore, opts: &CommonOptions, block_fingerprint: &str) {
+    let coverage = store.coverage();
+    let per_kernel: Vec<String> = coverage
+        .iter()
+        .map(|(kernel, count)| format!("{kernel} {count}"))
+        .collect();
+    println!(
+        "store: version {}, executor {}, {} sweep(s)",
+        lamb_perfmodel::STORE_FORMAT_VERSION,
+        store.meta.executor,
+        store.meta.sweeps
+    );
+    println!(
+        "  calls  : {} distinct ({})",
+        store.calls.len(),
+        per_kernel.join(", ")
+    );
+    println!(
+        "  curves : {}",
+        store
+            .profiles
+            .iter()
+            .map(|p| format!("{} [{} samples]", p.kernel, p.sizes.len()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let warnings = match opts.build_executor() {
+        Ok(executor) => store.staleness(executor.machine(), block_fingerprint, now_unix()),
+        Err(_) => Vec::new(),
+    };
+    if warnings.is_empty() {
+        println!("  status : fresh");
+    } else {
+        for warning in warnings {
+            println!("  stale  : {warning}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lamb-calibrate-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn calibrate_writes_a_loadable_store_and_merges_on_rerun() {
+        let dir = temp_dir("merge");
+        let store_path = dir.join("calibration.json");
+        let store_arg = store_path.to_string_lossy().to_string();
+        run(&strs(&["--store", &store_arg, "--sizes", "300"])).unwrap();
+        let first = CalibrationStore::load(&store_path).unwrap();
+        assert_eq!(first.meta.sweeps, 1);
+        assert_eq!(first.calls.len(), 9); // 3 kernels x 3 sizes
+        assert_eq!(first.profiles.len(), 3);
+
+        // A second, larger sweep merges: coverage grows, sweeps accumulate.
+        run(&strs(&["--store", &store_arg, "--sizes", "500"])).unwrap();
+        let merged = CalibrationStore::load(&store_path).unwrap();
+        assert_eq!(merged.meta.sweeps, 2);
+        assert_eq!(merged.calls.len(), 15); // 3 kernels x 5 sizes
+        assert_eq!(merged.profiles[0].sizes.len(), 5);
+
+        // --no-merge replaces instead.
+        run(&strs(&[
+            "--store",
+            &store_arg,
+            "--sizes",
+            "200",
+            "--no-merge",
+        ]))
+        .unwrap();
+        let replaced = CalibrationStore::load(&store_path).unwrap();
+        assert_eq!(replaced.meta.sweeps, 1);
+        assert_eq!(replaced.calls.len(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn workload_calibration_covers_a_request_file() {
+        let dir = temp_dir("workload");
+        let exprs = dir.join("workload.txt");
+        std::fs::write(&exprs, "A*A^T*B 80 514 768\nA*B*C*D 100 20 300 20 500\n").unwrap();
+        let store_path = dir.join("store.json");
+        run(&strs(&[
+            "--store",
+            &store_path.to_string_lossy(),
+            "--exprs",
+            &exprs.to_string_lossy(),
+            "--sizes",
+            "100",
+        ]))
+        .unwrap();
+        let store = CalibrationStore::load(&store_path).unwrap();
+        // Square sweep (3 calls) plus the workload's distinct calls.
+        assert!(store.calls.len() > 3);
+        // A warm batch against the same workload never benchmarks.
+        let requests = BatchRequest::parse_file(&std::fs::read_to_string(&exprs).unwrap()).unwrap();
+        let outcome = BatchPlanner::new().with_store(&store).plan_batch(&requests);
+        assert_eq!(outcome.stats.cache_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merging_across_executors_is_refused() {
+        let dir = temp_dir("mixed");
+        let store_path = dir.join("store.json");
+        let store_arg = store_path.to_string_lossy().to_string();
+        run(&strs(&["--store", &store_arg, "--sizes", "100"])).unwrap();
+        let err = run(&strs(&[
+            "--store",
+            &store_arg,
+            "--sizes",
+            "100",
+            "--executor",
+            "smooth",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot merge"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

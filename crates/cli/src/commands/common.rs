@@ -29,6 +29,21 @@ pub struct CommonOptions {
     pub dims_flag: Option<Vec<usize>>,
     /// Enumeration cap given via `--top-k`.
     pub top_k: Option<usize>,
+    /// Calibration-store path given via `--store`.
+    pub store: Option<PathBuf>,
+    /// Batch request file given via `--exprs`.
+    pub exprs_file: Option<PathBuf>,
+    /// `--no-merge`: overwrite an existing calibration store instead of
+    /// merging the new sweep into it.
+    pub no_merge: bool,
+    /// `--update-store`: write newly benchmarked calls back into the store
+    /// after a batch run.
+    pub update_store: bool,
+    /// Anomaly time-score threshold given via `--threshold`.
+    pub threshold: Option<f64>,
+    /// `--demo N`: generate N instances per built-in scenario instead of
+    /// reading a request file.
+    pub demo: Option<usize>,
 }
 
 impl Default for CommonOptions {
@@ -44,6 +59,12 @@ impl Default for CommonOptions {
             expr_text: None,
             dims_flag: None,
             top_k: None,
+            store: None,
+            exprs_file: None,
+            no_merge: false,
+            update_store: false,
+            threshold: None,
+            demo: None,
         }
     }
 }
@@ -114,6 +135,40 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
                 opts.top_k = Some(k);
                 i += 1;
             }
+            "--store" => {
+                opts.store = Some(PathBuf::from(value("--store")?));
+                i += 1;
+            }
+            "--exprs" => {
+                opts.exprs_file = Some(PathBuf::from(value("--exprs")?));
+                i += 1;
+            }
+            "--no-merge" => {
+                opts.no_merge = true;
+            }
+            "--update-store" => {
+                opts.update_store = true;
+            }
+            "--threshold" => {
+                let t: f64 = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("invalid --threshold: {e}"))?;
+                if !(t.is_finite() && t >= 0.0) {
+                    return Err("--threshold must be a non-negative number".into());
+                }
+                opts.threshold = Some(t);
+                i += 1;
+            }
+            "--demo" => {
+                let n: usize = value("--demo")?
+                    .parse()
+                    .map_err(|e| format!("invalid --demo: {e}"))?;
+                if n == 0 {
+                    return Err("--demo must be at least 1".into());
+                }
+                opts.demo = Some(n);
+                i += 1;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`"));
             }
@@ -127,6 +182,28 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
     Ok(opts)
 }
 
+/// Repetitions per measurement of the CLI's measured executor (the paper's
+/// protocol) — the single source for both the executor construction and the
+/// `meta.reps` provenance recorded in calibration stores.
+pub const MEASURED_REPS: usize = 10;
+
+/// Cache-flush buffer size of the CLI's measured executor.
+pub const MEASURED_FLUSH_BYTES: usize = 64 * 1024 * 1024;
+
+/// Parse the `--strategy` flag value, shared by `select` and `batch`.
+pub fn parse_strategy(name: &str) -> Result<lamb_select::Strategy, String> {
+    use lamb_select::Strategy;
+    match name {
+        "min-flops" | "flops" => Ok(Strategy::MinFlops),
+        "predicted" | "min-predicted-time" => Ok(Strategy::MinPredictedTime),
+        "hybrid" => Ok(Strategy::Hybrid { flop_margin: 0.5 }),
+        "oracle" | "exhaustive" => Ok(Strategy::Oracle),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected min-flops, predicted, hybrid or oracle)"
+        )),
+    }
+}
+
 impl CommonOptions {
     /// Build the requested executor.
     pub fn build_executor(&self) -> Result<Box<dyn Executor>, String> {
@@ -135,14 +212,19 @@ impl CommonOptions {
             "smooth" | "simulated-smooth" => Ok(Box::new(SimulatedExecutor::paper_like_smooth())),
             "measured" | "real" => Ok(Box::new(MeasuredExecutor::new(
                 MachineModel::generic_laptop(),
-                BlockConfig::default(),
-                10,
-                64 * 1024 * 1024,
+                self.block_config(),
+                MEASURED_REPS,
+                MEASURED_FLUSH_BYTES,
             ))),
             other => Err(format!(
                 "unknown executor `{other}` (expected simulated, smooth or measured)"
             )),
         }
+    }
+
+    /// The kernel block configuration the measured executor runs under.
+    pub fn block_config(&self) -> BlockConfig {
+        BlockConfig::default()
     }
 
     /// Resolve the expression: either parsed from `--expr <text>` or named
@@ -224,6 +306,40 @@ impl CommonOptions {
         (1..=self.max_size.max(100) / 100)
             .map(|i| i * 100)
             .collect()
+    }
+
+    /// The calibration-store path: `--store` when given, else
+    /// `<out_dir>/calibration.json`.
+    pub fn store_path(&self) -> PathBuf {
+        self.store
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join("calibration.json"))
+    }
+
+    /// Canonical name of the selected executor for store metadata (aliases
+    /// like `sim`/`real` collapse onto one name, so stores stay mergeable).
+    pub fn executor_label(&self) -> Result<&'static str, String> {
+        match self.executor.as_str() {
+            "simulated" | "sim" => Ok("simulated"),
+            "smooth" | "simulated-smooth" => Ok("simulated-smooth"),
+            "measured" | "real" => Ok("measured"),
+            other => Err(format!(
+                "unknown executor `{other}` (expected simulated, smooth or measured)"
+            )),
+        }
+    }
+
+    /// Timing-protocol metadata recorded in calibration stores: the block
+    /// configuration fingerprint and repetitions per measurement of the
+    /// executor that [`CommonOptions::build_executor`] constructs (both read
+    /// from the same definitions the construction uses).
+    pub fn timing_metadata(&self) -> (String, usize) {
+        let reps = if matches!(self.executor.as_str(), "measured" | "real") {
+            MEASURED_REPS
+        } else {
+            1
+        };
+        (self.block_config().fingerprint(), reps)
     }
 }
 

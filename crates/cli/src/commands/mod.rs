@@ -1,6 +1,8 @@
 //! CLI subcommands.
 
 pub mod algorithms;
+pub mod batch;
+pub mod calibrate;
 pub mod common;
 pub mod experiment;
 pub mod figure;
@@ -22,6 +24,8 @@ COMMANDS:
     select [--strategy S] EXPR dims..  select an algorithm (S: min-flops, predicted, hybrid, oracle)
     select --expr \"A*B*C*D\" --dims d0,..,d4 [--top-k K]
                                        parse, enumerate, select and execute any expression
+    calibrate [--store F] [OPTS]       run calibration sweeps, write/merge the store, print coverage
+    batch --exprs FILE|--demo N [OPTS] plan a whole request file against a store, emit a CSV report
     figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
     exp1 chain|aatb [OPTS]             Experiment 1: random anomaly search (Figures 6/9)
     pipeline chain|aatb [OPTS]         Experiments 1+2+3 end to end (Figures 7/10, Tables 1/2)
@@ -35,6 +39,14 @@ COMMON OPTIONS:
     --scale <0..1>                         workload scale for experiments
     --seed <u64>                           sampling seed
     --out <dir>                            output directory for CSV artifacts (default: results)
+
+CALIBRATION / BATCH OPTIONS:
+    --store <file>                         calibration store path (default: <out>/calibration.json)
+    --exprs <file>                         batch request file: one `EXPR d0 d1 ...` per line
+    --demo <N>                             generate N instances per built-in scenario instead
+    --threshold <t>                        anomaly time-score threshold (default: 0.10)
+    --no-merge                             calibrate: overwrite an existing store instead of merging
+    --update-store                         batch: write newly benchmarked calls back into the store
 "
     );
 }

@@ -12,21 +12,9 @@
 //!     --dims 600,40,800,30,900,50,700,60,500 --top-k 8
 //! ```
 
-use super::common;
+use super::common::{self, parse_strategy};
 use lamb_plan::Planner;
 use lamb_select::Strategy;
-
-fn parse_strategy(name: &str) -> Result<Strategy, String> {
-    match name {
-        "min-flops" | "flops" => Ok(Strategy::MinFlops),
-        "predicted" | "min-predicted-time" => Ok(Strategy::MinPredictedTime),
-        "hybrid" => Ok(Strategy::Hybrid { flop_margin: 0.5 }),
-        "oracle" | "exhaustive" => Ok(Strategy::Oracle),
-        other => Err(format!(
-            "unknown strategy `{other}` (expected min-flops, predicted, hybrid or oracle)"
-        )),
-    }
-}
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {

@@ -5,6 +5,8 @@
 //! lamb algorithms chain 331 279 338 854 427      list the 6 ABCD algorithms + FLOPs
 //! lamb algorithms aatb 227 260 549               list the 5 A*A^T*B algorithms + FLOPs
 //! lamb select --strategy predicted aatb 80 514 768
+//! lamb calibrate --store results/calibration.json --sizes 1200
+//! lamb batch --exprs workload.txt --store results/calibration.json
 //! lamb figure1 [--executor measured] [--sizes 1200]
 //! lamb exp1 chain|aatb [--scale 0.1] [--executor simulated|smooth|measured]
 //! lamb pipeline chain|aatb [--scale 0.05]        experiments 1+2+3 end to end
@@ -24,6 +26,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "algorithms" | "algs" => commands::algorithms::run(rest),
         "select" => commands::select::run(rest),
+        "calibrate" => commands::calibrate::run(rest),
+        "batch" => commands::batch::run(rest),
         "figure1" | "fig1" => commands::figure::run_figure1(rest),
         "exp1" | "experiment1" => commands::experiment::run_exp1(rest),
         "pipeline" => commands::experiment::run_pipeline(rest),

@@ -12,6 +12,7 @@ use crate::config::SearchConfig;
 use crate::search::{run_random_search, SearchResult};
 use lamb_expr::{Expression, TreeExpression};
 use lamb_perfmodel::Executor;
+use lamb_plan::{BatchPlanner, BatchRequest};
 
 /// A named expression scenario for anomaly sweeps.
 #[derive(Debug, Clone)]
@@ -63,6 +64,140 @@ pub fn mixed_transpose_scenarios() -> Vec<Scenario> {
         Scenario::new("sandwich", "A^T*B*A"),
         Scenario::new("gram2", "A*A^T*B*B^T"),
     ]
+}
+
+/// Deterministically sample a batch of expression instances from the
+/// scenarios: `per_scenario` instances each, dimensions drawn uniformly from
+/// `dim_min..=dim_max`. This is the workload generator behind the `lamb
+/// batch` demo file, the batch scenario sweep and the `batch_throughput`
+/// benchmark — a standing stream of heterogeneous planning requests, exactly
+/// what a calibration store is amortised over.
+#[must_use]
+pub fn scenario_batch_requests(
+    scenarios: &[Scenario],
+    per_scenario: usize,
+    seed: u64,
+    dim_min: usize,
+    dim_max: usize,
+) -> Vec<BatchRequest> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = dim_min.max(1);
+    let hi = dim_max.max(lo);
+    let mut requests = Vec::with_capacity(scenarios.len() * per_scenario);
+    for scenario in scenarios {
+        let num_dims = scenario.expression.num_dims();
+        for _ in 0..per_scenario {
+            let dims: Vec<usize> = (0..num_dims).map(|_| rng.random_range(lo..=hi)).collect();
+            requests.push(
+                BatchRequest::new(scenario.expression.clone(), dims)
+                    .expect("scenario dims match by construction"),
+            );
+        }
+    }
+    requests
+}
+
+/// The per-scenario aggregate of a batched scenario sweep.
+#[derive(Debug, Clone)]
+pub struct BatchSweepRow {
+    /// Scenario name.
+    pub name: String,
+    /// Expression text.
+    pub expression: String,
+    /// Instances planned for this scenario.
+    pub instances: usize,
+    /// Instances whose FLOP-minimal algorithm is predicted more than the
+    /// threshold slower than the predicted-fastest one.
+    pub predicted_anomalies: usize,
+    /// Sum of predicted times of the chosen algorithms (seconds).
+    pub chosen_predicted_seconds: f64,
+    /// Sum of predicted times of the FLOP-minimal algorithms (seconds).
+    pub flop_optimal_predicted_seconds: f64,
+}
+
+/// Plan a scenario-generated batch with `planner` and aggregate the outcome
+/// per scenario (the batched, store-amortised analogue of
+/// [`sweep_scenarios`]). Predicted anomalies use the planner's own anomaly
+/// threshold, carried by each [`lamb_plan::Plan`].
+#[must_use]
+pub fn sweep_scenarios_batched(
+    scenarios: &[Scenario],
+    planner: &BatchPlanner,
+    per_scenario: usize,
+    seed: u64,
+    dim_min: usize,
+    dim_max: usize,
+) -> Vec<BatchSweepRow> {
+    let requests = scenario_batch_requests(scenarios, per_scenario, seed, dim_min, dim_max);
+    let outcome = planner.plan_batch(&requests);
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(s, scenario)| {
+            let mut row = BatchSweepRow {
+                name: scenario.name.clone(),
+                expression: scenario.expression.name(),
+                instances: 0,
+                predicted_anomalies: 0,
+                chosen_predicted_seconds: 0.0,
+                flop_optimal_predicted_seconds: 0.0,
+            };
+            let span = s * per_scenario..(s + 1) * per_scenario;
+            for result in &outcome.results[span] {
+                let Ok(plan) = result else { continue };
+                row.instances += 1;
+                if let Some(chosen) = plan.chosen_score().predicted_seconds {
+                    row.chosen_predicted_seconds += chosen;
+                }
+                if let Some(flop_optimal) = plan.flop_optimal_score().predicted_seconds {
+                    row.flop_optimal_predicted_seconds += flop_optimal;
+                }
+                if plan.predicted_anomaly() == Some(true) {
+                    row.predicted_anomalies += 1;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// CSV rows for a batched scenario sweep
+/// (`scenario,expression,instances,predicted_anomalies,abundance,chosen_predicted_s,flop_optimal_predicted_s`).
+#[must_use]
+pub fn batch_sweep_csv(rows: &[BatchSweepRow]) -> String {
+    let data: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let abundance = if row.instances == 0 {
+                0.0
+            } else {
+                row.predicted_anomalies as f64 / row.instances as f64
+            };
+            vec![
+                row.name.clone(),
+                row.expression.clone(),
+                row.instances.to_string(),
+                row.predicted_anomalies.to_string(),
+                format!("{abundance:.6}"),
+                format!("{:.6e}", row.chosen_predicted_seconds),
+                format!("{:.6e}", row.flop_optimal_predicted_seconds),
+            ]
+        })
+        .collect();
+    crate::csvout::csv_from_rows(
+        &[
+            "scenario",
+            "expression",
+            "instances",
+            "predicted_anomalies",
+            "abundance",
+            "chosen_predicted_s",
+            "flop_optimal_predicted_s",
+        ],
+        &data,
+    )
 }
 
 /// One row of a scenario sweep.
@@ -176,6 +311,46 @@ mod tests {
         assert!(csv.starts_with("scenario,expression,dims,"));
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.contains("A*A^T*B"));
+    }
+
+    #[test]
+    fn scenario_batches_are_deterministic_and_well_formed() {
+        let scenarios = mixed_transpose_scenarios();
+        let a = scenario_batch_requests(&scenarios, 4, 99, 50, 400);
+        let b = scenario_batch_requests(&scenarios, 4, 99, 50, 400);
+        assert_eq!(a.len(), scenarios.len() * 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.dims, y.dims);
+            assert!(x.dims.iter().all(|&d| (50..=400).contains(&d)));
+        }
+        // A different seed draws different dims.
+        let c = scenario_batch_requests(&scenarios, 4, 100, 50, 400);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.dims != y.dims));
+    }
+
+    #[test]
+    fn batched_sweep_aggregates_per_scenario() {
+        let scenarios = vec![
+            Scenario::new("aatb", "A*A^T*B"),
+            Scenario::new("chain4", "A*B*C*D"),
+        ];
+        let planner = BatchPlanner::new().top_k(8);
+        let rows = sweep_scenarios_batched(&scenarios, &planner, 25, 7, 40, 600);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.instances, 25);
+            assert!(row.chosen_predicted_seconds > 0.0);
+            assert!(row.chosen_predicted_seconds <= row.flop_optimal_predicted_seconds + 1e-15);
+        }
+        // The Gram-flavoured scenario mixes kernels and shows far more
+        // predicted anomalies than the GEMM-only chain (the paper's thesis).
+        let aatb = &rows[0];
+        let chain = &rows[1];
+        assert!(aatb.predicted_anomalies > chain.predicted_anomalies);
+        let csv = batch_sweep_csv(&rows);
+        assert!(csv.starts_with("scenario,expression,instances,"));
+        assert_eq!(csv.lines().count(), 3);
     }
 
     #[test]

@@ -113,6 +113,32 @@ impl KernelOp {
     pub fn is_compute(&self) -> bool {
         !matches!(self, KernelOp::CopyTriangle { .. })
     }
+
+    /// The canonical form of this operation under the *isolated-call timing
+    /// model*: GEMM's transposition flags are cleared, because a GEMM with
+    /// logical dimensions `m×n×k` performs the same work — and, under the
+    /// isolated-call benchmark protocol, takes the same time — regardless of
+    /// how its operands are stored. Two operations with equal timing keys are
+    /// interchangeable for timing memoisation (the planner's prediction
+    /// cache, `CallTimeTable`, the calibration store); they are *not*
+    /// interchangeable for execution, which still needs the real flags.
+    ///
+    /// SYRK/SYMM keep their flags: their `uplo`/`trans`/`side` choices change
+    /// which triangle is touched and how memory is walked, and the timing
+    /// layer makes no invariance claim for them.
+    #[must_use]
+    pub fn timing_key(&self) -> KernelOp {
+        match *self {
+            KernelOp::Gemm { m, n, k, .. } => KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m,
+                n,
+                k,
+            },
+            ref other => other.clone(),
+        }
+    }
 }
 
 impl fmt::Display for KernelOp {
@@ -258,6 +284,43 @@ mod tests {
         assert!(!call.reads(OperandId(4)));
         assert_eq!(call.flops(), 16);
         assert!(call.to_string().contains("M1 := A*B"));
+    }
+
+    #[test]
+    fn timing_key_clears_gemm_transposition_only() {
+        let transposed = KernelOp::Gemm {
+            transa: Trans::Yes,
+            transb: Trans::No,
+            m: 10,
+            n: 20,
+            k: 30,
+        };
+        let plain = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 10,
+            n: 20,
+            k: 30,
+        };
+        assert_eq!(transposed.timing_key(), plain);
+        assert_eq!(plain.timing_key(), plain);
+        // Different logical dimensions stay distinct.
+        let other = KernelOp::Gemm {
+            transa: Trans::Yes,
+            transb: Trans::No,
+            m: 10,
+            n: 20,
+            k: 31,
+        };
+        assert_ne!(other.timing_key(), plain);
+        // Non-GEMM operations are their own timing keys.
+        let syrk = KernelOp::Syrk {
+            uplo: Uplo::Upper,
+            trans: Trans::Yes,
+            n: 5,
+            k: 6,
+        };
+        assert_eq!(syrk.timing_key(), syrk);
     }
 
     #[test]

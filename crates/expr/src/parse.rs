@@ -166,6 +166,44 @@ fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
 impl TreeExpression {
     /// Parse `text` into a dimension-parameterised expression.
     ///
+    /// The grammar (whitespace is ignored):
+    ///
+    /// ```text
+    /// expr    := factor ( "*" factor )*
+    /// factor  := primary ( "^T" | "'" )*
+    /// primary := IDENT | "(" expr ")"
+    /// IDENT   := [A-Za-z][A-Za-z0-9_]*
+    /// ```
+    ///
+    /// Reusing a name (as in `A*A^T*B`) reuses the operand; dimension
+    /// indices `d0, d1, ...` are inferred by unifying the sizes that
+    /// products and operand reuse force to be equal.
+    ///
+    /// ```
+    /// use lamb_expr::{Expression, TreeExpression};
+    ///
+    /// // The paper's matrix chain: 4 matrices, the 5-tuple (d0..d4), and
+    /// // 3! = 6 multiplication orders.
+    /// let chain = TreeExpression::parse("A*B*C*D").unwrap();
+    /// assert_eq!(chain.num_dims(), 5);
+    /// assert_eq!(chain.algorithms(&[100, 90, 80, 70, 60]).unwrap().len(), 6);
+    ///
+    /// // The paper's Gram product: reusing `A` ties the dimensions together,
+    /// // leaving the 3-tuple (d0, d1, d2), and the SYRK/SYMM rewrites yield
+    /// // the 5 algorithms of Section 3.2.2.
+    /// let aatb = TreeExpression::parse("A*A^T*B").unwrap();
+    /// assert_eq!(aatb.num_dims(), 3);
+    /// assert_eq!(aatb.algorithms(&[80, 514, 768]).unwrap().len(), 5);
+    ///
+    /// // Parenthesised transposes distribute: (B^T * A)^T == A^T * B, and a
+    /// // postfix apostrophe means the same as ^T.
+    /// let t = TreeExpression::parse("(B^T * A)^T").unwrap();
+    /// assert_eq!(t.num_dims(), TreeExpression::parse("A' * B").unwrap().num_dims());
+    ///
+    /// // Malformed input is rejected with a position.
+    /// assert!(TreeExpression::parse("A*(B").is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ParseError`] on malformed input.

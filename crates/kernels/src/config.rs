@@ -81,6 +81,27 @@ impl BlockConfig {
         // Round up to a multiple of NR so that full micro-tiles dominate.
         target.div_ceil(NR) * NR
     }
+
+    /// A short, stable fingerprint of every parameter that affects kernel
+    /// timing (cache blocks, register tiles, parallel policy). Calibration
+    /// stores record it as staleness metadata: benchmark times taken under
+    /// one configuration are not comparable to runs under another.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "mc{}-kc{}-nc{}-r{}x{}-{}",
+            self.mc,
+            self.kc,
+            self.nc,
+            MR,
+            NR,
+            if self.parallel {
+                format!("par{}", self.parallel_flop_threshold)
+            } else {
+                "serial".to_string()
+            }
+        )
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +127,16 @@ mod tests {
         let c = BlockConfig::default();
         assert!(!c.should_parallelise(8, 8, 8));
         assert!(!c.should_parallelise(1000, 2, 1000));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_timing_relevant_configs() {
+        let default = BlockConfig::default().fingerprint();
+        assert_eq!(default, BlockConfig::default().fingerprint());
+        assert_ne!(default, BlockConfig::serial().fingerprint());
+        assert_ne!(default, BlockConfig::tiny().fingerprint());
+        assert!(default.contains("mc128"));
+        assert!(BlockConfig::serial().fingerprint().ends_with("serial"));
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //!
 //! Both implement the [`Executor`] trait, so every experiment driver in
 //! `lamb-experiments` runs unchanged on either.
+//!
+//! Calibration data — [`MachineModel`], [`SquareProfile`] curves and the
+//! [`CallTimeTable`] of isolated-call benchmark times — persists across runs
+//! through the [`store`] module's versioned JSON [`CalibrationStore`]
+//! (serialised without `serde` via the tiny [`json`] module), so a machine is
+//! calibrated once and every later planning run starts warm.
 
 #![deny(missing_docs)]
 
 pub mod calibrate;
 pub mod efficiency;
 pub mod executor;
+pub mod json;
 pub mod machine;
 pub mod measured;
 pub mod profile;
 pub mod simulate;
+pub mod store;
 
 pub use calibrate::{estimate_peak_flops, measure_square_profiles, single_call_algorithm};
 pub use efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
@@ -35,3 +43,4 @@ pub use machine::MachineModel;
 pub use measured::MeasuredExecutor;
 pub use profile::{CallTimeTable, SquareProfile};
 pub use simulate::{SimulatedExecutor, SimulatorConfig};
+pub use store::{CalibrationStore, StalenessWarning, StoreError, StoreMeta, STORE_FORMAT_VERSION};

@@ -139,15 +139,15 @@ impl<E: EfficiencyModel> SimulatedExecutor<E> {
         t + self.config.per_call_overhead
     }
 
-    /// Deterministic multiplicative noise in `[1 - 2σ, 1 + 2σ]`, keyed by the
-    /// call's operation, its position, and the timing context.
-    fn noise_factor(&self, call: &KernelCall, index: usize, context: &str) -> f64 {
+    /// Deterministic multiplicative noise in `[1 - 2σ, 1 + 2σ]`, keyed by an
+    /// operation, a position, and the timing context.
+    fn noise_factor(&self, op: &KernelOp, index: usize, context: &str) -> f64 {
         if self.config.noise_sigma == 0.0 {
             return 1.0;
         }
         let mut hasher = DefaultHasher::new();
         self.config.noise_seed.hash(&mut hasher);
-        call.op.hash(&mut hasher);
+        op.hash(&mut hasher);
         index.hash(&mut hasher);
         context.hash(&mut hasher);
         let u = (hasher.finish() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
@@ -196,7 +196,7 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
             .map(|(i, call)| {
                 let t = self.base_call_time(call)
                     * self.cache_reuse_factor(alg, i)
-                    * self.noise_factor(call, i, "sequence");
+                    * self.noise_factor(&call.op, i, "sequence");
                 CallTiming {
                     index: i,
                     label: call.label.clone(),
@@ -214,14 +214,17 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
     }
 
     fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
-        // An isolated benchmark is identified by the call's signature alone:
-        // it has no notion of the position the call occupies inside some
-        // algorithm, so (unlike sequence noise) its noise must not be keyed
-        // on `call_index`. This also makes the benchmark memoisable by
-        // signature — Experiment 3 and the planner's prediction cache rely
-        // on identical calls having identical isolated times.
+        // An isolated benchmark is identified by the call's *timing key*
+        // alone: it has no notion of the position the call occupies inside
+        // some algorithm, so (unlike sequence noise) its noise must not be
+        // keyed on `call_index`, and it must not distinguish transposition
+        // variants whose base time is identical (the efficiency model ignores
+        // GEMM's transposition flags). This makes the benchmark memoisable by
+        // timing key — Experiment 3, the planner's prediction cache and the
+        // calibration store all rely on calls with equal timing keys having
+        // identical isolated times.
         let call = &alg.calls[call_index];
-        self.base_call_time(call) * self.noise_factor(call, 0, "isolated")
+        self.base_call_time(call) * self.noise_factor(&call.op.timing_key(), 0, "isolated")
     }
 }
 
@@ -322,8 +325,34 @@ mod tests {
         let sim = SimulatedExecutor::paper_like();
         let alg = &enumerate_chain_algorithms(&[100, 100, 100, 100, 100]).unwrap()[0];
         for (i, call) in alg.calls.iter().enumerate() {
-            let f = sim.noise_factor(call, i, "sequence");
+            let f = sim.noise_factor(&call.op, i, "sequence");
             assert!((f - 1.0).abs() <= 2.0 * sim.config().noise_sigma + 1e-12);
         }
+    }
+
+    #[test]
+    fn isolated_times_are_invariant_under_gemm_transposition() {
+        use crate::calibrate::single_call_algorithm;
+        use lamb_matrix::Trans;
+        let mut sim = SimulatedExecutor::paper_like();
+        let plain = single_call_algorithm(KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 300,
+            n: 200,
+            k: 150,
+        });
+        let transposed = single_call_algorithm(KernelOp::Gemm {
+            transa: Trans::Yes,
+            transb: Trans::No,
+            m: 300,
+            n: 200,
+            k: 150,
+        });
+        assert_eq!(
+            sim.time_isolated_call(&plain, 0),
+            sim.time_isolated_call(&transposed, 0),
+            "equal timing keys must give bit-identical isolated times"
+        );
     }
 }

@@ -1,0 +1,835 @@
+//! The persistent calibration store: a versioned on-disk format for machine
+//! models, kernel efficiency profiles and isolated-call benchmark times.
+//!
+//! The paper's central claim is that FLOP-minimal algorithms are often not
+//! time-minimal, so selection must be driven by *measured* kernel
+//! performance. Those measurements are expensive — a calibration sweep runs
+//! hundreds of real (or simulated) isolated-call benchmarks — and they are
+//! stable across runs on the same machine, so re-benchmarking on every
+//! process start is pure waste. A [`CalibrationStore`] captures one machine's
+//! calibration data and persists it as JSON (hand-rolled in [`crate::json`];
+//! the workspace is offline-vendored and has no `serde`):
+//!
+//! * the [`MachineModel`] the times were measured against,
+//! * the [`SquareProfile`] efficiency curves (the paper's Figure 1),
+//! * the [`CallTimeTable`] of isolated-call benchmark times, keyed by
+//!   canonical timing key ([`lamb_expr::KernelOp::timing_key`]),
+//! * staleness metadata: format version, executor, block configuration
+//!   fingerprint, repetition count, creation/update timestamps, sweep count.
+//!
+//! Stores **merge**: an incremental calibration sweep loads the existing
+//! store, adds its new measurements (newer entries win) and saves the union,
+//! so coverage grows run over run. Loading a store and warm-starting a
+//! planner's prediction cache from it reproduces the in-memory predictions
+//! *bit-identically* — numbers are serialised with shortest round-trip
+//! formatting — which is what makes "calibrate once, plan many" sound.
+//!
+//! ```
+//! use lamb_expr::KernelOp;
+//! use lamb_matrix::Trans;
+//! use lamb_perfmodel::{CalibrationStore, MachineModel, SquareProfile};
+//!
+//! // Calibrate: record a profile curve and an isolated-call benchmark.
+//! let mut store = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+//! store.profiles.push(SquareProfile::new("gemm", vec![100, 200], vec![0.31, 0.52]));
+//! let op = KernelOp::Gemm { transa: Trans::No, transb: Trans::No, m: 100, n: 100, k: 100 };
+//! store.calls.insert(op.clone(), 1.25e-4);
+//!
+//! // Save → load: the round-trip is lossless, down to the last bit.
+//! let text = store.to_json();
+//! let reloaded = CalibrationStore::from_json(&text).unwrap();
+//! assert_eq!(reloaded.calls.get(&op), Some(1.25e-4));
+//! assert_eq!(reloaded.profiles[0].interpolate(150), store.profiles[0].interpolate(150));
+//! ```
+
+use crate::json::{Json, JsonError};
+use crate::machine::MachineModel;
+use crate::profile::{CallTimeTable, SquareProfile};
+use lamb_expr::KernelOp;
+use lamb_matrix::{Side, Trans, Uplo};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Version of the on-disk format this build writes and reads.
+pub const STORE_FORMAT_VERSION: u64 = 1;
+
+/// Magic string identifying a calibration-store document.
+pub const STORE_FORMAT_NAME: &str = "lamb-calibration-store";
+
+/// Relative peak-FLOPS drift beyond which a store is flagged as stale.
+pub const PEAK_DRIFT_TOLERANCE: f64 = 0.05;
+
+/// Age in seconds beyond which a store is flagged as stale (30 days).
+pub const MAX_FRESH_AGE_SECONDS: u64 = 30 * 24 * 3600;
+
+/// Staleness and provenance metadata carried by a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMeta {
+    /// Name of the executor that produced the times (`"simulated"`,
+    /// `"measured"`, ...). Mixing executors in one store is rejected by
+    /// [`CalibrationStore::merge_from`].
+    pub executor: String,
+    /// Fingerprint of the kernel block configuration the measurements were
+    /// taken under (see `lamb_kernels::BlockConfig::fingerprint`); timings
+    /// are only comparable under the same configuration.
+    pub block_fingerprint: String,
+    /// Repetitions per measurement (the paper's protocol uses 10).
+    pub timing_reps: usize,
+    /// Unix timestamp (seconds) of the first calibration sweep.
+    pub created_unix: u64,
+    /// Unix timestamp (seconds) of the most recent sweep or merge.
+    pub updated_unix: u64,
+    /// How many calibration sweeps have been merged into this store.
+    pub sweeps: u64,
+}
+
+/// Why a store could not be read or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The document is not valid JSON.
+    Json(JsonError),
+    /// The document is JSON but not a calibration store this build
+    /// understands (missing fields, wrong magic, unsupported version, ...).
+    Format(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Json(e) => write!(f, "{e}"),
+            StoreError::Format(msg) => write!(f, "invalid calibration store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<JsonError> for StoreError {
+    fn from(e: JsonError) -> Self {
+        StoreError::Json(e)
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One reason a loaded store may no longer describe the current machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StalenessWarning {
+    /// The stored machine peak differs from the current one by more than
+    /// [`PEAK_DRIFT_TOLERANCE`].
+    PeakDrift {
+        /// Peak FLOP/s recorded in the store.
+        stored: f64,
+        /// Peak FLOP/s of the machine in use now.
+        current: f64,
+    },
+    /// The kernel block configuration changed since calibration.
+    BlockConfigChanged {
+        /// Fingerprint recorded in the store.
+        stored: String,
+        /// Fingerprint of the configuration in use now.
+        current: String,
+    },
+    /// The newest sample is older than [`MAX_FRESH_AGE_SECONDS`].
+    Aged {
+        /// Age of the store in seconds.
+        age_seconds: u64,
+    },
+}
+
+impl fmt::Display for StalenessWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StalenessWarning::PeakDrift { stored, current } => write!(
+                f,
+                "machine peak drifted: store {:.1} GFLOP/s vs current {:.1} GFLOP/s",
+                stored / 1e9,
+                current / 1e9
+            ),
+            StalenessWarning::BlockConfigChanged { stored, current } => {
+                write!(
+                    f,
+                    "block config changed: store `{stored}` vs current `{current}`"
+                )
+            }
+            StalenessWarning::Aged { age_seconds } => {
+                write!(f, "last sample is {} days old", age_seconds / (24 * 3600))
+            }
+        }
+    }
+}
+
+/// Persistent calibration data for one machine + executor + block
+/// configuration. See the [module docs](self) for the format contract.
+#[derive(Debug, Clone)]
+pub struct CalibrationStore {
+    /// Staleness and provenance metadata.
+    pub meta: StoreMeta,
+    /// The machine the times were measured (or simulated) on.
+    pub machine: MachineModel,
+    /// Square-operand efficiency curves, one per kernel (Figure 1 data).
+    pub profiles: Vec<SquareProfile>,
+    /// Isolated-call benchmark times keyed by canonical timing key.
+    pub calls: CallTimeTable,
+}
+
+/// Current Unix time in seconds (0 if the clock is before the epoch).
+#[must_use]
+pub fn now_unix() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+impl CalibrationStore {
+    /// A fresh, empty store for `machine`, attributed to `executor`, stamped
+    /// with the current time.
+    #[must_use]
+    pub fn new(machine: MachineModel, executor: &str) -> Self {
+        let now = now_unix();
+        CalibrationStore {
+            meta: StoreMeta {
+                executor: executor.to_string(),
+                block_fingerprint: String::new(),
+                timing_reps: 0,
+                created_unix: now,
+                updated_unix: now,
+                sweeps: 1,
+            },
+            machine,
+            profiles: Vec::new(),
+            calls: CallTimeTable::new(),
+        }
+    }
+
+    /// Merge `other` (assumed fresher) into this store: call times and
+    /// profile samples from `other` win on conflicts, timestamps and sweep
+    /// counts accumulate, and the machine model is taken from `other`.
+    ///
+    /// # Errors
+    ///
+    /// Refuses with [`StoreError::Format`] when the stores were produced by
+    /// different executors or block configurations — their times are not
+    /// comparable, and silently mixing them would poison predictions.
+    pub fn merge_from(&mut self, other: &CalibrationStore) -> Result<(), StoreError> {
+        if self.meta.executor != other.meta.executor {
+            return Err(StoreError::Format(format!(
+                "cannot merge `{}` calibration into a `{}` store",
+                other.meta.executor, self.meta.executor
+            )));
+        }
+        if !self.meta.block_fingerprint.is_empty()
+            && !other.meta.block_fingerprint.is_empty()
+            && self.meta.block_fingerprint != other.meta.block_fingerprint
+        {
+            return Err(StoreError::Format(format!(
+                "cannot merge block config `{}` into `{}`",
+                other.meta.block_fingerprint, self.meta.block_fingerprint
+            )));
+        }
+        self.calls.merge_from(&other.calls);
+        for profile in &other.profiles {
+            match self
+                .profiles
+                .iter_mut()
+                .find(|p| p.kernel == profile.kernel)
+            {
+                Some(mine) => *mine = merge_profiles(mine, profile),
+                None => self.profiles.push(profile.clone()),
+            }
+        }
+        self.machine = other.machine.clone();
+        if !other.meta.block_fingerprint.is_empty() {
+            self.meta.block_fingerprint = other.meta.block_fingerprint.clone();
+        }
+        if other.meta.timing_reps != 0 {
+            self.meta.timing_reps = other.meta.timing_reps;
+        }
+        self.meta.created_unix = self.meta.created_unix.min(other.meta.created_unix);
+        self.meta.updated_unix = self.meta.updated_unix.max(other.meta.updated_unix);
+        self.meta.sweeps += other.meta.sweeps;
+        Ok(())
+    }
+
+    /// Check whether this store still describes the given machine and block
+    /// configuration at time `now_unix`; an empty result means fresh.
+    #[must_use]
+    pub fn staleness(
+        &self,
+        machine: &MachineModel,
+        block_fingerprint: &str,
+        now_unix: u64,
+    ) -> Vec<StalenessWarning> {
+        let mut warnings = Vec::new();
+        let stored = self.machine.peak_flops;
+        let current = machine.peak_flops;
+        if current > 0.0 && ((stored - current) / current).abs() > PEAK_DRIFT_TOLERANCE {
+            warnings.push(StalenessWarning::PeakDrift { stored, current });
+        }
+        if !self.meta.block_fingerprint.is_empty()
+            && !block_fingerprint.is_empty()
+            && self.meta.block_fingerprint != block_fingerprint
+        {
+            warnings.push(StalenessWarning::BlockConfigChanged {
+                stored: self.meta.block_fingerprint.clone(),
+                current: block_fingerprint.to_string(),
+            });
+        }
+        let age = now_unix.saturating_sub(self.meta.updated_unix);
+        if age > MAX_FRESH_AGE_SECONDS {
+            warnings.push(StalenessWarning::Aged { age_seconds: age });
+        }
+        warnings
+    }
+
+    /// Distinct benchmarked calls per kernel mnemonic, for coverage reports.
+    #[must_use]
+    pub fn coverage(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for (op, _) in self.calls.entries() {
+            *counts.entry(op.mnemonic().to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Serialise to the versioned JSON document. Call entries are sorted by
+    /// their display form, so equal stores serialise to equal bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let meta = Json::Obj(vec![
+            ("executor".into(), Json::Str(self.meta.executor.clone())),
+            (
+                "block".into(),
+                Json::Str(self.meta.block_fingerprint.clone()),
+            ),
+            ("reps".into(), Json::Num(self.meta.timing_reps as f64)),
+            (
+                "created_unix".into(),
+                Json::Num(self.meta.created_unix as f64),
+            ),
+            (
+                "updated_unix".into(),
+                Json::Num(self.meta.updated_unix as f64),
+            ),
+            ("sweeps".into(), Json::Num(self.meta.sweeps as f64)),
+        ]);
+        let machine = Json::Obj(vec![
+            ("name".into(), Json::Str(self.machine.name.clone())),
+            ("peak_flops".into(), Json::Num(self.machine.peak_flops)),
+            ("cores".into(), Json::Num(self.machine.cores as f64)),
+            ("llc_bytes".into(), Json::Num(self.machine.llc_bytes as f64)),
+            (
+                "mem_bandwidth".into(),
+                Json::Num(self.machine.mem_bandwidth),
+            ),
+        ]);
+        let profiles = Json::Arr(
+            self.profiles
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("kernel".into(), Json::Str(p.kernel.clone())),
+                        (
+                            "sizes".into(),
+                            Json::Arr(p.sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+                        ),
+                        (
+                            "efficiencies".into(),
+                            Json::Arr(p.efficiencies.iter().map(|&e| Json::Num(e)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let mut entries: Vec<(&KernelOp, f64)> = self.calls.entries().collect();
+        entries.sort_by_key(|(op, _)| op.to_string());
+        let calls = Json::Arr(
+            entries
+                .into_iter()
+                .map(|(op, seconds)| op_to_json(op, seconds))
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("format".into(), Json::Str(STORE_FORMAT_NAME.into())),
+            ("version".into(), Json::Num(STORE_FORMAT_VERSION as f64)),
+            ("meta".into(), meta),
+            ("machine".into(), machine),
+            ("profiles".into(), profiles),
+            ("calls".into(), calls),
+        ])
+        .pretty()
+    }
+
+    /// Parse a store from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Json`] for malformed JSON, [`StoreError::Format`] for a
+    /// document that is not a supported calibration store.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        let doc = Json::parse(text)?;
+        let format = doc.get("format").and_then(Json::as_str).unwrap_or("");
+        if format != STORE_FORMAT_NAME {
+            return Err(StoreError::Format(format!(
+                "not a {STORE_FORMAT_NAME} document (format: `{format}`)"
+            )));
+        }
+        let version = field_u64(&doc, "version")?;
+        if version != STORE_FORMAT_VERSION {
+            return Err(StoreError::Format(format!(
+                "unsupported store version {version} (this build reads version {STORE_FORMAT_VERSION})"
+            )));
+        }
+        let meta_doc = doc
+            .get("meta")
+            .ok_or_else(|| StoreError::Format("missing `meta`".into()))?;
+        let meta = StoreMeta {
+            executor: field_str(meta_doc, "executor")?,
+            block_fingerprint: field_str(meta_doc, "block")?,
+            timing_reps: field_u64(meta_doc, "reps")? as usize,
+            created_unix: field_u64(meta_doc, "created_unix")?,
+            updated_unix: field_u64(meta_doc, "updated_unix")?,
+            sweeps: field_u64(meta_doc, "sweeps")?,
+        };
+        let machine_doc = doc
+            .get("machine")
+            .ok_or_else(|| StoreError::Format("missing `machine`".into()))?;
+        let machine = MachineModel {
+            name: field_str(machine_doc, "name")?,
+            peak_flops: field_f64(machine_doc, "peak_flops")?,
+            cores: field_u64(machine_doc, "cores")? as usize,
+            llc_bytes: field_u64(machine_doc, "llc_bytes")?,
+            mem_bandwidth: field_f64(machine_doc, "mem_bandwidth")?,
+        };
+        let mut profiles = Vec::new();
+        for p in field_array(&doc, "profiles")? {
+            let kernel = field_str(p, "kernel")?;
+            let sizes: Vec<usize> = field_array(p, "sizes")?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .map(|v| v as usize)
+                        .ok_or_else(|| StoreError::Format("profile size is not an integer".into()))
+                })
+                .collect::<Result<_, _>>()?;
+            let efficiencies: Vec<f64> = field_array(p, "efficiencies")?
+                .iter()
+                .map(|e| {
+                    e.as_f64().ok_or_else(|| {
+                        StoreError::Format("profile efficiency is not a number".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if sizes.len() != efficiencies.len()
+                || sizes.is_empty()
+                || !sizes.windows(2).all(|w| w[0] < w[1])
+            {
+                return Err(StoreError::Format(format!(
+                    "profile `{kernel}` has inconsistent samples"
+                )));
+            }
+            profiles.push(SquareProfile::new(&kernel, sizes, efficiencies));
+        }
+        let mut calls = CallTimeTable::new();
+        for entry in field_array(&doc, "calls")? {
+            let (op, seconds) = op_from_json(entry)?;
+            calls.insert(op, seconds);
+        }
+        Ok(CalibrationStore {
+            meta,
+            machine,
+            profiles,
+            calls,
+        })
+    }
+
+    /// Write the store to `path` (atomically: a temp file is renamed over the
+    /// target, so a crash never leaves a truncated store).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read a store from `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CalibrationStore::from_json`]; filesystem failures surface as
+    /// [`StoreError::Io`].
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        CalibrationStore::from_json(&text)
+    }
+}
+
+/// Union of two profiles for the same kernel; `newer` wins at shared sizes.
+fn merge_profiles(older: &SquareProfile, newer: &SquareProfile) -> SquareProfile {
+    let mut samples: BTreeMap<usize, f64> = older
+        .sizes
+        .iter()
+        .copied()
+        .zip(older.efficiencies.iter().copied())
+        .collect();
+    for (&size, &eff) in newer.sizes.iter().zip(&newer.efficiencies) {
+        samples.insert(size, eff);
+    }
+    let (sizes, efficiencies): (Vec<usize>, Vec<f64>) = samples.into_iter().unzip();
+    SquareProfile::new(&older.kernel, sizes, efficiencies)
+}
+
+fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("op".into(), Json::Str(op.mnemonic().into()))];
+    match *op {
+        // GEMM is stored by timing key, so the (canonical, cleared)
+        // transposition flags are omitted from the document.
+        KernelOp::Gemm { m, n, k, .. } => {
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+            fields.push(("k".into(), Json::Num(k as f64)));
+        }
+        KernelOp::Syrk { uplo, trans, n, k } => {
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("trans".into(), Json::Str(trans.tag().to_string())));
+            fields.push(("n".into(), Json::Num(n as f64)));
+            fields.push(("k".into(), Json::Num(k as f64)));
+        }
+        KernelOp::Symm { side, uplo, m, n } => {
+            fields.push(("side".into(), Json::Str(side.tag().to_string())));
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
+        KernelOp::CopyTriangle { uplo, n } => {
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
+    }
+    fields.push(("seconds".into(), Json::Num(seconds)));
+    Json::Obj(fields)
+}
+
+fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
+    let kind = field_str(entry, "op")?;
+    let dim = |name: &str| field_u64(entry, name).map(|v| v as usize);
+    let op = match kind.as_str() {
+        "gemm" => KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: dim("m")?,
+            n: dim("n")?,
+            k: dim("k")?,
+        },
+        "syrk" => KernelOp::Syrk {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            trans: parse_trans(&field_str(entry, "trans")?)?,
+            n: dim("n")?,
+            k: dim("k")?,
+        },
+        "symm" => KernelOp::Symm {
+            side: parse_side(&field_str(entry, "side")?)?,
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            m: dim("m")?,
+            n: dim("n")?,
+        },
+        "copy" => KernelOp::CopyTriangle {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            n: dim("n")?,
+        },
+        other => return Err(StoreError::Format(format!("unknown call kind `{other}`"))),
+    };
+    let seconds = field_f64(entry, "seconds")?;
+    if !(seconds.is_finite() && seconds >= 0.0) {
+        return Err(StoreError::Format(format!(
+            "call `{op}` has invalid time {seconds}"
+        )));
+    }
+    Ok((op, seconds))
+}
+
+fn field_str(doc: &Json, key: &str) -> Result<String, StoreError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| StoreError::Format(format!("missing or non-string field `{key}`")))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, StoreError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| StoreError::Format(format!("missing or non-integer field `{key}`")))
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<f64, StoreError> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| StoreError::Format(format!("missing or non-numeric field `{key}`")))
+}
+
+fn field_array<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], StoreError> {
+    doc.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| StoreError::Format(format!("missing or non-array field `{key}`")))
+}
+
+fn parse_trans(tag: &str) -> Result<Trans, StoreError> {
+    match tag {
+        "N" => Ok(Trans::No),
+        "T" => Ok(Trans::Yes),
+        other => Err(StoreError::Format(format!("unknown trans tag `{other}`"))),
+    }
+}
+
+fn parse_uplo(tag: &str) -> Result<Uplo, StoreError> {
+    match tag {
+        "L" => Ok(Uplo::Lower),
+        "U" => Ok(Uplo::Upper),
+        other => Err(StoreError::Format(format!("unknown uplo tag `{other}`"))),
+    }
+}
+
+fn parse_side(tag: &str) -> Result<Side, StoreError> {
+    match tag {
+        "L" => Ok(Side::Left),
+        "R" => Ok(Side::Right),
+        other => Err(StoreError::Format(format!("unknown side tag `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> CalibrationStore {
+        let mut store = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        store.meta.block_fingerprint = "mc128-kc256-nc4096".into();
+        store.meta.timing_reps = 10;
+        store
+            .profiles
+            .push(SquareProfile::new("gemm", vec![100, 300], vec![0.3, 0.6]));
+        store
+            .profiles
+            .push(SquareProfile::new("syrk", vec![100, 300], vec![0.2, 0.5]));
+        store.calls.insert(
+            KernelOp::Gemm {
+                transa: Trans::Yes, // canonicalised to N on insert
+                transb: Trans::No,
+                m: 100,
+                n: 200,
+                k: 300,
+            },
+            1.0 / 3.0,
+        );
+        store.calls.insert(
+            KernelOp::Syrk {
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                n: 50,
+                k: 70,
+            },
+            2.5e-4,
+        );
+        store.calls.insert(
+            KernelOp::Symm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                m: 40,
+                n: 60,
+            },
+            1.125e-5,
+        );
+        store.calls.insert(
+            KernelOp::CopyTriangle {
+                uplo: Uplo::Lower,
+                n: 90,
+            },
+            7.0e-7,
+        );
+        store
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let store = sample_store();
+        let text = store.to_json();
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.meta, store.meta);
+        assert_eq!(back.machine, store.machine);
+        assert_eq!(back.profiles, store.profiles);
+        assert_eq!(back.calls.len(), store.calls.len());
+        let mut original = store.calls.clone();
+        let mut reloaded = back.calls.clone();
+        for (op, _) in store.calls.entries() {
+            let a = original.lookup(op).unwrap();
+            let b = reloaded.lookup(op).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "{op}");
+        }
+        // Serialisation is deterministic: same store, same bytes.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn gemm_lookup_is_transpose_invariant_after_reload() {
+        let store = sample_store();
+        let back = CalibrationStore::from_json(&store.to_json()).unwrap();
+        let mut calls = back.calls;
+        let transposed = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::Yes,
+            m: 100,
+            n: 200,
+            k: 300,
+        };
+        assert_eq!(calls.lookup(&transposed), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn wrong_format_version_and_garbage_are_rejected() {
+        assert!(matches!(
+            CalibrationStore::from_json("{ not json"),
+            Err(StoreError::Json(_))
+        ));
+        assert!(matches!(
+            CalibrationStore::from_json(r#"{"format": "something-else"}"#),
+            Err(StoreError::Format(_))
+        ));
+        let mut text = sample_store().to_json();
+        text = text.replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 999",
+        );
+        let err = CalibrationStore::from_json(&text).unwrap_err();
+        assert!(err.to_string().contains("unsupported store version 999"));
+    }
+
+    #[test]
+    fn merge_unions_calls_and_profiles_and_accumulates_meta() {
+        let mut base = sample_store();
+        base.meta.created_unix = 100;
+        base.meta.updated_unix = 200;
+        let mut sweep = CalibrationStore::new(
+            MachineModel::paper_xeon_silver_4210().with_peak(360.0e9),
+            "simulated",
+        );
+        sweep.meta.block_fingerprint = base.meta.block_fingerprint.clone();
+        sweep.meta.created_unix = 300;
+        sweep.meta.updated_unix = 400;
+        // Refines gemm at a shared size and extends the curve.
+        sweep
+            .profiles
+            .push(SquareProfile::new("gemm", vec![300, 500], vec![0.65, 0.8]));
+        sweep.calls.insert(
+            KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 100,
+                n: 200,
+                k: 300,
+            },
+            0.25, // fresher measurement of an existing key
+        );
+        sweep.calls.insert(
+            KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 999,
+                n: 1,
+                k: 1,
+            },
+            1e-6,
+        );
+        base.merge_from(&sweep).unwrap();
+        assert_eq!(base.meta.sweeps, 2);
+        assert_eq!(base.meta.created_unix, 100);
+        assert_eq!(base.meta.updated_unix, 400);
+        assert_eq!(base.machine.peak_flops, 360.0e9);
+        let gemm = base.profiles.iter().find(|p| p.kernel == "gemm").unwrap();
+        assert_eq!(gemm.sizes, vec![100, 300, 500]);
+        assert_eq!(gemm.efficiencies, vec![0.3, 0.65, 0.8]);
+        assert_eq!(base.calls.len(), sample_store().calls.len() + 1);
+        let mut calls = base.calls.clone();
+        assert_eq!(
+            calls.lookup(&KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 100,
+                n: 200,
+                k: 300,
+            }),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn merging_incompatible_stores_is_refused() {
+        let mut base = sample_store();
+        let other = CalibrationStore::new(MachineModel::generic_laptop(), "measured");
+        assert!(base.merge_from(&other).is_err());
+        let mut different_block = sample_store();
+        different_block.meta.block_fingerprint = "mc64-kc64-nc64".into();
+        assert!(base.merge_from(&different_block).is_err());
+    }
+
+    #[test]
+    fn staleness_flags_drift_age_and_block_changes() {
+        let store = sample_store();
+        let now = store.meta.updated_unix;
+        assert!(store
+            .staleness(&store.machine, &store.meta.block_fingerprint, now)
+            .is_empty());
+        let faster = store
+            .machine
+            .clone()
+            .with_peak(store.machine.peak_flops * 1.5);
+        let warnings = store.staleness(&faster, "other-config", now + 40 * 24 * 3600);
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, StalenessWarning::PeakDrift { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, StalenessWarning::BlockConfigChanged { .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, StalenessWarning::Aged { .. })));
+        for w in &warnings {
+            assert!(!w.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_the_filesystem() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join(format!("lamb-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("calibration.json");
+        store.save(&path).unwrap();
+        let back = CalibrationStore::load(&path).unwrap();
+        assert_eq!(back.to_json(), store.to_json());
+        assert!(CalibrationStore::load(&dir.join("missing.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coverage_counts_by_kernel() {
+        let cov = sample_store().coverage();
+        assert_eq!(cov.get("gemm"), Some(&1));
+        assert_eq!(cov.get("syrk"), Some(&1));
+        assert_eq!(cov.get("symm"), Some(&1));
+        assert_eq!(cov.get("copy"), Some(&1));
+    }
+}

@@ -5,19 +5,43 @@
 //! times the *same* kernel calls: equivalent algorithms of one instance share
 //! calls, neighbouring instances of a grid sweep share calls, and every
 //! selection consults the same profiles. [`PredictionCache`] memoizes those
-//! benchmarks keyed by the exact kernel-call signature — operation, operand
-//! dimensions and transposition flags, i.e. the whole
-//! [`KernelOp`](lamb_expr::KernelOp) value — behind a mutex, so one cache can
-//! be shared by all algorithms, instances and worker threads of a planner.
+//! benchmarks keyed by the kernel call's *timing key*
+//! ([`KernelOp::timing_key`](lamb_expr::KernelOp::timing_key) — operation and
+//! operand dimensions, with timing-irrelevant GEMM transposition flags
+//! cleared), so one cache can be shared by all algorithms, instances and
+//! worker threads of a planner.
+//!
+//! The table is **sharded**: entries are distributed over a fixed set of
+//! independently locked shards by the hash of their timing key, so the many
+//! worker threads of a batched planning run ([`crate::BatchPlanner`],
+//! [`crate::Planner::plan_grid`]) do not serialise on a single mutex. A cache
+//! can be **warm-started** from a persisted
+//! [`CalibrationStore`](lamb_perfmodel::CalibrationStore) via
+//! [`PredictionCache::preload`] and exported back with
+//! [`PredictionCache::snapshot`].
 
-use lamb_expr::Algorithm;
+use lamb_expr::{Algorithm, KernelOp};
 use lamb_perfmodel::{AlgorithmTiming, CallTimeTable, CallTiming, Executor, MachineModel};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
-/// A thread-safe memo table of isolated-call benchmark times.
-#[derive(Debug, Default)]
+/// Number of independently locked shards; a small power of two well above
+/// the worker counts rayon uses on typical machines.
+const SHARD_COUNT: usize = 16;
+
+/// A thread-safe, sharded memo table of isolated-call benchmark times.
+#[derive(Debug)]
 pub struct PredictionCache {
-    table: Mutex<CallTimeTable>,
+    shards: [Mutex<CallTimeTable>; SHARD_COUNT],
+}
+
+impl Default for PredictionCache {
+    fn default() -> Self {
+        PredictionCache {
+            shards: std::array::from_fn(|_| Mutex::new(CallTimeTable::new())),
+        }
+    }
 }
 
 impl PredictionCache {
@@ -27,28 +51,65 @@ impl PredictionCache {
         PredictionCache::default()
     }
 
+    /// A cache warm-started with every entry of `table` (typically the call
+    /// table of a loaded calibration store).
+    #[must_use]
+    pub fn from_table(table: &CallTimeTable) -> Self {
+        let cache = PredictionCache::new();
+        cache.preload(table);
+        cache
+    }
+
+    /// The shard responsible for `key` (which must already be a timing key).
+    fn shard(&self, key: &KernelOp) -> &Mutex<CallTimeTable> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Insert every entry of `table` (later entries win over earlier ones
+    /// with the same timing key). Hit/miss counters are unaffected.
+    pub fn preload(&self, table: &CallTimeTable) {
+        for (op, seconds) in table.entries() {
+            self.shard(op)
+                .lock()
+                .expect("cache poisoned")
+                .insert(op.clone(), seconds);
+        }
+    }
+
+    /// Export the merged contents of all shards as one [`CallTimeTable`]
+    /// (with fresh hit/miss counters), e.g. to persist newly benchmarked
+    /// calls into a calibration store.
+    #[must_use]
+    pub fn snapshot(&self) -> CallTimeTable {
+        let mut merged = CallTimeTable::new();
+        for shard in &self.shards {
+            merged.merge_from(&shard.lock().expect("cache poisoned"));
+        }
+        merged
+    }
+
     /// Time call `index` of `alg` in isolation, reusing the memoised result
-    /// when the same kernel-call signature has been benchmarked before.
+    /// when a call with the same timing key has been benchmarked before.
     ///
-    /// The lock is *not* held while the executor runs, so concurrent workers
-    /// never serialise on a slow benchmark; two threads may race to benchmark
-    /// the same call, in which case both results are identical for the
-    /// deterministic executors and the last write wins.
+    /// The shard lock is *not* held while the executor runs, so concurrent
+    /// workers never serialise on a slow benchmark; two threads may race to
+    /// benchmark the same call, in which case both results are identical for
+    /// the deterministic executors and the last write wins.
     pub fn cached_isolated_call(
         &self,
         executor: &mut dyn Executor,
         alg: &Algorithm,
         index: usize,
     ) -> f64 {
-        let op = &alg.calls[index].op;
-        if let Some(t) = self.table.lock().expect("cache poisoned").lookup(op) {
+        let key = alg.calls[index].op.timing_key();
+        let shard = self.shard(&key);
+        if let Some(t) = shard.lock().expect("cache poisoned").lookup(&key) {
             return t;
         }
         let t = executor.time_isolated_call(alg, index);
-        self.table
-            .lock()
-            .expect("cache poisoned")
-            .insert(op.clone(), t);
+        shard.lock().expect("cache poisoned").insert(key, t);
         t
     }
 
@@ -75,23 +136,29 @@ impl PredictionCache {
         }
     }
 
-    /// Number of distinct kernel-call signatures benchmarked so far.
+    /// Number of distinct timing keys benchmarked (or preloaded) so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.table.lock().expect("cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
     }
 
     /// Whether nothing has been benchmarked yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.table.lock().expect("cache poisoned").is_empty()
+        self.len() == 0
     }
 
-    /// `(hits, misses)` counters: how much benchmarking the memoisation
-    /// avoided.
+    /// `(hits, misses)` counters summed over the shards: how much
+    /// benchmarking the memoisation avoided.
     #[must_use]
     pub fn stats(&self) -> (usize, usize) {
-        self.table.lock().expect("cache poisoned").stats()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").stats())
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm))
     }
 }
 
@@ -169,6 +236,35 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, misses_first, "second pass must not re-benchmark");
         assert!(hits >= algs.iter().map(|a| a.calls.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn preload_makes_every_benchmark_a_hit_and_snapshot_round_trips() {
+        // Fill a cache by predicting, snapshot it, warm-start a second cache
+        // from the snapshot: the second cache never misses and produces
+        // bit-identical predictions.
+        let first = PredictionCache::new();
+        let mut exec = SimulatedExecutor::paper_like();
+        let algs = enumerate_aatb_algorithms(120, 340, 560);
+        let baseline: Vec<f64> = algs
+            .iter()
+            .map(|a| first.predict(&mut exec, a).seconds)
+            .collect();
+        let snapshot = first.snapshot();
+        assert_eq!(snapshot.len(), first.len());
+
+        let warmed = PredictionCache::from_table(&snapshot);
+        assert_eq!(warmed.len(), first.len());
+        let warm_predictions: Vec<f64> = algs
+            .iter()
+            .map(|a| warmed.predict(&mut exec, a).seconds)
+            .collect();
+        for (cold, warm) in baseline.iter().zip(&warm_predictions) {
+            assert_eq!(cold.to_bits(), warm.to_bits());
+        }
+        let (hits, misses) = warmed.stats();
+        assert_eq!(misses, 0, "a warm-started cache must not re-benchmark");
+        assert!(hits > 0);
     }
 
     #[test]

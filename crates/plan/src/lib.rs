@@ -40,19 +40,30 @@
 //!   [`AlgorithmScore`]s and the policy's chosen index;
 //!   [`Plan::execute`] / [`Plan::execute_with`] time every algorithm and
 //!   produce a [`PlanExecution`] carrying the [`Classification`] verdict.
-//! * [`PredictionCache`] / [`CachingExecutor`] — a memo table of
-//!   isolated-call benchmark times keyed by the exact kernel-call signature
-//!   (operation, dimensions, transposition), shared across algorithms,
-//!   instances and threads, so repeated profile benchmarks are paid once.
+//! * [`PredictionCache`] / [`CachingExecutor`] — a sharded memo table of
+//!   isolated-call benchmark times keyed by the call's timing key
+//!   (operation and dimensions, with timing-irrelevant GEMM transposition
+//!   flags cleared), shared across algorithms, instances and threads, so
+//!   repeated profile benchmarks are paid once. It warm-starts from a
+//!   persisted [`CalibrationStore`](lamb_perfmodel::CalibrationStore)
+//!   ([`Planner::with_store`]) and exports back to one
+//!   ([`Planner::snapshot_cache`]).
+//! * [`BatchPlanner`] / [`BatchRequest`] — the batch-serving front end:
+//!   parse a whole file of expression instances, fan them out across rayon
+//!   workers against the shared cache, and report aggregate [`BatchStats`]
+//!   (cache hit rate, predicted versus FLOP-optimal time, anomaly count).
+//!   "Calibrate once, plan many."
 //!
 //! [`Classification`]: lamb_select::Classification
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 mod plan;
 mod planner;
 
+pub use batch::{BatchOutcome, BatchParseError, BatchPlanner, BatchRequest, BatchStats};
 pub use cache::{CachingExecutor, PredictionCache};
 pub use plan::{AlgorithmScore, Plan, PlanError, PlanExecution};
 pub use planner::Planner;

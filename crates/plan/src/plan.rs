@@ -128,6 +128,43 @@ impl Plan {
         &self.scores[self.chosen]
     }
 
+    /// The score entry of the FLOP-minimal algorithm — what a pure FLOP
+    /// discriminant (Linnea, Armadillo, Julia) would select.
+    #[must_use]
+    pub fn flop_optimal_score(&self) -> &AlgorithmScore {
+        self.scores
+            .iter()
+            .min_by_key(|s| s.flops)
+            .expect("a plan has at least one algorithm")
+    }
+
+    /// The smallest predicted time over all algorithms, when predictions
+    /// were scored.
+    #[must_use]
+    pub fn best_predicted_seconds(&self) -> Option<f64> {
+        self.scores
+            .iter()
+            .filter_map(|s| s.predicted_seconds)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite predictions"))
+    }
+
+    /// The anomaly time-score threshold this plan was made under.
+    #[must_use]
+    pub fn anomaly_threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the FLOP-minimal algorithm is *predicted* to be more than the
+    /// plan's threshold slower than the predicted-fastest algorithm — the
+    /// paper's anomaly definition evaluated on predictions. `None` when the
+    /// plan was made without prediction scoring.
+    #[must_use]
+    pub fn predicted_anomaly(&self) -> Option<bool> {
+        let flop_optimal = self.flop_optimal_score().predicted_seconds?;
+        let best = self.best_predicted_seconds()?;
+        Some(flop_optimal > best * (1.0 + self.threshold))
+    }
+
     /// Execute every algorithm with a fresh executor from the planner's
     /// factory and judge the choice. See [`Plan::execute_with`].
     #[must_use]

@@ -4,7 +4,7 @@
 use crate::cache::{CachingExecutor, PredictionCache};
 use crate::plan::{AlgorithmScore, Plan, PlanError};
 use lamb_expr::{Algorithm, Expression, KernelOp, OperandId};
-use lamb_perfmodel::{Executor, SimulatedExecutor};
+use lamb_perfmodel::{CalibrationStore, CallTimeTable, Executor, SimulatedExecutor};
 use lamb_select::{AlgorithmMeasurement, InstanceEvaluation, MinFlops, SelectionPolicy, Strategy};
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -60,6 +60,41 @@ impl<'e> Planner<'e> {
     pub fn policy(mut self, policy: impl SelectionPolicy + 'static) -> Self {
         self.policy = Arc::new(policy);
         self
+    }
+
+    /// Use an already-shared policy (e.g. one driving a whole batch).
+    #[must_use]
+    pub fn shared_policy(mut self, policy: Arc<dyn SelectionPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Share `cache` with other planners (and with [`crate::BatchPlanner`]):
+    /// every planner wired to the same cache benchmarks each distinct kernel
+    /// call at most once between them.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<PredictionCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Warm-start the prediction cache from a persisted
+    /// [`CalibrationStore`]: every kernel call whose timing key the store
+    /// covers is a cache hit instead of a fresh benchmark. See the
+    /// `calibrate` CLI command and [`Planner::snapshot_cache`] for the other
+    /// half of the round trip.
+    #[must_use]
+    pub fn with_store(self, store: &CalibrationStore) -> Self {
+        self.cache.preload(&store.calls);
+        self
+    }
+
+    /// Export the prediction cache (preloaded entries plus everything
+    /// benchmarked since) as a [`CallTimeTable`], e.g. to merge back into a
+    /// calibration store.
+    #[must_use]
+    pub fn snapshot_cache(&self) -> CallTimeTable {
+        self.cache.snapshot()
     }
 
     /// Use the built-in policy named by `strategy` (back-compat constructor).
@@ -148,6 +183,24 @@ impl<'e> Planner<'e> {
     }
 
     /// Plan one instance with a fresh executor from the factory.
+    ///
+    /// ```
+    /// use lamb_expr::TreeExpression;
+    /// use lamb_plan::{MinPredictedTime, Planner};
+    ///
+    /// let expr = TreeExpression::parse("A*A^T*B").unwrap();
+    /// let planner = Planner::for_expression(&expr).policy(MinPredictedTime);
+    /// let plan = planner.plan(&[80, 514, 768]).unwrap();
+    ///
+    /// // Five mathematically equivalent algorithms, each scored by FLOPs and
+    /// // by predicted time from (cached) isolated-call benchmarks.
+    /// assert_eq!(plan.algorithms.len(), 5);
+    /// assert!(plan.scores.iter().all(|s| s.predicted_seconds.is_some()));
+    /// // On this paper instance the FLOP-cheapest algorithm is NOT the one
+    /// // the prediction-based policy picks: the anomaly the paper studies.
+    /// let min_flops = plan.scores.iter().map(|s| s.flops).min().unwrap();
+    /// assert_ne!(plan.chosen_score().flops, min_flops);
+    /// ```
     ///
     /// # Errors
     ///

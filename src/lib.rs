@@ -87,11 +87,13 @@ pub mod prelude {
     pub use lamb_kernels::{gemm, gemm_new, symm, symm_new, syrk, syrk_new, BlockConfig};
     pub use lamb_matrix::{Matrix, Side, Trans, Uplo};
     pub use lamb_perfmodel::{
-        AlgorithmTiming, AnalyticEfficiencyModel, Executor, MachineModel, MeasuredExecutor,
-        SimulatedExecutor, SimulatorConfig,
+        AlgorithmTiming, AnalyticEfficiencyModel, CalibrationStore, CallTimeTable, Executor,
+        MachineModel, MeasuredExecutor, SimulatedExecutor, SimulatorConfig, StalenessWarning,
+        StoreError,
     };
     pub use lamb_plan::{
-        AlgorithmScore, CachingExecutor, Plan, PlanError, PlanExecution, Planner, PredictionCache,
+        AlgorithmScore, BatchOutcome, BatchPlanner, BatchRequest, BatchStats, CachingExecutor,
+        Plan, PlanError, PlanExecution, Planner, PredictionCache,
     };
     pub use lamb_select::{
         evaluate_instance, evaluate_strategy, Classification, Hybrid, InstanceEvaluation, MinFlops,

@@ -1,0 +1,130 @@
+//! Facade-level tests of the persistence + batch-serving layer:
+//!
+//! * **round trip** — calibrate → save → load → `plan_batch` produces
+//!   bit-identical predictions to the in-memory path, with a 100% cache hit
+//!   rate (the PR's acceptance criterion);
+//! * **refinement** — an incremental sweep merged into a stored calibration
+//!   grows coverage without disturbing existing entries;
+//! * **equivalence** — the batch front end agrees with single-expression
+//!   `Planner::plan` calls on every instance.
+
+use lamb::prelude::*;
+
+/// A mixed workload: both paper expressions, Gram products, and a pruned
+/// longer chain, over a dimension palette with deliberate signature overlap.
+fn workload() -> Vec<BatchRequest> {
+    let mut lines = String::new();
+    let palette = [80usize, 160, 320, 514, 640, 768];
+    for (i, text) in ["A*B*C*D", "A*A^T*B", "A*B*B^T", "A^T*A*B", "A*B*C*D*E"]
+        .iter()
+        .enumerate()
+    {
+        let expr = TreeExpression::parse(text).unwrap();
+        for j in 0..24 {
+            let dims: Vec<String> = (0..expr.num_dims())
+                .map(|d| palette[(i + 2 * j + 3 * d) % palette.len()].to_string())
+                .collect();
+            lines.push_str(&format!("{text} {}\n", dims.join(" ")));
+        }
+    }
+    BatchRequest::parse_file(&lines).unwrap()
+}
+
+#[test]
+fn store_round_trip_reproduces_in_memory_predictions_bit_identically() {
+    let requests = workload();
+    assert!(requests.len() >= 100, "acceptance: >= 100 expressions");
+
+    // In-memory path: a cold batch planner benchmarks everything it needs.
+    let cold_planner = BatchPlanner::new().top_k(8);
+    let cold = cold_planner.plan_batch(&requests);
+    assert_eq!(cold.stats.failed, 0);
+    assert!(cold.stats.cache_misses > 0);
+
+    // Calibrate -> save: persist the cold run's calibration as JSON.
+    let mut store = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+    store.calls = cold_planner.snapshot_cache();
+    let json = store.to_json();
+
+    // Load -> plan_batch: a fresh planner, warm-started purely from the
+    // serialised text, must reproduce every prediction bit for bit and
+    // never benchmark.
+    let reloaded = CalibrationStore::from_json(&json).unwrap();
+    assert_eq!(reloaded.calls.len(), store.calls.len());
+    let warm_planner = BatchPlanner::new().top_k(8).with_store(&reloaded);
+    let warm = warm_planner.plan_batch(&requests);
+    assert_eq!(warm.stats.cache_misses, 0, "warm batch must not benchmark");
+    assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
+
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+        assert_eq!(c.chosen, w.chosen);
+        assert_eq!(c.algorithms.len(), w.algorithms.len());
+        for (cs, ws) in c.scores.iter().zip(&w.scores) {
+            assert_eq!(
+                cs.predicted_seconds.unwrap().to_bits(),
+                ws.predicted_seconds.unwrap().to_bits(),
+                "{}: prediction changed through the store round trip",
+                c.expression
+            );
+        }
+    }
+    // Aggregates agree too (they are derived from the same predictions).
+    assert_eq!(
+        cold.stats.predicted_anomalies,
+        warm.stats.predicted_anomalies
+    );
+    assert_eq!(
+        cold.stats.chosen_predicted_seconds.to_bits(),
+        warm.stats.chosen_predicted_seconds.to_bits()
+    );
+}
+
+#[test]
+fn incremental_sweeps_refine_a_store_without_disturbing_it() {
+    let requests = workload();
+    let (first_half, second_half) = requests.split_at(requests.len() / 2);
+
+    // Sweep 1 covers the first half of the workload.
+    let planner1 = BatchPlanner::new().top_k(8);
+    let _ = planner1.plan_batch(first_half);
+    let mut store = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+    store.calls = planner1.snapshot_cache();
+    let covered_before = store.calls.len();
+
+    // Sweep 2 covers the second half and merges in.
+    let planner2 = BatchPlanner::new().top_k(8);
+    let _ = planner2.plan_batch(second_half);
+    let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+    sweep.calls = planner2.snapshot_cache();
+    store.merge_from(&sweep).unwrap();
+    assert!(store.calls.len() >= covered_before);
+    assert_eq!(store.meta.sweeps, 2);
+
+    // The merged store serves the whole workload without benchmarking.
+    let warm = BatchPlanner::new().top_k(8).with_store(&store);
+    let outcome = warm.plan_batch(&requests);
+    assert_eq!(outcome.stats.cache_misses, 0);
+}
+
+#[test]
+fn batch_planning_agrees_with_single_expression_planning() {
+    let requests = workload();
+    let outcome = BatchPlanner::new().top_k(8).plan_batch(&requests);
+    for (req, result) in requests.iter().zip(&outcome.results).step_by(7) {
+        let batch_plan = result.as_ref().unwrap();
+        let solo_plan = Planner::for_expression(&req.expr)
+            .policy(MinPredictedTime)
+            .top_k(8)
+            .plan(&req.dims)
+            .unwrap();
+        assert_eq!(batch_plan.chosen, solo_plan.chosen, "{}", req.text);
+        for (b, s) in batch_plan.scores.iter().zip(&solo_plan.scores) {
+            assert_eq!(b.flops, s.flops);
+            assert_eq!(
+                b.predicted_seconds.unwrap().to_bits(),
+                s.predicted_seconds.unwrap().to_bits()
+            );
+        }
+    }
+}
