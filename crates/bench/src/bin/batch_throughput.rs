@@ -1,6 +1,7 @@
 //! Batch planning throughput: cold cache versus a warm calibration store.
 //!
 //! Generates a scenario-mixed workload of ≥100 parsed expression instances
+//! (chains, Gram products and the triangular TRMM/TRSM family)
 //! (the same generator that backs `lamb batch --demo`, with dimensions
 //! snapped to a palette so kernel-call signatures genuinely repeat across
 //! instances, as they do along the paper's Experiment-2 lines), then plans
@@ -35,7 +36,7 @@
 
 use lamb_bench::RunOptions;
 use lamb_experiments::csvout::{csv_from_rows, write_text};
-use lamb_experiments::{mixed_transpose_scenarios, scenario_batch_requests};
+use lamb_experiments::{all_scenarios, scenario_batch_requests};
 use lamb_kernels::BlockConfig;
 use lamb_perfmodel::{CalibrationStore, Executor, MachineModel, MeasuredExecutor};
 use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest};
@@ -176,7 +177,7 @@ fn main() {
     } else {
         &[64, 128, 256, 384, 512, 768]
     };
-    let scenarios = mixed_transpose_scenarios();
+    let scenarios = all_scenarios();
     let requests = snap_dims(
         scenario_batch_requests(&scenarios, per_scenario, opts.seed, palette[0], {
             *palette.last().expect("non-empty")

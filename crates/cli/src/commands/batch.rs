@@ -15,7 +15,7 @@
 //! ```
 
 use super::common::{self, parse_strategy};
-use lamb_experiments::mixed_transpose_scenarios;
+use lamb_experiments::all_scenarios;
 use lamb_perfmodel::store::now_unix;
 use lamb_perfmodel::CalibrationStore;
 use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest};
@@ -34,7 +34,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         BatchRequest::parse_file(&contents).map_err(|e| e.to_string())?
     } else if let Some(per_scenario) = opts.demo {
         lamb_experiments::scenario_batch_requests(
-            &mixed_transpose_scenarios(),
+            &all_scenarios(),
             per_scenario,
             opts.seed,
             60,

@@ -2,9 +2,10 @@
 //!
 //! Builds (or refines) a versioned on-disk [`CalibrationStore`]:
 //!
-//! * a **square sweep** measures the GEMM/SYRK/SYMM efficiency curves on
-//!   square operands (the paper's Figure 1) and seeds the isolated-call
-//!   table with those benchmarks;
+//! * a **square sweep** measures the GEMM/SYRK/SYMM/TRMM/TRSM efficiency
+//!   curves on square operands (the paper's Figure 1, extended with the
+//!   triangular kernels) and seeds the isolated-call table with those
+//!   benchmarks;
 //! * an optional **workload sweep** (`--exprs FILE`) benchmarks every
 //!   distinct kernel call the given batch of expression instances needs, so
 //!   a later `lamb batch` against the same workload starts 100% warm.
@@ -34,8 +35,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     store.meta.block_fingerprint = block_fingerprint.clone();
     store.meta.timing_reps = timing_reps;
 
-    // Square sweep: benchmark the three kernels on square operands, fill the
-    // call table, and derive the efficiency curves from the same times.
+    // Square sweep: benchmark every compute kernel on square operands, fill
+    // the call table, and derive the efficiency curves from the same times.
     let sizes = opts.figure1_sizes();
     println!(
         "calibrating ({executor_label}) on square sizes {}..={} ...",
@@ -43,7 +44,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         sizes.last().copied().unwrap_or(0)
     );
     let machine = executor.machine().clone();
-    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = ["gemm", "syrk", "symm"]
+    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = lamb_perfmodel::SQUARE_SWEEP_KERNELS
         .iter()
         .map(|name| ((*name).to_string(), Vec::new(), Vec::new()))
         .collect();
@@ -154,6 +155,13 @@ fn print_coverage(store: &CalibrationStore, opts: &CommonOptions, block_fingerpr
         store.calls.len(),
         per_kernel.join(", ")
     );
+    let missing = store.missing_kernels();
+    if !missing.is_empty() {
+        println!(
+            "  gaps   : no benchmarks yet for {} (run another sweep to cover them)",
+            missing.join(", ")
+        );
+    }
     println!(
         "  curves : {}",
         store
@@ -198,14 +206,18 @@ mod tests {
         run(&strs(&["--store", &store_arg, "--sizes", "300"])).unwrap();
         let first = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(first.meta.sweeps, 1);
-        assert_eq!(first.calls.len(), 9); // 3 kernels x 3 sizes
-        assert_eq!(first.profiles.len(), 3);
+        assert_eq!(first.calls.len(), 15); // 5 kernels x 3 sizes
+        assert_eq!(first.profiles.len(), 5);
+        assert!(
+            first.missing_kernels().is_empty(),
+            "sweep covers every kernel"
+        );
 
         // A second, larger sweep merges: coverage grows, sweeps accumulate.
         run(&strs(&["--store", &store_arg, "--sizes", "500"])).unwrap();
         let merged = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(merged.meta.sweeps, 2);
-        assert_eq!(merged.calls.len(), 15); // 3 kernels x 5 sizes
+        assert_eq!(merged.calls.len(), 25); // 5 kernels x 5 sizes
         assert_eq!(merged.profiles[0].sizes.len(), 5);
 
         // --no-merge replaces instead.
@@ -219,7 +231,7 @@ mod tests {
         .unwrap();
         let replaced = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(replaced.meta.sweeps, 1);
-        assert_eq!(replaced.calls.len(), 6);
+        assert_eq!(replaced.calls.len(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -227,7 +239,11 @@ mod tests {
     fn workload_calibration_covers_a_request_file() {
         let dir = temp_dir("workload");
         let exprs = dir.join("workload.txt");
-        std::fs::write(&exprs, "A*A^T*B 80 514 768\nA*B*C*D 100 20 300 20 500\n").unwrap();
+        std::fs::write(
+            &exprs,
+            "A*A^T*B 80 514 768\nA*B*C*D 100 20 300 20 500\nL[lower]*A*B 60 40 20\nL[lower]^-1*B 90 30\n",
+        )
+        .unwrap();
         let store_path = dir.join("store.json");
         run(&strs(&[
             "--store",
@@ -239,8 +255,12 @@ mod tests {
         ]))
         .unwrap();
         let store = CalibrationStore::load(&store_path).unwrap();
-        // Square sweep (3 calls) plus the workload's distinct calls.
-        assert!(store.calls.len() > 3);
+        // Square sweep (5 calls) plus the workload's distinct calls,
+        // including the triangular kernels the workload needs.
+        assert!(store.calls.len() > 5);
+        let coverage = store.coverage();
+        assert!(coverage.get("trmm").copied().unwrap_or(0) >= 2);
+        assert!(coverage.get("trsm").copied().unwrap_or(0) >= 2);
         // A warm batch against the same workload never benchmarks.
         let requests = BatchRequest::parse_file(&std::fs::read_to_string(&exprs).unwrap()).unwrap();
         let outcome = BatchPlanner::new().with_store(&store).plan_batch(&requests);

@@ -124,6 +124,26 @@ mod tests {
     }
 
     #[test]
+    fn triangular_structure_syntax_round_trips() {
+        // TRMM products, chained structure, and TRSM solves all plan and
+        // execute through the same path as the paper expressions.
+        assert!(run(&strs(&["--expr", "L[lower]*A*B", "--dims", "96,64,48"])).is_ok());
+        assert!(run(&strs(&[
+            "--strategy",
+            "predicted",
+            "--expr",
+            "L[lower]^-1*A*B",
+            "--dims",
+            "200,120,80"
+        ]))
+        .is_ok());
+        // Unrealisable structure fails with the enumerator's message, not a
+        // panic.
+        let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
+        assert!(err.contains("TRSM") || err.contains("triangular"), "{err}");
+    }
+
+    #[test]
     fn bad_expression_text_fails_cleanly() {
         let err = run(&strs(&["--expr", "A*(B", "--dims", "4,5,6"])).unwrap_err();
         assert!(err.contains("cannot parse"), "{err}");

@@ -2,7 +2,7 @@
 //!
 //! | Figure | Generator |
 //! |--------|-----------|
-//! | 1      | [`figure1_kernel_efficiency`] — GEMM/SYRK/SYMM efficiency vs square size |
+//! | 1      | [`figure1_kernel_efficiency`] — GEMM/SYRK/SYMM (+ TRMM/TRSM) efficiency vs square size |
 //! | 6, 9   | [`scatter_csv`] — time score vs FLOP score of the Experiment-1 anomalies |
 //! | 7, 10  | [`thickness_distribution_csv`] — region thicknesses per dimension |
 //! | 8, 11  | [`efficiency_along_line`] — per-algorithm and per-call efficiencies along a line |
@@ -13,8 +13,8 @@ use lamb_expr::Expression;
 use lamb_perfmodel::{measure_square_profiles, Executor, SquareProfile};
 use std::fmt::Write as _;
 
-/// Figure 1: efficiency of the three kernels on square operands of growing
-/// size.
+/// Figure 1: efficiency of the kernels on square operands of growing size
+/// (the paper's GEMM/SYRK/SYMM trio plus the TRMM/TRSM extensions).
 pub fn figure1_kernel_efficiency(
     executor: &mut dyn Executor,
     sizes: &[usize],
@@ -22,7 +22,7 @@ pub fn figure1_kernel_efficiency(
     measure_square_profiles(executor, sizes)
 }
 
-/// Merge the Figure-1 profiles into one CSV (`size,gemm,syrk,symm`).
+/// Merge the Figure-1 profiles into one CSV (`size,gemm,syrk,symm,trmm,trsm`).
 #[must_use]
 pub fn figure1_csv(profiles: &[SquareProfile]) -> String {
     let mut out = String::from("size");
@@ -200,7 +200,7 @@ mod tests {
         let mut exec = SimulatedExecutor::paper_like();
         let profiles = figure1_kernel_efficiency(&mut exec, &[100, 500, 1000]);
         let csv = figure1_csv(&profiles);
-        assert!(csv.starts_with("size,gemm,syrk,symm"));
+        assert!(csv.starts_with("size,gemm,syrk,symm,trmm,trsm"));
         assert_eq!(csv.lines().count(), 4);
     }
 

@@ -66,6 +66,36 @@ pub fn mixed_transpose_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The triangular scenario family: expressions whose operands carry
+/// `[lower]`/`[upper]` structure, unlocking the TRMM rewrite (`m²·n` FLOPs
+/// versus GEMM's `2·m²·n`) and the TRSM lowering of triangular inverses.
+/// Because the structured kernels' FLOP *rates* trail GEMM hardest at small
+/// orders, these scenarios are an abundant source of the paper-style
+/// anomalies where the FLOP-minimal (TRMM/TRSM-based) algorithm is not the
+/// fastest.
+#[must_use]
+pub fn triangular_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("trmm", "L[lower]*B"),
+        Scenario::new("tri_chain", "L[lower]*A*B"),
+        Scenario::new("tri_chain_upper", "U[upper]^T*A*B"),
+        Scenario::new("cholesky_gram", "L[lower]*L^T*B"),
+        Scenario::new("tri_pair", "L1[lower]*L2[lower]*B"),
+        Scenario::new("trsm", "L[lower]^-1*B"),
+        Scenario::new("tri_solve_chain", "L[lower]^-1*A*B"),
+    ]
+}
+
+/// Every standing scenario: the mixed-transpose set plus the triangular
+/// family — the workload behind `lamb batch --demo` and the throughput
+/// benches.
+#[must_use]
+pub fn all_scenarios() -> Vec<Scenario> {
+    let mut scenarios = mixed_transpose_scenarios();
+    scenarios.extend(triangular_scenarios());
+    scenarios
+}
+
 /// Deterministically sample a batch of expression instances from the
 /// scenarios: `per_scenario` instances each, dimensions drawn uniformly from
 /// `dim_min..=dim_max`. This is the workload generator behind the `lamb
@@ -286,6 +316,61 @@ mod tests {
         assert_eq!(aatb.algorithm_count(), 5);
         let gram2 = scenarios.iter().find(|s| s.name == "gram2").unwrap();
         assert!(gram2.algorithm_count() > 5);
+    }
+
+    #[test]
+    fn triangular_scenarios_parse_and_reach_the_triangular_kernels() {
+        let scenarios = triangular_scenarios();
+        assert!(scenarios.len() >= 5);
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // The plain triangular product offers exactly TRMM vs GEMM; the
+        // solve has exactly one realisation.
+        let trmm = scenarios.iter().find(|s| s.name == "trmm").unwrap();
+        assert_eq!(trmm.algorithm_count(), 2);
+        let trsm = scenarios.iter().find(|s| s.name == "trsm").unwrap();
+        assert_eq!(trsm.algorithm_count(), 1);
+        // Spot-check kernel reachability across the family.
+        for (name, kernel) in [("tri_chain", "trmm"), ("tri_solve_chain", "trsm")] {
+            let s = scenarios.iter().find(|s| s.name == name).unwrap();
+            let dims = vec![64; s.expression.num_dims()];
+            let algs = s.expression.algorithms(&dims).unwrap();
+            assert!(
+                algs.iter().any(|a| a.kernel_summary().contains(kernel)),
+                "{name} never reaches {kernel}"
+            );
+        }
+        // The combined set is the concatenation, with unique names.
+        let all = all_scenarios();
+        assert_eq!(
+            all.len(),
+            mixed_transpose_scenarios().len() + scenarios.len()
+        );
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn triangular_scenarios_show_predicted_anomalies_in_a_batch() {
+        // The batched analogue of the paper's abundance measurements, over
+        // the triangular family: at small-to-medium dimensions the TRMM/TRSM
+        // FLOP savings are frequently defeated by their lower FLOP rates.
+        let scenarios = triangular_scenarios();
+        let planner = BatchPlanner::new().top_k(8);
+        let rows = sweep_scenarios_batched(&scenarios, &planner, 20, 11, 40, 400);
+        assert_eq!(rows.len(), scenarios.len());
+        let total_anomalies: usize = rows.iter().map(|r| r.predicted_anomalies).sum();
+        assert!(
+            total_anomalies > 0,
+            "the triangular family should produce predicted anomalies"
+        );
+        for row in &rows {
+            assert_eq!(row.instances, 20, "{}", row.name);
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn base_operands(
             rows: d0,
             cols: d1,
             role: OperandRole::Input,
+            triangle: None,
             name: "A".into(),
         },
         OperandInfo {
@@ -45,6 +46,7 @@ fn base_operands(
             rows: d0,
             cols: d2,
             role: OperandRole::Input,
+            triangle: None,
             name: "B".into(),
         },
         OperandInfo {
@@ -52,6 +54,7 @@ fn base_operands(
             rows: m_rows,
             cols: m_cols,
             role: OperandRole::Intermediate,
+            triangle: None,
             name: "M".into(),
         },
         OperandInfo {
@@ -59,6 +62,7 @@ fn base_operands(
             rows: d0,
             cols: d2,
             role: OperandRole::Output,
+            triangle: None,
             name: "X".into(),
         },
     ]

@@ -2,6 +2,7 @@
 
 use crate::kernel_call::KernelCall;
 use crate::operand::OperandId;
+use lamb_matrix::Uplo;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -29,6 +30,13 @@ pub struct OperandInfo {
     pub role: OperandRole,
     /// Human-readable name (`"A"`, `"M1"`, ...).
     pub name: String,
+    /// The stored triangle when the operand is known triangular (elements
+    /// outside it are structurally zero); `None` for general dense operands.
+    /// Executors use this to materialise triangular inputs consistently
+    /// across every algorithm variant of an expression — a TRMM that reads
+    /// only the triangle and a GEMM that reads the whole matrix must see the
+    /// same mathematical operand.
+    pub triangle: Option<Uplo>,
 }
 
 impl OperandInfo {
@@ -159,6 +167,7 @@ mod tests {
                     rows: 2,
                     cols: 3,
                     role: OperandRole::Input,
+                    triangle: None,
                     name: "A".into(),
                 },
                 OperandInfo {
@@ -166,6 +175,7 @@ mod tests {
                     rows: 3,
                     cols: 4,
                     role: OperandRole::Input,
+                    triangle: None,
                     name: "B".into(),
                 },
                 OperandInfo {
@@ -173,6 +183,7 @@ mod tests {
                     rows: 4,
                     cols: 5,
                     role: OperandRole::Input,
+                    triangle: None,
                     name: "C".into(),
                 },
                 OperandInfo {
@@ -180,6 +191,7 @@ mod tests {
                     rows: 2,
                     cols: 4,
                     role: OperandRole::Intermediate,
+                    triangle: None,
                     name: "M1".into(),
                 },
                 OperandInfo {
@@ -187,6 +199,7 @@ mod tests {
                     rows: 2,
                     cols: 5,
                     role: OperandRole::Output,
+                    triangle: None,
                     name: "X".into(),
                 },
             ],

@@ -34,7 +34,7 @@
 //! ```
 
 use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
-use crate::expr::{Expr, Var};
+use crate::expr::{Expr, Factor};
 use crate::generator::GenerateError;
 use crate::kernel_call::{KernelCall, KernelOp};
 use crate::operand::OperandId;
@@ -66,8 +66,8 @@ impl Default for EnumerateOptions {
 }
 
 /// One factor of the partially evaluated product: an original (possibly
-/// transposed) leaf or an intermediate, covering the factor range
-/// `[start, end)` of the flattened expression.
+/// transposed, possibly inverse-marked) leaf or an intermediate, covering
+/// the factor range `[start, end)` of the flattened expression.
 #[derive(Debug, Clone)]
 struct Segment {
     id: OperandId,
@@ -80,6 +80,12 @@ struct Segment {
     /// Index of the distinct leaf (for Gram-pair detection).
     leaf: Option<usize>,
     storage: Storage,
+    /// The *stored* triangle when the segment is known triangular
+    /// (`trans` still applies on top of it for leaves).
+    tri: Option<Uplo>,
+    /// Whether the segment is inverse-marked (a triangular leaf used as
+    /// `L⁻¹`); intermediates are never inverse-marked.
+    inv: bool,
     /// First flattened-factor index covered by this segment.
     start: usize,
     /// One past the last flattened-factor index covered.
@@ -91,11 +97,19 @@ struct Segment {
 }
 
 impl Segment {
+    /// The triangle this segment's values effectively occupy (transposition
+    /// applied).
+    fn effective_tri(&self) -> Option<Uplo> {
+        self.tri.map(|u| u.under(self.trans))
+    }
+
     fn merge_operand(&self) -> MergeOperand {
         MergeOperand {
             leaf: self.leaf,
             trans: self.trans,
             storage: self.storage,
+            tri: self.effective_tri(),
+            inv: self.inv,
         }
     }
 }
@@ -145,23 +159,36 @@ pub fn enumerate_expr_algorithms_with(
     if factors.is_empty() {
         return Err(GenerateError::Empty);
     }
+    // An inverse only has a kernel realisation (TRSM) on triangular leaves.
+    if let Some(bad) = factors.iter().find(|f| f.inv && f.var.triangle.is_none()) {
+        return Err(GenerateError::InverseOfGeneral {
+            name: bad.var.name.clone(),
+        });
+    }
     let inputs = distinct_inputs(&factors)?;
 
     if factors.len() == 1 {
         // A single leaf: a call-free algorithm whose output is the operand
-        // itself. A single *transposed* leaf cannot be represented — no
-        // kernel performs a standalone transpose — so it is rejected rather
-        // than silently returning the untransposed operand.
-        let (v, t) = &factors[0];
-        if *t {
+        // itself. A single *inverted* leaf cannot be represented (a solve
+        // needs a right-hand side), and neither can a single *transposed*
+        // one (no kernel performs a standalone transpose) — each is rejected
+        // with its own diagnosis rather than silently returning the plain
+        // operand.
+        let f = &factors[0];
+        if f.inv {
+            return Err(GenerateError::BareInverse {
+                name: f.var.name.clone(),
+            });
+        }
+        if f.trans {
             return Err(GenerateError::BareTranspose {
-                name: v.name.clone(),
+                name: f.var.name.clone(),
             });
         }
         let mut operand = inputs[0].clone();
         operand.role = OperandRole::Output;
         return Ok(vec![Algorithm {
-            name: format!("Algorithm 1: {}", v.name),
+            name: format!("Algorithm 1: {}", f.var.name),
             operands: vec![operand],
             calls: Vec::new(),
         }]);
@@ -175,24 +202,31 @@ pub fn enumerate_expr_algorithms_with(
     let segments: Vec<Segment> = factors
         .iter()
         .enumerate()
-        .map(|(pos, (v, t))| {
-            let leaf = leaf_index[v.name.as_str()];
-            let (rows, cols) = if *t {
-                (v.cols, v.rows)
+        .map(|(pos, f)| {
+            let leaf = leaf_index[f.var.name.as_str()];
+            let (rows, cols) = if f.trans {
+                (f.var.cols, f.var.rows)
             } else {
-                (v.rows, v.cols)
+                (f.var.rows, f.var.cols)
             };
-            let text = format!("{}{}", v.name, if *t { "^T" } else { "" });
+            let text = format!(
+                "{}{}{}",
+                f.var.name,
+                if f.trans { "^T" } else { "" },
+                if f.inv { "^-1" } else { "" }
+            );
             Segment {
                 id: inputs[leaf].id,
                 rows,
                 cols,
-                trans: if *t { Trans::Yes } else { Trans::No },
+                trans: if f.trans { Trans::Yes } else { Trans::No },
                 leaf: Some(leaf),
                 storage: Storage::General,
+                tri: f.var.triangle,
+                inv: f.inv,
                 start: pos,
                 end: pos + 1,
-                name: v.name.clone(),
+                name: f.var.name.clone(),
                 text,
             }
         })
@@ -206,6 +240,16 @@ pub fn enumerate_expr_algorithms_with(
         out: Vec::new(),
     };
     recurse(&mut ctx, &segments, &[], &[], 0);
+    if ctx.out.is_empty() {
+        // Every merge order hit a variant-free merge. With the current
+        // vocabulary that means an inverse had no legal TRSM position in any
+        // order: it sat on the right of every split (`A * L^-1`), or its
+        // right-hand side was transposed or triangle-stored everywhere
+        // (`L^-1 * B^T`).
+        return Err(GenerateError::NoRealisation {
+            expression: expr.to_string(),
+        });
+    }
     let mut out = ctx.out;
     if let Some(k) = options.top_k {
         out.sort_by_key(Algorithm::flops); // stable: ties keep search order
@@ -225,12 +269,15 @@ pub fn enumerate_expr_algorithms_with(
 }
 
 /// Build the deduplicated input-operand table (one entry per distinct leaf
-/// name, in order of first appearance).
-fn distinct_inputs(factors: &[(Var, bool)]) -> Result<Vec<OperandInfo>, GenerateError> {
+/// name, in order of first appearance). Reuse must be consistent in both
+/// shape and declared triangular structure.
+fn distinct_inputs(factors: &[Factor]) -> Result<Vec<OperandInfo>, GenerateError> {
     let mut inputs: Vec<OperandInfo> = Vec::new();
-    for (v, _) in factors {
+    for f in factors {
+        let v = &f.var;
         if let Some(existing) = inputs.iter().find(|i| i.name == v.name) {
-            if (existing.rows, existing.cols) != (v.rows, v.cols) {
+            if (existing.rows, existing.cols) != (v.rows, v.cols) || existing.triangle != v.triangle
+            {
                 return Err(GenerateError::InconsistentOperand {
                     name: v.name.clone(),
                 });
@@ -241,6 +288,7 @@ fn distinct_inputs(factors: &[(Var, bool)]) -> Result<Vec<OperandInfo>, Generate
                 rows: v.rows,
                 cols: v.cols,
                 role: OperandRole::Input,
+                triangle: v.triangle,
                 name: v.name.clone(),
             });
         }
@@ -389,6 +437,28 @@ fn build_merge(
         output: out_id,
         label: product_label("syrk"),
     };
+    let trmm_call = || KernelCall {
+        op: KernelOp::Trmm {
+            uplo: left.tri.expect("TRMM requires a triangular left side"),
+            trans: left.trans,
+            m,
+            n,
+        },
+        inputs: vec![left.id, right.id],
+        output: out_id,
+        label: product_label("trmm"),
+    };
+    let trsm_call = || KernelCall {
+        op: KernelOp::Trsm {
+            uplo: left.tri.expect("TRSM requires a triangular left side"),
+            trans: left.trans,
+            m,
+            n,
+        },
+        inputs: vec![left.id, right.id],
+        output: out_id,
+        label: product_label("trsm"),
+    };
 
     let calls = match kind {
         MergeKind::Gemm => {
@@ -425,8 +495,21 @@ fn build_merge(
         ],
         MergeKind::CopyRightThenSymmLeft => vec![copy_call(right), symm_call(Side::Left)],
         MergeKind::CopyLeftThenSymmRight => vec![copy_call(left), symm_call(Side::Right)],
+        MergeKind::Trmm => vec![trmm_call()],
+        MergeKind::Trsm => vec![trsm_call()],
     };
 
+    // Triangularity is closed under same-triangle products and solves: the
+    // intermediate then carries the structure forward (e.g. chained TRMMs in
+    // `L1[lower]*L2[lower]*B`).
+    let result_tri = if kind.preserves_triangle() {
+        match (left.effective_tri(), right.effective_tri()) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    } else {
+        None
+    };
     let merged = Segment {
         id: out_id,
         rows: m,
@@ -434,6 +517,8 @@ fn build_merge(
         trans: Trans::No,
         leaf: None,
         storage: kind.result_storage(),
+        tri: result_tri,
+        inv: false,
         start: left.start,
         end: right.end,
         text: format!("({} {})", left.text, right.text),
@@ -444,6 +529,7 @@ fn build_merge(
         rows: m,
         cols: n,
         role: OperandRole::Intermediate,
+        triangle: result_tri,
         name: out_name.to_string(),
     };
     (calls, (merged, info))
@@ -451,9 +537,17 @@ fn build_merge(
 
 /// A memoized lower bound on the FLOPs still needed to merge `segments` into
 /// one result: the classic parenthesization DP over the current segment
-/// list, costing each product `2·m·n·k` except adjacent Gram leaf pairs,
-/// which may use the cheaper SYRK count `(n+1)·n·k`. Triangle copies cost 0
-/// FLOPs and SYMM ties GEMM, so no completion can beat this bound.
+/// list, costing each product `2·m·n·k` except
+///
+/// * adjacent Gram leaf pairs, which may use the cheaper SYRK count
+///   `(n+1)·n·k`, and
+/// * merges whose left span starts with a triangular or inverse-marked
+///   segment, which may reach the TRMM/TRSM count `m·n·k` (half of GEMM).
+///
+/// The triangular discount is applied whenever the *leftmost* segment of the
+/// left span is structured — a necessary condition for the merged left side
+/// to be structured — so the bound never overestimates; triangle copies cost
+/// 0 FLOPs and SYMM ties GEMM, so no completion can beat this bound.
 fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64 {
     let t = segments.len();
     if t <= 1 {
@@ -474,13 +568,16 @@ fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64
         .windows(2)
         .map(|w| crate::rewrite::is_gram_pair(&w[0].merge_operand(), &w[1].merge_operand()))
         .collect();
+    let structured: Vec<bool> = segments.iter().map(|s| s.tri.is_some() || s.inv).collect();
     let mut cost = vec![vec![0u64; t]; t];
     for len in 2..=t {
         for i in 0..=t - len {
             let j = i + len - 1;
             let mut best = u64::MAX;
             for s in i..j {
-                let merge = if len == 2 && gram[i] {
+                let merge = if structured[i] {
+                    d[i] * d[s + 1] * d[j + 1]
+                } else if len == 2 && gram[i] {
                     (d[i] + 1) * d[i] * d[i + 1]
                 } else {
                     2 * d[i] * d[s + 1] * d[j + 1]
@@ -694,6 +791,194 @@ mod tests {
     }
 
     #[test]
+    fn triangular_left_operand_enumerates_trmm_and_gemm() {
+        let l = Expr::tri_var("L", 10, Uplo::Lower);
+        let b = Expr::var("B", 10, 7);
+        let algs = enumerate_expr_algorithms(&l.mul(b)).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert_eq!(algs[0].kernel_summary(), "trmm");
+        assert_eq!(algs[1].kernel_summary(), "gemm");
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+        // TRMM performs exactly half the FLOPs of the GEMM variant.
+        assert_eq!(algs[0].flops() * 2, algs[1].flops());
+        // The triangular input is declared in the operand table.
+        let l_info = algs[0].inputs().find(|o| o.name == "L").unwrap();
+        assert_eq!(l_info.triangle, Some(Uplo::Lower));
+    }
+
+    #[test]
+    fn transposed_triangular_operand_keeps_its_stored_uplo_in_the_call() {
+        let l = Expr::tri_var("L", 8, Uplo::Lower);
+        let b = Expr::var("B", 8, 5);
+        let algs = enumerate_expr_algorithms(&l.t().mul(b)).unwrap();
+        let trmm = algs
+            .iter()
+            .find(|a| a.kernel_summary() == "trmm")
+            .expect("TRMM variant exists for L^T*B");
+        match trmm.calls[0].op {
+            KernelOp::Trmm { uplo, trans, m, n } => {
+                assert_eq!(uplo, Uplo::Lower, "the call records the stored triangle");
+                assert_eq!(trans, Trans::Yes);
+                assert_eq!((m, n), (8, 5));
+            }
+            ref other => panic!("expected TRMM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn triangular_chain_mixes_trmm_into_every_order() {
+        // L*A*B: two merge orders, each with a TRMM and a GEMM realisation of
+        // the structured product.
+        let l = Expr::tri_var("L", 12, Uplo::Lower);
+        let a = Expr::var("A", 12, 9);
+        let b = Expr::var("B", 9, 6);
+        let algs = enumerate_expr_algorithms(&l.mul(a).mul(b)).unwrap();
+        assert_eq!(algs.len(), 4);
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(summaries.iter().any(|s| s == "trmm,gemm"));
+        assert!(summaries.iter().any(|s| s == "gemm,trmm"));
+        assert!(summaries.iter().any(|s| s == "gemm,gemm"));
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+    }
+
+    #[test]
+    fn same_triangle_products_propagate_structure() {
+        // L1*L2*B with both lower triangular: the intermediate L1·L2 is
+        // itself lower triangular, so the final merge still offers TRMM —
+        // including the all-TRMM algorithm.
+        let l1 = Expr::tri_var("L1", 10, Uplo::Lower);
+        let l2 = Expr::tri_var("L2", 10, Uplo::Lower);
+        let b = Expr::var("B", 10, 4);
+        let algs = enumerate_expr_algorithms(&l1.mul(l2).mul(b)).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(
+            summaries.iter().any(|s| s == "trmm,trmm"),
+            "expected an all-TRMM algorithm, got {summaries:?}"
+        );
+        // The propagated TRMM reads the *intermediate* as its triangular
+        // operand: its first call is the square 10x10 product.
+        let propagated = algs
+            .iter()
+            .find(|a| a.kernel_summary() == "trmm,trmm")
+            .unwrap();
+        assert!(matches!(
+            propagated.calls[0].op,
+            KernelOp::Trmm { m: 10, n: 10, .. }
+        ));
+        let m1 = propagated.operand(propagated.calls[1].inputs[0]).unwrap();
+        assert_eq!(m1.name, "M1");
+        assert_eq!(m1.triangle, Some(Uplo::Lower));
+
+        // Opposite triangles (L·U) do not stay triangular: the merge order
+        // that forms the square L·U product first loses the structure, so
+        // its second step cannot be a TRMM reading the intermediate.
+        let u = Expr::tri_var("U", 10, Uplo::Upper);
+        let l1b = Expr::tri_var("L1", 10, Uplo::Lower);
+        let algs_lu = enumerate_expr_algorithms(&l1b.mul(u).mul(Expr::var("B", 10, 4))).unwrap();
+        for alg in &algs_lu {
+            if alg.kernel_summary() == "trmm,trmm" {
+                // Legal only as U*B first (n = 4), then L*(U B): both TRMMs
+                // read leaf operands, never the square L·U intermediate.
+                assert!(matches!(alg.calls[0].op, KernelOp::Trmm { n: 4, .. }));
+            }
+            let mixed = alg
+                .operands
+                .iter()
+                .find(|o| o.name == "M1" && o.rows == 10 && o.cols == 10);
+            if let Some(m1) = mixed {
+                assert_eq!(m1.triangle, None, "L·U must not be marked triangular");
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_inverse_lowers_to_trsm() {
+        let l = Expr::tri_var("L", 9, Uplo::Lower);
+        let b = Expr::var("B", 9, 5);
+        let algs = enumerate_expr_algorithms(&l.inv().mul(b)).unwrap();
+        assert_eq!(algs.len(), 1, "a solve has exactly one realisation");
+        assert_eq!(algs[0].kernel_summary(), "trsm");
+        match algs[0].calls[0].op {
+            KernelOp::Trsm { uplo, trans, m, n } => {
+                assert_eq!(uplo, Uplo::Lower);
+                assert_eq!(trans, Trans::No);
+                assert_eq!((m, n), (9, 5));
+            }
+            ref other => panic!("expected TRSM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn inverse_in_longer_products_enumerates_both_orders() {
+        // L^-1*A*B: solve-then-multiply or multiply-then-solve.
+        let l = Expr::tri_var("L", 10, Uplo::Lower);
+        let a = Expr::var("A", 10, 8);
+        let b = Expr::var("B", 8, 3);
+        let algs = enumerate_expr_algorithms(&l.inv().mul(a).mul(b)).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(summaries.iter().any(|s| s == "trsm,gemm"));
+        assert!(summaries.iter().any(|s| s == "gemm,trsm"));
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+    }
+
+    #[test]
+    fn unrealisable_inverses_are_rejected() {
+        // Inverse of a general operand has no kernel.
+        let a = Expr::var("A", 5, 5);
+        let b = Expr::var("B", 5, 3);
+        assert!(matches!(
+            enumerate_expr_algorithms(&a.clone().inv().mul(b.clone())),
+            Err(GenerateError::InverseOfGeneral { .. })
+        ));
+        // An inverse on the right of every split has no realisation.
+        let l = Expr::tri_var("L", 3, Uplo::Lower);
+        let c = Expr::var("C", 5, 3);
+        let err = enumerate_expr_algorithms(&c.mul(l.clone().inv())).unwrap_err();
+        assert!(matches!(err, GenerateError::NoRealisation { .. }));
+        assert!(err.to_string().contains("solve"));
+        // ...as does a solve whose right-hand side is transposed everywhere.
+        let bt = Expr::var("B", 5, 3);
+        assert!(matches!(
+            enumerate_expr_algorithms(&l.clone().inv().mul(bt.t())),
+            Err(GenerateError::NoRealisation { .. })
+        ));
+        // A bare inverse gets its own diagnosis (not the transpose message).
+        let bare = enumerate_expr_algorithms(&l.inv()).unwrap_err();
+        assert!(matches!(bare, GenerateError::BareInverse { .. }));
+        assert!(bare.to_string().contains("right-hand side"));
+    }
+
+    #[test]
+    fn cholesky_gram_product_stays_on_syrk() {
+        // L*L^T (the Cholesky reconstruction) enumerates through the Gram
+        // rule: SYRK-based first, GEMM second — not through TRMM.
+        let l = Expr::tri_var("L", 7, Uplo::Lower);
+        let algs = enumerate_expr_algorithms(&l.clone().mul(l.t())).unwrap();
+        assert_eq!(algs[0].kernel_summary(), "syrk,copy");
+        assert_eq!(algs[1].kernel_summary(), "gemm");
+    }
+
+    #[test]
+    fn top_k_pruning_agrees_with_full_enumeration_on_triangular_chains() {
+        let l = Expr::tri_var("L", 40, Uplo::Lower);
+        let a = Expr::var("A", 40, 12);
+        let b = Expr::var("B", 12, 30);
+        let expr = l.mul(a).mul(b);
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        let mut flops: Vec<u64> = full.iter().map(Algorithm::flops).collect();
+        flops.sort_unstable();
+        for k in [1, 2, 3] {
+            let opts = EnumerateOptions {
+                top_k: Some(k),
+                ..EnumerateOptions::default()
+            };
+            let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+            let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
+            assert_eq!(got, flops[..k].to_vec(), "k = {k}");
+        }
+    }
+
+    #[test]
     fn lower_bound_matches_the_chain_dp_on_plain_chains() {
         use crate::chain::optimal_chain_order;
         let dims = [30, 35, 15, 5, 10, 20, 25];
@@ -703,17 +988,19 @@ mod tests {
         let segments: Vec<Segment> = factors
             .iter()
             .enumerate()
-            .map(|(pos, (v, _))| Segment {
+            .map(|(pos, f)| Segment {
                 id: OperandId(pos),
-                rows: v.rows,
-                cols: v.cols,
+                rows: f.var.rows,
+                cols: f.var.cols,
                 trans: Trans::No,
                 leaf: Some(pos),
                 storage: Storage::General,
+                tri: None,
+                inv: false,
                 start: pos,
                 end: pos + 1,
-                text: v.name.clone(),
-                name: v.name.clone(),
+                text: f.var.name.clone(),
+                name: f.var.name.clone(),
             })
             .collect();
         let _ = inputs;

@@ -1,10 +1,11 @@
 //! A small symbolic expression AST for matrix products.
 //!
 //! This is the front end of the mini-LAMP pipeline: users (and the examples)
-//! write an expression tree such as `A * Aᵀ * B`, the
-//! [`generator`](crate::generator) recognises which algorithm family applies,
-//! and the enumerators produce the candidate algorithm set.
+//! write an expression tree such as `A * Aᵀ * B` or `L⁻¹ * B` with `L`
+//! triangular, the [`generator`](crate::generator) recognises which algorithm
+//! family applies, and the enumerators produce the candidate algorithm set.
 
+use lamb_matrix::{Trans, Uplo};
 use std::fmt;
 
 /// Errors produced by shape inference over expression trees.
@@ -17,6 +18,11 @@ pub enum ShapeError {
         /// Shape of the right factor.
         right: (usize, usize),
     },
+    /// An inverse was applied to a non-square sub-expression.
+    InverseNotSquare {
+        /// Shape of the inverted sub-expression.
+        shape: (usize, usize),
+    },
 }
 
 impl fmt::Display for ShapeError {
@@ -27,13 +33,19 @@ impl fmt::Display for ShapeError {
                 "cannot multiply a {}x{} matrix by a {}x{} matrix",
                 left.0, left.1, right.0, right.1
             ),
+            ShapeError::InverseNotSquare { shape } => write!(
+                f,
+                "cannot invert a non-square {}x{} matrix",
+                shape.0, shape.1
+            ),
         }
     }
 }
 
 impl std::error::Error for ShapeError {}
 
-/// A named symbolic matrix operand with a concrete shape.
+/// A named symbolic matrix operand with a concrete shape and (optionally)
+/// known triangular structure.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Var {
     /// Operand name, e.g. `"A"`.
@@ -42,6 +54,34 @@ pub struct Var {
     pub rows: usize,
     /// Number of columns.
     pub cols: usize,
+    /// The stored triangle when the operand is known triangular (the
+    /// opposite triangle is structurally zero); `None` for a general dense
+    /// operand. Triangular operands are necessarily square.
+    pub triangle: Option<Uplo>,
+}
+
+/// One factor of a flattened product: a leaf with its accumulated
+/// transposition and inversion flags (see [`Expr::factors`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Factor {
+    /// The leaf operand.
+    pub var: Var,
+    /// Whether the leaf is used transposed.
+    pub trans: bool,
+    /// Whether the leaf is used inverted (`L⁻¹`); only triangular leaves can
+    /// be lowered to kernels in this form (TRSM).
+    pub inv: bool,
+}
+
+impl Factor {
+    /// The triangle the factor effectively occupies after transposition
+    /// (`None` for general leaves). Inversion preserves triangularity, so
+    /// `L⁻¹` of a lower-triangular `L` is still effectively lower.
+    #[must_use]
+    pub fn effective_triangle(&self) -> Option<Uplo> {
+        let trans = if self.trans { Trans::Yes } else { Trans::No };
+        self.var.triangle.map(|u| u.under(trans))
+    }
 }
 
 /// A symbolic matrix expression.
@@ -51,6 +91,9 @@ pub enum Expr {
     Operand(Var),
     /// The transpose of a sub-expression.
     Transpose(Box<Expr>),
+    /// The inverse of a sub-expression (only realisable by kernels when it
+    /// lands on a triangular leaf, where it lowers to TRSM).
+    Inverse(Box<Expr>),
     /// The product of two sub-expressions.
     Mul(Box<Expr>, Box<Expr>),
 }
@@ -63,6 +106,18 @@ impl Expr {
             name: name.to_string(),
             rows,
             cols,
+            triangle: None,
+        })
+    }
+
+    /// Create a square, triangular leaf operand storing the `uplo` triangle.
+    #[must_use]
+    pub fn tri_var(name: &str, n: usize, uplo: Uplo) -> Expr {
+        Expr::Operand(Var {
+            name: name.to_string(),
+            rows: n,
+            cols: n,
+            triangle: Some(uplo),
         })
     }
 
@@ -70,6 +125,12 @@ impl Expr {
     #[must_use]
     pub fn t(self) -> Expr {
         Expr::Transpose(Box::new(self))
+    }
+
+    /// Invert this expression.
+    #[must_use]
+    pub fn inv(self) -> Expr {
+        Expr::Inverse(Box::new(self))
     }
 
     /// Multiply this expression by `rhs`.
@@ -105,6 +166,13 @@ impl Expr {
                 let (r, c) = inner.shape()?;
                 Ok((c, r))
             }
+            Expr::Inverse(inner) => {
+                let shape = inner.shape()?;
+                if shape.0 != shape.1 {
+                    return Err(ShapeError::InverseNotSquare { shape });
+                }
+                Ok(shape)
+            }
             Expr::Mul(l, r) => {
                 let ls = l.shape()?;
                 let rs = r.shape()?;
@@ -119,34 +187,38 @@ impl Expr {
         }
     }
 
-    /// Flatten the expression into an ordered list of product factors,
-    /// pushing transposes down to the leaves where possible
-    /// (`(X·Y)ᵀ = Yᵀ·Xᵀ`). Each factor is reported as `(Var, transposed)`.
-    ///
-    /// Returns `None` if a transpose is applied to something other than a
-    /// leaf or a product (cannot happen with the current AST) or if the tree
-    /// contains nested transposes that do not cancel; in practice this always
-    /// succeeds and the `Option` simply mirrors future extensibility.
+    /// Flatten the expression into an ordered list of product [`Factor`]s,
+    /// pushing transposes and inverses down to the leaves where possible:
+    /// `(X·Y)ᵀ = Yᵀ·Xᵀ` and `(X·Y)⁻¹ = Y⁻¹·X⁻¹` both reverse the factor
+    /// order, so the reversal happens exactly when the accumulated transpose
+    /// and inverse flags differ; nested applications cancel pairwise
+    /// (`(Xᵀ)ᵀ = X`, `(X⁻¹)⁻¹ = X`) and commute (`(X⁻¹)ᵀ = (Xᵀ)⁻¹`).
     #[must_use]
-    pub fn factors(&self) -> Vec<(Var, bool)> {
-        fn go(e: &Expr, transposed: bool, out: &mut Vec<(Var, bool)>) {
+    pub fn factors(&self) -> Vec<Factor> {
+        fn go(e: &Expr, trans: bool, inv: bool, out: &mut Vec<Factor>) {
             match e {
-                Expr::Operand(v) => out.push((v.clone(), transposed)),
-                Expr::Transpose(inner) => go(inner, !transposed, out),
+                Expr::Operand(v) => out.push(Factor {
+                    var: v.clone(),
+                    trans,
+                    inv,
+                }),
+                Expr::Transpose(inner) => go(inner, !trans, inv, out),
+                Expr::Inverse(inner) => go(inner, trans, !inv, out),
                 Expr::Mul(l, r) => {
-                    if transposed {
-                        // (L·R)^T = R^T · L^T
-                        go(r, true, out);
-                        go(l, true, out);
+                    if trans != inv {
+                        // (L·R)^T = R^T·L^T and (L·R)^-1 = R^-1·L^-1: one of
+                        // the two pending order reversals is outstanding.
+                        go(r, trans, inv, out);
+                        go(l, trans, inv, out);
                     } else {
-                        go(l, false, out);
-                        go(r, false, out);
+                        go(l, trans, inv, out);
+                        go(r, trans, inv, out);
                     }
                 }
             }
         }
         let mut out = Vec::new();
-        go(self, false, &mut out);
+        go(self, false, false, &mut out);
         out
     }
 }
@@ -156,6 +228,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Operand(v) => write!(f, "{}", v.name),
             Expr::Transpose(inner) => write!(f, "{inner}^T"),
+            Expr::Inverse(inner) => write!(f, "{inner}^-1"),
             Expr::Mul(l, r) => write!(f, "({l} {r})"),
         }
     }
@@ -205,8 +278,9 @@ mod tests {
             Expr::var("C", 4, 5),
         ]);
         let fs = p.factors();
-        let names: Vec<_> = fs.iter().map(|(v, t)| (v.name.as_str(), *t)).collect();
+        let names: Vec<_> = fs.iter().map(|f| (f.var.name.as_str(), f.trans)).collect();
         assert_eq!(names, vec![("A", false), ("B", false), ("C", false)]);
+        assert!(fs.iter().all(|f| !f.inv));
     }
 
     #[test]
@@ -216,7 +290,7 @@ mod tests {
         let b = Expr::var("B", 3, 4);
         let expr = a.mul(b).t();
         let fs = expr.factors();
-        let names: Vec<_> = fs.iter().map(|(v, t)| (v.name.as_str(), *t)).collect();
+        let names: Vec<_> = fs.iter().map(|f| (f.var.name.as_str(), f.trans)).collect();
         assert_eq!(names, vec![("B", true), ("A", true)]);
     }
 
@@ -226,7 +300,48 @@ mod tests {
         let expr = a.t().t();
         let fs = expr.factors();
         assert_eq!(fs.len(), 1);
-        assert!(!fs[0].1);
+        assert!(!fs[0].trans);
+    }
+
+    #[test]
+    fn factors_push_inverse_to_leaves() {
+        use lamb_matrix::Uplo;
+        // (L U)^-1 = U^-1 L^-1.
+        let l = Expr::tri_var("L", 4, Uplo::Lower);
+        let u = Expr::tri_var("U", 4, Uplo::Upper);
+        let fs = l.clone().mul(u.clone()).inv().factors();
+        let names: Vec<_> = fs.iter().map(|f| (f.var.name.as_str(), f.inv)).collect();
+        assert_eq!(names, vec![("U", true), ("L", true)]);
+        // ((L U)^T)^-1 = L^-T U^-T: both reversals cancel.
+        let fs2 = l.clone().mul(u).t().inv().factors();
+        let names2: Vec<_> = fs2
+            .iter()
+            .map(|f| (f.var.name.as_str(), f.trans, f.inv))
+            .collect();
+        assert_eq!(names2, vec![("L", true, true), ("U", true, true)]);
+        // Double inverse cancels.
+        let fs3 = l.inv().inv().factors();
+        assert!(!fs3[0].inv);
+    }
+
+    #[test]
+    fn effective_triangle_follows_transposition() {
+        use lamb_matrix::Uplo;
+        let fs = Expr::tri_var("L", 3, Uplo::Lower).t().factors();
+        assert_eq!(fs[0].effective_triangle(), Some(Uplo::Upper));
+        assert_eq!(fs[0].var.triangle, Some(Uplo::Lower));
+        let plain = Expr::var("A", 3, 3).factors();
+        assert_eq!(plain[0].effective_triangle(), None);
+    }
+
+    #[test]
+    fn inverse_shape_requires_square() {
+        use lamb_matrix::Uplo;
+        let l = Expr::tri_var("L", 5, Uplo::Lower);
+        assert_eq!(l.clone().inv().shape().unwrap(), (5, 5));
+        let a = Expr::var("A", 3, 4);
+        let err = a.inv().shape().unwrap_err();
+        assert!(err.to_string().contains("3x4"));
     }
 
     #[test]
@@ -234,5 +349,11 @@ mod tests {
         let a = Expr::var("A", 2, 3);
         let b = Expr::var("B", 3, 2);
         assert_eq!(a.clone().mul(b).t().to_string(), "(A B)^T");
+        assert_eq!(
+            Expr::tri_var("L", 2, lamb_matrix::Uplo::Lower)
+                .inv()
+                .to_string(),
+            "L^-1"
+        );
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::algorithm::Algorithm;
 use crate::enumerate::{enumerate_expr_algorithms_with, EnumerateOptions};
-use crate::expr::{Expr, ShapeError, Var};
+use crate::expr::{Expr, Factor, ShapeError};
 use std::fmt;
 
 /// Errors produced while generating algorithms from an expression tree.
@@ -38,6 +38,26 @@ pub enum GenerateError {
         /// The transposed operand's name.
         name: String,
     },
+    /// The expression is a single inverted operand; a solve has no
+    /// right-hand side to apply the inverse to.
+    BareInverse {
+        /// The inverted operand's name.
+        name: String,
+    },
+    /// An inverse was applied to an operand without declared triangular
+    /// structure; only triangular inverses lower to a kernel (TRSM).
+    InverseOfGeneral {
+        /// The inverted operand's name.
+        name: String,
+    },
+    /// No merge order of the expression reaches a complete kernel sequence:
+    /// an inverse has no legal TRSM position in any order (it sits on the
+    /// right of every split, as in `A * L^-1`, or its right-hand side is
+    /// always transposed, as in `L^-1 * B^T`).
+    NoRealisation {
+        /// Display form of the unrealisable expression.
+        expression: String,
+    },
 }
 
 impl fmt::Display for GenerateError {
@@ -56,6 +76,28 @@ impl fmt::Display for GenerateError {
                 write!(
                     f,
                     "`{name}^T` alone has no kernel realisation (no standalone transpose kernel)"
+                )
+            }
+            GenerateError::BareInverse { name } => {
+                write!(
+                    f,
+                    "`{name}^-1` alone has no kernel realisation (a triangular solve \
+                     needs a right-hand side to apply the inverse to)"
+                )
+            }
+            GenerateError::InverseOfGeneral { name } => {
+                write!(
+                    f,
+                    "`{name}^-1` has no kernel realisation: only triangular operands \
+                     (declared as `{name}[lower]` / `{name}[upper]`) can be inverted via TRSM"
+                )
+            }
+            GenerateError::NoRealisation { expression } => {
+                write!(
+                    f,
+                    "no kernel sequence realises `{expression}`: in every multiplication \
+                     order an inverse has no legal solve position (TRSM solves from the \
+                     left against an untransposed right-hand side)"
                 )
             }
         }
@@ -78,6 +120,9 @@ pub enum RecognisedPattern {
     Chain(usize),
     /// The paper's `A·Aᵀ·B` expression.
     Aatb,
+    /// A product involving triangular-structured (or inverse-marked
+    /// triangular) operands — the TRMM/TRSM extension family.
+    Triangular,
     /// Any other product of (possibly transposed, possibly repeated) leaves.
     GenericProduct,
 }
@@ -112,7 +157,9 @@ pub fn generate_algorithms_with(
 /// Classify the expression against the paper's studied shapes.
 fn classify(expr: &Expr) -> RecognisedPattern {
     let factors = expr.factors();
-    if factors.len() >= 2 && is_plain_chain(&factors) {
+    if factors.iter().any(|f| f.var.triangle.is_some() || f.inv) {
+        RecognisedPattern::Triangular
+    } else if factors.len() >= 2 && is_plain_chain(&factors) {
         RecognisedPattern::Chain(factors.len())
     } else if is_aatb(&factors) {
         RecognisedPattern::Aatb
@@ -122,11 +169,11 @@ fn classify(expr: &Expr) -> RecognisedPattern {
 }
 
 /// Whether every factor is a distinct untransposed operand.
-fn is_plain_chain(factors: &[(Var, bool)]) -> bool {
-    if factors.iter().any(|(_, t)| *t) {
+fn is_plain_chain(factors: &[Factor]) -> bool {
+    if factors.iter().any(|f| f.trans) {
         return false;
     }
-    let mut names: Vec<&str> = factors.iter().map(|(v, _)| v.name.as_str()).collect();
+    let mut names: Vec<&str> = factors.iter().map(|f| f.var.name.as_str()).collect();
     names.sort_unstable();
     let before = names.len();
     names.dedup();
@@ -134,14 +181,12 @@ fn is_plain_chain(factors: &[(Var, bool)]) -> bool {
 }
 
 /// Whether the factor list matches `A, Aᵀ, B`.
-fn is_aatb(factors: &[(Var, bool)]) -> bool {
+fn is_aatb(factors: &[Factor]) -> bool {
     if factors.len() != 3 {
         return false;
     }
-    let (a, ta) = &factors[0];
-    let (at, tat) = &factors[1];
-    let (b, tb) = &factors[2];
-    a.name == at.name && !ta && *tat && !tb && a.name != b.name
+    let (a, at, b) = (&factors[0], &factors[1], &factors[2]);
+    a.var.name == at.var.name && !a.trans && at.trans && !b.trans && a.var.name != b.var.name
 }
 
 #[cfg(test)]

@@ -46,6 +46,30 @@ pub enum KernelOp {
         /// Columns of the result.
         n: usize,
     },
+    /// `C := op(L)·B` with `L ∈ R^{m×m}` triangular (stored `uplo` triangle)
+    /// and `B ∈ R^{m×n}`.
+    Trmm {
+        /// Stored triangle of the triangular operand.
+        uplo: Uplo,
+        /// Transposition of the triangular operand.
+        trans: Trans,
+        /// Order of the triangular operand (= rows of the result).
+        m: usize,
+        /// Columns of the result.
+        n: usize,
+    },
+    /// `X := op(L)⁻¹·B` with `L ∈ R^{m×m}` triangular (stored `uplo`
+    /// triangle) and `B ∈ R^{m×n}`.
+    Trsm {
+        /// Stored triangle of the triangular operand.
+        uplo: Uplo,
+        /// Transposition of the triangular operand.
+        trans: Trans,
+        /// Order of the triangular operand (= rows of the result).
+        m: usize,
+        /// Columns of the result.
+        n: usize,
+    },
     /// Copy the `uplo` triangle of an `n×n` matrix into the other triangle,
     /// making it explicitly full (zero FLOPs, but it moves data and costs time).
     CopyTriangle {
@@ -70,6 +94,11 @@ impl KernelOp {
                 };
                 2 * sym_dim * sym_dim * other
             }
+            // The triangular kernels perform half the work of the equal-shape
+            // GEMM: m²·n for both the multiply and the solve.
+            KernelOp::Trmm { m, n, .. } | KernelOp::Trsm { m, n, .. } => {
+                (m as u64) * (m as u64) * (n as u64)
+            }
             KernelOp::CopyTriangle { .. } => 0,
         }
     }
@@ -80,7 +109,9 @@ impl KernelOp {
         match *self {
             KernelOp::Gemm { m, n, .. } => (m, n),
             KernelOp::Syrk { n, .. } => (n, n),
-            KernelOp::Symm { m, n, .. } => (m, n),
+            KernelOp::Symm { m, n, .. }
+            | KernelOp::Trmm { m, n, .. }
+            | KernelOp::Trsm { m, n, .. } => (m, n),
             KernelOp::CopyTriangle { n, .. } => (n, n),
         }
     }
@@ -92,18 +123,23 @@ impl KernelOp {
         match *self {
             KernelOp::Gemm { m, n, .. } => (m as u64) * (n as u64),
             KernelOp::Syrk { n, .. } => (n as u64) * (n as u64 + 1) / 2,
-            KernelOp::Symm { m, n, .. } => (m as u64) * (n as u64),
+            KernelOp::Symm { m, n, .. }
+            | KernelOp::Trmm { m, n, .. }
+            | KernelOp::Trsm { m, n, .. } => (m as u64) * (n as u64),
             KernelOp::CopyTriangle { n, .. } => (n as u64) * (n as u64 - 1) / 2,
         }
     }
 
-    /// Short BLAS-style mnemonic (`gemm`, `syrk`, `symm`, `copy`).
+    /// Short BLAS-style mnemonic (`gemm`, `syrk`, `symm`, `trmm`, `trsm`,
+    /// `copy`).
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
         match self {
             KernelOp::Gemm { .. } => "gemm",
             KernelOp::Syrk { .. } => "syrk",
             KernelOp::Symm { .. } => "symm",
+            KernelOp::Trmm { .. } => "trmm",
+            KernelOp::Trsm { .. } => "trsm",
             KernelOp::CopyTriangle { .. } => "copy",
         }
     }
@@ -126,6 +162,12 @@ impl KernelOp {
     /// SYRK/SYMM keep their flags: their `uplo`/`trans`/`side` choices change
     /// which triangle is touched and how memory is walked, and the timing
     /// layer makes no invariance claim for them.
+    ///
+    /// TRMM/TRSM canonicalise the `(uplo, trans)` pair to the *effective*
+    /// triangle with the transposition cleared: `op(L)` for a stored-lower
+    /// `L` with `trans = T` occupies the upper triangle, walks memory like a
+    /// stored-upper untransposed operand, and performs identical work — so
+    /// `(Lower, T)` and `(Upper, N)` share one benchmark entry.
     #[must_use]
     pub fn timing_key(&self) -> KernelOp {
         match *self {
@@ -135,6 +177,18 @@ impl KernelOp {
                 m,
                 n,
                 k,
+            },
+            KernelOp::Trmm { uplo, trans, m, n } => KernelOp::Trmm {
+                uplo: uplo.under(trans),
+                trans: Trans::No,
+                m,
+                n,
+            },
+            KernelOp::Trsm { uplo, trans, m, n } => KernelOp::Trsm {
+                uplo: uplo.under(trans),
+                trans: Trans::No,
+                m,
+                n,
             },
             ref other => other.clone(),
         }
@@ -164,6 +218,12 @@ impl fmt::Display for KernelOp {
             }
             KernelOp::Symm { side, uplo, m, n } => {
                 write!(f, "symm({}{} {}x{})", side.tag(), uplo.tag(), m, n)
+            }
+            KernelOp::Trmm { uplo, trans, m, n } => {
+                write!(f, "trmm({}{} {}x{})", uplo.tag(), trans.tag(), m, n)
+            }
+            KernelOp::Trsm { uplo, trans, m, n } => {
+                write!(f, "trsm({}{} {}x{})", uplo.tag(), trans.tag(), m, n)
             }
             KernelOp::CopyTriangle { uplo, n } => {
                 write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag())
@@ -321,6 +381,80 @@ mod tests {
             k: 6,
         };
         assert_eq!(syrk.timing_key(), syrk);
+    }
+
+    #[test]
+    fn triangular_ops_follow_the_half_gemm_model() {
+        let trmm = KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 10,
+            n: 7,
+        };
+        let trsm = KernelOp::Trsm {
+            uplo: Uplo::Upper,
+            trans: Trans::Yes,
+            m: 10,
+            n: 7,
+        };
+        assert_eq!(trmm.flops(), 10 * 10 * 7);
+        assert_eq!(trsm.flops(), trmm.flops());
+        assert_eq!(trmm.output_shape(), (10, 7));
+        assert_eq!(trmm.output_elements(), 70);
+        assert!(trmm.is_compute());
+        assert_eq!(trmm.mnemonic(), "trmm");
+        assert_eq!(trsm.mnemonic(), "trsm");
+        let gemm = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 10,
+            n: 7,
+            k: 10,
+        };
+        assert_eq!(trmm.flops() * 2, gemm.flops());
+    }
+
+    #[test]
+    fn triangular_timing_keys_canonicalise_to_the_effective_triangle() {
+        // (Lower, T) and (Upper, N) walk the same effective triangle.
+        let stored_lower_t = KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::Yes,
+            m: 64,
+            n: 32,
+        };
+        let stored_upper_n = KernelOp::Trmm {
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 64,
+            n: 32,
+        };
+        assert_eq!(stored_lower_t.timing_key(), stored_upper_n.timing_key());
+        // But opposite effective triangles stay distinct.
+        let stored_lower_n = KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 64,
+            n: 32,
+        };
+        assert_ne!(stored_lower_n.timing_key(), stored_upper_n.timing_key());
+        // Same canonicalisation for the solve, and the two ops never collide.
+        let trsm = KernelOp::Trsm {
+            uplo: Uplo::Lower,
+            trans: Trans::Yes,
+            m: 64,
+            n: 32,
+        };
+        assert_eq!(
+            trsm.timing_key(),
+            KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 64,
+                n: 32,
+            }
+        );
+        assert_ne!(trsm.timing_key(), stored_lower_t.timing_key());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! The heart of the crate is the **general enumerator**
 //! ([`enumerate`]): a recursive merge search over the flattened factor list
-//! of an [`Expr`](expr::Expr) tree composed with the rewrite rules of
+//! of an [`Expr`] tree composed with the rewrite rules of
 //! [`rewrite`] (transpose pushing, SYRK for Gram products `X·Xᵀ`, SYMM and
 //! triangle copies for symmetric intermediates). The two expressions studied
 //! in the ICPP'22 paper fall out as special cases:
@@ -59,6 +59,7 @@ pub use enumerate::{
     enumerate_expr_algorithms, enumerate_expr_algorithms_pruned, enumerate_expr_algorithms_with,
     EnumerateOptions,
 };
+pub use expr::{Expr, Factor, ShapeError, Var};
 pub use expression::Expression;
 pub use generator::{generate_algorithms, GenerateError, RecognisedPattern};
 pub use kernel_call::{KernelCall, KernelOp};

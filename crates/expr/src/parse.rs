@@ -1,13 +1,14 @@
-//! Text front end: parse expressions such as `"A*B*C*D"` or `"A*A^T*B"` into
-//! a dimension-parameterised [`Expression`] whose sizes are bound later (at
-//! the CLI, from a `--dims` tuple).
+//! Text front end: parse expressions such as `"A*B*C*D"`, `"A*A^T*B"` or
+//! `"L[lower]*B"` into a dimension-parameterised [`Expression`] whose sizes
+//! are bound later (at the CLI, from a `--dims` tuple).
 //!
 //! # Grammar
 //!
 //! ```text
 //! expr    := factor ( "*" factor )*
-//! factor  := primary ( "^T" | "'" )*
-//! primary := IDENT | "(" expr ")"
+//! factor  := primary ( "^T" | "'" | "^-1" )*
+//! primary := IDENT annot? | "(" expr ")"
+//! annot   := "[" ("lower" | "upper") "]"
 //! IDENT   := [A-Za-z][A-Za-z0-9_]*
 //! ```
 //!
@@ -15,13 +16,23 @@
 //! transposition; `(A*B)^T` is accepted and rewritten to `B^T*A^T` during
 //! enumeration. Reusing a name (as in `A*A^T*B`) reuses the operand.
 //!
+//! A structure annotation `[lower]`/`[upper]` declares the operand
+//! triangular (and therefore square); the annotation attaches to the *name*,
+//! so a later unannotated reuse (`L[lower]*L^T`) still refers to the
+//! triangular operand, while conflicting annotations are rejected.
+//! Triangular operands unlock the TRMM rewrite (`L[lower]*B`), and the
+//! postfix `^-1` — only valid on triangular operands — lowers to TRSM
+//! (`L[lower]^-1*B` solves `L·X = B`).
+//!
 //! # Dimension parameters
 //!
 //! The parser assigns dimension indices `d0, d1, ...` by walking the
-//! flattened factor list and unifying sizes that products and operand reuse
-//! force to be equal. For `"A*B*C*D"` this yields the paper's 5-tuple
-//! (`A ∈ d0×d1`, ..., `D ∈ d3×d4`); for `"A*A^T*B"` it yields the 3-tuple
-//! (`A ∈ d0×d1`, `B ∈ d0×d2`). [`TreeExpression::num_dims`] reports the
+//! flattened factor list and unifying sizes that products, operand reuse and
+//! squareness (from structure annotations) force to be equal. For
+//! `"A*B*C*D"` this yields the paper's 5-tuple (`A ∈ d0×d1`, ...,
+//! `D ∈ d3×d4`); for `"A*A^T*B"` it yields the 3-tuple (`A ∈ d0×d1`,
+//! `B ∈ d0×d2`); for `"L[lower]*B"` the square `L` leaves the 2-tuple
+//! (`L ∈ d0×d0`, `B ∈ d0×d1`). [`TreeExpression::num_dims`] reports the
 //! count; binding a tuple produces a concrete [`Expr`] for the enumerator.
 //!
 //! ```
@@ -32,6 +43,11 @@
 //! assert_eq!(aatb.num_dims(), 3);
 //! let algorithms = aatb.algorithms(&[80, 514, 768]).unwrap();
 //! assert_eq!(algorithms.len(), 5);
+//!
+//! let tri = TreeExpression::parse("L[lower]*A*B").unwrap();
+//! assert_eq!(tri.num_dims(), 3);
+//! let algorithms = tri.algorithms(&[120, 80, 60]).unwrap();
+//! assert!(algorithms.iter().any(|a| a.kernel_summary().contains("trmm")));
 //! ```
 
 use crate::algorithm::Algorithm;
@@ -39,6 +55,7 @@ use crate::enumerate::enumerate_expr_algorithms_pruned;
 use crate::expr::Expr;
 use crate::expression::Expression;
 use crate::generator::GenerateError;
+use lamb_matrix::Uplo;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -56,10 +73,21 @@ pub enum ParseError {
     },
     /// The input ended where a factor or `)` was expected.
     UnexpectedEnd,
-    /// A `^` not followed by `T`/`t` at `position`.
+    /// A `^` not followed by `T`/`t`/`-1` at `position`.
     BadTranspose {
         /// Byte offset into the input.
         position: usize,
+    },
+    /// A `[` not followed by `lower]` or `upper]` at `position`.
+    BadStructure {
+        /// Byte offset into the input.
+        position: usize,
+    },
+    /// The same operand name carries two different structure annotations
+    /// (e.g. `L[lower] * L[upper]`).
+    ConflictingStructure {
+        /// The offending operand name.
+        name: String,
     },
     /// An operand name is reused in a way that forces contradictory shapes
     /// (cannot happen with products alone; reserved for future operators).
@@ -78,7 +106,22 @@ impl fmt::Display for ParseError {
             }
             ParseError::UnexpectedEnd => write!(f, "unexpected end of expression"),
             ParseError::BadTranspose { position } => {
-                write!(f, "`^` must be followed by `T` (position {position})")
+                write!(
+                    f,
+                    "`^` must be followed by `T` or `-1` (position {position})"
+                )
+            }
+            ParseError::BadStructure { position } => {
+                write!(
+                    f,
+                    "`[` must be followed by `lower]` or `upper]` (position {position})"
+                )
+            }
+            ParseError::ConflictingStructure { name } => {
+                write!(
+                    f,
+                    "operand `{name}` carries conflicting structure annotations"
+                )
             }
             ParseError::InconsistentShapes { name } => {
                 write!(f, "operand `{name}` is used with contradictory shapes")
@@ -92,41 +135,53 @@ impl std::error::Error for ParseError {}
 /// A shape-less expression AST (shapes are bound later from a dims tuple).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ast {
-    Var(String),
+    Var(String, Option<Uplo>),
     Transpose(Box<Ast>),
+    Inverse(Box<Ast>),
     Mul(Box<Ast>, Box<Ast>),
 }
 
 impl Ast {
-    /// Flatten into `(name, transposed)` factors, pushing transposes to the
-    /// leaves with `(A·B)ᵀ = Bᵀ·Aᵀ` (mirroring [`Expr::factors`]).
+    /// Flatten into `(name, transposed)` factors, pushing transposes and
+    /// inverses to the leaves: both `(A·B)ᵀ = Bᵀ·Aᵀ` and
+    /// `(A·B)⁻¹ = B⁻¹·A⁻¹` reverse the factor order, so the order flips
+    /// exactly when the two accumulated flags differ (mirroring
+    /// [`Expr::factors`]). Inversion does not change a factor's logical
+    /// shape, so the flattened list drops the flag for dimension walking.
     fn factors(&self) -> Vec<(String, bool)> {
-        fn go(ast: &Ast, transposed: bool, out: &mut Vec<(String, bool)>) {
+        fn go(ast: &Ast, trans: bool, inv: bool, out: &mut Vec<(String, bool)>) {
             match ast {
-                Ast::Var(name) => out.push((name.clone(), transposed)),
-                Ast::Transpose(inner) => go(inner, !transposed, out),
+                Ast::Var(name, _) => out.push((name.clone(), trans)),
+                Ast::Transpose(inner) => go(inner, !trans, inv, out),
+                Ast::Inverse(inner) => go(inner, trans, !inv, out),
                 Ast::Mul(l, r) => {
-                    if transposed {
-                        go(r, true, out);
-                        go(l, true, out);
+                    if trans != inv {
+                        go(r, trans, inv, out);
+                        go(l, trans, inv, out);
                     } else {
-                        go(l, false, out);
-                        go(r, false, out);
+                        go(l, trans, inv, out);
+                        go(r, trans, inv, out);
                     }
                 }
             }
         }
         let mut out = Vec::new();
-        go(self, false, &mut out);
+        go(self, false, false, &mut out);
         out
     }
 
     fn display(&self) -> String {
         match self {
-            Ast::Var(name) => name.clone(),
+            Ast::Var(name, None) => name.clone(),
+            Ast::Var(name, Some(Uplo::Lower)) => format!("{name}[lower]"),
+            Ast::Var(name, Some(Uplo::Upper)) => format!("{name}[upper]"),
             Ast::Transpose(inner) => match inner.as_ref() {
                 Ast::Mul(..) => format!("({})^T", inner.display()),
                 _ => format!("{}^T", inner.display()),
+            },
+            Ast::Inverse(inner) => match inner.as_ref() {
+                Ast::Mul(..) => format!("({})^-1", inner.display()),
+                _ => format!("{}^-1", inner.display()),
             },
             Ast::Mul(l, r) => format!("{}*{}", l.display(), r.display()),
         }
@@ -144,6 +199,8 @@ pub struct TreeExpression {
     /// Per distinct operand name: `(name, row dim index, col dim index)` in
     /// stored (untransposed) orientation, in order of first appearance.
     var_dims: Vec<(String, usize, usize)>,
+    /// Structure annotations per operand name (triangular operands).
+    triangles: HashMap<String, Uplo>,
     num_dims: usize,
 }
 
@@ -210,6 +267,7 @@ impl TreeExpression {
     pub fn parse(text: &str) -> Result<Self, ParseError> {
         let ast = Parser::new(text).parse()?;
         let factors = ast.factors();
+        let triangles = collect_annotations(&ast)?;
 
         // Two symbols (stored rows, stored cols) per distinct name.
         let mut sym_of: HashMap<String, (usize, usize)> = HashMap::new();
@@ -224,6 +282,12 @@ impl TreeExpression {
             });
         }
         let mut parent: Vec<usize> = (0..next).collect();
+        // Triangular and inverted operands are square: their row and column
+        // sizes unify.
+        for name in triangles.keys().chain(collect_inverted_names(&ast).iter()) {
+            let (r, c) = sym_of[name];
+            union(&mut parent, r, c);
+        }
         let logical = |sym_of: &HashMap<String, (usize, usize)>, name: &str, t: bool| {
             let (r, c) = sym_of[name];
             if t {
@@ -268,6 +332,7 @@ impl TreeExpression {
             text: ast.display(),
             ast,
             var_dims,
+            triangles,
             num_dims,
         })
     }
@@ -291,17 +356,27 @@ impl TreeExpression {
             .iter()
             .map(|(name, r, c)| (name.as_str(), (dims[*r], dims[*c])))
             .collect();
-        fn build(ast: &Ast, shapes: &HashMap<&str, (usize, usize)>) -> Expr {
+        fn build(
+            ast: &Ast,
+            shapes: &HashMap<&str, (usize, usize)>,
+            triangles: &HashMap<String, Uplo>,
+        ) -> Expr {
             match ast {
-                Ast::Var(name) => {
+                Ast::Var(name, _) => {
                     let (r, c) = shapes[name.as_str()];
-                    Expr::var(name, r, c)
+                    // The annotation attaches to the name, so an unannotated
+                    // reuse still builds the triangular operand.
+                    match triangles.get(name) {
+                        Some(&uplo) => Expr::tri_var(name, r, uplo),
+                        None => Expr::var(name, r, c),
+                    }
                 }
-                Ast::Transpose(inner) => build(inner, shapes).t(),
-                Ast::Mul(l, r) => build(l, shapes).mul(build(r, shapes)),
+                Ast::Transpose(inner) => build(inner, shapes, triangles).t(),
+                Ast::Inverse(inner) => build(inner, shapes, triangles).inv(),
+                Ast::Mul(l, r) => build(l, shapes, triangles).mul(build(r, shapes, triangles)),
             }
         }
-        build(&self.ast, &shapes)
+        build(&self.ast, &shapes, &self.triangles)
     }
 
     /// The normalized expression text.
@@ -316,6 +391,59 @@ impl TreeExpression {
     pub fn operand_dims(&self) -> &[(String, usize, usize)] {
         &self.var_dims
     }
+
+    /// The declared triangle of `name`, if the expression annotates it.
+    #[must_use]
+    pub fn triangle_of(&self, name: &str) -> Option<Uplo> {
+        self.triangles.get(name).copied()
+    }
+}
+
+/// Names of operands that appear under an (uncancelled) inverse; inversion
+/// forces squareness during dimension unification.
+fn collect_inverted_names(ast: &Ast) -> Vec<String> {
+    fn go(ast: &Ast, inv: bool, out: &mut Vec<String>) {
+        match ast {
+            Ast::Var(name, _) => {
+                if inv && !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Ast::Transpose(inner) => go(inner, inv, out),
+            Ast::Inverse(inner) => go(inner, !inv, out),
+            Ast::Mul(l, r) => {
+                go(l, inv, out);
+                go(r, inv, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(ast, false, &mut out);
+    out
+}
+
+/// Collect the structure annotations of every `Var` occurrence, rejecting
+/// names annotated with two different triangles.
+fn collect_annotations(ast: &Ast) -> Result<HashMap<String, Uplo>, ParseError> {
+    fn go(ast: &Ast, out: &mut HashMap<String, Uplo>) -> Result<(), ParseError> {
+        match ast {
+            Ast::Var(_, None) => Ok(()),
+            Ast::Var(name, Some(uplo)) => match out.insert(name.clone(), *uplo) {
+                Some(prev) if prev != *uplo => {
+                    Err(ParseError::ConflictingStructure { name: name.clone() })
+                }
+                _ => Ok(()),
+            },
+            Ast::Transpose(inner) | Ast::Inverse(inner) => go(inner, out),
+            Ast::Mul(l, r) => {
+                go(l, out)?;
+                go(r, out)
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    go(ast, &mut out)?;
+    Ok(out)
 }
 
 impl fmt::Display for TreeExpression {
@@ -409,6 +537,16 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             ast = Ast::Transpose(Box::new(ast));
                         }
+                        Some((_, '-')) => {
+                            self.pos += 1;
+                            match self.peek() {
+                                Some((_, '1')) => {
+                                    self.pos += 1;
+                                    ast = Ast::Inverse(Box::new(ast));
+                                }
+                                _ => return Err(ParseError::BadTranspose { position }),
+                            }
+                        }
                         _ => return Err(ParseError::BadTranspose { position }),
                     }
                 }
@@ -443,9 +581,37 @@ impl<'a> Parser<'a> {
                     .get(end)
                     .map_or(self.text.len(), |(offset, _)| *offset);
                 self.pos = end;
-                Ok(Ast::Var(self.text[start..stop].to_string()))
+                let name = self.text[start..stop].to_string();
+                let uplo = self.structure_annotation()?;
+                Ok(Ast::Var(name, uplo))
             }
             Some((position, found)) => Err(ParseError::UnexpectedChar { position, found }),
+        }
+    }
+
+    /// Parse an optional `[lower]` / `[upper]` structure annotation.
+    fn structure_annotation(&mut self) -> Result<Option<Uplo>, ParseError> {
+        let Some((position, '[')) = self.peek() else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let mut word = String::new();
+        while let Some((_, c)) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c.to_ascii_lowercase());
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        match self.peek() {
+            Some((_, ']')) => self.pos += 1,
+            _ => return Err(ParseError::BadStructure { position }),
+        }
+        match word.as_str() {
+            "lower" => Ok(Some(Uplo::Lower)),
+            "upper" => Ok(Some(Uplo::Upper)),
+            _ => Err(ParseError::BadStructure { position }),
         }
     }
 }
@@ -560,6 +726,71 @@ mod tests {
             found: '?',
         };
         assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn structure_annotations_parse_and_square_the_operand() {
+        let e = TreeExpression::parse("L[lower]*B").unwrap();
+        assert_eq!(e.name(), "L[lower]*B");
+        assert_eq!(e.num_dims(), 2, "L is square, so only (d0, d1) remain");
+        assert_eq!(e.triangle_of("L"), Some(lamb_matrix::Uplo::Lower));
+        assert_eq!(e.triangle_of("B"), None);
+        let algs = e.algorithms(&[50, 20]).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert!(algs.iter().any(|a| a.kernel_summary() == "trmm"));
+        // Upper annotation and case-insensitivity.
+        let u = TreeExpression::parse("U[UPPER]*B").unwrap();
+        assert_eq!(u.triangle_of("U"), Some(lamb_matrix::Uplo::Upper));
+        assert_eq!(u.name(), "U[upper]*B");
+    }
+
+    #[test]
+    fn annotations_attach_to_the_name_across_reuses() {
+        // The unannotated second occurrence still refers to the triangular
+        // operand; L*L^T is the Cholesky-style Gram product.
+        let e = TreeExpression::parse("L[lower]*L^T").unwrap();
+        assert_eq!(e.num_dims(), 1);
+        let algs = e.algorithms(&[30]).unwrap();
+        assert_eq!(algs[0].kernel_summary(), "syrk,copy");
+    }
+
+    #[test]
+    fn inverse_parses_and_lowers_to_trsm() {
+        let e = TreeExpression::parse("L[lower]^-1 * B").unwrap();
+        assert_eq!(e.name(), "L[lower]^-1*B");
+        assert_eq!(e.num_dims(), 2);
+        let algs = e.algorithms(&[40, 10]).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].kernel_summary(), "trsm");
+        // A transposed solve: (L^T)^-1.
+        let t = TreeExpression::parse("L[lower]^T^-1*B").unwrap();
+        let algs_t = t.algorithms(&[40, 10]).unwrap();
+        assert_eq!(algs_t[0].kernel_summary(), "trsm");
+    }
+
+    #[test]
+    fn triangular_parse_errors_are_informative() {
+        assert!(matches!(
+            TreeExpression::parse("L[diag]*B"),
+            Err(ParseError::BadStructure { .. })
+        ));
+        assert!(matches!(
+            TreeExpression::parse("L[lower*B"),
+            Err(ParseError::BadStructure { .. })
+        ));
+        assert!(matches!(
+            TreeExpression::parse("L[lower]*L[upper]"),
+            Err(ParseError::ConflictingStructure { .. })
+        ));
+        assert!(matches!(
+            TreeExpression::parse("A^-2"),
+            Err(ParseError::BadTranspose { .. })
+        ));
+        let err = ParseError::ConflictingStructure { name: "L".into() };
+        assert!(err.to_string().contains("conflicting"));
+        // An inverse of an unannotated operand parses but cannot enumerate.
+        let e = TreeExpression::parse("A^-1*B").unwrap();
+        assert!(e.algorithms(&[5, 3]).is_err());
     }
 
     #[test]

@@ -22,11 +22,25 @@
 //!   be completed into a full matrix by a triangle copy first and then fed to
 //!   GEMM. These derive algorithm 1 (SYMM) versus 2 (copy + GEMM).
 //!
+//! * **Triangular products**: a side whose values are known triangular (a
+//!   triangular leaf, possibly transposed — transposition flips the
+//!   triangle — or a product of same-triangle factors) can multiply through
+//!   TRMM, reading only its triangle and performing `m²·n` FLOPs instead of
+//!   GEMM's `2·m²·n`. Cholesky-style Gram products `L·Lᵀ` stay on the SYRK
+//!   rewrite: the Gram rule fires first and the SYRK/GEMM pair already
+//!   captures the paper's algorithm set for them.
+//! * **Triangular inverses**: an inverse-marked triangular side `L⁻¹·B`
+//!   lowers to TRSM — the only realisation, since no kernel materialises an
+//!   explicit inverse. An inverse on the *right* of a merge (`B·L⁻¹`) has no
+//!   kernel in this vocabulary, so that merge contributes no variants and
+//!   the enumerator abandons the order.
+//!
 //! The variant *order* within each merge follows the paper's presentation
-//! (SYRK before GEMM, SYMM before copy+GEMM), which is how the engine
-//! reproduces the paper's algorithm numbering for `A·Aᵀ·B`.
+//! (SYRK before GEMM, SYMM before copy+GEMM, and analogously the structured
+//! TRMM before GEMM), which is how the engine reproduces the paper's
+//! algorithm numbering for `A·Aᵀ·B`.
 
-use lamb_matrix::Trans;
+use lamb_matrix::{Trans, Uplo};
 
 /// How the values of a sub-result are stored, as tracked by the enumerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +74,15 @@ pub struct MergeOperand {
     pub trans: Trans,
     /// How the side's values are stored.
     pub storage: Storage,
+    /// The triangle the side's values *effectively* occupy (transposition
+    /// already applied), when the side is known triangular. Triangular sides
+    /// are stored fully with explicit zeros, so `storage` stays
+    /// [`Storage::General`].
+    pub tri: Option<Uplo>,
+    /// Whether the side is inverse-marked (`L⁻¹`); only meaningful together
+    /// with `tri` (an inverse of a general operand has no kernel realisation
+    /// and is rejected before merging starts).
+    pub inv: bool,
 }
 
 impl MergeOperand {
@@ -70,6 +93,21 @@ impl MergeOperand {
             leaf: Some(index),
             trans,
             storage: Storage::General,
+            tri: None,
+            inv: false,
+        }
+    }
+
+    /// The view of a triangular leaf factor; `tri` is the triangle the
+    /// factor effectively occupies after `trans`.
+    #[must_use]
+    pub fn tri_leaf(index: usize, trans: Trans, tri: Uplo, inv: bool) -> Self {
+        MergeOperand {
+            leaf: Some(index),
+            trans,
+            storage: Storage::General,
+            tri: Some(tri),
+            inv,
         }
     }
 
@@ -80,6 +118,21 @@ impl MergeOperand {
             leaf: None,
             trans: Trans::No,
             storage,
+            tri: None,
+            inv: false,
+        }
+    }
+
+    /// The view of a triangular intermediate (e.g. a product of two
+    /// same-triangle factors).
+    #[must_use]
+    pub fn tri_intermediate(tri: Uplo) -> Self {
+        MergeOperand {
+            leaf: None,
+            trans: Trans::No,
+            storage: Storage::General,
+            tri: Some(tri),
+            inv: false,
         }
     }
 }
@@ -114,6 +167,12 @@ pub enum MergeKind {
     /// Triangle-copy the left operand, then SYMM on the (triangle-stored)
     /// right operand.
     CopyLeftThenSymmRight,
+    /// The left operand is triangular: multiply through TRMM, reading only
+    /// its effective triangle (`m²·n` FLOPs versus GEMM's `2·m²·n`).
+    Trmm,
+    /// The left operand is an inverse-marked triangular: solve through TRSM
+    /// (`m²·n` FLOPs). The only realisation of a triangular inverse.
+    Trsm,
 }
 
 impl MergeKind {
@@ -126,12 +185,28 @@ impl MergeKind {
             _ => Storage::General,
         }
     }
+
+    /// Whether the result of this merge variant stays triangular when both
+    /// sides effectively occupy the triangle `uplo` (the product of two
+    /// same-triangle matrices — and the solve `L⁻¹·B` against a same-triangle
+    /// `B` — is again triangular, with *exact* zeros in the opposite
+    /// triangle even through GEMM, which only ever sums explicit zeros
+    /// there).
+    #[must_use]
+    pub fn preserves_triangle(self) -> bool {
+        matches!(self, MergeKind::Trmm | MergeKind::Trsm | MergeKind::Gemm)
+    }
 }
 
 /// Whether two merge operands form a Gram product `X·Xᵀ` (or `Xᵀ·X`): the
-/// same leaf on both sides with opposite transposition.
+/// same leaf on both sides with opposite transposition and neither side
+/// inverse-marked (`L⁻¹·L⁻ᵀ` is an inverse Gram product, which the kernel
+/// vocabulary cannot realise as a single SYRK).
 #[must_use]
 pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
+    if left.inv || right.inv {
+        return false;
+    }
     match (left.leaf, right.leaf) {
         (Some(l), Some(r)) => l == r && left.trans != right.trans,
         _ => false,
@@ -144,7 +219,12 @@ pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
 /// `is_final` marks the merge that produces the expression's result, which
 /// must be stored in full (a SYRK-produced triangle is completed by a copy).
 /// With `rewrites` disabled every merge lowers to plain GEMM (triangle-stored
-/// operands cannot occur in that mode because nothing produces them).
+/// operands cannot occur in that mode because nothing produces them) — except
+/// inverse-marked sides, whose TRSM lowering is a *realisation*, not an
+/// optimisation, and therefore survives the ablation.
+///
+/// An inverse-marked *right* side yields no variants: `B·L⁻¹` has no kernel
+/// in this vocabulary, and the enumerator abandons such merge orders.
 #[must_use]
 pub fn merge_variants(
     left: &MergeOperand,
@@ -152,10 +232,25 @@ pub fn merge_variants(
     is_final: bool,
     rewrites: bool,
 ) -> Vec<MergeKind> {
+    // TRSM/TRMM read their rectangular operand as stored: a transposed or
+    // triangle-stored right side rules the structured lowering out.
+    let right_plain = right.trans == Trans::No && right.storage != Storage::SymmetricTriangle;
+    if right.inv {
+        return Vec::new();
+    }
+    if left.inv {
+        return if right_plain {
+            vec![MergeKind::Trsm]
+        } else {
+            Vec::new()
+        };
+    }
     if !rewrites {
         return vec![MergeKind::Gemm];
     }
     if is_gram_pair(left, right) {
+        // Cholesky-style Gram products of a triangular leaf (L·Lᵀ) stay on
+        // the SYRK rewrite, exactly like their dense counterparts.
         return if is_final {
             vec![MergeKind::SyrkThenCopy, MergeKind::Gemm]
         } else {
@@ -168,7 +263,7 @@ pub fn merge_variants(
     // to the GEMM-based variants (GEMM does carry transposition flags).
     let left_symm_partner = left.trans == Trans::No;
     let right_symm_partner = right.trans == Trans::No;
-    match (left.storage, right.storage) {
+    let mut variants = match (left.storage, right.storage) {
         (SymmetricTriangle, SymmetricTriangle) => vec![
             MergeKind::CopyRightThenSymmLeft,
             MergeKind::CopyLeftThenSymmRight,
@@ -216,7 +311,13 @@ pub fn merge_variants(
             }
         }
         (General, General) => vec![MergeKind::Gemm],
+    };
+    if left.tri.is_some() && right_plain {
+        // A triangular left side multiplies through TRMM, reading only its
+        // effective triangle — the structured variant leads, like SYRK/SYMM.
+        variants.insert(0, MergeKind::Trmm);
     }
+    variants
 }
 
 #[cfg(test)]
@@ -314,6 +415,82 @@ mod tests {
         let a = MergeOperand::leaf(0, Trans::No);
         let at = MergeOperand::leaf(0, Trans::Yes);
         assert_eq!(merge_variants(&a, &at, false, false), vec![MergeKind::Gemm]);
+    }
+
+    #[test]
+    fn triangular_left_side_offers_trmm_before_gemm() {
+        let l = MergeOperand::tri_leaf(0, Trans::No, Uplo::Lower, false);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&l, &b, true, true),
+            vec![MergeKind::Trmm, MergeKind::Gemm]
+        );
+        // A transposed triangular leaf still multiplies through TRMM (the
+        // kernel carries the transposition flag)...
+        let lt = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, false);
+        assert_eq!(
+            merge_variants(&lt, &b, false, true),
+            vec![MergeKind::Trmm, MergeKind::Gemm]
+        );
+        // ...but a transposed *right* side rules TRMM out (no transb flag),
+        // and a triangular right side has no right-side TRMM kernel.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert_eq!(merge_variants(&l, &bt, true, true), vec![MergeKind::Gemm]);
+        assert_eq!(merge_variants(&b, &l, true, true), vec![MergeKind::Gemm]);
+        // The triangular intermediate (a product of same-triangle factors)
+        // behaves like the leaf.
+        let tri_m = MergeOperand::tri_intermediate(Uplo::Lower);
+        assert_eq!(
+            merge_variants(&tri_m, &b, true, true),
+            vec![MergeKind::Trmm, MergeKind::Gemm]
+        );
+    }
+
+    #[test]
+    fn triangular_gram_products_stay_on_syrk() {
+        // L·Lᵀ is a Gram pair first: the Cholesky-style product keeps the
+        // paper's SYRK/GEMM variant pair.
+        let l = MergeOperand::tri_leaf(0, Trans::No, Uplo::Lower, false);
+        let lt = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, false);
+        assert!(is_gram_pair(&l, &lt));
+        assert_eq!(
+            merge_variants(&l, &lt, false, true),
+            vec![MergeKind::SyrkTriangle, MergeKind::GemmSymmetric]
+        );
+        assert_eq!(
+            merge_variants(&l, &lt, true, true),
+            vec![MergeKind::SyrkThenCopy, MergeKind::Gemm]
+        );
+    }
+
+    #[test]
+    fn inverse_left_side_lowers_to_trsm_only() {
+        let linv = MergeOperand::tri_leaf(0, Trans::No, Uplo::Lower, true);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(merge_variants(&linv, &b, true, true), vec![MergeKind::Trsm]);
+        // TRSM survives the rewrites-off ablation: it is a realisation, not
+        // an optimisation.
+        assert_eq!(
+            merge_variants(&linv, &b, true, false),
+            vec![MergeKind::Trsm]
+        );
+        // A transposed right side has no kernel.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert!(merge_variants(&linv, &bt, true, true).is_empty());
+        // An inverse on the right is a dead end, whatever the left side is.
+        assert!(merge_variants(&b, &linv, true, true).is_empty());
+        // Inverses never form Gram pairs.
+        let linv_t = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, true);
+        assert!(!is_gram_pair(&linv, &linv_t));
+    }
+
+    #[test]
+    fn triangle_preservation_covers_the_closed_variants() {
+        assert!(MergeKind::Trmm.preserves_triangle());
+        assert!(MergeKind::Trsm.preserves_triangle());
+        assert!(MergeKind::Gemm.preserves_triangle());
+        assert!(!MergeKind::SymmLeft.preserves_triangle());
+        assert!(!MergeKind::SyrkTriangle.preserves_triangle());
     }
 
     #[test]

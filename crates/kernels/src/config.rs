@@ -18,6 +18,10 @@ pub struct BlockConfig {
     pub kc: usize,
     /// Columns of `C` (and of `op(B)`) per outermost block.
     pub nc: usize,
+    /// Row-block size of the TRMM/TRSM recurrences: the triangular kernels
+    /// walk the triangular operand in diagonal blocks of this order, handling
+    /// everything off the diagonal block with the packed rectangular core.
+    pub tri_block: usize,
     /// Whether to parallelise over column panels of `C` with Rayon.
     pub parallel: bool,
     /// Minimum number of useful FLOPs before the parallel path is taken;
@@ -31,6 +35,7 @@ impl Default for BlockConfig {
             mc: 128,
             kc: 256,
             nc: 4096,
+            tri_block: 64,
             parallel: true,
             parallel_flop_threshold: 2 * 64 * 64 * 64,
         }
@@ -56,6 +61,7 @@ impl BlockConfig {
             mc: 8,
             kc: 8,
             nc: 8,
+            tri_block: 3,
             parallel: false,
             parallel_flop_threshold: u64::MAX,
         }
@@ -83,16 +89,20 @@ impl BlockConfig {
     }
 
     /// A short, stable fingerprint of every parameter that affects kernel
-    /// timing (cache blocks, register tiles, parallel policy). Calibration
-    /// stores record it as staleness metadata: benchmark times taken under
-    /// one configuration are not comparable to runs under another.
+    /// timing (cache blocks, the triangular-kernel diagonal block, register
+    /// tiles, parallel policy). Calibration stores record it as staleness
+    /// metadata: benchmark times taken under one configuration are not
+    /// comparable to runs under another, so every timing-relevant knob —
+    /// including the block sizes of kernels added after a store was written —
+    /// must contribute to the fingerprint.
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "mc{}-kc{}-nc{}-r{}x{}-{}",
+            "mc{}-kc{}-nc{}-tb{}-r{}x{}-{}",
             self.mc,
             self.kc,
             self.nc,
+            self.tri_block,
             MR,
             NR,
             if self.parallel {
@@ -137,6 +147,22 @@ mod tests {
         assert_ne!(default, BlockConfig::tiny().fingerprint());
         assert!(default.contains("mc128"));
         assert!(BlockConfig::serial().fingerprint().ends_with("serial"));
+    }
+
+    #[test]
+    fn fingerprint_covers_the_triangular_block_size() {
+        // Regression for the staleness contract: TRMM/TRSM timings depend on
+        // `tri_block`, so changing it must change the fingerprint (and thereby
+        // flag existing calibration stores as stale).
+        let default = BlockConfig::default();
+        let retuned = BlockConfig {
+            tri_block: default.tri_block * 2,
+            ..default.clone()
+        };
+        assert_ne!(default.fingerprint(), retuned.fingerprint());
+        assert!(default
+            .fingerprint()
+            .contains(&format!("tb{}", default.tri_block)));
     }
 
     #[test]

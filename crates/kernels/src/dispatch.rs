@@ -1,12 +1,177 @@
-//! Convenience wrappers over the view-based kernels for owned [`Matrix`]
-//! operands. These are what the measured executor in `lamb-perfmodel` calls
-//! when it turns a symbolic kernel-call sequence into actual computation.
+//! One generic entry point over the view-based kernels for owned [`Matrix`]
+//! operands.
+//!
+//! A [`Kernel`] is a fully-parameterised kernel invocation bound to its input
+//! matrices; [`Kernel::run_into`] executes it into an existing output and
+//! [`Kernel::run_new`] into a freshly allocated one sized by
+//! [`Kernel::output_shape`]. The former per-kernel `*_new`/`*_into` pairs are
+//! thin wrappers over this single dispatcher — this is what the measured
+//! executor in `lamb-perfmodel` calls when it turns a symbolic kernel-call
+//! sequence into actual computation.
 
 use crate::config::BlockConfig;
 use crate::gemm::gemm;
 use crate::symm::symm;
 use crate::syrk::syrk;
+use crate::trmm::trmm;
+use crate::trsm::trsm;
 use lamb_matrix::{Matrix, Result, Side, Trans, Uplo};
+
+/// A kernel invocation bound to its input operands.
+#[derive(Debug, Clone, Copy)]
+pub enum Kernel<'a> {
+    /// `C := op(A) * op(B)`.
+    Gemm {
+        /// Transposition of the left operand.
+        transa: Trans,
+        /// Left operand.
+        a: &'a Matrix,
+        /// Transposition of the right operand.
+        transb: Trans,
+        /// Right operand.
+        b: &'a Matrix,
+    },
+    /// One triangle of `op(A)·op(A)ᵀ` (the other triangle is left at zero).
+    Syrk {
+        /// Triangle of the result that is computed.
+        uplo: Uplo,
+        /// Transposition of the operand.
+        trans: Trans,
+        /// The operand.
+        a: &'a Matrix,
+    },
+    /// `A_sym · B` (Left) or `B · A_sym` (Right).
+    Symm {
+        /// Side from which the symmetric operand multiplies.
+        side: Side,
+        /// Stored triangle of the symmetric operand.
+        uplo: Uplo,
+        /// The symmetric operand.
+        a_sym: &'a Matrix,
+        /// The rectangular operand.
+        b: &'a Matrix,
+    },
+    /// `C := op(L) · B` with `L` triangular.
+    Trmm {
+        /// Stored triangle of `L`.
+        uplo: Uplo,
+        /// Transposition of `L`.
+        trans: Trans,
+        /// The triangular operand.
+        l: &'a Matrix,
+        /// The rectangular operand.
+        b: &'a Matrix,
+    },
+    /// `X := op(L)⁻¹ · B` with `L` triangular.
+    Trsm {
+        /// Stored triangle of `L`.
+        uplo: Uplo,
+        /// Transposition of `L`.
+        trans: Trans,
+        /// The triangular operand.
+        l: &'a Matrix,
+        /// The right-hand sides.
+        b: &'a Matrix,
+    },
+}
+
+impl Kernel<'_> {
+    /// Shape `(rows, cols)` of the output this invocation produces.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize) {
+        match *self {
+            Kernel::Gemm {
+                transa,
+                a,
+                transb,
+                b,
+            } => {
+                let (m, _) = transa.apply(a.shape());
+                let (_, n) = transb.apply(b.shape());
+                (m, n)
+            }
+            Kernel::Syrk { trans, a, .. } => {
+                let (n, _) = trans.apply(a.shape());
+                (n, n)
+            }
+            Kernel::Symm { b, .. } | Kernel::Trmm { b, .. } | Kernel::Trsm { b, .. } => b.shape(),
+        }
+    }
+
+    /// Execute the invocation into an existing, correctly sized output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying kernel's shape (and, for TRSM, singularity)
+    /// errors.
+    pub fn run_into(&self, c: &mut Matrix, cfg: &BlockConfig) -> Result<()> {
+        match *self {
+            Kernel::Gemm {
+                transa,
+                a,
+                transb,
+                b,
+            } => gemm(
+                transa,
+                transb,
+                1.0,
+                &a.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                cfg,
+            ),
+            Kernel::Syrk { uplo, trans, a } => {
+                syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c.view_mut(), cfg)
+            }
+            Kernel::Symm {
+                side,
+                uplo,
+                a_sym,
+                b,
+            } => symm(
+                side,
+                uplo,
+                1.0,
+                &a_sym.view(),
+                &b.view(),
+                0.0,
+                &mut c.view_mut(),
+                cfg,
+            ),
+            Kernel::Trmm { uplo, trans, l, b } => trmm(
+                uplo,
+                trans,
+                1.0,
+                &l.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                cfg,
+            ),
+            Kernel::Trsm { uplo, trans, l, b } => trsm(
+                uplo,
+                trans,
+                1.0,
+                &l.view(),
+                &b.view(),
+                &mut c.view_mut(),
+                cfg,
+            ),
+        }
+    }
+
+    /// Execute the invocation into a freshly allocated output matrix.
+    ///
+    /// # Errors
+    ///
+    /// See [`Kernel::run_into`].
+    pub fn run_new(&self, cfg: &BlockConfig) -> Result<Matrix> {
+        let (m, n) = self.output_shape();
+        let mut c = Matrix::zeros(m, n);
+        self.run_into(&mut c, cfg)?;
+        Ok(c)
+    }
+}
 
 /// `C := op(A) * op(B)` into a freshly allocated matrix.
 ///
@@ -20,20 +185,13 @@ pub fn gemm_new(
     b: &Matrix,
     cfg: &BlockConfig,
 ) -> Result<Matrix> {
-    let (m, _) = transa.apply(a.shape());
-    let (_, n) = transb.apply(b.shape());
-    let mut c = Matrix::zeros(m, n);
-    gemm(
+    Kernel::Gemm {
         transa,
+        a,
         transb,
-        1.0,
-        &a.view(),
-        &b.view(),
-        0.0,
-        &mut c.view_mut(),
-        cfg,
-    )?;
-    Ok(c)
+        b,
+    }
+    .run_new(cfg)
 }
 
 /// `C := op(A) * op(B)` into an existing, correctly sized output matrix.
@@ -49,16 +207,13 @@ pub fn gemm_into(
     c: &mut Matrix,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    gemm(
+    Kernel::Gemm {
         transa,
+        a,
         transb,
-        1.0,
-        &a.view(),
-        &b.view(),
-        0.0,
-        &mut c.view_mut(),
-        cfg,
-    )
+        b,
+    }
+    .run_into(c, cfg)
 }
 
 /// One triangle of `op(A)·op(A)ᵀ` into a freshly allocated matrix (the other
@@ -68,10 +223,7 @@ pub fn gemm_into(
 ///
 /// Propagates shape errors from [`syrk`].
 pub fn syrk_new(uplo: Uplo, trans: Trans, a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
-    let (n, _) = trans.apply(a.shape());
-    let mut c = Matrix::zeros(n, n);
-    syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c.view_mut(), cfg)?;
-    Ok(c)
+    Kernel::Syrk { uplo, trans, a }.run_new(cfg)
 }
 
 /// One triangle of `op(A)·op(A)ᵀ` into an existing output matrix.
@@ -86,7 +238,7 @@ pub fn syrk_into(
     c: &mut Matrix,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    syrk(uplo, trans, 1.0, &a.view(), 0.0, &mut c.view_mut(), cfg)
+    Kernel::Syrk { uplo, trans, a }.run_into(c, cfg)
 }
 
 /// `A_sym · B` (Left) or `B · A_sym` (Right) into a freshly allocated matrix.
@@ -101,18 +253,13 @@ pub fn symm_new(
     b: &Matrix,
     cfg: &BlockConfig,
 ) -> Result<Matrix> {
-    let mut c = Matrix::zeros(b.rows(), b.cols());
-    symm(
+    Kernel::Symm {
         side,
         uplo,
-        1.0,
-        &a_sym.view(),
-        &b.view(),
-        0.0,
-        &mut c.view_mut(),
-        cfg,
-    )?;
-    Ok(c)
+        a_sym,
+        b,
+    }
+    .run_new(cfg)
 }
 
 /// `A_sym · B` (Left) or `B · A_sym` (Right) into an existing output matrix.
@@ -128,16 +275,43 @@ pub fn symm_into(
     c: &mut Matrix,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    symm(
+    Kernel::Symm {
         side,
         uplo,
-        1.0,
-        &a_sym.view(),
-        &b.view(),
-        0.0,
-        &mut c.view_mut(),
-        cfg,
-    )
+        a_sym,
+        b,
+    }
+    .run_into(c, cfg)
+}
+
+/// `op(L) · B` into a freshly allocated matrix.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`trmm`].
+pub fn trmm_new(
+    uplo: Uplo,
+    trans: Trans,
+    l: &Matrix,
+    b: &Matrix,
+    cfg: &BlockConfig,
+) -> Result<Matrix> {
+    Kernel::Trmm { uplo, trans, l, b }.run_new(cfg)
+}
+
+/// `op(L)⁻¹ · B` into a freshly allocated matrix.
+///
+/// # Errors
+///
+/// Propagates shape and singularity errors from [`trsm`].
+pub fn trsm_new(
+    uplo: Uplo,
+    trans: Trans,
+    l: &Matrix,
+    b: &Matrix,
+    cfg: &BlockConfig,
+) -> Result<Matrix> {
+    Kernel::Trsm { uplo, trans, l, b }.run_new(cfg)
 }
 
 #[cfg(test)]
@@ -145,7 +319,7 @@ mod tests {
     use super::*;
     use crate::gemm::naive::gemm_naive;
     use lamb_matrix::ops::max_abs_diff;
-    use lamb_matrix::random::random_seeded;
+    use lamb_matrix::random::{random_seeded, random_triangular};
 
     #[test]
     fn gemm_new_and_into_agree() {
@@ -166,6 +340,62 @@ mod tests {
         // C = A^T * B : (8x5)*(5x7) = 8x7
         let c = gemm_new(Trans::Yes, &a, Trans::No, &b, &cfg).unwrap();
         assert_eq!(c.shape(), (8, 7));
+    }
+
+    #[test]
+    fn output_shapes_cover_every_kernel() {
+        let a = Matrix::zeros(6, 4);
+        let sq = Matrix::zeros(6, 6);
+        let b = Matrix::zeros(6, 9);
+        assert_eq!(
+            Kernel::Gemm {
+                transa: Trans::No,
+                a: &a,
+                transb: Trans::No,
+                b: &Matrix::zeros(4, 9),
+            }
+            .output_shape(),
+            (6, 9)
+        );
+        assert_eq!(
+            Kernel::Syrk {
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                a: &a,
+            }
+            .output_shape(),
+            (4, 4)
+        );
+        assert_eq!(
+            Kernel::Symm {
+                side: Side::Left,
+                uplo: Uplo::Lower,
+                a_sym: &sq,
+                b: &b,
+            }
+            .output_shape(),
+            (6, 9)
+        );
+        assert_eq!(
+            Kernel::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                l: &sq,
+                b: &b,
+            }
+            .output_shape(),
+            (6, 9)
+        );
+        assert_eq!(
+            Kernel::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::Yes,
+                l: &sq,
+                b: &b,
+            }
+            .output_shape(),
+            (6, 9)
+        );
     }
 
     #[test]
@@ -203,6 +433,16 @@ mod tests {
         )
         .unwrap();
         assert!(max_abs_diff(&via_symm, &expected).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn trmm_and_trsm_round_trip_through_the_dispatcher() {
+        let cfg = BlockConfig::default();
+        let l = random_triangular(14, Uplo::Lower, 3);
+        let b = random_seeded(14, 6, 4);
+        let lb = trmm_new(Uplo::Lower, Trans::No, &l, &b, &cfg).unwrap();
+        let back = trsm_new(Uplo::Lower, Trans::No, &l, &lb, &cfg).unwrap();
+        assert!(max_abs_diff(&back, &b).unwrap() < 1e-10);
     }
 
     #[test]

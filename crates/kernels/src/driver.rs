@@ -1,0 +1,401 @@
+//! The shared blocked-kernel engine behind every BLAS-3 kernel in this crate.
+//!
+//! GEMM, SYRK, SYMM, TRMM and TRSM all reduce to the same three ingredients:
+//!
+//! 1. a **packed serial core** ([`BlockedDriver::accumulate_serial`]) that
+//!    accumulates `C += alpha * OpA * OpB` with cache blocking, packing and a
+//!    register-tiled micro-kernel, where the logical operands are presented
+//!    through element accessor closures;
+//! 2. a **column-panel partitioner** ([`BlockedDriver::for_each_panel`]) that
+//!    splits the output into disjoint column panels and runs a per-panel
+//!    closure either serially or on Rayon workers;
+//! 3. the **beta-scaling rule** ([`scale_inplace`]) with the BLAS convention
+//!    that `beta == 0` writes zeros without reading the previous contents.
+//!
+//! The per-kernel modules are thin specialisations: GEMM feeds plain (possibly
+//! transposed) accessors, SYMM a mirroring accessor for its symmetric operand,
+//! SYRK adds the triangle mask on the diagonal blocks of its panel closure,
+//! and TRMM/TRSM walk the triangular operand in diagonal blocks of
+//! [`BlockConfig::tri_block`] rows, handling everything off the diagonal with
+//! the same packed core. Presenting operands through accessors is what lets
+//! every kernel share one loop nest without materialising transposed, mirrored
+//! or masked copies.
+
+use crate::config::{BlockConfig, MR, NR};
+use crate::microkernel::microkernel;
+use crate::pack::{pack_a, pack_b};
+use lamb_matrix::MatrixViewMut;
+use rayon::prelude::*;
+
+/// `C := beta * C` over a view, with the BLAS convention that `beta == 0`
+/// writes zeros without reading the (possibly uninitialised) contents.
+pub fn scale_inplace(beta: f64, c: &mut MatrixViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..c.cols() {
+        let col = c.col_mut(j);
+        if beta == 0.0 {
+            col.fill(0.0);
+        } else {
+            for x in col {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+/// The blocked-kernel engine: a [`BlockConfig`] plus the shared packing,
+/// cache-blocking and Rayon partitioning machinery. Construction is free;
+/// kernels create one per call.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedDriver<'a> {
+    cfg: &'a BlockConfig,
+}
+
+impl<'a> BlockedDriver<'a> {
+    /// A driver over the given blocking configuration.
+    #[must_use]
+    pub fn new(cfg: &'a BlockConfig) -> Self {
+        BlockedDriver { cfg }
+    }
+
+    /// The configuration this driver blocks and parallelises with.
+    #[must_use]
+    pub fn cfg(&self) -> &'a BlockConfig {
+        self.cfg
+    }
+
+    /// Accumulate `C += alpha * OpA * OpB` serially with cache blocking and
+    /// packing. `load_a(i, p)` is the logical `m x k` left operand and
+    /// `load_b(p, j)` the logical `k x n` right operand.
+    #[allow(clippy::too_many_arguments)] // BLAS-style interface
+    pub fn accumulate_serial<FA, FB>(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        load_a: &FA,
+        load_b: &FB,
+        c: &mut MatrixViewMut<'_>,
+    ) where
+        FA: Fn(usize, usize) -> f64,
+        FB: Fn(usize, usize) -> f64,
+    {
+        debug_assert_eq!(c.rows(), m);
+        debug_assert_eq!(c.cols(), n);
+        if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+            return;
+        }
+        let mc = self.cfg.mc.max(MR);
+        let kc = self.cfg.kc.max(1);
+        let nc = self.cfg.nc.max(NR);
+
+        let mut a_pack: Vec<f64> = Vec::new();
+        let mut b_pack: Vec<f64> = Vec::new();
+        let mut acc = [0.0f64; MR * NR];
+
+        let mut jc = 0;
+        while jc < n {
+            let ncb = nc.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kcb = kc.min(k - pc);
+                pack_b(kcb, ncb, |p, j| load_b(pc + p, jc + j), &mut b_pack);
+                let mut ic = 0;
+                while ic < m {
+                    let mcb = mc.min(m - ic);
+                    pack_a(mcb, kcb, |i, p| load_a(ic + i, pc + p), &mut a_pack);
+                    macro_kernel(
+                        mcb,
+                        ncb,
+                        kcb,
+                        alpha,
+                        &a_pack,
+                        &b_pack,
+                        &mut c.subview_mut(ic, jc, mcb, ncb),
+                        &mut acc,
+                    );
+                    ic += mc;
+                }
+                pc += kc;
+            }
+            jc += nc;
+        }
+    }
+
+    /// Accumulate `C += alpha * OpA * OpB`, automatically distributing
+    /// disjoint column panels of `C` across Rayon workers when the problem is
+    /// large enough under this driver's configuration (each worker runs the
+    /// serial core on its panel with a column-shifted `OpB` accessor).
+    #[allow(clippy::too_many_arguments)] // BLAS-style interface
+    pub fn accumulate<FA, FB>(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        load_a: &FA,
+        load_b: &FB,
+        c: &mut MatrixViewMut<'_>,
+    ) where
+        FA: Fn(usize, usize) -> f64 + Sync,
+        FB: Fn(usize, usize) -> f64 + Sync,
+    {
+        if self.cfg.should_parallelise(m, n, k) {
+            self.for_each_panel(c.subview_mut(0, 0, m, n), true, |j0, mut panel| {
+                let ncols = panel.cols();
+                let shifted_b = |p: usize, j: usize| load_b(p, j0 + j);
+                self.accumulate_serial(m, ncols, k, alpha, load_a, &shifted_b, &mut panel);
+            });
+        } else {
+            self.accumulate_serial(m, n, k, alpha, load_a, load_b, c);
+        }
+    }
+
+    /// Partition `c` into disjoint column panels and run `f(j0, panel)` for
+    /// each, where `j0` is the panel's first column in `c`. With
+    /// `parallel == true` the panels are sized for the Rayon pool and run
+    /// concurrently; otherwise `f` sees the whole view as one panel.
+    ///
+    /// This is the one place in the crate that decides how output columns are
+    /// distributed to workers — SYRK's triangle-masked panels, TRSM's
+    /// independent right-hand-side columns and the parallel GEMM path all go
+    /// through it.
+    pub fn for_each_panel<F>(&self, c: MatrixViewMut<'_>, parallel: bool, f: F)
+    where
+        F: Fn(usize, MatrixViewMut<'_>) + Sync,
+    {
+        let n = c.cols();
+        let width = if parallel {
+            self.cfg.parallel_panel_width(n)
+        } else {
+            n.max(1)
+        };
+        let panels = c.into_col_panels(width);
+        if parallel {
+            panels
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(idx, panel)| f(idx * width, panel));
+        } else {
+            panels
+                .into_iter()
+                .enumerate()
+                .for_each(|(idx, panel)| f(idx * width, panel));
+        }
+    }
+}
+
+/// Inner macro-kernel: sweep the packed block with `MR x NR` micro-tiles and
+/// accumulate `alpha` times the result into the output block.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mcb: usize,
+    ncb: usize,
+    kcb: usize,
+    alpha: f64,
+    a_pack: &[f64],
+    b_pack: &[f64],
+    c_block: &mut MatrixViewMut<'_>,
+    acc: &mut [f64; MR * NR],
+) {
+    let mut jr = 0;
+    while jr < ncb {
+        let nrb = NR.min(ncb - jr);
+        let b_panel = &b_pack[(jr / NR) * kcb * NR..(jr / NR + 1) * kcb * NR];
+        let mut ir = 0;
+        while ir < mcb {
+            let mrb = MR.min(mcb - ir);
+            let a_panel = &a_pack[(ir / MR) * kcb * MR..(ir / MR + 1) * kcb * MR];
+            microkernel(kcb, a_panel, b_panel, acc);
+            for jj in 0..nrb {
+                let col = c_block.col_mut(jr + jj);
+                let acc_col = &acc[jj * MR..jj * MR + mrb];
+                for (ci, &av) in col[ir..ir + mrb].iter_mut().zip(acc_col) {
+                    *ci += alpha * av;
+                }
+            }
+            ir += MR;
+        }
+        jr += NR;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::random_seeded;
+    use lamb_matrix::{Matrix, Trans};
+
+    fn reference(a: &Matrix, b: &Matrix, alpha: f64) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            alpha,
+            &a.view(),
+            &b.view(),
+            0.0,
+            &mut c.view_mut(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn serial_core_matches_naive_for_awkward_sizes() {
+        // Sizes chosen to produce partial tiles in every blocking dimension.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 13, 9),
+            (33, 29, 31),
+            (40, 24, 56),
+        ] {
+            let a = random_seeded(m, k, 1000 + m as u64);
+            let b = random_seeded(k, n, 2000 + n as u64);
+            let mut c = Matrix::zeros(m, n);
+            let cfg = BlockConfig::tiny();
+            let a_s = a.as_slice();
+            let b_s = b.as_slice();
+            BlockedDriver::new(&cfg).accumulate_serial(
+                m,
+                n,
+                k,
+                1.0,
+                &|i, p| a_s[i + p * m],
+                &|p, j| b_s[p + j * k],
+                &mut c.view_mut(),
+            );
+            let expected = reference(&a, &b, 1.0);
+            assert!(
+                max_abs_diff(&c, &expected).unwrap() < 1e-12,
+                "size {m}x{n}x{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulation_adds_to_existing_contents() {
+        let m = 6;
+        let n = 6;
+        let k = 6;
+        let a = random_seeded(m, k, 7);
+        let b = random_seeded(k, n, 8);
+        let mut c = Matrix::filled(m, n, 2.0);
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        let cfg = BlockConfig::tiny();
+        BlockedDriver::new(&cfg).accumulate_serial(
+            m,
+            n,
+            k,
+            0.5,
+            &|i, p| a_s[i + p * m],
+            &|p, j| b_s[p + j * k],
+            &mut c.view_mut(),
+        );
+        let mut expected = Matrix::filled(m, n, 2.0);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            0.5,
+            &a.view(),
+            &b.view(),
+            1.0,
+            &mut expected.view_mut(),
+        )
+        .unwrap();
+        assert!(max_abs_diff(&c, &expected).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_a_no_op() {
+        let mut c = Matrix::filled(4, 4, 3.0);
+        let cfg = BlockConfig::tiny();
+        BlockedDriver::new(&cfg).accumulate_serial(
+            4,
+            4,
+            4,
+            0.0,
+            &|_, _| f64::NAN,
+            &|_, _| f64::NAN,
+            &mut c.view_mut(),
+        );
+        assert!(c.as_slice().iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn auto_accumulate_parallel_matches_serial() {
+        let (m, n, k) = (70, 90, 40);
+        let a = random_seeded(m, k, 21);
+        let b = random_seeded(k, n, 22);
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        let serial_cfg = BlockConfig::serial();
+        let parallel_cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
+        let mut c_serial = Matrix::zeros(m, n);
+        let mut c_parallel = Matrix::zeros(m, n);
+        BlockedDriver::new(&serial_cfg).accumulate(
+            m,
+            n,
+            k,
+            1.0,
+            &|i, p| a_s[i + p * m],
+            &|p, j| b_s[p + j * k],
+            &mut c_serial.view_mut(),
+        );
+        BlockedDriver::new(&parallel_cfg).accumulate(
+            m,
+            n,
+            k,
+            1.0,
+            &|i, p| a_s[i + p * m],
+            &|p, j| b_s[p + j * k],
+            &mut c_parallel.view_mut(),
+        );
+        assert!(max_abs_diff(&c_serial, &c_parallel).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn for_each_panel_covers_every_column_exactly_once() {
+        let cfg = BlockConfig::default();
+        let driver = BlockedDriver::new(&cfg);
+        for parallel in [false, true] {
+            let mut c = Matrix::zeros(5, 37);
+            driver.for_each_panel(c.view_mut(), parallel, |j0, mut panel| {
+                for j in 0..panel.cols() {
+                    for x in panel.col_mut(j) {
+                        *x += (j0 + j) as f64 + 1.0;
+                    }
+                }
+            });
+            for j in 0..37 {
+                assert!(c.col(j).iter().all(|&x| x == j as f64 + 1.0), "col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_inplace_handles_beta_zero_with_nan() {
+        let mut c = Matrix::filled(3, 3, f64::NAN);
+        scale_inplace(0.0, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scale_inplace_multiplies() {
+        let mut c = Matrix::filled(3, 2, 2.0);
+        scale_inplace(-1.5, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == -3.0));
+        scale_inplace(1.0, &mut c.view_mut());
+        assert!(c.as_slice().iter().all(|&x| x == -3.0));
+    }
+}

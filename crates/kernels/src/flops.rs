@@ -30,6 +30,20 @@ pub fn symm_flops(m: usize, n: usize) -> u64 {
     2 * (m as u64) * (m as u64) * (n as u64)
 }
 
+/// FLOP count of `TRMM`: `op(L)·B` with triangular `L ∈ R^{m×m}`,
+/// `B ∈ R^{m×n}` — `m²·n`, half of the GEMM that ignores the structure.
+#[must_use]
+pub fn trmm_flops(m: usize, n: usize) -> u64 {
+    (m as u64) * (m as u64) * (n as u64)
+}
+
+/// FLOP count of `TRSM`: `op(L)⁻¹·B` with triangular `L ∈ R^{m×m}`,
+/// `B ∈ R^{m×n}` — `m²·n`, the same count as the multiplication it inverts.
+#[must_use]
+pub fn trsm_flops(m: usize, n: usize) -> u64 {
+    (m as u64) * (m as u64) * (n as u64)
+}
+
 /// FLOP count of copying one triangle of an `n x n` matrix into the other
 /// triangle (zero: it moves data but performs no floating-point arithmetic).
 #[must_use]
@@ -67,6 +81,17 @@ mod tests {
     fn symm_flops_matches_paper_formula() {
         assert_eq!(symm_flops(3, 5), 2 * 9 * 5);
         assert_eq!(symm_flops(1200, 20), 2 * 1200 * 1200 * 20);
+    }
+
+    #[test]
+    fn triangular_kernels_halve_the_gemm_count_exactly() {
+        // The paper-style discriminant for the triangular family: TRMM and
+        // TRSM perform exactly half the FLOPs of the equal-shape GEMM.
+        for (m, n) in [(3, 5), (700, 120), (1200, 1200)] {
+            assert_eq!(trmm_flops(m, n) * 2, gemm_flops(m, n, m));
+            assert_eq!(trsm_flops(m, n), trmm_flops(m, n));
+        }
+        assert_eq!(trmm_flops(0, 10), 0);
     }
 
     #[test]

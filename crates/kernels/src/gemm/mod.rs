@@ -1,17 +1,14 @@
 //! General matrix–matrix multiplication: `C := alpha * op(A) * op(B) + beta * C`.
 //!
 //! The public entry point is [`gemm`]; it validates shapes, applies `beta`,
-//! and dispatches either to the serial blocked core or to the Rayon-parallel
-//! driver that distributes disjoint column panels of `C` across threads.
+//! and hands plain (possibly transposed) element accessors to the shared
+//! [`BlockedDriver`], which blocks, packs and parallelises.
 
-pub mod blocked;
-pub mod microkernel;
 pub mod naive;
 
 use crate::config::BlockConfig;
-use blocked::{gemm_accumulate_serial, scale_inplace};
+use crate::driver::{scale_inplace, BlockedDriver};
 use lamb_matrix::{MatrixError, MatrixView, MatrixViewMut, Result, Trans};
-use rayon::prelude::*;
 
 /// `C := alpha * op(A) * op(B) + beta * C`.
 ///
@@ -70,42 +67,8 @@ pub fn gemm(
         Trans::Yes => b_data[j + p * ldb],
     };
 
-    if cfg.should_parallelise(m, n, k) {
-        parallel_accumulate(m, n, k, alpha, &load_a, &load_b, c, cfg);
-    } else {
-        gemm_accumulate_serial(m, n, k, alpha, &load_a, &load_b, c, cfg);
-    }
+    BlockedDriver::new(cfg).accumulate(m, n, k, alpha, &load_a, &load_b, c);
     Ok(())
-}
-
-/// Distribute disjoint column panels of `C` to Rayon workers; each worker runs
-/// the serial blocked core on its panel with a column-shifted `op(B)`
-/// accessor.
-#[allow(clippy::too_many_arguments)] // BLAS-style interface
-pub(crate) fn parallel_accumulate<FA, FB>(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f64,
-    load_a: &FA,
-    load_b: &FB,
-    c: &mut MatrixViewMut<'_>,
-    cfg: &BlockConfig,
-) where
-    FA: Fn(usize, usize) -> f64 + Sync,
-    FB: Fn(usize, usize) -> f64 + Sync,
-{
-    let width = cfg.parallel_panel_width(n);
-    let panels = c.subview_mut(0, 0, m, n).into_col_panels(width);
-    panels
-        .into_par_iter()
-        .enumerate()
-        .for_each(|(idx, mut panel)| {
-            let j0 = idx * width;
-            let ncols = panel.cols();
-            let shifted_b = |p: usize, j: usize| load_b(p, j0 + j);
-            gemm_accumulate_serial(m, ncols, k, alpha, load_a, &shifted_b, &mut panel, cfg);
-        });
 }
 
 #[cfg(test)]

@@ -1,16 +1,21 @@
 //! # lamb-kernels
 //!
-//! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels: GEMM, SYRK and
-//! SYMM — the three kernels from which every algorithm studied in the paper
-//! *"FLOPs as a Discriminant for Dense Linear Algebra Algorithms"* (ICPP'22)
-//! is built — together with their FLOP-count models, cache-flushing and
-//! median-of-N timing utilities.
+//! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels: GEMM, SYRK,
+//! SYMM, TRMM and TRSM — the kernel vocabulary from which the algorithms
+//! studied in the paper *"FLOPs as a Discriminant for Dense Linear Algebra
+//! Algorithms"* (ICPP'22) and its triangular extensions are built — together
+//! with their FLOP-count models, cache-flushing and median-of-N timing
+//! utilities.
 //!
-//! The kernels follow the classic GotoBLAS/BLIS structure: the operands are
-//! packed into contiguous panels (`MR`-row panels of `op(A)`, `NR`-column
-//! panels of `op(B)`) and a register-blocked micro-kernel accumulates
-//! `MR x NR` tiles of `C`. Parallelism is extracted over disjoint column
-//! panels of `C`, which keeps the implementation free of `unsafe`.
+//! Every kernel is a thin specialisation of one engine, the
+//! [`driver::BlockedDriver`], in the classic GotoBLAS/BLIS structure: the
+//! operands are packed into contiguous panels (`MR`-row panels of `op(A)`,
+//! `NR`-column panels of `op(B)`) and a register-blocked micro-kernel
+//! accumulates `MR x NR` tiles of `C`. Per-kernel code reduces to an element
+//! accessor (plain, transposed, symmetric-mirrored or triangle-masked), a
+//! panel policy and — for the triangular kernels — a diagonal-block
+//! recurrence. Parallelism is extracted over disjoint column panels of `C`,
+//! which keeps the implementation free of `unsafe`.
 //!
 //! This crate substitutes for the Intel MKL used in the paper's experimental
 //! setup; see `DESIGN.md` at the workspace root for the substitution argument.
@@ -43,18 +48,27 @@
 pub mod cache;
 pub mod config;
 pub mod dispatch;
+pub mod driver;
 pub mod flops;
 pub mod gemm;
+pub mod microkernel;
 pub mod pack;
 pub mod symm;
 pub mod syrk;
 pub mod timing;
+pub mod trmm;
+pub mod trsm;
 
 pub use cache::CacheFlusher;
 pub use config::BlockConfig;
-pub use dispatch::{gemm_into, gemm_new, symm_into, symm_new, syrk_into, syrk_new};
+pub use dispatch::{
+    gemm_into, gemm_new, symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new, Kernel,
+};
+pub use driver::BlockedDriver;
 pub use gemm::gemm;
 pub use gemm::naive::gemm_naive;
 pub use symm::symm;
 pub use syrk::syrk;
 pub use timing::{time_once, MedianTimer, TimingResult};
+pub use trmm::{trmm, trmm_naive};
+pub use trsm::{trsm, trsm_naive};

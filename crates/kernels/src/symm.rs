@@ -9,8 +9,7 @@
 //! into SYMM.
 
 use crate::config::BlockConfig;
-use crate::gemm::blocked::{gemm_accumulate_serial, scale_inplace};
-use crate::gemm::parallel_accumulate;
+use crate::driver::{scale_inplace, BlockedDriver};
 use lamb_matrix::{MatrixError, MatrixView, MatrixViewMut, Result, Side, Uplo};
 
 /// `C := alpha * A·B + beta * C` (Left) or `C := alpha * B·A + beta * C`
@@ -80,24 +79,17 @@ pub fn symm(
         }
     };
 
+    let driver = BlockedDriver::new(cfg);
     match side {
         Side::Left => {
             // C(m x n) += alpha * Asym(m x m) * B(m x n); inner dimension m.
             let load_b = move |p: usize, j: usize| b_data[p + j * ldb];
-            if cfg.should_parallelise(m, n, m) {
-                parallel_accumulate(m, n, m, alpha, &sym, &load_b, c, cfg);
-            } else {
-                gemm_accumulate_serial(m, n, m, alpha, &sym, &load_b, c, cfg);
-            }
+            driver.accumulate(m, n, m, alpha, &sym, &load_b, c);
         }
         Side::Right => {
             // C(m x n) += alpha * B(m x n) * Asym(n x n); inner dimension n.
             let load_a = move |i: usize, p: usize| b_data[i + p * ldb];
-            if cfg.should_parallelise(m, n, n) {
-                parallel_accumulate(m, n, n, alpha, &load_a, &sym, c, cfg);
-            } else {
-                gemm_accumulate_serial(m, n, n, alpha, &load_a, &sym, c, cfg);
-            }
+            driver.accumulate(m, n, n, alpha, &load_a, &sym, c);
         }
     }
     Ok(())

@@ -8,9 +8,8 @@
 //! use it.
 
 use crate::config::BlockConfig;
-use crate::gemm::blocked::gemm_accumulate_serial;
+use crate::driver::BlockedDriver;
 use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Trans, Uplo};
-use rayon::prelude::*;
 
 /// `C_uplo := alpha * op(A)·op(A)ᵀ + beta * C_uplo` where `op(A)` is `A`
 /// (`trans == No`, `A` is `n x k`) or `Aᵀ` (`trans == Yes`, `A` is `k x n`).
@@ -52,81 +51,69 @@ pub fn syrk(
         Trans::Yes => a_data[p + i * lda],
     };
 
+    let driver = BlockedDriver::new(cfg);
     let parallel = cfg.should_parallelise(n, n, k);
-    let width = if parallel {
-        cfg.parallel_panel_width(n)
-    } else {
-        n
-    };
-    let panels = c.subview_mut(0, 0, n, n).into_col_panels(width);
-
-    let work = |(idx, mut panel): (usize, MatrixViewMut<'_>)| {
-        let j0 = idx * width;
-        let w = panel.cols();
-        // Diagonal block: compute the full w x w product into a scratch
-        // buffer, then fold only the selected triangle into C so the opposite
-        // triangle of C is never written.
-        let mut diag = Matrix::zeros(w, w);
-        gemm_accumulate_serial(
-            w,
-            w,
-            k,
-            alpha,
-            &|i, p| load(j0 + i, p),
-            &|p, j| load(j0 + j, p),
-            &mut diag.view_mut(),
-            cfg,
-        );
-        match uplo {
-            Uplo::Lower => {
-                for jj in 0..w {
-                    for ii in jj..w {
-                        *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+    driver.for_each_panel(
+        c.subview_mut(0, 0, n, n),
+        parallel,
+        |j0, mut panel: MatrixViewMut<'_>| {
+            let w = panel.cols();
+            // Diagonal block: compute the full w x w product into a scratch
+            // buffer, then fold only the selected triangle into C so the
+            // opposite triangle of C is never written.
+            let mut diag = Matrix::zeros(w, w);
+            driver.accumulate_serial(
+                w,
+                w,
+                k,
+                alpha,
+                &|i, p| load(j0 + i, p),
+                &|p, j| load(j0 + j, p),
+                &mut diag.view_mut(),
+            );
+            match uplo {
+                Uplo::Lower => {
+                    for jj in 0..w {
+                        for ii in jj..w {
+                            *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+                        }
+                    }
+                    let below_rows = n - (j0 + w);
+                    if below_rows > 0 {
+                        let mut below = panel.subview_mut(j0 + w, 0, below_rows, w);
+                        driver.accumulate_serial(
+                            below_rows,
+                            w,
+                            k,
+                            alpha,
+                            &|i, p| load(j0 + w + i, p),
+                            &|p, j| load(j0 + j, p),
+                            &mut below,
+                        );
                     }
                 }
-                let below_rows = n - (j0 + w);
-                if below_rows > 0 {
-                    let mut below = panel.subview_mut(j0 + w, 0, below_rows, w);
-                    gemm_accumulate_serial(
-                        below_rows,
-                        w,
-                        k,
-                        alpha,
-                        &|i, p| load(j0 + w + i, p),
-                        &|p, j| load(j0 + j, p),
-                        &mut below,
-                        cfg,
-                    );
-                }
-            }
-            Uplo::Upper => {
-                for jj in 0..w {
-                    for ii in 0..=jj {
-                        *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+                Uplo::Upper => {
+                    for jj in 0..w {
+                        for ii in 0..=jj {
+                            *panel.at_mut(j0 + ii, jj) += diag[(ii, jj)];
+                        }
+                    }
+                    if j0 > 0 {
+                        let mut above = panel.subview_mut(0, 0, j0, w);
+                        driver.accumulate_serial(
+                            j0,
+                            w,
+                            k,
+                            alpha,
+                            &|i, p| load(i, p),
+                            &|p, j| load(j0 + j, p),
+                            &mut above,
+                        );
                     }
                 }
-                if j0 > 0 {
-                    let mut above = panel.subview_mut(0, 0, j0, w);
-                    gemm_accumulate_serial(
-                        j0,
-                        w,
-                        k,
-                        alpha,
-                        &|i, p| load(i, p),
-                        &|p, j| load(j0 + j, p),
-                        &mut above,
-                        cfg,
-                    );
-                }
             }
-        }
-    };
-
-    if parallel {
-        panels.into_par_iter().enumerate().for_each(work);
-    } else {
-        panels.into_iter().enumerate().for_each(work);
-    }
+        },
+    );
     Ok(())
 }
 

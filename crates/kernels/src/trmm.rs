@@ -1,0 +1,376 @@
+//! Triangular matrix–matrix multiplication: `C := alpha * op(L) * B` with
+//! `L` an `m x m` triangular matrix of which only the [`Uplo`] triangle is
+//! referenced.
+//!
+//! Unlike the BLAS routine (which overwrites `B` in place) this kernel is
+//! out-of-place, matching how the executors materialise each intermediate of
+//! an algorithm into its own operand. The triangular structure halves the
+//! useful FLOPs relative to a GEMM of the same logical shape — `m²·n` versus
+//! `2·m²·n` (see [`crate::flops::trmm_flops`]) — which is exactly the
+//! FLOPs-versus-time tension the paper's anomaly taxonomy feeds on.
+//!
+//! The implementation is a thin specialisation of the shared
+//! [`BlockedDriver`]: output columns are distributed as panels, and within a
+//! panel the rows of `C` are walked in diagonal blocks of
+//! [`BlockConfig::tri_block`] rows. Each block's contribution splits into a
+//! dense rectangle strictly inside the triangle (handled by the packed
+//! rectangular core) plus the small diagonal block itself (handled by the
+//! same core through a triangle-masked accessor).
+
+use crate::config::BlockConfig;
+use crate::driver::{scale_inplace, BlockedDriver};
+use lamb_matrix::{MatrixError, MatrixView, MatrixViewMut, Result, Trans, Uplo};
+
+/// Validate the operand shapes shared by TRMM and TRSM: `L` square `m x m`,
+/// `B` and the output both `m x n`.
+pub(crate) fn check_triangular_shapes(
+    op: &'static str,
+    l: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    c: &MatrixViewMut<'_>,
+) -> Result<(usize, usize)> {
+    if l.rows() != l.cols() {
+        return Err(MatrixError::NotSquare {
+            rows: l.rows(),
+            cols: l.cols(),
+        });
+    }
+    let m = c.rows();
+    let n = c.cols();
+    if l.rows() != m {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: (l.rows(), l.cols()),
+            rhs: (m, m),
+        });
+    }
+    if b.rows() != m || b.cols() != n {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: (b.rows(), b.cols()),
+            rhs: (m, n),
+        });
+    }
+    Ok((m, n))
+}
+
+/// `C := alpha * op(L) * B` where `op(L)` is `L` or `Lᵀ` and only the `uplo`
+/// triangle of `L` is referenced (the opposite triangle is treated as zero,
+/// whatever it contains).
+///
+/// The FLOP count attributed to this kernel by the Section-3.1-style model is
+/// `m²·n` (see [`crate::flops::trmm_flops`]) — half of the `2·m²·n` a GEMM of
+/// the same shape performs.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] or [`MatrixError::DimensionMismatch`]
+/// when the operand shapes are inconsistent.
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
+pub fn trmm(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    l: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    let (m, n) = check_triangular_shapes("trmm operand shape", l, b, c)?;
+    scale_inplace(0.0, c);
+    if m == 0 || n == 0 || alpha == 0.0 {
+        return Ok(());
+    }
+
+    let l_data = l.as_slice();
+    let ldl = l.ld();
+    let b_data = b.as_slice();
+    let ldb = b.ld();
+    // Element (i, p) of op(L) ignoring the triangle mask.
+    let op_l = move |i: usize, p: usize| match trans {
+        Trans::No => l_data[i + p * ldl],
+        Trans::Yes => l_data[p + i * ldl],
+    };
+    // The triangle op(L) effectively occupies: transposition flips it.
+    let eff = uplo.under(trans);
+    let load_b = move |p: usize, j: usize| b_data[p + j * ldb];
+
+    let driver = BlockedDriver::new(cfg);
+    let tb = cfg.tri_block.max(1);
+    let parallel = cfg.should_parallelise(m, n, m);
+    driver.for_each_panel(c.subview_mut(0, 0, m, n), parallel, |j0, mut panel| {
+        let w = panel.cols();
+        let mut i0 = 0;
+        while i0 < m {
+            let mb = tb.min(m - i0);
+            // Diagonal block: mask the accessor to the effective triangle.
+            {
+                let mut out = panel.subview_mut(i0, 0, mb, w);
+                let masked = |i: usize, p: usize| {
+                    if eff.contains(i0 + i, i0 + p) {
+                        op_l(i0 + i, i0 + p)
+                    } else {
+                        0.0
+                    }
+                };
+                driver.accumulate_serial(
+                    mb,
+                    w,
+                    mb,
+                    alpha,
+                    &masked,
+                    &|p, j| load_b(i0 + p, j0 + j),
+                    &mut out,
+                );
+            }
+            // Off-diagonal rectangle: entirely inside the triangle, so the
+            // packed core reads op(L) unmasked.
+            match eff {
+                Uplo::Lower if i0 > 0 => {
+                    let mut out = panel.subview_mut(i0, 0, mb, w);
+                    driver.accumulate_serial(
+                        mb,
+                        w,
+                        i0,
+                        alpha,
+                        &|i, p| op_l(i0 + i, p),
+                        &|p, j| load_b(p, j0 + j),
+                        &mut out,
+                    );
+                }
+                Uplo::Upper if i0 + mb < m => {
+                    let right = m - (i0 + mb);
+                    let mut out = panel.subview_mut(i0, 0, mb, w);
+                    driver.accumulate_serial(
+                        mb,
+                        w,
+                        right,
+                        alpha,
+                        &|i, p| op_l(i0 + i, i0 + mb + p),
+                        &|p, j| load_b(i0 + mb + p, j0 + j),
+                        &mut out,
+                    );
+                }
+                _ => {}
+            }
+            i0 += tb;
+        }
+    });
+    Ok(())
+}
+
+/// Reference TRMM: the textbook triple loop over the masked triangle. Used by
+/// the unit and property tests to validate the blocked kernel.
+///
+/// # Errors
+///
+/// Same shape checks as [`trmm`].
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
+pub fn trmm_naive(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    l: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    c: &mut MatrixViewMut<'_>,
+) -> Result<()> {
+    let (m, n) = check_triangular_shapes("trmm operand shape", l, b, c)?;
+    let eff = uplo.under(trans);
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for p in 0..m {
+                if eff.contains(i, p) {
+                    let lv = match trans {
+                        Trans::No => l.at(i, p),
+                        Trans::Yes => l.at(p, i),
+                    };
+                    acc += lv * b.at(p, j);
+                }
+            }
+            *c.at_mut(i, j) = alpha * acc;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::{random_seeded, random_triangular};
+    use lamb_matrix::Matrix;
+
+    fn check(uplo: Uplo, trans: Trans, m: usize, n: usize, alpha: f64, cfg: &BlockConfig) {
+        let l = random_triangular(m, uplo, 5 + m as u64);
+        let b = random_seeded(m, n, 100 + n as u64);
+        let mut fast = Matrix::filled(m, n, f64::NAN); // := semantics: old contents ignored
+        trmm(
+            uplo,
+            trans,
+            alpha,
+            &l.view(),
+            &b.view(),
+            &mut fast.view_mut(),
+            cfg,
+        )
+        .unwrap();
+        let mut reference = Matrix::zeros(m, n);
+        trmm_naive(
+            uplo,
+            trans,
+            alpha,
+            &l.view(),
+            &b.view(),
+            &mut reference.view_mut(),
+        )
+        .unwrap();
+        let diff = max_abs_diff(&fast, &reference).unwrap();
+        assert!(
+            diff < 1e-11 * (m as f64).max(1.0),
+            "uplo {uplo:?} trans {trans:?} {m}x{n} alpha {alpha}: diff {diff}"
+        );
+    }
+
+    #[test]
+    fn all_uplo_trans_combinations_match_naive() {
+        let cfg = BlockConfig::serial();
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Yes] {
+                check(uplo, trans, 23, 17, 1.0, &cfg);
+                check(uplo, trans, 9, 31, -0.5, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_exercises_partial_diag_blocks() {
+        let cfg = BlockConfig::tiny();
+        check(Uplo::Lower, Trans::No, 13, 7, 1.0, &cfg);
+        check(Uplo::Upper, Trans::Yes, 11, 9, 2.0, &cfg);
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
+        check(Uplo::Lower, Trans::No, 90, 70, 1.0, &cfg);
+        check(Uplo::Upper, Trans::No, 64, 110, 1.0, &cfg);
+    }
+
+    #[test]
+    fn naive_trmm_agrees_with_gemm_on_materialised_triangle() {
+        // op(L)·B computed by GEMM over the explicitly-zeroed triangle equals
+        // TRMM reading only the stored triangle — the numerical identity that
+        // lets TRMM- and GEMM-based algorithm variants coexist in one
+        // algorithm set.
+        let cfg = BlockConfig::serial();
+        let m = 19;
+        let n = 8;
+        let l = random_triangular(m, Uplo::Lower, 3);
+        let b = random_seeded(m, n, 4);
+        let mut via_trmm = Matrix::zeros(m, n);
+        trmm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            &mut via_trmm.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+        let mut via_gemm = Matrix::zeros(m, n);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            0.0,
+            &mut via_gemm.view_mut(),
+        )
+        .unwrap();
+        assert!(max_abs_diff(&via_trmm, &via_gemm).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn opposite_triangle_is_never_read() {
+        let cfg = BlockConfig::tiny();
+        let m = 12;
+        let n = 5;
+        let mut l = random_triangular(m, Uplo::Lower, 7);
+        let clean = l.clone();
+        // Poison the unreferenced triangle: results must not change.
+        for i in 0..m {
+            for j in (i + 1)..m {
+                l[(i, j)] = 1.0e300;
+            }
+        }
+        let b = random_seeded(m, n, 8);
+        let mut poisoned = Matrix::zeros(m, n);
+        let mut reference = Matrix::zeros(m, n);
+        for (src, out) in [(&l, &mut poisoned), (&clean, &mut reference)] {
+            trmm(
+                Uplo::Lower,
+                Trans::No,
+                1.0,
+                &src.view(),
+                &b.view(),
+                &mut out.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+        }
+        assert_eq!(max_abs_diff(&poisoned, &reference).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_and_bad_shapes() {
+        let cfg = BlockConfig::default();
+        // m = 0 / n = 0 are no-ops.
+        let l = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut c = Matrix::zeros(0, 4);
+        trmm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            &mut c.view_mut(),
+            &cfg,
+        )
+        .unwrap();
+        // Rectangular L is rejected.
+        let l_bad = Matrix::zeros(3, 4);
+        let b3 = Matrix::zeros(3, 2);
+        let mut c3 = Matrix::zeros(3, 2);
+        assert!(trmm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l_bad.view(),
+            &b3.view(),
+            &mut c3.view_mut(),
+            &cfg
+        )
+        .is_err());
+        // Mismatched B is rejected.
+        let l3 = Matrix::zeros(3, 3);
+        let b_bad = Matrix::zeros(4, 2);
+        assert!(trmm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l3.view(),
+            &b_bad.view(),
+            &mut c3.view_mut(),
+            &cfg
+        )
+        .is_err());
+    }
+}

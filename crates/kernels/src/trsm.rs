@@ -1,0 +1,341 @@
+//! Triangular solve with multiple right-hand sides:
+//! `X := alpha * op(L)⁻¹ * B` with `L` an `m x m` triangular matrix of which
+//! only the [`Uplo`] triangle is referenced.
+//!
+//! Out-of-place, like [`crate::trmm::trmm`]: `B` is read, `X` is written. The
+//! Section-3.1-style FLOP model attributes `m²·n` FLOPs to the solve — half
+//! of the `2·m²·n` of a GEMM with the inverse explicitly formed — making
+//! TRSM, like TRMM, a structured kernel whose FLOP savings need not
+//! translate into time savings.
+//!
+//! Structure on the shared [`BlockedDriver`]: the right-hand-side columns are
+//! completely independent, so they are distributed as column panels. Within a
+//! panel the classic blocked substitution runs over diagonal blocks of
+//! [`BlockConfig::tri_block`] rows: the already-solved rows are folded in
+//! with the packed rectangular core, then the small diagonal system is
+//! solved by scalar forward/backward substitution.
+
+use crate::config::BlockConfig;
+use crate::driver::BlockedDriver;
+use crate::trmm::check_triangular_shapes;
+use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Trans, Uplo};
+
+/// `X := alpha * op(L)⁻¹ * B` where `op(L)` is `L` or `Lᵀ` and only the
+/// `uplo` triangle of `L` is referenced.
+///
+/// The FLOP count attributed to this kernel is `m²·n`
+/// (see [`crate::flops::trsm_flops`]).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] / [`MatrixError::DimensionMismatch`]
+/// for inconsistent shapes and [`MatrixError::SingularDiagonal`] when a
+/// diagonal element of `L` is exactly zero (the solve does not exist).
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
+pub fn trsm(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    l: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    x: &mut MatrixViewMut<'_>,
+    cfg: &BlockConfig,
+) -> Result<()> {
+    let (m, n) = check_triangular_shapes("trsm operand shape", l, b, x)?;
+    let l_data = l.as_slice();
+    let ldl = l.ld();
+    for i in 0..m {
+        if l_data[i + i * ldl] == 0.0 {
+            return Err(MatrixError::SingularDiagonal { index: i });
+        }
+    }
+    // Seed X with alpha * B; the substitution then runs in place on X.
+    for j in 0..n {
+        let src = b.col(j);
+        for (dst, &s) in x.col_mut(j).iter_mut().zip(src) {
+            *dst = alpha * s;
+        }
+    }
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+
+    // Element (i, p) of op(L) ignoring the triangle mask.
+    let op_l = move |i: usize, p: usize| match trans {
+        Trans::No => l_data[i + p * ldl],
+        Trans::Yes => l_data[p + i * ldl],
+    };
+    // The triangle op(L) effectively occupies; Lower solves forward (top
+    // down), Upper backward (bottom up).
+    let eff = uplo.under(trans);
+
+    let driver = BlockedDriver::new(cfg);
+    let tb = cfg.tri_block.max(1);
+    let parallel = cfg.should_parallelise(m, n, m);
+    driver.for_each_panel(x.subview_mut(0, 0, m, n), parallel, |_, mut panel| {
+        let w = panel.cols();
+        // Diagonal-block start offsets in solve order.
+        let starts: Vec<usize> = match eff {
+            Uplo::Lower => (0..m).step_by(tb).collect(),
+            Uplo::Upper => {
+                let mut s: Vec<usize> = (0..m).step_by(tb).collect();
+                s.reverse();
+                s
+            }
+        };
+        let mut update = Matrix::zeros(tb.min(m), w);
+        for i0 in starts {
+            let mb = tb.min(m - i0);
+            // Fold the already-solved rows into this block:
+            // update := op(L)[block, solved] * X[solved, panel].
+            let (solved_start, solved_len) = match eff {
+                Uplo::Lower => (0, i0),
+                Uplo::Upper => (i0 + mb, m - (i0 + mb)),
+            };
+            let mut update_full = update.view_mut();
+            let mut upd = update_full.subview_mut(0, 0, mb, w);
+            upd.fill(0.0);
+            if solved_len > 0 {
+                // `panel.as_slice()` is an immutable borrow that ends before
+                // the mutable writes below — the solved rows are disjoint
+                // from the block being updated, but the borrow checker cannot
+                // see row disjointness through a column-major view, so the
+                // contribution goes through a scratch block.
+                let p_data = panel.as_slice();
+                let ldp = panel.ld();
+                driver.accumulate_serial(
+                    mb,
+                    w,
+                    solved_len,
+                    1.0,
+                    &|i, p| op_l(i0 + i, solved_start + p),
+                    &|p, j| p_data[(solved_start + p) + j * ldp],
+                    &mut upd,
+                );
+            }
+            // Scalar substitution on the diagonal block.
+            for j in 0..w {
+                match eff {
+                    Uplo::Lower => {
+                        for i in 0..mb {
+                            let mut s = panel.at(i0 + i, j) - update[(i, j)];
+                            for p in 0..i {
+                                s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+                            }
+                            *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                        }
+                    }
+                    Uplo::Upper => {
+                        for i in (0..mb).rev() {
+                            let mut s = panel.at(i0 + i, j) - update[(i, j)];
+                            for p in (i + 1)..mb {
+                                s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+                            }
+                            *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Reference TRSM: unblocked column-by-column forward/backward substitution.
+/// Used by the unit and property tests to validate the blocked kernel.
+///
+/// # Errors
+///
+/// Same checks as [`trsm`].
+#[allow(clippy::too_many_arguments)] // BLAS-style interface
+pub fn trsm_naive(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    l: &MatrixView<'_>,
+    b: &MatrixView<'_>,
+    x: &mut MatrixViewMut<'_>,
+) -> Result<()> {
+    let (m, n) = check_triangular_shapes("trsm operand shape", l, b, x)?;
+    for i in 0..m {
+        if l.at(i, i) == 0.0 {
+            return Err(MatrixError::SingularDiagonal { index: i });
+        }
+    }
+    let op_l = |i: usize, p: usize| match trans {
+        Trans::No => l.at(i, p),
+        Trans::Yes => l.at(p, i),
+    };
+    let eff = uplo.under(trans);
+    for j in 0..n {
+        match eff {
+            Uplo::Lower => {
+                for i in 0..m {
+                    let mut s = alpha * b.at(i, j);
+                    for p in 0..i {
+                        s -= op_l(i, p) * x.at(p, j);
+                    }
+                    *x.at_mut(i, j) = s / op_l(i, i);
+                }
+            }
+            Uplo::Upper => {
+                for i in (0..m).rev() {
+                    let mut s = alpha * b.at(i, j);
+                    for p in (i + 1)..m {
+                        s -= op_l(i, p) * x.at(p, j);
+                    }
+                    *x.at_mut(i, j) = s / op_l(i, i);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trmm::trmm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::{random_seeded, random_triangular};
+
+    fn check(uplo: Uplo, trans: Trans, m: usize, n: usize, alpha: f64, cfg: &BlockConfig) {
+        let l = random_triangular(m, uplo, 9 + m as u64);
+        let b = random_seeded(m, n, 200 + n as u64);
+        let mut fast = Matrix::filled(m, n, f64::NAN);
+        trsm(
+            uplo,
+            trans,
+            alpha,
+            &l.view(),
+            &b.view(),
+            &mut fast.view_mut(),
+            cfg,
+        )
+        .unwrap();
+        let mut reference = Matrix::zeros(m, n);
+        trsm_naive(
+            uplo,
+            trans,
+            alpha,
+            &l.view(),
+            &b.view(),
+            &mut reference.view_mut(),
+        )
+        .unwrap();
+        let diff = max_abs_diff(&fast, &reference).unwrap();
+        assert!(
+            diff < 1e-10 * (m as f64).max(1.0),
+            "uplo {uplo:?} trans {trans:?} {m}x{n} alpha {alpha}: diff {diff}"
+        );
+    }
+
+    #[test]
+    fn all_uplo_trans_combinations_match_naive() {
+        let cfg = BlockConfig::serial();
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            for trans in [Trans::No, Trans::Yes] {
+                check(uplo, trans, 23, 17, 1.0, &cfg);
+                check(uplo, trans, 9, 31, -2.0, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_exercises_partial_diag_blocks() {
+        let cfg = BlockConfig::tiny();
+        check(Uplo::Lower, Trans::No, 13, 7, 1.0, &cfg);
+        check(Uplo::Upper, Trans::Yes, 11, 9, 0.5, &cfg);
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
+        check(Uplo::Lower, Trans::No, 90, 70, 1.0, &cfg);
+        check(Uplo::Upper, Trans::No, 64, 110, 1.0, &cfg);
+    }
+
+    #[test]
+    fn solve_inverts_the_triangular_product() {
+        // trsm(L, trmm(L, B)) == B — the round trip that certifies the two
+        // triangular kernels against each other.
+        let cfg = BlockConfig::serial();
+        let m = 27;
+        let n = 11;
+        for (uplo, trans) in [
+            (Uplo::Lower, Trans::No),
+            (Uplo::Upper, Trans::No),
+            (Uplo::Lower, Trans::Yes),
+        ] {
+            let l = random_triangular(m, uplo, 33);
+            let b = random_seeded(m, n, 34);
+            let mut lb = Matrix::zeros(m, n);
+            trmm_naive(uplo, trans, 1.0, &l.view(), &b.view(), &mut lb.view_mut()).unwrap();
+            let mut recovered = Matrix::zeros(m, n);
+            trsm(
+                uplo,
+                trans,
+                1.0,
+                &l.view(),
+                &lb.view(),
+                &mut recovered.view_mut(),
+                &cfg,
+            )
+            .unwrap();
+            assert!(
+                max_abs_diff(&recovered, &b).unwrap() < 1e-10,
+                "{uplo:?}/{trans:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let cfg = BlockConfig::default();
+        let mut l = random_triangular(5, Uplo::Lower, 1);
+        l[(3, 3)] = 0.0;
+        let b = random_seeded(5, 2, 2);
+        let mut x = Matrix::zeros(5, 2);
+        let err = trsm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            &mut x.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatrixError::SingularDiagonal { index: 3 });
+        assert!(trsm_naive(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            &mut x.view_mut()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shape_errors_are_detected() {
+        let cfg = BlockConfig::default();
+        let l = Matrix::zeros(3, 4);
+        let b = Matrix::zeros(3, 2);
+        let mut x = Matrix::zeros(3, 2);
+        assert!(trsm(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b.view(),
+            &mut x.view_mut(),
+            &cfg
+        )
+        .is_err());
+    }
+}

@@ -2,9 +2,9 @@
 //! reference, over randomly drawn shapes, transposition flags, scalars and
 //! blocking configurations.
 
-use lamb_kernels::{gemm, gemm_naive, symm, syrk, BlockConfig};
-use lamb_matrix::ops::{max_abs_diff, zero_opposite_triangle};
-use lamb_matrix::random::{random_seeded, random_symmetric};
+use lamb_kernels::{gemm, gemm_naive, symm, syrk, trmm, trmm_naive, trsm, trsm_naive, BlockConfig};
+use lamb_matrix::ops::{frobenius_norm, max_abs_diff, zero_opposite_triangle};
+use lamb_matrix::random::{random_seeded, random_symmetric, random_triangular};
 use lamb_matrix::{Matrix, Side, Trans, Uplo};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -98,6 +98,65 @@ proptest! {
         let mut c_ref = Matrix::zeros(m, n);
         gemm_naive(Trans::No, Trans::No, 1.0, &full.view(), &b.view(), 0.0, &mut c_ref.view_mut()).unwrap();
         prop_assert!(max_abs_diff(&c_symm, &c_ref).unwrap() < 1e-11 * m as f64);
+    }
+
+    #[test]
+    fn trmm_matches_naive(
+        m in 1usize..40,
+        n in 1usize..40,
+        uplo in uplo_strategy(),
+        trans in trans_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let l = random_triangular(m, uplo, seed);
+        let b = random_seeded(m, n, seed.wrapping_add(5));
+        let mut fast = Matrix::zeros(m, n);
+        trmm(uplo, trans, 1.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
+        let mut reference = Matrix::zeros(m, n);
+        trmm_naive(uplo, trans, 1.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
+        let norm = frobenius_norm(&reference).max(1.0);
+        prop_assert!(max_abs_diff(&fast, &reference).unwrap() < 1e-10 * norm);
+    }
+
+    #[test]
+    fn trsm_matches_naive(
+        m in 1usize..40,
+        n in 1usize..40,
+        uplo in uplo_strategy(),
+        trans in trans_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        // random_triangular is diagonally dominant, so the solves stay well
+        // conditioned and the 1e-10·norm tolerance is meaningful.
+        let l = random_triangular(m, uplo, seed);
+        let b = random_seeded(m, n, seed.wrapping_add(7));
+        let mut fast = Matrix::zeros(m, n);
+        trsm(uplo, trans, -0.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
+        let mut reference = Matrix::zeros(m, n);
+        trsm_naive(uplo, trans, -0.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
+        let norm = frobenius_norm(&reference).max(1.0);
+        prop_assert!(max_abs_diff(&fast, &reference).unwrap() < 1e-10 * norm);
+    }
+
+    #[test]
+    fn trsm_undoes_trmm(
+        m in 1usize..32,
+        n in 1usize..32,
+        uplo in uplo_strategy(),
+        trans in trans_strategy(),
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let l = random_triangular(m, uplo, seed);
+        let b = random_seeded(m, n, seed.wrapping_add(11));
+        let mut lb = Matrix::zeros(m, n);
+        trmm(uplo, trans, 1.0, &l.view(), &b.view(), &mut lb.view_mut(), &cfg).unwrap();
+        let mut recovered = Matrix::zeros(m, n);
+        trsm(uplo, trans, 1.0, &l.view(), &lb.view(), &mut recovered.view_mut(), &cfg).unwrap();
+        let norm = frobenius_norm(&b).max(1.0);
+        prop_assert!(max_abs_diff(&recovered, &b).unwrap() < 1e-10 * norm);
     }
 
     #[test]

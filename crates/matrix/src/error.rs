@@ -48,6 +48,12 @@ pub enum MatrixError {
         /// Number of rows requested.
         rows: usize,
     },
+    /// A triangular solve encountered a zero on the diagonal: the triangular
+    /// operand is singular and `op(L)⁻¹·B` does not exist.
+    SingularDiagonal {
+        /// Index of the zero diagonal element.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -78,6 +84,10 @@ impl fmt::Display for MatrixError {
             MatrixError::InvalidLeadingDimension { ld, rows } => write!(
                 f,
                 "leading dimension {ld} is smaller than the number of rows {rows}"
+            ),
+            MatrixError::SingularDiagonal { index } => write!(
+                f,
+                "triangular operand is singular: zero diagonal element at index {index}"
             ),
         }
     }
@@ -143,6 +153,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("2"));
         assert!(s.contains("5"));
+    }
+
+    #[test]
+    fn display_singular_diagonal() {
+        let e = MatrixError::SingularDiagonal { index: 4 };
+        let s = e.to_string();
+        assert!(s.contains("singular"));
+        assert!(s.contains('4'));
     }
 
     #[test]

@@ -85,6 +85,37 @@ pub fn is_symmetric(a: &Matrix, tol: f64) -> Result<bool> {
     Ok(true)
 }
 
+/// Whether a square matrix is exactly triangular: every element outside the
+/// `uplo` triangle (diagonal included in the triangle) is zero.
+///
+/// Kernels such as TRMM/TRSM read only the stored triangle and *assume* the
+/// rest is zero — a declared-triangular operand that is not actually
+/// triangular makes the structured and GEMM-based variants of one expression
+/// diverge. The measured executor asserts this invariant on its triangular
+/// operands in debug builds (it is O(n²), so the release timing path skips
+/// it), and the triangular-generator tests validate against it.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] for rectangular input.
+pub fn is_triangular(a: &Matrix, uplo: Uplo) -> Result<bool> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    for j in 0..n {
+        for i in 0..n {
+            if !uplo.contains(i, j) && a[(i, j)] != 0.0 {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
 /// `b := alpha * a + b` for matrices of identical shape.
 ///
 /// # Errors
@@ -221,6 +252,20 @@ mod tests {
     fn is_symmetric_rejects_rectangular() {
         let a = Matrix::zeros(2, 3);
         assert!(is_symmetric(&a, 1e-12).is_err());
+    }
+
+    #[test]
+    fn is_triangular_detects_structure() {
+        let mut a = Matrix::from_fn(3, 3, |i, j| if i >= j { 1.0 } else { 0.0 });
+        assert!(is_triangular(&a, Uplo::Lower).unwrap());
+        assert!(!is_triangular(&a, Uplo::Upper).unwrap());
+        a[(0, 2)] = 0.5;
+        assert!(!is_triangular(&a, Uplo::Lower).unwrap());
+        assert!(is_triangular(&Matrix::zeros(2, 3), Uplo::Lower).is_err());
+        // The diagonal belongs to both triangles.
+        let d = Matrix::identity(4);
+        assert!(is_triangular(&d, Uplo::Lower).unwrap());
+        assert!(is_triangular(&d, Uplo::Upper).unwrap());
     }
 
     #[test]

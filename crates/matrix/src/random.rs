@@ -6,6 +6,7 @@
 //! algorithm variants is meaningful.
 
 use crate::dense::Matrix;
+use crate::types::Uplo;
 use rand::distr::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +33,30 @@ pub fn random_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) ->
 pub fn random_seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed ^ mix(rows as u64, cols as u64));
     random_uniform(rows, cols, &mut rng)
+}
+
+/// Create a random `n x n` triangular matrix: uniform values in `[-1, 1)` on
+/// the `uplo` triangle, exact zeros elsewhere, and a diagonal shifted to
+/// `±(2 + |value|)` so the matrix is strictly diagonally dominant within its
+/// triangle. Dominance keeps triangular solves (`op(L)⁻¹·B`) well conditioned,
+/// which is what lets TRSM-based algorithm variants be compared numerically
+/// against their references at `1e-10`-level tolerances.
+///
+/// The same `(n, uplo, seed)` triple always yields the same matrix, so two
+/// algorithms of the same expression see identical triangular operands.
+#[must_use]
+pub fn random_triangular(n: usize, uplo: Uplo, seed: u64) -> Matrix {
+    let dense = random_seeded(n, n, seed);
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            let v = dense[(i, j)];
+            v.signum() * (2.0 + v.abs())
+        } else if uplo.contains(i, j) {
+            dense[(i, j)]
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Create a random symmetric `n x n` matrix (A + Aᵀ scaled to stay in range).
@@ -90,6 +115,20 @@ mod tests {
         let a = random_seeded(10, 10, 9);
         let first = a.as_slice()[0];
         assert!(a.as_slice().iter().any(|&x| x != first));
+    }
+
+    #[test]
+    fn random_triangular_is_triangular_and_nonsingular() {
+        for uplo in [Uplo::Lower, Uplo::Upper] {
+            let t = random_triangular(9, uplo, 17);
+            assert!(crate::ops::is_triangular(&t, uplo).unwrap());
+            for i in 0..9 {
+                assert!(t[(i, i)].abs() >= 2.0, "diagonal must dominate");
+            }
+            // Deterministic per (n, uplo, seed).
+            assert_eq!(t, random_triangular(9, uplo, 17));
+            assert_ne!(t, random_triangular(9, uplo, 18));
+        }
     }
 
     #[test]

@@ -36,6 +36,18 @@ impl Uplo {
             Uplo::Upper => 'U',
         }
     }
+
+    /// The triangle this triangle becomes under a transposition: `op(L)` of
+    /// a stored-lower `L` with `trans = T` effectively occupies the upper
+    /// triangle. This is the single definition every kernel and the
+    /// enumerator share for "which triangle does `op(L)` live in".
+    #[must_use]
+    pub fn under(self, trans: Trans) -> Uplo {
+        match trans {
+            Trans::No => self,
+            Trans::Yes => self.flip(),
+        }
+    }
 }
 
 /// Whether an operand is used as-is or transposed.
@@ -134,6 +146,13 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn uplo_under_transposition() {
+        assert_eq!(Uplo::Lower.under(Trans::No), Uplo::Lower);
+        assert_eq!(Uplo::Lower.under(Trans::Yes), Uplo::Upper);
+        assert_eq!(Uplo::Upper.under(Trans::Yes), Uplo::Lower);
     }
 
     #[test]

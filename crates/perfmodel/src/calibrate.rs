@@ -37,6 +37,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: ar,
                 cols: ac,
                 role: OperandRole::Input,
+                triangle: None,
                 name: "A".into(),
             });
             operands.push(OperandInfo {
@@ -44,6 +45,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: br,
                 cols: bc,
                 role: OperandRole::Input,
+                triangle: None,
                 name: "B".into(),
             });
             vec![OperandId(0), OperandId(1)]
@@ -58,6 +60,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: ar,
                 cols: ac,
                 role: OperandRole::Input,
+                triangle: None,
                 name: "A".into(),
             });
             vec![OperandId(0)]
@@ -72,6 +75,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: sym_dim,
                 cols: sym_dim,
                 role: OperandRole::Input,
+                triangle: None,
                 name: "A".into(),
             });
             operands.push(OperandInfo {
@@ -79,6 +83,26 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: m,
                 cols: n,
                 role: OperandRole::Input,
+                triangle: None,
+                name: "B".into(),
+            });
+            vec![OperandId(0), OperandId(1)]
+        }
+        KernelOp::Trmm { uplo, m, n, .. } | KernelOp::Trsm { uplo, m, n, .. } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: m,
+                cols: m,
+                role: OperandRole::Input,
+                triangle: Some(uplo),
+                name: "L".into(),
+            });
+            operands.push(OperandInfo {
+                id: OperandId(1),
+                rows: m,
+                cols: n,
+                role: OperandRole::Input,
+                triangle: None,
                 name: "B".into(),
             });
             vec![OperandId(0), OperandId(1)]
@@ -89,6 +113,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: n,
                 cols: n,
                 role: OperandRole::Input,
+                triangle: None,
                 name: "A".into(),
             });
             vec![OperandId(0)]
@@ -103,6 +128,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
         rows: out_rows,
         cols: out_cols,
         role: OperandRole::Output,
+        triangle: None,
         name: "X".into(),
     });
     let output = out_id;
@@ -138,10 +164,15 @@ pub fn estimate_peak_flops(cfg: &BlockConfig, size: usize, trials: usize) -> f64
     best
 }
 
-/// The three square-operand kernel operations of the paper's Figure 1 at a
-/// given size.
+/// Names of the compute kernels swept by the square calibration, in sweep
+/// order (the paper's Figure 1 trio plus the triangular extensions).
+pub const SQUARE_SWEEP_KERNELS: [&str; 5] = ["gemm", "syrk", "symm", "trmm", "trsm"];
+
+/// The square-operand kernel operations of the calibration sweep at a given
+/// size: the paper's Figure 1 trio (GEMM, SYRK, SYMM) extended with the
+/// triangular kernels (TRMM, TRSM), in [`SQUARE_SWEEP_KERNELS`] order.
 #[must_use]
-pub fn square_ops(size: usize) -> [KernelOp; 3] {
+pub fn square_ops(size: usize) -> [KernelOp; 5] {
     [
         KernelOp::Gemm {
             transa: Trans::No,
@@ -162,18 +193,30 @@ pub fn square_ops(size: usize) -> [KernelOp; 3] {
             m: size,
             n: size,
         },
+        KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: size,
+            n: size,
+        },
+        KernelOp::Trsm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: size,
+            n: size,
+        },
     ]
 }
 
-/// Sweep the GEMM/SYRK/SYMM efficiency curves on square operands using any
-/// executor — the data behind the paper's Figure 1.
+/// Sweep the per-kernel efficiency curves on square operands using any
+/// executor — the data behind the paper's Figure 1, extended with the
+/// triangular kernels.
 pub fn measure_square_profiles(executor: &mut dyn Executor, sizes: &[usize]) -> Vec<SquareProfile> {
     let machine = executor.machine().clone();
-    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = vec![
-        ("gemm".into(), Vec::new(), Vec::new()),
-        ("syrk".into(), Vec::new(), Vec::new()),
-        ("symm".into(), Vec::new(), Vec::new()),
-    ];
+    let mut curves: Vec<(String, Vec<usize>, Vec<f64>)> = SQUARE_SWEEP_KERNELS
+        .iter()
+        .map(|name| ((*name).to_string(), Vec::new(), Vec::new()))
+        .collect();
     for &size in sizes {
         for (idx, op) in square_ops(size).into_iter().enumerate() {
             let flops = op.flops();
@@ -217,6 +260,18 @@ mod tests {
                 m: 4,
                 n: 9,
             },
+            KernelOp::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                m: 7,
+                n: 4,
+            },
+            KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 6,
+                n: 5,
+            },
             KernelOp::CopyTriangle {
                 uplo: Uplo::Lower,
                 n: 6,
@@ -253,15 +308,21 @@ mod tests {
         let mut sim = SimulatedExecutor::paper_like();
         let sizes = [100, 400, 800, 1600, 3000];
         let profiles = measure_square_profiles(&mut sim, &sizes);
-        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles.len(), SQUARE_SWEEP_KERNELS.len());
+        for (profile, name) in profiles.iter().zip(SQUARE_SWEEP_KERNELS) {
+            assert_eq!(profile.kernel, name);
+        }
         let gemm = &profiles[0];
-        let syrk = &profiles[1];
-        let symm = &profiles[2];
-        assert_eq!(gemm.kernel, "gemm");
-        // GEMM dominates the other kernels at every sampled size (Figure 1).
-        for i in 0..sizes.len() {
-            assert!(gemm.efficiencies[i] >= syrk.efficiencies[i]);
-            assert!(gemm.efficiencies[i] >= symm.efficiencies[i]);
+        // GEMM dominates every other kernel at every sampled size (Figure 1,
+        // extended to the triangular kernels).
+        for other in &profiles[1..] {
+            for i in 0..sizes.len() {
+                assert!(
+                    gemm.efficiencies[i] >= other.efficiencies[i],
+                    "{}",
+                    other.kernel
+                );
+            }
         }
         // Efficiency grows with size and ends up high for GEMM.
         assert!(gemm.efficiencies.last().unwrap() > &0.8);

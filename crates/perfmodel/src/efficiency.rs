@@ -68,6 +68,15 @@ pub struct AnalyticEfficiencyModel {
     /// SYMM efficiency relative to same-shape GEMM: `(base, gain, half)` in
     /// the symmetric order.
     pub symm_rel: (f64, f64, f64),
+    /// TRMM efficiency relative to same-shape GEMM: `(base, gain, half)` in
+    /// the triangular order.
+    pub trmm_rel: (f64, f64, f64),
+    /// TRSM efficiency relative to same-shape GEMM: `(base, gain, half)` in
+    /// the triangular order. The solve's sequential dependency chain keeps it
+    /// further below GEMM than any other kernel, especially at small orders —
+    /// the regime where its halved FLOP count is most thoroughly defeated by
+    /// its lower FLOP rate (the anomaly mechanism of the triangular family).
+    pub trsm_rel: (f64, f64, f64),
     /// Whether abrupt internal-variant switches are modelled.
     pub variant_switches: bool,
 }
@@ -79,6 +88,8 @@ impl Default for AnalyticEfficiencyModel {
             gemm_half: (30.0, 30.0, 46.0),
             syrk_rel: (0.30, 0.64, 420.0),
             symm_rel: (0.45, 0.49, 350.0),
+            trmm_rel: (0.38, 0.56, 390.0),
+            trsm_rel: (0.22, 0.62, 520.0),
             variant_switches: true,
         }
     }
@@ -161,6 +172,39 @@ impl AnalyticEfficiencyModel {
         f
     }
 
+    /// Variant factor for TRMM (switches on the triangular order and the
+    /// right-hand-side width, mimicking a library that falls back to an
+    /// unblocked path for thin problems).
+    fn trmm_variant_factor(&self, m_tri: usize, n_rhs: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if m_tri < 224 {
+            f *= 0.91;
+        }
+        if n_rhs < 32 {
+            f *= 0.85;
+        }
+        f
+    }
+
+    /// Variant factor for TRSM: the substitution recurrence limits blocking,
+    /// so the switches bite harder and earlier than TRMM's.
+    fn trsm_variant_factor(&self, m_tri: usize, n_rhs: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if m_tri < 320 {
+            f *= 0.88;
+        }
+        if n_rhs < 48 {
+            f *= 0.82;
+        }
+        f
+    }
+
     fn rel(&self, params: (f64, f64, f64), order: usize) -> f64 {
         let (base, gain, half) = params;
         base + gain * ramp(order, half)
@@ -184,6 +228,16 @@ impl EfficiencyModel for AnalyticEfficiencyModel {
                 self.gemm_efficiency(sym_dim, other, sym_dim)
                     * self.rel(self.symm_rel, sym_dim)
                     * self.symm_variant_factor(sym_dim, other)
+            }
+            KernelOp::Trmm { m, n, .. } => {
+                self.gemm_efficiency(m, n, m)
+                    * self.rel(self.trmm_rel, m)
+                    * self.trmm_variant_factor(m, n)
+            }
+            KernelOp::Trsm { m, n, .. } => {
+                self.gemm_efficiency(m, n, m)
+                    * self.rel(self.trsm_rel, m)
+                    * self.trsm_variant_factor(m, n)
             }
             // The copy has no floating-point work; report a nominal efficiency
             // so callers never divide by zero.
@@ -275,6 +329,58 @@ mod tests {
         let g_small2 = model.efficiency(&gemm_op(80, 800, 80));
         let y_small = model.efficiency(&symm_op(80, 800));
         assert!(y_small / g_small2 < 0.80, "ratio {}", y_small / g_small2);
+    }
+
+    fn trmm_op(m: usize, n: usize) -> KernelOp {
+        KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m,
+            n,
+        }
+    }
+
+    fn trsm_op(m: usize, n: usize) -> KernelOp {
+        KernelOp::Trsm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m,
+            n,
+        }
+    }
+
+    #[test]
+    fn gemm_dominates_the_triangular_kernels() {
+        let model = AnalyticEfficiencyModel::default();
+        for size in [100, 300, 600, 1000, 2000] {
+            let g = model.efficiency(&gemm_op(size, size, size));
+            let tm = model.efficiency(&trmm_op(size, size));
+            let ts = model.efficiency(&trsm_op(size, size));
+            assert!(g > tm, "size {size}: gemm {g} vs trmm {tm}");
+            assert!(tm > ts, "size {size}: trmm {tm} vs trsm {ts}");
+        }
+    }
+
+    #[test]
+    fn small_triangular_orders_defeat_the_halved_flop_count() {
+        // The anomaly mechanism of the triangular family: at small orders the
+        // structured kernels' FLOP *rate* is less than half of GEMM's, so
+        // performing 2x the FLOPs through GEMM is predicted faster.
+        let model = AnalyticEfficiencyModel::default();
+        let m = 72;
+        let n = 700;
+        let t = |flops: f64, eff: f64| flops / eff;
+        let via_trmm = t((m * m * n) as f64, model.efficiency(&trmm_op(m, n)));
+        let via_gemm = t((2 * m * m * n) as f64, model.efficiency(&gemm_op(m, n, m)));
+        assert!(
+            via_gemm < via_trmm,
+            "small-order GEMM should beat TRMM: {via_gemm} vs {via_trmm}"
+        );
+        // At large orders the structured kernel wins, as it should.
+        let m = 2000;
+        let via_trmm = t((m * m * n) as f64, model.efficiency(&trmm_op(m, n)));
+        let via_gemm = t((2 * m * m * n) as f64, model.efficiency(&gemm_op(m, n, m)));
+        assert!(via_trmm < via_gemm);
     }
 
     #[test]

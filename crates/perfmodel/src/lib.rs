@@ -36,11 +36,16 @@ pub mod profile;
 pub mod simulate;
 pub mod store;
 
-pub use calibrate::{estimate_peak_flops, measure_square_profiles, single_call_algorithm};
+pub use calibrate::{
+    estimate_peak_flops, measure_square_profiles, single_call_algorithm, SQUARE_SWEEP_KERNELS,
+};
 pub use efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
 pub use executor::{AlgorithmTiming, CallTiming, Executor};
 pub use machine::MachineModel;
 pub use measured::MeasuredExecutor;
 pub use profile::{CallTimeTable, SquareProfile};
 pub use simulate::{SimulatedExecutor, SimulatorConfig};
-pub use store::{CalibrationStore, StalenessWarning, StoreError, StoreMeta, STORE_FORMAT_VERSION};
+pub use store::{
+    CalibrationStore, StalenessWarning, StoreError, StoreMeta, EXPECTED_KERNELS,
+    STORE_FORMAT_VERSION, STORE_MIN_SUPPORTED_VERSION,
+};

@@ -5,9 +5,10 @@
 
 use crate::executor::{AlgorithmTiming, CallTiming, Executor};
 use crate::machine::MachineModel;
-use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandRole};
-use lamb_kernels::{gemm, symm, syrk, BlockConfig, CacheFlusher};
-use lamb_matrix::random::random_seeded;
+use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandInfo, OperandRole};
+use lamb_kernels::{BlockConfig, CacheFlusher, Kernel};
+use lamb_matrix::ops::is_triangular;
+use lamb_matrix::random::{random_seeded, random_triangular};
 use lamb_matrix::Matrix;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -66,6 +67,19 @@ impl MeasuredExecutor {
         self.reps
     }
 
+    /// Materialise one input operand. Triangular inputs are genuinely
+    /// triangular (zeros outside the stored triangle) and diagonally
+    /// dominant, so a TRMM that reads only the triangle, a GEMM that reads
+    /// the whole matrix and a TRSM that inverts the triangle all see the
+    /// same, well-conditioned mathematical operand.
+    fn input_matrix(&self, info: &OperandInfo) -> Matrix {
+        let seed = self.seed ^ (info.id.index() as u64);
+        match info.triangle {
+            Some(uplo) => random_triangular(info.rows, uplo, seed),
+            None => random_seeded(info.rows, info.cols, seed),
+        }
+    }
+
     /// Allocate every operand of the algorithm: inputs are filled with
     /// reproducible random values, intermediates and the output with zeros.
     fn allocate_operands(&self, alg: &Algorithm) -> HashMap<OperandId, Matrix> {
@@ -73,9 +87,7 @@ impl MeasuredExecutor {
             .iter()
             .map(|info| {
                 let m = match info.role {
-                    OperandRole::Input => {
-                        random_seeded(info.rows, info.cols, self.seed ^ (info.id.index() as u64))
-                    }
+                    OperandRole::Input => self.input_matrix(info),
                     _ => Matrix::zeros(info.rows, info.cols),
                 };
                 (info.id, m)
@@ -93,53 +105,54 @@ impl MeasuredExecutor {
         let mut out = operands
             .remove(&call.output)
             .expect("output operand must be allocated");
-        match call.op {
-            KernelOp::Gemm { transa, transb, .. } => {
-                let a = &operands[&call.inputs[0]];
-                let b = &operands[&call.inputs[1]];
-                gemm(
+        // Lower the symbolic op onto the kernels crate's unified dispatcher;
+        // only the in-place triangle copy falls outside the Kernel vocabulary.
+        let input = |i: usize| &operands[&call.inputs[i]];
+        if let KernelOp::CopyTriangle { uplo, .. } = call.op {
+            out.symmetrize_from(uplo).expect("copy target is square");
+        } else {
+            let kernel = match call.op {
+                KernelOp::Gemm { transa, transb, .. } => Kernel::Gemm {
                     transa,
+                    a: input(0),
                     transb,
-                    1.0,
-                    &a.view(),
-                    &b.view(),
-                    0.0,
-                    &mut out.view_mut(),
-                    &self.cfg,
-                )
-                .expect("gemm shapes consistent");
-            }
-            KernelOp::Syrk { uplo, trans, .. } => {
-                let a = &operands[&call.inputs[0]];
-                syrk(
+                    b: input(1),
+                },
+                KernelOp::Syrk { uplo, trans, .. } => Kernel::Syrk {
                     uplo,
                     trans,
-                    1.0,
-                    &a.view(),
-                    0.0,
-                    &mut out.view_mut(),
-                    &self.cfg,
-                )
-                .expect("syrk shapes consistent");
-            }
-            KernelOp::Symm { side, uplo, .. } => {
-                let a_sym = &operands[&call.inputs[0]];
-                let b = &operands[&call.inputs[1]];
-                symm(
+                    a: input(0),
+                },
+                KernelOp::Symm { side, uplo, .. } => Kernel::Symm {
                     side,
                     uplo,
-                    1.0,
-                    &a_sym.view(),
-                    &b.view(),
-                    0.0,
-                    &mut out.view_mut(),
-                    &self.cfg,
-                )
-                .expect("symm shapes consistent");
+                    a_sym: input(0),
+                    b: input(1),
+                },
+                KernelOp::Trmm { uplo, trans, .. } => Kernel::Trmm {
+                    uplo,
+                    trans,
+                    l: input(0),
+                    b: input(1),
+                },
+                KernelOp::Trsm { uplo, trans, .. } => Kernel::Trsm {
+                    uplo,
+                    trans,
+                    l: input(0),
+                    b: input(1),
+                },
+                KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
+            };
+            if let Kernel::Trmm { uplo, l, .. } | Kernel::Trsm { uplo, l, .. } = kernel {
+                debug_assert!(
+                    is_triangular(l, uplo).unwrap_or(false),
+                    "triangular operand of {} is not {uplo:?}-triangular",
+                    call.op.mnemonic()
+                );
             }
-            KernelOp::CopyTriangle { uplo, .. } => {
-                out.symmetrize_from(uplo).expect("copy target is square");
-            }
+            kernel
+                .run_into(&mut out, &self.cfg)
+                .expect("kernel shapes consistent (and TRSM diagonal nonsingular)");
         }
         operands.insert(call.output, out);
     }
@@ -227,14 +240,16 @@ impl Executor for MeasuredExecutor {
     fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
         let call = &alg.calls[call_index];
         // Only the operands touched by this call are needed; their contents do
-        // not affect performance (dense unstructured operands), so inputs that
-        // are intermediates elsewhere are simply random here.
+        // not affect performance (dense operands), so inputs that are
+        // intermediates elsewhere are simply random here — except triangular
+        // operands, which must be genuinely triangular and nonsingular (a
+        // TRSM against a random dense matrix could overflow mid-benchmark).
         let mut operands: HashMap<OperandId, Matrix> = HashMap::new();
         for id in call.inputs.iter().copied().chain([call.output]) {
             let info = alg.operand(id).expect("operand declared");
-            operands.entry(id).or_insert_with(|| {
-                random_seeded(info.rows, info.cols, self.seed ^ id.index() as u64)
-            });
+            operands
+                .entry(id)
+                .or_insert_with(|| self.input_matrix(info));
         }
         let mut samples = Vec::with_capacity(self.reps);
         for _ in 0..self.reps {
@@ -292,6 +307,35 @@ mod tests {
             let out_id = alg.output().unwrap().id;
             results.push(operands.remove(&out_id).unwrap());
         }
+        for other in &results[1..] {
+            assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_triangular_algorithms_produce_the_same_result_matrix() {
+        // Every algorithm of L[lower]*A*B — TRMM-based and GEMM-based, in
+        // both merge orders — computes the same mathematical object.
+        use lamb_expr::{Expression, TreeExpression};
+        let exec = tiny_executor();
+        let expr = TreeExpression::parse("L[lower]*A*B").unwrap();
+        let algs = expr.algorithms(&[24, 18, 13]).unwrap();
+        assert!(algs.iter().any(|a| a.kernel_summary().contains("trmm")));
+        let results: Vec<Matrix> = algs.iter().map(|a| exec.compute_result(a)).collect();
+        for other in &results[1..] {
+            assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trsm_algorithms_solve_consistently_across_orders() {
+        // L^-1*A*B: solve-then-multiply equals multiply-then-solve.
+        use lamb_expr::{Expression, TreeExpression};
+        let exec = tiny_executor();
+        let expr = TreeExpression::parse("L[lower]^-1*A*B").unwrap();
+        let algs = expr.algorithms(&[20, 15, 11]).unwrap();
+        assert!(algs.len() >= 2);
+        let results: Vec<Matrix> = algs.iter().map(|a| exec.compute_result(a)).collect();
         for other in &results[1..] {
             assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
         }

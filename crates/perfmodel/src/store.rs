@@ -52,11 +52,26 @@ use std::fmt;
 use std::path::Path;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// Version of the on-disk format this build writes and reads.
-pub const STORE_FORMAT_VERSION: u64 = 1;
+/// Version of the on-disk format this build writes.
+///
+/// * **v1** — the original GEMM/SYRK/SYMM/copy call vocabulary.
+/// * **v2** — adds the triangular kernels TRMM and TRSM (stored by canonical
+///   timing key: effective triangle, transposition cleared). Structurally a
+///   superset of v1: a v1 document is readable as-is, simply has no coverage
+///   for the new kernels (see [`CalibrationStore::missing_kernels`]), and is
+///   upgraded to v2 the next time it is saved.
+pub const STORE_FORMAT_VERSION: u64 = 2;
+
+/// Oldest on-disk format version this build still reads (and migrates).
+pub const STORE_MIN_SUPPORTED_VERSION: u64 = 1;
 
 /// Magic string identifying a calibration-store document.
 pub const STORE_FORMAT_NAME: &str = "lamb-calibration-store";
+
+/// The compute kernels a fully-covered store is expected to have benchmark
+/// entries for — by definition, exactly the kernels the square calibration
+/// sweep covers, so the two lists cannot drift apart.
+pub const EXPECTED_KERNELS: [&str; 5] = crate::calibrate::SQUARE_SWEEP_KERNELS;
 
 /// Relative peak-FLOPS drift beyond which a store is flagged as stale.
 pub const PEAK_DRIFT_TOLERANCE: f64 = 0.05;
@@ -301,6 +316,19 @@ impl CalibrationStore {
         counts
     }
 
+    /// Compute kernels with no benchmark entry at all — the coverage gap a
+    /// migrated v1 store reports for the triangular kernels until the next
+    /// calibration sweep fills them in.
+    #[must_use]
+    pub fn missing_kernels(&self) -> Vec<&'static str> {
+        let coverage = self.coverage();
+        EXPECTED_KERNELS
+            .iter()
+            .copied()
+            .filter(|kernel| !coverage.contains_key(*kernel))
+            .collect()
+    }
+
     /// Serialise to the versioned JSON document. Call entries are sorted by
     /// their display form, so equal stores serialise to equal bytes.
     #[must_use]
@@ -384,9 +412,10 @@ impl CalibrationStore {
             )));
         }
         let version = field_u64(&doc, "version")?;
-        if version != STORE_FORMAT_VERSION {
+        if !(STORE_MIN_SUPPORTED_VERSION..=STORE_FORMAT_VERSION).contains(&version) {
             return Err(StoreError::Format(format!(
-                "unsupported store version {version} (this build reads version {STORE_FORMAT_VERSION})"
+                "unsupported store version {version} (this build reads versions \
+                 {STORE_MIN_SUPPORTED_VERSION}..={STORE_FORMAT_VERSION})"
             )));
         }
         let meta_doc = doc
@@ -514,6 +543,13 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
             fields.push(("m".into(), Json::Num(m as f64)));
             fields.push(("n".into(), Json::Num(n as f64)));
         }
+        // TRMM/TRSM are stored by timing key (effective triangle, canonical
+        // cleared transposition), so only the uplo tag is written.
+        KernelOp::Trmm { uplo, m, n, .. } | KernelOp::Trsm { uplo, m, n, .. } => {
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
         KernelOp::CopyTriangle { uplo, n } => {
             fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
             fields.push(("n".into(), Json::Num(n as f64)));
@@ -543,6 +579,18 @@ fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
         "symm" => KernelOp::Symm {
             side: parse_side(&field_str(entry, "side")?)?,
             uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            m: dim("m")?,
+            n: dim("n")?,
+        },
+        "trmm" => KernelOp::Trmm {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            trans: Trans::No,
+            m: dim("m")?,
+            n: dim("n")?,
+        },
+        "trsm" => KernelOp::Trsm {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            trans: Trans::No,
             m: dim("m")?,
             n: dim("n")?,
         },
@@ -651,6 +699,24 @@ mod tests {
                 n: 60,
             },
             1.125e-5,
+        );
+        store.calls.insert(
+            KernelOp::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::Yes, // canonicalised to (Upper, N) on insert
+                m: 80,
+                n: 35,
+            },
+            3.25e-4,
+        );
+        store.calls.insert(
+            KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 64,
+                n: 16,
+            },
+            9.5e-5,
         );
         store.calls.insert(
             KernelOp::CopyTriangle {
@@ -826,10 +892,96 @@ mod tests {
 
     #[test]
     fn coverage_counts_by_kernel() {
-        let cov = sample_store().coverage();
-        assert_eq!(cov.get("gemm"), Some(&1));
-        assert_eq!(cov.get("syrk"), Some(&1));
-        assert_eq!(cov.get("symm"), Some(&1));
-        assert_eq!(cov.get("copy"), Some(&1));
+        let store = sample_store();
+        let cov = store.coverage();
+        for kernel in ["gemm", "syrk", "symm", "trmm", "trsm", "copy"] {
+            assert_eq!(cov.get(kernel), Some(&1), "{kernel}");
+        }
+        assert!(store.missing_kernels().is_empty());
+    }
+
+    #[test]
+    fn triangular_lookups_are_timing_key_invariant_after_reload() {
+        // The (Lower, T) insert canonicalised to (Upper, N); after a reload
+        // both spellings hit the same entry.
+        let back = CalibrationStore::from_json(&sample_store().to_json()).unwrap();
+        let mut calls = back.calls;
+        let stored_lower_t = KernelOp::Trmm {
+            uplo: Uplo::Lower,
+            trans: Trans::Yes,
+            m: 80,
+            n: 35,
+        };
+        let stored_upper_n = KernelOp::Trmm {
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 80,
+            n: 35,
+        };
+        assert_eq!(calls.lookup(&stored_lower_t), Some(3.25e-4));
+        assert_eq!(calls.lookup(&stored_upper_n), Some(3.25e-4));
+    }
+
+    #[test]
+    fn v1_documents_load_report_missing_coverage_and_migrate() {
+        // Reconstruct what the previous build wrote: a version-1 document
+        // whose call table has no triangular kernels.
+        let mut old = sample_store();
+        old.calls = CallTimeTable::from_entries(
+            old.calls
+                .entries()
+                .filter(|(op, _)| !matches!(op, KernelOp::Trmm { .. } | KernelOp::Trsm { .. }))
+                .map(|(op, s)| (op.clone(), s)),
+        );
+        let v1_text = old.to_json().replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 1",
+        );
+
+        // It loads under the v2 build...
+        let migrated = CalibrationStore::from_json(&v1_text).unwrap();
+        assert_eq!(migrated.calls.len(), old.calls.len());
+        // ...reports the coverage gap for the new kernels...
+        assert_eq!(migrated.missing_kernels(), vec!["trmm", "trsm"]);
+
+        // ...and after merging a sweep that fills the gap, round-trips
+        // bit-identically through the (v2) serialisation.
+        let mut merged = migrated;
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
+        sweep.calls.insert(
+            KernelOp::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            },
+            1.0 / 7.0, // not exactly representable: a real bit-identity test
+        );
+        sweep.calls.insert(
+            KernelOp::Trsm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            },
+            2.0 / 3.0,
+        );
+        merged.merge_from(&sweep).unwrap();
+        assert!(merged.missing_kernels().is_empty());
+        let text = merged.to_json();
+        assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "v1→v2 migration must round-trip");
+        let mut calls = back.calls;
+        let t = calls
+            .lookup(&KernelOp::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            })
+            .unwrap();
+        assert_eq!(t.to_bits(), (1.0f64 / 7.0).to_bits());
     }
 }

@@ -190,6 +190,63 @@ mod tests {
     }
 
     #[test]
+    fn triangular_anomalies_are_classified_like_the_paper_families() {
+        // Small triangular order, wide right-hand side: the FLOP-minimal
+        // TRMM algorithm's FLOP rate trails GEMM by more than 2x, so the
+        // cheapest and fastest sets separate — a paper-style anomaly over
+        // the enlarged (TRMM-bearing) algorithm set.
+        use lamb_expr::expr::Expr;
+        use lamb_matrix::Uplo;
+        let l = Expr::tri_var("L", 72, Uplo::Lower);
+        let b = Expr::var("B", 72, 700);
+        let algs = lamb_expr::enumerate_expr_algorithms(&l.mul(b)).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert!(algs[0].kernel_summary().contains("trmm"));
+        let mut exec = SimulatedExecutor::paper_like();
+        let eval = evaluate_instance(&[72, 700], &algs, &mut exec);
+        let c = eval.classify(0.10);
+        assert_eq!(c.cheapest, vec![0], "TRMM is the FLOP-minimal algorithm");
+        assert_eq!(c.fastest, vec![1], "GEMM is predicted fastest");
+        assert!(c.is_anomaly, "time score {} too small", c.time_score);
+        assert!(c.flop_score > 0.4, "the fastest does ~2x the FLOPs");
+        // The prediction-driven strategy dodges the anomaly.
+        let pred = evaluate_strategy(Strategy::MinPredictedTime, &algs, &mut exec);
+        assert!(pred.regret() < 1e-9);
+        let flops = evaluate_strategy(Strategy::MinFlops, &algs, &mut exec);
+        assert!(flops.regret() > 0.10);
+        // At large triangular orders the structured kernel is fastest and
+        // the anomaly disappears.
+        let l_big = Expr::tri_var("L", 2000, Uplo::Lower);
+        let b_big = Expr::var("B", 2000, 700);
+        let big = lamb_expr::enumerate_expr_algorithms(&l_big.mul(b_big)).unwrap();
+        let eval_big = evaluate_instance(&[2000, 700], &big, &mut exec);
+        assert!(!eval_big.classify(0.10).is_anomaly);
+    }
+
+    #[test]
+    fn trsm_solves_select_through_every_strategy() {
+        // The solve has a single realisation: every strategy agrees, with no
+        // regret, and the classification degenerates gracefully.
+        use lamb_expr::expr::Expr;
+        use lamb_matrix::Uplo;
+        let l = Expr::tri_var("L", 300, Uplo::Lower);
+        let b = Expr::var("B", 300, 90);
+        let algs = lamb_expr::enumerate_expr_algorithms(&l.inv().mul(b)).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].kernel_summary(), "trsm");
+        let mut exec = SimulatedExecutor::paper_like();
+        for strategy in [
+            Strategy::MinFlops,
+            Strategy::MinPredictedTime,
+            Strategy::Oracle,
+        ] {
+            assert_eq!(strategy.select(&algs, &mut exec).unwrap(), 0);
+        }
+        let eval = evaluate_instance(&[300, 90], &algs, &mut exec);
+        assert!(!eval.classify(0.10).is_anomaly);
+    }
+
+    #[test]
     fn strategy_names_are_stable() {
         assert_eq!(Strategy::MinFlops.name(), "min-flops");
         assert_eq!(Strategy::Oracle.name(), "oracle");

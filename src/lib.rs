@@ -16,7 +16,7 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`matrix`] | `lamb-matrix` | dense column-major matrices, views, triangular helpers |
-//! | [`kernels`] | `lamb-kernels` | blocked, packed, Rayon-parallel GEMM / SYRK / SYMM + FLOP models |
+//! | [`kernels`] | `lamb-kernels` | one blocked, packed, Rayon-parallel engine driving GEMM / SYRK / SYMM / TRMM / TRSM + FLOP models |
 //! | [`expr`] | `lamb-expr` | expressions, kernel-call IR, algorithm enumeration (6 chain + 5 `A·Aᵀ·B` algorithms) |
 //! | [`perfmodel`] | `lamb-perfmodel` | machine models, measured & simulated executors, performance profiles |
 //! | [`select`] | `lamb-select` | FLOP/time scores, anomaly classification, selection policies |

@@ -110,18 +110,79 @@ fn figure1_data_reproduces_kernel_ordering() {
     let out = run_figure1(&mut exec, &[200, 600, 1000, 2000, 3000], &dir).unwrap();
     let csv = std::fs::read_to_string(&out.artifacts[0].1).unwrap();
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm");
+    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm,trmm,trsm");
     for line in lines {
         let cells: Vec<f64> = line
             .split(',')
             .skip(1)
             .map(|c| c.parse().unwrap())
             .collect();
-        let (gemm, syrk, symm) = (cells[0], cells[1], cells[2]);
-        assert!(gemm >= syrk && gemm >= symm, "GEMM must dominate: {line}");
+        let gemm = cells[0];
+        for &other in &cells[1..] {
+            assert!(gemm >= other, "GEMM must dominate every kernel: {line}");
+        }
         assert!(gemm > 0.0 && gemm <= 1.0);
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn triangular_expression_runs_end_to_end_with_trmm_in_the_plan() {
+    // The triangular acceptance path: parse -> enumerate -> calibrate ->
+    // batch-plan, with TRMM-based algorithms present in the resulting plans.
+    let expr = TreeExpression::parse("L[lower]*A*B").unwrap();
+    assert_eq!(expr.num_dims(), 3);
+
+    // Single-expression planning sees the structured variants.
+    let plan = Planner::for_expression(&expr)
+        .policy(MinPredictedTime)
+        .plan(&[96, 64, 48])
+        .unwrap();
+    assert!(
+        plan.algorithms
+            .iter()
+            .any(|a| a.kernel_summary().contains("trmm")),
+        "the plan must contain TRMM-based algorithms"
+    );
+    // The FLOP-minimal algorithm uses the structured kernel (half the FLOPs).
+    let min_flops = plan.algorithms.iter().map(|a| a.flops()).min().unwrap();
+    let cheapest = plan
+        .algorithms
+        .iter()
+        .find(|a| a.flops() == min_flops)
+        .unwrap();
+    assert!(cheapest.kernel_summary().contains("trmm"));
+
+    // Calibrate a store covering the triangular workload, then plan a batch
+    // warm from it: no benchmarks, and the TRMM algorithms are still there.
+    let requests = vec![
+        BatchRequest::new(expr.clone(), vec![96, 64, 48]).unwrap(),
+        BatchRequest::new(expr.clone(), vec![200, 120, 80]).unwrap(),
+        BatchRequest::new(
+            TreeExpression::parse("L[lower]^-1*B").unwrap(),
+            vec![64, 32],
+        )
+        .unwrap(),
+    ];
+    let cold_planner = BatchPlanner::new();
+    let cold = cold_planner.plan_batch(&requests);
+    assert_eq!(cold.stats.failed, 0);
+    let mut store = CalibrationStore::new(
+        SimulatedExecutor::paper_like().machine().clone(),
+        "simulated",
+    );
+    store.calls = cold_planner.snapshot_cache();
+    assert!(store.coverage().contains_key("trmm"));
+    assert!(store.coverage().contains_key("trsm"));
+
+    let warm = BatchPlanner::new().with_store(&store).plan_batch(&requests);
+    assert_eq!(warm.stats.cache_misses, 0, "store must cover the workload");
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+        assert_eq!(c.chosen, w.chosen);
+    }
+    let solve_plan = warm.results[2].as_ref().unwrap();
+    assert!(solve_plan.algorithms[0].kernel_summary().contains("trsm"));
 }
 
 #[test]

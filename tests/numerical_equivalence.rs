@@ -9,9 +9,9 @@
 
 use lamb::expr::aatb::aatb_flop_formulas;
 use lamb::expr::chain::abcd_flop_formulas;
-use lamb::kernels::{gemm_into, symm_into, syrk_into};
+use lamb::kernels::Kernel;
 use lamb::matrix::ops::max_abs_diff;
-use lamb::matrix::random::random_seeded;
+use lamb::matrix::random::{random_seeded, random_triangular};
 use lamb::prelude::*;
 use std::collections::HashMap;
 
@@ -21,8 +21,11 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
     let cfg = BlockConfig::default();
     let mut store: HashMap<usize, Matrix> = HashMap::new();
     for info in &alg.operands {
-        let m = match info.role {
-            lamb::expr::OperandRole::Input => {
+        let m = match (info.role, info.triangle) {
+            (lamb::expr::OperandRole::Input, Some(uplo)) => {
+                random_triangular(info.rows, uplo, seed ^ info.id.index() as u64)
+            }
+            (lamb::expr::OperandRole::Input, None) => {
                 random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64)
             }
             _ => Matrix::zeros(info.rows, info.cols),
@@ -33,24 +36,43 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
         let mut out = store
             .remove(&call.output.index())
             .expect("output allocated");
-        match call.op {
-            KernelOp::Gemm { transa, transb, .. } => {
-                let a = &store[&call.inputs[0].index()];
-                let b = &store[&call.inputs[1].index()];
-                gemm_into(transa, a, transb, b, &mut out, &cfg).unwrap();
-            }
-            KernelOp::Syrk { uplo, trans, .. } => {
-                let a = &store[&call.inputs[0].index()];
-                syrk_into(uplo, trans, a, &mut out, &cfg).unwrap();
-            }
-            KernelOp::Symm { side, uplo, .. } => {
-                let a = &store[&call.inputs[0].index()];
-                let b = &store[&call.inputs[1].index()];
-                symm_into(side, uplo, a, b, &mut out, &cfg).unwrap();
-            }
-            KernelOp::CopyTriangle { uplo, .. } => {
-                out.symmetrize_from(uplo).unwrap();
-            }
+        let input = |i: usize| &store[&call.inputs[i].index()];
+        if let KernelOp::CopyTriangle { uplo, .. } = call.op {
+            out.symmetrize_from(uplo).unwrap();
+        } else {
+            let kernel = match call.op {
+                KernelOp::Gemm { transa, transb, .. } => Kernel::Gemm {
+                    transa,
+                    a: input(0),
+                    transb,
+                    b: input(1),
+                },
+                KernelOp::Syrk { uplo, trans, .. } => Kernel::Syrk {
+                    uplo,
+                    trans,
+                    a: input(0),
+                },
+                KernelOp::Symm { side, uplo, .. } => Kernel::Symm {
+                    side,
+                    uplo,
+                    a_sym: input(0),
+                    b: input(1),
+                },
+                KernelOp::Trmm { uplo, trans, .. } => Kernel::Trmm {
+                    uplo,
+                    trans,
+                    l: input(0),
+                    b: input(1),
+                },
+                KernelOp::Trsm { uplo, trans, .. } => Kernel::Trsm {
+                    uplo,
+                    trans,
+                    l: input(0),
+                    b: input(1),
+                },
+                KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
+            };
+            kernel.run_into(&mut out, &cfg).unwrap();
         }
         store.insert(call.output.index(), out);
     }
@@ -101,6 +123,29 @@ fn generator_output_is_numerically_consistent_with_direct_enumeration() {
         assert_eq!(g.flops(), d.flops());
         let diff = max_abs_diff(&interpret(g, 5), &interpret(d, 5)).unwrap();
         assert!(diff < 1e-10);
+    }
+}
+
+#[test]
+fn triangular_algorithm_variants_compute_the_same_matrix() {
+    // The TRMM/TRSM extension family: every enumerated algorithm of a
+    // triangular expression agrees numerically with every other, across the
+    // structured and GEMM-based realisations and across merge orders.
+    for (text, dims) in [
+        ("L[lower]*B", vec![37, 23]),
+        ("U[upper]^T*A*B", vec![30, 21, 17]),
+        ("L[lower]*L^T*B", vec![26, 19]),
+        ("L[lower]^-1*A*B", vec![28, 22, 15]),
+        ("L1[lower]*L2[lower]*B", vec![25, 12]),
+    ] {
+        let expr = TreeExpression::parse(text).unwrap();
+        let algorithms = expr.algorithms(&dims).unwrap();
+        assert!(!algorithms.is_empty(), "{text}");
+        let results: Vec<Matrix> = algorithms.iter().map(|a| interpret(a, 91)).collect();
+        for (alg, r) in algorithms.iter().zip(&results).skip(1) {
+            let diff = max_abs_diff(&results[0], r).unwrap();
+            assert!(diff < 1e-9, "{text}: `{}` differs by {diff}", alg.name);
+        }
     }
 }
 

@@ -10,14 +10,23 @@
 
 use lamb::prelude::*;
 
-/// A mixed workload: both paper expressions, Gram products, and a pruned
-/// longer chain, over a dimension palette with deliberate signature overlap.
+/// A mixed workload: both paper expressions, Gram products, a pruned longer
+/// chain, and the triangular family (TRMM products and TRSM solves), over a
+/// dimension palette with deliberate signature overlap.
 fn workload() -> Vec<BatchRequest> {
     let mut lines = String::new();
     let palette = [80usize, 160, 320, 514, 640, 768];
-    for (i, text) in ["A*B*C*D", "A*A^T*B", "A*B*B^T", "A^T*A*B", "A*B*C*D*E"]
-        .iter()
-        .enumerate()
+    for (i, text) in [
+        "A*B*C*D",
+        "A*A^T*B",
+        "A*B*B^T",
+        "A^T*A*B",
+        "A*B*C*D*E",
+        "L[lower]*A*B",
+        "L[lower]^-1*B",
+    ]
+    .iter()
+    .enumerate()
     {
         let expr = TreeExpression::parse(text).unwrap();
         for j in 0..24 {
