@@ -1,0 +1,92 @@
+//! Extension beyond the paper: anomaly abundance across the **SPD** scenario
+//! family (symmetric positive-definite products, Cholesky-realised solves
+//! and Gram-flavoured mixtures).
+//!
+//! An SPD operand is symmetric — so plain products through it pick up the
+//! SYMM-versus-GEMM variant pair — and positive definite, so its inverse
+//! realises as `POTRF + TRSM + TRSM` (`n³/3 + 2·n²·m` FLOPs) where no
+//! kernel realisation existed before. The factorisation and the symmetric
+//! kernels run at markedly lower FLOP rates than GEMM on small and mid-sized
+//! orders, which is exactly the FLOPs-versus-time tension the paper's
+//! discriminant argument is about. This binary runs the Experiment-1 random
+//! search over the SPD family under the same sampling conditions as the
+//! mixed-transpose and triangular sweeps, reports the measured anomaly
+//! abundance per scenario, and compares it against the GEMM-only chain
+//! baseline.
+//!
+//! ```text
+//! cargo run --release -p lamb-bench --bin extension_spd [-- --scale 0.5]
+//! ```
+
+use lamb_bench::RunOptions;
+use lamb_experiments::csvout::write_text;
+use lamb_experiments::{spd_scenarios, sweep_csv, sweep_scenarios, Scenario, SearchConfig};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    // The SPD family plus a GEMM-only chain baseline for contrast.
+    let mut scenarios = spd_scenarios();
+    scenarios.push(Scenario::new("chain4", "A*B*C*D"));
+    let samples = ((4000.0 * opts.scale) as usize).max(200);
+    let config = SearchConfig {
+        target_anomalies: usize::MAX,
+        max_samples: samples,
+        seed: opts.seed,
+        ..SearchConfig::paper_aatb()
+    };
+    let mut executor = opts.build_executor();
+
+    println!(
+        "anomaly abundance across SPD scenarios (threshold 10%, {} samples each)",
+        samples
+    );
+    println!(
+        "{:>16} {:<22} {:>6} {:>12} {:>12} {:>12}",
+        "scenario", "expression", "dims", "algorithms", "anomalies", "abundance"
+    );
+    let rows = sweep_scenarios(&scenarios, executor.as_mut(), &config);
+    for row in &rows {
+        println!(
+            "{:>16} {:<22} {:>6} {:>12} {:>12} {:>11.2}%",
+            row.name,
+            row.expression,
+            row.num_dims,
+            row.num_algorithms,
+            row.result.anomalies.len(),
+            100.0 * row.result.abundance()
+        );
+    }
+
+    // Single-realisation solves and equal-FLOP variant pairs cannot be
+    // anomalous by construction; the family's abundance is carried by the
+    // scenarios whose variants genuinely differ in FLOPs.
+    let contested: Vec<f64> = rows
+        .iter()
+        .filter(|r| !matches!(r.name.as_str(), "chain4" | "spd_solve" | "spd_product"))
+        .map(|r| r.result.abundance())
+        .collect();
+    let spd_abundance = contested.iter().sum::<f64>() / contested.len().max(1) as f64;
+    let chain_abundance = rows
+        .iter()
+        .find(|r| r.name == "chain4")
+        .map_or(0.0, |r| r.result.abundance());
+
+    match write_text(&opts.out_dir, "spd_scenarios.csv", &sweep_csv(&rows)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("cannot write CSV: {e}"),
+    }
+    println!(
+        "\nreading: the contested SPD scenarios average {:.2}% anomaly abundance versus\n\
+         {:.2}% for the GEMM-only chain. Where the SYRK/SYMM variants of the\n\
+         Gram-flavoured mixtures save FLOPs, their small-order rate collapse\n\
+         frequently hands the win to the FLOP-richer GEMM realisations — the\n\
+         same mis-selection mechanism the paper demonstrates for A*A^T*B, now\n\
+         on a workload family whose inverses are only planable at all because\n\
+         the Cholesky rewrite (POTRF + two TRSMs) realises them. (The pure\n\
+         solve `spd_solve` has a single realisation and the equal-FLOP\n\
+         `spd_product` pair cannot separate cheapest from fastest, so both are\n\
+         excluded from the contested average.)",
+        100.0 * spd_abundance,
+        100.0 * chain_abundance,
+    );
+}

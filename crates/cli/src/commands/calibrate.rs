@@ -206,8 +206,8 @@ mod tests {
         run(&strs(&["--store", &store_arg, "--sizes", "300"])).unwrap();
         let first = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(first.meta.sweeps, 1);
-        assert_eq!(first.calls.len(), 15); // 5 kernels x 3 sizes
-        assert_eq!(first.profiles.len(), 5);
+        assert_eq!(first.calls.len(), 18); // 6 kernels x 3 sizes
+        assert_eq!(first.profiles.len(), 6);
         assert!(
             first.missing_kernels().is_empty(),
             "sweep covers every kernel"
@@ -217,7 +217,7 @@ mod tests {
         run(&strs(&["--store", &store_arg, "--sizes", "500"])).unwrap();
         let merged = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(merged.meta.sweeps, 2);
-        assert_eq!(merged.calls.len(), 25); // 5 kernels x 5 sizes
+        assert_eq!(merged.calls.len(), 30); // 6 kernels x 5 sizes
         assert_eq!(merged.profiles[0].sizes.len(), 5);
 
         // --no-merge replaces instead.
@@ -231,7 +231,7 @@ mod tests {
         .unwrap();
         let replaced = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(replaced.meta.sweeps, 1);
-        assert_eq!(replaced.calls.len(), 10);
+        assert_eq!(replaced.calls.len(), 12);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,6 +26,9 @@ COMMANDS:
                                        parse, enumerate, select and execute any expression
     select --expr \"L[lower]*A*B\" --dims d0,d1,d2
                                        triangular structure: [lower]/[upper] unlock TRMM, ^-1 TRSM
+    select --expr \"S[spd]^-1*B\" --dims d0,d1
+                                       SPD structure: [spd] unlocks SYMM; ^-1 realises as
+                                       a Cholesky factorisation (POTRF) plus two TRSMs
     calibrate [--store F] [OPTS]       run calibration sweeps, write/merge the store, print coverage
     batch --exprs FILE|--demo N [OPTS] plan a whole request file against a store, emit a CSV report
     figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
@@ -35,8 +38,9 @@ COMMANDS:
 
 COMMON OPTIONS:
     --executor simulated|smooth|measured   (default: simulated)
-    --expr <text>                          expression text, e.g. \"A*A^T*B\" or \"L[lower]^-1*B\"
-                                           (^T / ' transpose, N[lower|upper] triangular, ^-1 solve)
+    --expr <text>                          expression text, e.g. \"A*A^T*B\", \"L[lower]^-1*B\"
+                                           or \"S[spd]^-1*B\" (^T / ' transpose, N[lower|upper]
+                                           triangular, N[spd] SPD, ^-1 solve)
     --dims d0,d1,...                       comma-separated dimension tuple for --expr
     --top-k <K>                            keep only the K FLOP-cheapest algorithms (long chains)
     --scale <0..1>                         workload scale for experiments

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! lamb select --expr "A*A^T*B" --dims 80,514,768
+//! lamb select --expr "S[spd]^-1*B" --dims 200,60
 //! lamb select --strategy predicted --expr "A*B*C*D*E*F*G*H" \
 //!     --dims 600,40,800,30,900,50,700,60,500 --top-k 8
 //! ```
@@ -141,6 +142,26 @@ mod tests {
         // panic.
         let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
         assert!(err.contains("TRSM") || err.contains("triangular"), "{err}");
+    }
+
+    #[test]
+    fn spd_structure_syntax_round_trips() {
+        // SPD products (SYMM-versus-GEMM), Cholesky-realised solves, and the
+        // solve chain's competing orders all plan and execute end to end.
+        assert!(run(&strs(&["--expr", "S[spd]*B", "--dims", "96,48"])).is_ok());
+        assert!(run(&strs(&["--expr", "S[spd]^-1*B", "--dims", "120,40"])).is_ok());
+        assert!(run(&strs(&[
+            "--strategy",
+            "predicted",
+            "--expr",
+            "S[spd]^-1*B*C",
+            "--dims",
+            "150,90,30"
+        ]))
+        .is_ok());
+        // The inverse-of-general error now names both structured options.
+        let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
+        assert!(err.contains("spd"), "{err}");
     }
 
     #[test]

@@ -86,13 +86,35 @@ pub fn triangular_scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Every standing scenario: the mixed-transpose set plus the triangular
-/// family — the workload behind `lamb batch --demo` and the throughput
+/// The SPD scenario family: expressions whose operands carry the `[spd]`
+/// annotation. Plain SPD products unlock the SYMM-versus-GEMM variant pair;
+/// SPD inverses realise through Cholesky (`POTRF` + two `TRSM`s), turning
+/// solves that previously had no realisation into planable algorithm sets
+/// with genuinely competing orders; and the Gram-flavoured mixtures combine
+/// SYRK's FLOP savings with the SPD operand's SYMM variants — the regime
+/// where FLOP-minimal and fastest separate most often, exactly as for the
+/// paper's `A·Aᵀ·B`.
+#[must_use]
+pub fn spd_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("spd_product", "S[spd]*B"),
+        Scenario::new("spd_solve", "S[spd]^-1*B"),
+        Scenario::new("spd_solve_chain", "S[spd]^-1*B*C"),
+        Scenario::new("spd_solve_mixed", "S[spd]^-1*A*B"),
+        Scenario::new("spd_gram", "S[spd]*A*A^T"),
+        Scenario::new("spd_sandwich", "A^T*S[spd]*A"),
+        Scenario::new("spd_pair", "S1[spd]*S2[spd]*B"),
+    ]
+}
+
+/// Every standing scenario: the mixed-transpose set plus the triangular and
+/// SPD families — the workload behind `lamb batch --demo` and the throughput
 /// benches.
 #[must_use]
 pub fn all_scenarios() -> Vec<Scenario> {
     let mut scenarios = mixed_transpose_scenarios();
     scenarios.extend(triangular_scenarios());
+    scenarios.extend(spd_scenarios());
     scenarios
 }
 
@@ -345,13 +367,66 @@ mod tests {
         let all = all_scenarios();
         assert_eq!(
             all.len(),
-            mixed_transpose_scenarios().len() + scenarios.len()
+            mixed_transpose_scenarios().len() + scenarios.len() + spd_scenarios().len()
         );
         let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn spd_scenarios_parse_and_reach_the_cholesky_kernels() {
+        let scenarios = spd_scenarios();
+        assert!(scenarios.len() >= 5);
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // The pure solve has exactly one (Cholesky) realisation; the solve
+        // chain competes over orders.
+        let solve = scenarios.iter().find(|s| s.name == "spd_solve").unwrap();
+        assert_eq!(solve.algorithm_count(), 1);
+        let chain = scenarios
+            .iter()
+            .find(|s| s.name == "spd_solve_chain")
+            .unwrap();
+        assert!(chain.algorithm_count() >= 2);
+        // Kernel reachability across the family.
+        for (name, kernel) in [
+            ("spd_solve", "potrf"),
+            ("spd_solve_chain", "trsm"),
+            ("spd_product", "symm"),
+            ("spd_gram", "syrk"),
+        ] {
+            let s = scenarios.iter().find(|s| s.name == name).unwrap();
+            let dims = vec![64; s.expression.num_dims()];
+            let algs = s.expression.algorithms(&dims).unwrap();
+            assert!(
+                algs.iter().any(|a| a.kernel_summary().contains(kernel)),
+                "{name} never reaches {kernel}"
+            );
+        }
+    }
+
+    #[test]
+    fn spd_scenarios_show_predicted_anomalies_in_a_batch() {
+        // The batched abundance measurement over the SPD family: the
+        // Gram-flavoured mixtures put SYRK's FLOP savings against the
+        // small-order rate collapse of the symmetric kernels, so the family
+        // as a whole produces predicted anomalies at small-to-medium dims.
+        let scenarios = spd_scenarios();
+        let planner = BatchPlanner::new().top_k(8);
+        let rows = sweep_scenarios_batched(&scenarios, &planner, 20, 13, 40, 400);
+        assert_eq!(rows.len(), scenarios.len());
+        let total_anomalies: usize = rows.iter().map(|r| r.predicted_anomalies).sum();
+        assert!(
+            total_anomalies > 0,
+            "the SPD family should produce predicted anomalies"
+        );
+        for row in &rows {
+            assert_eq!(row.instances, 20, "{}", row.name);
+        }
     }
 
     #[test]

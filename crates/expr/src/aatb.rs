@@ -38,7 +38,7 @@ fn base_operands(
             rows: d0,
             cols: d1,
             role: OperandRole::Input,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: "A".into(),
         },
         OperandInfo {
@@ -46,7 +46,7 @@ fn base_operands(
             rows: d0,
             cols: d2,
             role: OperandRole::Input,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: "B".into(),
         },
         OperandInfo {
@@ -54,7 +54,7 @@ fn base_operands(
             rows: m_rows,
             cols: m_cols,
             role: OperandRole::Intermediate,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: "M".into(),
         },
         OperandInfo {
@@ -62,7 +62,7 @@ fn base_operands(
             rows: d0,
             cols: d2,
             role: OperandRole::Output,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: "X".into(),
         },
     ]

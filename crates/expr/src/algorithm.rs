@@ -2,7 +2,7 @@
 
 use crate::kernel_call::KernelCall;
 use crate::operand::OperandId;
-use lamb_matrix::Uplo;
+use lamb_matrix::{Structure, Uplo};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -30,16 +30,23 @@ pub struct OperandInfo {
     pub role: OperandRole,
     /// Human-readable name (`"A"`, `"M1"`, ...).
     pub name: String,
-    /// The stored triangle when the operand is known triangular (elements
-    /// outside it are structurally zero); `None` for general dense operands.
-    /// Executors use this to materialise triangular inputs consistently
-    /// across every algorithm variant of an expression — a TRMM that reads
-    /// only the triangle and a GEMM that reads the whole matrix must see the
-    /// same mathematical operand.
-    pub triangle: Option<Uplo>,
+    /// The operand's known structure: triangular (elements outside the
+    /// stored triangle are structurally zero), symmetric positive definite
+    /// (stored in full), or general. Executors use this to materialise
+    /// structured inputs consistently across every algorithm variant of an
+    /// expression — a TRMM that reads only the triangle, a SYMM that reads
+    /// one triangle of an SPD operand and a GEMM that reads the whole matrix
+    /// must all see the same mathematical operand.
+    pub structure: Structure,
 }
 
 impl OperandInfo {
+    /// The stored triangle when the operand is triangular.
+    #[must_use]
+    pub fn triangle(&self) -> Option<Uplo> {
+        self.structure.triangle()
+    }
+
     /// Number of elements of the operand.
     #[must_use]
     pub fn elements(&self) -> u64 {
@@ -167,7 +174,7 @@ mod tests {
                     rows: 2,
                     cols: 3,
                     role: OperandRole::Input,
-                    triangle: None,
+                    structure: lamb_matrix::Structure::General,
                     name: "A".into(),
                 },
                 OperandInfo {
@@ -175,7 +182,7 @@ mod tests {
                     rows: 3,
                     cols: 4,
                     role: OperandRole::Input,
-                    triangle: None,
+                    structure: lamb_matrix::Structure::General,
                     name: "B".into(),
                 },
                 OperandInfo {
@@ -183,7 +190,7 @@ mod tests {
                     rows: 4,
                     cols: 5,
                     role: OperandRole::Input,
-                    triangle: None,
+                    structure: lamb_matrix::Structure::General,
                     name: "C".into(),
                 },
                 OperandInfo {
@@ -191,7 +198,7 @@ mod tests {
                     rows: 2,
                     cols: 4,
                     role: OperandRole::Intermediate,
-                    triangle: None,
+                    structure: lamb_matrix::Structure::General,
                     name: "M1".into(),
                 },
                 OperandInfo {
@@ -199,7 +206,7 @@ mod tests {
                     rows: 2,
                     cols: 5,
                     role: OperandRole::Output,
-                    triangle: None,
+                    structure: lamb_matrix::Structure::General,
                     name: "X".into(),
                 },
             ],

@@ -68,7 +68,7 @@ pub fn enumerate_chain_algorithms(dims: &[usize]) -> Result<Vec<Algorithm>, Gene
             rows: dims[i],
             cols: dims[i + 1],
             role: OperandRole::Input,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: input_name(i),
         })
         .collect();
@@ -138,7 +138,7 @@ fn recurse(
             rows: m,
             cols: n,
             role: OperandRole::Intermediate,
-            triangle: None,
+            structure: lamb_matrix::Structure::General,
             name: format!("M{inter_index}"),
         };
         let mut new_segments = segments.clone();

@@ -39,7 +39,7 @@ use crate::generator::GenerateError;
 use crate::kernel_call::{KernelCall, KernelOp};
 use crate::operand::OperandId;
 use crate::rewrite::{merge_variants, MergeKind, MergeOperand, Storage};
-use lamb_matrix::{Side, Trans, Uplo};
+use lamb_matrix::{Side, Structure, Trans, Uplo};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Knobs of the general enumerator.
@@ -83,8 +83,10 @@ struct Segment {
     /// The *stored* triangle when the segment is known triangular
     /// (`trans` still applies on top of it for leaves).
     tri: Option<Uplo>,
-    /// Whether the segment is inverse-marked (a triangular leaf used as
-    /// `L⁻¹`); intermediates are never inverse-marked.
+    /// Whether the segment is a symmetric positive-definite leaf.
+    spd: bool,
+    /// Whether the segment is inverse-marked (a triangular or SPD leaf used
+    /// as `L⁻¹`/`S⁻¹`); intermediates are never inverse-marked.
     inv: bool,
     /// First flattened-factor index covered by this segment.
     start: usize,
@@ -109,6 +111,7 @@ impl Segment {
             trans: self.trans,
             storage: self.storage,
             tri: self.effective_tri(),
+            spd: self.spd,
             inv: self.inv,
         }
     }
@@ -159,8 +162,12 @@ pub fn enumerate_expr_algorithms_with(
     if factors.is_empty() {
         return Err(GenerateError::Empty);
     }
-    // An inverse only has a kernel realisation (TRSM) on triangular leaves.
-    if let Some(bad) = factors.iter().find(|f| f.inv && f.var.triangle.is_none()) {
+    // An inverse only has a kernel realisation on structured leaves: TRSM
+    // for triangular operands, POTRF + two TRSMs for SPD operands.
+    if let Some(bad) = factors
+        .iter()
+        .find(|f| f.inv && f.var.structure == Structure::General)
+    {
         return Err(GenerateError::InverseOfGeneral {
             name: bad.var.name.clone(),
         });
@@ -221,8 +228,15 @@ pub fn enumerate_expr_algorithms_with(
                 cols,
                 trans: if f.trans { Trans::Yes } else { Trans::No },
                 leaf: Some(leaf),
-                storage: Storage::General,
-                tri: f.var.triangle,
+                // SPD leaves are symmetric values stored in full, which is
+                // what unlocks the SYMM variants for plain products.
+                storage: if f.var.structure.is_spd() {
+                    Storage::SymmetricFull
+                } else {
+                    Storage::General
+                },
+                tri: f.var.triangle(),
+                spd: f.var.structure.is_spd(),
                 inv: f.inv,
                 start: pos,
                 end: pos + 1,
@@ -276,7 +290,8 @@ fn distinct_inputs(factors: &[Factor]) -> Result<Vec<OperandInfo>, GenerateError
     for f in factors {
         let v = &f.var;
         if let Some(existing) = inputs.iter().find(|i| i.name == v.name) {
-            if (existing.rows, existing.cols) != (v.rows, v.cols) || existing.triangle != v.triangle
+            if (existing.rows, existing.cols) != (v.rows, v.cols)
+                || existing.structure != v.structure
             {
                 return Err(GenerateError::InconsistentOperand {
                     name: v.name.clone(),
@@ -288,7 +303,7 @@ fn distinct_inputs(factors: &[Factor]) -> Result<Vec<OperandInfo>, GenerateError
                 rows: v.rows,
                 cols: v.cols,
                 role: OperandRole::Input,
-                triangle: v.triangle,
+                structure: v.structure,
                 name: v.name.clone(),
             });
         }
@@ -354,17 +369,18 @@ fn recurse(
         );
         let ambiguous = variants.len() > 1;
         for kind in variants {
-            let out_id = OperandId(ctx.inputs.len() + intermediates.len());
-            let out_name = format!("M{}", intermediates.len() + 1);
-            let (new_calls, merged) = build_merge(left, right, kind, out_id, &out_name, ambiguous);
+            let base_id = ctx.inputs.len() + intermediates.len();
+            let base_m = intermediates.len() + 1;
+            let (new_calls, merged, new_infos) =
+                build_merge(left, right, kind, base_id, base_m, ambiguous);
             let added_flops: u64 = new_calls.iter().map(KernelCall::flops).sum();
             let mut next_segments = segments.to_vec();
-            next_segments[i] = merged.0;
+            next_segments[i] = merged;
             next_segments.remove(i + 1);
             let mut next_calls = calls.to_vec();
             next_calls.extend(new_calls);
             let mut next_inters = intermediates.to_vec();
-            next_inters.push(merged.1);
+            next_inters.extend(new_infos);
             recurse(
                 ctx,
                 &next_segments,
@@ -377,18 +393,30 @@ fn recurse(
 }
 
 /// Build the kernel calls of one merge variant together with the merged
-/// segment and the new intermediate's operand entry.
+/// segment and the new intermediates' operand entries. Most variants
+/// introduce exactly one intermediate (the merge result); the Cholesky
+/// realisation of an SPD inverse introduces three (the triangular factor,
+/// the half-solved right-hand side, and the result). The *last* entry of the
+/// returned operand list is always the merge result — `recurse` relies on
+/// this when it promotes the final intermediate to the algorithm's output.
+///
+/// `base_id`/`base_m` are the next free operand id and `M{..}` name index.
 fn build_merge(
     left: &Segment,
     right: &Segment,
     kind: MergeKind,
-    out_id: OperandId,
-    out_name: &str,
+    base_id: usize,
+    base_m: usize,
     ambiguous: bool,
-) -> (Vec<KernelCall>, (Segment, OperandInfo)) {
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
     let uplo = Uplo::Lower;
     let (m, k, n) = (left.rows, left.cols, right.cols);
     debug_assert_eq!(left.cols, right.rows, "validated by Expr::shape");
+    if kind == MergeKind::CholeskySolve {
+        return build_cholesky_solve(left, right, base_id, base_m);
+    }
+    let out_id = OperandId(base_id);
+    let out_name = &format!("M{base_m}");
     let product_label = |kernel: &str| {
         if ambiguous {
             format!("{out_name} := {}*{} ({kernel})", left.text, right.text)
@@ -497,6 +525,7 @@ fn build_merge(
         MergeKind::CopyLeftThenSymmRight => vec![copy_call(left), symm_call(Side::Right)],
         MergeKind::Trmm => vec![trmm_call()],
         MergeKind::Trsm => vec![trsm_call()],
+        MergeKind::CholeskySolve => unreachable!("handled above"),
     };
 
     // Triangularity is closed under same-triangle products and solves: the
@@ -518,6 +547,7 @@ fn build_merge(
         leaf: None,
         storage: kind.result_storage(),
         tri: result_tri,
+        spd: false,
         inv: false,
         start: left.start,
         end: right.end,
@@ -529,10 +559,105 @@ fn build_merge(
         rows: m,
         cols: n,
         role: OperandRole::Intermediate,
-        triangle: result_tri,
+        structure: result_tri.map_or(Structure::General, Structure::Triangular),
         name: out_name.to_string(),
     };
-    (calls, (merged, info))
+    (calls, merged, vec![info])
+}
+
+/// Build the three-call Cholesky realisation of an SPD inverse merge
+/// `S⁻¹·B`: `L := POTRF(S)`, `Y := L⁻¹·B`, `X := L⁻ᵀ·Y`. Introduces three
+/// intermediates (the explicitly triangular factor, the half-solved
+/// right-hand side, and the result — in that order, result last).
+fn build_cholesky_solve(
+    left: &Segment,
+    right: &Segment,
+    base_id: usize,
+    base_m: usize,
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
+    let (m, n) = (left.rows, right.cols);
+    debug_assert_eq!(left.rows, left.cols, "SPD operands are square");
+    let l_id = OperandId(base_id);
+    let y_id = OperandId(base_id + 1);
+    let out_id = OperandId(base_id + 2);
+    let l_name = format!("M{base_m}");
+    let y_name = format!("M{}", base_m + 1);
+    let out_name = format!("M{}", base_m + 2);
+    let calls = vec![
+        KernelCall {
+            op: KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: m,
+            },
+            inputs: vec![left.id],
+            output: l_id,
+            label: format!("{l_name} := chol({}) (potrf)", left.name),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![l_id, right.id],
+            output: y_id,
+            label: format!("{y_name} := {l_name}^-1*{} (trsm)", right.text),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                m,
+                n,
+            },
+            inputs: vec![l_id, y_id],
+            output: out_id,
+            label: format!("{out_name} := {l_name}^-T*{y_name} (trsm)"),
+        },
+    ];
+    let infos = vec![
+        OperandInfo {
+            id: l_id,
+            rows: m,
+            cols: m,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Lower),
+            name: l_name,
+        },
+        OperandInfo {
+            id: y_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: y_name,
+        },
+        OperandInfo {
+            id: out_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: out_name.clone(),
+        },
+    ];
+    let merged = Segment {
+        id: out_id,
+        rows: m,
+        cols: n,
+        trans: Trans::No,
+        leaf: None,
+        storage: Storage::General,
+        tri: None,
+        spd: false,
+        inv: false,
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name,
+    };
+    (calls, merged, infos)
 }
 
 /// A memoized lower bound on the FLOPs still needed to merge `segments` into
@@ -547,7 +672,10 @@ fn build_merge(
 /// The triangular discount is applied whenever the *leftmost* segment of the
 /// left span is structured — a necessary condition for the merged left side
 /// to be structured — so the bound never overestimates; triangle copies cost
-/// 0 FLOPs and SYMM ties GEMM, so no completion can beat this bound.
+/// 0 FLOPs and SYMM ties GEMM, so no completion can beat this bound. The
+/// Cholesky realisation of an SPD inverse costs `m³/3 + 2·m²·n ≥ m·n·k`
+/// (SPD operands are square, `k = m`), so the same `m·n·k` discount remains
+/// a valid lower bound for inverse-marked SPD segments.
 fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64 {
     let t = segments.len();
     if t <= 1 {
@@ -803,7 +931,7 @@ mod tests {
         assert_eq!(algs[0].flops() * 2, algs[1].flops());
         // The triangular input is declared in the operand table.
         let l_info = algs[0].inputs().find(|o| o.name == "L").unwrap();
-        assert_eq!(l_info.triangle, Some(Uplo::Lower));
+        assert_eq!(l_info.triangle(), Some(Uplo::Lower));
     }
 
     #[test]
@@ -867,7 +995,7 @@ mod tests {
         ));
         let m1 = propagated.operand(propagated.calls[1].inputs[0]).unwrap();
         assert_eq!(m1.name, "M1");
-        assert_eq!(m1.triangle, Some(Uplo::Lower));
+        assert_eq!(m1.triangle(), Some(Uplo::Lower));
 
         // Opposite triangles (L·U) do not stay triangular: the merge order
         // that forms the square L·U product first loses the structure, so
@@ -886,7 +1014,7 @@ mod tests {
                 .iter()
                 .find(|o| o.name == "M1" && o.rows == 10 && o.cols == 10);
             if let Some(m1) = mixed {
-                assert_eq!(m1.triangle, None, "L·U must not be marked triangular");
+                assert_eq!(m1.triangle(), None, "L·U must not be marked triangular");
             }
         }
     }
@@ -949,6 +1077,120 @@ mod tests {
     }
 
     #[test]
+    fn spd_inverse_lowers_to_potrf_and_two_trsms() {
+        let s = Expr::spd_var("S", 12);
+        let b = Expr::var("B", 12, 5);
+        let algs = enumerate_expr_algorithms(&s.inv().mul(b)).unwrap();
+        assert_eq!(algs.len(), 1, "an SPD solve has exactly one realisation");
+        assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
+        assert!(algs[0].is_well_formed());
+        // The call sequence: factor S, forward solve, backward solve.
+        match algs[0].calls[0].op {
+            KernelOp::Potrf { uplo, n } => {
+                assert_eq!(uplo, Uplo::Lower);
+                assert_eq!(n, 12);
+            }
+            ref other => panic!("expected POTRF, got {other}"),
+        }
+        match (&algs[0].calls[1].op, &algs[0].calls[2].op) {
+            (
+                KernelOp::Trsm {
+                    trans: Trans::No, ..
+                },
+                KernelOp::Trsm {
+                    trans: Trans::Yes, ..
+                },
+            ) => {}
+            other => panic!("expected forward then backward TRSM, got {other:?}"),
+        }
+        // The factor intermediate is declared triangular, and both solves
+        // read it.
+        let l = algs[0].operand(algs[0].calls[0].output).unwrap();
+        assert_eq!(l.triangle(), Some(Uplo::Lower));
+        assert!(algs[0].calls[1].reads(l.id));
+        assert!(algs[0].calls[2].reads(l.id));
+        // FLOPs follow the n³/3 + 2·n²·m model.
+        assert_eq!(algs[0].flops(), 12u64.pow(3) / 3 + 2 * 12 * 12 * 5);
+        // The output is the last intermediate, named X.
+        assert_eq!(algs[0].output().unwrap().name, "X");
+    }
+
+    #[test]
+    fn spd_solve_chains_enumerate_competing_orders() {
+        // S^-1*B*C: solve-then-multiply versus multiply-then-solve — the
+        // competing realisations the SPD family contributes.
+        let s = Expr::spd_var("S", 10);
+        let b = Expr::var("B", 10, 8);
+        let c = Expr::var("C", 8, 3);
+        let algs = enumerate_expr_algorithms(&s.inv().mul(b).mul(c)).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(
+            summaries.iter().any(|s| s == "potrf,trsm,trsm,gemm"),
+            "solve first: {summaries:?}"
+        );
+        assert!(
+            summaries.iter().any(|s| s == "gemm,potrf,trsm,trsm"),
+            "multiply first: {summaries:?}"
+        );
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+        // The two orders have different FLOP counts (3 versus 8 right-hand
+        // sides for the solve), so FLOP-based selection has a real choice.
+        let flops: Vec<u64> = algs.iter().map(Algorithm::flops).collect();
+        assert_ne!(flops[0], flops[1]);
+    }
+
+    #[test]
+    fn plain_spd_products_offer_symm_and_gemm() {
+        let s = Expr::spd_var("S", 9);
+        let b = Expr::var("B", 9, 4);
+        let algs = enumerate_expr_algorithms(&s.mul(b)).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert_eq!(summaries, vec!["symm", "gemm"]);
+        // Equal FLOPs: SYMM on a full-stored symmetric operand saves time at
+        // large orders, not operations.
+        assert_eq!(algs[0].flops(), algs[1].flops());
+        // The SPD input is declared in the operand table.
+        let s_info = algs[0].inputs().find(|o| o.name == "S").unwrap();
+        assert!(s_info.structure.is_spd());
+    }
+
+    #[test]
+    fn spd_inverse_without_right_hand_side_is_rejected() {
+        let s = Expr::spd_var("S", 6);
+        // Bare inverse.
+        assert!(matches!(
+            enumerate_expr_algorithms(&s.clone().inv()),
+            Err(GenerateError::BareInverse { .. })
+        ));
+        // Inverse on the right of every split.
+        let a = Expr::var("A", 4, 6);
+        assert!(matches!(
+            enumerate_expr_algorithms(&a.mul(s.inv())),
+            Err(GenerateError::NoRealisation { .. })
+        ));
+    }
+
+    #[test]
+    fn top_k_pruning_agrees_with_full_enumeration_on_spd_solve_chains() {
+        let s = Expr::spd_var("S", 30);
+        let b = Expr::var("B", 30, 14);
+        let c = Expr::var("C", 14, 22);
+        let expr = s.inv().mul(b).mul(c);
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        let mut flops: Vec<u64> = full.iter().map(Algorithm::flops).collect();
+        flops.sort_unstable();
+        for k in [1, 2] {
+            let opts = EnumerateOptions {
+                top_k: Some(k),
+                ..EnumerateOptions::default()
+            };
+            let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+            let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
+            assert_eq!(got, flops[..k].to_vec(), "k = {k}");
+        }
+    }
+
+    #[test]
     fn cholesky_gram_product_stays_on_syrk() {
         // L*L^T (the Cholesky reconstruction) enumerates through the Gram
         // rule: SYRK-based first, GEMM second — not through TRMM.
@@ -996,6 +1238,7 @@ mod tests {
                 leaf: Some(pos),
                 storage: Storage::General,
                 tri: None,
+                spd: false,
                 inv: false,
                 start: pos,
                 end: pos + 1,

@@ -5,7 +5,7 @@
 //! triangular, the [`generator`](crate::generator) recognises which algorithm
 //! family applies, and the enumerators produce the candidate algorithm set.
 
-use lamb_matrix::{Trans, Uplo};
+use lamb_matrix::{Structure, Trans, Uplo};
 use std::fmt;
 
 /// Errors produced by shape inference over expression trees.
@@ -45,7 +45,7 @@ impl fmt::Display for ShapeError {
 impl std::error::Error for ShapeError {}
 
 /// A named symbolic matrix operand with a concrete shape and (optionally)
-/// known triangular structure.
+/// known structure — triangular or symmetric positive definite.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Var {
     /// Operand name, e.g. `"A"`.
@@ -54,10 +54,21 @@ pub struct Var {
     pub rows: usize,
     /// Number of columns.
     pub cols: usize,
-    /// The stored triangle when the operand is known triangular (the
-    /// opposite triangle is structurally zero); `None` for a general dense
-    /// operand. Triangular operands are necessarily square.
-    pub triangle: Option<Uplo>,
+    /// Declared structure of the operand: [`Structure::Triangular`] operands
+    /// store one triangle (the opposite one is structurally zero) and unlock
+    /// TRMM/TRSM; [`Structure::Spd`] operands are symmetric positive
+    /// definite, stored in full, and unlock SYMM and the Cholesky (POTRF)
+    /// realisation of their inverses. Structured operands are necessarily
+    /// square.
+    pub structure: Structure,
+}
+
+impl Var {
+    /// The stored triangle when the operand is triangular.
+    #[must_use]
+    pub fn triangle(&self) -> Option<Uplo> {
+        self.structure.triangle()
+    }
 }
 
 /// One factor of a flattened product: a leaf with its accumulated
@@ -68,19 +79,21 @@ pub struct Factor {
     pub var: Var,
     /// Whether the leaf is used transposed.
     pub trans: bool,
-    /// Whether the leaf is used inverted (`L⁻¹`); only triangular leaves can
-    /// be lowered to kernels in this form (TRSM).
+    /// Whether the leaf is used inverted; only triangular leaves (lowered to
+    /// TRSM) and SPD leaves (lowered to POTRF plus two TRSMs) can be realised
+    /// by kernels in this form.
     pub inv: bool,
 }
 
 impl Factor {
     /// The triangle the factor effectively occupies after transposition
-    /// (`None` for general leaves). Inversion preserves triangularity, so
-    /// `L⁻¹` of a lower-triangular `L` is still effectively lower.
+    /// (`None` for general and SPD leaves). Inversion preserves
+    /// triangularity, so `L⁻¹` of a lower-triangular `L` is still effectively
+    /// lower.
     #[must_use]
     pub fn effective_triangle(&self) -> Option<Uplo> {
         let trans = if self.trans { Trans::Yes } else { Trans::No };
-        self.var.triangle.map(|u| u.under(trans))
+        self.var.triangle().map(|u| u.under(trans))
     }
 }
 
@@ -92,7 +105,8 @@ pub enum Expr {
     /// The transpose of a sub-expression.
     Transpose(Box<Expr>),
     /// The inverse of a sub-expression (only realisable by kernels when it
-    /// lands on a triangular leaf, where it lowers to TRSM).
+    /// lands on a triangular leaf, lowering to TRSM, or on an SPD leaf,
+    /// lowering to a Cholesky factorisation followed by two TRSMs).
     Inverse(Box<Expr>),
     /// The product of two sub-expressions.
     Mul(Box<Expr>, Box<Expr>),
@@ -106,7 +120,7 @@ impl Expr {
             name: name.to_string(),
             rows,
             cols,
-            triangle: None,
+            structure: Structure::General,
         })
     }
 
@@ -117,7 +131,20 @@ impl Expr {
             name: name.to_string(),
             rows: n,
             cols: n,
-            triangle: Some(uplo),
+            structure: Structure::Triangular(uplo),
+        })
+    }
+
+    /// Create a square, symmetric positive-definite leaf operand (stored in
+    /// full). SPD structure unlocks the SYMM rewrite for plain products and
+    /// the Cholesky realisation (`POTRF` + two `TRSM`s) of `S⁻¹·B`.
+    #[must_use]
+    pub fn spd_var(name: &str, n: usize) -> Expr {
+        Expr::Operand(Var {
+            name: name.to_string(),
+            rows: n,
+            cols: n,
+            structure: Structure::Spd,
         })
     }
 
@@ -329,9 +356,25 @@ mod tests {
         use lamb_matrix::Uplo;
         let fs = Expr::tri_var("L", 3, Uplo::Lower).t().factors();
         assert_eq!(fs[0].effective_triangle(), Some(Uplo::Upper));
-        assert_eq!(fs[0].var.triangle, Some(Uplo::Lower));
+        assert_eq!(fs[0].var.triangle(), Some(Uplo::Lower));
         let plain = Expr::var("A", 3, 3).factors();
         assert_eq!(plain[0].effective_triangle(), None);
+    }
+
+    #[test]
+    fn spd_vars_are_square_symmetric_and_transpose_invariant() {
+        let s = Expr::spd_var("S", 6);
+        assert_eq!(s.shape().unwrap(), (6, 6));
+        let fs = s.clone().factors();
+        assert_eq!(fs[0].var.structure, Structure::Spd);
+        assert_eq!(fs[0].effective_triangle(), None, "SPD is not triangular");
+        // The transpose of an SPD operand is still SPD (and still square).
+        let ft = s.clone().t().factors();
+        assert_eq!(ft[0].var.structure.under(Trans::Yes), Structure::Spd);
+        // S^-1 keeps the structure on the flattened factor.
+        let fi = s.inv().factors();
+        assert!(fi[0].inv);
+        assert_eq!(fi[0].var.structure, Structure::Spd);
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub enum GenerateError {
         /// The inverted operand's name.
         name: String,
     },
-    /// An inverse was applied to an operand without declared triangular
-    /// structure; only triangular inverses lower to a kernel (TRSM).
+    /// An inverse was applied to an operand without declared structure; only
+    /// triangular inverses (lowered to TRSM) and SPD inverses (lowered to
+    /// POTRF plus two TRSMs) have kernel realisations.
     InverseOfGeneral {
         /// The inverted operand's name.
         name: String,
@@ -89,7 +90,9 @@ impl fmt::Display for GenerateError {
                 write!(
                     f,
                     "`{name}^-1` has no kernel realisation: only triangular operands \
-                     (declared as `{name}[lower]` / `{name}[upper]`) can be inverted via TRSM"
+                     (declared as `{name}[lower]` / `{name}[upper]`, inverted via TRSM) and \
+                     SPD operands (declared as `{name}[spd]`, inverted via a Cholesky \
+                     factorisation and two TRSMs) can be inverted"
                 )
             }
             GenerateError::NoRealisation { expression } => {
@@ -123,6 +126,9 @@ pub enum RecognisedPattern {
     /// A product involving triangular-structured (or inverse-marked
     /// triangular) operands — the TRMM/TRSM extension family.
     Triangular,
+    /// A product involving symmetric positive-definite operands — the
+    /// SYMM/POTRF extension family (SPD solves realise through Cholesky).
+    Spd,
     /// Any other product of (possibly transposed, possibly repeated) leaves.
     GenericProduct,
 }
@@ -157,7 +163,9 @@ pub fn generate_algorithms_with(
 /// Classify the expression against the paper's studied shapes.
 fn classify(expr: &Expr) -> RecognisedPattern {
     let factors = expr.factors();
-    if factors.iter().any(|f| f.var.triangle.is_some() || f.inv) {
+    if factors.iter().any(|f| f.var.structure.is_spd()) {
+        RecognisedPattern::Spd
+    } else if factors.iter().any(|f| f.var.triangle().is_some() || f.inv) {
         RecognisedPattern::Triangular
     } else if factors.len() >= 2 && is_plain_chain(&factors) {
         RecognisedPattern::Chain(factors.len())

@@ -70,6 +70,14 @@ pub enum KernelOp {
         /// Columns of the result.
         n: usize,
     },
+    /// `L := chol(A)`: the Cholesky factorisation of an `n×n` SPD operand
+    /// into an explicitly triangular factor (`A = L·Lᵀ` for `uplo = Lower`).
+    Potrf {
+        /// Triangle the factor is computed in.
+        uplo: Uplo,
+        /// Order of the square operand.
+        n: usize,
+    },
     /// Copy the `uplo` triangle of an `n×n` matrix into the other triangle,
     /// making it explicitly full (zero FLOPs, but it moves data and costs time).
     CopyTriangle {
@@ -99,6 +107,8 @@ impl KernelOp {
             KernelOp::Trmm { m, n, .. } | KernelOp::Trsm { m, n, .. } => {
                 (m as u64) * (m as u64) * (n as u64)
             }
+            // Cholesky: the Section-3.1-style leading-order count n³/3.
+            KernelOp::Potrf { n, .. } => (n as u64).pow(3) / 3,
             KernelOp::CopyTriangle { .. } => 0,
         }
     }
@@ -112,26 +122,31 @@ impl KernelOp {
             KernelOp::Symm { m, n, .. }
             | KernelOp::Trmm { m, n, .. }
             | KernelOp::Trsm { m, n, .. } => (m, n),
-            KernelOp::CopyTriangle { n, .. } => (n, n),
+            KernelOp::Potrf { n, .. } | KernelOp::CopyTriangle { n, .. } => (n, n),
         }
     }
 
     /// Number of `f64` elements written by this operation (used by
-    /// memory-traffic-aware time models).
+    /// memory-traffic-aware time models). Total across every kernel: safe at
+    /// degenerate dimensions — the `n == 0` triangle copy writes nothing
+    /// rather than underflowing `n - 1`.
     #[must_use]
     pub fn output_elements(&self) -> u64 {
         match *self {
             KernelOp::Gemm { m, n, .. } => (m as u64) * (n as u64),
-            KernelOp::Syrk { n, .. } => (n as u64) * (n as u64 + 1) / 2,
+            KernelOp::Syrk { n, .. } | KernelOp::Potrf { n, .. } => (n as u64) * (n as u64 + 1) / 2,
             KernelOp::Symm { m, n, .. }
             | KernelOp::Trmm { m, n, .. }
             | KernelOp::Trsm { m, n, .. } => (m as u64) * (n as u64),
-            KernelOp::CopyTriangle { n, .. } => (n as u64) * (n as u64 - 1) / 2,
+            KernelOp::CopyTriangle { n, .. } => {
+                let n = n as u64;
+                n * n.saturating_sub(1) / 2
+            }
         }
     }
 
-    /// Short BLAS-style mnemonic (`gemm`, `syrk`, `symm`, `trmm`, `trsm`,
-    /// `copy`).
+    /// Short BLAS/LAPACK-style mnemonic (`gemm`, `syrk`, `symm`, `trmm`,
+    /// `trsm`, `potrf`, `copy`).
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
         match self {
@@ -140,6 +155,7 @@ impl KernelOp {
             KernelOp::Symm { .. } => "symm",
             KernelOp::Trmm { .. } => "trmm",
             KernelOp::Trsm { .. } => "trsm",
+            KernelOp::Potrf { .. } => "potrf",
             KernelOp::CopyTriangle { .. } => "copy",
         }
     }
@@ -168,6 +184,10 @@ impl KernelOp {
     /// `L` with `trans = T` occupies the upper triangle, walks memory like a
     /// stored-upper untransposed operand, and performs identical work — so
     /// `(Lower, T)` and `(Upper, N)` share one benchmark entry.
+    ///
+    /// POTRF keeps its `uplo`: factoring into the lower versus the upper
+    /// triangle walks memory differently, and the timing layer makes no
+    /// invariance claim for it (like SYRK/SYMM).
     #[must_use]
     pub fn timing_key(&self) -> KernelOp {
         match *self {
@@ -224,6 +244,9 @@ impl fmt::Display for KernelOp {
             }
             KernelOp::Trsm { uplo, trans, m, n } => {
                 write!(f, "trsm({}{} {}x{})", uplo.tag(), trans.tag(), m, n)
+            }
+            KernelOp::Potrf { uplo, n } => {
+                write!(f, "potrf({} {}x{})", uplo.tag(), n, n)
             }
             KernelOp::CopyTriangle { uplo, n } => {
                 write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag())
@@ -455,6 +478,110 @@ mod tests {
             }
         );
         assert_ne!(trsm.timing_key(), stored_lower_t.timing_key());
+    }
+
+    #[test]
+    fn potrf_follows_the_cubed_over_three_model() {
+        let op = KernelOp::Potrf {
+            uplo: Uplo::Lower,
+            n: 90,
+        };
+        assert_eq!(op.flops(), 90u64.pow(3) / 3);
+        assert_eq!(op.output_shape(), (90, 90));
+        assert_eq!(op.output_elements(), 90 * 91 / 2);
+        assert!(op.is_compute());
+        assert_eq!(op.mnemonic(), "potrf");
+        let s = op.to_string();
+        assert!(s.contains("potrf") && s.contains('L'));
+        // POTRF keeps its uplo in the timing key; the two triangles are
+        // distinct benchmark entries.
+        assert_eq!(op.timing_key(), op);
+        let upper = KernelOp::Potrf {
+            uplo: Uplo::Upper,
+            n: 90,
+        };
+        assert_ne!(op.timing_key(), upper.timing_key());
+        // One sixth of the equal-order GEMM, leading order.
+        let gemm = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 90,
+            n: 90,
+            k: 90,
+        };
+        assert!(op.flops() * 6 <= gemm.flops());
+    }
+
+    #[test]
+    fn degenerate_dimensions_never_underflow() {
+        // Regression for the `n == 0` CopyTriangle underflow (debug panic /
+        // release wraparound pre-fix), plus an audit of every kernel op at
+        // zero and unit dimensions.
+        let ops = [
+            KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 0,
+                n: 0,
+                k: 0,
+            },
+            KernelOp::Syrk {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                n: 0,
+                k: 0,
+            },
+            KernelOp::Symm {
+                side: Side::Left,
+                uplo: Uplo::Lower,
+                m: 0,
+                n: 0,
+            },
+            KernelOp::Trmm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 0,
+                n: 0,
+            },
+            KernelOp::Trsm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 0,
+                n: 0,
+            },
+            KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 0,
+            },
+            KernelOp::CopyTriangle {
+                uplo: Uplo::Lower,
+                n: 0,
+            },
+        ];
+        for op in &ops {
+            assert_eq!(op.flops(), 0, "{op}");
+            assert_eq!(op.output_elements(), 0, "{op}");
+            assert_eq!(op.output_shape(), (0, 0), "{op}");
+        }
+        // Unit dimensions are tiny but well defined.
+        assert_eq!(
+            KernelOp::CopyTriangle {
+                uplo: Uplo::Upper,
+                n: 1
+            }
+            .output_elements(),
+            0
+        );
+        assert_eq!(
+            KernelOp::Syrk {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                n: 1,
+                k: 1
+            }
+            .flops(),
+            2
+        );
     }
 
     #[test]

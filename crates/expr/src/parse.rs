@@ -8,7 +8,7 @@
 //! expr    := factor ( "*" factor )*
 //! factor  := primary ( "^T" | "'" | "^-1" )*
 //! primary := IDENT annot? | "(" expr ")"
-//! annot   := "[" ("lower" | "upper") "]"
+//! annot   := "[" ("lower" | "upper" | "spd") "]"
 //! IDENT   := [A-Za-z][A-Za-z0-9_]*
 //! ```
 //!
@@ -16,13 +16,17 @@
 //! transposition; `(A*B)^T` is accepted and rewritten to `B^T*A^T` during
 //! enumeration. Reusing a name (as in `A*A^T*B`) reuses the operand.
 //!
-//! A structure annotation `[lower]`/`[upper]` declares the operand
-//! triangular (and therefore square); the annotation attaches to the *name*,
+//! A structure annotation declares the operand structured (and therefore
+//! square): `[lower]`/`[upper]` for triangular operands, `[spd]` for
+//! symmetric positive-definite ones. The annotation attaches to the *name*,
 //! so a later unannotated reuse (`L[lower]*L^T`) still refers to the
-//! triangular operand, while conflicting annotations are rejected.
-//! Triangular operands unlock the TRMM rewrite (`L[lower]*B`), and the
-//! postfix `^-1` — only valid on triangular operands — lowers to TRSM
-//! (`L[lower]^-1*B` solves `L·X = B`).
+//! structured operand, while conflicting annotations are rejected.
+//! Triangular operands unlock the TRMM rewrite (`L[lower]*B`); SPD operands
+//! unlock the SYMM variants for plain products (`S[spd]*B`). The postfix
+//! `^-1` — only valid on structured operands — lowers to TRSM for
+//! triangular operands (`L[lower]^-1*B` solves `L·X = B`) and to the
+//! Cholesky realisation `POTRF + TRSM + TRSM` for SPD operands
+//! (`S[spd]^-1*B` solves `S·X = B`).
 //!
 //! # Dimension parameters
 //!
@@ -55,7 +59,7 @@ use crate::enumerate::enumerate_expr_algorithms_pruned;
 use crate::expr::Expr;
 use crate::expression::Expression;
 use crate::generator::GenerateError;
-use lamb_matrix::Uplo;
+use lamb_matrix::{Structure, Uplo};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -78,7 +82,7 @@ pub enum ParseError {
         /// Byte offset into the input.
         position: usize,
     },
-    /// A `[` not followed by `lower]` or `upper]` at `position`.
+    /// A `[` not followed by `lower]`, `upper]` or `spd]` at `position`.
     BadStructure {
         /// Byte offset into the input.
         position: usize,
@@ -114,7 +118,7 @@ impl fmt::Display for ParseError {
             ParseError::BadStructure { position } => {
                 write!(
                     f,
-                    "`[` must be followed by `lower]` or `upper]` (position {position})"
+                    "`[` must be followed by `lower]`, `upper]` or `spd]` (position {position})"
                 )
             }
             ParseError::ConflictingStructure { name } => {
@@ -135,7 +139,7 @@ impl std::error::Error for ParseError {}
 /// A shape-less expression AST (shapes are bound later from a dims tuple).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ast {
-    Var(String, Option<Uplo>),
+    Var(String, Option<Structure>),
     Transpose(Box<Ast>),
     Inverse(Box<Ast>),
     Mul(Box<Ast>, Box<Ast>),
@@ -173,8 +177,10 @@ impl Ast {
     fn display(&self) -> String {
         match self {
             Ast::Var(name, None) => name.clone(),
-            Ast::Var(name, Some(Uplo::Lower)) => format!("{name}[lower]"),
-            Ast::Var(name, Some(Uplo::Upper)) => format!("{name}[upper]"),
+            Ast::Var(name, Some(Structure::Triangular(Uplo::Lower))) => format!("{name}[lower]"),
+            Ast::Var(name, Some(Structure::Triangular(Uplo::Upper))) => format!("{name}[upper]"),
+            Ast::Var(name, Some(Structure::Spd)) => format!("{name}[spd]"),
+            Ast::Var(name, Some(Structure::General)) => name.clone(),
             Ast::Transpose(inner) => match inner.as_ref() {
                 Ast::Mul(..) => format!("({})^T", inner.display()),
                 _ => format!("{}^T", inner.display()),
@@ -199,8 +205,8 @@ pub struct TreeExpression {
     /// Per distinct operand name: `(name, row dim index, col dim index)` in
     /// stored (untransposed) orientation, in order of first appearance.
     var_dims: Vec<(String, usize, usize)>,
-    /// Structure annotations per operand name (triangular operands).
-    triangles: HashMap<String, Uplo>,
+    /// Structure annotations per operand name (triangular or SPD operands).
+    structures: HashMap<String, Structure>,
     num_dims: usize,
 }
 
@@ -267,7 +273,7 @@ impl TreeExpression {
     pub fn parse(text: &str) -> Result<Self, ParseError> {
         let ast = Parser::new(text).parse()?;
         let factors = ast.factors();
-        let triangles = collect_annotations(&ast)?;
+        let structures = collect_annotations(&ast)?;
 
         // Two symbols (stored rows, stored cols) per distinct name.
         let mut sym_of: HashMap<String, (usize, usize)> = HashMap::new();
@@ -282,9 +288,9 @@ impl TreeExpression {
             });
         }
         let mut parent: Vec<usize> = (0..next).collect();
-        // Triangular and inverted operands are square: their row and column
-        // sizes unify.
-        for name in triangles.keys().chain(collect_inverted_names(&ast).iter()) {
+        // Structured (triangular or SPD) and inverted operands are square:
+        // their row and column sizes unify.
+        for name in structures.keys().chain(collect_inverted_names(&ast).iter()) {
             let (r, c) = sym_of[name];
             union(&mut parent, r, c);
         }
@@ -332,7 +338,7 @@ impl TreeExpression {
             text: ast.display(),
             ast,
             var_dims,
-            triangles,
+            structures,
             num_dims,
         })
     }
@@ -359,24 +365,25 @@ impl TreeExpression {
         fn build(
             ast: &Ast,
             shapes: &HashMap<&str, (usize, usize)>,
-            triangles: &HashMap<String, Uplo>,
+            structures: &HashMap<String, Structure>,
         ) -> Expr {
             match ast {
                 Ast::Var(name, _) => {
                     let (r, c) = shapes[name.as_str()];
                     // The annotation attaches to the name, so an unannotated
-                    // reuse still builds the triangular operand.
-                    match triangles.get(name) {
-                        Some(&uplo) => Expr::tri_var(name, r, uplo),
-                        None => Expr::var(name, r, c),
+                    // reuse still builds the structured operand.
+                    match structures.get(name) {
+                        Some(&Structure::Triangular(uplo)) => Expr::tri_var(name, r, uplo),
+                        Some(&Structure::Spd) => Expr::spd_var(name, r),
+                        _ => Expr::var(name, r, c),
                     }
                 }
-                Ast::Transpose(inner) => build(inner, shapes, triangles).t(),
-                Ast::Inverse(inner) => build(inner, shapes, triangles).inv(),
-                Ast::Mul(l, r) => build(l, shapes, triangles).mul(build(r, shapes, triangles)),
+                Ast::Transpose(inner) => build(inner, shapes, structures).t(),
+                Ast::Inverse(inner) => build(inner, shapes, structures).inv(),
+                Ast::Mul(l, r) => build(l, shapes, structures).mul(build(r, shapes, structures)),
             }
         }
-        build(&self.ast, &shapes, &self.triangles)
+        build(&self.ast, &shapes, &self.structures)
     }
 
     /// The normalized expression text.
@@ -392,10 +399,21 @@ impl TreeExpression {
         &self.var_dims
     }
 
-    /// The declared triangle of `name`, if the expression annotates it.
+    /// The declared triangle of `name`, if the expression annotates it as
+    /// triangular.
     #[must_use]
     pub fn triangle_of(&self, name: &str) -> Option<Uplo> {
-        self.triangles.get(name).copied()
+        self.structure_of(name).triangle()
+    }
+
+    /// The declared structure of `name` ([`Structure::General`] when the
+    /// expression carries no annotation for it).
+    #[must_use]
+    pub fn structure_of(&self, name: &str) -> Structure {
+        self.structures
+            .get(name)
+            .copied()
+            .unwrap_or(Structure::General)
     }
 }
 
@@ -423,13 +441,13 @@ fn collect_inverted_names(ast: &Ast) -> Vec<String> {
 }
 
 /// Collect the structure annotations of every `Var` occurrence, rejecting
-/// names annotated with two different triangles.
-fn collect_annotations(ast: &Ast) -> Result<HashMap<String, Uplo>, ParseError> {
-    fn go(ast: &Ast, out: &mut HashMap<String, Uplo>) -> Result<(), ParseError> {
+/// names annotated with two different structures.
+fn collect_annotations(ast: &Ast) -> Result<HashMap<String, Structure>, ParseError> {
+    fn go(ast: &Ast, out: &mut HashMap<String, Structure>) -> Result<(), ParseError> {
         match ast {
             Ast::Var(_, None) => Ok(()),
-            Ast::Var(name, Some(uplo)) => match out.insert(name.clone(), *uplo) {
-                Some(prev) if prev != *uplo => {
+            Ast::Var(name, Some(structure)) => match out.insert(name.clone(), *structure) {
+                Some(prev) if prev != *structure => {
                     Err(ParseError::ConflictingStructure { name: name.clone() })
                 }
                 _ => Ok(()),
@@ -589,8 +607,9 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Parse an optional `[lower]` / `[upper]` structure annotation.
-    fn structure_annotation(&mut self) -> Result<Option<Uplo>, ParseError> {
+    /// Parse an optional `[lower]` / `[upper]` / `[spd]` structure
+    /// annotation.
+    fn structure_annotation(&mut self) -> Result<Option<Structure>, ParseError> {
         let Some((position, '[')) = self.peek() else {
             return Ok(None);
         };
@@ -609,8 +628,9 @@ impl<'a> Parser<'a> {
             _ => return Err(ParseError::BadStructure { position }),
         }
         match word.as_str() {
-            "lower" => Ok(Some(Uplo::Lower)),
-            "upper" => Ok(Some(Uplo::Upper)),
+            "lower" => Ok(Some(Structure::Triangular(Uplo::Lower))),
+            "upper" => Ok(Some(Structure::Triangular(Uplo::Upper))),
+            "spd" => Ok(Some(Structure::Spd)),
             _ => Err(ParseError::BadStructure { position }),
         }
     }
@@ -766,6 +786,32 @@ mod tests {
         let t = TreeExpression::parse("L[lower]^T^-1*B").unwrap();
         let algs_t = t.algorithms(&[40, 10]).unwrap();
         assert_eq!(algs_t[0].kernel_summary(), "trsm");
+    }
+
+    #[test]
+    fn spd_annotations_parse_square_the_operand_and_reach_the_cholesky_rewrite() {
+        let e = TreeExpression::parse("S[spd]^-1 * B").unwrap();
+        assert_eq!(e.name(), "S[spd]^-1*B");
+        assert_eq!(e.num_dims(), 2, "S is square, so only (d0, d1) remain");
+        assert_eq!(e.structure_of("S"), Structure::Spd);
+        assert_eq!(e.structure_of("B"), Structure::General);
+        assert_eq!(e.triangle_of("S"), None);
+        let algs = e.algorithms(&[40, 10]).unwrap();
+        assert_eq!(algs.len(), 1, "an SPD solve has exactly one realisation");
+        assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
+        // A plain SPD product gets the SYMM-versus-GEMM pair, and the
+        // annotation is case-insensitive.
+        let p = TreeExpression::parse("S[SPD]*B").unwrap();
+        assert_eq!(p.name(), "S[spd]*B");
+        let algs_p = p.algorithms(&[30, 12]).unwrap();
+        let summaries: Vec<String> = algs_p.iter().map(|a| a.kernel_summary()).collect();
+        assert!(summaries.contains(&"symm".to_string()), "{summaries:?}");
+        assert!(summaries.contains(&"gemm".to_string()), "{summaries:?}");
+        // Conflicting structure annotations are rejected across kinds too.
+        assert!(matches!(
+            TreeExpression::parse("S[spd]*S[lower]"),
+            Err(ParseError::ConflictingStructure { .. })
+        ));
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //!   explicit inverse. An inverse on the *right* of a merge (`B·L⁻¹`) has no
 //!   kernel in this vocabulary, so that merge contributes no variants and
 //!   the enumerator abandons the order.
+//! * **SPD operands**: a symmetric positive-definite side is symmetric and
+//!   stored in full, so plain products through it pick up the SYMM-versus-
+//!   GEMM variant pair of any full-stored symmetric operand. An
+//!   inverse-marked SPD side `S⁻¹·B` lowers to the **Cholesky realisation**
+//!   `POTRF(S) = L; TRSM(L,·); TRSM(Lᵀ,·)` — the only realisation of an SPD
+//!   inverse, turning expressions that previously died with
+//!   `NoRealisation` into planable algorithm sets.
 //!
 //! The variant *order* within each merge follows the paper's presentation
 //! (SYRK before GEMM, SYMM before copy+GEMM, and analogously the structured
@@ -79,9 +86,15 @@ pub struct MergeOperand {
     /// are stored fully with explicit zeros, so `storage` stays
     /// [`Storage::General`].
     pub tri: Option<Uplo>,
-    /// Whether the side is inverse-marked (`L⁻¹`); only meaningful together
-    /// with `tri` (an inverse of a general operand has no kernel realisation
-    /// and is rejected before merging starts).
+    /// Whether the side is a symmetric positive-definite leaf. SPD sides are
+    /// symmetric and stored in full, so they also carry
+    /// [`Storage::SymmetricFull`]; the flag additionally unlocks the Cholesky
+    /// realisation when the side is inverse-marked.
+    pub spd: bool,
+    /// Whether the side is inverse-marked; only meaningful together with
+    /// `tri` (lowered to TRSM) or `spd` (lowered to POTRF + two TRSMs) — an
+    /// inverse of a general operand has no kernel realisation and is
+    /// rejected before merging starts.
     pub inv: bool,
 }
 
@@ -94,6 +107,7 @@ impl MergeOperand {
             trans,
             storage: Storage::General,
             tri: None,
+            spd: false,
             inv: false,
         }
     }
@@ -107,6 +121,23 @@ impl MergeOperand {
             trans,
             storage: Storage::General,
             tri: Some(tri),
+            spd: false,
+            inv,
+        }
+    }
+
+    /// The view of a symmetric positive-definite leaf factor. SPD operands
+    /// are symmetric values stored in full, so plain uses carry
+    /// [`Storage::SymmetricFull`] (unlocking the SYMM variants); an
+    /// inverse-marked use lowers to the Cholesky realisation instead.
+    #[must_use]
+    pub fn spd_leaf(index: usize, trans: Trans, inv: bool) -> Self {
+        MergeOperand {
+            leaf: Some(index),
+            trans,
+            storage: Storage::SymmetricFull,
+            tri: None,
+            spd: true,
             inv,
         }
     }
@@ -119,6 +150,7 @@ impl MergeOperand {
             trans: Trans::No,
             storage,
             tri: None,
+            spd: false,
             inv: false,
         }
     }
@@ -132,6 +164,7 @@ impl MergeOperand {
             trans: Trans::No,
             storage: Storage::General,
             tri: Some(tri),
+            spd: false,
             inv: false,
         }
     }
@@ -173,6 +206,12 @@ pub enum MergeKind {
     /// The left operand is an inverse-marked triangular: solve through TRSM
     /// (`m²·n` FLOPs). The only realisation of a triangular inverse.
     Trsm,
+    /// The left operand is an inverse-marked SPD matrix `S⁻¹`: realise the
+    /// solve through a Cholesky factorisation and two triangular solves —
+    /// `L := POTRF(S)`, `Y := L⁻¹·B`, `X := L⁻ᵀ·Y` — for `m³/3 + 2·m²·n`
+    /// FLOPs. The only realisation of an SPD inverse (no kernel materialises
+    /// an explicit inverse).
+    CholeskySolve,
 }
 
 impl MergeKind {
@@ -223,8 +262,9 @@ pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
 /// inverse-marked sides, whose TRSM lowering is a *realisation*, not an
 /// optimisation, and therefore survives the ablation.
 ///
-/// An inverse-marked *right* side yields no variants: `B·L⁻¹` has no kernel
-/// in this vocabulary, and the enumerator abandons such merge orders.
+/// An inverse-marked *right* side yields no variants: `B·L⁻¹` (and `B·S⁻¹`)
+/// has no kernel in this vocabulary, and the enumerator abandons such merge
+/// orders.
 #[must_use]
 pub fn merge_variants(
     left: &MergeOperand,
@@ -239,10 +279,12 @@ pub fn merge_variants(
         return Vec::new();
     }
     if left.inv {
-        return if right_plain {
-            vec![MergeKind::Trsm]
-        } else {
-            Vec::new()
+        // Inverse lowerings are *realisations*, not optimisations: they
+        // survive the rewrites-off ablation.
+        return match (left.spd, right_plain) {
+            (true, true) => vec![MergeKind::CholeskySolve],
+            (false, true) => vec![MergeKind::Trsm],
+            (_, false) => Vec::new(),
         };
     }
     if !rewrites {
@@ -482,6 +524,45 @@ mod tests {
         // Inverses never form Gram pairs.
         let linv_t = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, true);
         assert!(!is_gram_pair(&linv, &linv_t));
+    }
+
+    #[test]
+    fn inverse_spd_left_side_lowers_to_the_cholesky_realisation_only() {
+        let sinv = MergeOperand::spd_leaf(0, Trans::No, true);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&sinv, &b, true, true),
+            vec![MergeKind::CholeskySolve]
+        );
+        // The Cholesky lowering is a realisation, not an optimisation: it
+        // survives the rewrites-off ablation.
+        assert_eq!(
+            merge_variants(&sinv, &b, true, false),
+            vec![MergeKind::CholeskySolve]
+        );
+        // A transposed right-hand side has no kernel; an SPD inverse on the
+        // right is a dead end.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert!(merge_variants(&sinv, &bt, true, true).is_empty());
+        assert!(merge_variants(&b, &sinv, true, true).is_empty());
+    }
+
+    #[test]
+    fn plain_spd_sides_pick_up_the_symm_variants() {
+        // A non-inverted SPD operand is a full-stored symmetric matrix, so
+        // the existing SYMM-versus-GEMM machinery applies unchanged.
+        let s = MergeOperand::spd_leaf(0, Trans::No, false);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&s, &b, true, true),
+            vec![MergeKind::SymmLeft, MergeKind::Gemm]
+        );
+        assert_eq!(
+            merge_variants(&b, &s, true, true),
+            vec![MergeKind::SymmRight, MergeKind::Gemm]
+        );
+        // With rewrites disabled only GEMM remains (SYMM is an optimisation).
+        assert_eq!(merge_variants(&s, &b, true, false), vec![MergeKind::Gemm]);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::config::BlockConfig;
 use crate::gemm::gemm;
+use crate::potrf::potrf;
 use crate::symm::symm;
 use crate::syrk::syrk;
 use crate::trmm::trmm;
@@ -73,6 +74,16 @@ pub enum Kernel<'a> {
         /// The right-hand sides.
         b: &'a Matrix,
     },
+    /// `L := chol(A)`: the out-of-place Cholesky factorisation of an SPD
+    /// operand. The `uplo` triangle of `A` is copied into a zeroed output and
+    /// factored in place, so the result is an *explicitly* triangular factor
+    /// (exact zeros outside its triangle) ready for TRMM/TRSM consumers.
+    Potrf {
+        /// Triangle the factor is computed in (`Lower`: `A = L·Lᵀ`).
+        uplo: Uplo,
+        /// The symmetric positive-definite operand.
+        a: &'a Matrix,
+    },
 }
 
 impl Kernel<'_> {
@@ -95,6 +106,7 @@ impl Kernel<'_> {
                 (n, n)
             }
             Kernel::Symm { b, .. } | Kernel::Trmm { b, .. } | Kernel::Trsm { b, .. } => b.shape(),
+            Kernel::Potrf { a, .. } => a.shape(),
         }
     }
 
@@ -102,8 +114,8 @@ impl Kernel<'_> {
     ///
     /// # Errors
     ///
-    /// Propagates the underlying kernel's shape (and, for TRSM, singularity)
-    /// errors.
+    /// Propagates the underlying kernel's shape errors, TRSM's singularity
+    /// error, and POTRF's [`lamb_matrix::MatrixError::NotPositiveDefinite`].
     pub fn run_into(&self, c: &mut Matrix, cfg: &BlockConfig) -> Result<()> {
         match *self {
             Kernel::Gemm {
@@ -157,6 +169,11 @@ impl Kernel<'_> {
                 &mut c.view_mut(),
                 cfg,
             ),
+            Kernel::Potrf { uplo, a } => {
+                c.fill(0.0);
+                c.copy_triangle(a, uplo)?;
+                potrf(uplo, &mut c.view_mut(), cfg)
+            }
         }
     }
 
@@ -314,6 +331,16 @@ pub fn trsm_new(
     Kernel::Trsm { uplo, trans, l, b }.run_new(cfg)
 }
 
+/// The explicitly triangular Cholesky factor of an SPD matrix, freshly
+/// allocated (zeros outside the factored triangle).
+///
+/// # Errors
+///
+/// Propagates shape and positive-definiteness errors from [`potrf`].
+pub fn potrf_new(uplo: Uplo, a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::Potrf { uplo, a }.run_new(cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +460,39 @@ mod tests {
         )
         .unwrap();
         assert!(max_abs_diff(&via_symm, &expected).unwrap() < 1e-11);
+    }
+
+    #[test]
+    fn potrf_new_produces_an_explicit_triangular_factor() {
+        use lamb_matrix::random::random_spd;
+        let cfg = BlockConfig::default();
+        let a = random_spd(18, 12);
+        let l = potrf_new(Uplo::Lower, &a, &cfg).unwrap();
+        assert_eq!(l.shape(), (18, 18));
+        assert!(lamb_matrix::ops::is_triangular(&l, Uplo::Lower).unwrap());
+        // The input operand is untouched (out-of-place realisation)...
+        assert_eq!(a, random_spd(18, 12));
+        // ...and L·Lᵀ reconstructs it.
+        let mut back = Matrix::zeros(18, 18);
+        gemm_naive(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            &l.view(),
+            &l.view(),
+            0.0,
+            &mut back.view_mut(),
+        )
+        .unwrap();
+        assert!(max_abs_diff(&back, &a).unwrap() < 1e-10 * 18.0);
+        assert_eq!(
+            Kernel::Potrf {
+                uplo: Uplo::Lower,
+                a: &a
+            }
+            .output_shape(),
+            (18, 18)
+        );
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub fn trsm_flops(m: usize, n: usize) -> u64 {
     (m as u64) * (m as u64) * (n as u64)
 }
 
+/// FLOP count of `POTRF`: the Cholesky factorisation of an SPD `A ∈ R^{n×n}`
+/// — the Section-3.1-style leading-order count `n³/3`, one sixth of the
+/// equal-order GEMM.
+#[must_use]
+pub fn potrf_flops(n: usize) -> u64 {
+    (n as u64).pow(3) / 3
+}
+
 /// FLOP count of copying one triangle of an `n x n` matrix into the other
 /// triangle (zero: it moves data but performs no floating-point arithmetic).
 #[must_use]
@@ -52,11 +60,12 @@ pub fn copy_triangle_flops(_n: usize) -> u64 {
 }
 
 /// Number of matrix elements moved by the triangle-to-full copy of an
-/// `n x n` matrix (useful for memory-bound time models).
+/// `n x n` matrix (useful for memory-bound time models). Saturating at
+/// degenerate orders: `n == 0` moves nothing.
 #[must_use]
 pub fn copy_triangle_elements(n: usize) -> u64 {
     let n = n as u64;
-    n * (n - 1) / 2
+    n * n.saturating_sub(1) / 2
 }
 
 #[cfg(test)]
@@ -111,6 +120,19 @@ mod tests {
         assert_eq!(copy_triangle_flops(1000), 0);
         assert_eq!(copy_triangle_elements(4), 6);
         assert_eq!(copy_triangle_elements(1), 0);
+        // Regression: n == 0 must not underflow (debug panic pre-fix).
+        assert_eq!(copy_triangle_elements(0), 0);
+    }
+
+    #[test]
+    fn potrf_is_a_sixth_of_the_equal_order_gemm() {
+        for n in [0, 1, 3, 64, 1200] {
+            assert_eq!(potrf_flops(n), (n as u64).pow(3) / 3);
+        }
+        // Leading order: n³/3 versus GEMM's 2·n³.
+        let n = 900;
+        assert!(potrf_flops(n) * 6 <= gemm_flops(n, n, n));
+        assert!(potrf_flops(n) * 7 > gemm_flops(n, n, n));
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! # lamb-kernels
 //!
-//! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels: GEMM, SYRK,
-//! SYMM, TRMM and TRSM — the kernel vocabulary from which the algorithms
-//! studied in the paper *"FLOPs as a Discriminant for Dense Linear Algebra
-//! Algorithms"* (ICPP'22) and its triangular extensions are built — together
-//! with their FLOP-count models, cache-flushing and median-of-N timing
-//! utilities.
+//! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels — GEMM, SYRK,
+//! SYMM, TRMM and TRSM — plus the blocked Cholesky factorisation POTRF: the
+//! kernel vocabulary from which the algorithms studied in the paper *"FLOPs
+//! as a Discriminant for Dense Linear Algebra Algorithms"* (ICPP'22) and its
+//! triangular/SPD extensions are built — together with their FLOP-count
+//! models, cache-flushing and median-of-N timing utilities.
 //!
 //! Every kernel is a thin specialisation of one engine, the
 //! [`driver::BlockedDriver`], in the classic GotoBLAS/BLIS structure: the
@@ -53,6 +53,7 @@ pub mod flops;
 pub mod gemm;
 pub mod microkernel;
 pub mod pack;
+pub mod potrf;
 pub mod symm;
 pub mod syrk;
 pub mod timing;
@@ -62,11 +63,13 @@ pub mod trsm;
 pub use cache::CacheFlusher;
 pub use config::BlockConfig;
 pub use dispatch::{
-    gemm_into, gemm_new, symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new, Kernel,
+    gemm_into, gemm_new, potrf_new, symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new,
+    Kernel,
 };
 pub use driver::BlockedDriver;
 pub use gemm::gemm;
 pub use gemm::naive::gemm_naive;
+pub use potrf::{potrf, potrf_naive};
 pub use symm::symm;
 pub use syrk::syrk;
 pub use timing::{time_once, MedianTimer, TimingResult};

@@ -54,6 +54,12 @@ pub enum MatrixError {
         /// Index of the zero diagonal element.
         index: usize,
     },
+    /// A Cholesky factorisation encountered a non-positive pivot: the operand
+    /// is not positive definite and `A = L·Lᵀ` does not exist.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        index: usize,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -88,6 +94,10 @@ impl fmt::Display for MatrixError {
             MatrixError::SingularDiagonal { index } => write!(
                 f,
                 "triangular operand is singular: zero diagonal element at index {index}"
+            ),
+            MatrixError::NotPositiveDefinite { index } => write!(
+                f,
+                "operand is not positive definite: non-positive pivot at index {index}"
             ),
         }
     }
@@ -161,6 +171,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("singular"));
         assert!(s.contains('4'));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = MatrixError::NotPositiveDefinite { index: 2 };
+        let s = e.to_string();
+        assert!(s.contains("positive definite"));
+        assert!(s.contains('2'));
     }
 
     #[test]

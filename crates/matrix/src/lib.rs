@@ -28,5 +28,5 @@ pub mod view;
 
 pub use dense::Matrix;
 pub use error::{MatrixError, Result};
-pub use types::{Side, Trans, Uplo};
+pub use types::{Side, Structure, Trans, Uplo};
 pub use view::{MatrixView, MatrixViewMut};

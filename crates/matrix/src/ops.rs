@@ -116,6 +116,57 @@ pub fn is_triangular(a: &Matrix, uplo: Uplo) -> Result<bool> {
     Ok(true)
 }
 
+/// Whether a square matrix is symmetric positive definite: numerically
+/// symmetric within `tol` and admitting a Cholesky factorisation (every pivot
+/// of the unblocked factorisation strictly positive).
+///
+/// This is a *validation* routine — `O(n³)`, scalar, reference-grade — used
+/// by tests and by debug assertions in the executors; it is the ground truth
+/// the blocked POTRF kernel in `lamb-kernels` is checked against. Operands
+/// declared `S[spd]` at the expression level must satisfy it, or the
+/// Cholesky-based and inverse-free algorithm variants of one expression
+/// diverge (or fail outright with a non-positive pivot).
+///
+/// The pivot recurrence below must stay in lockstep with the kernel crate's
+/// `potrf` diagonal-block factor (this crate sits *below* `lamb-kernels` in
+/// the dependency order, so it cannot call `potrf_naive` and carries its own
+/// copy): in particular, both reject NaN pivots.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] for rectangular input.
+pub fn is_spd(a: &Matrix, tol: f64) -> Result<bool> {
+    if !is_symmetric(a, tol)? {
+        return Ok(false);
+    }
+    // Unblocked lower Cholesky on a scratch copy; any non-positive pivot
+    // certifies indefiniteness.
+    let n = a.rows();
+    let mut l = a.clone();
+    for j in 0..n {
+        let mut d = l[(j, j)];
+        for p in 0..j {
+            d -= l[(j, p)] * l[(j, p)];
+        }
+        // The NaN check matches the blocked kernel: a NaN pivot (e.g. a
+        // poisoned diagonal, which the off-diagonal symmetry scan above
+        // never inspects) is not positive definite.
+        if d <= 0.0 || d.is_nan() {
+            return Ok(false);
+        }
+        let d = d.sqrt();
+        l[(j, j)] = d;
+        for i in (j + 1)..n {
+            let mut s = l[(i, j)];
+            for p in 0..j {
+                s -= l[(i, p)] * l[(j, p)];
+            }
+            l[(i, j)] = s / d;
+        }
+    }
+    Ok(true)
+}
+
 /// `b := alpha * a + b` for matrices of identical shape.
 ///
 /// # Errors
@@ -252,6 +303,31 @@ mod tests {
     fn is_symmetric_rejects_rectangular() {
         let a = Matrix::zeros(2, 3);
         assert!(is_symmetric(&a, 1e-12).is_err());
+    }
+
+    #[test]
+    fn is_spd_detects_definiteness_and_rejects_rectangular() {
+        assert!(is_spd(&Matrix::identity(5), 1e-12).unwrap());
+        // Asymmetric and indefinite matrices both fail.
+        let mut asym = Matrix::identity(3);
+        asym[(0, 2)] = 0.5;
+        assert!(!is_spd(&asym, 1e-12).unwrap());
+        let mut indef = Matrix::identity(3);
+        indef[(1, 1)] = -1.0;
+        assert!(!is_spd(&indef, 1e-12).unwrap());
+        assert!(is_spd(&Matrix::zeros(2, 3), 1e-12).is_err());
+    }
+
+    #[test]
+    fn is_spd_rejects_nan_poisoned_matrices_like_the_kernel() {
+        // A NaN on the diagonal is invisible to the off-diagonal symmetry
+        // scan; the pivot check must still reject it, exactly as the blocked
+        // POTRF kernel does.
+        for idx in [0usize, 2] {
+            let mut a = Matrix::identity(4);
+            a[(idx, idx)] = f64::NAN;
+            assert!(!is_spd(&a, 1e-12).unwrap(), "NaN pivot at {idx}");
+        }
     }
 
     #[test]

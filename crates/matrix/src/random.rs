@@ -59,6 +59,30 @@ pub fn random_triangular(n: usize, uplo: Uplo, seed: u64) -> Matrix {
     })
 }
 
+/// Create a random symmetric positive-definite `n x n` matrix: exactly
+/// symmetric off-diagonal values in `(-1, 1)` with the diagonal lifted to
+/// `n + 1`, which makes the matrix strictly diagonally dominant with a
+/// positive diagonal — a sufficient condition for positive definiteness.
+/// Dominance keeps the Cholesky factorisation and the subsequent triangular
+/// solves well conditioned, which is what lets POTRF-based algorithm variants
+/// be compared numerically against naive references at `1e-10`-level
+/// tolerances.
+///
+/// The same `(n, seed)` pair always yields the same matrix, so two algorithms
+/// of the same expression see identical SPD operands.
+#[must_use]
+pub fn random_spd(n: usize, seed: u64) -> Matrix {
+    let dense = random_seeded(n, n, seed);
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64 + 1.0
+        } else {
+            // Exact symmetry: both (i, j) and (j, i) read the same pair.
+            0.5 * (dense[(i, j)] + dense[(j, i)])
+        }
+    })
+}
+
 /// Create a random symmetric `n x n` matrix (A + Aᵀ scaled to stay in range).
 #[must_use]
 pub fn random_symmetric<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Matrix {
@@ -129,6 +153,18 @@ mod tests {
             assert_eq!(t, random_triangular(9, uplo, 17));
             assert_ne!(t, random_triangular(9, uplo, 18));
         }
+    }
+
+    #[test]
+    fn random_spd_is_symmetric_positive_definite_and_deterministic() {
+        let s = random_spd(11, 3);
+        assert!(crate::ops::is_symmetric(&s, 0.0).unwrap(), "exact symmetry");
+        assert!(crate::ops::is_spd(&s, 1e-12).unwrap());
+        assert_eq!(s, random_spd(11, 3));
+        assert_ne!(s, random_spd(11, 4));
+        // Degenerate orders are well defined.
+        assert!(crate::ops::is_spd(&random_spd(0, 1), 1e-12).unwrap());
+        assert!(crate::ops::is_spd(&random_spd(1, 1), 1e-12).unwrap());
     }
 
     #[test]

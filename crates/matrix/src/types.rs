@@ -50,6 +50,59 @@ impl Uplo {
     }
 }
 
+/// Known structure of a matrix operand, as declared at the expression level
+/// and threaded through planning, execution and calibration.
+///
+/// Structure is what unlocks structured kernels: a [`Structure::Triangular`]
+/// operand can multiply through TRMM and (inverse-marked) solve through TRSM,
+/// while a [`Structure::Spd`] operand is symmetric (so it can multiply
+/// through SYMM) and positive definite (so its inverse is realisable by a
+/// Cholesky factorisation, POTRF, followed by two triangular solves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// A general dense matrix with no declared structure.
+    General,
+    /// A triangular matrix storing the given triangle; the opposite triangle
+    /// is structurally zero. Necessarily square.
+    Triangular(Uplo),
+    /// A symmetric positive-definite matrix, stored in full (both triangles
+    /// explicit, exactly symmetric). Necessarily square.
+    Spd,
+}
+
+impl Structure {
+    /// The stored triangle when the structure is triangular.
+    #[must_use]
+    pub fn triangle(self) -> Option<Uplo> {
+        match self {
+            Structure::Triangular(uplo) => Some(uplo),
+            _ => None,
+        }
+    }
+
+    /// Whether the structure is symmetric positive definite.
+    #[must_use]
+    pub fn is_spd(self) -> bool {
+        matches!(self, Structure::Spd)
+    }
+
+    /// Whether the structure forces the operand to be square.
+    #[must_use]
+    pub fn is_square(self) -> bool {
+        !matches!(self, Structure::General)
+    }
+
+    /// The structure of the transposed operand: transposition flips a
+    /// triangle and preserves both generality and (by symmetry) SPD-ness.
+    #[must_use]
+    pub fn under(self, trans: Trans) -> Structure {
+        match self {
+            Structure::Triangular(uplo) => Structure::Triangular(uplo.under(trans)),
+            other => other,
+        }
+    }
+}
+
 /// Whether an operand is used as-is or transposed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trans {
@@ -161,6 +214,28 @@ mod tests {
         assert_eq!(Trans::Yes.apply((2, 7)), (7, 2));
         assert_eq!(Trans::No.apply((2, 7)), (2, 7));
         assert_eq!(Trans::Yes.flip().apply((2, 7)), (2, 7));
+    }
+
+    #[test]
+    fn structure_helpers_cover_all_variants() {
+        assert_eq!(Structure::General.triangle(), None);
+        assert_eq!(
+            Structure::Triangular(Uplo::Lower).triangle(),
+            Some(Uplo::Lower)
+        );
+        assert_eq!(Structure::Spd.triangle(), None);
+        assert!(Structure::Spd.is_spd());
+        assert!(!Structure::General.is_spd());
+        assert!(Structure::Spd.is_square());
+        assert!(Structure::Triangular(Uplo::Upper).is_square());
+        assert!(!Structure::General.is_square());
+        // Transposition flips a triangle and fixes everything else.
+        assert_eq!(
+            Structure::Triangular(Uplo::Lower).under(Trans::Yes),
+            Structure::Triangular(Uplo::Upper)
+        );
+        assert_eq!(Structure::Spd.under(Trans::Yes), Structure::Spd);
+        assert_eq!(Structure::General.under(Trans::Yes), Structure::General);
     }
 
     #[test]

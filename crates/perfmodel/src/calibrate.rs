@@ -37,7 +37,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: ar,
                 cols: ac,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "A".into(),
             });
             operands.push(OperandInfo {
@@ -45,7 +45,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: br,
                 cols: bc,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "B".into(),
             });
             vec![OperandId(0), OperandId(1)]
@@ -60,7 +60,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: ar,
                 cols: ac,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "A".into(),
             });
             vec![OperandId(0)]
@@ -75,7 +75,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: sym_dim,
                 cols: sym_dim,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "A".into(),
             });
             operands.push(OperandInfo {
@@ -83,7 +83,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: m,
                 cols: n,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "B".into(),
             });
             vec![OperandId(0), OperandId(1)]
@@ -94,7 +94,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: m,
                 cols: m,
                 role: OperandRole::Input,
-                triangle: Some(uplo),
+                structure: lamb_matrix::Structure::Triangular(uplo),
                 name: "L".into(),
             });
             operands.push(OperandInfo {
@@ -102,10 +102,21 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: m,
                 cols: n,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "B".into(),
             });
             vec![OperandId(0), OperandId(1)]
+        }
+        KernelOp::Potrf { n, .. } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: n,
+                cols: n,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::Spd,
+                name: "S".into(),
+            });
+            vec![OperandId(0)]
         }
         KernelOp::CopyTriangle { n, .. } => {
             operands.push(OperandInfo {
@@ -113,7 +124,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 rows: n,
                 cols: n,
                 role: OperandRole::Input,
-                triangle: None,
+                structure: lamb_matrix::Structure::General,
                 name: "A".into(),
             });
             vec![OperandId(0)]
@@ -128,7 +139,7 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
         rows: out_rows,
         cols: out_cols,
         role: OperandRole::Output,
-        triangle: None,
+        structure: lamb_matrix::Structure::General,
         name: "X".into(),
     });
     let output = out_id;
@@ -165,14 +176,15 @@ pub fn estimate_peak_flops(cfg: &BlockConfig, size: usize, trials: usize) -> f64
 }
 
 /// Names of the compute kernels swept by the square calibration, in sweep
-/// order (the paper's Figure 1 trio plus the triangular extensions).
-pub const SQUARE_SWEEP_KERNELS: [&str; 5] = ["gemm", "syrk", "symm", "trmm", "trsm"];
+/// order (the paper's Figure 1 trio plus the triangular and SPD extensions).
+pub const SQUARE_SWEEP_KERNELS: [&str; 6] = ["gemm", "syrk", "symm", "trmm", "trsm", "potrf"];
 
 /// The square-operand kernel operations of the calibration sweep at a given
 /// size: the paper's Figure 1 trio (GEMM, SYRK, SYMM) extended with the
-/// triangular kernels (TRMM, TRSM), in [`SQUARE_SWEEP_KERNELS`] order.
+/// triangular kernels (TRMM, TRSM) and the Cholesky factorisation (POTRF),
+/// in [`SQUARE_SWEEP_KERNELS`] order.
 #[must_use]
-pub fn square_ops(size: usize) -> [KernelOp; 5] {
+pub fn square_ops(size: usize) -> [KernelOp; 6] {
     [
         KernelOp::Gemm {
             transa: Trans::No,
@@ -203,6 +215,10 @@ pub fn square_ops(size: usize) -> [KernelOp; 5] {
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: size,
+            n: size,
+        },
+        KernelOp::Potrf {
+            uplo: Uplo::Lower,
             n: size,
         },
     ]
@@ -271,6 +287,10 @@ mod tests {
                 trans: Trans::No,
                 m: 6,
                 n: 5,
+            },
+            KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 7,
             },
             KernelOp::CopyTriangle {
                 uplo: Uplo::Lower,

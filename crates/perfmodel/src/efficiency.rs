@@ -77,6 +77,14 @@ pub struct AnalyticEfficiencyModel {
     /// the regime where its halved FLOP count is most thoroughly defeated by
     /// its lower FLOP rate (the anomaly mechanism of the triangular family).
     pub trsm_rel: (f64, f64, f64),
+    /// POTRF efficiency relative to the same-order square GEMM:
+    /// `(base, gain, half)` in the factored order. The factorisation's
+    /// recursive dependency structure (panel solves feeding trailing
+    /// updates) keeps its FLOP rate below every multiplication kernel at
+    /// small and mid-sized orders — so the `n³/3` FLOP saving of a
+    /// Cholesky-based SPD solve need not translate into a time saving, the
+    /// anomaly mechanism of the SPD family.
+    pub potrf_rel: (f64, f64, f64),
     /// Whether abrupt internal-variant switches are modelled.
     pub variant_switches: bool,
 }
@@ -90,6 +98,7 @@ impl Default for AnalyticEfficiencyModel {
             symm_rel: (0.45, 0.49, 350.0),
             trmm_rel: (0.38, 0.56, 390.0),
             trsm_rel: (0.22, 0.62, 520.0),
+            potrf_rel: (0.18, 0.64, 560.0),
             variant_switches: true,
         }
     }
@@ -205,6 +214,23 @@ impl AnalyticEfficiencyModel {
         f
     }
 
+    /// Variant factor for POTRF: the factorisation switches from a blocked
+    /// right-looking path to an unblocked one below a crossover order, and
+    /// panel solves dominate for mid-sized problems.
+    fn potrf_variant_factor(&self, n: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if n < 384 {
+            f *= 0.89;
+        }
+        if n < 64 {
+            f *= 0.80;
+        }
+        f
+    }
+
     fn rel(&self, params: (f64, f64, f64), order: usize) -> f64 {
         let (base, gain, half) = params;
         base + gain * ramp(order, half)
@@ -238,6 +264,11 @@ impl EfficiencyModel for AnalyticEfficiencyModel {
                 self.gemm_efficiency(m, n, m)
                     * self.rel(self.trsm_rel, m)
                     * self.trsm_variant_factor(m, n)
+            }
+            KernelOp::Potrf { n, .. } => {
+                self.gemm_efficiency(n, n, n)
+                    * self.rel(self.potrf_rel, n)
+                    * self.potrf_variant_factor(n)
             }
             // The copy has no floating-point work; report a nominal efficiency
             // so callers never divide by zero.
@@ -381,6 +412,58 @@ mod tests {
         let via_trmm = t((m * m * n) as f64, model.efficiency(&trmm_op(m, n)));
         let via_gemm = t((2 * m * m * n) as f64, model.efficiency(&gemm_op(m, n, m)));
         assert!(via_trmm < via_gemm);
+    }
+
+    fn potrf_op(n: usize) -> KernelOp {
+        KernelOp::Potrf {
+            uplo: Uplo::Lower,
+            n,
+        }
+    }
+
+    #[test]
+    fn potrf_trails_every_multiplication_kernel() {
+        let model = AnalyticEfficiencyModel::default();
+        for size in [100, 300, 600, 1000, 2000] {
+            let g = model.efficiency(&gemm_op(size, size, size));
+            let ts = model.efficiency(&trsm_op(size, size));
+            let p = model.efficiency(&potrf_op(size));
+            assert!(g > p, "size {size}: gemm {g} vs potrf {p}");
+            assert!(ts > p, "size {size}: trsm {ts} vs potrf {p}");
+            assert!(p > 0.0 && p <= 1.0);
+        }
+        // The surface still ramps with size.
+        assert!(model.efficiency(&potrf_op(2000)) > model.efficiency(&potrf_op(100)));
+    }
+
+    #[test]
+    fn small_spd_solves_can_defeat_the_cholesky_flop_savings() {
+        // The anomaly mechanism of the SPD family, mirroring the triangular
+        // one: at small orders the factor-and-solve pipeline's FLOP rate is
+        // so much lower than GEMM's that orderings which shrink the solve's
+        // right-hand-side count (fewer FLOPs) are not the fastest.
+        let model = AnalyticEfficiencyModel::default();
+        let n = 64;
+        let wide = 700;
+        let t = |flops: f64, eff: f64| flops / eff;
+        // Narrow solve (few right-hand sides): FLOP-cheap but rate-poor.
+        let narrow_rhs = 8;
+        let solve_narrow = t(
+            (2 * n * n * narrow_rhs) as f64,
+            model.efficiency(&trsm_op(n, narrow_rhs)),
+        );
+        // Wide solve: more FLOPs, but the kernel runs much closer to its
+        // asymptotic rate.
+        let solve_wide = t(
+            (2 * n * n * wide) as f64,
+            model.efficiency(&trsm_op(n, wide)),
+        );
+        let per_flop_narrow = solve_narrow / (2 * n * n * narrow_rhs) as f64;
+        let per_flop_wide = solve_wide / (2 * n * n * wide) as f64;
+        assert!(
+            per_flop_narrow > per_flop_wide * 1.1,
+            "narrow solves must be rate-poor: {per_flop_narrow} vs {per_flop_wide}"
+        );
     }
 
     #[test]

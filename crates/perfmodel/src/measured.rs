@@ -7,9 +7,9 @@ use crate::executor::{AlgorithmTiming, CallTiming, Executor};
 use crate::machine::MachineModel;
 use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandInfo, OperandRole};
 use lamb_kernels::{BlockConfig, CacheFlusher, Kernel};
-use lamb_matrix::ops::is_triangular;
-use lamb_matrix::random::{random_seeded, random_triangular};
-use lamb_matrix::Matrix;
+use lamb_matrix::ops::{is_symmetric, is_triangular};
+use lamb_matrix::random::{random_seeded, random_spd, random_triangular};
+use lamb_matrix::{Matrix, Structure};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -71,12 +71,17 @@ impl MeasuredExecutor {
     /// triangular (zeros outside the stored triangle) and diagonally
     /// dominant, so a TRMM that reads only the triangle, a GEMM that reads
     /// the whole matrix and a TRSM that inverts the triangle all see the
-    /// same, well-conditioned mathematical operand.
+    /// same, well-conditioned mathematical operand. SPD inputs are exactly
+    /// symmetric and diagonally dominant with a positive diagonal, so a SYMM
+    /// that reads one triangle, a GEMM that reads everything and a POTRF
+    /// that factors the matrix all agree — and the factorisation is well
+    /// conditioned.
     fn input_matrix(&self, info: &OperandInfo) -> Matrix {
         let seed = self.seed ^ (info.id.index() as u64);
-        match info.triangle {
-            Some(uplo) => random_triangular(info.rows, uplo, seed),
-            None => random_seeded(info.rows, info.cols, seed),
+        match info.structure {
+            Structure::Triangular(uplo) => random_triangular(info.rows, uplo, seed),
+            Structure::Spd => random_spd(info.rows, seed),
+            Structure::General => random_seeded(info.rows, info.cols, seed),
         }
     }
 
@@ -141,6 +146,7 @@ impl MeasuredExecutor {
                     l: input(0),
                     b: input(1),
                 },
+                KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: input(0) },
                 KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
             };
             if let Kernel::Trmm { uplo, l, .. } | Kernel::Trsm { uplo, l, .. } = kernel {
@@ -150,9 +156,17 @@ impl MeasuredExecutor {
                     call.op.mnemonic()
                 );
             }
+            if let Kernel::Potrf { a, .. } = kernel {
+                // Full SPD validation is O(n³); assert the cheap symmetric
+                // half here — POTRF itself reports indefiniteness exactly.
+                debug_assert!(
+                    is_symmetric(a, 0.0).unwrap_or(false),
+                    "SPD operand of potrf is not exactly symmetric"
+                );
+            }
             kernel
                 .run_into(&mut out, &self.cfg)
-                .expect("kernel shapes consistent (and TRSM diagonal nonsingular)");
+                .expect("kernel shapes consistent (TRSM nonsingular, POTRF positive definite)");
         }
         operands.insert(call.output, out);
     }
@@ -339,6 +353,30 @@ mod tests {
         for other in &results[1..] {
             assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
         }
+    }
+
+    #[test]
+    fn spd_solve_chains_execute_consistently_across_orders() {
+        // S[spd]^-1*B*C: the Cholesky realisation in both merge orders
+        // computes the same mathematical object.
+        use lamb_expr::{Expression, TreeExpression};
+        let exec = tiny_executor();
+        let expr = TreeExpression::parse("S[spd]^-1*B*C").unwrap();
+        let algs = expr.algorithms(&[18, 12, 7]).unwrap();
+        assert!(algs.iter().all(|a| a.kernel_summary().contains("potrf")));
+        let results: Vec<Matrix> = algs.iter().map(|a| exec.compute_result(a)).collect();
+        for other in &results[1..] {
+            assert!(max_abs_diff(&results[0], other).unwrap() < 1e-9);
+        }
+        // An isolated POTRF call benchmarks without panicking.
+        let mut exec = tiny_executor();
+        let solve = &expr.algorithms(&[18, 12, 7]).unwrap()[0];
+        let potrf_index = solve
+            .calls
+            .iter()
+            .position(|c| c.op.mnemonic() == "potrf")
+            .unwrap();
+        assert!(exec.time_isolated_call(solve, potrf_index) > 0.0);
     }
 
     #[test]

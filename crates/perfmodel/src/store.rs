@@ -60,7 +60,12 @@ use std::time::{SystemTime, UNIX_EPOCH};
 ///   superset of v1: a v1 document is readable as-is, simply has no coverage
 ///   for the new kernels (see [`CalibrationStore::missing_kernels`]), and is
 ///   upgraded to v2 the next time it is saved.
-pub const STORE_FORMAT_VERSION: u64 = 2;
+/// * **v3** — adds the Cholesky factorisation POTRF (stored by its `uplo`
+///   and order; POTRF keeps its triangle in the timing key). Same migration
+///   contract: v1/v2 documents load as-is, report POTRF (and, for v1, the
+///   triangular kernels) as missing coverage, and are upgraded to v3 on the
+///   next save.
+pub const STORE_FORMAT_VERSION: u64 = 3;
 
 /// Oldest on-disk format version this build still reads (and migrates).
 pub const STORE_MIN_SUPPORTED_VERSION: u64 = 1;
@@ -71,7 +76,7 @@ pub const STORE_FORMAT_NAME: &str = "lamb-calibration-store";
 /// The compute kernels a fully-covered store is expected to have benchmark
 /// entries for — by definition, exactly the kernels the square calibration
 /// sweep covers, so the two lists cannot drift apart.
-pub const EXPECTED_KERNELS: [&str; 5] = crate::calibrate::SQUARE_SWEEP_KERNELS;
+pub const EXPECTED_KERNELS: [&str; 6] = crate::calibrate::SQUARE_SWEEP_KERNELS;
 
 /// Relative peak-FLOPS drift beyond which a store is flagged as stale.
 pub const PEAK_DRIFT_TOLERANCE: f64 = 0.05;
@@ -550,6 +555,10 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
             fields.push(("m".into(), Json::Num(m as f64)));
             fields.push(("n".into(), Json::Num(n as f64)));
         }
+        KernelOp::Potrf { uplo, n } => {
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
         KernelOp::CopyTriangle { uplo, n } => {
             fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
             fields.push(("n".into(), Json::Num(n as f64)));
@@ -592,6 +601,10 @@ fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
             uplo: parse_uplo(&field_str(entry, "uplo")?)?,
             trans: Trans::No,
             m: dim("m")?,
+            n: dim("n")?,
+        },
+        "potrf" => KernelOp::Potrf {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
             n: dim("n")?,
         },
         "copy" => KernelOp::CopyTriangle {
@@ -717,6 +730,13 @@ mod tests {
                 n: 16,
             },
             9.5e-5,
+        );
+        store.calls.insert(
+            KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 72,
+            },
+            4.75e-4,
         );
         store.calls.insert(
             KernelOp::CopyTriangle {
@@ -894,7 +914,7 @@ mod tests {
     fn coverage_counts_by_kernel() {
         let store = sample_store();
         let cov = store.coverage();
-        for kernel in ["gemm", "syrk", "symm", "trmm", "trsm", "copy"] {
+        for kernel in ["gemm", "syrk", "symm", "trmm", "trsm", "potrf", "copy"] {
             assert_eq!(cov.get(kernel), Some(&1), "{kernel}");
         }
         assert!(store.missing_kernels().is_empty());
@@ -924,13 +944,18 @@ mod tests {
 
     #[test]
     fn v1_documents_load_report_missing_coverage_and_migrate() {
-        // Reconstruct what the previous build wrote: a version-1 document
-        // whose call table has no triangular kernels.
+        // Reconstruct what the v1 build wrote: a version-1 document whose
+        // call table has neither the triangular kernels nor POTRF.
         let mut old = sample_store();
         old.calls = CallTimeTable::from_entries(
             old.calls
                 .entries()
-                .filter(|(op, _)| !matches!(op, KernelOp::Trmm { .. } | KernelOp::Trsm { .. }))
+                .filter(|(op, _)| {
+                    !matches!(
+                        op,
+                        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } | KernelOp::Potrf { .. }
+                    )
+                })
                 .map(|(op, s)| (op.clone(), s)),
         );
         let v1_text = old.to_json().replace(
@@ -938,14 +963,14 @@ mod tests {
             "\"version\": 1",
         );
 
-        // It loads under the v2 build...
+        // It loads under the v3 build...
         let migrated = CalibrationStore::from_json(&v1_text).unwrap();
         assert_eq!(migrated.calls.len(), old.calls.len());
-        // ...reports the coverage gap for the new kernels...
-        assert_eq!(migrated.missing_kernels(), vec!["trmm", "trsm"]);
+        // ...reports the coverage gap for every newer kernel...
+        assert_eq!(migrated.missing_kernels(), vec!["trmm", "trsm", "potrf"]);
 
         // ...and after merging a sweep that fills the gap, round-trips
-        // bit-identically through the (v2) serialisation.
+        // bit-identically through the (v3) serialisation.
         let mut merged = migrated;
         let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
         sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
@@ -967,12 +992,19 @@ mod tests {
             },
             2.0 / 3.0,
         );
+        sweep.calls.insert(
+            KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 100,
+            },
+            1.0 / 11.0,
+        );
         merged.merge_from(&sweep).unwrap();
         assert!(merged.missing_kernels().is_empty());
         let text = merged.to_json();
         assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
         let back = CalibrationStore::from_json(&text).unwrap();
-        assert_eq!(back.to_json(), text, "v1→v2 migration must round-trip");
+        assert_eq!(back.to_json(), text, "v1→v3 migration must round-trip");
         let mut calls = back.calls;
         let t = calls
             .lookup(&KernelOp::Trmm {
@@ -983,5 +1015,66 @@ mod tests {
             })
             .unwrap();
         assert_eq!(t.to_bits(), (1.0f64 / 7.0).to_bits());
+    }
+
+    #[test]
+    fn v2_documents_load_report_missing_potrf_and_migrate_bit_identically() {
+        // Reconstruct what the v2 build wrote: a version-2 document with the
+        // triangular kernels but no POTRF entries.
+        let mut old = sample_store();
+        old.calls = CallTimeTable::from_entries(
+            old.calls
+                .entries()
+                .filter(|(op, _)| !matches!(op, KernelOp::Potrf { .. }))
+                .map(|(op, s)| (op.clone(), s)),
+        );
+        let v2_text = old.to_json().replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 2",
+        );
+
+        // It loads under the v3 build with its triangular coverage intact...
+        let migrated = CalibrationStore::from_json(&v2_text).unwrap();
+        assert_eq!(migrated.calls.len(), old.calls.len());
+        let mut calls_check = migrated.calls.clone();
+        assert_eq!(
+            calls_check.lookup(&KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 64,
+                n: 16,
+            }),
+            Some(9.5e-5),
+            "v2 triangular coverage must survive the migration"
+        );
+        // ...reports POTRF (and only POTRF) as the coverage gap...
+        assert_eq!(migrated.missing_kernels(), vec!["potrf"]);
+
+        // ...and after a POTRF sweep fills it, the v2→v3 migration
+        // round-trips bit-identically.
+        let mut merged = migrated;
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
+        sweep.calls.insert(
+            KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 72,
+            },
+            1.0 / 13.0, // not exactly representable: a real bit-identity test
+        );
+        merged.merge_from(&sweep).unwrap();
+        assert!(merged.missing_kernels().is_empty());
+        let text = merged.to_json();
+        assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "v2→v3 migration must round-trip");
+        let mut calls = back.calls;
+        let t = calls
+            .lookup(&KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 72,
+            })
+            .unwrap();
+        assert_eq!(t.to_bits(), (1.0f64 / 13.0).to_bits());
     }
 }

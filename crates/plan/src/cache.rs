@@ -69,12 +69,20 @@ impl PredictionCache {
 
     /// Insert every entry of `table` (later entries win over earlier ones
     /// with the same timing key). Hit/miss counters are unaffected.
+    ///
+    /// Entries are canonicalised to their timing key *before* shard routing:
+    /// [`cached_isolated_call`](PredictionCache::cached_isolated_call) hashes
+    /// the canonical key to pick a shard, so a non-canonical key in a loaded
+    /// or merged calibration store (e.g. a transposed GEMM variant) would
+    /// otherwise land in a shard the lookups never consult — silently turning
+    /// every warm start into a cold re-benchmark.
     pub fn preload(&self, table: &CallTimeTable) {
         for (op, seconds) in table.entries() {
-            self.shard(op)
+            let key = op.timing_key();
+            self.shard(&key)
                 .lock()
                 .expect("cache poisoned")
-                .insert(op.clone(), seconds);
+                .insert(key, seconds);
         }
     }
 
@@ -265,6 +273,87 @@ mod tests {
         let (hits, misses) = warmed.stats();
         assert_eq!(misses, 0, "a warm-started cache must not re-benchmark");
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn preload_canonicalises_transposed_variant_store_entries() {
+        // Warm-start regression test: a calibration store recorded under
+        // transposed kernel variants must warm-start the cache so that
+        // *every* spelling of the same timing key hits. `preload` used to
+        // route entries to shards by the raw key's hash while
+        // `cached_isolated_call` routes lookups by the canonical key's hash
+        // — safe only because every `CallTimeTable` mutation path happens to
+        // canonicalise on insert. `preload` (and `merge_from`) now enforce
+        // the invariant locally, so a non-canonical producer (an older or
+        // external serialisation) can never silently turn warm starts into
+        // cold re-benchmarks.
+        use lamb_expr::KernelOp;
+        use lamb_matrix::{Trans, Uplo};
+        use lamb_perfmodel::single_call_algorithm;
+
+        let variants = [
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+            (Trans::No, Trans::No),
+        ];
+        // A store recorded under non-canonical spellings: a TT GEMM and a
+        // stored-lower transposed TRMM (timing key: upper, untransposed).
+        let table = CallTimeTable::from_entries([
+            (
+                KernelOp::Gemm {
+                    transa: Trans::Yes,
+                    transb: Trans::Yes,
+                    m: 64,
+                    n: 48,
+                    k: 32,
+                },
+                1.5e-3,
+            ),
+            (
+                KernelOp::Trmm {
+                    uplo: Uplo::Lower,
+                    trans: Trans::Yes,
+                    m: 40,
+                    n: 24,
+                },
+                2.5e-4,
+            ),
+        ]);
+        let cache = PredictionCache::from_table(&table);
+        assert_eq!(cache.len(), 2);
+        let mut exec = SimulatedExecutor::paper_like();
+        for (transa, transb) in variants {
+            let alg = single_call_algorithm(KernelOp::Gemm {
+                transa,
+                transb,
+                m: 64,
+                n: 48,
+                k: 32,
+            });
+            assert_eq!(
+                cache.cached_isolated_call(&mut exec, &alg, 0),
+                1.5e-3,
+                "{transa:?}{transb:?} must hit the preloaded entry"
+            );
+        }
+        // The transposed TRMM's canonical spelling hits too.
+        let trmm = single_call_algorithm(KernelOp::Trmm {
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 40,
+            n: 24,
+        });
+        assert_eq!(cache.cached_isolated_call(&mut exec, &trmm, 0), 2.5e-4);
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 0, "a warm-started cache must never re-benchmark");
+        assert_eq!(hits, variants.len() + 1);
+        // The snapshot/merge path preserves canonical keys bit-identically.
+        let snapshot = cache.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let rewarmed = PredictionCache::from_table(&snapshot);
+        assert_eq!(rewarmed.cached_isolated_call(&mut exec, &trmm, 0), 2.5e-4);
+        assert_eq!(rewarmed.stats().1, 0);
     }
 
     #[test]

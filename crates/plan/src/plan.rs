@@ -18,11 +18,6 @@ pub enum PlanError {
         /// Number of dimensions supplied.
         got: usize,
     },
-    /// A dimension was zero; every operand must be non-degenerate.
-    ZeroDimension {
-        /// Index of the offending dimension.
-        index: usize,
-    },
     /// The expression enumerated no algorithms for this instance.
     NoAlgorithms,
     /// Algorithm enumeration itself failed (shape inconsistency, degenerate
@@ -37,9 +32,6 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::DimensionMismatch { expected, got } => {
                 write!(f, "expected {expected} dimension sizes, got {got}")
-            }
-            PlanError::ZeroDimension { index } => {
-                write!(f, "dimension d{index} is zero; sizes must be positive")
             }
             PlanError::NoAlgorithms => write!(f, "the expression enumerated no algorithms"),
             PlanError::Generate(e) => write!(f, "enumeration failed: {e}"),

@@ -168,6 +168,10 @@ impl<'e> Planner<'e> {
         self.cache.stats()
     }
 
+    // Zero dimensions are deliberately *not* rejected here: every kernel,
+    // FLOP model and executor handles degenerate (empty) operands, and the
+    // degenerate-dimension proptests drive zero- and unit-sized instances
+    // through this exact path.
     fn validate(&self, dims: &[usize]) -> Result<(), PlanError> {
         let expected = self.expr.num_dims();
         if dims.len() != expected {
@@ -175,9 +179,6 @@ impl<'e> Planner<'e> {
                 expected,
                 got: dims.len(),
             });
-        }
-        if let Some(index) = dims.iter().position(|&d| d == 0) {
-            return Err(PlanError::ZeroDimension { index });
         }
         Ok(())
     }
@@ -362,10 +363,10 @@ mod tests {
                 got: 2
             }
         );
-        assert_eq!(
-            planner.plan(&[10, 0, 30]).unwrap_err(),
-            PlanError::ZeroDimension { index: 1 }
-        );
+        // Zero dimensions are legal degenerate instances, not errors: they
+        // plan (and execute to empty/zero results) like any other size.
+        let degenerate = planner.plan(&[10, 0, 30]).unwrap();
+        assert_eq!(degenerate.chosen_algorithm().output().unwrap().cols, 30);
     }
 
     #[test]

@@ -247,6 +247,79 @@ mod tests {
     }
 
     #[test]
+    fn spd_gram_anomalies_are_classified_over_the_enlarged_algorithm_set() {
+        // The SPD analogue of the paper's A*A^T*B regime: S[spd]*A*A^T at a
+        // small symmetric order enumerates SYRK/SYMM-based algorithms
+        // (FLOP-minimal) alongside GEMM-based ones (fastest) — the enlarged,
+        // SPD-bearing algorithm set classifies exactly like the paper's.
+        use lamb_expr::expr::Expr;
+        let s = Expr::spd_var("S", 80);
+        let a = Expr::var("A", 80, 514);
+        let algs = lamb_expr::enumerate_expr_algorithms(&s.mul(a.clone().mul(a.t()))).unwrap();
+        assert!(algs.len() > 2, "got {}", algs.len());
+        assert!(algs.iter().any(|a| a.kernel_summary().contains("syrk")));
+        assert!(algs.iter().any(|a| a.kernel_summary().contains("symm")));
+        let mut exec = SimulatedExecutor::paper_like();
+        let eval = evaluate_instance(&[80, 514], &algs, &mut exec);
+        let c = eval.classify(0.10);
+        assert!(c.is_anomaly, "time score {} too small", c.time_score);
+        // The FLOP-minimal set is SYRK-based; the fastest is not.
+        for &i in &c.cheapest {
+            assert!(
+                algs[i].kernel_summary().contains("syrk"),
+                "{}",
+                algs[i].name
+            );
+        }
+        for &i in &c.fastest {
+            assert!(
+                !algs[i].kernel_summary().contains("syrk"),
+                "{}",
+                algs[i].name
+            );
+        }
+        // Prediction-driven selection dodges the anomaly; FLOPs do not.
+        let pred = evaluate_strategy(Strategy::MinPredictedTime, &algs, &mut exec);
+        assert!(pred.regret() < 1e-9);
+        let flops = evaluate_strategy(Strategy::MinFlops, &algs, &mut exec);
+        assert!(flops.regret() > 0.10);
+    }
+
+    #[test]
+    fn spd_solves_select_consistently_across_strategies() {
+        // The pure SPD solve has a single (Cholesky) realisation: every
+        // strategy agrees with zero regret, and the solve chain's competing
+        // orders select without error.
+        use lamb_expr::expr::Expr;
+        let s = Expr::spd_var("S", 200);
+        let b = Expr::var("B", 200, 60);
+        let algs = lamb_expr::enumerate_expr_algorithms(&s.clone().inv().mul(b)).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
+        let mut exec = SimulatedExecutor::paper_like();
+        for strategy in [
+            Strategy::MinFlops,
+            Strategy::MinPredictedTime,
+            Strategy::Oracle,
+        ] {
+            assert_eq!(strategy.select(&algs, &mut exec).unwrap(), 0);
+        }
+        let eval = evaluate_instance(&[200, 60], &algs, &mut exec);
+        assert!(!eval.classify(0.10).is_anomaly);
+        // A solve chain offers competing orders; selection never errors and
+        // the oracle has no regret.
+        let c = Expr::var("C", 60, 35);
+        let chain = lamb_expr::enumerate_expr_algorithms(&s.inv().mul(b2(200, 60)).mul(c)).unwrap();
+        assert!(chain.len() >= 2);
+        let outcome = evaluate_strategy(Strategy::Oracle, &chain, &mut exec);
+        assert!(outcome.regret() < 1e-12);
+    }
+
+    fn b2(r: usize, c: usize) -> lamb_expr::expr::Expr {
+        lamb_expr::expr::Expr::var("B", r, c)
+    }
+
+    #[test]
     fn strategy_names_are_stable() {
         assert_eq!(Strategy::MinFlops.name(), "min-flops");
         assert_eq!(Strategy::Oracle.name(), "oracle");

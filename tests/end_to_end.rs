@@ -110,7 +110,7 @@ fn figure1_data_reproduces_kernel_ordering() {
     let out = run_figure1(&mut exec, &[200, 600, 1000, 2000, 3000], &dir).unwrap();
     let csv = std::fs::read_to_string(&out.artifacts[0].1).unwrap();
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm,trmm,trsm");
+    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm,trmm,trsm,potrf");
     for line in lines {
         let cells: Vec<f64> = line
             .split(',')
@@ -183,6 +183,111 @@ fn triangular_expression_runs_end_to_end_with_trmm_in_the_plan() {
     }
     let solve_plan = warm.results[2].as_ref().unwrap();
     assert!(solve_plan.algorithms[0].kernel_summary().contains("trsm"));
+}
+
+#[test]
+fn spd_solve_runs_end_to_end_and_matches_the_naive_solve() {
+    // The SPD acceptance path: `S[spd]^-1*B` parses, enumerates the
+    // POTRF + TRSM + TRSM realisation, and executes to numerical identity
+    // (<= 1e-10 * norm) against an independent naive solve built from the
+    // unblocked reference kernels.
+    use lamb::kernels::{gemm_naive, potrf_naive, trsm_naive};
+    use lamb::matrix::ops::{max_abs, max_abs_diff};
+    use lamb::matrix::random::{random_seeded, random_spd};
+    use lamb::matrix::{Matrix, Trans, Uplo};
+
+    let expr = TreeExpression::parse("S[spd]^-1*B").unwrap();
+    assert_eq!(expr.num_dims(), 2);
+    let (n, m) = (57, 23);
+    let algs = expr.algorithms(&[n, m]).unwrap();
+    assert_eq!(algs.len(), 1, "an SPD solve has exactly one realisation");
+    assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
+
+    // Execute with the real blocked kernels through the measured executor.
+    let seed = 424242;
+    let executor = MeasuredExecutor::quick().with_seed(seed);
+    let x = executor.compute_result(&algs[0]);
+
+    // The naive reference: the same operands the executor materialises
+    // (structure-aware, seeded by operand id), solved with the unblocked
+    // scalar reference kernels.
+    let s_info = algs[0].inputs().find(|o| o.name == "S").unwrap();
+    let b_info = algs[0].inputs().find(|o| o.name == "B").unwrap();
+    let s = random_spd(n, seed ^ s_info.id.index() as u64);
+    let b = random_seeded(n, m, seed ^ b_info.id.index() as u64);
+    let mut l = s.clone();
+    potrf_naive(Uplo::Lower, &mut l.view_mut()).unwrap();
+    let l = Matrix::from_fn(n, n, |i, j| if i >= j { l[(i, j)] } else { 0.0 });
+    let mut y = Matrix::zeros(n, m);
+    trsm_naive(
+        Uplo::Lower,
+        Trans::No,
+        1.0,
+        &l.view(),
+        &b.view(),
+        &mut y.view_mut(),
+    )
+    .unwrap();
+    let mut x_ref = Matrix::zeros(n, m);
+    trsm_naive(
+        Uplo::Lower,
+        Trans::Yes,
+        1.0,
+        &l.view(),
+        &y.view(),
+        &mut x_ref.view_mut(),
+    )
+    .unwrap();
+
+    let tolerance = 1e-10 * max_abs(&x_ref).max(1.0);
+    let diff = max_abs_diff(&x, &x_ref).unwrap();
+    assert!(diff <= tolerance, "diff {diff} exceeds {tolerance}");
+
+    // And the solution genuinely solves S·X = B (residual check against the
+    // original operand, independent of any factorisation).
+    let mut sx = Matrix::zeros(n, m);
+    gemm_naive(
+        Trans::No,
+        Trans::No,
+        1.0,
+        &s.view(),
+        &x.view(),
+        0.0,
+        &mut sx.view_mut(),
+    )
+    .unwrap();
+    let residual = max_abs_diff(&sx, &b).unwrap();
+    assert!(
+        residual <= 1e-10 * max_abs(&b).max(1.0) * n as f64,
+        "residual {residual}"
+    );
+
+    // The same expression plans and batch-plans like every other family,
+    // with POTRF coverage landing in the calibration store.
+    let plan = Planner::for_expression(&expr)
+        .policy(MinPredictedTime)
+        .plan(&[120, 48])
+        .unwrap();
+    assert!(plan.chosen_algorithm().kernel_summary().contains("potrf"));
+    let requests = vec![
+        BatchRequest::new(expr.clone(), vec![120, 48]).unwrap(),
+        BatchRequest::new(
+            TreeExpression::parse("S[spd]^-1*B*C").unwrap(),
+            vec![96, 64, 24],
+        )
+        .unwrap(),
+    ];
+    let planner = BatchPlanner::new();
+    let outcome = planner.plan_batch(&requests);
+    assert_eq!(outcome.stats.failed, 0);
+    let mut store = CalibrationStore::new(
+        SimulatedExecutor::paper_like().machine().clone(),
+        "simulated",
+    );
+    store.calls = planner.snapshot_cache();
+    assert!(store.coverage().contains_key("potrf"));
+    let warm = BatchPlanner::new().with_store(&store).plan_batch(&requests);
+    assert_eq!(warm.stats.cache_misses, 0, "store must cover the workload");
 }
 
 #[test]

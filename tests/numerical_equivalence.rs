@@ -11,7 +11,8 @@ use lamb::expr::aatb::aatb_flop_formulas;
 use lamb::expr::chain::abcd_flop_formulas;
 use lamb::kernels::Kernel;
 use lamb::matrix::ops::max_abs_diff;
-use lamb::matrix::random::{random_seeded, random_triangular};
+use lamb::matrix::random::{random_seeded, random_spd, random_triangular};
+use lamb::matrix::Structure;
 use lamb::prelude::*;
 use std::collections::HashMap;
 
@@ -21,11 +22,14 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
     let cfg = BlockConfig::default();
     let mut store: HashMap<usize, Matrix> = HashMap::new();
     for info in &alg.operands {
-        let m = match (info.role, info.triangle) {
-            (lamb::expr::OperandRole::Input, Some(uplo)) => {
+        let m = match (info.role, info.structure) {
+            (lamb::expr::OperandRole::Input, Structure::Triangular(uplo)) => {
                 random_triangular(info.rows, uplo, seed ^ info.id.index() as u64)
             }
-            (lamb::expr::OperandRole::Input, None) => {
+            (lamb::expr::OperandRole::Input, Structure::Spd) => {
+                random_spd(info.rows, seed ^ info.id.index() as u64)
+            }
+            (lamb::expr::OperandRole::Input, Structure::General) => {
                 random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64)
             }
             _ => Matrix::zeros(info.rows, info.cols),
@@ -70,6 +74,7 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
                     l: input(0),
                     b: input(1),
                 },
+                KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: input(0) },
                 KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
             };
             kernel.run_into(&mut out, &cfg).unwrap();

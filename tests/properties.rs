@@ -35,6 +35,33 @@ fn small_dims7() -> impl proptest::strategy::Strategy<Value = [usize; 7]> {
     ]
 }
 
+/// A dimension that is degenerate with high probability: zero or one half of
+/// the time, otherwise tiny.
+fn degenerate_dim() -> impl proptest::strategy::Strategy<Value = usize> {
+    0usize..=3
+}
+
+fn degenerate_dims4() -> impl proptest::strategy::Strategy<Value = [usize; 4]> {
+    [
+        degenerate_dim(),
+        degenerate_dim(),
+        degenerate_dim(),
+        degenerate_dim(),
+    ]
+}
+
+/// The scenario texts whose union of kernel lowerings covers all seven
+/// kernel ops: GEMM, SYRK, SYMM (+ the triangle copy), TRMM, TRSM and POTRF.
+const DEGENERATE_SCENARIOS: [&str; 7] = [
+    "A*B*C",         // gemm
+    "A*A^T*B",       // syrk, symm, copy, gemm
+    "A*A^T",         // syrk + copy as the final merge
+    "L[lower]*A*B",  // trmm
+    "L[lower]^-1*B", // trsm
+    "S[spd]^-1*B*C", // potrf + trsm (+ gemm order competition)
+    "S[spd]*B",      // symm on a full-stored SPD operand
+];
+
 /// Execute every algorithm with the real kernels (via the measured executor)
 /// and check well-formedness plus numerical identity of the results within
 /// `1e-10 · ‖X‖`.
@@ -196,6 +223,46 @@ proptest! {
     }
 
     #[test]
+    fn zero_and_unit_dimension_expressions_plan_and_execute(
+        dims in degenerate_dims4(),
+        scenario in 0usize..DEGENERATE_SCENARIOS.len(),
+    ) {
+        // The degenerate-dimension audit, end to end: parse -> enumerate ->
+        // plan -> measured execution must neither panic (the pre-fix
+        // CopyTriangle element count underflowed at n == 0) nor produce
+        // numerically divergent results, for instances containing zero and
+        // unit dimensions, across expressions that jointly reach all seven
+        // kernel ops.
+        let expr = TreeExpression::parse(DEGENERATE_SCENARIOS[scenario]).expect("scenario parses");
+        let instance = &dims[..expr.num_dims()];
+        let algorithms = expr.algorithms(instance).expect("degenerate instance enumerates");
+        prop_assert!(!algorithms.is_empty());
+        for alg in &algorithms {
+            prop_assert!(alg.is_well_formed(), "{} is malformed", alg.name);
+            // The degenerate-dimension FLOP/traffic audit: no underflow, no
+            // wraparound-sized counts.
+            prop_assert!(alg.flops() < u64::MAX / 2);
+            prop_assert!(alg.output_traffic_elements() < u64::MAX / 2);
+        }
+
+        // Plan through the unified pipeline with the real (measured) kernels.
+        let mut executor =
+            MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0)
+                .with_seed(20260728);
+        let plan = Planner::for_expression(&expr)
+            .strategy(Strategy::MinFlops)
+            .plan_with(instance, &mut executor)
+            .expect("degenerate instance plans");
+        let out = plan.chosen_algorithm().output().expect("output declared");
+        let (rows, cols) = expr.bind(instance).shape().expect("consistent shape");
+        prop_assert_eq!((out.rows, out.cols), (rows, cols));
+
+        // Every algorithm executes to the same matrix — including the empty
+        // one, whose comparison is exact.
+        assert_numerically_identical(&algorithms)?;
+    }
+
+    #[test]
     fn oracle_strategy_is_never_beaten(dims in dims3()) {
         let [d0, d1, d2] = dims;
         let mut exec = SimulatedExecutor::paper_like();
@@ -206,5 +273,37 @@ proptest! {
             let outcome = evaluate_strategy(strategy, &algorithms, &mut exec);
             prop_assert!(outcome.chosen_seconds + 1e-15 >= oracle.chosen_seconds);
         }
+    }
+}
+
+#[test]
+fn degenerate_scenarios_jointly_cover_all_seven_kernel_ops() {
+    // The proptest above samples scenarios; this deterministic companion
+    // pins the coverage claim: at unit dimensions (and at zero dimensions)
+    // the scenario set reaches every kernel op in the vocabulary, and every
+    // reached algorithm executes.
+    let executor =
+        MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0)
+            .with_seed(11);
+    for unit in [1usize, 0] {
+        let mut reached: std::collections::BTreeSet<&'static str> =
+            std::collections::BTreeSet::new();
+        for text in DEGENERATE_SCENARIOS {
+            let expr = TreeExpression::parse(text).unwrap();
+            let dims = vec![unit; expr.num_dims()];
+            for alg in expr.algorithms(&dims).unwrap() {
+                for call in &alg.calls {
+                    reached.insert(call.op.mnemonic());
+                }
+                let result = executor.compute_result(&alg);
+                let out = alg.output().unwrap();
+                assert_eq!((result.rows(), result.cols()), (out.rows, out.cols));
+            }
+        }
+        assert_eq!(
+            reached.into_iter().collect::<Vec<_>>(),
+            vec!["copy", "gemm", "potrf", "symm", "syrk", "trmm", "trsm"],
+            "unit = {unit}: the scenario set must reach all seven kernel ops"
+        );
     }
 }

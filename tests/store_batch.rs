@@ -11,8 +11,9 @@
 use lamb::prelude::*;
 
 /// A mixed workload: both paper expressions, Gram products, a pruned longer
-/// chain, and the triangular family (TRMM products and TRSM solves), over a
-/// dimension palette with deliberate signature overlap.
+/// chain, the triangular family (TRMM products and TRSM solves), and the SPD
+/// family (SYMM products and Cholesky-realised solves), over a dimension
+/// palette with deliberate signature overlap.
 fn workload() -> Vec<BatchRequest> {
     let mut lines = String::new();
     let palette = [80usize, 160, 320, 514, 640, 768];
@@ -24,6 +25,8 @@ fn workload() -> Vec<BatchRequest> {
         "A*B*C*D*E",
         "L[lower]*A*B",
         "L[lower]^-1*B",
+        "S[spd]*B",
+        "S[spd]^-1*B*C",
     ]
     .iter()
     .enumerate()
