@@ -11,6 +11,8 @@
 //! --sizes <max>                          largest square size for Figure 1
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lamb_experiments::{LineConfig, SearchConfig};
 use lamb_kernels::BlockConfig;
 use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor, SimulatedExecutor};

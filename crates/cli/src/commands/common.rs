@@ -31,7 +31,7 @@ pub struct CommonOptions {
     pub top_k: Option<usize>,
     /// Calibration-store path given via `--store`.
     pub store: Option<PathBuf>,
-    /// Batch request file given via `--exprs`.
+    /// Batch request file given via `--exprs` (alias: `--file`).
     pub exprs_file: Option<PathBuf>,
     /// `--no-merge`: overwrite an existing calibration store instead of
     /// merging the new sweep into it.
@@ -139,8 +139,8 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
                 opts.store = Some(PathBuf::from(value("--store")?));
                 i += 1;
             }
-            "--exprs" => {
-                opts.exprs_file = Some(PathBuf::from(value("--exprs")?));
+            "--exprs" | "--file" => {
+                opts.exprs_file = Some(PathBuf::from(value(arg)?));
                 i += 1;
             }
             "--no-merge" => {

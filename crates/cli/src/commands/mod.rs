@@ -7,6 +7,7 @@ pub mod common;
 pub mod experiment;
 pub mod figure;
 pub mod select;
+pub mod verify;
 
 /// Print the top-level usage text.
 pub fn print_help() {
@@ -31,6 +32,11 @@ COMMANDS:
                                        a Cholesky factorisation (POTRF) plus two TRSMs
     calibrate [--store F] [OPTS]       run calibration sweeps, write/merge the store, print coverage
     batch --exprs FILE|--demo N [OPTS] plan a whole request file against a store, emit a CSV report
+    verify EXPR dims.. | --expr \"...\" --dims d0,..
+                                       statically verify every enumerated algorithm (5 passes:
+                                       def-use, shape-flow, structure-flow, cost-audit, alias-safety)
+    verify --file FILE | --demo N      verify a whole request file / all built-in scenario families
+                                       (--store F additionally lints the store's timing keys)
     figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
     exp1 chain|aatb [OPTS]             Experiment 1: random anomaly search (Figures 6/9)
     pipeline chain|aatb [OPTS]         Experiments 1+2+3 end to end (Figures 7/10, Tables 1/2)

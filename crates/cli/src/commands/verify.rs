@@ -1,0 +1,154 @@
+//! `lamb verify` — run the static analyser over enumerated algorithms.
+//!
+//! Every algorithm the enumerator emits for the requested instances is
+//! checked by `lamb-verify`'s five passes (def-use, shape-flow,
+//! structure-flow, cost-audit, alias-safety); any error-severity diagnostic
+//! makes the command fail. With `--store`, the calibration store's timing
+//! table is additionally linted for canonical keys and finite times.
+//!
+//! ```text
+//! lamb verify --expr "A*A^T*B" --dims 80,514,768
+//! lamb verify aatb 80 514 768
+//! lamb verify --file workload.txt
+//! lamb verify --demo 5 --seed 7                 all scenario families
+//! lamb verify --store results/calibration.json --demo 3
+//! ```
+
+use super::common;
+use lamb_experiments::all_scenarios;
+use lamb_expr::Expression;
+use lamb_perfmodel::CalibrationStore;
+use lamb_plan::BatchRequest;
+use lamb_verify::{verify_algorithm, verify_call_table};
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = common::parse(args)?;
+
+    // The workload: an instance given inline, a request file, or the
+    // generated scenario batch.
+    let mut collected: Vec<(String, Vec<lamb_expr::Algorithm>)> = Vec::new();
+    if opts.exprs_file.is_none() && opts.demo.is_none() {
+        if opts.expr_text.is_none() && opts.positional.is_empty() {
+            if opts.store.is_some() {
+                // Store-only lint: no algorithms to verify.
+                return finish(verify_instances(collected.into_iter(), &opts)?);
+            }
+            return Err(
+                "missing workload: give --expr/--dims, a named expression, --file FILE or --demo N"
+                    .into(),
+            );
+        }
+        let (name, expr) = opts.expression()?;
+        let dims = opts.dims(expr.num_dims())?;
+        let algorithms = expr
+            .algorithms_pruned(&dims, opts.top_k)
+            .map_err(|e| format!("enumeration failed: {e}"))?;
+        collected.push((format!("{name} {dims:?}"), algorithms));
+        return finish(verify_instances(collected.into_iter(), &opts)?);
+    }
+
+    let requests: Vec<BatchRequest> = if let Some(path) = &opts.exprs_file {
+        let contents = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read --file {}: {e}", path.display()))?;
+        BatchRequest::parse_file(&contents).map_err(|e| e.to_string())?
+    } else {
+        lamb_experiments::scenario_batch_requests(
+            &all_scenarios(),
+            opts.demo.unwrap_or(1),
+            opts.seed,
+            60,
+            900,
+        )
+    };
+    for req in requests {
+        let algorithms = req
+            .expr
+            .algorithms_pruned(&req.dims, opts.top_k)
+            .map_err(|e| format!("enumeration failed for `{}`: {e}", req.text))?;
+        collected.push((format!("{} {:?}", req.text, req.dims), algorithms));
+    }
+    finish(verify_instances(collected.into_iter(), &opts)?)
+}
+
+struct Totals {
+    algorithms: usize,
+    errors: usize,
+    warnings: usize,
+}
+
+fn verify_instances(
+    instances: impl Iterator<Item = (String, Vec<lamb_expr::Algorithm>)>,
+    opts: &common::CommonOptions,
+) -> Result<Totals, String> {
+    let mut totals = Totals {
+        algorithms: 0,
+        errors: 0,
+        warnings: 0,
+    };
+    let mut shown = 0usize;
+    for (label, algorithms) in instances {
+        let mut instance_errors = 0usize;
+        for alg in &algorithms {
+            let report = verify_algorithm(alg);
+            totals.algorithms += 1;
+            totals.errors += report.errors().count();
+            totals.warnings += report.warnings().count();
+            if report.has_errors() {
+                instance_errors += report.errors().count();
+                // Cap the spam on a badly broken enumerator, keep full
+                // detail for the first offenders.
+                if shown < 20 {
+                    println!("FAIL {label} :: {}", alg.name);
+                    for d in report.errors() {
+                        println!("    {d}");
+                        shown += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "{} {label}: {} algorithm(s), {} error(s)",
+            if instance_errors == 0 { "ok  " } else { "FAIL" },
+            algorithms.len(),
+            instance_errors
+        );
+    }
+
+    // Optionally lint the calibration store's timing table too.
+    if let Some(path) = &opts.store {
+        let store = CalibrationStore::load(path)
+            .map_err(|e| format!("cannot load --store {}: {e}", path.display()))?;
+        let report = verify_call_table(&store.calls);
+        let errors = report.errors().count();
+        totals.errors += errors;
+        totals.warnings += report.warnings().count();
+        if errors > 0 {
+            println!("FAIL store {}:", path.display());
+            for d in report.errors() {
+                println!("    {d}");
+            }
+        } else {
+            println!(
+                "ok   store {}: {} timing key(s) canonical",
+                path.display(),
+                store.calls.len()
+            );
+        }
+    }
+    Ok(totals)
+}
+
+fn finish(totals: Totals) -> Result<(), String> {
+    println!(
+        "verified {} algorithm(s): {} error(s), {} warning(s)",
+        totals.algorithms, totals.errors, totals.warnings
+    );
+    if totals.errors > 0 {
+        return Err(format!(
+            "verification failed with {} error-severity diagnostic(s)",
+            totals.errors
+        ));
+    }
+    Ok(())
+}

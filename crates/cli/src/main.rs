@@ -7,11 +7,14 @@
 //! lamb select --strategy predicted aatb 80 514 768
 //! lamb calibrate --store results/calibration.json --sizes 1200
 //! lamb batch --exprs workload.txt --store results/calibration.json
+//! lamb verify --demo 5                           static analysis of all enumerated algorithms
 //! lamb figure1 [--executor measured] [--sizes 1200]
 //! lamb exp1 chain|aatb [--scale 0.1] [--executor simulated|smooth|measured]
 //! lamb pipeline chain|aatb [--scale 0.05]        experiments 1+2+3 end to end
 //! lamb help
 //! ```
+
+#![forbid(unsafe_code)]
 
 mod commands;
 
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
         "select" => commands::select::run(rest),
         "calibrate" => commands::calibrate::run(rest),
         "batch" => commands::batch::run(rest),
+        "verify" => commands::verify::run(rest),
         "figure1" | "fig1" => commands::figure::run_figure1(rest),
         "exp1" | "experiment1" => commands::experiment::run_exp1(rest),
         "pipeline" => commands::experiment::run_pipeline(rest),

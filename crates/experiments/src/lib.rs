@@ -16,6 +16,7 @@
 //! [`lamb_perfmodel::Executor`], so they run identically on the measured and
 //! the simulated back end.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod config;

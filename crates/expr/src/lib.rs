@@ -38,6 +38,7 @@
 //! assert!(cheapest > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod aatb;

@@ -43,6 +43,7 @@
 //! assert!((c[(0, 0)] - (0.0 + 1.0 + 2.0 + 3.0)).abs() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;

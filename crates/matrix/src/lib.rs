@@ -17,6 +17,7 @@
 //! The storage convention is FORTRAN/BLAS column-major: element `(i, j)` of a
 //! matrix with leading dimension `ld` lives at linear index `i + j * ld`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod dense;

@@ -70,12 +70,15 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
                 Side::Left => m,
                 Side::Right => n,
             };
+            // The operand SYMM treats as symmetric must be declared so, or
+            // the IR claims symmetry the operand table does not back
+            // (caught by lamb-verify's structure-flow pass).
             operands.push(OperandInfo {
                 id: OperandId(0),
                 rows: sym_dim,
                 cols: sym_dim,
                 role: OperandRole::Input,
-                structure: lamb_matrix::Structure::General,
+                structure: lamb_matrix::Structure::Spd,
                 name: "A".into(),
             });
             operands.push(OperandInfo {
@@ -132,14 +135,19 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
     };
     // For benchmarking purposes the triangle copy is also given a distinct
     // output operand (an `n x n` workspace); inside real algorithms the copy
-    // is performed in place on the intermediate.
+    // is performed in place on the intermediate. POTRF's output is the
+    // explicitly triangular Cholesky factor, as everywhere else in the IR.
+    let out_structure = match &op {
+        KernelOp::Potrf { uplo, .. } => lamb_matrix::Structure::Triangular(*uplo),
+        _ => lamb_matrix::Structure::General,
+    };
     let out_id = OperandId(operands.len());
     operands.push(OperandInfo {
         id: out_id,
         rows: out_rows,
         cols: out_cols,
         role: OperandRole::Output,
-        structure: lamb_matrix::Structure::General,
+        structure: out_structure,
         name: "X".into(),
     });
     let output = out_id;

@@ -24,6 +24,7 @@
 //! (serialised without `serde` via the tiny [`json`] module), so a machine is
 //! calibrated once and every later planning run starts warm.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod calibrate;

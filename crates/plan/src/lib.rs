@@ -56,6 +56,7 @@
 //!
 //! [`Classification`]: lamb_select::Classification
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod batch;

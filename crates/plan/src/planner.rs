@@ -228,6 +228,11 @@ impl<'e> Planner<'e> {
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
         }
+        // Debug-mode gate: every candidate the policy may pick must pass the
+        // static analyser. Compiled out in release builds (no timing skew).
+        for alg in &algorithms {
+            lamb_verify::debug_assert_verified(alg);
+        }
         let mut caching = CachingExecutor::new(executor, &self.cache);
         let scores: Vec<AlgorithmScore> = algorithms
             .iter()
@@ -303,6 +308,9 @@ impl<'e> Planner<'e> {
         let (algorithms, _) = dedup_by_signature(self.expr.algorithms_pruned(dims, self.top_k)?);
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
+        }
+        for alg in &algorithms {
+            lamb_verify::debug_assert_verified(alg);
         }
         let measurements = algorithms
             .iter()

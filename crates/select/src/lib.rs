@@ -15,6 +15,7 @@
 //! The `lamb-plan` crate builds the user-facing `Planner` pipeline on top of
 //! these pieces.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod anomaly;

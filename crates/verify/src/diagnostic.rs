@@ -1,0 +1,255 @@
+//! The diagnostic vocabulary of the verifier: which pass spoke, how serious
+//! the finding is, and where in the algorithm it points.
+
+use lamb_expr::OperandId;
+use std::fmt;
+
+/// Identifier of the analysis pass that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassId {
+    /// Def-use/SSA discipline: every intermediate is produced exactly once,
+    /// used only after production, never dead; the output is produced last.
+    DefUse,
+    /// Shape flow: operand dimensions recomputed from the operand table
+    /// conform per kernel operation.
+    ShapeFlow,
+    /// Structure flow: triangular/SPD/symmetry claims hold along the call
+    /// sequence, including triangle-only storage states.
+    StructureFlow,
+    /// Cost audit: FLOP counts, written-element counts and timing keys agree
+    /// with an independent recomputation from the operand table.
+    CostAudit,
+    /// Alias/in-place safety: no compute call reads an operand it writes.
+    AliasSafety,
+}
+
+impl PassId {
+    /// Stable short name used in reports (`def-use`, `shape-flow`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::DefUse => "def-use",
+            PassId::ShapeFlow => "shape-flow",
+            PassId::StructureFlow => "structure-flow",
+            PassId::CostAudit => "cost-audit",
+            PassId::AliasSafety => "alias-safety",
+        }
+    }
+
+    /// All passes, in the order [`crate::verify_algorithm`] runs them.
+    #[must_use]
+    pub fn all() -> [PassId; 5] {
+        [
+            PassId::DefUse,
+            PassId::ShapeFlow,
+            PassId::StructureFlow,
+            PassId::CostAudit,
+            PassId::AliasSafety,
+        ]
+    }
+}
+
+impl fmt::Display for PassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but sound — e.g. a redundant triangle copy or an input
+    /// operand no call reads.
+    Warning,
+    /// The algorithm is unsound or internally inconsistent; executing it
+    /// would compute the wrong value, corrupt an operand, or mis-predict.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of one pass, anchored to a call and/or an operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced this finding.
+    pub pass: PassId,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Index into [`lamb_expr::Algorithm::calls`], when the finding is
+    /// anchored to a specific call.
+    pub call_index: Option<usize>,
+    /// The operand the finding is about, when there is one.
+    pub operand: Option<OperandId>,
+    /// Human-readable description of the finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.pass)?;
+        if let Some(i) = self.call_index {
+            write!(f, " call #{i}")?;
+        }
+        if let Some(op) = self.operand {
+            write!(f, " operand {}", op.0)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The collected findings of a verification run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Convenience: append an [`Severity::Error`] finding.
+    pub fn error(
+        &mut self,
+        pass: PassId,
+        call_index: Option<usize>,
+        operand: Option<OperandId>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            pass,
+            severity: Severity::Error,
+            call_index,
+            operand,
+            message: message.into(),
+        });
+    }
+
+    /// Convenience: append a [`Severity::Warning`] finding.
+    pub fn warning(
+        &mut self,
+        pass: PassId,
+        call_index: Option<usize>,
+        operand: Option<OperandId>,
+        message: impl Into<String>,
+    ) {
+        self.push(Diagnostic {
+            pass,
+            severity: Severity::Warning,
+            call_index,
+            operand,
+            message: message.into(),
+        });
+    }
+
+    /// All findings, in pass order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The [`Severity::Error`] findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The [`Severity::Warning`] findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// The error findings of one specific pass — the shape negative-path
+    /// tests assert on.
+    pub fn errors_from(&self, pass: PassId) -> impl Iterator<Item = &Diagnostic> {
+        self.errors().filter(move |d| d.pass == pass)
+    }
+
+    /// Whether any finding is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the report is free of errors (warnings allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// Absorb every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return writeln!(f, "clean: no diagnostics");
+        }
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_partitions_errors_and_warnings() {
+        let mut report = Report::new();
+        assert!(report.is_clean());
+        report.warning(PassId::DefUse, None, None, "an unused input");
+        assert!(report.is_clean());
+        report.error(PassId::ShapeFlow, Some(2), Some(OperandId(4)), "bad shape");
+        assert!(report.has_errors());
+        assert_eq!(report.errors().count(), 1);
+        assert_eq!(report.warnings().count(), 1);
+        assert_eq!(report.errors_from(PassId::ShapeFlow).count(), 1);
+        assert_eq!(report.errors_from(PassId::DefUse).count(), 0);
+        let text = report.to_string();
+        assert!(text.contains("error [shape-flow] call #2 operand 4: bad shape"));
+        assert!(text.contains("warning [def-use]"));
+    }
+
+    #[test]
+    fn pass_names_are_stable() {
+        let names: Vec<&str> = PassId::all().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "def-use",
+                "shape-flow",
+                "structure-flow",
+                "cost-audit",
+                "alias-safety"
+            ]
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! The alias/in-place safety pass.
+//!
+//! The BLAS-3 kernels this IR maps to do not tolerate output/input aliasing:
+//! a GEMM writing one of its own factors reads half-overwritten values. The
+//! only sanctioned in-place operation is the triangle copy, which completes
+//! one triangle of an operand into the other (`inputs == [x]`, `output == x`).
+//! This pass rejects every other call that reads the operand it writes, and
+//! checks the copy's single-input arity.
+
+use crate::diagnostic::{PassId, Report};
+use lamb_expr::{Algorithm, KernelOp};
+
+const PASS: PassId = PassId::AliasSafety;
+
+/// Run the pass, appending findings to `report`.
+pub fn run(alg: &Algorithm, report: &mut Report) {
+    for (i, call) in alg.calls.iter().enumerate() {
+        if let KernelOp::CopyTriangle { .. } = call.op {
+            if call.inputs.len() != 1 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    None,
+                    format!(
+                        "triangle copy takes one input operand, call has {}",
+                        call.inputs.len()
+                    ),
+                );
+            }
+            continue; // in-place (and out-of-place) copies are the sanctioned exception
+        }
+        if call.reads(call.output) {
+            let name = alg.operand(call.output).map_or("?", |o| o.name.as_str());
+            report.error(
+                PASS,
+                Some(i),
+                Some(call.output),
+                format!(
+                    "{} reads operand `{name}` it also writes — in-place aliasing is unsound for this kernel",
+                    call.op.mnemonic()
+                ),
+            );
+        }
+    }
+}

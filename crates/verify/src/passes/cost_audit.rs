@@ -1,0 +1,230 @@
+//! The cost-audit pass.
+//!
+//! Everything the planner ranks on is recomputed here from first principles
+//! and diffed against what the IR claims:
+//!
+//! * the **logical dimensions** baked into each [`KernelOp`] (`m`/`n`/`k`)
+//!   must equal the dimensions derived from the operand table under the
+//!   call's transposition flags;
+//! * the **FLOP count** is recomputed from the derived dimensions with the
+//!   paper's Section 3.1 closed forms (`2mnk`, `(n+1)nk`, `2·sym²·other`,
+//!   `m²n`, `n³/3`, `0`) and diffed against [`KernelOp::flops`];
+//! * the **written-element count** feeding the memory-traffic model is
+//!   recomputed the same way and diffed against [`KernelOp::output_elements`];
+//! * every call's [`KernelOp::timing_key`] must be a *canonicalisation
+//!   fixpoint* (`key.timing_key() == key`) and must preserve the op's FLOPs
+//!   and written elements — the lint for the cache-poisoning bug class where
+//!   a non-canonical key splits one benchmark entry into several.
+//!
+//! Calls the shape pass rejected are skipped: their derived dimensions are
+//! not trustworthy, and double-reporting would mis-attribute the defect.
+
+use crate::diagnostic::{PassId, Report};
+use crate::passes::stored;
+use lamb_expr::{Algorithm, KernelOp};
+use lamb_matrix::Side;
+use lamb_perfmodel::CallTimeTable;
+use std::collections::HashSet;
+
+const PASS: PassId = PassId::CostAudit;
+
+/// Logical dimensions of a call derived from the operand table, in the same
+/// layout the op claims them: `[m, n, k]` for GEMM/SYRK (SYRK ignores `m`),
+/// `[m, n]` for SYMM/TRMM/TRSM, `[n]` for POTRF/COPY.
+fn derived_dims(alg: &Algorithm, call: &lamb_expr::KernelCall) -> Option<Vec<usize>> {
+    let shape = |slot: usize| stored(alg, *call.inputs.get(slot)?);
+    match call.op {
+        KernelOp::Gemm { transa, transb, .. } => {
+            let a = transa.apply(shape(0)?);
+            let b = transb.apply(shape(1)?);
+            Some(vec![a.0, b.1, a.1])
+        }
+        KernelOp::Syrk { trans, .. } => {
+            let x = trans.apply(shape(0)?);
+            Some(vec![x.0, x.1])
+        }
+        KernelOp::Symm { .. } | KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => {
+            let rhs = shape(1)?;
+            Some(vec![rhs.0, rhs.1])
+        }
+        KernelOp::Potrf { .. } | KernelOp::CopyTriangle { .. } => Some(vec![shape(0)?.0]),
+    }
+}
+
+/// The dimensions the op itself claims, in the layout of [`derived_dims`].
+fn claimed_dims(op: &KernelOp) -> Vec<usize> {
+    match *op {
+        KernelOp::Gemm { m, n, k, .. } => vec![m, n, k],
+        KernelOp::Syrk { n, k, .. } => vec![n, k],
+        KernelOp::Symm { m, n, .. } | KernelOp::Trmm { m, n, .. } | KernelOp::Trsm { m, n, .. } => {
+            vec![m, n]
+        }
+        KernelOp::Potrf { n, .. } | KernelOp::CopyTriangle { n, .. } => vec![n],
+    }
+}
+
+/// Independent FLOP recomputation (paper Section 3.1 closed forms) from the
+/// *derived* dimensions.
+fn expected_flops(op: &KernelOp, d: &[usize]) -> u64 {
+    let at = |i: usize| d[i] as u64;
+    match *op {
+        KernelOp::Gemm { .. } => 2 * at(0) * at(1) * at(2),
+        KernelOp::Syrk { .. } => (at(0) + 1) * at(0) * at(1),
+        KernelOp::Symm { side, .. } => {
+            let (sym, other) = match side {
+                Side::Left => (at(0), at(1)),
+                Side::Right => (at(1), at(0)),
+            };
+            2 * sym * sym * other
+        }
+        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => at(0) * at(0) * at(1),
+        KernelOp::Potrf { .. } => at(0).pow(3) / 3,
+        KernelOp::CopyTriangle { .. } => 0,
+    }
+}
+
+/// Independent written-element recomputation from the *derived* dimensions.
+fn expected_output_elements(op: &KernelOp, d: &[usize]) -> u64 {
+    let at = |i: usize| d[i] as u64;
+    match *op {
+        KernelOp::Gemm { .. }
+        | KernelOp::Symm { .. }
+        | KernelOp::Trmm { .. }
+        | KernelOp::Trsm { .. } => at(0) * at(1),
+        KernelOp::Syrk { .. } | KernelOp::Potrf { .. } => at(0) * (at(0) + 1) / 2,
+        KernelOp::CopyTriangle { .. } => at(0) * at(0).saturating_sub(1) / 2,
+    }
+}
+
+/// Run the pass, appending findings to `report`. `shape_failed` holds the
+/// call indices the shape pass rejected; those are skipped.
+pub fn run(alg: &Algorithm, shape_failed: &HashSet<usize>, report: &mut Report) {
+    for (i, call) in alg.calls.iter().enumerate() {
+        check_timing_key(&call.op, Some(i), report);
+        if shape_failed.contains(&i) {
+            continue;
+        }
+        let Some(derived) = derived_dims(alg, call) else {
+            continue; // missing operands: the def-use pass owns that finding
+        };
+        let claimed = claimed_dims(&call.op);
+        if claimed != derived {
+            report.error(
+                PASS,
+                Some(i),
+                None,
+                format!(
+                    "{} claims logical dimensions {claimed:?} but the operand table implies {derived:?}",
+                    call.op.mnemonic()
+                ),
+            );
+        }
+        let flops = expected_flops(&call.op, &derived);
+        if call.flops() != flops {
+            report.error(
+                PASS,
+                Some(i),
+                None,
+                format!(
+                    "{} reports {} FLOPs but the operand table implies {flops}",
+                    call.op.mnemonic(),
+                    call.flops()
+                ),
+            );
+        }
+        let elements = expected_output_elements(&call.op, &derived);
+        if call.op.output_elements() != elements {
+            report.error(
+                PASS,
+                Some(i),
+                None,
+                format!(
+                    "{} reports {} written elements but the operand table implies {elements}",
+                    call.op.mnemonic(),
+                    call.op.output_elements()
+                ),
+            );
+        }
+    }
+}
+
+/// Lint one operation's timing key: it must be a canonicalisation fixpoint
+/// and must preserve the work the op performs. Used both per call (inside
+/// [`run`]) and per table entry ([`verify_timing_keys`]).
+fn check_timing_key(op: &KernelOp, call_index: Option<usize>, report: &mut Report) {
+    let key = op.timing_key();
+    if key.timing_key() != key {
+        report.error(
+            PASS,
+            call_index,
+            None,
+            format!("timing key of `{op}` is not a canonicalisation fixpoint: `{key}` re-canonicalises to `{}`", key.timing_key()),
+        );
+    }
+    if key.flops() != op.flops() {
+        report.error(
+            PASS,
+            call_index,
+            None,
+            format!(
+                "timing key `{key}` changes the FLOP count of `{op}` ({} vs {})",
+                key.flops(),
+                op.flops()
+            ),
+        );
+    }
+    if key.output_elements() != op.output_elements() {
+        report.error(
+            PASS,
+            call_index,
+            None,
+            format!(
+                "timing key `{key}` changes the written-element count of `{op}` ({} vs {})",
+                key.output_elements(),
+                op.output_elements()
+            ),
+        );
+    }
+}
+
+/// Verify a set of kernel operations used as *timing-table keys*: each must
+/// already be canonical (`op == op.timing_key()`), or two stores of the same
+/// measurement would land in different entries — the PR-5 cache-poisoning bug
+/// class. Also applies the per-key fixpoint/work lints of the cost audit.
+pub fn verify_timing_keys<'a>(ops: impl IntoIterator<Item = &'a KernelOp>) -> Report {
+    let mut report = Report::new();
+    for op in ops {
+        if *op != op.timing_key() {
+            report.error(
+                PASS,
+                None,
+                None,
+                format!(
+                    "table key `{op}` is not canonical — it should be stored as `{}`",
+                    op.timing_key()
+                ),
+            );
+        }
+        check_timing_key(op, None, &mut report);
+    }
+    report
+}
+
+/// Verify every key of a [`CallTimeTable`] is canonical (see
+/// [`verify_timing_keys`]) and every recorded time is a finite, non-negative
+/// number of seconds.
+#[must_use]
+pub fn verify_call_table(table: &CallTimeTable) -> Report {
+    let mut report = verify_timing_keys(table.entries().map(|(op, _)| op));
+    for (op, seconds) in table.entries() {
+        if !seconds.is_finite() || seconds < 0.0 {
+            report.error(
+                PASS,
+                None,
+                None,
+                format!("table entry `{op}` has an unusable time {seconds}"),
+            );
+        }
+    }
+    report
+}

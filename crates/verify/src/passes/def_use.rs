@@ -1,0 +1,199 @@
+//! The def-use/SSA pass.
+//!
+//! The kernel-call IR is single-assignment up to one sanctioned exception:
+//! the in-place triangle copy, which *updates* an operand another call
+//! produced (completing a SYRK triangle to full storage) rather than defining
+//! a new one. This pass checks:
+//!
+//! * every operand id a call references exists in the operand table, and ids
+//!   are not declared twice;
+//! * exactly one operand has the output role;
+//! * every call reads only operands already produced (expression inputs count
+//!   as produced from the start);
+//! * no call writes an expression input, and every non-copy write defines its
+//!   operand exactly once;
+//! * an in-place copy updates an operand that has already been produced;
+//! * every intermediate is read by some call (no dead intermediates), and
+//!   every input is read by some call (unused inputs are warnings);
+//! * the final call writes the output operand — the output is produced last.
+//!
+//! A call-free algorithm (a single-leaf expression returning its input) is
+//! legal: it must consist of exactly the output operand.
+
+use crate::diagnostic::{PassId, Report};
+use crate::passes::is_in_place_copy;
+use lamb_expr::{Algorithm, OperandId, OperandRole};
+use std::collections::{HashMap, HashSet};
+
+const PASS: PassId = PassId::DefUse;
+
+/// Run the pass, appending findings to `report`.
+pub fn run(alg: &Algorithm, report: &mut Report) {
+    let mut seen_ids: HashSet<OperandId> = HashSet::new();
+    for operand in &alg.operands {
+        if !seen_ids.insert(operand.id) {
+            report.error(
+                PASS,
+                None,
+                Some(operand.id),
+                format!(
+                    "operand id declared twice in the operand table (`{}`)",
+                    operand.name
+                ),
+            );
+        }
+    }
+
+    let outputs: Vec<&_> = alg
+        .operands
+        .iter()
+        .filter(|o| o.role == OperandRole::Output)
+        .collect();
+    if outputs.len() != 1 {
+        report.error(
+            PASS,
+            None,
+            None,
+            format!(
+                "expected exactly one output operand, found {}",
+                outputs.len()
+            ),
+        );
+    }
+
+    let mut produced: HashSet<OperandId> = alg
+        .operands
+        .iter()
+        .filter(|o| o.role == OperandRole::Input)
+        .map(|o| o.id)
+        .collect();
+    let mut defined_by: HashMap<OperandId, usize> = HashMap::new();
+    let mut read: HashSet<OperandId> = HashSet::new();
+
+    for (i, call) in alg.calls.iter().enumerate() {
+        for &input in &call.inputs {
+            if alg.operand(input).is_none() {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(input),
+                    "call reads an operand id missing from the operand table",
+                );
+                continue;
+            }
+            if !produced.contains(&input) {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(input),
+                    "call reads an operand before any call produces it",
+                );
+            }
+            read.insert(input);
+        }
+        let out = call.output;
+        let Some(out_info) = alg.operand(out) else {
+            report.error(
+                PASS,
+                Some(i),
+                Some(out),
+                "call writes an operand id missing from the operand table",
+            );
+            continue;
+        };
+        if out_info.role == OperandRole::Input {
+            report.error(
+                PASS,
+                Some(i),
+                Some(out),
+                format!("call overwrites expression input `{}`", out_info.name),
+            );
+        } else if is_in_place_copy(call) {
+            // An update, not a definition: the operand must already exist.
+            if !produced.contains(&out) {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(out),
+                    "in-place triangle copy updates an operand no call has produced",
+                );
+            }
+        } else if let Some(&first) = defined_by.get(&out) {
+            report.error(
+                PASS,
+                Some(i),
+                Some(out),
+                format!(
+                    "operand `{}` produced more than once (first at call #{first}) — SSA violation",
+                    out_info.name
+                ),
+            );
+        } else {
+            defined_by.insert(out, i);
+            produced.insert(out);
+        }
+    }
+
+    for operand in &alg.operands {
+        match operand.role {
+            OperandRole::Intermediate => {
+                if !read.contains(&operand.id) {
+                    report.error(
+                        PASS,
+                        defined_by.get(&operand.id).copied(),
+                        Some(operand.id),
+                        format!(
+                            "dead intermediate `{}`: produced but never read",
+                            operand.name
+                        ),
+                    );
+                }
+                if !defined_by.contains_key(&operand.id) {
+                    report.error(
+                        PASS,
+                        None,
+                        Some(operand.id),
+                        format!("intermediate `{}` is never produced", operand.name),
+                    );
+                }
+            }
+            OperandRole::Input => {
+                if !read.contains(&operand.id) && !alg.calls.is_empty() {
+                    report.warning(
+                        PASS,
+                        None,
+                        Some(operand.id),
+                        format!("input `{}` is never read by any call", operand.name),
+                    );
+                }
+            }
+            OperandRole::Output => {}
+        }
+    }
+
+    match (alg.calls.last(), outputs.first()) {
+        (Some(last), Some(output)) => {
+            if last.output != output.id {
+                report.error(
+                    PASS,
+                    Some(alg.calls.len() - 1),
+                    Some(output.id),
+                    "the final call does not write the output operand — the output is not produced last",
+                );
+            }
+        }
+        (None, Some(output)) => {
+            // Call-free identity algorithm: legal only as a bare pass-through
+            // of a single operand.
+            if alg.operands.len() != 1 {
+                report.error(
+                    PASS,
+                    None,
+                    Some(output.id),
+                    "a call-free algorithm must consist of exactly its output operand",
+                );
+            }
+        }
+        (_, None) => {} // already reported above
+    }
+}

@@ -1,0 +1,35 @@
+//! The five analysis passes, each a function from an [`Algorithm`] to
+//! findings appended onto a [`Report`](crate::Report).
+//!
+//! Pass order matters only for the cost audit, which skips calls the shape
+//! pass already rejected (a call whose operands do not even conform has no
+//! trustworthy derived dimensions to audit costs against). All other passes
+//! are independent.
+
+pub mod alias;
+pub mod cost_audit;
+pub mod def_use;
+pub mod shape_flow;
+pub mod structure_flow;
+
+use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId};
+
+/// Stored `(rows, cols)` of `id` in the operand table, if present. Passes
+/// treat a missing operand as already reported by the def-use pass and skip.
+pub(crate) fn stored(alg: &Algorithm, id: OperandId) -> Option<(usize, usize)> {
+    alg.operand(id).map(|o| (o.rows, o.cols))
+}
+
+/// Whether `call` is the in-place spelling of the triangle copy: the engine
+/// completes a SYRK-produced triangle to a full matrix by re-writing the same
+/// operand (`inputs == [x]`, `output == x`). The out-of-place spelling (a
+/// distinct output operand, as used by isolated-call benchmarks) is a plain
+/// definition instead.
+pub(crate) fn is_in_place_copy(call: &KernelCall) -> bool {
+    matches!(call.op, KernelOp::CopyTriangle { .. }) && call.inputs.first() == Some(&call.output)
+}
+
+/// `"rows x cols"` for messages.
+pub(crate) fn dims(shape: (usize, usize)) -> String {
+    format!("{}x{}", shape.0, shape.1)
+}

@@ -1,0 +1,202 @@
+//! The shape-flow pass.
+//!
+//! Every call's operand dimensions are recomputed *from the operand table*
+//! (applying the call's transposition flags) and checked for conformance per
+//! [`KernelOp`] — inner dimensions must match, structured operands must be
+//! square, and the output operand's declared shape must equal the shape the
+//! input operands imply. The pass deliberately ignores the dimensions the
+//! `KernelOp` itself claims (`m`/`n`/`k`): those belong to the cost audit,
+//! which diffs them against the table-derived truth. Degenerate (0/1)
+//! dimensions are ordinary values here — conformance is checked, nothing
+//! underflows.
+//!
+//! On success the pass returns, per call, the set of call indices that failed
+//! shape checks so the cost audit can skip them.
+
+use crate::diagnostic::{PassId, Report};
+use crate::passes::{dims, stored};
+use lamb_expr::{Algorithm, KernelOp};
+use lamb_matrix::Side;
+use std::collections::HashSet;
+
+const PASS: PassId = PassId::ShapeFlow;
+
+/// Expected number of inputs for each operation in this IR.
+fn arity(op: &KernelOp) -> usize {
+    match op {
+        KernelOp::Gemm { .. }
+        | KernelOp::Symm { .. }
+        | KernelOp::Trmm { .. }
+        | KernelOp::Trsm { .. } => 2,
+        KernelOp::Syrk { .. } | KernelOp::Potrf { .. } | KernelOp::CopyTriangle { .. } => 1,
+    }
+}
+
+/// Run the pass. Returns the indices of calls with shape errors (for the
+/// cost audit to skip).
+pub fn run(alg: &Algorithm, report: &mut Report) -> HashSet<usize> {
+    let mut failed: HashSet<usize> = HashSet::new();
+    for i in 0..alg.calls.len() {
+        let before = report.errors_from(PASS).count();
+        check_call(alg, i, report);
+        if report.errors_from(PASS).count() > before {
+            failed.insert(i);
+        }
+    }
+    failed
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_call(alg: &Algorithm, i: usize, report: &mut Report) {
+    let call = &alg.calls[i];
+    let expected = arity(&call.op);
+    if call.inputs.len() != expected {
+        report.error(
+            PASS,
+            Some(i),
+            None,
+            format!(
+                "{} takes {expected} input operand(s), call has {}",
+                call.op.mnemonic(),
+                call.inputs.len()
+            ),
+        );
+        return;
+    }
+    // Operand-table misses are the def-use pass's finding; treat them as
+    // shape failures here only to keep the cost audit away from the call.
+    let Some(shapes) = call
+        .inputs
+        .iter()
+        .map(|&id| stored(alg, id))
+        .collect::<Option<Vec<_>>>()
+    else {
+        report.error(
+            PASS,
+            Some(i),
+            None,
+            "call references operands missing from the table",
+        );
+        return;
+    };
+    let Some(out) = stored(alg, call.output) else {
+        report.error(
+            PASS,
+            Some(i),
+            Some(call.output),
+            "output operand missing from the table",
+        );
+        return;
+    };
+
+    let require_square = |shape: (usize, usize), what: &str, report: &mut Report| -> bool {
+        if shape.0 != shape.1 {
+            report.error(
+                PASS,
+                Some(i),
+                None,
+                format!("{what} must be square, got {}", dims(shape)),
+            );
+            false
+        } else {
+            true
+        }
+    };
+    let check_out = |implied: (usize, usize), report: &mut Report| {
+        if out != implied {
+            report.error(
+                PASS,
+                Some(i),
+                Some(call.output),
+                format!(
+                    "output operand is {} but the input operands imply {}",
+                    dims(out),
+                    dims(implied)
+                ),
+            );
+        }
+    };
+
+    match call.op {
+        KernelOp::Gemm { transa, transb, .. } => {
+            let a = transa.apply(shapes[0]);
+            let b = transb.apply(shapes[1]);
+            if a.1 != b.0 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    None,
+                    format!(
+                        "gemm inner dimensions do not conform: op(A) is {}, op(B) is {}",
+                        dims(a),
+                        dims(b)
+                    ),
+                );
+                return;
+            }
+            check_out((a.0, b.1), report);
+        }
+        KernelOp::Syrk { trans, .. } => {
+            let x = trans.apply(shapes[0]);
+            check_out((x.0, x.0), report);
+        }
+        KernelOp::Symm { side, .. } => {
+            let sym = shapes[0];
+            let rect = shapes[1];
+            if !require_square(sym, "symm symmetric operand", report) {
+                return;
+            }
+            let needed = match side {
+                Side::Left => rect.0,
+                Side::Right => rect.1,
+            };
+            if sym.0 != needed {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!(
+                        "symm symmetric operand has order {} but the {side:?}-side product needs order {needed}",
+                        sym.0
+                    ),
+                );
+                return;
+            }
+            check_out(rect, report);
+        }
+        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => {
+            let tri = shapes[0];
+            let rhs = shapes[1];
+            if !require_square(tri, "triangular operand", report) {
+                return;
+            }
+            if tri.0 != rhs.0 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!(
+                        "triangular operand has order {} but the right-hand side has {} rows",
+                        tri.0, rhs.0
+                    ),
+                );
+                return;
+            }
+            check_out(rhs, report);
+        }
+        KernelOp::Potrf { .. } => {
+            let s = shapes[0];
+            if !require_square(s, "potrf operand", report) {
+                return;
+            }
+            check_out(s, report);
+        }
+        KernelOp::CopyTriangle { .. } => {
+            let x = shapes[0];
+            if !require_square(x, "triangle-copy operand", report) {
+                return;
+            }
+            check_out(x, report);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The structure-flow pass.
+//!
+//! Tracks two properties per operand along the call sequence and checks every
+//! structural claim a call or the operand table makes:
+//!
+//! * **storage state** — [`Full`](State::Full) (every element explicit) or
+//!   [`TriangleOnly`](State::TriangleOnly) (only one triangle holds values, as
+//!   SYRK leaves its result). A triangle-only operand may only be read by a
+//!   SYMM whose `uplo` matches the stored triangle, or completed by a triangle
+//!   copy; any full-matrix read (GEMM, TRMM/TRSM, SYRK, POTRF, a SYMM's
+//!   rectangular side) is unsound.
+//! * **symmetry** — whether the operand's *values* are known symmetric: SPD
+//!   inputs, SYRK results, Gram products computed by GEMM (`X·Xᵀ`: both
+//!   inputs the same operand with opposite transposition), and triangle
+//!   copies thereof. SYMM's symmetric operand must be in this set.
+//!
+//! On top of the flow state the pass checks the *declared* structure of the
+//! operand table: TRMM/TRSM require a declared-triangular operand whose
+//! stored triangle matches the call's `uplo`; POTRF requires a declared-SPD
+//! operand and a factor declared triangular in the factored `uplo`; and any
+//! intermediate declared triangular must be justified by its producing call
+//! (a POTRF factor, or a same-effective-triangle product/solve).
+
+use crate::diagnostic::{PassId, Report};
+use crate::passes::is_in_place_copy;
+use lamb_expr::{Algorithm, KernelOp, OperandId, OperandRole};
+use lamb_matrix::{Structure, Uplo};
+use std::collections::{HashMap, HashSet};
+
+const PASS: PassId = PassId::StructureFlow;
+
+/// Storage state of an operand's values at a point in the call sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Every element is explicit (general, triangular-with-zeros, or full
+    /// symmetric storage).
+    Full,
+    /// Only the given triangle holds values (a SYRK result before its
+    /// completing copy).
+    TriangleOnly(Uplo),
+}
+
+struct Flow {
+    state: HashMap<OperandId, State>,
+    symmetric: HashSet<OperandId>,
+}
+
+impl Flow {
+    fn state(&self, id: OperandId) -> State {
+        *self.state.get(&id).unwrap_or(&State::Full)
+    }
+}
+
+/// The triangle `id`'s *declared* structure stores, if any.
+fn declared_triangle(alg: &Algorithm, id: OperandId) -> Option<Uplo> {
+    alg.operand(id).and_then(|o| o.structure.triangle())
+}
+
+/// Run the pass, appending findings to `report`.
+pub fn run(alg: &Algorithm, report: &mut Report) {
+    let mut flow = Flow {
+        state: HashMap::new(),
+        symmetric: HashSet::new(),
+    };
+    for operand in &alg.operands {
+        if operand.role == OperandRole::Input && operand.structure.is_spd() {
+            flow.symmetric.insert(operand.id);
+        }
+    }
+
+    for i in 0..alg.calls.len() {
+        check_reads(alg, i, &flow, report);
+        check_call(alg, i, &mut flow, report);
+    }
+
+    if let Some(output) = alg.operands.iter().find(|o| o.role == OperandRole::Output) {
+        if let State::TriangleOnly(u) = flow.state(output.id) {
+            let message = format!(
+                "the algorithm output is left triangle-only ({} triangle) — the final result must be completed to full storage",
+                u.tag()
+            );
+            if alg.calls.len() <= 1 {
+                // The isolated-call benchmark spelling: a bare SYRK timed on
+                // its own legitimately returns only the triangle it computes.
+                report.warning(PASS, None, Some(output.id), message);
+            } else {
+                report.error(PASS, None, Some(output.id), message);
+            }
+        }
+    }
+}
+
+/// Reject full-matrix reads of triangle-only operands. SYMM's symmetric side
+/// and the in-place triangle copy are the two triangle-tolerant readers and
+/// are checked in [`check_call`] instead.
+fn check_reads(alg: &Algorithm, i: usize, flow: &Flow, report: &mut Report) {
+    let call = &alg.calls[i];
+    for (slot, &input) in call.inputs.iter().enumerate() {
+        // Both copy spellings read the triangle they complete; uplo matching
+        // for them happens in `check_call`.
+        let triangle_tolerant = match call.op {
+            KernelOp::Symm { .. } => slot == 0,
+            KernelOp::CopyTriangle { .. } => true,
+            _ => false,
+        };
+        if triangle_tolerant {
+            continue;
+        }
+        if let State::TriangleOnly(u) = flow.state(input) {
+            let name = alg.operand(input).map_or("?", |o| o.name.as_str());
+            report.error(
+                PASS,
+                Some(i),
+                Some(input),
+                format!(
+                    "{} reads `{name}` as a full matrix, but only its {} triangle has been written (missing triangle copy)",
+                    call.op.mnemonic(),
+                    u.tag()
+                ),
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_call(alg: &Algorithm, i: usize, flow: &mut Flow, report: &mut Report) {
+    let call = &alg.calls[i];
+    let out = call.output;
+    // Does the producing call justify a `Triangular` declaration on its
+    // output operand? `None` means the op can never produce a triangular
+    // result; `Some(u)` is the triangle it provably produces.
+    let mut justified_triangle: Option<Uplo> = None;
+
+    match call.op {
+        KernelOp::Syrk { uplo, .. } => {
+            flow.state.insert(out, State::TriangleOnly(uplo));
+            flow.symmetric.insert(out);
+            if let Some(u) = declared_triangle(alg, out) {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(out),
+                    format!(
+                        "syrk output is declared triangular ({}) but its values are symmetric, not triangular",
+                        u.tag()
+                    ),
+                );
+            }
+        }
+        KernelOp::Gemm { transa, transb, .. } => {
+            flow.state.insert(out, State::Full);
+            if call.inputs.len() == 2 {
+                if call.inputs[0] == call.inputs[1] && transa != transb {
+                    // A Gram product X·Xᵀ computed in full by GEMM.
+                    flow.symmetric.insert(out);
+                }
+                let ta = call.inputs[0] != call.inputs[1] || transa == transb;
+                // Same-triangle products stay triangular (exact zeros flow
+                // through GEMM's explicit-zero triangles).
+                let a_tri = declared_triangle(alg, call.inputs[0]).map(|u| u.under(transa));
+                let b_tri = declared_triangle(alg, call.inputs[1]).map(|u| u.under(transb));
+                if ta {
+                    if let (Some(a), Some(b)) = (a_tri, b_tri) {
+                        if a == b {
+                            justified_triangle = Some(a);
+                        }
+                    }
+                }
+            }
+        }
+        KernelOp::Symm { uplo, .. } => {
+            flow.state.insert(out, State::Full);
+            let sym = call.inputs[0];
+            if !flow.symmetric.contains(&sym) {
+                let name = alg.operand(sym).map_or("?", |o| o.name.as_str());
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(sym),
+                    format!(
+                        "symm's symmetric operand `{name}` is not known symmetric (not SPD, not a Gram product, not a syrk result)"
+                    ),
+                );
+            }
+            if let State::TriangleOnly(stored) = flow.state(sym) {
+                if stored != uplo {
+                    report.error(
+                        PASS,
+                        Some(i),
+                        Some(sym),
+                        format!(
+                            "symm reads the {} triangle but only the {} triangle of its symmetric operand has been written",
+                            uplo.tag(),
+                            stored.tag()
+                        ),
+                    );
+                }
+            }
+        }
+        KernelOp::Trmm { uplo, trans, .. } | KernelOp::Trsm { uplo, trans, .. } => {
+            flow.state.insert(out, State::Full);
+            let tri_id = call.inputs[0];
+            match declared_triangle(alg, tri_id) {
+                None => {
+                    let name = alg.operand(tri_id).map_or("?", |o| o.name.as_str());
+                    report.error(
+                        PASS,
+                        Some(i),
+                        Some(tri_id),
+                        format!(
+                            "{} requires a triangular operand, but `{name}` is not declared triangular",
+                            call.op.mnemonic()
+                        ),
+                    );
+                }
+                Some(stored) if stored != uplo => {
+                    report.error(
+                        PASS,
+                        Some(i),
+                        Some(tri_id),
+                        format!(
+                            "{} expects the {} triangle stored, but the operand declares the {} triangle",
+                            call.op.mnemonic(),
+                            uplo.tag(),
+                            stored.tag()
+                        ),
+                    );
+                }
+                Some(_) => {
+                    // op(L) effectively occupies uplo.under(trans); the
+                    // product/solve stays triangular when the right-hand
+                    // side occupies the same triangle.
+                    let effective = uplo.under(trans);
+                    if call.inputs.len() == 2
+                        && declared_triangle(alg, call.inputs[1]) == Some(effective)
+                    {
+                        justified_triangle = Some(effective);
+                    }
+                }
+            }
+        }
+        KernelOp::Potrf { uplo, .. } => {
+            flow.state.insert(out, State::Full);
+            let s = call.inputs[0];
+            let spd = alg.operand(s).is_some_and(|o| o.structure.is_spd());
+            if !spd {
+                let name = alg.operand(s).map_or("?", |o| o.name.as_str());
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(s),
+                    format!("potrf requires a declared-SPD operand, but `{name}` is not SPD"),
+                );
+            }
+            justified_triangle = Some(uplo);
+            if declared_triangle(alg, out) != Some(uplo) {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(out),
+                    format!(
+                        "potrf factor must be declared triangular in the factored triangle ({})",
+                        uplo.tag()
+                    ),
+                );
+            }
+        }
+        KernelOp::CopyTriangle { uplo, .. } => {
+            if is_in_place_copy(call) {
+                match flow.state(call.output) {
+                    State::TriangleOnly(stored) => {
+                        if stored != uplo {
+                            report.error(
+                                PASS,
+                                Some(i),
+                                Some(call.output),
+                                format!(
+                                    "triangle copy completes the {} triangle, but only the {} triangle has been written",
+                                    uplo.tag(),
+                                    stored.tag()
+                                ),
+                            );
+                        }
+                        flow.state.insert(call.output, State::Full);
+                    }
+                    State::Full => {
+                        if flow.symmetric.contains(&call.output) {
+                            report.warning(
+                                PASS,
+                                Some(i),
+                                Some(call.output),
+                                "redundant triangle copy: the operand is already full symmetric",
+                            );
+                        } else {
+                            report.error(
+                                PASS,
+                                Some(i),
+                                Some(call.output),
+                                "in-place triangle copy of a non-symmetric full operand overwrites half its values",
+                            );
+                        }
+                    }
+                }
+            } else {
+                // Out-of-place: symmetrise the source's `uplo` triangle into
+                // a fresh operand (the isolated-call benchmark spelling).
+                flow.state.insert(out, State::Full);
+                if let State::TriangleOnly(stored) = flow.state(call.inputs[0]) {
+                    if stored != uplo {
+                        report.error(
+                            PASS,
+                            Some(i),
+                            Some(call.inputs[0]),
+                            format!(
+                                "triangle copy reads the {} triangle, but only the {} triangle of its source has been written",
+                                uplo.tag(),
+                                stored.tag()
+                            ),
+                        );
+                    }
+                }
+                flow.symmetric.insert(out);
+            }
+        }
+    }
+
+    // Any triangular declaration on a *written* operand must be justified by
+    // the call that produces it (POTRF factors and same-triangle products).
+    if !is_in_place_copy(call) {
+        if let Some(out_info) = alg.operand(out) {
+            if out_info.role != OperandRole::Input {
+                if let Structure::Triangular(declared) = out_info.structure {
+                    if !matches!(call.op, KernelOp::Syrk { .. })
+                        && justified_triangle != Some(declared)
+                    {
+                        report.error(
+                            PASS,
+                            Some(i),
+                            Some(out),
+                            format!(
+                                "operand `{}` is declared triangular ({}) but its producing call does not justify that structure",
+                                out_info.name,
+                                declared.tag()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

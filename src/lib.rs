@@ -21,6 +21,7 @@
 //! | [`perfmodel`] | `lamb-perfmodel` | machine models, measured & simulated executors, performance profiles |
 //! | [`select`] | `lamb-select` | FLOP/time scores, anomaly classification, selection policies |
 //! | [`plan`] | `lamb-plan` | the unified `Planner` pipeline: plan → select → execute → verdict |
+//! | [`verify`] | `lamb-verify` | pass-based static analyser for the kernel-call IR (def-use, shape, structure, cost, aliasing) |
 //! | [`experiments`] | `lamb-experiments` | the paper's Experiments 1–3, figure/table data generators |
 //!
 //! ## Quickstart: the `Planner` is the front door
@@ -60,6 +61,7 @@
 //! without selection, and [`prelude::Strategy`] as a `Copy`able constructor
 //! for the built-in [`prelude::SelectionPolicy`] implementations.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use lamb_experiments as experiments;
@@ -69,6 +71,7 @@ pub use lamb_matrix as matrix;
 pub use lamb_perfmodel as perfmodel;
 pub use lamb_plan as plan;
 pub use lamb_select as select;
+pub use lamb_verify as verify;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -98,6 +101,9 @@ pub mod prelude {
     pub use lamb_select::{
         evaluate_instance, evaluate_strategy, Classification, Hybrid, InstanceEvaluation, MinFlops,
         MinPredictedTime, Oracle, SelectError, SelectionPolicy, Strategy,
+    };
+    pub use lamb_verify::{
+        verify_algorithm, verify_call_table, Diagnostic, PassId, Report, Severity, VerifyExt,
     };
 }
 
