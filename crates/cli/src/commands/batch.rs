@@ -18,7 +18,8 @@ use super::common::{self, parse_strategy};
 use lamb_experiments::all_scenarios;
 use lamb_perfmodel::store::now_unix;
 use lamb_perfmodel::CalibrationStore;
-use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest};
+use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest, FactorCache};
+use std::sync::Arc;
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -51,11 +52,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut planner = BatchPlanner::new()
         .strategy(strategy)
         .threshold(threshold)
+        .cse(!opts.no_cse)
         .executor_factory(move || {
             factory_opts
                 .build_executor()
                 .expect("executor name validated above")
         });
+    let factor_cache = (!opts.no_factor_cache).then(|| Arc::new(FactorCache::new()));
+    if let Some(fc) = &factor_cache {
+        planner = planner.factor_cache(Arc::clone(fc));
+    }
     if let Some(k) = opts.top_k {
         planner = planner.top_k(k);
     }
@@ -161,6 +167,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stats.flop_optimal_predicted_seconds,
         stats.predicted_seconds_saved()
     );
+    match &factor_cache {
+        Some(fc) => println!(
+            "factor cache: {} reusable factor identity(ies) across the batch",
+            fc.len()
+        ),
+        None => println!("factor cache: disabled (--no-factor-cache)"),
+    }
+    if opts.no_cse {
+        println!("cse: disabled (--no-cse)");
+    }
     println!(
         "predicted anomalies: {} of {} ({:.1}%)",
         stats.predicted_anomalies,
@@ -337,6 +353,49 @@ mod tests {
         assert!(run(&strs(&["--demo", "0"])).is_err());
         let err = run(&strs(&["--exprs", "/nonexistent/file.txt"])).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn the_factor_cache_discounts_repeated_solves_and_the_ablation_does_not() {
+        let dir = temp_dir("reuse");
+        let exprs = dir.join("workload.txt");
+        std::fs::write(
+            &exprs,
+            "S[spd]^-1*B 96 12\nS[spd]^-1*B 96 12\nS[spd]^-1*B 96 12\n",
+        )
+        .unwrap();
+        let run_and_read = |extra: &[&str]| {
+            let mut args = strs(&[
+                "--exprs",
+                &exprs.to_string_lossy(),
+                "--out",
+                &dir.to_string_lossy(),
+            ]);
+            args.extend(strs(extra));
+            run(&args).unwrap();
+            std::fs::read_to_string(dir.join("batch_report.csv")).unwrap()
+        };
+        // The chosen-algorithm name may itself contain commas (its kernel
+        // summary), so index the comma-free numeric columns from the end:
+        // ..., chosen_flops, min_flops, chosen_predicted_s,
+        // flop_optimal_predicted_s, predicted_anomaly.
+        let chosen_flops = |report: &str| -> Vec<u64> {
+            report
+                .lines()
+                .skip(1)
+                .map(|l| l.rsplit(',').nth(4).unwrap().parse().unwrap())
+                .collect()
+        };
+        // Warm requests are discounted: the resident POTRF/TRSM factors make
+        // later identical solves cheaper than the cold first one.
+        let cached = chosen_flops(&run_and_read(&[]));
+        assert_eq!(cached.len(), 3);
+        assert!(cached[1] < cached[0], "{cached:?}");
+        assert_eq!(cached[1], cached[2], "{cached:?}");
+        // The ablation re-factors every time: all three rows identical.
+        let ablated = chosen_flops(&run_and_read(&["--no-factor-cache"]));
+        assert_eq!(ablated, vec![cached[0]; 3]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -44,6 +44,16 @@ pub struct CommonOptions {
     /// `--demo N`: generate N instances per built-in scenario instead of
     /// reading a request file.
     pub demo: Option<usize>,
+    /// `--no-cse`: ablation — plan the raw enumerator output without
+    /// common-subexpression elimination over the kernel-call IR.
+    pub no_cse: bool,
+    /// `--no-factor-cache`: ablation — plan without the shared factor cache,
+    /// so repeated solves against the same operand re-factor every time.
+    pub no_factor_cache: bool,
+    /// `--cse-parity`: verify-only mode that plans each scenario family with
+    /// CSE on and off and checks the chosen algorithms compute identical
+    /// numerics.
+    pub cse_parity: bool,
 }
 
 impl Default for CommonOptions {
@@ -65,6 +75,9 @@ impl Default for CommonOptions {
             update_store: false,
             threshold: None,
             demo: None,
+            no_cse: false,
+            no_factor_cache: false,
+            cse_parity: false,
         }
     }
 }
@@ -145,6 +158,15 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
             }
             "--no-merge" => {
                 opts.no_merge = true;
+            }
+            "--no-cse" => {
+                opts.no_cse = true;
+            }
+            "--no-factor-cache" => {
+                opts.no_factor_cache = true;
+            }
+            "--cse-parity" => {
+                opts.cse_parity = true;
             }
             "--update-store" => {
                 opts.update_store = true;
@@ -396,6 +418,20 @@ mod tests {
         let opts = parse(&strs(&["aatb", "--scale", "0.1"])).unwrap();
         assert_eq!(opts.search_config("aatb").target_anomalies, 100);
         assert_eq!(opts.search_config("chain").target_anomalies, 10);
+    }
+
+    #[test]
+    fn ablation_flags_default_off_and_parse() {
+        let opts = parse(&strs(&["aatb", "40", "50", "60"])).unwrap();
+        assert!(!opts.no_cse && !opts.no_factor_cache && !opts.cse_parity);
+        let opts = parse(&strs(&[
+            "aatb",
+            "--no-cse",
+            "--no-factor-cache",
+            "--cse-parity",
+        ]))
+        .unwrap();
+        assert!(opts.no_cse && opts.no_factor_cache && opts.cse_parity);
     }
 
     #[test]

@@ -37,6 +37,8 @@ COMMANDS:
                                        def-use, shape-flow, structure-flow, cost-audit, alias-safety)
     verify --file FILE | --demo N      verify a whole request file / all built-in scenario families
                                        (--store F additionally lints the store's timing keys)
+    verify --cse-parity                plan every scenario family with CSE on and off and check
+                                       the chosen algorithms compute identical numerics
     figure1 [OPTS]                     kernel efficiency sweep (paper Figure 1)
     exp1 chain|aatb [OPTS]             Experiment 1: random anomaly search (Figures 6/9)
     pipeline chain|aatb [OPTS]         Experiments 1+2+3 end to end (Figures 7/10, Tables 1/2)
@@ -60,6 +62,10 @@ CALIBRATION / BATCH OPTIONS:
     --threshold <t>                        anomaly time-score threshold (default: 0.10)
     --no-merge                             calibrate: overwrite an existing store instead of merging
     --update-store                         batch: write newly benchmarked calls back into the store
+    --no-cse                               select/batch ablation: disable common-subexpression
+                                           elimination (repeated POTRF/SYRK/TRSM stay duplicated)
+    --no-factor-cache                      select/batch ablation: disable the shared factor cache
+                                           (repeated solves against one operand re-factor each time)
 "
     );
 }

@@ -14,8 +14,9 @@
 //! ```
 
 use super::common::{self, parse_strategy};
-use lamb_plan::Planner;
+use lamb_plan::{FactorCache, Planner};
 use lamb_select::Strategy;
+use std::sync::Arc;
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -34,7 +35,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
     let mut planner = Planner::for_expression(expr.as_ref())
         .strategy(strategy)
-        .score_predictions(wants_predictions);
+        .score_predictions(wants_predictions)
+        .cse(!opts.no_cse);
+    let factor_cache = (!opts.no_factor_cache).then(|| Arc::new(FactorCache::new()));
+    if let Some(fc) = &factor_cache {
+        planner = planner.factor_cache(Arc::clone(fc));
+    }
     if let Some(k) = opts.top_k {
         planner = planner.top_k(k);
     }
@@ -56,6 +62,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(k) = opts.top_k {
         println!("pruning         : top-{k} by FLOP count");
+    }
+    if opts.no_cse {
+        println!("ablation        : common-subexpression elimination disabled (--no-cse)");
+    }
+    if let Some(fc) = &factor_cache {
+        if !fc.is_empty() {
+            println!(
+                "factor cache    : {} reusable factor identity(ies) noted for this plan",
+                fc.len()
+            );
+        }
+    } else {
+        println!("ablation        : factor cache disabled (--no-factor-cache)");
     }
     println!("algorithm set   :");
     for score in &plan.scores {
@@ -162,6 +181,20 @@ mod tests {
         // The inverse-of-general error now names both structured options.
         let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
         assert!(err.contains("spd"), "{err}");
+    }
+
+    #[test]
+    fn ablation_flags_round_trip_on_a_repeated_solve() {
+        // The shared-factor expression plans with CSE + factor cache on by
+        // default, and under both ablations.
+        let base = ["--expr", "S[spd]^-1*S[spd]^-1*B", "--dims", "64,12"];
+        assert!(run(&strs(&base)).is_ok());
+        let mut no_cse = strs(&base);
+        no_cse.push("--no-cse".into());
+        assert!(run(&no_cse).is_ok());
+        let mut no_cache = strs(&base);
+        no_cache.push("--no-factor-cache".into());
+        assert!(run(&no_cache).is_ok());
     }
 
     #[test]

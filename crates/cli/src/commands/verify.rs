@@ -6,16 +6,22 @@
 //! makes the command fail. With `--store`, the calibration store's timing
 //! table is additionally linted for canonical keys and finite times.
 //!
+//! With `--cse-parity`, the command instead plans every built-in scenario
+//! family twice — common-subexpression elimination on and off — and checks
+//! the two chosen algorithms compute numerically identical results
+//! (difference within `1e-10` of the result's magnitude).
+//!
 //! ```text
 //! lamb verify --expr "A*A^T*B" --dims 80,514,768
 //! lamb verify aatb 80 514 768
 //! lamb verify --file workload.txt
 //! lamb verify --demo 5 --seed 7                 all scenario families
 //! lamb verify --store results/calibration.json --demo 3
+//! lamb verify --cse-parity                      CSE on/off numerical parity sweep
 //! ```
 
 use super::common;
-use lamb_experiments::all_scenarios;
+use lamb_experiments::{all_scenarios, factor_reuse_scenarios};
 use lamb_expr::Expression;
 use lamb_perfmodel::CalibrationStore;
 use lamb_plan::BatchRequest;
@@ -24,6 +30,9 @@ use lamb_verify::{verify_algorithm, verify_call_table};
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = common::parse(args)?;
+    if opts.cse_parity {
+        return run_cse_parity();
+    }
 
     // The workload: an instance given inline, a request file, or the
     // generated scenario batch.
@@ -69,6 +78,58 @@ pub fn run(args: &[String]) -> Result<(), String> {
         collected.push((format!("{} {:?}", req.text, req.dims), algorithms));
     }
     finish(verify_instances(collected.into_iter(), &opts)?)
+}
+
+/// Plan every scenario family with CSE on and off and check the two chosen
+/// algorithms agree numerically: the CSE rewrite must be a pure cost
+/// optimisation, never a semantic change.
+fn run_cse_parity() -> Result<(), String> {
+    use lamb_matrix::ops::{max_abs, max_abs_diff};
+    use lamb_perfmodel::MeasuredExecutor;
+    use lamb_plan::Planner;
+
+    let executor = MeasuredExecutor::quick();
+    let mut families = 0usize;
+    for scenario in all_scenarios()
+        .iter()
+        .chain(factor_reuse_scenarios().iter())
+    {
+        // Small, distinct dimensions: large enough to exercise blocking,
+        // small enough that the untimed numerical execution stays cheap.
+        let dims: Vec<usize> = (0..scenario.expression.num_dims())
+            .map(|i| 24 + 8 * i)
+            .collect();
+        let with_cse = Planner::for_expression(&scenario.expression)
+            .plan(&dims)
+            .map_err(|e| format!("{}: cannot plan with CSE: {e}", scenario.name))?;
+        let without_cse = Planner::for_expression(&scenario.expression)
+            .cse(false)
+            .plan(&dims)
+            .map_err(|e| format!("{}: cannot plan without CSE: {e}", scenario.name))?;
+        let shared = executor.compute_result(with_cse.chosen_algorithm());
+        let raw = executor.compute_result(without_cse.chosen_algorithm());
+        let diff = max_abs_diff(&shared, &raw)
+            .map_err(|e| format!("{}: result shapes disagree: {e}", scenario.name))?;
+        let tolerance = 1e-10 * max_abs(&raw).max(1.0);
+        if diff > tolerance {
+            return Err(format!(
+                "{}: CSE changed the numerics: |shared - raw| = {diff:e} > {tolerance:e} \
+                 (chosen `{}` vs `{}`)",
+                scenario.name,
+                with_cse.chosen_algorithm().name,
+                without_cse.chosen_algorithm().name
+            ));
+        }
+        println!(
+            "ok   {} {dims:?}: CSE on/off agree to {diff:e} (chosen `{}` / `{}`)",
+            scenario.name,
+            with_cse.chosen_algorithm().name,
+            without_cse.chosen_algorithm().name
+        );
+        families += 1;
+    }
+    println!("cse parity: {families} scenario family(ies) numerically identical");
+    Ok(())
 }
 
 struct Totals {
@@ -151,4 +212,14 @@ fn finish(totals: Totals) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cse_parity_holds_across_every_scenario_family() {
+        run(&["--cse-parity".to_string()]).unwrap();
+    }
 }

@@ -118,6 +118,23 @@ pub fn all_scenarios() -> Vec<Scenario> {
     scenarios
 }
 
+/// The factor-reuse scenario family: expressions with *repeated* operands,
+/// where the same factorisation or Gram product occurs more than once in a
+/// single expression. These are the workloads the CSE pass and the batch
+/// factor cache exist for — a repeated SPD solve needs exactly one POTRF,
+/// a repeated Gram product exactly one SYRK — and the sweep driving the
+/// `extension_factor_reuse` bench and the CLI's CSE-parity check runs over
+/// them. Kept separate from [`all_scenarios`] because their headline metric
+/// is shared-versus-raw FLOPs rather than anomaly frequency.
+#[must_use]
+pub fn factor_reuse_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("solve", "S[spd]^-1*B"),
+        Scenario::new("repeated_solve", "S[spd]^-1*S[spd]^-1*B"),
+        Scenario::new("repeated_gram", "A*A^T*A*A^T*B"),
+    ]
+}
+
 /// Deterministically sample a batch of expression instances from the
 /// scenarios: `per_scenario` instances each, dimensions drawn uniformly from
 /// `dim_min..=dim_max`. This is the workload generator behind the `lamb
@@ -374,6 +391,65 @@ mod tests {
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn the_factor_reuse_family_shares_its_factorisations() {
+        use lamb_plan::{MinPredictedTime, Planner};
+        let scenarios = factor_reuse_scenarios();
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // The repeated solve genuinely repeats work before CSE...
+        let repeated = scenarios
+            .iter()
+            .find(|s| s.name == "repeated_solve")
+            .unwrap();
+        let dims = vec![48; repeated.expression.num_dims()];
+        let algs = repeated.expression.algorithms(&dims).unwrap();
+        assert!(
+            algs.iter().any(|a| a.shared_flops() < a.flops()),
+            "repeated solves must have shareable subcomputations"
+        );
+        // ...and the planner's chosen algorithm factors the operand exactly
+        // once post-CSE, predicted strictly cheaper than the `--no-cse`
+        // ablation (which pays one POTRF per inverse).
+        let plan = Planner::for_expression(&repeated.expression)
+            .policy(MinPredictedTime)
+            .plan(&dims)
+            .unwrap();
+        let potrfs = plan
+            .chosen_algorithm()
+            .calls
+            .iter()
+            .filter(|c| c.op.mnemonic() == "potrf")
+            .count();
+        assert_eq!(potrfs, 1, "one factorisation serves the repeated solve");
+        let ablation = Planner::for_expression(&repeated.expression)
+            .policy(MinPredictedTime)
+            .cse(false)
+            .plan(&dims)
+            .unwrap();
+        assert!(
+            plan.chosen_score().predicted_seconds.unwrap()
+                < ablation.chosen_score().predicted_seconds.unwrap(),
+            "the shared-factor algorithm must be predicted faster"
+        );
+        // The repeated Gram product shares its SYRK the same way.
+        let gram = scenarios
+            .iter()
+            .find(|s| s.name == "repeated_gram")
+            .unwrap();
+        let gram_dims = vec![40; gram.expression.num_dims()];
+        let gram_plan = Planner::for_expression(&gram.expression)
+            .policy(MinPredictedTime)
+            .plan(&gram_dims)
+            .unwrap();
+        let chosen = gram_plan.chosen_algorithm();
+        assert!(
+            chosen.shared_flops() == chosen.flops(),
+            "post-CSE form is dup-free"
+        );
     }
 
     #[test]

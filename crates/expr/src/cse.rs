@@ -1,0 +1,598 @@
+//! Common-subexpression elimination over the kernel-call IR.
+//!
+//! The enumerator emits *tree-shaped* algorithms: every occurrence of a
+//! subcomputation gets its own kernel call, even when two occurrences are
+//! mathematically identical — the same POTRF of one SPD operand, the same
+//! SYRK Gram product, the same TRSM half-solve. This module turns the call
+//! sequence into a DAG by value numbering: identical `(operation, inputs)`
+//! pairs are computed once, later occurrences are rewritten to read the first
+//! result, and the eliminated calls (and their FLOPs) are reported.
+//!
+//! Three IR-specific rules keep the transform sound:
+//!
+//! * The **in-place triangle copy** (`inputs == [x]`, `output == x`) *updates*
+//!   its operand rather than defining a new value. A second completion of the
+//!   same representative operand is dropped (it would re-write bytes that are
+//!   already there); a completion of a merged-away operand is redirected to
+//!   the surviving representative.
+//! * A duplicate call that writes the **output operand** is kept (and its
+//!   FLOPs stay charged): the IR contract — relied on by every executor and
+//!   by the def-use pass — is that the final call materialises the output
+//!   operand. Sharing it away would leave the output unproduced.
+//! * Operands merged away are removed from the operand table, so the result
+//!   verifies cleanly (no dead intermediates).
+//!
+//! [`shared_flops`] is the DAG-aware cost model derived from the same value
+//! numbering: the FLOP total an algorithm costs when each distinct value is
+//! charged once. For a CSE-transformed algorithm it coincides with
+//! [`Algorithm::flops`].
+//!
+//! [`node_identities`] assigns every operand a *canonical identity string*
+//! that is stable across algorithms and across planner requests: leaves are
+//! identified by name, id, shape and structure (executors seed input contents
+//! from the operand id, so the id is part of the bytes-level identity), and
+//! computed operands by their operation applied to the identities of its
+//! inputs. Two operands with equal identity strings hold bit-identical
+//! values under the deterministic executors, which is exactly the keying the
+//! cross-request factor cache needs.
+
+use crate::algorithm::{Algorithm, OperandRole};
+use crate::kernel_call::{KernelCall, KernelOp};
+use crate::operand::OperandId;
+use std::collections::{HashMap, HashSet};
+
+/// The result of [`eliminate_common_subexpressions`].
+#[derive(Debug, Clone)]
+pub struct CseOutcome {
+    /// The transformed algorithm, with duplicate calls removed and their
+    /// readers rewired to the surviving representative.
+    pub algorithm: Algorithm,
+    /// Number of kernel calls eliminated.
+    pub eliminated_calls: usize,
+    /// FLOPs of the eliminated calls (the saving over the tree-shaped form).
+    pub eliminated_flops: u64,
+}
+
+/// Whether `call` is the in-place spelling of the triangle copy (an *update*
+/// of an existing operand, not a definition of a new one).
+fn is_in_place_copy(call: &KernelCall) -> bool {
+    matches!(call.op, KernelOp::CopyTriangle { .. }) && call.inputs.first() == Some(&call.output)
+}
+
+/// Resolve `id` through the representative map (one level deep is enough:
+/// the map always points at surviving operands, never at eliminated ones).
+fn resolve(repr: &HashMap<OperandId, OperandId>, id: OperandId) -> OperandId {
+    *repr.get(&id).unwrap_or(&id)
+}
+
+/// Eliminate common subexpressions from `alg` by forward value numbering.
+///
+/// Call order is preserved (the kept calls appear in their original order),
+/// so def-use discipline is preserved too. The transform is idempotent:
+/// running it on its own result eliminates nothing further.
+#[must_use]
+pub fn eliminate_common_subexpressions(alg: &Algorithm) -> CseOutcome {
+    let mut repr: HashMap<OperandId, OperandId> = HashMap::new();
+    let mut table: HashMap<(KernelOp, Vec<OperandId>), OperandId> = HashMap::new();
+    let mut eliminated: HashSet<OperandId> = HashSet::new();
+    let mut calls: Vec<KernelCall> = Vec::with_capacity(alg.calls.len());
+    let mut eliminated_calls = 0usize;
+    let mut eliminated_flops = 0u64;
+
+    for call in &alg.calls {
+        if is_in_place_copy(call) {
+            // An update of an existing value: redirect it to the surviving
+            // representative, and drop it when that representative has
+            // already been completed by an identical copy.
+            let target = resolve(&repr, call.output);
+            let key = (call.op.clone(), vec![target]);
+            if table.contains_key(&key) {
+                eliminated_calls += 1; // zero FLOPs — only the call count moves
+                continue;
+            }
+            table.insert(key, target);
+            calls.push(KernelCall {
+                op: call.op.clone(),
+                inputs: vec![target],
+                output: target,
+                label: call.label.clone(),
+            });
+            continue;
+        }
+
+        let inputs: Vec<OperandId> = call.inputs.iter().map(|&id| resolve(&repr, id)).collect();
+        let key = (call.op.clone(), inputs.clone());
+        match table.get(&key) {
+            Some(&existing)
+                if alg.operand(call.output).map(|o| o.role) != Some(OperandRole::Output) =>
+            {
+                // A duplicate definition of a value we already hold: drop the
+                // call, remember the representative, forget the operand.
+                repr.insert(call.output, existing);
+                eliminated.insert(call.output);
+                eliminated_calls += 1;
+                eliminated_flops += call.flops();
+            }
+            _ => {
+                // First occurrence — or a duplicate that materialises the
+                // output operand, which must stay (the output is produced by
+                // the final call; executors and the def-use pass rely on it).
+                table.entry(key).or_insert(call.output);
+                calls.push(KernelCall {
+                    op: call.op.clone(),
+                    inputs,
+                    output: call.output,
+                    label: call.label.clone(),
+                });
+            }
+        }
+    }
+
+    let operands = alg
+        .operands
+        .iter()
+        .filter(|o| !eliminated.contains(&o.id))
+        .cloned()
+        .collect();
+    CseOutcome {
+        algorithm: Algorithm {
+            name: alg.name.clone(),
+            operands,
+            calls,
+        },
+        eliminated_calls,
+        eliminated_flops,
+    }
+}
+
+/// The DAG-aware FLOP count of `alg`: each distinct `(operation, inputs)`
+/// value is charged once, with the same rules as
+/// [`eliminate_common_subexpressions`] (duplicate productions of the output
+/// operand stay charged). Always `<= alg.flops()`, and equal for algorithms
+/// with no common subexpressions.
+#[must_use]
+pub fn shared_flops(alg: &Algorithm) -> u64 {
+    alg.flops() - eliminate_common_subexpressions(alg).eliminated_flops
+}
+
+impl Algorithm {
+    /// The DAG-aware FLOP count: see [`shared_flops`].
+    #[must_use]
+    pub fn shared_flops(&self) -> u64 {
+        shared_flops(self)
+    }
+}
+
+/// Canonical identity strings for every operand of `alg`, keyed by operand
+/// id. Leaves are identified by `name # raw-id shape structure` — the raw id
+/// participates because the deterministic executors seed an input's contents
+/// from its id, so equal names with different ids hold different bytes.
+/// Computed operands are identified by their producing operation applied to
+/// the identities of its inputs; an in-place triangle copy *advances* the
+/// identity of its operand (completed storage holds different bytes than the
+/// triangle-only value it came from).
+#[must_use]
+pub fn node_identities(alg: &Algorithm) -> HashMap<OperandId, String> {
+    let mut ids: HashMap<OperandId, String> = alg
+        .operands
+        .iter()
+        .filter(|o| o.role == OperandRole::Input)
+        .map(|o| {
+            (
+                o.id,
+                format!(
+                    "leaf:{}#{}:{}x{}:{:?}",
+                    o.name,
+                    o.id.index(),
+                    o.rows,
+                    o.cols,
+                    o.structure
+                ),
+            )
+        })
+        .collect();
+    for call in &alg.calls {
+        let inputs: Vec<String> = call
+            .inputs
+            .iter()
+            .map(|id| {
+                ids.get(id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("raw:{}", id.index()))
+            })
+            .collect();
+        // The op Display carries the kernel, its flags and its logical
+        // dimensions, so the identity pins down the exact computation.
+        ids.insert(call.output, format!("{}({})", call.op, inputs.join(",")));
+    }
+    ids
+}
+
+/// Whether a kernel operation produces a *reusable factor*: a value worth
+/// caching across requests because later algorithms can skip recomputing it.
+/// Cholesky factors, Gram products and triangular half-solves are the
+/// factor-once/solve-many values of the paper's SPD pipelines.
+#[must_use]
+pub fn is_cacheable_op(op: &KernelOp) -> bool {
+    matches!(
+        op,
+        KernelOp::Potrf { .. } | KernelOp::Syrk { .. } | KernelOp::Trsm { .. }
+    )
+}
+
+/// The cacheable values `alg` produces: `(call index, operand id, identity)`
+/// for every call whose operation is [cacheable](is_cacheable_op) and whose
+/// result is *final* — not mutated afterwards by an in-place triangle copy
+/// (a later copy advances the operand's identity, so caching the pre-copy
+/// snapshot under the pre-copy identity stays correct; the tuple reports the
+/// identity at production time).
+#[must_use]
+pub fn cacheable_identities(alg: &Algorithm) -> Vec<(usize, OperandId, String)> {
+    let mut ids: HashMap<OperandId, String> = alg
+        .operands
+        .iter()
+        .filter(|o| o.role == OperandRole::Input)
+        .map(|o| {
+            (
+                o.id,
+                format!(
+                    "leaf:{}#{}:{}x{}:{:?}",
+                    o.name,
+                    o.id.index(),
+                    o.rows,
+                    o.cols,
+                    o.structure
+                ),
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    for (i, call) in alg.calls.iter().enumerate() {
+        let inputs: Vec<String> = call
+            .inputs
+            .iter()
+            .map(|id| {
+                ids.get(id)
+                    .cloned()
+                    .unwrap_or_else(|| format!("raw:{}", id.index()))
+            })
+            .collect();
+        let identity = format!("{}({})", call.op, inputs.join(","));
+        ids.insert(call.output, identity.clone());
+        if is_cacheable_op(&call.op) {
+            out.push((i, call.output, identity));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::OperandInfo;
+    use lamb_matrix::{Structure, Trans, Uplo};
+
+    fn op_gemm(m: usize, n: usize, k: usize) -> KernelOp {
+        KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m,
+            n,
+            k,
+        }
+    }
+
+    fn operand(id: usize, rows: usize, cols: usize, role: OperandRole, name: &str) -> OperandInfo {
+        OperandInfo {
+            id: OperandId(id),
+            rows,
+            cols,
+            role,
+            name: name.into(),
+            structure: Structure::General,
+        }
+    }
+
+    /// `X := (A·B) + nothing`-style doubled product: M1 := A·B, M2 := A·B,
+    /// X := M1·M2 — the classic duplicate pair.
+    fn doubled_product() -> Algorithm {
+        Algorithm {
+            name: "doubled".into(),
+            operands: vec![
+                operand(0, 8, 8, OperandRole::Input, "A"),
+                operand(1, 8, 8, OperandRole::Input, "B"),
+                operand(2, 8, 8, OperandRole::Intermediate, "M1"),
+                operand(3, 8, 8, OperandRole::Intermediate, "M2"),
+                operand(4, 8, 8, OperandRole::Output, "X"),
+            ],
+            calls: vec![
+                KernelCall {
+                    op: op_gemm(8, 8, 8),
+                    inputs: vec![OperandId(0), OperandId(1)],
+                    output: OperandId(2),
+                    label: "M1 := A*B".into(),
+                },
+                KernelCall {
+                    op: op_gemm(8, 8, 8),
+                    inputs: vec![OperandId(0), OperandId(1)],
+                    output: OperandId(3),
+                    label: "M2 := A*B".into(),
+                },
+                KernelCall {
+                    op: op_gemm(8, 8, 8),
+                    inputs: vec![OperandId(2), OperandId(3)],
+                    output: OperandId(4),
+                    label: "X := M1*M2".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn duplicate_definitions_are_merged() {
+        let outcome = eliminate_common_subexpressions(&doubled_product());
+        assert_eq!(outcome.eliminated_calls, 1);
+        assert_eq!(outcome.eliminated_flops, 2 * 8 * 8 * 8);
+        let alg = &outcome.algorithm;
+        assert_eq!(alg.calls.len(), 2);
+        // The final call now reads the surviving representative twice.
+        assert_eq!(
+            alg.calls[1].inputs,
+            vec![OperandId(2), OperandId(2)],
+            "{alg}"
+        );
+        // The merged-away operand left the table; the algorithm verifies as a DAG.
+        assert!(alg.operand(OperandId(3)).is_none());
+        assert!(alg.is_well_formed());
+        assert_eq!(alg.flops(), doubled_product().shared_flops());
+    }
+
+    #[test]
+    fn cse_is_idempotent() {
+        let once = eliminate_common_subexpressions(&doubled_product()).algorithm;
+        let twice = eliminate_common_subexpressions(&once);
+        assert_eq!(twice.eliminated_calls, 0);
+        assert_eq!(twice.algorithm, once);
+    }
+
+    #[test]
+    fn algorithms_without_duplicates_are_untouched() {
+        let alg = Algorithm {
+            name: "plain".into(),
+            operands: vec![
+                operand(0, 4, 4, OperandRole::Input, "A"),
+                operand(1, 4, 4, OperandRole::Input, "B"),
+                operand(2, 4, 4, OperandRole::Output, "X"),
+            ],
+            calls: vec![KernelCall {
+                op: op_gemm(4, 4, 4),
+                inputs: vec![OperandId(0), OperandId(1)],
+                output: OperandId(2),
+                label: "X := A*B".into(),
+            }],
+        };
+        let outcome = eliminate_common_subexpressions(&alg);
+        assert_eq!(outcome.eliminated_calls, 0);
+        assert_eq!(outcome.eliminated_flops, 0);
+        assert_eq!(outcome.algorithm, alg);
+        assert_eq!(alg.shared_flops(), alg.flops());
+    }
+
+    #[test]
+    fn duplicate_output_production_is_kept_and_charged() {
+        // M1 := A·B, X := A·B — the second call writes the output, so it must
+        // survive (the output is produced by the final call) and stay charged.
+        let alg = Algorithm {
+            name: "dup-out".into(),
+            operands: vec![
+                operand(0, 4, 4, OperandRole::Input, "A"),
+                operand(1, 4, 4, OperandRole::Input, "B"),
+                operand(2, 4, 4, OperandRole::Intermediate, "M1"),
+                operand(3, 4, 4, OperandRole::Output, "X"),
+            ],
+            calls: vec![
+                KernelCall {
+                    op: op_gemm(4, 4, 4),
+                    inputs: vec![OperandId(0), OperandId(1)],
+                    output: OperandId(2),
+                    label: "M1 := A*B".into(),
+                },
+                KernelCall {
+                    op: op_gemm(4, 4, 4),
+                    inputs: vec![OperandId(2), OperandId(2)],
+                    output: OperandId(3),
+                    label: "X := M1*M1".into(),
+                },
+            ],
+        };
+        // No duplicates here, but force the boundary: a direct duplicate of
+        // the output write.
+        let mut dup = alg.clone();
+        dup.calls.push(dup.calls[1].clone());
+        let outcome = eliminate_common_subexpressions(&dup);
+        assert_eq!(outcome.algorithm.calls.len(), 3);
+        assert_eq!(outcome.eliminated_flops, 0);
+        assert_eq!(
+            outcome.algorithm.calls.last().unwrap().output,
+            OperandId(3),
+            "the output stays produced last"
+        );
+    }
+
+    #[test]
+    fn in_place_copies_are_deduplicated_via_their_representative() {
+        // SYRK → M1 (triangle), complete M1; SYRK → M2 (same value),
+        // complete M2; X := M1·M2. CSE merges the SYRKs *and* the copies.
+        let syrk = KernelOp::Syrk {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            n: 6,
+            k: 3,
+        };
+        let copy = KernelOp::CopyTriangle {
+            uplo: Uplo::Lower,
+            n: 6,
+        };
+        let alg = Algorithm {
+            name: "gram-twice".into(),
+            operands: vec![
+                operand(0, 6, 3, OperandRole::Input, "A"),
+                operand(1, 6, 6, OperandRole::Intermediate, "M1"),
+                operand(2, 6, 6, OperandRole::Intermediate, "M2"),
+                operand(3, 6, 6, OperandRole::Output, "X"),
+            ],
+            calls: vec![
+                KernelCall {
+                    op: syrk.clone(),
+                    inputs: vec![OperandId(0)],
+                    output: OperandId(1),
+                    label: "M1 := A*A^T".into(),
+                },
+                KernelCall {
+                    op: copy.clone(),
+                    inputs: vec![OperandId(1)],
+                    output: OperandId(1),
+                    label: "M1 full".into(),
+                },
+                KernelCall {
+                    op: syrk.clone(),
+                    inputs: vec![OperandId(0)],
+                    output: OperandId(2),
+                    label: "M2 := A*A^T".into(),
+                },
+                KernelCall {
+                    op: copy.clone(),
+                    inputs: vec![OperandId(2)],
+                    output: OperandId(2),
+                    label: "M2 full".into(),
+                },
+                KernelCall {
+                    op: op_gemm(6, 6, 6),
+                    inputs: vec![OperandId(1), OperandId(2)],
+                    output: OperandId(3),
+                    label: "X := M1*M2".into(),
+                },
+            ],
+        };
+        let outcome = eliminate_common_subexpressions(&alg);
+        assert_eq!(outcome.eliminated_calls, 2, "{}", outcome.algorithm);
+        assert_eq!(outcome.eliminated_flops, syrk.flops());
+        assert_eq!(outcome.algorithm.calls.len(), 3);
+        assert!(outcome.algorithm.is_well_formed());
+        assert_eq!(
+            outcome.algorithm.calls[2].inputs,
+            vec![OperandId(1), OperandId(1)]
+        );
+    }
+
+    #[test]
+    fn node_identities_distinguish_leaves_by_id_and_advance_on_copy() {
+        let alg = doubled_product();
+        let ids = node_identities(&alg);
+        // Duplicate computations share an identity string.
+        assert_eq!(ids[&OperandId(2)], ids[&OperandId(3)]);
+        // Different leaves never share one.
+        assert_ne!(ids[&OperandId(0)], ids[&OperandId(1)]);
+        // The in-place copy advances the identity.
+        let syrk = KernelOp::Syrk {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            n: 4,
+            k: 2,
+        };
+        let copy = KernelOp::CopyTriangle {
+            uplo: Uplo::Lower,
+            n: 4,
+        };
+        let gram = Algorithm {
+            name: "gram".into(),
+            operands: vec![
+                operand(0, 4, 2, OperandRole::Input, "A"),
+                operand(1, 4, 4, OperandRole::Output, "X"),
+            ],
+            calls: vec![
+                KernelCall {
+                    op: syrk,
+                    inputs: vec![OperandId(0)],
+                    output: OperandId(1),
+                    label: "X := A*A^T".into(),
+                },
+                KernelCall {
+                    op: copy,
+                    inputs: vec![OperandId(1)],
+                    output: OperandId(1),
+                    label: "X full".into(),
+                },
+            ],
+        };
+        let before = {
+            let mut partial = gram.clone();
+            partial.calls.truncate(1);
+            node_identities(&partial)[&OperandId(1)].clone()
+        };
+        let after = node_identities(&gram)[&OperandId(1)].clone();
+        assert_ne!(before, after, "completion must advance the identity");
+        assert!(after.contains("copy"));
+    }
+
+    #[test]
+    fn cacheable_identities_report_factor_producing_calls() {
+        let potrf = KernelOp::Potrf {
+            uplo: Uplo::Lower,
+            n: 5,
+        };
+        let trsm = KernelOp::Trsm {
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 5,
+            n: 2,
+        };
+        let alg = Algorithm {
+            name: "solve".into(),
+            operands: vec![
+                OperandInfo {
+                    id: OperandId(0),
+                    rows: 5,
+                    cols: 5,
+                    role: OperandRole::Input,
+                    name: "S".into(),
+                    structure: Structure::Spd,
+                },
+                operand(1, 5, 2, OperandRole::Input, "B"),
+                OperandInfo {
+                    id: OperandId(2),
+                    rows: 5,
+                    cols: 5,
+                    role: OperandRole::Intermediate,
+                    name: "L".into(),
+                    structure: Structure::Triangular(Uplo::Lower),
+                },
+                operand(3, 5, 2, OperandRole::Output, "X"),
+            ],
+            calls: vec![
+                KernelCall {
+                    op: potrf,
+                    inputs: vec![OperandId(0)],
+                    output: OperandId(2),
+                    label: "L := chol(S)".into(),
+                },
+                KernelCall {
+                    op: trsm,
+                    inputs: vec![OperandId(2), OperandId(1)],
+                    output: OperandId(3),
+                    label: "X := L\\B".into(),
+                },
+            ],
+        };
+        let cacheable = cacheable_identities(&alg);
+        assert_eq!(cacheable.len(), 2);
+        assert_eq!(cacheable[0].1, OperandId(2));
+        assert!(cacheable[0].2.contains("potrf"));
+        assert!(cacheable[1].2.contains("trsm"));
+        // The TRSM identity nests the POTRF identity: reuse keys are
+        // whole-subtree canonical.
+        assert!(cacheable[1].2.contains(&cacheable[0].2));
+        // GEMM is not a factor-producing op.
+        assert!(!is_cacheable_op(&op_gemm(3, 3, 3)));
+    }
+}

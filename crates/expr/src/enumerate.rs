@@ -246,9 +246,22 @@ pub fn enumerate_expr_algorithms_with(
         })
         .collect();
 
+    // How often the most-repeated leaf appears. With repeated leaves the
+    // same subcomputation can occur up to this many times in one algorithm,
+    // so CSE can shrink an algorithm's *shared* cost by at most this factor
+    // — the scaling that keeps branch-and-bound pruning admissible below.
+    let max_leaf_multiplicity = {
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for f in &factors {
+            *counts.entry(f.var.name.as_str()).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(1)
+    };
+
     let mut ctx = Ctx {
         options,
         inputs: &inputs,
+        max_leaf_multiplicity,
         best: BinaryHeap::new(),
         lb_memo: HashMap::new(),
         out: Vec::new(),
@@ -266,7 +279,11 @@ pub fn enumerate_expr_algorithms_with(
     }
     let mut out = ctx.out;
     if let Some(k) = options.top_k {
-        out.sort_by_key(Algorithm::flops); // stable: ties keep search order
+        // Rank by the *shared* (CSE-deduplicated) FLOP count — what the
+        // algorithm pays once repeated subcomputations are computed only
+        // once — with the raw total as tie-break. For expressions without
+        // repeated leaves the two coincide and this is the plain FLOP sort.
+        out.sort_by_key(|a| (a.shared_flops(), a.flops())); // stable
         out.truncate(k.max(1));
     }
     for (idx, alg) in out.iter_mut().enumerate() {
@@ -314,8 +331,10 @@ fn distinct_inputs(factors: &[Factor]) -> Result<Vec<OperandInfo>, GenerateError
 struct Ctx<'a> {
     options: &'a EnumerateOptions,
     inputs: &'a [OperandInfo],
-    /// Max-heap of the FLOP totals of the best `top_k` complete algorithms
-    /// found so far (used only for pruning).
+    /// Multiplicity of the most-repeated leaf (1 for all-distinct leaves).
+    max_leaf_multiplicity: u64,
+    /// Max-heap of the *shared* (CSE-deduplicated) FLOP totals of the best
+    /// `top_k` complete algorithms found so far (used only for pruning).
     best: BinaryHeap<u64>,
     /// Lower-bound memo keyed by the partition boundaries of a state.
     lb_memo: HashMap<Vec<usize>, u64>,
@@ -337,22 +356,37 @@ fn recurse(
             last.name = "X".into();
         }
         operands.extend(inters);
+        let alg = Algorithm {
+            name: segments[0].text.clone(),
+            operands,
+            calls: calls.to_vec(),
+        };
         if let Some(k) = ctx.options.top_k {
-            ctx.best.push(partial_flops);
+            // The heap ranks completed algorithms by what they cost under
+            // sharing: their CSE-deduplicated FLOP total. For all-distinct
+            // leaves this equals `partial_flops` exactly.
+            let shared = if ctx.max_leaf_multiplicity > 1 {
+                alg.shared_flops()
+            } else {
+                partial_flops
+            };
+            ctx.best.push(shared);
             if ctx.best.len() > k.max(1) {
                 ctx.best.pop();
             }
         }
-        ctx.out.push(Algorithm {
-            name: segments[0].text.clone(),
-            operands,
-            calls: calls.to_vec(),
-        });
+        ctx.out.push(alg);
         return;
     }
     if let Some(k) = ctx.options.top_k {
         if ctx.best.len() >= k.max(1) {
-            let bound = partial_flops + lower_bound(&mut ctx.lb_memo, segments);
+            // With repeated leaves, CSE can shrink a completion's shared
+            // cost to as little as 1/m of its raw total (m = multiplicity of
+            // the most-repeated leaf), so the raw lower bound must be scaled
+            // down by m to stay admissible against the shared-cost heap.
+            // For m == 1 this is exactly the classic FLOP bound.
+            let bound = (partial_flops + lower_bound(&mut ctx.lb_memo, segments))
+                / ctx.max_leaf_multiplicity;
             if bound >= *ctx.best.peek().expect("heap is non-empty") {
                 return;
             }
@@ -863,6 +897,44 @@ mod tests {
         let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
         let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
         assert_eq!(got, flops[..2].to_vec());
+    }
+
+    #[test]
+    fn top_k_pruning_stays_admissible_under_sharing_with_repeated_leaves() {
+        // (A A^T)(A A^T) B: some orderings compute the Gram product twice,
+        // and CSE collapses the repeat — so ranking and pruning must use the
+        // *shared* FLOP count, and the bound must not prune a completion
+        // whose shared cost beats the raw-FLOP frontrunners.
+        let a = Expr::var("A", 12, 5);
+        let b = Expr::var("B", 12, 9);
+        let expr = a
+            .clone()
+            .mul(a.clone().t())
+            .mul(a.clone())
+            .mul(a.t())
+            .mul(b);
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        assert!(
+            full.iter().any(|alg| alg.shared_flops() < alg.flops()),
+            "at least one ordering repeats a subcomputation"
+        );
+        let mut keys: Vec<(u64, u64)> = full
+            .iter()
+            .map(|alg| (alg.shared_flops(), alg.flops()))
+            .collect();
+        keys.sort_unstable();
+        for k in [1, 2, 4, 8] {
+            let opts = EnumerateOptions {
+                top_k: Some(k),
+                ..EnumerateOptions::default()
+            };
+            let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+            let got: Vec<(u64, u64)> = pruned
+                .iter()
+                .map(|alg| (alg.shared_flops(), alg.flops()))
+                .collect();
+            assert_eq!(got, keys[..k.min(keys.len())].to_vec(), "k = {k}");
+        }
     }
 
     #[test]

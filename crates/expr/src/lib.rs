@@ -44,6 +44,7 @@
 pub mod aatb;
 pub mod algorithm;
 pub mod chain;
+pub mod cse;
 pub mod enumerate;
 pub mod expr;
 pub mod expression;
@@ -56,6 +57,10 @@ pub mod rewrite;
 pub use aatb::{enumerate_aatb_algorithms, AatbExpression};
 pub use algorithm::{Algorithm, OperandInfo, OperandRole};
 pub use chain::{enumerate_chain_algorithms, optimal_chain_order, MatrixChainExpression};
+pub use cse::{
+    cacheable_identities, eliminate_common_subexpressions, is_cacheable_op, node_identities,
+    shared_flops, CseOutcome,
+};
 pub use enumerate::{
     enumerate_expr_algorithms, enumerate_expr_algorithms_pruned, enumerate_expr_algorithms_with,
     EnumerateOptions,

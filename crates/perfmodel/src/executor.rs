@@ -3,6 +3,7 @@
 //! performance model (simulated).
 
 use crate::machine::MachineModel;
+use crate::reuse::{FactorStore, ReuseReport};
 use lamb_expr::Algorithm;
 
 /// The time attributed to one kernel call of an algorithm.
@@ -79,6 +80,21 @@ pub trait Executor: Send {
     /// Time a single call of the algorithm in isolation with a cold cache
     /// (the paper's Experiment 3 benchmarks).
     fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64;
+
+    /// Execute the algorithm against a store of already-computed factors:
+    /// calls whose result is resident in `store` may be skipped (their value
+    /// injected from the store), and factors this execution computes may be
+    /// deposited for later executions. The default implementation ignores the
+    /// store and executes everything — executors that honour reuse
+    /// ([`crate::MeasuredExecutor`], [`crate::SimulatedExecutor`]) override
+    /// it.
+    fn execute_algorithm_reusing(
+        &mut self,
+        alg: &Algorithm,
+        _store: &dyn FactorStore,
+    ) -> (AlgorithmTiming, ReuseReport) {
+        (self.execute_algorithm(alg), ReuseReport::all_executed(alg))
+    }
 
     /// Predict the algorithm's time as the sum of its isolated-call
     /// benchmarks — the predictor evaluated in the paper's Experiment 3.

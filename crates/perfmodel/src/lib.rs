@@ -34,6 +34,7 @@ pub mod json;
 pub mod machine;
 pub mod measured;
 pub mod profile;
+pub mod reuse;
 pub mod simulate;
 pub mod store;
 
@@ -45,6 +46,7 @@ pub use executor::{AlgorithmTiming, CallTiming, Executor};
 pub use machine::MachineModel;
 pub use measured::MeasuredExecutor;
 pub use profile::{CallTimeTable, SquareProfile};
+pub use reuse::{FactorStore, ReuseReport, SimpleFactorStore};
 pub use simulate::{SimulatedExecutor, SimulatorConfig};
 pub use store::{
     CalibrationStore, StalenessWarning, StoreError, StoreMeta, EXPECTED_KERNELS,

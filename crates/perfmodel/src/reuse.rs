@@ -1,0 +1,211 @@
+//! Cross-execution factor reuse: the [`FactorStore`] abstraction and the
+//! [`ReuseReport`] accounting that executors produce when they run an
+//! algorithm against a store of already-computed factors.
+//!
+//! The store is keyed by the *canonical node identities* of
+//! [`lamb_expr::node_identities`]: a string that pins down the exact
+//! computation (kernel, flags, logical dimensions) applied to the exact input
+//! bytes (leaves are seeded from their operand ids by the deterministic
+//! executors). Two calls with equal identities produce bit-identical values,
+//! so a resident factor can be injected in place of re-running the call —
+//! the factor-once/solve-many pattern of implicit ODE steppers, applied to
+//! the paper's repeated-solve workloads.
+//!
+//! A store may hold actual matrices (measured execution) or just *note*
+//! identities as resident (simulated prediction, where only the time model
+//! needs to know a factor would be warm). The concrete sharded cache lives in
+//! `lamb-plan` (`FactorCache`); [`SimpleFactorStore`] here is a plain
+//! mutex-guarded map for executors, benches and tests.
+
+use lamb_expr::Algorithm;
+use lamb_matrix::Matrix;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// A shared, thread-safe store of computed factors keyed by canonical node
+/// identity.
+pub trait FactorStore: Send + Sync {
+    /// The resident matrix for `key`, if its bytes are held.
+    fn lookup(&self, key: &str) -> Option<Arc<Matrix>>;
+
+    /// Hold the bytes of a computed factor under `key`.
+    fn store(&self, key: &str, value: Arc<Matrix>);
+
+    /// Whether `key` is resident — either its bytes are held or it was
+    /// [noted](FactorStore::note) as computed.
+    fn contains(&self, key: &str) -> bool;
+
+    /// Mark `key` as resident without holding bytes (prediction-side
+    /// residency: the planner notes what a chosen algorithm will compute).
+    fn note(&self, key: &str);
+}
+
+/// What an executor did with a factor store during one algorithm execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseReport {
+    /// Calls actually executed.
+    pub executed_calls: usize,
+    /// Calls skipped because their result was resident in the store.
+    pub reused_calls: usize,
+    /// FLOPs of the skipped calls (work saved by reuse).
+    pub reused_flops: u64,
+    /// Executed-call count per kernel mnemonic (`"potrf"`, `"syrk"`, ...),
+    /// the accounting the repeated-solve acceptance check reads.
+    pub executed_kernels: BTreeMap<String, usize>,
+}
+
+impl ReuseReport {
+    /// The report of an execution that reused nothing: every call executed.
+    #[must_use]
+    pub fn all_executed(alg: &Algorithm) -> Self {
+        let mut report = ReuseReport {
+            executed_calls: alg.calls.len(),
+            ..ReuseReport::default()
+        };
+        for call in &alg.calls {
+            *report
+                .executed_kernels
+                .entry(call.op.mnemonic().to_string())
+                .or_insert(0) += 1;
+        }
+        report
+    }
+
+    /// Record one executed call.
+    pub fn record_executed(&mut self, mnemonic: &str) {
+        self.executed_calls += 1;
+        *self
+            .executed_kernels
+            .entry(mnemonic.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Record one reused (skipped) call of `flops` FLOPs.
+    pub fn record_reused(&mut self, flops: u64) {
+        self.reused_calls += 1;
+        self.reused_flops += flops;
+    }
+
+    /// Executed-call count for one kernel mnemonic.
+    #[must_use]
+    pub fn executed(&self, mnemonic: &str) -> usize {
+        self.executed_kernels.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Fold another report into this one (batch-level accounting).
+    pub fn merge(&mut self, other: &ReuseReport) {
+        self.executed_calls += other.executed_calls;
+        self.reused_calls += other.reused_calls;
+        self.reused_flops += other.reused_flops;
+        for (k, v) in &other.executed_kernels {
+            *self.executed_kernels.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Entry state: bytes held, or identity merely noted as resident.
+type Entry = Option<Arc<Matrix>>;
+
+/// A plain mutex-guarded [`FactorStore`] for executors, benches and tests.
+/// (The planner's sharded `FactorCache` lives in `lamb-plan`.)
+#[derive(Debug, Default)]
+pub struct SimpleFactorStore {
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl SimpleFactorStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        SimpleFactorStore::default()
+    }
+
+    /// Number of resident identities (noted or held).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("factor store lock").len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl FactorStore for SimpleFactorStore {
+    fn lookup(&self, key: &str) -> Option<Arc<Matrix>> {
+        self.entries
+            .lock()
+            .expect("factor store lock")
+            .get(key)
+            .and_then(Clone::clone)
+    }
+
+    fn store(&self, key: &str, value: Arc<Matrix>) {
+        self.entries
+            .lock()
+            .expect("factor store lock")
+            .insert(key.to_string(), Some(value));
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.entries
+            .lock()
+            .expect("factor store lock")
+            .contains_key(key)
+    }
+
+    fn note(&self, key: &str) {
+        // Never downgrade held bytes to a bare note.
+        self.entries
+            .lock()
+            .expect("factor store lock")
+            .entry(key.to_string())
+            .or_insert(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_store_holds_and_notes() {
+        let store = SimpleFactorStore::new();
+        assert!(store.is_empty());
+        assert!(!store.contains("k"));
+        store.note("k");
+        assert!(store.contains("k"));
+        assert!(store.lookup("k").is_none(), "a note holds no bytes");
+        let m = Arc::new(Matrix::identity(3));
+        store.store("k", Arc::clone(&m));
+        assert!(store.lookup("k").is_some());
+        // A later note must not evict the bytes.
+        store.note("k");
+        assert!(store.lookup("k").is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn reuse_report_accounts_and_merges() {
+        let mut a = ReuseReport::default();
+        a.record_executed("potrf");
+        a.record_executed("trsm");
+        a.record_reused(100);
+        let mut b = ReuseReport::default();
+        b.record_executed("trsm");
+        b.record_reused(50);
+        a.merge(&b);
+        assert_eq!(a.executed_calls, 3);
+        assert_eq!(a.reused_calls, 2);
+        assert_eq!(a.reused_flops, 150);
+        assert_eq!(a.executed("trsm"), 2);
+        assert_eq!(a.executed("potrf"), 1);
+        assert_eq!(a.executed("gemm"), 0);
+    }
+}

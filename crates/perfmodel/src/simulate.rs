@@ -23,8 +23,11 @@
 use crate::efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
 use crate::executor::{AlgorithmTiming, CallTiming, Executor};
 use crate::machine::MachineModel;
+use crate::reuse::{FactorStore, ReuseReport};
+use lamb_expr::cse::cacheable_identities;
 use lamb_expr::{Algorithm, KernelCall, KernelOp};
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Tunable parameters of the simulator.
@@ -213,6 +216,58 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
         }
     }
 
+    /// Simulated execution against a factor store: calls whose
+    /// [cacheable](lamb_expr::is_cacheable_op) result is resident cost zero
+    /// seconds (the value would be injected, not recomputed); cacheable
+    /// results this execution produces are *noted* in the store — the
+    /// simulator models time, it has no bytes to deposit.
+    fn execute_algorithm_reusing(
+        &mut self,
+        alg: &Algorithm,
+        store: &dyn FactorStore,
+    ) -> (AlgorithmTiming, ReuseReport) {
+        let cacheable: HashMap<usize, String> = cacheable_identities(alg)
+            .into_iter()
+            .map(|(i, _, identity)| (i, identity))
+            .collect();
+        let mut report = ReuseReport::default();
+        let per_call: Vec<CallTiming> = alg
+            .calls
+            .iter()
+            .enumerate()
+            .map(|(i, call)| {
+                let seconds = match cacheable.get(&i) {
+                    Some(key) if store.contains(key) => {
+                        report.record_reused(call.flops());
+                        0.0
+                    }
+                    key => {
+                        if let Some(key) = key {
+                            store.note(key);
+                        }
+                        report.record_executed(call.op.mnemonic());
+                        self.base_call_time(call)
+                            * self.cache_reuse_factor(alg, i)
+                            * self.noise_factor(&call.op, i, "sequence")
+                    }
+                };
+                CallTiming {
+                    index: i,
+                    label: call.label.clone(),
+                    flops: call.flops(),
+                    seconds,
+                }
+            })
+            .collect();
+        let timing = AlgorithmTiming {
+            algorithm_name: alg.name.clone(),
+            seconds: per_call.iter().map(|c| c.seconds).sum(),
+            per_call,
+            flops: alg.flops(),
+        };
+        (timing, report)
+    }
+
     fn time_isolated_call(&mut self, alg: &Algorithm, call_index: usize) -> f64 {
         // An isolated benchmark is identified by the call's *timing key*
         // alone: it has no notion of the position the call occupies inside
@@ -328,6 +383,41 @@ mod tests {
             let f = sim.noise_factor(&call.op, i, "sequence");
             assert!((f - 1.0).abs() <= 2.0 * sim.config().noise_sigma + 1e-12);
         }
+    }
+
+    #[test]
+    fn resident_factors_cost_nothing_in_simulated_reuse() {
+        use crate::reuse::{FactorStore, SimpleFactorStore};
+        use lamb_expr::{Expression, TreeExpression};
+        let expr = TreeExpression::parse("S[spd]^-1*B").unwrap();
+        let algs = expr.algorithms(&[300, 40]).unwrap();
+        let solve = algs
+            .iter()
+            .find(|a| a.kernel_summary().contains("potrf"))
+            .unwrap();
+        let mut sim = SimulatedExecutor::paper_like();
+        let store = SimpleFactorStore::new();
+        let (cold_t, cold) = sim.execute_algorithm_reusing(solve, &store);
+        assert_eq!(cold.reused_calls, 0);
+        assert_eq!(cold.executed("potrf"), 1);
+        assert!(store.contains(
+            &lamb_expr::cacheable_identities(solve)
+                .first()
+                .unwrap()
+                .2
+                .clone()
+        ));
+        let (warm_t, warm) = sim.execute_algorithm_reusing(solve, &store);
+        assert_eq!(warm.executed("potrf"), 0);
+        assert!(warm.reused_flops > 0);
+        assert!(
+            warm_t.seconds < cold_t.seconds * 0.7,
+            "warm {} vs cold {}",
+            warm_t.seconds,
+            cold_t.seconds
+        );
+        // Reused calls are attributed exactly zero seconds.
+        assert!(warm_t.per_call.iter().any(|c| c.seconds == 0.0));
     }
 
     #[test]

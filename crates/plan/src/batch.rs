@@ -23,11 +23,12 @@
 //! and of whether the cache started cold or warm — a warm start only makes
 //! them *faster*.
 
-use crate::cache::PredictionCache;
+use crate::cache::{CachingExecutor, PredictionCache};
+use crate::factor_cache::{effective_flops, FactorCache, ReuseAwareExecutor};
 use crate::plan::{Plan, PlanError};
 use crate::planner::Planner;
-use lamb_expr::{ParseError, TreeExpression};
-use lamb_perfmodel::{CalibrationStore, CallTimeTable, Executor, SimulatedExecutor};
+use lamb_expr::{cacheable_identities, ParseError, TreeExpression};
+use lamb_perfmodel::{CalibrationStore, CallTimeTable, Executor, FactorStore, SimulatedExecutor};
 use lamb_select::{MinPredictedTime, SelectionPolicy, Strategy};
 use rayon::prelude::*;
 use std::fmt;
@@ -237,6 +238,8 @@ pub struct BatchPlanner {
     threshold: f64,
     top_k: Option<usize>,
     cache: Arc<PredictionCache>,
+    use_cse: bool,
+    factor_cache: Option<Arc<FactorCache>>,
 }
 
 impl Default for BatchPlanner {
@@ -248,7 +251,7 @@ impl Default for BatchPlanner {
 impl BatchPlanner {
     /// A batch planner with the defaults: `MinPredictedTime` policy, the
     /// paper-like simulated executor, the 10% anomaly threshold, a cold
-    /// cache, and no enumeration cap.
+    /// cache, CSE enabled, no factor cache, and no enumeration cap.
     #[must_use]
     pub fn new() -> Self {
         BatchPlanner {
@@ -257,7 +260,36 @@ impl BatchPlanner {
             threshold: 0.10,
             top_k: None,
             cache: Arc::new(PredictionCache::new()),
+            use_cse: true,
+            factor_cache: None,
         }
+    }
+
+    /// Enable or disable common-subexpression elimination over every
+    /// request's enumerated algorithms (on by default; `--no-cse` ablation).
+    #[must_use]
+    pub fn cse(mut self, enabled: bool) -> Self {
+        self.use_cse = enabled;
+        self
+    }
+
+    /// Attach a [`FactorCache`] shared across the whole batch: after the
+    /// parallel planning pass, plans are re-scored in input order against
+    /// the factors earlier requests computed, so repeated solves against the
+    /// same operand are steered onto shared-factor algorithms. Off by
+    /// default — without a factor cache every request plans independently
+    /// and batch results are bit-identical across runs and worker counts.
+    #[must_use]
+    pub fn factor_cache(mut self, cache: Arc<FactorCache>) -> Self {
+        self.factor_cache = Some(cache);
+        self
+    }
+
+    /// Identities resident in the attached factor cache (0 when factor
+    /// reuse is disabled).
+    #[must_use]
+    pub fn factor_cache_len(&self) -> usize {
+        self.factor_cache.as_ref().map_or(0, |fc| fc.len())
     }
 
     /// Use `policy` to choose among each request's algorithms.
@@ -332,6 +364,7 @@ impl BatchPlanner {
         let mut planner = Planner::for_expression(expr)
             .shared_policy(Arc::clone(&self.policy))
             .shared_cache(Arc::clone(&self.cache))
+            .cse(self.use_cse)
             .threshold(self.threshold)
             .executor_factory(move || factory());
         if let Some(k) = self.top_k {
@@ -353,7 +386,7 @@ impl BatchPlanner {
     pub fn plan_batch(&self, requests: &[BatchRequest]) -> BatchOutcome {
         let start = Instant::now();
         let (hits_before, misses_before) = self.cache.stats();
-        let results: Vec<Result<Plan, PlanError>> = if requests.is_empty() {
+        let mut results: Vec<Result<Plan, PlanError>> = if requests.is_empty() {
             Vec::new()
         } else {
             let workers = rayon::current_num_threads().clamp(1, requests.len());
@@ -377,6 +410,9 @@ impl BatchPlanner {
                 .collect();
             per_chunk.into_iter().flatten().collect()
         };
+        if let Some(fc) = &self.factor_cache {
+            self.rescore_with_factor_reuse(fc, &mut results);
+        }
         let elapsed_seconds = start.elapsed().as_secs_f64();
         let (hits_after, misses_after) = self.cache.stats();
 
@@ -409,6 +445,50 @@ impl BatchPlanner {
             }
         }
         BatchOutcome { results, stats }
+    }
+
+    /// The factor-reuse pass: walk the planned results *sequentially, in
+    /// input order* (so the outcome is independent of worker count), re-score
+    /// each plan against the residency the earlier requests established,
+    /// let the policy re-select, and register the chosen algorithm's factors
+    /// for the requests that follow.
+    fn rescore_with_factor_reuse(
+        &self,
+        fc: &Arc<FactorCache>,
+        results: &mut [Result<Plan, PlanError>],
+    ) {
+        let store: &dyn FactorStore = fc.as_ref();
+        let mut executor = (self.factory)();
+        for result in results.iter_mut() {
+            let Ok(plan) = result.as_mut() else { continue };
+            // Fast path: a plan none of whose candidates can reuse anything
+            // resident keeps its phase-one scores untouched.
+            let any_resident = plan.algorithms.iter().any(|alg| {
+                cacheable_identities(alg)
+                    .iter()
+                    .any(|(_, _, identity)| store.contains(identity))
+            });
+            if any_resident {
+                let mut caching = CachingExecutor::new(executor.as_mut(), &self.cache);
+                let mut reuse = ReuseAwareExecutor::new(&mut caching, store);
+                for index in 0..plan.algorithms.len() {
+                    let rescored_flops = effective_flops(&plan.algorithms[index], store);
+                    let rescored_seconds = plan.scores[index].predicted_seconds.map(|_| {
+                        reuse
+                            .predict_from_isolated_calls(&plan.algorithms[index])
+                            .seconds
+                    });
+                    plan.scores[index].flops = rescored_flops;
+                    plan.scores[index].predicted_seconds = rescored_seconds;
+                }
+                if let Ok(chosen) = self.policy.select(&plan.algorithms, &mut reuse) {
+                    plan.chosen = chosen;
+                }
+            }
+            for (_, _, identity) in cacheable_identities(&plan.algorithms[plan.chosen]) {
+                store.note(&identity);
+            }
+        }
     }
 }
 
@@ -533,6 +613,45 @@ mod tests {
         assert_eq!(plan.policy, "min-flops");
         let min = plan.scores.iter().map(|s| s.flops).min().unwrap();
         assert_eq!(plan.chosen_score().flops, min);
+    }
+
+    #[test]
+    fn a_factor_cache_steers_later_solves_onto_the_resident_factorisation() {
+        use lamb_perfmodel::{Executor as _, MeasuredExecutor, SimpleFactorStore};
+        let reqs = BatchRequest::parse_file(
+            "S[spd]^-1*B 96 12\n\
+             S[spd]^-1*B 96 12\n\
+             S[spd]^-1*B 96 12\n\
+             S[spd]^-1*B 96 12\n",
+        )
+        .unwrap();
+        let fc = Arc::new(FactorCache::new());
+        let planner = BatchPlanner::new().factor_cache(Arc::clone(&fc));
+        let outcome = planner.plan_batch(&reqs);
+        assert_eq!(outcome.stats.planned, 4);
+        assert!(planner.factor_cache_len() > 0, "chosen factors registered");
+        let plans: Vec<&Plan> = outcome.plans().collect();
+        let first = plans[0].chosen_score().predicted_seconds.unwrap();
+        let warm = plans[1].chosen_score().predicted_seconds.unwrap();
+        assert!(
+            warm < first,
+            "later solves against the same operand are predicted cheaper \
+             ({warm} vs {first})"
+        );
+        assert!(
+            plans[1].chosen_score().flops < plans[0].chosen_score().flops,
+            "effective FLOPs are discounted for the warm requests"
+        );
+        // Executing the four chosen algorithms against one shared store
+        // factors the operand exactly once: 1 POTRF for the whole batch.
+        let store = SimpleFactorStore::new();
+        let mut exec = MeasuredExecutor::quick();
+        let mut potrfs = 0;
+        for plan in &plans {
+            let (_, report) = exec.execute_algorithm_reusing(plan.chosen_algorithm(), &store);
+            potrfs += report.executed("potrf");
+        }
+        assert_eq!(potrfs, 1, "one factorisation serves the whole batch");
     }
 
     #[test]

@@ -48,6 +48,12 @@
 //!   persisted [`CalibrationStore`](lamb_perfmodel::CalibrationStore)
 //!   ([`Planner::with_store`]) and exports back to one
 //!   ([`Planner::snapshot_cache`]).
+//! * [`FactorCache`] / [`ReuseAwareExecutor`] — the batch-level factor
+//!   store: computed factors (Cholesky factors, Gram products, half-solves)
+//!   keyed by canonical node identity, shared across the requests of a
+//!   batch, with a reuse-aware scoring wrapper that zeroes the predicted
+//!   cost of resident factors so `MinPredictedTime` prefers shared-factor
+//!   algorithms.
 //! * [`BatchPlanner`] / [`BatchRequest`] — the batch-serving front end:
 //!   parse a whole file of expression instances, fan them out across rayon
 //!   workers against the shared cache, and report aggregate [`BatchStats`]
@@ -61,11 +67,13 @@
 
 pub mod batch;
 pub mod cache;
+pub mod factor_cache;
 mod plan;
 mod planner;
 
 pub use batch::{BatchOutcome, BatchParseError, BatchPlanner, BatchRequest, BatchStats};
 pub use cache::{CachingExecutor, PredictionCache};
+pub use factor_cache::{effective_flops, FactorCache, ReuseAwareExecutor};
 pub use plan::{AlgorithmScore, Plan, PlanError, PlanExecution};
 pub use planner::Planner;
 

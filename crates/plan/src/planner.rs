@@ -2,9 +2,13 @@
 //! selected algorithm.
 
 use crate::cache::{CachingExecutor, PredictionCache};
+use crate::factor_cache::{effective_flops, FactorCache, ReuseAwareExecutor};
 use crate::plan::{AlgorithmScore, Plan, PlanError};
-use lamb_expr::{Algorithm, Expression, KernelOp, OperandId};
-use lamb_perfmodel::{CalibrationStore, CallTimeTable, Executor, SimulatedExecutor};
+use lamb_expr::{
+    cacheable_identities, eliminate_common_subexpressions, Algorithm, Expression, KernelOp,
+    OperandId,
+};
+use lamb_perfmodel::{CalibrationStore, CallTimeTable, Executor, FactorStore, SimulatedExecutor};
 use lamb_select::{AlgorithmMeasurement, InstanceEvaluation, MinFlops, SelectionPolicy, Strategy};
 use rayon::prelude::*;
 use std::collections::HashSet;
@@ -35,6 +39,8 @@ pub struct Planner<'e> {
     score_predictions: bool,
     top_k: Option<usize>,
     cache: Arc<PredictionCache>,
+    use_cse: bool,
+    factor_cache: Option<Arc<FactorCache>>,
 }
 
 impl<'e> Planner<'e> {
@@ -52,7 +58,35 @@ impl<'e> Planner<'e> {
             score_predictions: true,
             top_k: None,
             cache: Arc::new(PredictionCache::new()),
+            use_cse: true,
+            factor_cache: None,
         }
+    }
+
+    /// Enable or disable common-subexpression elimination over the enumerated
+    /// kernel-call sequences (on by default). With CSE on, every candidate
+    /// algorithm is rewritten so identical subcomputations — repeated POTRFs
+    /// of one SPD operand, repeated SYRK Gram products, repeated TRSM
+    /// half-solves — are computed once and referenced thereafter, and the
+    /// FLOP scores charge each distinct node once. Disable for an ablation
+    /// (`--no-cse` in the CLI).
+    #[must_use]
+    pub fn cse(mut self, enabled: bool) -> Self {
+        self.use_cse = enabled;
+        self
+    }
+
+    /// Share a [`FactorCache`] with other planners (typically through a
+    /// [`crate::BatchPlanner`] batch): cacheable factors already resident in
+    /// the cache score as free — zero FLOPs, zero predicted seconds — so
+    /// `MinPredictedTime` (and `Hybrid`) prefer algorithms that reuse them,
+    /// and each plan's chosen algorithm registers its own factors for later
+    /// instances. Off by default: without a factor cache, planning is
+    /// completely independent across instances.
+    #[must_use]
+    pub fn factor_cache(mut self, cache: Arc<FactorCache>) -> Self {
+        self.factor_cache = Some(cache);
+        self
     }
 
     /// Use `policy` to choose among the enumerated algorithms.
@@ -168,6 +202,21 @@ impl<'e> Planner<'e> {
         self.cache.stats()
     }
 
+    /// Enumerate (pruned) and, when CSE is enabled, rewrite every candidate
+    /// into its shared (DAG) form so each distinct node is computed — and
+    /// charged — once.
+    fn cse_algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, PlanError> {
+        let enumerated = self.expr.algorithms_pruned(dims, self.top_k)?;
+        if self.use_cse {
+            Ok(enumerated
+                .into_iter()
+                .map(|a| eliminate_common_subexpressions(&a).algorithm)
+                .collect())
+        } else {
+            Ok(enumerated)
+        }
+    }
+
     // Zero dimensions are deliberately *not* rejected here: every kernel,
     // FLOP model and executor handles degenerate (empty) operands, and the
     // degenerate-dimension proptests drive zero- and unit-sized instances
@@ -223,7 +272,10 @@ impl<'e> Planner<'e> {
         executor: &mut dyn Executor,
     ) -> Result<Plan, PlanError> {
         self.validate(dims)?;
-        let enumerated = self.expr.algorithms_pruned(dims, self.top_k)?;
+        let enumerated = self.cse_algorithms(dims)?;
+        // Deduplicate on the *post-CSE* canonical form: rewrites can derive
+        // sequences that only become identical once their internal
+        // duplicates are merged.
         let (algorithms, duplicates_removed) = dedup_by_signature(enumerated);
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
@@ -234,19 +286,48 @@ impl<'e> Planner<'e> {
             lamb_verify::debug_assert_verified(alg);
         }
         let mut caching = CachingExecutor::new(executor, &self.cache);
-        let scores: Vec<AlgorithmScore> = algorithms
-            .iter()
-            .enumerate()
-            .map(|(index, alg)| AlgorithmScore {
-                index,
-                name: alg.name.clone(),
-                flops: alg.flops(),
-                predicted_seconds: self
-                    .score_predictions
-                    .then(|| caching.predict_from_isolated_calls(alg).seconds),
-            })
-            .collect();
-        let chosen = self.policy.select(&algorithms, &mut caching)?;
+        let (scores, chosen) = match &self.factor_cache {
+            Some(fc) => {
+                let store: &dyn FactorStore = fc.as_ref();
+                let mut reuse = ReuseAwareExecutor::new(&mut caching, store);
+                let scores: Vec<AlgorithmScore> = algorithms
+                    .iter()
+                    .enumerate()
+                    .map(|(index, alg)| AlgorithmScore {
+                        index,
+                        name: alg.name.clone(),
+                        flops: effective_flops(alg, store),
+                        predicted_seconds: self
+                            .score_predictions
+                            .then(|| reuse.predict_from_isolated_calls(alg).seconds),
+                    })
+                    .collect();
+                let chosen = self.policy.select(&algorithms, &mut reuse)?;
+                // The chosen algorithm's factors become resident for later
+                // instances planned against the same cache (bytes arrive
+                // when an execution actually computes them).
+                for (_, _, identity) in cacheable_identities(&algorithms[chosen]) {
+                    fc.note(&identity);
+                }
+                (scores, chosen)
+            }
+            None => {
+                let scores: Vec<AlgorithmScore> = algorithms
+                    .iter()
+                    .enumerate()
+                    .map(|(index, alg)| AlgorithmScore {
+                        index,
+                        name: alg.name.clone(),
+                        flops: alg.flops(),
+                        predicted_seconds: self
+                            .score_predictions
+                            .then(|| caching.predict_from_isolated_calls(alg).seconds),
+                    })
+                    .collect();
+                let chosen = self.policy.select(&algorithms, &mut caching)?;
+                (scores, chosen)
+            }
+        };
         Ok(Plan {
             dims: dims.to_vec(),
             expression: self.expr.name(),
@@ -305,7 +386,7 @@ impl<'e> Planner<'e> {
         executor: &mut dyn Executor,
     ) -> Result<InstanceEvaluation, PlanError> {
         self.validate(dims)?;
-        let (algorithms, _) = dedup_by_signature(self.expr.algorithms_pruned(dims, self.top_k)?);
+        let (algorithms, _) = dedup_by_signature(self.cse_algorithms(dims)?);
         if algorithms.is_empty() {
             return Err(PlanError::NoAlgorithms);
         }
@@ -315,11 +396,24 @@ impl<'e> Planner<'e> {
         let measurements = algorithms
             .iter()
             .enumerate()
-            .map(|(index, alg)| AlgorithmMeasurement {
-                index,
-                name: alg.name.clone(),
-                flops: alg.flops(),
-                seconds: self.cache.predict(executor, alg).seconds,
+            .map(|(index, alg)| match &self.factor_cache {
+                Some(fc) => {
+                    let store: &dyn FactorStore = fc.as_ref();
+                    let mut caching = CachingExecutor::new(executor, &self.cache);
+                    let mut reuse = ReuseAwareExecutor::new(&mut caching, store);
+                    AlgorithmMeasurement {
+                        index,
+                        name: alg.name.clone(),
+                        flops: effective_flops(alg, store),
+                        seconds: reuse.predict_from_isolated_calls(alg).seconds,
+                    }
+                }
+                None => AlgorithmMeasurement {
+                    index,
+                    name: alg.name.clone(),
+                    flops: alg.flops(),
+                    seconds: self.cache.predict(executor, alg).seconds,
+                },
             })
             .collect();
         Ok(InstanceEvaluation {
@@ -515,6 +609,122 @@ mod tests {
             .unwrap();
         assert_eq!(plan.duplicates_removed, 0);
         assert_eq!(plan.algorithms.len(), 5);
+    }
+
+    #[test]
+    fn dedup_happens_on_the_post_cse_canonical_form() {
+        use lamb_expr::{KernelCall, KernelOp, OperandId, OperandInfo, OperandRole};
+        use lamb_matrix::{Structure, Trans};
+        // (A*B)*(A*B) on square operands, enumerated two ways: one algorithm
+        // shares the product T = A*B, its twin recomputes it into a second
+        // intermediate. The kernel-call signatures differ *until* CSE merges
+        // the recomputation, at which point the twin collapses onto the
+        // original and must be removed as a duplicate.
+        struct TwinnedByRedundancy;
+        impl Expression for TwinnedByRedundancy {
+            fn name(&self) -> String {
+                "twinned".into()
+            }
+            fn num_dims(&self) -> usize {
+                1
+            }
+            fn algorithms(&self, dims: &[usize]) -> Result<Vec<Algorithm>, GenerateError> {
+                let s = dims[0];
+                let square = |id: usize, name: &str, role: OperandRole| OperandInfo {
+                    id: OperandId(id),
+                    rows: s,
+                    cols: s,
+                    role,
+                    name: name.to_string(),
+                    structure: Structure::General,
+                };
+                let gemm = |a: usize, b: usize, out: usize, label: &str| KernelCall {
+                    op: KernelOp::Gemm {
+                        transa: Trans::No,
+                        transb: Trans::No,
+                        m: s,
+                        n: s,
+                        k: s,
+                    },
+                    inputs: vec![OperandId(a), OperandId(b)],
+                    output: OperandId(out),
+                    label: label.to_string(),
+                };
+                let shared = Algorithm {
+                    name: "share the product".into(),
+                    operands: vec![
+                        square(0, "A", OperandRole::Input),
+                        square(1, "B", OperandRole::Input),
+                        square(2, "T", OperandRole::Intermediate),
+                        square(3, "out", OperandRole::Output),
+                    ],
+                    calls: vec![gemm(0, 1, 2, "T = A B"), gemm(2, 2, 3, "out = T T")],
+                };
+                let mut twin = shared.clone();
+                twin.name = "recompute the product".into();
+                twin.operands
+                    .push(square(4, "T (recomputed)", OperandRole::Intermediate));
+                twin.calls = vec![
+                    gemm(0, 1, 2, "T = A B"),
+                    gemm(0, 1, 4, "T' = A B (again)"),
+                    gemm(2, 4, 3, "out = T T'"),
+                ];
+                Ok(vec![shared, twin])
+            }
+        }
+        let expr = TwinnedByRedundancy;
+        // With CSE (the default) the twin is canonicalised back onto the
+        // original and deduplicated.
+        let plan = Planner::for_expression(&expr)
+            .score_predictions(false)
+            .plan(&[32])
+            .unwrap();
+        assert_eq!(plan.duplicates_removed, 1, "the twin is a post-CSE dup");
+        assert_eq!(plan.algorithms.len(), 1);
+        // The --no-cse ablation sees two genuinely different call sequences.
+        let plan = Planner::for_expression(&expr)
+            .score_predictions(false)
+            .cse(false)
+            .plan(&[32])
+            .unwrap();
+        assert_eq!(plan.duplicates_removed, 0, "pre-CSE the signatures differ");
+        assert_eq!(plan.algorithms.len(), 2);
+    }
+
+    #[test]
+    fn a_shared_factor_cache_warms_successive_plans() {
+        let expr = TreeExpression::parse("S[spd]^-1*B").unwrap();
+        let cache = Arc::new(crate::FactorCache::new());
+        let planner = Planner::for_expression(&expr)
+            .policy(MinPredictedTime)
+            .factor_cache(Arc::clone(&cache));
+        let cold = planner.plan(&[120, 16]).unwrap();
+        assert!(
+            !cache.is_empty(),
+            "the chosen algorithm's factors are registered"
+        );
+        let warm = planner.plan(&[120, 16]).unwrap();
+        let cold_seconds = cold.chosen_score().predicted_seconds.unwrap();
+        let warm_seconds = warm.chosen_score().predicted_seconds.unwrap();
+        assert!(
+            warm_seconds < cold_seconds,
+            "resident factors must discount the warm prediction \
+             ({warm_seconds} vs {cold_seconds})"
+        );
+        assert!(
+            warm.chosen_score().flops < cold.chosen_score().flops,
+            "effective FLOPs are discounted once the factors are resident"
+        );
+        // Without the factor cache the two plans are identical (and both
+        // match the cold plan): planning stays instance-independent.
+        let independent = Planner::for_expression(&expr).policy(MinPredictedTime);
+        let first = independent.plan(&[120, 16]).unwrap();
+        let second = independent.plan(&[120, 16]).unwrap();
+        assert_eq!(first.chosen, second.chosen);
+        assert_eq!(
+            first.chosen_score().predicted_seconds,
+            second.chosen_score().predicted_seconds
+        );
     }
 
     #[test]

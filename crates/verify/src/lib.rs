@@ -49,7 +49,10 @@
 //! [`verify_timing_keys`] check that every key of a [`CallTimeTable`] is
 //! canonical under [`KernelOp::timing_key`], the invariant whose violation
 //! silently splits one benchmark entry into several (the planner then ranks
-//! on stale or missing times).
+//! on stale or missing times). [`verify_shared_flop_claim`] audits the CSE
+//! pass's deduplicated (shared) FLOP totals against an independent
+//! value-numbering re-derivation, catching claims that double-charge a
+//! merged call or skip a distinct one.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -58,7 +61,7 @@ mod diagnostic;
 mod passes;
 
 pub use diagnostic::{Diagnostic, PassId, Report, Severity};
-pub use passes::cost_audit::{verify_call_table, verify_timing_keys};
+pub use passes::cost_audit::{verify_call_table, verify_shared_flop_claim, verify_timing_keys};
 
 use lamb_expr::Algorithm;
 #[cfg(doc)]

@@ -20,11 +20,11 @@
 //! not trustworthy, and double-reporting would mis-attribute the defect.
 
 use crate::diagnostic::{PassId, Report};
-use crate::passes::stored;
-use lamb_expr::{Algorithm, KernelOp};
+use crate::passes::{is_in_place_copy, stored};
+use lamb_expr::{Algorithm, KernelOp, OperandId, OperandRole};
 use lamb_matrix::Side;
 use lamb_perfmodel::CallTimeTable;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 const PASS: PassId = PassId::CostAudit;
 
@@ -185,6 +185,64 @@ fn check_timing_key(op: &KernelOp, call_index: Option<usize>, report: &mut Repor
             ),
         );
     }
+}
+
+/// Audit a *shared* (DAG-deduplicated) FLOP claim against an independent
+/// value-numbering re-derivation.
+///
+/// The planner's CSE pass claims that an algorithm, with repeated
+/// subcomputations computed once, costs `claimed_flops`. This re-derives
+/// that number from the raw call sequence alone: calls are value-numbered by
+/// `(operation, representative inputs)`; the first member of each class is
+/// charged, later members are free — *except* a duplicate that produces the
+/// algorithm's Output operand, which stays materialised (and charged) so the
+/// output is still written last. A claim that double-charges a deduplicated
+/// call, or fails to charge a distinct one, is reported as a cost-audit
+/// error.
+#[must_use]
+pub fn verify_shared_flop_claim(alg: &Algorithm, claimed_flops: u64) -> Report {
+    let mut report = Report::new();
+    let mut repr: HashMap<OperandId, OperandId> = HashMap::new();
+    let mut classes: HashMap<(KernelOp, Vec<OperandId>), OperandId> = HashMap::new();
+    let mut derived: u64 = 0;
+    for call in &alg.calls {
+        // The in-place triangle copy is zero-FLOP and merely completes its
+        // operand's storage; it neither charges nor renames anything.
+        if is_in_place_copy(call) {
+            continue;
+        }
+        let inputs: Vec<OperandId> = call
+            .inputs
+            .iter()
+            .map(|&id| repr.get(&id).copied().unwrap_or(id))
+            .collect();
+        let key = (call.op.clone(), inputs);
+        match classes.get(&key) {
+            Some(&existing)
+                if alg.operand(call.output).map(|o| o.role) != Some(OperandRole::Output) =>
+            {
+                // A later recomputation of an already-numbered value: free.
+                repr.insert(call.output, existing);
+            }
+            _ => {
+                classes.entry(key).or_insert(call.output);
+                derived += call.flops();
+            }
+        }
+    }
+    if derived != claimed_flops {
+        report.error(
+            PASS,
+            None,
+            None,
+            format!(
+                "shared-FLOP claim of {claimed_flops} does not match the value-numbered \
+                 re-derivation {derived} (raw total {})",
+                alg.flops()
+            ),
+        );
+    }
+    report
 }
 
 /// Verify a set of kernel operations used as *timing-table keys*: each must
