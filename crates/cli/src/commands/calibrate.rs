@@ -2,10 +2,10 @@
 //!
 //! Builds (or refines) a versioned on-disk [`CalibrationStore`]:
 //!
-//! * a **square sweep** measures the GEMM/SYRK/SYMM/TRMM/TRSM efficiency
-//!   curves on square operands (the paper's Figure 1, extended with the
-//!   triangular kernels) and seeds the isolated-call table with those
-//!   benchmarks;
+//! * a **square sweep** measures the GEMM/SYRK/SYMM/TRMM/TRSM/POTRF/GETRF/QR
+//!   efficiency curves on square operands (the paper's Figure 1, extended
+//!   with the triangular and factorisation kernels) and seeds the
+//!   isolated-call table with those benchmarks;
 //! * an optional **workload sweep** (`--exprs FILE`) benchmarks every
 //!   distinct kernel call the given batch of expression instances needs, so
 //!   a later `lamb batch` against the same workload starts 100% warm.
@@ -206,8 +206,8 @@ mod tests {
         run(&strs(&["--store", &store_arg, "--sizes", "300"])).unwrap();
         let first = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(first.meta.sweeps, 1);
-        assert_eq!(first.calls.len(), 18); // 6 kernels x 3 sizes
-        assert_eq!(first.profiles.len(), 6);
+        assert_eq!(first.calls.len(), 24); // 8 kernels x 3 sizes
+        assert_eq!(first.profiles.len(), 8);
         assert!(
             first.missing_kernels().is_empty(),
             "sweep covers every kernel"
@@ -217,7 +217,7 @@ mod tests {
         run(&strs(&["--store", &store_arg, "--sizes", "500"])).unwrap();
         let merged = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(merged.meta.sweeps, 2);
-        assert_eq!(merged.calls.len(), 30); // 6 kernels x 5 sizes
+        assert_eq!(merged.calls.len(), 40); // 8 kernels x 5 sizes
         assert_eq!(merged.profiles[0].sizes.len(), 5);
 
         // --no-merge replaces instead.
@@ -231,7 +231,7 @@ mod tests {
         .unwrap();
         let replaced = CalibrationStore::load(&store_path).unwrap();
         assert_eq!(replaced.meta.sweeps, 1);
-        assert_eq!(replaced.calls.len(), 12);
+        assert_eq!(replaced.calls.len(), 16);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -158,9 +158,9 @@ mod tests {
         ]))
         .is_ok());
         // Unrealisable structure fails with the enumerator's message, not a
-        // panic.
-        let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
-        assert!(err.contains("TRSM") || err.contains("triangular"), "{err}");
+        // panic: a pseudo-inverse of a wide operand has no QR realisation.
+        let err = run(&strs(&["--expr", "A^+*b", "--dims", "40,10,3"])).unwrap_err();
+        assert!(err.contains("rows"), "{err}");
     }
 
     #[test]
@@ -178,9 +178,10 @@ mod tests {
             "150,90,30"
         ]))
         .is_ok());
-        // The inverse-of-general error now names both structured options.
-        let err = run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).unwrap_err();
-        assert!(err.contains("spd"), "{err}");
+        // The general inverse is realised too now, via the LU pipeline.
+        assert!(run(&strs(&["--expr", "A^-1*B", "--dims", "40,10"])).is_ok());
+        // And the least-squares form plans through the QR pipeline.
+        assert!(run(&strs(&["--expr", "A^+*b", "--dims", "10,40,3"])).is_ok());
     }
 
     #[test]

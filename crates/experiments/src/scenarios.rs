@@ -107,14 +107,32 @@ pub fn spd_scenarios() -> Vec<Scenario> {
     ]
 }
 
-/// Every standing scenario: the mixed-transpose set plus the triangular and
-/// SPD families — the workload behind `lamb batch --demo` and the throughput
-/// benches.
+/// The general-solve scenario family: unstructured inverses (realised
+/// through partially pivoted LU) and least-squares pseudo-inverses (realised
+/// through Householder QR). The factorisations cost `2n³/3` and `2n²(3m−n)/3`
+/// FLOPs against the `n³/3` of Cholesky, and their solve chains compete over
+/// merge orders exactly like the SPD family — with the added twist that the
+/// factorisation is the dominant FLOP term, so the anomaly question becomes
+/// whether the *solve side* of the pipeline should be merged early or late.
+#[must_use]
+pub fn lu_qr_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("lu_solve", "A^-1*B"),
+        Scenario::new("lu_solve_chain", "A^-1*B*C"),
+        Scenario::new("lstsq", "A^+*b"),
+        Scenario::new("lstsq_chain", "A^+*B*C"),
+    ]
+}
+
+/// Every standing scenario: the mixed-transpose set plus the triangular,
+/// SPD and general-solve (LU/QR) families — the workload behind
+/// `lamb batch --demo`, `lamb verify --demo` and the throughput benches.
 #[must_use]
 pub fn all_scenarios() -> Vec<Scenario> {
     let mut scenarios = mixed_transpose_scenarios();
     scenarios.extend(triangular_scenarios());
     scenarios.extend(spd_scenarios());
+    scenarios.extend(lu_qr_scenarios());
     scenarios
 }
 
@@ -157,8 +175,15 @@ pub fn scenario_batch_requests(
     let mut requests = Vec::with_capacity(scenarios.len() * per_scenario);
     for scenario in scenarios {
         let num_dims = scenario.expression.num_dims();
+        let least_squares = scenario.expression.name().contains("^+");
         for _ in 0..per_scenario {
-            let dims: Vec<usize> = (0..num_dims).map(|_| rng.random_range(lo..=hi)).collect();
+            let mut dims: Vec<usize> = (0..num_dims).map(|_| rng.random_range(lo..=hi)).collect();
+            // The QR-based least-squares solve needs its operand at least as
+            // tall as it is wide; dims are in flattened logical order, so
+            // `A^+` puts the column count first.
+            if least_squares && dims[0] > dims[1] {
+                dims.swap(0, 1);
+            }
             requests.push(
                 BatchRequest::new(scenario.expression.clone(), dims)
                     .expect("scenario dims match by construction"),
@@ -384,7 +409,10 @@ mod tests {
         let all = all_scenarios();
         assert_eq!(
             all.len(),
-            mixed_transpose_scenarios().len() + scenarios.len() + spd_scenarios().len()
+            mixed_transpose_scenarios().len()
+                + scenarios.len()
+                + spd_scenarios().len()
+                + lu_qr_scenarios().len()
         );
         let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
@@ -481,6 +509,54 @@ mod tests {
             assert!(
                 algs.iter().any(|a| a.kernel_summary().contains(kernel)),
                 "{name} never reaches {kernel}"
+            );
+        }
+    }
+
+    #[test]
+    fn lu_qr_scenarios_parse_and_reach_the_general_solve_kernels() {
+        let scenarios = lu_qr_scenarios();
+        assert_eq!(scenarios.len(), 4);
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // The pure solves have exactly one realisation each; the chains
+        // compete over merge orders.
+        let lu = scenarios.iter().find(|s| s.name == "lu_solve").unwrap();
+        assert_eq!(lu.algorithm_count(), 1);
+        let lstsq = scenarios.iter().find(|s| s.name == "lstsq").unwrap();
+        assert_eq!(lstsq.algorithm_count(), 1);
+        let chain = scenarios
+            .iter()
+            .find(|s| s.name == "lu_solve_chain")
+            .unwrap();
+        assert!(chain.algorithm_count() >= 2);
+        // Kernel reachability across the family.
+        for (name, kernel) in [
+            ("lu_solve", "getrf"),
+            ("lu_solve", "laswp"),
+            ("lu_solve_chain", "factortri"),
+            ("lstsq", "qr"),
+            ("lstsq_chain", "ormqr"),
+        ] {
+            let s = scenarios.iter().find(|s| s.name == name).unwrap();
+            let dims = vec![64; s.expression.num_dims()];
+            let algs = s.expression.algorithms(&dims).unwrap();
+            assert!(
+                algs.iter().any(|a| a.kernel_summary().contains(kernel)),
+                "{name} never reaches {kernel}"
+            );
+        }
+        // Randomly drawn batches stay realisable: the generator keeps the
+        // least-squares operand tall.
+        let requests = scenario_batch_requests(&scenarios, 10, 5, 40, 400);
+        assert_eq!(requests.len(), 40);
+        for req in &requests {
+            assert!(
+                req.expr.algorithms(&req.dims).is_ok(),
+                "`{}` {:?} fails to enumerate",
+                req.text,
+                req.dims
             );
         }
     }

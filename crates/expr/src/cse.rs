@@ -210,13 +210,17 @@ pub fn node_identities(alg: &Algorithm) -> HashMap<OperandId, String> {
 
 /// Whether a kernel operation produces a *reusable factor*: a value worth
 /// caching across requests because later algorithms can skip recomputing it.
-/// Cholesky factors, Gram products and triangular half-solves are the
-/// factor-once/solve-many values of the paper's SPD pipelines.
+/// Cholesky/LU/QR factors, Gram products and triangular half-solves are the
+/// factor-once/solve-many values of the paper's solve pipelines.
 #[must_use]
 pub fn is_cacheable_op(op: &KernelOp) -> bool {
     matches!(
         op,
-        KernelOp::Potrf { .. } | KernelOp::Syrk { .. } | KernelOp::Trsm { .. }
+        KernelOp::Potrf { .. }
+            | KernelOp::Getrf { .. }
+            | KernelOp::Qr { .. }
+            | KernelOp::Syrk { .. }
+            | KernelOp::Trsm { .. }
     )
 }
 

@@ -34,7 +34,7 @@
 //! ```
 
 use crate::algorithm::{Algorithm, OperandInfo, OperandRole};
-use crate::expr::{Expr, Factor};
+use crate::expr::{Expr, Factor, ShapeError};
 use crate::generator::GenerateError;
 use crate::kernel_call::{KernelCall, KernelOp};
 use crate::operand::OperandId;
@@ -85,9 +85,12 @@ struct Segment {
     tri: Option<Uplo>,
     /// Whether the segment is a symmetric positive-definite leaf.
     spd: bool,
-    /// Whether the segment is inverse-marked (a triangular or SPD leaf used
-    /// as `L⁻¹`/`S⁻¹`); intermediates are never inverse-marked.
+    /// Whether the segment is inverse-marked (a leaf used as `L⁻¹`, `S⁻¹`
+    /// or general `A⁻¹`); intermediates are never inverse-marked.
     inv: bool,
+    /// Whether the segment is pseudo-inverse-marked (a leaf used as `A⁺`);
+    /// intermediates are never pseudo-inverse-marked.
+    pinv: bool,
     /// First flattened-factor index covered by this segment.
     start: usize,
     /// One past the last flattened-factor index covered.
@@ -113,6 +116,7 @@ impl Segment {
             tri: self.effective_tri(),
             spd: self.spd,
             inv: self.inv,
+            pinv: self.pinv,
         }
     }
 }
@@ -162,15 +166,38 @@ pub fn enumerate_expr_algorithms_with(
     if factors.is_empty() {
         return Err(GenerateError::Empty);
     }
-    // An inverse only has a kernel realisation on structured leaves: TRSM
-    // for triangular operands, POTRF + two TRSMs for SPD operands.
-    if let Some(bad) = factors
-        .iter()
-        .find(|f| f.inv && f.var.structure == Structure::General)
-    {
-        return Err(GenerateError::InverseOfGeneral {
-            name: bad.var.name.clone(),
-        });
+    // Every inverse now has a realisation — TRSM for triangular leaves,
+    // POTRF + two TRSMs for SPD leaves, GETRF + pivot + two TRSMs for
+    // general square leaves — but a handful of flag combinations remain
+    // unrealisable and are diagnosed up front.
+    for f in &factors {
+        if f.inv && f.pinv {
+            // e.g. `(A^+)^-1`: the leaf's values are neither A nor A⁻¹.
+            return Err(GenerateError::InversePseudoInverseMix {
+                name: f.var.name.clone(),
+            });
+        }
+        if f.inv && f.var.rows != f.var.cols {
+            // Flattening `(A·B)⁻¹` can push an inverse onto a non-square
+            // leaf even when the product itself is square.
+            return Err(GenerateError::Shape(ShapeError::InverseNotSquare {
+                shape: (f.var.rows, f.var.cols),
+            }));
+        }
+        if f.pinv {
+            // The QR realisation factors the operand as used (after
+            // transposition), which must be tall or square.
+            let (r, c) = if f.trans {
+                (f.var.cols, f.var.rows)
+            } else {
+                (f.var.rows, f.var.cols)
+            };
+            if r < c {
+                return Err(GenerateError::PseudoInverseWide {
+                    name: f.var.name.clone(),
+                });
+            }
+        }
     }
     let inputs = distinct_inputs(&factors)?;
 
@@ -184,6 +211,11 @@ pub fn enumerate_expr_algorithms_with(
         let f = &factors[0];
         if f.inv {
             return Err(GenerateError::BareInverse {
+                name: f.var.name.clone(),
+            });
+        }
+        if f.pinv {
+            return Err(GenerateError::BarePseudoInverse {
                 name: f.var.name.clone(),
             });
         }
@@ -211,16 +243,19 @@ pub fn enumerate_expr_algorithms_with(
         .enumerate()
         .map(|(pos, f)| {
             let leaf = leaf_index[f.var.name.as_str()];
-            let (rows, cols) = if f.trans {
+            // Transposition and pseudo-inversion each swap the logical
+            // shape; applied together they cancel ((Aᵀ)⁺ is m×n again).
+            let (rows, cols) = if f.trans != f.pinv {
                 (f.var.cols, f.var.rows)
             } else {
                 (f.var.rows, f.var.cols)
             };
             let text = format!(
-                "{}{}{}",
+                "{}{}{}{}",
                 f.var.name,
                 if f.trans { "^T" } else { "" },
-                if f.inv { "^-1" } else { "" }
+                if f.inv { "^-1" } else { "" },
+                if f.pinv { "^+" } else { "" }
             );
             Segment {
                 id: inputs[leaf].id,
@@ -238,6 +273,7 @@ pub fn enumerate_expr_algorithms_with(
                 tri: f.var.triangle(),
                 spd: f.var.structure.is_spd(),
                 inv: f.inv,
+                pinv: f.pinv,
                 start: pos,
                 end: pos + 1,
                 name: f.var.name.clone(),
@@ -429,10 +465,11 @@ fn recurse(
 /// Build the kernel calls of one merge variant together with the merged
 /// segment and the new intermediates' operand entries. Most variants
 /// introduce exactly one intermediate (the merge result); the Cholesky
-/// realisation of an SPD inverse introduces three (the triangular factor,
-/// the half-solved right-hand side, and the result). The *last* entry of the
-/// returned operand list is always the merge result — `recurse` relies on
-/// this when it promotes the final intermediate to the algorithm's output.
+/// realisation of an SPD inverse introduces three, the QR realisation of a
+/// pseudo-inverse four, and the pivoted LU realisation of a general inverse
+/// six. The *last* entry of the returned operand list is always the merge
+/// result — `recurse` relies on this when it promotes the final intermediate
+/// to the algorithm's output.
 ///
 /// `base_id`/`base_m` are the next free operand id and `M{..}` name index.
 fn build_merge(
@@ -448,6 +485,12 @@ fn build_merge(
     debug_assert_eq!(left.cols, right.rows, "validated by Expr::shape");
     if kind == MergeKind::CholeskySolve {
         return build_cholesky_solve(left, right, base_id, base_m);
+    }
+    if kind == MergeKind::LuSolve {
+        return build_lu_solve(left, right, base_id, base_m);
+    }
+    if kind == MergeKind::QrSolve {
+        return build_qr_solve(left, right, base_id, base_m);
     }
     let out_id = OperandId(base_id);
     let out_name = &format!("M{base_m}");
@@ -559,7 +602,9 @@ fn build_merge(
         MergeKind::CopyLeftThenSymmRight => vec![copy_call(left), symm_call(Side::Right)],
         MergeKind::Trmm => vec![trmm_call()],
         MergeKind::Trsm => vec![trsm_call()],
-        MergeKind::CholeskySolve => unreachable!("handled above"),
+        MergeKind::CholeskySolve | MergeKind::LuSolve | MergeKind::QrSolve => {
+            unreachable!("handled above")
+        }
     };
 
     // Triangularity is closed under same-triangle products and solves: the
@@ -583,6 +628,7 @@ fn build_merge(
         tri: result_tri,
         spd: false,
         inv: false,
+        pinv: false,
         start: left.start,
         end: right.end,
         text: format!("({} {})", left.text, right.text),
@@ -686,6 +732,266 @@ fn build_cholesky_solve(
         tri: None,
         spd: false,
         inv: false,
+        pinv: false,
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name,
+    };
+    (calls, merged, infos)
+}
+
+/// Build the six-call pivoted LU realisation of a general inverse merge
+/// `A⁻¹·B`: `F := GETRF(A)` (the packed `L\U` factor with the pivot column),
+/// `L := tril(F)` and `U := triu(F)` (zero-FLOP triangle extractions),
+/// `Bₚ := P·B` (the pivot application), `Y := L⁻¹·Bₚ`, `X := U⁻¹·Y`.
+/// Introduces six intermediates, result last.
+fn build_lu_solve(
+    left: &Segment,
+    right: &Segment,
+    base_id: usize,
+    base_m: usize,
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
+    let (m, n) = (left.rows, right.cols);
+    debug_assert_eq!(left.rows, left.cols, "general inverses are square");
+    let f_id = OperandId(base_id);
+    let l_id = OperandId(base_id + 1);
+    let u_id = OperandId(base_id + 2);
+    let bp_id = OperandId(base_id + 3);
+    let y_id = OperandId(base_id + 4);
+    let out_id = OperandId(base_id + 5);
+    let f_name = format!("M{base_m}");
+    let l_name = format!("M{}", base_m + 1);
+    let u_name = format!("M{}", base_m + 2);
+    let bp_name = format!("M{}", base_m + 3);
+    let y_name = format!("M{}", base_m + 4);
+    let out_name = format!("M{}", base_m + 5);
+    let calls = vec![
+        KernelCall {
+            op: KernelOp::Getrf { n: m },
+            inputs: vec![left.id],
+            output: f_id,
+            label: format!("{f_name} := lu({}) (getrf)", left.name),
+        },
+        KernelCall {
+            op: KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n: m,
+            },
+            inputs: vec![f_id],
+            output: l_id,
+            label: format!("{l_name} := tril({f_name}) (factortri)"),
+        },
+        KernelCall {
+            op: KernelOp::FactorTri {
+                uplo: Uplo::Upper,
+                n: m,
+            },
+            inputs: vec![f_id],
+            output: u_id,
+            label: format!("{u_name} := triu({f_name}) (factortri)"),
+        },
+        KernelCall {
+            op: KernelOp::PivotApply { m, n },
+            inputs: vec![f_id, right.id],
+            output: bp_id,
+            label: format!("{bp_name} := P*{} (laswp)", right.text),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![l_id, bp_id],
+            output: y_id,
+            label: format!("{y_name} := {l_name}^-1*{bp_name} (trsm)"),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![u_id, y_id],
+            output: out_id,
+            label: format!("{out_name} := {u_name}^-1*{y_name} (trsm)"),
+        },
+    ];
+    let infos = vec![
+        OperandInfo {
+            id: f_id,
+            rows: m,
+            cols: m + 1,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: f_name,
+        },
+        OperandInfo {
+            id: l_id,
+            rows: m,
+            cols: m,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Lower),
+            name: l_name,
+        },
+        OperandInfo {
+            id: u_id,
+            rows: m,
+            cols: m,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Upper),
+            name: u_name,
+        },
+        OperandInfo {
+            id: bp_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: bp_name,
+        },
+        OperandInfo {
+            id: y_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: y_name,
+        },
+        OperandInfo {
+            id: out_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: out_name.clone(),
+        },
+    ];
+    let merged = Segment {
+        id: out_id,
+        rows: m,
+        cols: n,
+        trans: Trans::No,
+        leaf: None,
+        storage: Storage::General,
+        tri: None,
+        spd: false,
+        inv: false,
+        pinv: false,
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name,
+    };
+    (calls, merged, infos)
+}
+
+/// Build the four-call QR realisation of a pseudo-inverse merge `A⁺·B` (the
+/// least-squares solve `argmin‖A·X − B‖₂` for a tall `A`): `F := QR(A)` (the
+/// packed Householder factor with the tau column), `R := triu(F)` (zero-FLOP
+/// triangle extraction), `C := Q₁ᵀ·B` (ORMQR), `X := R⁻¹·C`. Introduces four
+/// intermediates, result last.
+fn build_qr_solve(
+    left: &Segment,
+    right: &Segment,
+    base_id: usize,
+    base_m: usize,
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
+    // The pinv-marked segment's logical shape is A⁺'s (cols × rows of the
+    // stored operand): the factored matrix A itself is `mm × nn`.
+    let (nn, mm, k) = (left.rows, left.cols, right.cols);
+    debug_assert!(mm >= nn, "validated before enumeration starts");
+    debug_assert_eq!(left.cols, right.rows, "validated by Expr::shape");
+    let f_id = OperandId(base_id);
+    let r_id = OperandId(base_id + 1);
+    let c_id = OperandId(base_id + 2);
+    let out_id = OperandId(base_id + 3);
+    let f_name = format!("M{base_m}");
+    let r_name = format!("M{}", base_m + 1);
+    let c_name = format!("M{}", base_m + 2);
+    let out_name = format!("M{}", base_m + 3);
+    let calls = vec![
+        KernelCall {
+            op: KernelOp::Qr { m: mm, n: nn },
+            inputs: vec![left.id],
+            output: f_id,
+            label: format!("{f_name} := qr({}) (qr)", left.name),
+        },
+        KernelCall {
+            op: KernelOp::FactorTri {
+                uplo: Uplo::Upper,
+                n: nn,
+            },
+            inputs: vec![f_id],
+            output: r_id,
+            label: format!("{r_name} := triu({f_name}) (factortri)"),
+        },
+        KernelCall {
+            op: KernelOp::Ormqr { m: mm, n: nn, k },
+            inputs: vec![f_id, right.id],
+            output: c_id,
+            label: format!("{c_name} := Q^T*{} (ormqr)", right.text),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: nn,
+                n: k,
+            },
+            inputs: vec![r_id, c_id],
+            output: out_id,
+            label: format!("{out_name} := {r_name}^-1*{c_name} (trsm)"),
+        },
+    ];
+    let infos = vec![
+        OperandInfo {
+            id: f_id,
+            rows: mm,
+            cols: nn + 1,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: f_name,
+        },
+        OperandInfo {
+            id: r_id,
+            rows: nn,
+            cols: nn,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Upper),
+            name: r_name,
+        },
+        OperandInfo {
+            id: c_id,
+            rows: nn,
+            cols: k,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: c_name,
+        },
+        OperandInfo {
+            id: out_id,
+            rows: nn,
+            cols: k,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: out_name.clone(),
+        },
+    ];
+    let merged = Segment {
+        id: out_id,
+        rows: nn,
+        cols: k,
+        trans: Trans::No,
+        leaf: None,
+        storage: Storage::General,
+        tri: None,
+        spd: false,
+        inv: false,
+        pinv: false,
         start: left.start,
         end: right.end,
         text: format!("({} {})", left.text, right.text),
@@ -709,7 +1015,10 @@ fn build_cholesky_solve(
 /// 0 FLOPs and SYMM ties GEMM, so no completion can beat this bound. The
 /// Cholesky realisation of an SPD inverse costs `m³/3 + 2·m²·n ≥ m·n·k`
 /// (SPD operands are square, `k = m`), so the same `m·n·k` discount remains
-/// a valid lower bound for inverse-marked SPD segments.
+/// a valid lower bound for inverse-marked SPD segments. The LU realisation
+/// of a general inverse costs `2·m³/3 + 2·m²·n ≥ m·n·k` and the QR
+/// realisation of a pseudo-inverse costs at least `2·nn·mm·k ≥ nn·mm·k`
+/// (ORMQR alone), so the discount stays admissible for those too.
 fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64 {
     let t = segments.len();
     if t <= 1 {
@@ -730,7 +1039,10 @@ fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64
         .windows(2)
         .map(|w| crate::rewrite::is_gram_pair(&w[0].merge_operand(), &w[1].merge_operand()))
         .collect();
-    let structured: Vec<bool> = segments.iter().map(|s| s.tri.is_some() || s.inv).collect();
+    let structured: Vec<bool> = segments
+        .iter()
+        .map(|s| s.tri.is_some() || s.inv || s.pinv)
+        .collect();
     let mut cost = vec![vec![0u64; t]; t];
     for len in 2..=t {
         for i in 0..=t - len {
@@ -1123,13 +1435,10 @@ mod tests {
 
     #[test]
     fn unrealisable_inverses_are_rejected() {
-        // Inverse of a general operand has no kernel.
+        // Inverse of a general square operand now realises through LU.
         let a = Expr::var("A", 5, 5);
         let b = Expr::var("B", 5, 3);
-        assert!(matches!(
-            enumerate_expr_algorithms(&a.clone().inv().mul(b.clone())),
-            Err(GenerateError::InverseOfGeneral { .. })
-        ));
+        assert!(enumerate_expr_algorithms(&a.clone().inv().mul(b.clone())).is_ok());
         // An inverse on the right of every split has no realisation.
         let l = Expr::tri_var("L", 3, Uplo::Lower);
         let c = Expr::var("C", 5, 3);
@@ -1146,6 +1455,161 @@ mod tests {
         let bare = enumerate_expr_algorithms(&l.inv()).unwrap_err();
         assert!(matches!(bare, GenerateError::BareInverse { .. }));
         assert!(bare.to_string().contains("right-hand side"));
+    }
+
+    #[test]
+    fn general_inverse_lowers_to_getrf_pivot_and_two_trsms() {
+        let a = Expr::var("A", 12, 12);
+        let b = Expr::var("B", 12, 5);
+        let algs = enumerate_expr_algorithms(&a.inv().mul(b)).unwrap();
+        assert_eq!(algs.len(), 1, "a general solve has exactly one realisation");
+        assert_eq!(
+            algs[0].kernel_summary(),
+            "getrf,factortri,factortri,laswp,trsm,trsm"
+        );
+        assert!(algs[0].is_well_formed());
+        match algs[0].calls[0].op {
+            KernelOp::Getrf { n } => assert_eq!(n, 12),
+            ref other => panic!("expected GETRF, got {other}"),
+        }
+        // The packed factor feeds both triangle extractions and the pivot
+        // application; the extracted triangles feed the two solves.
+        let f = algs[0].operand(algs[0].calls[0].output).unwrap();
+        assert_eq!((f.rows, f.cols), (12, 13), "packed L\\U with pivot column");
+        assert!(algs[0].calls[1].reads(f.id));
+        assert!(algs[0].calls[2].reads(f.id));
+        assert!(algs[0].calls[3].reads(f.id));
+        let l = algs[0].operand(algs[0].calls[1].output).unwrap();
+        let u = algs[0].operand(algs[0].calls[2].output).unwrap();
+        assert_eq!(l.triangle(), Some(Uplo::Lower));
+        assert_eq!(u.triangle(), Some(Uplo::Upper));
+        match (&algs[0].calls[4].op, &algs[0].calls[5].op) {
+            (
+                KernelOp::Trsm {
+                    uplo: Uplo::Lower,
+                    trans: Trans::No,
+                    ..
+                },
+                KernelOp::Trsm {
+                    uplo: Uplo::Upper,
+                    trans: Trans::No,
+                    ..
+                },
+            ) => {}
+            other => panic!("expected lower then upper TRSM, got {other:?}"),
+        }
+        // FLOPs follow the 2·n³/3 + 2·n²·m model (triangle extraction and
+        // pivot application are zero-FLOP data movement).
+        assert_eq!(
+            algs[0].flops(),
+            2 * 12u64.pow(3) / 3 + 2 * 12 * 12 * 5,
+            "{}",
+            algs[0].name
+        );
+        assert_eq!(algs[0].output().unwrap().name, "X");
+    }
+
+    #[test]
+    fn pseudo_inverse_lowers_to_qr_ormqr_and_a_trsm() {
+        let a = Expr::var("A", 15, 6);
+        let b = Expr::var("b", 15, 2);
+        let algs = enumerate_expr_algorithms(&a.pinv().mul(b)).unwrap();
+        assert_eq!(
+            algs.len(),
+            1,
+            "a least-squares solve has exactly one realisation"
+        );
+        assert_eq!(algs[0].kernel_summary(), "qr,factortri,ormqr,trsm");
+        assert!(algs[0].is_well_formed());
+        match algs[0].calls[0].op {
+            KernelOp::Qr { m, n } => assert_eq!((m, n), (15, 6)),
+            ref other => panic!("expected QR, got {other}"),
+        }
+        let f = algs[0].operand(algs[0].calls[0].output).unwrap();
+        assert_eq!((f.rows, f.cols), (15, 7), "packed V\\R with tau column");
+        let r = algs[0].operand(algs[0].calls[1].output).unwrap();
+        assert_eq!((r.rows, r.cols), (6, 6));
+        assert_eq!(r.triangle(), Some(Uplo::Upper));
+        match algs[0].calls[2].op {
+            KernelOp::Ormqr { m, n, k } => assert_eq!((m, n, k), (15, 6, 2)),
+            ref other => panic!("expected ORMQR, got {other}"),
+        }
+        let out = algs[0].output().unwrap();
+        assert_eq!((out.rows, out.cols), (6, 2));
+        assert_eq!(out.name, "X");
+    }
+
+    #[test]
+    fn unrealisable_pseudo_inverses_are_diagnosed() {
+        // Wide operands cannot take the QR realisation.
+        let wide = Expr::var("A", 3, 8);
+        let b = Expr::var("b", 3, 1);
+        let err = enumerate_expr_algorithms(&wide.pinv().mul(b.clone())).unwrap_err();
+        assert!(matches!(err, GenerateError::PseudoInverseWide { .. }));
+        assert!(err.to_string().contains("rows"));
+        // A bare pseudo-inverse has no right-hand side.
+        let a = Expr::var("A", 8, 3);
+        let bare = enumerate_expr_algorithms(&a.clone().pinv()).unwrap_err();
+        assert!(matches!(bare, GenerateError::BarePseudoInverse { .. }));
+        // A transposed pseudo-inverse has no kernel (QR carries no
+        // transposition flag): (A^T)^+ for a tall A is a wide pinv...
+        let tall_t = enumerate_expr_algorithms(&a.clone().t().pinv().mul(Expr::var("c", 3, 1)));
+        assert!(matches!(
+            tall_t,
+            Err(GenerateError::PseudoInverseWide { .. })
+        ));
+        // ...while (A^+)^-1 mixes the two solve flavours.
+        let sq = Expr::var("S", 4, 4);
+        let mixed = enumerate_expr_algorithms(&sq.pinv().inv().mul(Expr::var("d", 4, 1)));
+        assert!(matches!(
+            mixed,
+            Err(GenerateError::InversePseudoInverseMix { .. })
+        ));
+        // A pseudo-inverse on the right of every split has no realisation.
+        let c = Expr::var("C", 2, 3);
+        assert!(matches!(
+            enumerate_expr_algorithms(&c.mul(Expr::var("A", 8, 3).pinv())),
+            Err(GenerateError::NoRealisation { .. })
+        ));
+    }
+
+    #[test]
+    fn general_solve_chains_enumerate_competing_orders() {
+        // A^-1*B*C: solve-then-multiply versus multiply-then-solve, the LU
+        // mirror of the SPD chain test.
+        let a = Expr::var("A", 10, 10);
+        let b = Expr::var("B", 10, 8);
+        let c = Expr::var("C", 8, 3);
+        let algs = enumerate_expr_algorithms(&a.inv().mul(b).mul(c)).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s == "getrf,factortri,factortri,laswp,trsm,trsm,gemm"),
+            "solve first: {summaries:?}"
+        );
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s == "gemm,getrf,factortri,factortri,laswp,trsm,trsm"),
+            "multiply first: {summaries:?}"
+        );
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+        let flops: Vec<u64> = algs.iter().map(Algorithm::flops).collect();
+        assert_ne!(flops[0], flops[1]);
+    }
+
+    #[test]
+    fn non_square_leaf_under_a_distributed_inverse_is_rejected() {
+        // (A·B)^-1 is square as a product, but flattening pushes the inverse
+        // onto the non-square leaves — which no factorisation kernel takes.
+        let a = Expr::var("A", 4, 7);
+        let b = Expr::var("B", 7, 4);
+        let rhs = Expr::var("C", 4, 2);
+        assert!(matches!(
+            enumerate_expr_algorithms(&a.mul(b).inv().mul(rhs)),
+            Err(GenerateError::Shape(ShapeError::InverseNotSquare { .. }))
+        ));
     }
 
     #[test]
@@ -1312,6 +1776,7 @@ mod tests {
                 tri: None,
                 spd: false,
                 inv: false,
+                pinv: false,
                 start: pos,
                 end: pos + 1,
                 text: f.var.name.clone(),

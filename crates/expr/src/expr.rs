@@ -72,17 +72,22 @@ impl Var {
 }
 
 /// One factor of a flattened product: a leaf with its accumulated
-/// transposition and inversion flags (see [`Expr::factors`]).
+/// transposition, inversion and pseudo-inversion flags (see
+/// [`Expr::factors`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Factor {
     /// The leaf operand.
     pub var: Var,
     /// Whether the leaf is used transposed.
     pub trans: bool,
-    /// Whether the leaf is used inverted; only triangular leaves (lowered to
-    /// TRSM) and SPD leaves (lowered to POTRF plus two TRSMs) can be realised
-    /// by kernels in this form.
+    /// Whether the leaf is used inverted: triangular leaves lower to TRSM,
+    /// SPD leaves to POTRF plus two TRSMs, and general square leaves to the
+    /// pivoted LU realisation (GETRF, pivot application, two TRSMs).
     pub inv: bool,
+    /// Whether the leaf is used pseudo-inverted (`A⁺`, the least-squares
+    /// solve operator); realised through the QR factorisation for tall
+    /// (`rows >= cols`) leaves.
+    pub pinv: bool,
 }
 
 impl Factor {
@@ -104,10 +109,15 @@ pub enum Expr {
     Operand(Var),
     /// The transpose of a sub-expression.
     Transpose(Box<Expr>),
-    /// The inverse of a sub-expression (only realisable by kernels when it
-    /// lands on a triangular leaf, lowering to TRSM, or on an SPD leaf,
-    /// lowering to a Cholesky factorisation followed by two TRSMs).
+    /// The inverse of a sub-expression (realisable by kernels when it lands
+    /// on a leaf: TRSM for triangular leaves, a Cholesky factorisation plus
+    /// two TRSMs for SPD leaves, and a pivoted LU factorisation for general
+    /// square leaves).
     Inverse(Box<Expr>),
+    /// The Moore–Penrose pseudo-inverse of a sub-expression: `A⁺·b` is the
+    /// least-squares solution `argmin‖A·x − b‖₂`, realised through a
+    /// Householder QR factorisation when it lands on a tall leaf.
+    PseudoInverse(Box<Expr>),
     /// The product of two sub-expressions.
     Mul(Box<Expr>, Box<Expr>),
 }
@@ -160,6 +170,12 @@ impl Expr {
         Expr::Inverse(Box::new(self))
     }
 
+    /// Pseudo-invert this expression (the least-squares solve operator).
+    #[must_use]
+    pub fn pinv(self) -> Expr {
+        Expr::PseudoInverse(Box::new(self))
+    }
+
     /// Multiply this expression by `rhs`.
     // Not `std::ops::Mul`: builders chain more readably as `a.mul(b).mul(c)`
     // and the operator form would force reference gymnastics on `Box`ed trees.
@@ -200,6 +216,12 @@ impl Expr {
                 }
                 Ok(shape)
             }
+            Expr::PseudoInverse(inner) => {
+                // A⁺ of an m×n matrix is n×m; no squareness requirement
+                // (tallness is a realisability question, not a shape one).
+                let (r, c) = inner.shape()?;
+                Ok((c, r))
+            }
             Expr::Mul(l, r) => {
                 let ls = l.shape()?;
                 let rs = r.shape()?;
@@ -215,37 +237,41 @@ impl Expr {
     }
 
     /// Flatten the expression into an ordered list of product [`Factor`]s,
-    /// pushing transposes and inverses down to the leaves where possible:
-    /// `(X·Y)ᵀ = Yᵀ·Xᵀ` and `(X·Y)⁻¹ = Y⁻¹·X⁻¹` both reverse the factor
-    /// order, so the reversal happens exactly when the accumulated transpose
-    /// and inverse flags differ; nested applications cancel pairwise
-    /// (`(Xᵀ)ᵀ = X`, `(X⁻¹)⁻¹ = X`) and commute (`(X⁻¹)ᵀ = (Xᵀ)⁻¹`).
+    /// pushing transposes, inverses and pseudo-inverses down to the leaves
+    /// where possible: `(X·Y)ᵀ = Yᵀ·Xᵀ`, `(X·Y)⁻¹ = Y⁻¹·X⁻¹` and
+    /// `(X·Y)⁺ = Y⁺·X⁺` (the latter under the full-rank assumptions the
+    /// whole vocabulary already makes) all reverse the factor order, so the
+    /// reversal happens exactly when an odd number of the accumulated flags
+    /// is outstanding; nested applications cancel pairwise and commute.
     #[must_use]
     pub fn factors(&self) -> Vec<Factor> {
-        fn go(e: &Expr, trans: bool, inv: bool, out: &mut Vec<Factor>) {
+        fn go(e: &Expr, trans: bool, inv: bool, pinv: bool, out: &mut Vec<Factor>) {
             match e {
                 Expr::Operand(v) => out.push(Factor {
                     var: v.clone(),
                     trans,
                     inv,
+                    pinv,
                 }),
-                Expr::Transpose(inner) => go(inner, !trans, inv, out),
-                Expr::Inverse(inner) => go(inner, trans, !inv, out),
+                Expr::Transpose(inner) => go(inner, !trans, inv, pinv, out),
+                Expr::Inverse(inner) => go(inner, trans, !inv, pinv, out),
+                Expr::PseudoInverse(inner) => go(inner, trans, inv, !pinv, out),
                 Expr::Mul(l, r) => {
-                    if trans != inv {
-                        // (L·R)^T = R^T·L^T and (L·R)^-1 = R^-1·L^-1: one of
-                        // the two pending order reversals is outstanding.
-                        go(r, trans, inv, out);
-                        go(l, trans, inv, out);
+                    if trans ^ inv ^ pinv {
+                        // (L·R)^T = R^T·L^T, (L·R)^-1 = R^-1·L^-1 and
+                        // (L·R)^+ = R^+·L^+: an odd number of pending order
+                        // reversals is outstanding.
+                        go(r, trans, inv, pinv, out);
+                        go(l, trans, inv, pinv, out);
                     } else {
-                        go(l, trans, inv, out);
-                        go(r, trans, inv, out);
+                        go(l, trans, inv, pinv, out);
+                        go(r, trans, inv, pinv, out);
                     }
                 }
             }
         }
         let mut out = Vec::new();
-        go(self, false, false, &mut out);
+        go(self, false, false, false, &mut out);
         out
     }
 }
@@ -256,6 +282,7 @@ impl fmt::Display for Expr {
             Expr::Operand(v) => write!(f, "{}", v.name),
             Expr::Transpose(inner) => write!(f, "{inner}^T"),
             Expr::Inverse(inner) => write!(f, "{inner}^-1"),
+            Expr::PseudoInverse(inner) => write!(f, "{inner}^+"),
             Expr::Mul(l, r) => write!(f, "({l} {r})"),
         }
     }
@@ -385,6 +412,30 @@ mod tests {
         let a = Expr::var("A", 3, 4);
         let err = a.inv().shape().unwrap_err();
         assert!(err.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn pseudo_inverse_swaps_the_shape_and_flattens_to_a_flag() {
+        let a = Expr::var("A", 7, 3);
+        assert_eq!(a.clone().pinv().shape().unwrap(), (3, 7));
+        let b = Expr::var("b", 7, 1);
+        let expr = a.clone().pinv().mul(b);
+        assert_eq!(expr.shape().unwrap(), (3, 1));
+        let fs = expr.factors();
+        assert!(fs[0].pinv && !fs[0].inv && !fs[0].trans);
+        assert!(!fs[1].pinv);
+        // (A^T)^+ swaps twice; (A^+)^+ cancels (full-rank assumption).
+        let ft = a.clone().t().pinv().factors();
+        assert!(ft[0].pinv && ft[0].trans);
+        let fc = a.clone().pinv().pinv().factors();
+        assert!(!fc[0].pinv);
+        // (X·Y)^+ reverses the factor order like transpose and inverse.
+        let x = Expr::var("X", 5, 4);
+        let y = Expr::var("Y", 4, 2);
+        let fm = x.mul(y).pinv().factors();
+        let names: Vec<_> = fm.iter().map(|f| (f.var.name.as_str(), f.pinv)).collect();
+        assert_eq!(names, vec![("Y", true), ("X", true)]);
+        assert_eq!(a.pinv().to_string(), "A^+");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use crate::algorithm::Algorithm;
 use crate::enumerate::{enumerate_expr_algorithms_with, EnumerateOptions};
 use crate::expr::{Expr, Factor, ShapeError};
+use lamb_matrix::Structure;
 use std::fmt;
 
 /// Errors produced while generating algorithms from an expression tree.
@@ -44,11 +45,23 @@ pub enum GenerateError {
         /// The inverted operand's name.
         name: String,
     },
-    /// An inverse was applied to an operand without declared structure; only
-    /// triangular inverses (lowered to TRSM) and SPD inverses (lowered to
-    /// POTRF plus two TRSMs) have kernel realisations.
-    InverseOfGeneral {
-        /// The inverted operand's name.
+    /// The expression is a single pseudo-inverted operand; a least-squares
+    /// solve has no right-hand side to apply the pseudo-inverse to.
+    BarePseudoInverse {
+        /// The pseudo-inverted operand's name.
+        name: String,
+    },
+    /// A pseudo-inverse was applied to a wide operand; the QR realisation
+    /// requires the operand (as used, after transposition) to be tall or
+    /// square (`rows >= cols`).
+    PseudoInverseWide {
+        /// The pseudo-inverted operand's name.
+        name: String,
+    },
+    /// An operand is used as both an inverse and a pseudo-inverse in the
+    /// same factor (e.g. `(A^+)^-1`), which no kernel sequence realises.
+    InversePseudoInverseMix {
+        /// The offending operand's name.
         name: String,
     },
     /// No merge order of the expression reaches a complete kernel sequence:
@@ -86,13 +99,26 @@ impl fmt::Display for GenerateError {
                      needs a right-hand side to apply the inverse to)"
                 )
             }
-            GenerateError::InverseOfGeneral { name } => {
+            GenerateError::BarePseudoInverse { name } => {
                 write!(
                     f,
-                    "`{name}^-1` has no kernel realisation: only triangular operands \
-                     (declared as `{name}[lower]` / `{name}[upper]`, inverted via TRSM) and \
-                     SPD operands (declared as `{name}[spd]`, inverted via a Cholesky \
-                     factorisation and two TRSMs) can be inverted"
+                    "`{name}^+` alone has no kernel realisation (a least-squares solve \
+                     needs a right-hand side to apply the pseudo-inverse to)"
+                )
+            }
+            GenerateError::PseudoInverseWide { name } => {
+                write!(
+                    f,
+                    "`{name}^+` has no kernel realisation: the QR-based least-squares \
+                     solve requires `{name}` (as used) to have at least as many rows \
+                     as columns"
+                )
+            }
+            GenerateError::InversePseudoInverseMix { name } => {
+                write!(
+                    f,
+                    "`{name}` is used under both an inverse and a pseudo-inverse, \
+                     which no kernel sequence realises"
                 )
             }
             GenerateError::NoRealisation { expression } => {
@@ -129,6 +155,10 @@ pub enum RecognisedPattern {
     /// A product involving symmetric positive-definite operands — the
     /// SYMM/POTRF extension family (SPD solves realise through Cholesky).
     Spd,
+    /// A product involving a general-matrix solve: an inverse of an
+    /// unstructured square operand (realised through pivoted LU) or a
+    /// pseudo-inverse (realised through QR) — the GETRF/QR extension family.
+    GeneralSolve,
     /// Any other product of (possibly transposed, possibly repeated) leaves.
     GenericProduct,
 }
@@ -163,7 +193,12 @@ pub fn generate_algorithms_with(
 /// Classify the expression against the paper's studied shapes.
 fn classify(expr: &Expr) -> RecognisedPattern {
     let factors = expr.factors();
-    if factors.iter().any(|f| f.var.structure.is_spd()) {
+    if factors
+        .iter()
+        .any(|f| f.pinv || (f.inv && f.var.structure == Structure::General))
+    {
+        RecognisedPattern::GeneralSolve
+    } else if factors.iter().any(|f| f.var.structure.is_spd()) {
         RecognisedPattern::Spd
     } else if factors.iter().any(|f| f.var.triangle().is_some() || f.inv) {
         RecognisedPattern::Triangular
@@ -314,6 +349,24 @@ mod tests {
         let (pattern, algs) = generate_algorithms_with(&expr, &opts).unwrap();
         assert_eq!(pattern, RecognisedPattern::Chain(5));
         assert_eq!(algs.len(), 4);
+    }
+
+    #[test]
+    fn general_solves_classify_as_their_own_pattern() {
+        let a = Expr::var("A", 6, 6);
+        let b = Expr::var("B", 6, 2);
+        let (pattern, algs) = generate_algorithms(&a.inv().mul(b)).unwrap();
+        assert_eq!(pattern, RecognisedPattern::GeneralSolve);
+        assert_eq!(algs.len(), 1);
+        let t = Expr::var("T", 9, 4);
+        let rhs = Expr::var("b", 9, 1);
+        let (pattern, _) = generate_algorithms(&t.pinv().mul(rhs)).unwrap();
+        assert_eq!(pattern, RecognisedPattern::GeneralSolve);
+        // Structured inverses keep their existing classifications.
+        use lamb_matrix::Uplo;
+        let l = Expr::tri_var("L", 5, Uplo::Lower);
+        let (pattern, _) = generate_algorithms(&l.inv().mul(Expr::var("C", 5, 2))).unwrap();
+        assert_eq!(pattern, RecognisedPattern::Triangular);
     }
 
     #[test]

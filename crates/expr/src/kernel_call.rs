@@ -86,6 +86,54 @@ pub enum KernelOp {
         /// Order of the square matrix.
         n: usize,
     },
+    /// `F := lu(A)`: the partially pivoted LU factorisation of an `n×n`
+    /// general operand into the packed `n×(n+1)` form — unit-lower `L`
+    /// strictly below the diagonal, `U` on and above, and the pivot row
+    /// indices (as `f64`) in column `n`. Single-output by construction: the
+    /// pivot vector rides inside the factor operand.
+    Getrf {
+        /// Order of the square operand.
+        n: usize,
+    },
+    /// `F := qr(A)`: the Householder QR factorisation of an `m×n` (`m >= n`)
+    /// operand into the packed `m×(n+1)` form — reflector vectors strictly
+    /// below the diagonal, `R` on and above, and the `tau` coefficients in
+    /// the first `n` rows of column `n`.
+    Qr {
+        /// Rows of the operand.
+        m: usize,
+        /// Columns of the operand.
+        n: usize,
+    },
+    /// `C := (Qᵀ·B)[0..n, :]`: apply `Qᵀ` from a packed `m×(n+1)` QR factor
+    /// to `m×k` right-hand sides, keeping the top `n` rows — the
+    /// least-squares reduction consumed by the final TRSM against `R`.
+    Ormqr {
+        /// Rows of the factor and right-hand sides.
+        m: usize,
+        /// Reflector count (columns of the factored operand).
+        n: usize,
+        /// Columns of the right-hand sides.
+        k: usize,
+    },
+    /// `T := tri(F)`: extract an explicitly triangular `n×n` factor from a
+    /// packed `r×(n+1)` factor operand (`Lower`: LU's unit-lower `L`;
+    /// `Upper`: LU's `U` or QR's `R`). Zero FLOPs, but it moves data and
+    /// costs time — the pivoted-factor analogue of the triangle copy.
+    FactorTri {
+        /// Which triangular factor is extracted.
+        uplo: Uplo,
+        /// Order of the extracted triangle.
+        n: usize,
+    },
+    /// `Bp := P·B`: apply the row permutation recorded in a packed `m×(m+1)`
+    /// LU factor's pivot column to `m×n` right-hand sides. Zero FLOPs.
+    PivotApply {
+        /// Rows of the right-hand sides (= order of the LU factor).
+        m: usize,
+        /// Columns of the right-hand sides.
+        n: usize,
+    },
 }
 
 impl KernelOp {
@@ -110,6 +158,20 @@ impl KernelOp {
             // Cholesky: the Section-3.1-style leading-order count n³/3.
             KernelOp::Potrf { n, .. } => (n as u64).pow(3) / 3,
             KernelOp::CopyTriangle { .. } => 0,
+            // LU computes both triangles: twice POTRF's count.
+            KernelOp::Getrf { n } => 2 * (n as u64).pow(3) / 3,
+            // Householder QR: 2mn² - 2n³/3, as 2n²(3m - n)/3 (saturating so
+            // malformed shapes audit as zero work rather than underflowing).
+            KernelOp::Qr { m, n } => {
+                let (m, n) = (m as u64, n as u64);
+                2 * n * n * (3 * m).saturating_sub(n) / 3
+            }
+            // Applying n reflectors of length ~m to k columns: 2nk(2m - n).
+            KernelOp::Ormqr { m, n, k } => {
+                let (m, n, k) = (m as u64, n as u64, k as u64);
+                2 * n * k * (2 * m).saturating_sub(n)
+            }
+            KernelOp::FactorTri { .. } | KernelOp::PivotApply { .. } => 0,
         }
     }
 
@@ -123,6 +185,11 @@ impl KernelOp {
             | KernelOp::Trmm { m, n, .. }
             | KernelOp::Trsm { m, n, .. } => (m, n),
             KernelOp::Potrf { n, .. } | KernelOp::CopyTriangle { n, .. } => (n, n),
+            KernelOp::Getrf { n } => (n, n + 1),
+            KernelOp::Qr { m, n } => (m, n + 1),
+            KernelOp::Ormqr { n, k, .. } => (n, k),
+            KernelOp::FactorTri { n, .. } => (n, n),
+            KernelOp::PivotApply { m, n } => (m, n),
         }
     }
 
@@ -142,11 +209,17 @@ impl KernelOp {
                 let n = n as u64;
                 n * n.saturating_sub(1) / 2
             }
+            KernelOp::Getrf { n } => (n as u64) * (n as u64 + 1),
+            KernelOp::Qr { m, n } => (m as u64) * (n as u64 + 1),
+            KernelOp::Ormqr { n, k, .. } => (n as u64) * (k as u64),
+            KernelOp::FactorTri { n, .. } => (n as u64) * (n as u64 + 1) / 2,
+            KernelOp::PivotApply { m, n } => (m as u64) * (n as u64),
         }
     }
 
     /// Short BLAS/LAPACK-style mnemonic (`gemm`, `syrk`, `symm`, `trmm`,
-    /// `trsm`, `potrf`, `copy`).
+    /// `trsm`, `potrf`, `copy`, `getrf`, `qr`, `ormqr`, `factortri`,
+    /// `laswp`).
     #[must_use]
     pub fn mnemonic(&self) -> &'static str {
         match self {
@@ -157,13 +230,23 @@ impl KernelOp {
             KernelOp::Trsm { .. } => "trsm",
             KernelOp::Potrf { .. } => "potrf",
             KernelOp::CopyTriangle { .. } => "copy",
+            KernelOp::Getrf { .. } => "getrf",
+            KernelOp::Qr { .. } => "qr",
+            KernelOp::Ormqr { .. } => "ormqr",
+            KernelOp::FactorTri { .. } => "factortri",
+            KernelOp::PivotApply { .. } => "laswp",
         }
     }
 
     /// Whether this operation performs floating-point work.
     #[must_use]
     pub fn is_compute(&self) -> bool {
-        !matches!(self, KernelOp::CopyTriangle { .. })
+        !matches!(
+            self,
+            KernelOp::CopyTriangle { .. }
+                | KernelOp::FactorTri { .. }
+                | KernelOp::PivotApply { .. }
+        )
     }
 
     /// The canonical form of this operation under the *isolated-call timing
@@ -188,6 +271,10 @@ impl KernelOp {
     /// POTRF keeps its `uplo`: factoring into the lower versus the upper
     /// triangle walks memory differently, and the timing layer makes no
     /// invariance claim for it (like SYRK/SYMM).
+    ///
+    /// The pivoted-factorisation family (GETRF, QR, ORMQR, FactorTri,
+    /// PivotApply) is already canonical: none carries a transposition flag,
+    /// and FactorTri keeps its `uplo` for the same reason POTRF does.
     #[must_use]
     pub fn timing_key(&self) -> KernelOp {
         match *self {
@@ -251,6 +338,13 @@ impl fmt::Display for KernelOp {
             KernelOp::CopyTriangle { uplo, n } => {
                 write!(f, "copy({} {0}x{0} tri {1})", n, uplo.tag())
             }
+            KernelOp::Getrf { n } => write!(f, "getrf({n}x{n})"),
+            KernelOp::Qr { m, n } => write!(f, "qr({m}x{n})"),
+            KernelOp::Ormqr { m, n, k } => write!(f, "ormqr({m}x{n} rhs {k})"),
+            KernelOp::FactorTri { uplo, n } => {
+                write!(f, "factortri({} {}x{})", uplo.tag(), n, n)
+            }
+            KernelOp::PivotApply { m, n } => write!(f, "laswp({m}x{n})"),
         }
     }
 }
@@ -582,6 +676,108 @@ mod tests {
             .flops(),
             2
         );
+    }
+
+    #[test]
+    fn pivoted_factorisation_ops_follow_their_flop_models() {
+        let getrf = KernelOp::Getrf { n: 90 };
+        assert_eq!(getrf.flops(), 2 * 90u64.pow(3) / 3);
+        assert_eq!(getrf.output_shape(), (90, 91));
+        assert_eq!(getrf.output_elements(), 90 * 91);
+        assert!(getrf.is_compute());
+        assert_eq!(getrf.mnemonic(), "getrf");
+        // Twice POTRF (both triangles), a third of the equal-order GEMM.
+        assert_eq!(
+            getrf.flops(),
+            2 * KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 90
+            }
+            .flops()
+        );
+
+        let qr = KernelOp::Qr { m: 120, n: 40 };
+        assert_eq!(qr.flops(), 2 * 40 * 40 * (3 * 120 - 40) / 3);
+        assert_eq!(qr.output_shape(), (120, 41));
+        assert_eq!(qr.output_elements(), 120 * 41);
+        assert_eq!(qr.mnemonic(), "qr");
+        // Square QR is double GETRF: 4n³/3 vs 2n³/3.
+        let sq = KernelOp::Qr { m: 90, n: 90 };
+        assert_eq!(sq.flops(), 2 * getrf.flops());
+
+        let ormqr = KernelOp::Ormqr {
+            m: 120,
+            n: 40,
+            k: 7,
+        };
+        assert_eq!(ormqr.flops(), 2 * 40 * 7 * (2 * 120 - 40));
+        assert_eq!(ormqr.output_shape(), (40, 7));
+        assert_eq!(ormqr.output_elements(), 40 * 7);
+        assert_eq!(ormqr.mnemonic(), "ormqr");
+
+        let tri = KernelOp::FactorTri {
+            uplo: Uplo::Upper,
+            n: 40,
+        };
+        assert_eq!(tri.flops(), 0);
+        assert!(!tri.is_compute());
+        assert_eq!(tri.output_shape(), (40, 40));
+        assert_eq!(tri.output_elements(), 40 * 41 / 2);
+        assert_eq!(tri.mnemonic(), "factortri");
+
+        let piv = KernelOp::PivotApply { m: 90, n: 7 };
+        assert_eq!(piv.flops(), 0);
+        assert!(!piv.is_compute());
+        assert_eq!(piv.output_shape(), (90, 7));
+        assert_eq!(piv.output_elements(), 90 * 7);
+        assert_eq!(piv.mnemonic(), "laswp");
+
+        // All five are their own timing keys, and FactorTri keeps its uplo.
+        for op in [&getrf, &qr, &ormqr, &tri, &piv] {
+            assert_eq!(&op.timing_key(), op, "{op}");
+        }
+        assert_ne!(
+            tri.timing_key(),
+            KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n: 40
+            }
+            .timing_key()
+        );
+    }
+
+    #[test]
+    fn pivoted_ops_never_underflow_at_degenerate_dimensions() {
+        // The packed factor keeps its pivot/tau column even at order zero, so
+        // output shapes are (0, 1) rather than (0, 0) — but FLOPs, elements
+        // and saturating wide shapes must all stay at zero.
+        let getrf = KernelOp::Getrf { n: 0 };
+        assert_eq!(getrf.flops(), 0);
+        assert_eq!(getrf.output_shape(), (0, 1));
+        assert_eq!(getrf.output_elements(), 0);
+        let qr = KernelOp::Qr { m: 0, n: 0 };
+        assert_eq!(qr.flops(), 0);
+        assert_eq!(qr.output_shape(), (0, 1));
+        assert_eq!(qr.output_elements(), 0);
+        // Wide (malformed) QR saturates instead of underflowing.
+        assert_eq!(KernelOp::Qr { m: 1, n: 5 }.flops(), 0);
+        assert_eq!(KernelOp::Ormqr { m: 2, n: 10, k: 5 }.flops(), 0);
+        for op in [
+            KernelOp::Ormqr { m: 0, n: 0, k: 0 },
+            KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n: 0,
+            },
+            KernelOp::PivotApply { m: 0, n: 0 },
+        ] {
+            assert_eq!(op.flops(), 0, "{op}");
+            assert_eq!(op.output_elements(), 0, "{op}");
+            assert_eq!(op.output_shape(), (0, 0), "{op}");
+        }
+        // Unit dimensions are tiny but well defined.
+        assert_eq!(KernelOp::Getrf { n: 1 }.flops(), 0); // 2/3 floors to 0
+        assert_eq!(KernelOp::Qr { m: 1, n: 1 }.flops(), 2 * (3 - 1) / 3);
+        assert_eq!(KernelOp::Ormqr { m: 1, n: 1, k: 1 }.flops(), 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! expr    := factor ( "*" factor )*
-//! factor  := primary ( "^T" | "'" | "^-1" )*
+//! factor  := primary ( "^T" | "'" | "^-1" | "^+" )*
 //! primary := IDENT annot? | "(" expr ")"
 //! annot   := "[" ("lower" | "upper" | "spd") "]"
 //! IDENT   := [A-Za-z][A-Za-z0-9_]*
@@ -23,10 +23,15 @@
 //! structured operand, while conflicting annotations are rejected.
 //! Triangular operands unlock the TRMM rewrite (`L[lower]*B`); SPD operands
 //! unlock the SYMM variants for plain products (`S[spd]*B`). The postfix
-//! `^-1` — only valid on structured operands — lowers to TRSM for
-//! triangular operands (`L[lower]^-1*B` solves `L·X = B`) and to the
-//! Cholesky realisation `POTRF + TRSM + TRSM` for SPD operands
-//! (`S[spd]^-1*B` solves `S·X = B`).
+//! `^-1` lowers to TRSM for triangular operands (`L[lower]^-1*B` solves
+//! `L·X = B`), to the Cholesky realisation `POTRF + TRSM + TRSM` for SPD
+//! operands (`S[spd]^-1*B` solves `S·X = B`), and to the pivoted LU
+//! realisation `GETRF + LASWP + TRSM + TRSM` for general (unannotated,
+//! square) operands (`A^-1*B` solves `A·X = B`). The postfix `^+` is the
+//! Moore–Penrose pseudo-inverse: `A^+*b` is the least-squares solve
+//! `argmin‖A·x − b‖₂`, lowered to the QR realisation
+//! `QR + ORMQR + TRSM` for tall `A`. Pseudo-inverted operands are *not*
+//! forced square (`^-1` operands are).
 //!
 //! # Dimension parameters
 //!
@@ -77,7 +82,7 @@ pub enum ParseError {
     },
     /// The input ended where a factor or `)` was expected.
     UnexpectedEnd,
-    /// A `^` not followed by `T`/`t`/`-1` at `position`.
+    /// A `^` not followed by `T`/`t`/`-1`/`+` at `position`.
     BadTranspose {
         /// Byte offset into the input.
         position: usize,
@@ -112,7 +117,7 @@ impl fmt::Display for ParseError {
             ParseError::BadTranspose { position } => {
                 write!(
                     f,
-                    "`^` must be followed by `T` or `-1` (position {position})"
+                    "`^` must be followed by `T`, `-1` or `+` (position {position})"
                 )
             }
             ParseError::BadStructure { position } => {
@@ -142,35 +147,39 @@ enum Ast {
     Var(String, Option<Structure>),
     Transpose(Box<Ast>),
     Inverse(Box<Ast>),
+    PseudoInverse(Box<Ast>),
     Mul(Box<Ast>, Box<Ast>),
 }
 
 impl Ast {
-    /// Flatten into `(name, transposed)` factors, pushing transposes and
-    /// inverses to the leaves: both `(A·B)ᵀ = Bᵀ·Aᵀ` and
-    /// `(A·B)⁻¹ = B⁻¹·A⁻¹` reverse the factor order, so the order flips
-    /// exactly when the two accumulated flags differ (mirroring
-    /// [`Expr::factors`]). Inversion does not change a factor's logical
-    /// shape, so the flattened list drops the flag for dimension walking.
+    /// Flatten into `(name, swapped)` factors, pushing transposes, inverses
+    /// and pseudo-inverses to the leaves: `(A·B)ᵀ = Bᵀ·Aᵀ`,
+    /// `(A·B)⁻¹ = B⁻¹·A⁻¹` and `(A·B)⁺ = B⁺·A⁺` all reverse the factor
+    /// order, so the order flips exactly when an odd number of accumulated
+    /// flags is outstanding (mirroring [`Expr::factors`]). Inversion does
+    /// not change a factor's logical shape; transposition and
+    /// pseudo-inversion each swap it, so the `swapped` flag used for
+    /// dimension walking is their XOR.
     fn factors(&self) -> Vec<(String, bool)> {
-        fn go(ast: &Ast, trans: bool, inv: bool, out: &mut Vec<(String, bool)>) {
+        fn go(ast: &Ast, trans: bool, inv: bool, pinv: bool, out: &mut Vec<(String, bool)>) {
             match ast {
-                Ast::Var(name, _) => out.push((name.clone(), trans)),
-                Ast::Transpose(inner) => go(inner, !trans, inv, out),
-                Ast::Inverse(inner) => go(inner, trans, !inv, out),
+                Ast::Var(name, _) => out.push((name.clone(), trans != pinv)),
+                Ast::Transpose(inner) => go(inner, !trans, inv, pinv, out),
+                Ast::Inverse(inner) => go(inner, trans, !inv, pinv, out),
+                Ast::PseudoInverse(inner) => go(inner, trans, inv, !pinv, out),
                 Ast::Mul(l, r) => {
-                    if trans != inv {
-                        go(r, trans, inv, out);
-                        go(l, trans, inv, out);
+                    if trans ^ inv ^ pinv {
+                        go(r, trans, inv, pinv, out);
+                        go(l, trans, inv, pinv, out);
                     } else {
-                        go(l, trans, inv, out);
-                        go(r, trans, inv, out);
+                        go(l, trans, inv, pinv, out);
+                        go(r, trans, inv, pinv, out);
                     }
                 }
             }
         }
         let mut out = Vec::new();
-        go(self, false, false, &mut out);
+        go(self, false, false, false, &mut out);
         out
     }
 
@@ -188,6 +197,10 @@ impl Ast {
             Ast::Inverse(inner) => match inner.as_ref() {
                 Ast::Mul(..) => format!("({})^-1", inner.display()),
                 _ => format!("{}^-1", inner.display()),
+            },
+            Ast::PseudoInverse(inner) => match inner.as_ref() {
+                Ast::Mul(..) => format!("({})^+", inner.display()),
+                _ => format!("{}^+", inner.display()),
             },
             Ast::Mul(l, r) => format!("{}*{}", l.display(), r.display()),
         }
@@ -380,6 +393,7 @@ impl TreeExpression {
                 }
                 Ast::Transpose(inner) => build(inner, shapes, structures).t(),
                 Ast::Inverse(inner) => build(inner, shapes, structures).inv(),
+                Ast::PseudoInverse(inner) => build(inner, shapes, structures).pinv(),
                 Ast::Mul(l, r) => build(l, shapes, structures).mul(build(r, shapes, structures)),
             }
         }
@@ -429,6 +443,9 @@ fn collect_inverted_names(ast: &Ast) -> Vec<String> {
             }
             Ast::Transpose(inner) => go(inner, inv, out),
             Ast::Inverse(inner) => go(inner, !inv, out),
+            // Pseudo-inversion does NOT force squareness: `A^+` of a tall
+            // `A` is exactly the point of the least-squares form.
+            Ast::PseudoInverse(inner) => go(inner, inv, out),
             Ast::Mul(l, r) => {
                 go(l, inv, out);
                 go(r, inv, out);
@@ -452,7 +469,9 @@ fn collect_annotations(ast: &Ast) -> Result<HashMap<String, Structure>, ParseErr
                 }
                 _ => Ok(()),
             },
-            Ast::Transpose(inner) | Ast::Inverse(inner) => go(inner, out),
+            Ast::Transpose(inner) | Ast::Inverse(inner) | Ast::PseudoInverse(inner) => {
+                go(inner, out)
+            }
             Ast::Mul(l, r) => {
                 go(l, out)?;
                 go(r, out)
@@ -564,6 +583,10 @@ impl<'a> Parser<'a> {
                                 }
                                 _ => return Err(ParseError::BadTranspose { position }),
                             }
+                        }
+                        Some((_, '+')) => {
+                            self.pos += 1;
+                            ast = Ast::PseudoInverse(Box::new(ast));
                         }
                         _ => return Err(ParseError::BadTranspose { position }),
                     }
@@ -834,9 +857,50 @@ mod tests {
         ));
         let err = ParseError::ConflictingStructure { name: "L".into() };
         assert!(err.to_string().contains("conflicting"));
-        // An inverse of an unannotated operand parses but cannot enumerate.
+        // An inverse of an unannotated operand now enumerates through the
+        // pivoted LU realisation.
         let e = TreeExpression::parse("A^-1*B").unwrap();
-        assert!(e.algorithms(&[5, 3]).is_err());
+        let algs = e.algorithms(&[5, 3]).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert!(algs[0].kernel_summary().starts_with("getrf"));
+    }
+
+    #[test]
+    fn general_inverse_parses_squares_the_operand_and_reaches_the_lu_rewrite() {
+        let e = TreeExpression::parse("A^-1 * B").unwrap();
+        assert_eq!(e.name(), "A^-1*B");
+        assert_eq!(e.num_dims(), 2, "A is square, so only (d0, d1) remain");
+        let algs = e.algorithms(&[24, 7]).unwrap();
+        assert_eq!(algs.len(), 1, "a general solve has exactly one realisation");
+        assert_eq!(
+            algs[0].kernel_summary(),
+            "getrf,factortri,factortri,laswp,trsm,trsm"
+        );
+    }
+
+    #[test]
+    fn pseudo_inverse_parses_without_squaring_and_reaches_the_qr_rewrite() {
+        let e = TreeExpression::parse("A^+ * b").unwrap();
+        assert_eq!(e.name(), "A^+*b");
+        // A stays rectangular. Dimension indices follow the flattened
+        // logical order (A^+ first), so A is d1 x d0 and b is d1 x d2.
+        assert_eq!(e.num_dims(), 3);
+        let algs = e.algorithms(&[12, 40, 1]).unwrap();
+        assert_eq!(
+            algs.len(),
+            1,
+            "a least-squares solve has exactly one realisation"
+        );
+        assert_eq!(algs[0].kernel_summary(), "qr,factortri,ormqr,trsm");
+        let out = algs[0].output().unwrap();
+        assert_eq!((out.rows, out.cols), (12, 1));
+        // A wide binding is diagnosed at enumeration time, not parse time.
+        assert!(e.algorithms(&[40, 12, 1]).is_err());
+        // `^` followed by junk is still rejected.
+        assert!(matches!(
+            TreeExpression::parse("A^*b"),
+            Err(ParseError::BadTranspose { .. })
+        ));
     }
 
     #[test]

@@ -41,6 +41,13 @@
 //!   `POTRF(S) = L; TRSM(L,·); TRSM(Lᵀ,·)` — the only realisation of an SPD
 //!   inverse, turning expressions that previously died with
 //!   `NoRealisation` into planable algorithm sets.
+//! * **General inverses**: an inverse-marked general square side `A⁻¹·B`
+//!   lowers to the **pivoted LU realisation** `F := GETRF(A)`;
+//!   `Bₚ := P·B`; `Y := L⁻¹·Bₚ`; `X := U⁻¹·Y` — the only realisation of a
+//!   general inverse (no kernel materialises an explicit inverse).
+//! * **Pseudo-inverses**: a pseudo-inverse-marked tall side `A⁺·b` (the
+//!   least-squares solve `argmin‖A·x − b‖₂`) lowers to the **QR
+//!   realisation** `F := QR(A)`; `C := Q₁ᵀ·b`; `x := R⁻¹·C`.
 //!
 //! The variant *order* within each merge follows the paper's presentation
 //! (SYRK before GEMM, SYMM before copy+GEMM, and analogously the structured
@@ -91,11 +98,14 @@ pub struct MergeOperand {
     /// [`Storage::SymmetricFull`]; the flag additionally unlocks the Cholesky
     /// realisation when the side is inverse-marked.
     pub spd: bool,
-    /// Whether the side is inverse-marked; only meaningful together with
-    /// `tri` (lowered to TRSM) or `spd` (lowered to POTRF + two TRSMs) — an
-    /// inverse of a general operand has no kernel realisation and is
-    /// rejected before merging starts.
+    /// Whether the side is inverse-marked: a triangular inverse lowers to
+    /// TRSM, an SPD inverse to POTRF + two TRSMs, and a *general* square
+    /// inverse to the pivoted LU realisation GETRF + pivot + two TRSMs.
     pub inv: bool,
+    /// Whether the side is pseudo-inverse-marked (`A⁺·b`, the least-squares
+    /// solve): lowered to the QR realisation QR + ORMQR + TRSM. Only tall
+    /// (`rows >= cols`) operands are realisable.
+    pub pinv: bool,
 }
 
 impl MergeOperand {
@@ -109,6 +119,38 @@ impl MergeOperand {
             tri: None,
             spd: false,
             inv: false,
+            pinv: false,
+        }
+    }
+
+    /// The view of a general leaf factor whose use is inverse-marked
+    /// (`A⁻¹·B` for square, unstructured `A`): lowered to the pivoted LU
+    /// realisation.
+    #[must_use]
+    pub fn inv_leaf(index: usize, trans: Trans) -> Self {
+        MergeOperand {
+            leaf: Some(index),
+            trans,
+            storage: Storage::General,
+            tri: None,
+            spd: false,
+            inv: true,
+            pinv: false,
+        }
+    }
+
+    /// The view of a general leaf factor whose use is pseudo-inverse-marked
+    /// (`A⁺·b`, the least-squares solve): lowered to the QR realisation.
+    #[must_use]
+    pub fn pinv_leaf(index: usize, trans: Trans) -> Self {
+        MergeOperand {
+            leaf: Some(index),
+            trans,
+            storage: Storage::General,
+            tri: None,
+            spd: false,
+            inv: false,
+            pinv: true,
         }
     }
 
@@ -123,6 +165,7 @@ impl MergeOperand {
             tri: Some(tri),
             spd: false,
             inv,
+            pinv: false,
         }
     }
 
@@ -139,6 +182,7 @@ impl MergeOperand {
             tri: None,
             spd: true,
             inv,
+            pinv: false,
         }
     }
 
@@ -152,6 +196,7 @@ impl MergeOperand {
             tri: None,
             spd: false,
             inv: false,
+            pinv: false,
         }
     }
 
@@ -166,6 +211,7 @@ impl MergeOperand {
             tri: Some(tri),
             spd: false,
             inv: false,
+            pinv: false,
         }
     }
 }
@@ -212,6 +258,19 @@ pub enum MergeKind {
     /// FLOPs. The only realisation of an SPD inverse (no kernel materialises
     /// an explicit inverse).
     CholeskySolve,
+    /// The left operand is an inverse-marked *general* square matrix `A⁻¹`:
+    /// realise the solve through a pivoted LU factorisation — `F := GETRF(A)`
+    /// (packed `L\U` with the pivot column), extract `L` and `U`, apply the
+    /// row permutation to the right-hand side, and finish with two
+    /// triangular solves — for `2·m³/3 + 2·m²·n` FLOPs. The only realisation
+    /// of a general inverse.
+    LuSolve,
+    /// The left operand is a pseudo-inverse-marked tall matrix `A⁺`: realise
+    /// the least-squares solve `argmin‖A·x − b‖₂` through a Householder QR
+    /// factorisation — `F := QR(A)`, extract `R`, form `C := Q₁ᵀ·b` with
+    /// ORMQR, and finish with one triangular solve `x := R⁻¹·C`. The only
+    /// realisation of a pseudo-inverse.
+    QrSolve,
 }
 
 impl MergeKind {
@@ -243,7 +302,7 @@ impl MergeKind {
 /// vocabulary cannot realise as a single SYRK).
 #[must_use]
 pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
-    if left.inv || right.inv {
+    if left.inv || right.inv || left.pinv || right.pinv {
         return false;
     }
     match (left.leaf, right.leaf) {
@@ -275,16 +334,41 @@ pub fn merge_variants(
     // TRSM/TRMM read their rectangular operand as stored: a transposed or
     // triangle-stored right side rules the structured lowering out.
     let right_plain = right.trans == Trans::No && right.storage != Storage::SymmetricTriangle;
-    if right.inv {
+    if right.inv || right.pinv {
         return Vec::new();
     }
     if left.inv {
         // Inverse lowerings are *realisations*, not optimisations: they
-        // survive the rewrites-off ablation.
-        return match (left.spd, right_plain) {
-            (true, true) => vec![MergeKind::CholeskySolve],
-            (false, true) => vec![MergeKind::Trsm],
-            (_, false) => Vec::new(),
+        // survive the rewrites-off ablation. The structure of the inverted
+        // operand picks the factorisation: triangular solves directly
+        // through TRSM, SPD goes through Cholesky, and a general square
+        // operand through pivoted LU.
+        if !right_plain {
+            return Vec::new();
+        }
+        return if left.spd {
+            // S⁻ᵀ = S⁻¹ for symmetric S, so transposition is immaterial.
+            vec![MergeKind::CholeskySolve]
+        } else if left.tri.is_some() {
+            // TRSM carries a transposition flag, so L⁻ᵀ·B also realises.
+            vec![MergeKind::Trsm]
+        } else if left.trans == Trans::No {
+            // GETRF carries no transposition flag: only the untransposed
+            // general inverse realises.
+            vec![MergeKind::LuSolve]
+        } else {
+            Vec::new()
+        };
+    }
+    if left.pinv {
+        // The pseudo-inverse has exactly one realisation: the QR-based
+        // least-squares solve. Like the inverses it survives rewrites-off.
+        // QR carries no transposition flag, so only the untransposed
+        // pseudo-inverse realises.
+        return if right_plain && left.trans == Trans::No {
+            vec![MergeKind::QrSolve]
+        } else {
+            Vec::new()
         };
     }
     if !rewrites {
@@ -524,6 +608,52 @@ mod tests {
         // Inverses never form Gram pairs.
         let linv_t = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, true);
         assert!(!is_gram_pair(&linv, &linv_t));
+    }
+
+    #[test]
+    fn inverse_general_left_side_lowers_to_the_lu_realisation_only() {
+        let ainv = MergeOperand::inv_leaf(0, Trans::No);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&ainv, &b, true, true),
+            vec![MergeKind::LuSolve]
+        );
+        // The LU lowering is a realisation, not an optimisation: it survives
+        // the rewrites-off ablation.
+        assert_eq!(
+            merge_variants(&ainv, &b, true, false),
+            vec![MergeKind::LuSolve]
+        );
+        // A transposed right-hand side has no kernel; a general inverse on
+        // the right is a dead end.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert!(merge_variants(&ainv, &bt, true, true).is_empty());
+        assert!(merge_variants(&b, &ainv, true, true).is_empty());
+        // Inverses never form Gram pairs.
+        let ainv_t = MergeOperand::inv_leaf(0, Trans::Yes);
+        assert!(!is_gram_pair(&ainv, &ainv_t));
+    }
+
+    #[test]
+    fn pseudo_inverse_left_side_lowers_to_the_qr_realisation_only() {
+        let apinv = MergeOperand::pinv_leaf(0, Trans::No);
+        let b = MergeOperand::leaf(1, Trans::No);
+        assert_eq!(
+            merge_variants(&apinv, &b, true, true),
+            vec![MergeKind::QrSolve]
+        );
+        // The QR lowering is a realisation: it survives rewrites-off.
+        assert_eq!(
+            merge_variants(&apinv, &b, true, false),
+            vec![MergeKind::QrSolve]
+        );
+        // A transposed right-hand side has no kernel; a pseudo-inverse on
+        // the right is a dead end; pseudo-inverses never form Gram pairs.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert!(merge_variants(&apinv, &bt, true, true).is_empty());
+        assert!(merge_variants(&b, &apinv, true, true).is_empty());
+        let apinv_t = MergeOperand::pinv_leaf(0, Trans::Yes);
+        assert!(!is_gram_pair(&apinv, &apinv_t));
     }
 
     #[test]

@@ -11,12 +11,14 @@
 
 use crate::config::BlockConfig;
 use crate::gemm::gemm;
+use crate::getrf::{factor_triangle, getrf_packed, pivot_apply};
 use crate::potrf::potrf;
+use crate::qr::{ormqr, qr_packed};
 use crate::symm::symm;
 use crate::syrk::syrk;
 use crate::trmm::trmm;
 use crate::trsm::trsm;
-use lamb_matrix::{Matrix, Result, Side, Trans, Uplo};
+use lamb_matrix::{Matrix, MatrixError, Result, Side, Trans, Uplo};
 
 /// A kernel invocation bound to its input operands.
 #[derive(Debug, Clone, Copy)]
@@ -84,6 +86,47 @@ pub enum Kernel<'a> {
         /// The symmetric positive-definite operand.
         a: &'a Matrix,
     },
+    /// `F := lu(A)`: the out-of-place partially pivoted LU factorisation of a
+    /// general square operand into the packed `n x (n+1)` form — LU factors
+    /// in columns `0..n`, pivot row indices (as `f64`) in column `n`. See
+    /// [`crate::getrf::getrf_packed`].
+    Getrf {
+        /// The general square operand.
+        a: &'a Matrix,
+    },
+    /// `F := qr(A)`: the out-of-place Householder QR factorisation of a tall
+    /// (`m >= n`) operand into the packed `m x (n+1)` form — reflectors and
+    /// `R` in columns `0..n`, `tau` coefficients in column `n`. See
+    /// [`crate::qr::qr_packed`].
+    Qr {
+        /// The general tall operand.
+        a: &'a Matrix,
+    },
+    /// `C := (Qᵀ·B)[0..n, :]` from a packed QR factor: the least-squares
+    /// right-hand-side reduction. See [`crate::qr::ormqr`].
+    Ormqr {
+        /// The packed QR factor (`m x (n+1)`).
+        f: &'a Matrix,
+        /// The right-hand sides (`m x k`).
+        b: &'a Matrix,
+    },
+    /// `T := tri(F)`: extract an explicitly triangular `n x n` factor from a
+    /// packed factor operand (`Lower`: LU's unit-lower `L`; `Upper`: LU's `U`
+    /// or QR's `R`). Zero FLOPs. See [`crate::getrf::factor_triangle`].
+    FactorTri {
+        /// Which triangular factor to extract.
+        uplo: Uplo,
+        /// The packed factor operand (`r x (n+1)`).
+        f: &'a Matrix,
+    },
+    /// `Bp := P·B`: apply the row permutation recorded in a packed LU
+    /// factor's pivot column. Zero FLOPs. See [`crate::getrf::pivot_apply`].
+    PivotApply {
+        /// The packed LU factor (`m x (m+1)`).
+        f: &'a Matrix,
+        /// The right-hand sides (`m x k`).
+        b: &'a Matrix,
+    },
 }
 
 impl Kernel<'_> {
@@ -107,6 +150,14 @@ impl Kernel<'_> {
             }
             Kernel::Symm { b, .. } | Kernel::Trmm { b, .. } | Kernel::Trsm { b, .. } => b.shape(),
             Kernel::Potrf { a, .. } => a.shape(),
+            Kernel::Getrf { a } => (a.rows(), a.rows() + 1),
+            Kernel::Qr { a } => (a.rows(), a.cols() + 1),
+            Kernel::Ormqr { f, b } => (f.cols().saturating_sub(1), b.cols()),
+            Kernel::FactorTri { f, .. } => {
+                let n = f.cols().saturating_sub(1);
+                (n, n)
+            }
+            Kernel::PivotApply { b, .. } => b.shape(),
         }
     }
 
@@ -174,6 +225,11 @@ impl Kernel<'_> {
                 c.copy_triangle(a, uplo)?;
                 potrf(uplo, &mut c.view_mut(), cfg)
             }
+            Kernel::Getrf { a } => copy_into(c, &getrf_packed(a, cfg)?),
+            Kernel::Qr { a } => copy_into(c, &qr_packed(a, cfg)?),
+            Kernel::Ormqr { f, b } => copy_into(c, &ormqr(f, b)?),
+            Kernel::FactorTri { uplo, f } => copy_into(c, &factor_triangle(uplo, f)?),
+            Kernel::PivotApply { f, b } => copy_into(c, &pivot_apply(f, b)?),
         }
     }
 
@@ -341,6 +397,69 @@ pub fn potrf_new(uplo: Uplo, a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
     Kernel::Potrf { uplo, a }.run_new(cfg)
 }
 
+/// The packed `n x (n+1)` partially pivoted LU factor of a general square
+/// matrix, freshly allocated.
+///
+/// # Errors
+///
+/// Propagates shape and singularity errors from [`crate::getrf::getrf`].
+pub fn getrf_new(a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::Getrf { a }.run_new(cfg)
+}
+
+/// The packed `m x (n+1)` Householder QR factor of a tall matrix, freshly
+/// allocated.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`crate::qr::qr`].
+pub fn qr_new(a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::Qr { a }.run_new(cfg)
+}
+
+/// The top `n` rows of `Qᵀ·B` from a packed QR factor, freshly allocated.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`crate::qr::ormqr`].
+pub fn ormqr_new(f: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::Ormqr { f, b }.run_new(cfg)
+}
+
+/// An explicitly triangular factor extracted from a packed factor operand,
+/// freshly allocated.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`crate::getrf::factor_triangle`].
+pub fn factor_tri_new(uplo: Uplo, f: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::FactorTri { uplo, f }.run_new(cfg)
+}
+
+/// The pivoted right-hand sides `P·B` from a packed LU factor, freshly
+/// allocated.
+///
+/// # Errors
+///
+/// Propagates shape errors from [`crate::getrf::pivot_apply`].
+pub fn pivot_apply_new(f: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::PivotApply { f, b }.run_new(cfg)
+}
+
+/// Copy an owned kernel result into the caller's output operand, rejecting a
+/// mis-sized destination the way the view-based kernels do.
+fn copy_into(c: &mut Matrix, out: &Matrix) -> Result<()> {
+    if c.shape() != out.shape() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "kernel output",
+            lhs: c.shape(),
+            rhs: out.shape(),
+        });
+    }
+    c.as_mut_slice().copy_from_slice(out.as_slice());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +612,42 @@ mod tests {
             .output_shape(),
             (18, 18)
         );
+    }
+
+    #[test]
+    fn getrf_and_qr_solve_pipelines_through_the_dispatcher() {
+        let cfg = BlockConfig::default();
+        // LU: A⁻¹·B through GETRF → pivot → two TRSMs.
+        let n = 19;
+        let a = random_seeded(n, n, 31);
+        let b = random_seeded(n, 4, 32);
+        let f = getrf_new(&a, &cfg).unwrap();
+        assert_eq!(f.shape(), (n, n + 1));
+        let l = factor_tri_new(Uplo::Lower, &f, &cfg).unwrap();
+        let u = factor_tri_new(Uplo::Upper, &f, &cfg).unwrap();
+        let bp = pivot_apply_new(&f, &b, &cfg).unwrap();
+        let y = trsm_new(Uplo::Lower, Trans::No, &l, &bp, &cfg).unwrap();
+        let x = trsm_new(Uplo::Upper, Trans::No, &u, &y, &cfg).unwrap();
+        let ax = gemm_new(Trans::No, &a, Trans::No, &x, &cfg).unwrap();
+        assert!(max_abs_diff(&ax, &b).unwrap() < 1e-10 * n as f64);
+        // QR: argmin ‖Ax - b‖ through QR → ORMQR → one TRSM.
+        let (m, k) = (29, 11);
+        let t = random_seeded(m, k, 33);
+        let rhs = random_seeded(m, 3, 34);
+        let fq = qr_new(&t, &cfg).unwrap();
+        assert_eq!(fq.shape(), (m, k + 1));
+        let r = factor_tri_new(Uplo::Upper, &fq, &cfg).unwrap();
+        let c = ormqr_new(&fq, &rhs, &cfg).unwrap();
+        assert_eq!(c.shape(), (k, 3));
+        let x = trsm_new(Uplo::Upper, Trans::No, &r, &c, &cfg).unwrap();
+        // Optimality: Aᵀ(A·X - B) = 0.
+        let ax = gemm_new(Trans::No, &t, Trans::No, &x, &cfg).unwrap();
+        let resid = Matrix::from_fn(m, 3, |i, j| ax[(i, j)] - rhs[(i, j)]);
+        let normal = gemm_new(Trans::Yes, &t, Trans::No, &resid, &cfg).unwrap();
+        assert!(lamb_matrix::ops::max_abs(&normal) < 1e-10 * m as f64);
+        // A mis-sized destination is rejected, not silently truncated.
+        let mut wrong = Matrix::zeros(2, 2);
+        assert!(Kernel::Getrf { a: &a }.run_into(&mut wrong, &cfg).is_err());
     }
 
     #[test]

@@ -52,6 +52,63 @@ pub fn potrf_flops(n: usize) -> u64 {
     (n as u64).pow(3) / 3
 }
 
+/// FLOP count of `GETRF`: the partially pivoted LU factorisation of a general
+/// `A ∈ R^{n×n}` — the Section-3.1-style leading-order count `2n³/3`, twice
+/// the equal-order POTRF (both triangles are computed) and a third of the
+/// equal-order GEMM.
+#[must_use]
+pub fn getrf_flops(n: usize) -> u64 {
+    2 * (n as u64).pow(3) / 3
+}
+
+/// FLOP count of `QR` (Householder, `A ∈ R^{m×n}`, `m >= n`) — the
+/// leading-order count `2mn² - 2n³/3`, computed as `2n²(3m - n)/3`.
+/// Saturates (to zero contribution) rather than underflowing if `m < n`.
+#[must_use]
+pub fn qr_flops(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as u64, n as u64);
+    2 * n * n * (3 * m).saturating_sub(n) / 3
+}
+
+/// FLOP count of `ORMQR`: applying `Qᵀ` from an `m x n` Householder QR factor
+/// to `m x k` right-hand sides (keeping the top `n` rows) — the leading-order
+/// count `4mnk - 2n²k`, computed as `2nk(2m - n)`. Saturates if `m < n`.
+#[must_use]
+pub fn ormqr_flops(m: usize, n: usize, k: usize) -> u64 {
+    let (m, n, k) = (m as u64, n as u64, k as u64);
+    2 * n * k * (2 * m).saturating_sub(n)
+}
+
+/// FLOP count of extracting an explicit triangular factor from a packed
+/// factor operand (zero: pure data movement, like the triangle copy).
+#[must_use]
+pub fn factor_triangle_flops(_n: usize) -> u64 {
+    0
+}
+
+/// Number of matrix elements written by extracting an `n x n` triangular
+/// factor from a packed factor operand (the populated triangle including the
+/// diagonal; the opposite triangle's zeros are calloc-free).
+#[must_use]
+pub fn factor_triangle_elements(n: usize) -> u64 {
+    let n = n as u64;
+    n * (n + 1) / 2
+}
+
+/// FLOP count of applying a recorded pivot permutation to `m x n` right-hand
+/// sides (zero: row swaps move data but perform no arithmetic).
+#[must_use]
+pub fn pivot_apply_flops(_m: usize, _n: usize) -> u64 {
+    0
+}
+
+/// Number of matrix elements moved by applying a pivot permutation to an
+/// `m x n` operand (every element is placed once).
+#[must_use]
+pub fn pivot_apply_elements(m: usize, n: usize) -> u64 {
+    (m as u64) * (n as u64)
+}
+
 /// FLOP count of copying one triangle of an `n x n` matrix into the other
 /// triangle (zero: it moves data but performs no floating-point arithmetic).
 #[must_use]
@@ -133,6 +190,48 @@ mod tests {
         let n = 900;
         assert!(potrf_flops(n) * 6 <= gemm_flops(n, n, n));
         assert!(potrf_flops(n) * 7 > gemm_flops(n, n, n));
+    }
+
+    #[test]
+    fn getrf_is_twice_potrf_and_a_third_of_gemm() {
+        for n in [0, 1, 3, 64, 1200] {
+            assert_eq!(getrf_flops(n), 2 * (n as u64).pow(3) / 3);
+        }
+        let n = 900;
+        assert_eq!(getrf_flops(n), 2 * potrf_flops(n));
+        assert!(getrf_flops(n) * 3 == gemm_flops(n, n, n));
+    }
+
+    #[test]
+    fn qr_flops_matches_the_householder_count() {
+        // Square: 2n³ - 2n³/3 = 4n³/3, i.e. double GETRF.
+        let n = 300;
+        assert_eq!(qr_flops(n, n), 2 * getrf_flops(n));
+        // Tall-skinny limit: ≈ 2mn² (one Householder sweep per column);
+        // integer floor shaves the fractional 2n³/3 term.
+        assert_eq!(qr_flops(1200, 1), (2 * 3 * 1200 - 2) / 3);
+        // Degenerate and inverted shapes never panic.
+        assert_eq!(qr_flops(0, 0), 0);
+        assert_eq!(qr_flops(10, 0), 0);
+        assert_eq!(qr_flops(1, 5), 0); // saturates, never underflows
+    }
+
+    #[test]
+    fn ormqr_flops_matches_the_reflector_application_count() {
+        // Applying n reflectors of average length ~m to k columns.
+        assert_eq!(ormqr_flops(40, 10, 3), 2 * 10 * 3 * (80 - 10));
+        assert_eq!(ormqr_flops(0, 0, 5), 0);
+        assert_eq!(ormqr_flops(2, 10, 5), 0); // saturates, never underflows
+    }
+
+    #[test]
+    fn factor_extraction_and_pivots_are_free_in_flops_but_move_data() {
+        assert_eq!(factor_triangle_flops(1000), 0);
+        assert_eq!(factor_triangle_elements(4), 10);
+        assert_eq!(factor_triangle_elements(0), 0);
+        assert_eq!(pivot_apply_flops(9, 9), 0);
+        assert_eq!(pivot_apply_elements(7, 3), 21);
+        assert_eq!(pivot_apply_elements(0, 5), 0);
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! LU factorisation with partial pivoting: `P·A = L·U` for a general square
+//! matrix, in place, LAPACK `dgetrf`-style.
+//!
+//! The factor overwrites `A`: the strictly lower triangle holds the
+//! unit-lower factor `L` (its implicit unit diagonal is *not* stored) and the
+//! upper triangle including the diagonal holds `U`. The pivot vector records,
+//! for each step `j`, the absolute row index that was swapped into row `j`
+//! (LAPACK `ipiv` convention, zero-based), so `P` is recovered by replaying
+//! the swaps in order.
+//!
+//! Structure on the shared [`BlockedDriver`](crate::driver::BlockedDriver)
+//! engine: the classic **right-looking blocked algorithm**. The matrix is
+//! walked in column panels of [`BlockConfig::tri_block`] columns; each step
+//!
+//! 1. factors the panel with the scalar unblocked partial-pivot recurrence,
+//!    applying each row swap across the *full* width of the matrix as it is
+//!    found (reporting [`MatrixError::SingularDiagonal`] on an exactly-zero
+//!    pivot column),
+//! 2. computes the row panel `U₁₂ := L₁₁⁻¹·A₁₂` with one
+//!    [`crate::trsm::trsm`] solve against the unit-lower diagonal block, and
+//! 3. folds the panels into the trailing submatrix with one rank-`kb`
+//!    [`crate::gemm::gemm`] update `A₂₂ -= L₂₁·U₁₂` (`alpha = -1`,
+//!    `beta = 1`).
+//!
+//! Steps 2 and 3 carry the `2n³/3` bulk of the work (see
+//! [`crate::flops::getrf_flops`]) and both run on the packed, cache-blocked,
+//! Rayon-capable engine — GETRF adds no loop nest of its own beyond the
+//! scalar panel factor.
+//!
+//! [`getrf_packed`] produces the single-operand packed form the kernel-call
+//! IR uses: an `n x (n+1)` matrix with the LU factors in columns `0..n` and
+//! the pivot indices, stored as `f64`, in column `n`.
+
+use crate::config::BlockConfig;
+use crate::gemm::gemm;
+use crate::trsm::trsm;
+use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Trans, Uplo};
+
+/// Factor the square matrix `a` in place as `P·A = L·U` with partial
+/// pivoting. On return `piv` holds, for each step `j`, the absolute index of
+/// the row swapped into row `j` (`piv[j] >= j`; `piv[j] == j` means no swap).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::NotSquare`] for rectangular input and
+/// [`MatrixError::SingularDiagonal`] (with the absolute pivot index) when a
+/// pivot column is exactly zero, in which case the leading part of the
+/// factorisation is complete.
+pub fn getrf(a: &mut MatrixViewMut<'_>, piv: &mut Vec<usize>, cfg: &BlockConfig) -> Result<()> {
+    let n = check_square(a)?;
+    piv.clear();
+    piv.reserve(n);
+    let tb = cfg.tri_block.max(1);
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = tb.min(n - k0);
+        factor_panel(a, piv, k0, kb)?;
+        let rest = n - (k0 + kb);
+        if rest > 0 {
+            // The freshly factored unit-lower diagonal block, materialised
+            // with its implicit unit diagonal so the TRSM can borrow it
+            // immutably while the row panel of `a` is written. `kb` is at most
+            // `tri_block`, so the copy is O(tri_block²) per step.
+            let l11 = Matrix::from_fn(kb, kb, |i, j| match i.cmp(&j) {
+                std::cmp::Ordering::Greater => a.at(k0 + i, k0 + j),
+                std::cmp::Ordering::Equal => 1.0,
+                std::cmp::Ordering::Less => 0.0,
+            });
+            // Row panel: U12 := L11⁻¹ · A12.
+            let a12 = Matrix::from_fn(kb, rest, |i, j| a.at(k0 + i, k0 + kb + j));
+            let mut u12 = Matrix::zeros(kb, rest);
+            trsm(
+                Uplo::Lower,
+                Trans::No,
+                1.0,
+                &l11.view(),
+                &a12.view(),
+                &mut u12.view_mut(),
+                cfg,
+            )?;
+            for j in 0..rest {
+                for i in 0..kb {
+                    *a.at_mut(k0 + i, k0 + kb + j) = u12[(i, j)];
+                }
+            }
+            // Trailing update: A22 -= L21 · U12, one rank-kb GEMM.
+            let l21 = Matrix::from_fn(rest, kb, |i, j| a.at(k0 + kb + i, k0 + j));
+            let mut a22 = a.subview_mut(k0 + kb, k0 + kb, rest, rest);
+            gemm(
+                Trans::No,
+                Trans::No,
+                -1.0,
+                &l21.view(),
+                &u12.view(),
+                1.0,
+                &mut a22,
+                cfg,
+            )?;
+        }
+        k0 += kb;
+    }
+    Ok(())
+}
+
+/// Reference GETRF: the scalar unblocked partial-pivot recurrence over the
+/// whole matrix. Used by the unit and property tests to validate the blocked
+/// kernel.
+///
+/// # Errors
+///
+/// Same checks as [`getrf`].
+pub fn getrf_naive(a: &mut MatrixViewMut<'_>, piv: &mut Vec<usize>) -> Result<()> {
+    let n = check_square(a)?;
+    piv.clear();
+    factor_panel(a, piv, 0, n)
+}
+
+fn check_square(a: &MatrixViewMut<'_>) -> Result<usize> {
+    if a.rows() != a.cols() {
+        return Err(MatrixError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    Ok(a.rows())
+}
+
+/// Scalar unblocked partial-pivot LU of the `kb`-column panel starting at
+/// column `k0` (rows `k0..n`), applying each row swap across the full width
+/// of the matrix and recording it in `piv`. Pivot failures report the
+/// *absolute* column index.
+fn factor_panel(
+    a: &mut MatrixViewMut<'_>,
+    piv: &mut Vec<usize>,
+    k0: usize,
+    kb: usize,
+) -> Result<()> {
+    let n = a.rows();
+    for j in 0..kb {
+        let col = k0 + j;
+        // Partial pivot: the largest magnitude on or below the diagonal.
+        let mut p = col;
+        let mut best = a.at(col, col).abs();
+        for i in (col + 1)..n {
+            let v = a.at(i, col).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 || best.is_nan() {
+            return Err(MatrixError::SingularDiagonal { index: col });
+        }
+        piv.push(p);
+        if p != col {
+            swap_rows(a, col, p);
+        }
+        // Eliminate below the pivot and fold into the rest of the panel.
+        let d = a.at(col, col);
+        for i in (col + 1)..n {
+            let l = a.at(i, col) / d;
+            *a.at_mut(i, col) = l;
+        }
+        for jj in (j + 1)..kb {
+            let u = a.at(col, k0 + jj);
+            if u != 0.0 {
+                for i in (col + 1)..n {
+                    let l = a.at(i, col);
+                    *a.at_mut(i, k0 + jj) -= l * u;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Swap rows `r1` and `r2` across every column (column-major storage: one
+/// element per column).
+fn swap_rows(a: &mut MatrixViewMut<'_>, r1: usize, r2: usize) {
+    for j in 0..a.cols() {
+        let t = a.at(r1, j);
+        *a.at_mut(r1, j) = a.at(r2, j);
+        *a.at_mut(r2, j) = t;
+    }
+}
+
+/// Factor `a` out of place into the packed `n x (n+1)` operand the
+/// kernel-call IR uses: LU factors in columns `0..n` (unit-lower `L` strictly
+/// below the diagonal, `U` on and above) and the pivot vector, stored as
+/// `f64` row indices, in column `n`.
+///
+/// # Errors
+///
+/// Same checks as [`getrf`].
+pub fn getrf_packed(a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    if a.rows() != a.cols() {
+        return Err(MatrixError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut f = Matrix::zeros(n, n + 1);
+    for j in 0..n {
+        f.col_mut(j).copy_from_slice(a.col(j));
+    }
+    let mut piv = Vec::new();
+    {
+        let mut full = f.view_mut();
+        let mut lu = full.subview_mut(0, 0, n, n);
+        getrf(&mut lu, &mut piv, cfg)?;
+    }
+    for (j, &p) in piv.iter().enumerate() {
+        f[(j, n)] = p as f64;
+    }
+    Ok(f)
+}
+
+/// Apply the forward row swaps recorded in the pivot column of a packed LU
+/// factor `f` (`m x (m+1)`, see [`getrf_packed`]) to a fresh copy of `b`:
+/// `Bp := P·B`. Pivot entries are rounded and clamped to the legal range
+/// `[j, m-1]`, so a factor operand filled with arbitrary data (as the
+/// isolated-call benchmark harness does) still applies a valid permutation.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when `f` is not `m x (m+1)`
+/// for `b`'s row count `m`.
+pub fn pivot_apply(f: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let m = b.rows();
+    if f.rows() != m || f.cols() != m + 1 {
+        return Err(MatrixError::DimensionMismatch {
+            op: "pivot_apply",
+            lhs: f.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = b.clone();
+    if m == 0 {
+        return Ok(out);
+    }
+    for j in 0..m {
+        // Clamp untrusted pivot data into range rather than panicking.
+        let p = (f[(j, m)].round().max(0.0) as usize).clamp(j, m - 1);
+        if p != j {
+            for c in 0..out.cols() {
+                let col = out.col_mut(c);
+                col.swap(j, p);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extract an explicit triangular factor from a packed factor operand `f`
+/// (`r x (n+1)`, `n = cols - 1`; see [`getrf_packed`] and
+/// [`crate::qr::qr_packed`]): [`Uplo::Lower`] materialises the unit-lower
+/// factor (implicit unit diagonal written out), [`Uplo::Upper`] the upper
+/// factor including its stored diagonal. Entries outside the extracted
+/// triangle are exact zeros. Performs no floating-point arithmetic.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when `f` has no pivot/tau
+/// column (`cols == 0`) or fewer than `n` rows.
+pub fn factor_triangle(uplo: Uplo, f: &Matrix) -> Result<Matrix> {
+    let Some(n) = f.cols().checked_sub(1) else {
+        return Err(MatrixError::DimensionMismatch {
+            op: "factor_triangle",
+            lhs: f.shape(),
+            rhs: (0, 0),
+        });
+    };
+    if f.rows() < n {
+        return Err(MatrixError::DimensionMismatch {
+            op: "factor_triangle",
+            lhs: f.shape(),
+            rhs: (n, n),
+        });
+    }
+    Ok(match uplo {
+        Uplo::Lower => Matrix::from_fn(n, n, |i, j| match i.cmp(&j) {
+            std::cmp::Ordering::Greater => f[(i, j)],
+            std::cmp::Ordering::Equal => 1.0,
+            std::cmp::Ordering::Less => 0.0,
+        }),
+        Uplo::Upper => Matrix::from_fn(n, n, |i, j| if i <= j { f[(i, j)] } else { 0.0 }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use crate::trsm::trsm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::random_seeded;
+
+    /// `P·A`: replay the recorded forward swaps on a copy of `a`.
+    fn permute(a: &Matrix, piv: &[usize]) -> Matrix {
+        let mut out = a.clone();
+        for (j, &p) in piv.iter().enumerate() {
+            if p != j {
+                for c in 0..out.cols() {
+                    out.col_mut(c).swap(j, p);
+                }
+            }
+        }
+        out
+    }
+
+    fn check_reconstruction(n: usize, seed: u64, cfg: &BlockConfig) {
+        let a = random_seeded(n, n, seed);
+        let mut f = a.clone();
+        let mut piv = Vec::new();
+        getrf(&mut f.view_mut(), &mut piv, cfg).unwrap();
+        assert_eq!(piv.len(), n);
+        let l = factor_triangle(Uplo::Lower, &pad_pivot(&f, &piv)).unwrap();
+        let u = factor_triangle(Uplo::Upper, &pad_pivot(&f, &piv)).unwrap();
+        // L·U must reproduce P·A.
+        let mut back = Matrix::zeros(n, n);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &u.view(),
+            0.0,
+            &mut back.view_mut(),
+        )
+        .unwrap();
+        let pa = permute(&a, &piv);
+        let diff = max_abs_diff(&back, &pa).unwrap();
+        assert!(
+            diff < 1e-10 * (n as f64).max(1.0),
+            "n {n}: reconstruction diff {diff}"
+        );
+    }
+
+    /// Pack a factored matrix plus pivot vector into the `n x (n+1)` form.
+    fn pad_pivot(f: &Matrix, piv: &[usize]) -> Matrix {
+        let n = f.rows();
+        Matrix::from_fn(n, n + 1, |i, j| {
+            if j < n {
+                f[(i, j)]
+            } else if i < piv.len() {
+                piv[i] as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_factor_reconstructs_the_permuted_matrix() {
+        let cfg = BlockConfig::serial();
+        for n in [1, 2, 5, 23, 64, 65, 97] {
+            check_reconstruction(n, 11 + n as u64, &cfg);
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_exercises_partial_panels() {
+        let cfg = BlockConfig::tiny(); // tri_block = 3
+        check_reconstruction(13, 3, &cfg);
+        check_reconstruction(7, 4, &cfg);
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
+        let a = random_seeded(150, 150, 17);
+        let mut blocked = a.clone();
+        let mut piv_b = Vec::new();
+        getrf(&mut blocked.view_mut(), &mut piv_b, &cfg).unwrap();
+        let mut naive = a.clone();
+        let mut piv_n = Vec::new();
+        getrf_naive(&mut naive.view_mut(), &mut piv_n).unwrap();
+        assert_eq!(piv_b, piv_n, "pivot sequences must agree");
+        assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_and_naive_agree_on_the_factor_itself() {
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(40, 40, 33);
+        let mut blocked = a.clone();
+        let mut naive = a.clone();
+        let (mut pb, mut pn) = (Vec::new(), Vec::new());
+        getrf(&mut blocked.view_mut(), &mut pb, &cfg).unwrap();
+        getrf_naive(&mut naive.view_mut(), &mut pn).unwrap();
+        assert_eq!(pb, pn);
+        assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn factor_solves_general_systems_through_pivot_and_two_trsms() {
+        // The LU realisation of A⁻¹·B: GETRF, P·B, then L⁻¹, then U⁻¹. The
+        // residual A·X - B certifies the pipeline end to end.
+        let cfg = BlockConfig::serial();
+        let n = 31;
+        let a = random_seeded(n, n, 9);
+        let b = random_seeded(n, 6, 10);
+        let f = getrf_packed(&a, &cfg).unwrap();
+        let l = factor_triangle(Uplo::Lower, &f).unwrap();
+        let u = factor_triangle(Uplo::Upper, &f).unwrap();
+        let bp = pivot_apply(&f, &b).unwrap();
+        let mut y = Matrix::zeros(n, 6);
+        trsm_naive(
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &bp.view(),
+            &mut y.view_mut(),
+        )
+        .unwrap();
+        let mut x = Matrix::zeros(n, 6);
+        trsm_naive(
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            &u.view(),
+            &y.view(),
+            &mut x.view_mut(),
+        )
+        .unwrap();
+        let mut ax = Matrix::zeros(n, 6);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &x.view(),
+            0.0,
+            &mut ax.view_mut(),
+        )
+        .unwrap();
+        assert!(max_abs_diff(&ax, &b).unwrap() < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn singular_matrices_are_reported_with_the_pivot_index() {
+        let cfg = BlockConfig::tiny();
+        // A rank-deficient matrix: column 2 is a copy of column 1, so the
+        // third pivot column is eliminated to exact... not exact zero in
+        // floating point generally, so build a matrix with an exactly zero
+        // trailing column instead.
+        let mut a = random_seeded(9, 9, 21);
+        for i in 0..9 {
+            a[(i, 4)] = 0.0;
+        }
+        let mut piv = Vec::new();
+        let err = getrf(&mut a.clone().view_mut(), &mut piv, &cfg).unwrap_err();
+        assert_eq!(err, MatrixError::SingularDiagonal { index: 4 });
+        assert!(getrf_naive(&mut a.view_mut(), &mut piv).is_err());
+        // The identically-zero matrix fails on the very first pivot.
+        let mut zero = Matrix::zeros(4, 4);
+        assert_eq!(
+            getrf(&mut zero.view_mut(), &mut Vec::new(), &cfg).unwrap_err(),
+            MatrixError::SingularDiagonal { index: 0 }
+        );
+    }
+
+    #[test]
+    fn degenerate_and_rectangular_inputs() {
+        let cfg = BlockConfig::default();
+        // n = 0 is a no-op.
+        let mut empty = Matrix::zeros(0, 0);
+        let mut piv = Vec::new();
+        getrf(&mut empty.view_mut(), &mut piv, &cfg).unwrap();
+        assert!(piv.is_empty());
+        getrf_naive(&mut empty.view_mut(), &mut piv).unwrap();
+        let f = getrf_packed(&Matrix::zeros(0, 0), &cfg).unwrap();
+        assert_eq!(f.shape(), (0, 1));
+        // n = 1 is the identity pivot.
+        let mut one = Matrix::filled(1, 1, 4.0);
+        getrf(&mut one.view_mut(), &mut piv, &cfg).unwrap();
+        assert_eq!(piv, vec![0]);
+        assert_eq!(one[(0, 0)], 4.0);
+        // Rectangular input is rejected.
+        let mut rect = Matrix::zeros(3, 4);
+        assert!(matches!(
+            getrf(&mut rect.view_mut(), &mut piv, &cfg),
+            Err(MatrixError::NotSquare { .. })
+        ));
+        assert!(getrf_packed(&Matrix::zeros(2, 5), &cfg).is_err());
+    }
+
+    #[test]
+    fn pivot_apply_clamps_untrusted_pivot_data() {
+        // The isolated-call benchmark harness fills factor operands with
+        // arbitrary random data; pivot application must stay in bounds.
+        let b = random_seeded(5, 3, 2);
+        let f = Matrix::from_fn(5, 6, |i, j| {
+            if j == 5 {
+                1000.0 * (i as f64) - 7.3
+            } else {
+                0.0
+            }
+        });
+        let out = pivot_apply(&f, &b).unwrap();
+        assert_eq!(out.shape(), (5, 3));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        // Shape mismatches are rejected.
+        assert!(pivot_apply(&Matrix::zeros(5, 5), &b).is_err());
+        // Degenerate: no rows, nothing to swap.
+        let empty = pivot_apply(&Matrix::zeros(0, 1), &Matrix::zeros(0, 4)).unwrap();
+        assert_eq!(empty.shape(), (0, 4));
+    }
+
+    #[test]
+    fn factor_triangle_extracts_unit_lower_and_upper() {
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(8, 8, 5);
+        let f = getrf_packed(&a, &cfg).unwrap();
+        let l = factor_triangle(Uplo::Lower, &f).unwrap();
+        let u = factor_triangle(Uplo::Upper, &f).unwrap();
+        assert!(lamb_matrix::ops::is_triangular(&l, Uplo::Lower).unwrap());
+        assert!(lamb_matrix::ops::is_triangular(&u, Uplo::Upper).unwrap());
+        for i in 0..8 {
+            assert_eq!(l[(i, i)], 1.0, "L must carry an explicit unit diagonal");
+        }
+        // Degenerate and malformed inputs.
+        assert_eq!(
+            factor_triangle(Uplo::Lower, &Matrix::zeros(0, 1))
+                .unwrap()
+                .shape(),
+            (0, 0)
+        );
+        assert!(factor_triangle(Uplo::Lower, &Matrix::zeros(3, 0)).is_err());
+        assert!(factor_triangle(Uplo::Upper, &Matrix::zeros(2, 4)).is_err());
+    }
+}

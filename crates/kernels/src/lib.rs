@@ -1,8 +1,10 @@
 //! # lamb-kernels
 //!
 //! Pure-Rust, blocked, packed, Rayon-parallel BLAS-3 kernels — GEMM, SYRK,
-//! SYMM, TRMM and TRSM — plus the blocked Cholesky factorisation POTRF: the
-//! kernel vocabulary from which the algorithms studied in the paper *"FLOPs
+//! SYMM, TRMM and TRSM — plus the blocked factorisations POTRF (Cholesky),
+//! GETRF (partially pivoted LU) and QR (Householder), unified behind the
+//! [`solver::Solver`] trait: the kernel vocabulary from which the algorithms
+//! studied in the paper *"FLOPs
 //! as a Discriminant for Dense Linear Algebra Algorithms"* (ICPP'22) and its
 //! triangular/SPD extensions are built — together with their FLOP-count
 //! models, cache-flushing and median-of-N timing utilities.
@@ -52,9 +54,12 @@ pub mod dispatch;
 pub mod driver;
 pub mod flops;
 pub mod gemm;
+pub mod getrf;
 pub mod microkernel;
 pub mod pack;
 pub mod potrf;
+pub mod qr;
+pub mod solver;
 pub mod symm;
 pub mod syrk;
 pub mod timing;
@@ -64,13 +69,16 @@ pub mod trsm;
 pub use cache::CacheFlusher;
 pub use config::BlockConfig;
 pub use dispatch::{
-    gemm_into, gemm_new, potrf_new, symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new,
-    Kernel,
+    factor_tri_new, gemm_into, gemm_new, getrf_new, ormqr_new, pivot_apply_new, potrf_new, qr_new,
+    symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new, Kernel,
 };
 pub use driver::BlockedDriver;
 pub use gemm::gemm;
 pub use gemm::naive::gemm_naive;
+pub use getrf::{factor_triangle, getrf, getrf_naive, getrf_packed, pivot_apply};
 pub use potrf::{potrf, potrf_naive};
+pub use qr::{ormqr, qr, qr_naive, qr_packed};
+pub use solver::{solve_auto, solver_for, CholeskySolver, LuSolver, QrSolver, Solver};
 pub use symm::symm;
 pub use syrk::syrk;
 pub use timing::{time_once, MedianTimer, TimingResult};

@@ -1,0 +1,468 @@
+//! Householder QR factorisation: `A = Q·R` for a general `m x n` matrix with
+//! `m >= n`, in place, LAPACK `dgeqrf`-style.
+//!
+//! The factor overwrites `A`: the upper triangle including the diagonal holds
+//! `R`, and each column's strictly-sub-diagonal part holds the essential part
+//! of a Householder vector `v_j` (its leading 1 is implicit). Together with
+//! the scalar coefficients `tau`, reflector `j` is `H_j = I - tau_j·v_j·v_jᵀ`
+//! and `Q = H_0·H_1⋯H_{n-1}`.
+//!
+//! Structure on the shared [`BlockedDriver`](crate::driver::BlockedDriver)
+//! engine: the classic **blocked compact-WY algorithm**. The matrix is walked
+//! in column panels of [`BlockConfig::tri_block`] columns; each step
+//!
+//! 1. factors the panel with the scalar unblocked Householder recurrence
+//!    (an exactly-zero column yields `tau = 0`, i.e. the identity reflector —
+//!    rank deficiency surfaces later as a zero on `R`'s diagonal, not here),
+//! 2. accumulates the panel's triangular factor `T` (LAPACK `larft`, forward
+//!    columnwise) so the panel's reflector product is `I - V·T·Vᵀ`, and
+//! 3. applies `Qₚᵀ = I - V·Tᵀ·Vᵀ` to the trailing columns with three
+//!    [`crate::gemm::gemm`] calls: `W := VᵀC`, `W := TᵀW`, `C -= V·W`.
+//!
+//! Step 3 carries the `2mn² - 2n³/3` bulk of the work (see
+//! [`crate::flops::qr_flops`]) on the packed, cache-blocked, Rayon-capable
+//! engine.
+//!
+//! [`qr_packed`] produces the single-operand packed form the kernel-call IR
+//! uses: an `m x (n+1)` matrix with the factors in columns `0..n` and the
+//! `tau` coefficients in the first `n` rows of column `n`. [`ormqr`] applies
+//! `Qᵀ` from such a packed factor — the least-squares pipeline is
+//! `x = R⁻¹·(Qᵀb)` via one ORMQR and one TRSM.
+
+use crate::config::BlockConfig;
+use crate::gemm::gemm;
+use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Trans};
+
+/// Factor the `m x n` matrix `a` (`m >= n`) in place as `A = Q·R`. On return
+/// `tau` holds the `n` Householder coefficients.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when `m < n` (the wide case
+/// needs an LQ factorisation this crate does not provide).
+pub fn qr(a: &mut MatrixViewMut<'_>, tau: &mut Vec<f64>, cfg: &BlockConfig) -> Result<()> {
+    let (m, n) = check_tall(a)?;
+    tau.clear();
+    tau.reserve(n);
+    let tb = cfg.tri_block.max(1);
+    let mut k0 = 0;
+    while k0 < n {
+        let kb = tb.min(n - k0);
+        factor_panel(a, tau, k0, kb);
+        let rest = n - (k0 + kb);
+        if rest > 0 {
+            let rows = m - k0;
+            // The panel's reflectors with their implicit leading 1s written
+            // out, V ∈ R^{rows x kb}, plus the larft triangular factor T so
+            // the panel applies as one rank-kb update instead of kb rank-1s.
+            let v = Matrix::from_fn(rows, kb, |i, j| match i.cmp(&j) {
+                std::cmp::Ordering::Greater => a.at(k0 + i, k0 + j),
+                std::cmp::Ordering::Equal => 1.0,
+                std::cmp::Ordering::Less => 0.0,
+            });
+            let t = larft(&v, &tau[k0..k0 + kb]);
+            // Trailing update: C -= V · Tᵀ · Vᵀ · C, three GEMMs.
+            let c = Matrix::from_fn(rows, rest, |i, j| a.at(k0 + i, k0 + kb + j));
+            let mut w = Matrix::zeros(kb, rest);
+            gemm(
+                Trans::Yes,
+                Trans::No,
+                1.0,
+                &v.view(),
+                &c.view(),
+                0.0,
+                &mut w.view_mut(),
+                cfg,
+            )?;
+            let mut tw = Matrix::zeros(kb, rest);
+            gemm(
+                Trans::Yes,
+                Trans::No,
+                1.0,
+                &t.view(),
+                &w.view(),
+                0.0,
+                &mut tw.view_mut(),
+                cfg,
+            )?;
+            let mut trailing = a.subview_mut(k0, k0 + kb, rows, rest);
+            gemm(
+                Trans::No,
+                Trans::No,
+                -1.0,
+                &v.view(),
+                &tw.view(),
+                1.0,
+                &mut trailing,
+                cfg,
+            )?;
+        }
+        k0 += kb;
+    }
+    Ok(())
+}
+
+/// Reference QR: the scalar unblocked Householder recurrence over the whole
+/// matrix. Used by the unit and property tests to validate the blocked
+/// kernel.
+///
+/// # Errors
+///
+/// Same checks as [`qr`].
+pub fn qr_naive(a: &mut MatrixViewMut<'_>, tau: &mut Vec<f64>) -> Result<()> {
+    let (_, n) = check_tall(a)?;
+    tau.clear();
+    factor_panel(a, tau, 0, n);
+    Ok(())
+}
+
+fn check_tall(a: &MatrixViewMut<'_>) -> Result<(usize, usize)> {
+    if a.rows() < a.cols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "qr (requires rows >= cols)",
+            lhs: (a.rows(), a.cols()),
+            rhs: (a.cols(), a.cols()),
+        });
+    }
+    Ok((a.rows(), a.cols()))
+}
+
+/// Scalar unblocked Householder QR of the `kb`-column panel starting at
+/// column `k0`, pushing one `tau` per column and applying each reflector to
+/// the remaining panel columns as it is formed.
+fn factor_panel(a: &mut MatrixViewMut<'_>, tau: &mut Vec<f64>, k0: usize, kb: usize) {
+    let m = a.rows();
+    for j in 0..kb {
+        let c = k0 + j;
+        // Householder vector annihilating a[c+1.., c] into a[c, c].
+        let mut normsq = 0.0;
+        for i in (c + 1)..m {
+            let v = a.at(i, c);
+            normsq += v * v;
+        }
+        let alpha = a.at(c, c);
+        if normsq == 0.0 {
+            // Already triangular in this column: the identity reflector.
+            tau.push(0.0);
+            continue;
+        }
+        let norm = (alpha * alpha + normsq).sqrt();
+        let beta = if alpha >= 0.0 { -norm } else { norm };
+        let t = (beta - alpha) / beta;
+        tau.push(t);
+        let scale = 1.0 / (alpha - beta);
+        for i in (c + 1)..m {
+            *a.at_mut(i, c) *= scale;
+        }
+        *a.at_mut(c, c) = beta;
+        // Apply H = I - tau·v·vᵀ to the remaining panel columns.
+        for cc in (c + 1)..(k0 + kb) {
+            let mut w = a.at(c, cc);
+            for i in (c + 1)..m {
+                w += a.at(i, c) * a.at(i, cc);
+            }
+            let tw = t * w;
+            *a.at_mut(c, cc) -= tw;
+            for i in (c + 1)..m {
+                let v = a.at(i, c);
+                *a.at_mut(i, cc) -= tw * v;
+            }
+        }
+    }
+}
+
+/// LAPACK `larft` (forward, columnwise): the upper-triangular `T` with
+/// `H_0·H_1⋯H_{kb-1} = I - V·T·Vᵀ`.
+fn larft(v: &Matrix, tau: &[f64]) -> Matrix {
+    let kb = v.cols();
+    let mut t = Matrix::zeros(kb, kb);
+    for j in 0..kb {
+        t[(j, j)] = tau[j];
+        if j == 0 || tau[j] == 0.0 {
+            continue;
+        }
+        // z := V(:, 0..j)ᵀ · v_j, then T(0..j, j) := -tau_j · T(0..j, 0..j)·z.
+        let mut z = vec![0.0; j];
+        for (p, zp) in z.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for r in 0..v.rows() {
+                s += v[(r, p)] * v[(r, j)];
+            }
+            *zp = s;
+        }
+        for i in 0..j {
+            let mut s = 0.0;
+            for (p, &zp) in z.iter().enumerate().skip(i) {
+                s += t[(i, p)] * zp;
+            }
+            t[(i, j)] = -tau[j] * s;
+        }
+    }
+    t
+}
+
+/// Factor `a` out of place into the packed `m x (n+1)` operand the
+/// kernel-call IR uses: Householder vectors and `R` in columns `0..n` and the
+/// `tau` coefficients, one per reflector, in the first `n` rows of column `n`.
+///
+/// # Errors
+///
+/// Same checks as [`qr`].
+pub fn qr_packed(a: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut f = Matrix::zeros(m, n + 1);
+    for j in 0..n {
+        f.col_mut(j).copy_from_slice(a.col(j));
+    }
+    let mut tau = Vec::new();
+    {
+        let mut full = f.view_mut();
+        let mut panel = full.subview_mut(0, 0, m, n);
+        qr(&mut panel, &mut tau, cfg)?;
+    }
+    for (j, &t) in tau.iter().enumerate() {
+        f[(j, n)] = t;
+    }
+    Ok(f)
+}
+
+/// Apply `Qᵀ` from a packed QR factor `f` (`m x (n+1)`, see [`qr_packed`]) to
+/// `b` (`m x k`) and return the *top `n` rows* of the product — exactly the
+/// `Qᵀb` block the least-squares triangular solve `x = R⁻¹·(Qᵀb)` consumes.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when `f` has no tau column,
+/// `b`'s row count differs from `f`'s, or `n > m`.
+pub fn ormqr(f: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let Some(n) = f.cols().checked_sub(1) else {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ormqr",
+            lhs: f.shape(),
+            rhs: b.shape(),
+        });
+    };
+    let m = f.rows();
+    if b.rows() != m || n > m {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ormqr",
+            lhs: f.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let k = b.cols();
+    // Qᵀ·B = H_{n-1}⋯H_0·B: apply the reflectors in factorisation order.
+    let mut work = b.clone();
+    for j in 0..n {
+        let t = f[(j, n)];
+        if t == 0.0 {
+            continue;
+        }
+        for c in 0..k {
+            let col = work.col_mut(c);
+            let mut w = col[j];
+            for i in (j + 1)..m {
+                w += f[(i, j)] * col[i];
+            }
+            let tw = t * w;
+            col[j] -= tw;
+            for i in (j + 1)..m {
+                col[i] -= tw * f[(i, j)];
+            }
+        }
+    }
+    Ok(Matrix::from_fn(n, k, |i, j| work[(i, j)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::gemm_naive;
+    use crate::getrf::factor_triangle;
+    use crate::trsm::trsm_naive;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::random_seeded;
+    use lamb_matrix::Uplo;
+
+    /// `Q·B` from a packed factor: apply the reflectors in reverse order.
+    fn apply_q(f: &Matrix, b: &Matrix) -> Matrix {
+        let m = f.rows();
+        let n = f.cols() - 1;
+        let mut work = b.clone();
+        for j in (0..n).rev() {
+            let t = f[(j, n)];
+            if t == 0.0 {
+                continue;
+            }
+            for c in 0..b.cols() {
+                let col = work.col_mut(c);
+                let mut w = col[j];
+                for i in (j + 1)..m {
+                    w += f[(i, j)] * col[i];
+                }
+                let tw = t * w;
+                col[j] -= tw;
+                for i in (j + 1)..m {
+                    col[i] -= tw * f[(i, j)];
+                }
+            }
+        }
+        work
+    }
+
+    fn check_reconstruction(m: usize, n: usize, seed: u64, cfg: &BlockConfig) {
+        let a = random_seeded(m, n, seed);
+        let f = qr_packed(&a, cfg).unwrap();
+        assert_eq!(f.shape(), (m, n + 1));
+        // Q · [R; 0] must reproduce A.
+        let r = factor_triangle(Uplo::Upper, &f).unwrap();
+        let r_padded = Matrix::from_fn(m, n, |i, j| if i < n { r[(i, j)] } else { 0.0 });
+        let back = apply_q(&f, &r_padded);
+        let diff = max_abs_diff(&back, &a).unwrap();
+        assert!(
+            diff < 1e-10 * (m as f64).max(1.0),
+            "m {m} n {n}: reconstruction diff {diff}"
+        );
+        // ORMQR must agree: Qᵀ·A is [R; 0], so its top n rows are R.
+        let qta = ormqr(&f, &a).unwrap();
+        assert!(max_abs_diff(&qta, &r).unwrap() < 1e-10 * (m as f64).max(1.0));
+    }
+
+    #[test]
+    fn blocked_factor_reconstructs_the_matrix() {
+        let cfg = BlockConfig::serial();
+        for (m, n) in [(1, 1), (2, 1), (5, 3), (23, 23), (64, 40), (97, 13)] {
+            check_reconstruction(m, n, 7 + (m + n) as u64, &cfg);
+        }
+    }
+
+    #[test]
+    fn tiny_blocking_exercises_partial_panels() {
+        let cfg = BlockConfig::tiny(); // tri_block = 3
+        check_reconstruction(13, 13, 3, &cfg);
+        check_reconstruction(11, 7, 4, &cfg);
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        let cfg = BlockConfig {
+            parallel_flop_threshold: 1,
+            ..BlockConfig::default()
+        };
+        let a = random_seeded(150, 90, 17);
+        let mut blocked = a.clone();
+        let mut tau_b = Vec::new();
+        qr(&mut blocked.view_mut(), &mut tau_b, &cfg).unwrap();
+        let mut naive = a.clone();
+        let mut tau_n = Vec::new();
+        qr_naive(&mut naive.view_mut(), &mut tau_n).unwrap();
+        assert_eq!(tau_b.len(), tau_n.len());
+        for (b, n) in tau_b.iter().zip(&tau_n) {
+            assert!((b - n).abs() < 1e-9, "tau diverged: {b} vs {n}");
+        }
+        assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn factor_solves_least_squares_through_ormqr_and_trsm() {
+        // The QR realisation of argmin ‖Ax - b‖: ORMQR then one TRSM. The
+        // normal-equations residual Aᵀ(A·X - B) certifies optimality.
+        let cfg = BlockConfig::serial();
+        let (m, n, k) = (37, 13, 4);
+        let a = random_seeded(m, n, 9);
+        let b = random_seeded(m, k, 10);
+        let f = qr_packed(&a, &cfg).unwrap();
+        let r = factor_triangle(Uplo::Upper, &f).unwrap();
+        let c = ormqr(&f, &b).unwrap();
+        let mut x = Matrix::zeros(n, k);
+        trsm_naive(
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            &r.view(),
+            &c.view(),
+            &mut x.view_mut(),
+        )
+        .unwrap();
+        let mut ax = Matrix::zeros(m, k);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &x.view(),
+            0.0,
+            &mut ax.view_mut(),
+        )
+        .unwrap();
+        let resid = Matrix::from_fn(m, k, |i, j| ax[(i, j)] - b[(i, j)]);
+        let mut normal = Matrix::zeros(n, k);
+        gemm_naive(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &a.view(),
+            &resid.view(),
+            0.0,
+            &mut normal.view_mut(),
+        )
+        .unwrap();
+        assert!(lamb_matrix::ops::max_abs(&normal) < 1e-10 * m as f64);
+    }
+
+    #[test]
+    fn zero_columns_factor_with_identity_reflectors() {
+        // Rank deficiency is not an error at factor time: a zero column gives
+        // tau = 0 and a zero on R's diagonal; only the later TRSM fails.
+        let cfg = BlockConfig::tiny();
+        let mut a = random_seeded(9, 5, 21);
+        for i in 0..9 {
+            a[(i, 2)] = 0.0;
+        }
+        let f = qr_packed(&a, &cfg).unwrap();
+        let r = factor_triangle(Uplo::Upper, &f).unwrap();
+        let r_padded = Matrix::from_fn(9, 5, |i, j| if i < 5 { r[(i, j)] } else { 0.0 });
+        let back = apply_q(&f, &r_padded);
+        assert!(max_abs_diff(&back, &a).unwrap() < 1e-10 * 9.0);
+    }
+
+    #[test]
+    fn degenerate_and_wide_inputs() {
+        let cfg = BlockConfig::default();
+        // n = 0 factors to an empty R and a bare tau column.
+        let f = qr_packed(&Matrix::zeros(3, 0), &cfg).unwrap();
+        assert_eq!(f.shape(), (3, 1));
+        let f0 = qr_packed(&Matrix::zeros(0, 0), &cfg).unwrap();
+        assert_eq!(f0.shape(), (0, 1));
+        // 1 x 1 is a single (possibly identity) reflector.
+        let one = Matrix::filled(1, 1, -3.0);
+        let f1 = qr_packed(&one, &cfg).unwrap();
+        assert!((f1[(0, 0)].abs() - 3.0).abs() < 1e-14);
+        // Wide input is rejected.
+        let mut wide = Matrix::zeros(2, 5);
+        assert!(matches!(
+            qr(&mut wide.view_mut(), &mut Vec::new(), &cfg),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+        // ORMQR shape errors.
+        let b = Matrix::zeros(4, 2);
+        assert!(ormqr(&Matrix::zeros(4, 0), &b).is_err());
+        assert!(ormqr(&Matrix::zeros(3, 3), &b).is_err());
+        assert!(ormqr(&Matrix::zeros(4, 6), &b).is_err());
+        // Degenerate ORMQR: no reflectors leaves the top 0 rows.
+        let c = ormqr(&Matrix::zeros(4, 1), &b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+    }
+
+    #[test]
+    fn blocked_and_naive_agree_on_the_factor_itself() {
+        let cfg = BlockConfig::serial();
+        let a = random_seeded(40, 28, 33);
+        let mut blocked = a.clone();
+        let mut naive = a.clone();
+        let (mut tb, mut tn) = (Vec::new(), Vec::new());
+        qr(&mut blocked.view_mut(), &mut tb, &cfg).unwrap();
+        qr_naive(&mut naive.view_mut(), &mut tn).unwrap();
+        assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-10);
+    }
+}

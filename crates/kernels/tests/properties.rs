@@ -2,7 +2,10 @@
 //! reference, over randomly drawn shapes, transposition flags, scalars and
 //! blocking configurations.
 
-use lamb_kernels::{gemm, gemm_naive, symm, syrk, trmm, trmm_naive, trsm, trsm_naive, BlockConfig};
+use lamb_kernels::{
+    factor_triangle, gemm, gemm_naive, getrf, getrf_naive, ormqr, pivot_apply, qr, qr_naive,
+    qr_packed, symm, syrk, trmm, trmm_naive, trsm, trsm_naive, BlockConfig,
+};
 use lamb_matrix::ops::{frobenius_norm, max_abs_diff, zero_opposite_triangle};
 use lamb_matrix::random::{random_seeded, random_symmetric, random_triangular};
 use lamb_matrix::{Matrix, Side, Trans, Uplo};
@@ -157,6 +160,63 @@ proptest! {
         trsm(uplo, trans, 1.0, &l.view(), &lb.view(), &mut recovered.view_mut(), &cfg).unwrap();
         let norm = frobenius_norm(&b).max(1.0);
         prop_assert!(max_abs_diff(&recovered, &b).unwrap() < 1e-10 * norm);
+    }
+
+    #[test]
+    fn getrf_matches_naive_and_reconstructs(
+        n in 1usize..40,
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let a = random_seeded(n, n, seed);
+        let mut blocked = a.clone();
+        let mut naive = a.clone();
+        let (mut pb, mut pn) = (Vec::new(), Vec::new());
+        getrf(&mut blocked.view_mut(), &mut pb, &cfg).unwrap();
+        getrf_naive(&mut naive.view_mut(), &mut pn).unwrap();
+        prop_assert_eq!(&pb, &pn);
+        let norm = frobenius_norm(&naive).max(1.0);
+        prop_assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-10 * norm);
+        // L·U reproduces P·A.
+        let f = Matrix::from_fn(n, n + 1, |i, j| {
+            if j < n { blocked[(i, j)] } else { pb[i] as f64 }
+        });
+        let l = factor_triangle(Uplo::Lower, &f).unwrap();
+        let u = factor_triangle(Uplo::Upper, &f).unwrap();
+        let pa = pivot_apply(&f, &a).unwrap();
+        let mut back = Matrix::zeros(n, n);
+        gemm_naive(Trans::No, Trans::No, 1.0, &l.view(), &u.view(), 0.0, &mut back.view_mut()).unwrap();
+        prop_assert!(max_abs_diff(&back, &pa).unwrap() < 1e-10 * frobenius_norm(&pa).max(1.0));
+    }
+
+    #[test]
+    fn qr_matches_naive_and_is_orthogonal(
+        m in 1usize..40,
+        extra in 0usize..12,
+        cfg in config_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        // Tall or square: n <= m by construction.
+        let n = m.saturating_sub(extra).max(1);
+        let a = random_seeded(m, n, seed);
+        let mut blocked = a.clone();
+        let mut naive = a.clone();
+        let (mut tb, mut tn) = (Vec::new(), Vec::new());
+        qr(&mut blocked.view_mut(), &mut tb, &cfg).unwrap();
+        qr_naive(&mut naive.view_mut(), &mut tn).unwrap();
+        let norm = frobenius_norm(&a).max(1.0);
+        prop_assert!(max_abs_diff(&blocked, &naive).unwrap() < 1e-9 * norm);
+        // ORMQR preserves Gram structure: (Qᵀa)ᵀ(Qᵀa) restricted to the top
+        // n rows equals RᵀR = aᵀa (Q orthogonal and a in Q's column span).
+        let f = qr_packed(&a, &cfg).unwrap();
+        let qta = ormqr(&f, &a).unwrap();
+        let r = factor_triangle(Uplo::Upper, &f).unwrap();
+        prop_assert!(max_abs_diff(&qta, &r).unwrap() < 1e-9 * norm);
+        let mut gram_a = Matrix::zeros(n, n);
+        gemm_naive(Trans::Yes, Trans::No, 1.0, &a.view(), &a.view(), 0.0, &mut gram_a.view_mut()).unwrap();
+        let mut gram_r = Matrix::zeros(n, n);
+        gemm_naive(Trans::Yes, Trans::No, 1.0, &r.view(), &r.view(), 0.0, &mut gram_r.view_mut()).unwrap();
+        prop_assert!(max_abs_diff(&gram_a, &gram_r).unwrap() < 1e-9 * norm * norm);
     }
 
     #[test]

@@ -132,13 +132,90 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
             });
             vec![OperandId(0)]
         }
+        KernelOp::Getrf { n } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: n,
+                cols: n,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "A".into(),
+            });
+            vec![OperandId(0)]
+        }
+        KernelOp::Qr { m, n } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: m,
+                cols: n,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "A".into(),
+            });
+            vec![OperandId(0)]
+        }
+        // The packed-factor consumers take the factor as an algorithm input
+        // — the structure-flow pass trusts externally supplied factors, the
+        // same boundary the factor cache uses.
+        KernelOp::Ormqr { m, n, k } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: m,
+                cols: n + 1,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "F".into(),
+            });
+            operands.push(OperandInfo {
+                id: OperandId(1),
+                rows: m,
+                cols: k,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "B".into(),
+            });
+            vec![OperandId(0), OperandId(1)]
+        }
+        KernelOp::FactorTri { n, .. } => {
+            // A square packed LU-shaped factor: valid for both triangles.
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: n,
+                cols: n + 1,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "F".into(),
+            });
+            vec![OperandId(0)]
+        }
+        KernelOp::PivotApply { m, n } => {
+            operands.push(OperandInfo {
+                id: OperandId(0),
+                rows: m,
+                cols: m + 1,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "F".into(),
+            });
+            operands.push(OperandInfo {
+                id: OperandId(1),
+                rows: m,
+                cols: n,
+                role: OperandRole::Input,
+                structure: lamb_matrix::Structure::General,
+                name: "B".into(),
+            });
+            vec![OperandId(0), OperandId(1)]
+        }
     };
     // For benchmarking purposes the triangle copy is also given a distinct
     // output operand (an `n x n` workspace); inside real algorithms the copy
     // is performed in place on the intermediate. POTRF's output is the
     // explicitly triangular Cholesky factor, as everywhere else in the IR.
     let out_structure = match &op {
-        KernelOp::Potrf { uplo, .. } => lamb_matrix::Structure::Triangular(*uplo),
+        KernelOp::Potrf { uplo, .. } | KernelOp::FactorTri { uplo, .. } => {
+            lamb_matrix::Structure::Triangular(*uplo)
+        }
         _ => lamb_matrix::Structure::General,
     };
     let out_id = OperandId(operands.len());
@@ -184,15 +261,19 @@ pub fn estimate_peak_flops(cfg: &BlockConfig, size: usize, trials: usize) -> f64
 }
 
 /// Names of the compute kernels swept by the square calibration, in sweep
-/// order (the paper's Figure 1 trio plus the triangular and SPD extensions).
-pub const SQUARE_SWEEP_KERNELS: [&str; 6] = ["gemm", "syrk", "symm", "trmm", "trsm", "potrf"];
+/// order (the paper's Figure 1 trio plus the triangular, SPD and general
+/// factorisation extensions).
+pub const SQUARE_SWEEP_KERNELS: [&str; 8] = [
+    "gemm", "syrk", "symm", "trmm", "trsm", "potrf", "getrf", "qr",
+];
 
 /// The square-operand kernel operations of the calibration sweep at a given
 /// size: the paper's Figure 1 trio (GEMM, SYRK, SYMM) extended with the
-/// triangular kernels (TRMM, TRSM) and the Cholesky factorisation (POTRF),
-/// in [`SQUARE_SWEEP_KERNELS`] order.
+/// triangular kernels (TRMM, TRSM), the Cholesky factorisation (POTRF) and
+/// the general factorisations (GETRF, square QR), in
+/// [`SQUARE_SWEEP_KERNELS`] order.
 #[must_use]
-pub fn square_ops(size: usize) -> [KernelOp; 6] {
+pub fn square_ops(size: usize) -> [KernelOp; 8] {
     [
         KernelOp::Gemm {
             transa: Trans::No,
@@ -229,6 +310,8 @@ pub fn square_ops(size: usize) -> [KernelOp; 6] {
             uplo: Uplo::Lower,
             n: size,
         },
+        KernelOp::Getrf { n: size },
+        KernelOp::Qr { m: size, n: size },
     ]
 }
 
@@ -304,6 +387,14 @@ mod tests {
                 uplo: Uplo::Lower,
                 n: 6,
             },
+            KernelOp::Getrf { n: 9 },
+            KernelOp::Qr { m: 11, n: 4 },
+            KernelOp::Ormqr { m: 11, n: 4, k: 3 },
+            KernelOp::FactorTri {
+                uplo: Uplo::Upper,
+                n: 5,
+            },
+            KernelOp::PivotApply { m: 8, n: 2 },
         ];
         for op in ops {
             let alg = single_call_algorithm(op.clone());

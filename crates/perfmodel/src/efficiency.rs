@@ -85,6 +85,22 @@ pub struct AnalyticEfficiencyModel {
     /// Cholesky-based SPD solve need not translate into a time saving, the
     /// anomaly mechanism of the SPD family.
     pub potrf_rel: (f64, f64, f64),
+    /// GETRF efficiency relative to the same-order square GEMM:
+    /// `(base, gain, half)` in the factored order. Partial pivoting adds row
+    /// searches and swaps on top of POTRF-style panel/update recursion, so
+    /// the LU rate sits slightly below POTRF's at every order — and the
+    /// general solve's `2n³/3` factor cost is even easier to defeat at small
+    /// orders than the Cholesky one.
+    pub getrf_rel: (f64, f64, f64),
+    /// QR efficiency relative to the `(m, n, n)` GEMM: `(base, gain, half)`
+    /// in the reflector count `n`. Householder panel factorisation is
+    /// dominated by skinny rank-1-ish updates until the blocked trailing
+    /// update takes over, so QR ramps latest of all the factorisations.
+    pub qr_rel: (f64, f64, f64),
+    /// ORMQR efficiency relative to the `(m, k, n)` GEMM: `(base, gain,
+    /// half)` in the reflector count. Blocked reflector application is
+    /// GEMM-rich, so it sits well above the factorisations but below GEMM.
+    pub ormqr_rel: (f64, f64, f64),
     /// Whether abrupt internal-variant switches are modelled.
     pub variant_switches: bool,
 }
@@ -99,6 +115,9 @@ impl Default for AnalyticEfficiencyModel {
             trmm_rel: (0.38, 0.56, 390.0),
             trsm_rel: (0.22, 0.62, 520.0),
             potrf_rel: (0.18, 0.64, 560.0),
+            getrf_rel: (0.17, 0.63, 580.0),
+            qr_rel: (0.15, 0.62, 640.0),
+            ormqr_rel: (0.34, 0.58, 360.0),
             variant_switches: true,
         }
     }
@@ -231,6 +250,54 @@ impl AnalyticEfficiencyModel {
         f
     }
 
+    /// Variant factor for GETRF: like POTRF's blocked/unblocked crossover,
+    /// with a deeper small-order penalty from the pivot searches.
+    fn getrf_variant_factor(&self, n: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if n < 384 {
+            f *= 0.90;
+        }
+        if n < 64 {
+            f *= 0.78;
+        }
+        f
+    }
+
+    /// Variant factor for QR: the library switches from a blocked
+    /// compact-WY path to an unblocked Householder loop for thin panels.
+    fn qr_variant_factor(&self, n: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if n < 320 {
+            f *= 0.90;
+        }
+        if n < 48 {
+            f *= 0.80;
+        }
+        f
+    }
+
+    /// Variant factor for ORMQR (switches on the reflector count and on the
+    /// right-hand-side width, like the triangular kernels).
+    fn ormqr_variant_factor(&self, n: usize, k: usize) -> f64 {
+        if !self.variant_switches {
+            return 1.0;
+        }
+        let mut f = 1.0;
+        if n < 256 {
+            f *= 0.92;
+        }
+        if k < 32 {
+            f *= 0.85;
+        }
+        f
+    }
+
     fn rel(&self, params: (f64, f64, f64), order: usize) -> f64 {
         let (base, gain, half) = params;
         base + gain * ramp(order, half)
@@ -270,9 +337,24 @@ impl EfficiencyModel for AnalyticEfficiencyModel {
                     * self.rel(self.potrf_rel, n)
                     * self.potrf_variant_factor(n)
             }
-            // The copy has no floating-point work; report a nominal efficiency
-            // so callers never divide by zero.
-            KernelOp::CopyTriangle { .. } => 1.0,
+            KernelOp::Getrf { n } => {
+                self.gemm_efficiency(n, n, n)
+                    * self.rel(self.getrf_rel, n)
+                    * self.getrf_variant_factor(n)
+            }
+            KernelOp::Qr { m, n } => {
+                self.gemm_efficiency(m, n, n) * self.rel(self.qr_rel, n) * self.qr_variant_factor(n)
+            }
+            KernelOp::Ormqr { m, n, k } => {
+                self.gemm_efficiency(m, k, n)
+                    * self.rel(self.ormqr_rel, n)
+                    * self.ormqr_variant_factor(n, k)
+            }
+            // The data-movement ops have no floating-point work; report a
+            // nominal efficiency so callers never divide by zero.
+            KernelOp::CopyTriangle { .. }
+            | KernelOp::FactorTri { .. }
+            | KernelOp::PivotApply { .. } => 1.0,
         };
         e.clamp(1.0e-4, 1.0)
     }
@@ -488,6 +570,45 @@ mod tests {
         let square = model.efficiency(&gemm_op(400, 400, 400));
         let skinny = model.efficiency(&gemm_op(6400, 400, 25));
         assert!(square > skinny);
+    }
+
+    #[test]
+    fn general_factorisations_trail_gemm_and_ramp_with_size() {
+        let model = AnalyticEfficiencyModel::default();
+        for size in [100, 300, 600, 1000, 2000] {
+            let g = model.efficiency(&gemm_op(size, size, size));
+            let lu = model.efficiency(&KernelOp::Getrf { n: size });
+            let qr = model.efficiency(&KernelOp::Qr { m: size, n: size });
+            let mq = model.efficiency(&KernelOp::Ormqr {
+                m: size,
+                n: size,
+                k: size,
+            });
+            assert!(g > lu, "size {size}: gemm {g} vs getrf {lu}");
+            assert!(g > qr, "size {size}: gemm {g} vs qr {qr}");
+            assert!(g > mq, "size {size}: gemm {g} vs ormqr {mq}");
+            // Reflector application is GEMM-rich; the factorisations are not.
+            assert!(mq > lu, "size {size}: ormqr {mq} vs getrf {lu}");
+            assert!(mq > qr, "size {size}: ormqr {mq} vs qr {qr}");
+        }
+        // Both surfaces still ramp with size.
+        assert!(
+            model.efficiency(&KernelOp::Getrf { n: 2000 })
+                > model.efficiency(&KernelOp::Getrf { n: 100 })
+        );
+        assert!(
+            model.efficiency(&KernelOp::Qr { m: 2000, n: 2000 })
+                > model.efficiency(&KernelOp::Qr { m: 100, n: 100 })
+        );
+        // The zero-FLOP movement ops report nominal efficiency.
+        assert_eq!(
+            model.efficiency(&KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n: 64
+            }),
+            1.0
+        );
+        assert_eq!(model.efficiency(&KernelOp::PivotApply { m: 64, n: 8 }), 1.0);
     }
 
     #[test]

@@ -150,6 +150,17 @@ impl MeasuredExecutor {
                     b: input(1),
                 },
                 KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: input(0) },
+                KernelOp::Getrf { .. } => Kernel::Getrf { a: input(0) },
+                KernelOp::Qr { .. } => Kernel::Qr { a: input(0) },
+                KernelOp::Ormqr { .. } => Kernel::Ormqr {
+                    f: input(0),
+                    b: input(1),
+                },
+                KernelOp::FactorTri { uplo, .. } => Kernel::FactorTri { uplo, f: input(0) },
+                KernelOp::PivotApply { .. } => Kernel::PivotApply {
+                    f: input(0),
+                    b: input(1),
+                },
                 KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
             };
             if let Kernel::Trmm { uplo, l, .. } | Kernel::Trsm { uplo, l, .. } = kernel {
@@ -528,6 +539,37 @@ mod tests {
         let (warm_result, warm_report) = exec.compute_result_reusing(solve, &store);
         assert!(warm_report.reused_calls >= 1);
         assert_eq!(warm_report.executed("potrf"), 0);
+        assert_eq!(max_abs_diff(&reference, &warm_result).unwrap(), 0.0);
+        assert_eq!(timing.per_call.len(), solve.calls.len());
+    }
+
+    #[test]
+    fn factor_store_reuse_skips_the_getrf_and_preserves_numerics() {
+        use crate::reuse::SimpleFactorStore;
+        use lamb_expr::{Expression, TreeExpression};
+        let expr = TreeExpression::parse("A^-1*B").unwrap();
+        let algs = expr.algorithms(&[24, 7]).unwrap();
+        let solve = algs
+            .iter()
+            .find(|a| a.kernel_summary().contains("getrf"))
+            .unwrap();
+        let mut exec = tiny_executor();
+        let reference = exec.compute_result(solve);
+        let store = SimpleFactorStore::new();
+        // Cold pass: the LU pipeline runs in full and deposits its factor.
+        let (_, cold) = exec.execute_algorithm_reusing(solve, &store);
+        assert_eq!(cold.reused_calls, 0);
+        assert_eq!(cold.executed("getrf"), 1);
+        // Warm pass: the packed factor is injected; no re-factorisation.
+        let (timing, warm) = exec.execute_algorithm_reusing(solve, &store);
+        assert_eq!(warm.executed("getrf"), 0);
+        assert!(warm.reused_calls >= 1);
+        assert!(warm.reused_flops > 0);
+        // The injected factor (pivots included) leaves the result
+        // bit-identical to a fresh execution.
+        let (warm_result, warm_report) = exec.compute_result_reusing(solve, &store);
+        assert!(warm_report.reused_calls >= 1);
+        assert_eq!(warm_report.executed("getrf"), 0);
         assert_eq!(max_abs_diff(&reference, &warm_result).unwrap(), 0.0);
         assert_eq!(timing.per_call.len(), solve.calls.len());
     }

@@ -65,7 +65,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 ///   contract: v1/v2 documents load as-is, report POTRF (and, for v1, the
 ///   triangular kernels) as missing coverage, and are upgraded to v3 on the
 ///   next save.
-pub const STORE_FORMAT_VERSION: u64 = 3;
+/// * **v4** — adds the general-solver tier: the pivoted LU factorisation
+///   GETRF, the Householder QR factorisation, the reflector application
+///   ORMQR, and the zero-FLOP packed-factor movers FACTORTRI (`laswp`-style
+///   triangle extraction, keeps its `uplo`) and LASWP (pivot application).
+///   Same migration contract: v1-v3 documents load as-is, report GETRF and
+///   QR as missing sweep coverage, and are upgraded to v4 on the next save.
+pub const STORE_FORMAT_VERSION: u64 = 4;
 
 /// Oldest on-disk format version this build still reads (and migrates).
 pub const STORE_MIN_SUPPORTED_VERSION: u64 = 1;
@@ -76,7 +82,7 @@ pub const STORE_FORMAT_NAME: &str = "lamb-calibration-store";
 /// The compute kernels a fully-covered store is expected to have benchmark
 /// entries for — by definition, exactly the kernels the square calibration
 /// sweep covers, so the two lists cannot drift apart.
-pub const EXPECTED_KERNELS: [&str; 6] = crate::calibrate::SQUARE_SWEEP_KERNELS;
+pub const EXPECTED_KERNELS: [&str; 8] = crate::calibrate::SQUARE_SWEEP_KERNELS;
 
 /// Relative peak-FLOPS drift beyond which a store is flagged as stale.
 pub const PEAK_DRIFT_TOLERANCE: f64 = 0.05;
@@ -563,6 +569,22 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
             fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
             fields.push(("n".into(), Json::Num(n as f64)));
         }
+        KernelOp::Getrf { n } => {
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
+        KernelOp::Qr { m, n } | KernelOp::PivotApply { m, n } => {
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
+        KernelOp::Ormqr { m, n, k } => {
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+            fields.push(("k".into(), Json::Num(k as f64)));
+        }
+        KernelOp::FactorTri { uplo, n } => {
+            fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
     }
     fields.push(("seconds".into(), Json::Num(seconds)));
     Json::Obj(fields)
@@ -609,6 +631,24 @@ fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
         },
         "copy" => KernelOp::CopyTriangle {
             uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            n: dim("n")?,
+        },
+        "getrf" => KernelOp::Getrf { n: dim("n")? },
+        "qr" => KernelOp::Qr {
+            m: dim("m")?,
+            n: dim("n")?,
+        },
+        "ormqr" => KernelOp::Ormqr {
+            m: dim("m")?,
+            n: dim("n")?,
+            k: dim("k")?,
+        },
+        "factortri" => KernelOp::FactorTri {
+            uplo: parse_uplo(&field_str(entry, "uplo")?)?,
+            n: dim("n")?,
+        },
+        "laswp" => KernelOp::PivotApply {
+            m: dim("m")?,
             n: dim("n")?,
         },
         other => return Err(StoreError::Format(format!("unknown call kind `{other}`"))),
@@ -745,6 +785,21 @@ mod tests {
             },
             7.0e-7,
         );
+        store.calls.insert(KernelOp::Getrf { n: 56 }, 3.125e-4);
+        store.calls.insert(KernelOp::Qr { m: 96, n: 24 }, 5.5e-4);
+        store
+            .calls
+            .insert(KernelOp::Ormqr { m: 96, n: 24, k: 5 }, 8.25e-5);
+        store.calls.insert(
+            KernelOp::FactorTri {
+                uplo: Uplo::Upper,
+                n: 56,
+            },
+            4.0e-7,
+        );
+        store
+            .calls
+            .insert(KernelOp::PivotApply { m: 56, n: 5 }, 2.0e-7);
         store
     }
 
@@ -914,7 +969,20 @@ mod tests {
     fn coverage_counts_by_kernel() {
         let store = sample_store();
         let cov = store.coverage();
-        for kernel in ["gemm", "syrk", "symm", "trmm", "trsm", "potrf", "copy"] {
+        for kernel in [
+            "gemm",
+            "syrk",
+            "symm",
+            "trmm",
+            "trsm",
+            "potrf",
+            "copy",
+            "getrf",
+            "qr",
+            "ormqr",
+            "factortri",
+            "laswp",
+        ] {
             assert_eq!(cov.get(kernel), Some(&1), "{kernel}");
         }
         assert!(store.missing_kernels().is_empty());
@@ -945,15 +1013,18 @@ mod tests {
     #[test]
     fn v1_documents_load_report_missing_coverage_and_migrate() {
         // Reconstruct what the v1 build wrote: a version-1 document whose
-        // call table has neither the triangular kernels nor POTRF.
+        // call table has only the original GEMM/SYRK/SYMM/copy vocabulary.
         let mut old = sample_store();
         old.calls = CallTimeTable::from_entries(
             old.calls
                 .entries()
                 .filter(|(op, _)| {
-                    !matches!(
+                    matches!(
                         op,
-                        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } | KernelOp::Potrf { .. }
+                        KernelOp::Gemm { .. }
+                            | KernelOp::Syrk { .. }
+                            | KernelOp::Symm { .. }
+                            | KernelOp::CopyTriangle { .. }
                     )
                 })
                 .map(|(op, s)| (op.clone(), s)),
@@ -963,14 +1034,17 @@ mod tests {
             "\"version\": 1",
         );
 
-        // It loads under the v3 build...
+        // It loads under the current build...
         let migrated = CalibrationStore::from_json(&v1_text).unwrap();
         assert_eq!(migrated.calls.len(), old.calls.len());
-        // ...reports the coverage gap for every newer kernel...
-        assert_eq!(migrated.missing_kernels(), vec!["trmm", "trsm", "potrf"]);
+        // ...reports the coverage gap for every newer sweep kernel...
+        assert_eq!(
+            migrated.missing_kernels(),
+            vec!["trmm", "trsm", "potrf", "getrf", "qr"]
+        );
 
         // ...and after merging a sweep that fills the gap, round-trips
-        // bit-identically through the (v3) serialisation.
+        // bit-identically through the current serialisation.
         let mut merged = migrated;
         let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
         sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
@@ -999,12 +1073,16 @@ mod tests {
             },
             1.0 / 11.0,
         );
+        sweep.calls.insert(KernelOp::Getrf { n: 100 }, 1.0 / 17.0);
+        sweep
+            .calls
+            .insert(KernelOp::Qr { m: 100, n: 100 }, 1.0 / 19.0);
         merged.merge_from(&sweep).unwrap();
         assert!(merged.missing_kernels().is_empty());
         let text = merged.to_json();
         assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
         let back = CalibrationStore::from_json(&text).unwrap();
-        assert_eq!(back.to_json(), text, "v1→v3 migration must round-trip");
+        assert_eq!(back.to_json(), text, "v1→v4 migration must round-trip");
         let mut calls = back.calls;
         let t = calls
             .lookup(&KernelOp::Trmm {
@@ -1020,12 +1098,22 @@ mod tests {
     #[test]
     fn v2_documents_load_report_missing_potrf_and_migrate_bit_identically() {
         // Reconstruct what the v2 build wrote: a version-2 document with the
-        // triangular kernels but no POTRF entries.
+        // triangular kernels but neither POTRF nor the general-solver tier.
         let mut old = sample_store();
         old.calls = CallTimeTable::from_entries(
             old.calls
                 .entries()
-                .filter(|(op, _)| !matches!(op, KernelOp::Potrf { .. }))
+                .filter(|(op, _)| {
+                    !matches!(
+                        op,
+                        KernelOp::Potrf { .. }
+                            | KernelOp::Getrf { .. }
+                            | KernelOp::Qr { .. }
+                            | KernelOp::Ormqr { .. }
+                            | KernelOp::FactorTri { .. }
+                            | KernelOp::PivotApply { .. }
+                    )
+                })
                 .map(|(op, s)| (op.clone(), s)),
         );
         let v2_text = old.to_json().replace(
@@ -1033,7 +1121,8 @@ mod tests {
             "\"version\": 2",
         );
 
-        // It loads under the v3 build with its triangular coverage intact...
+        // It loads under the current build with its triangular coverage
+        // intact...
         let migrated = CalibrationStore::from_json(&v2_text).unwrap();
         assert_eq!(migrated.calls.len(), old.calls.len());
         let mut calls_check = migrated.calls.clone();
@@ -1047,10 +1136,10 @@ mod tests {
             Some(9.5e-5),
             "v2 triangular coverage must survive the migration"
         );
-        // ...reports POTRF (and only POTRF) as the coverage gap...
-        assert_eq!(migrated.missing_kernels(), vec!["potrf"]);
+        // ...reports the factorisation sweep kernels as the coverage gap...
+        assert_eq!(migrated.missing_kernels(), vec!["potrf", "getrf", "qr"]);
 
-        // ...and after a POTRF sweep fills it, the v2→v3 migration
+        // ...and after a factorisation sweep fills it, the migration
         // round-trips bit-identically.
         let mut merged = migrated;
         let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
@@ -1062,12 +1151,16 @@ mod tests {
             },
             1.0 / 13.0, // not exactly representable: a real bit-identity test
         );
+        sweep.calls.insert(KernelOp::Getrf { n: 72 }, 1.0 / 23.0);
+        sweep
+            .calls
+            .insert(KernelOp::Qr { m: 72, n: 72 }, 1.0 / 29.0);
         merged.merge_from(&sweep).unwrap();
         assert!(merged.missing_kernels().is_empty());
         let text = merged.to_json();
         assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
         let back = CalibrationStore::from_json(&text).unwrap();
-        assert_eq!(back.to_json(), text, "v2→v3 migration must round-trip");
+        assert_eq!(back.to_json(), text, "v2→v4 migration must round-trip");
         let mut calls = back.calls;
         let t = calls
             .lookup(&KernelOp::Potrf {
@@ -1076,5 +1169,93 @@ mod tests {
             })
             .unwrap();
         assert_eq!(t.to_bits(), (1.0f64 / 13.0).to_bits());
+    }
+
+    #[test]
+    fn v3_documents_load_report_missing_getrf_and_qr_and_migrate_bit_identically() {
+        // Reconstruct what the v3 build wrote: a version-3 document with
+        // everything up to POTRF but none of the general-solver tier.
+        let mut old = sample_store();
+        old.calls = CallTimeTable::from_entries(
+            old.calls
+                .entries()
+                .filter(|(op, _)| {
+                    !matches!(
+                        op,
+                        KernelOp::Getrf { .. }
+                            | KernelOp::Qr { .. }
+                            | KernelOp::Ormqr { .. }
+                            | KernelOp::FactorTri { .. }
+                            | KernelOp::PivotApply { .. }
+                    )
+                })
+                .map(|(op, s)| (op.clone(), s)),
+        );
+        let v3_text = old.to_json().replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 3",
+        );
+
+        // It loads under the v4 build with its POTRF coverage intact...
+        let migrated = CalibrationStore::from_json(&v3_text).unwrap();
+        assert_eq!(migrated.calls.len(), old.calls.len());
+        let mut calls_check = migrated.calls.clone();
+        assert_eq!(
+            calls_check.lookup(&KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n: 72,
+            }),
+            Some(4.75e-4),
+            "v3 POTRF coverage must survive the migration"
+        );
+        // ...reports GETRF and QR (and only those) as the coverage gap...
+        assert_eq!(migrated.missing_kernels(), vec!["getrf", "qr"]);
+
+        // ...and after a general-factorisation sweep fills it, the v3→v4
+        // migration round-trips bit-identically.
+        let mut merged = migrated;
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
+        // Not exactly representable: real bit-identity tests.
+        sweep.calls.insert(KernelOp::Getrf { n: 88 }, 1.0 / 31.0);
+        sweep
+            .calls
+            .insert(KernelOp::Qr { m: 88, n: 88 }, 1.0 / 37.0);
+        sweep
+            .calls
+            .insert(KernelOp::Ormqr { m: 88, n: 88, k: 4 }, 1.0 / 41.0);
+        sweep.calls.insert(
+            KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n: 88,
+            },
+            1.0 / 43.0,
+        );
+        sweep
+            .calls
+            .insert(KernelOp::PivotApply { m: 88, n: 4 }, 1.0 / 47.0);
+        merged.merge_from(&sweep).unwrap();
+        assert!(merged.missing_kernels().is_empty());
+        let text = merged.to_json();
+        assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "v3→v4 migration must round-trip");
+        let mut calls = back.calls;
+        for (op, expected) in [
+            (KernelOp::Getrf { n: 88 }, 1.0f64 / 31.0),
+            (KernelOp::Qr { m: 88, n: 88 }, 1.0 / 37.0),
+            (KernelOp::Ormqr { m: 88, n: 88, k: 4 }, 1.0 / 41.0),
+            (
+                KernelOp::FactorTri {
+                    uplo: Uplo::Lower,
+                    n: 88,
+                },
+                1.0 / 43.0,
+            ),
+            (KernelOp::PivotApply { m: 88, n: 4 }, 1.0 / 47.0),
+        ] {
+            let t = calls.lookup(&op).unwrap();
+            assert_eq!(t.to_bits(), expected.to_bits(), "{op}");
+        }
     }
 }

@@ -655,6 +655,78 @@ mod tests {
     }
 
     #[test]
+    fn repeated_general_solves_execute_exactly_one_getrf() {
+        use lamb_perfmodel::{Executor as _, MeasuredExecutor, SimpleFactorStore};
+        let reqs = BatchRequest::parse_file(
+            "A^-1*B 72 9\n\
+             A^-1*B 72 9\n\
+             A^-1*B 72 9\n\
+             A^-1*B 72 9\n",
+        )
+        .unwrap();
+        let fc = Arc::new(FactorCache::new());
+        let planner = BatchPlanner::new().factor_cache(Arc::clone(&fc));
+        let outcome = planner.plan_batch(&reqs);
+        assert_eq!(outcome.stats.planned, 4);
+        assert!(planner.factor_cache_len() > 0, "LU factors registered");
+        // Executing the four chosen algorithms against one shared store
+        // pivots and factors the operand exactly once.
+        let store = SimpleFactorStore::new();
+        let mut exec = MeasuredExecutor::quick();
+        let mut getrfs = 0;
+        for plan in outcome.plans() {
+            let (_, report) = exec.execute_algorithm_reusing(plan.chosen_algorithm(), &store);
+            getrfs += report.executed("getrf");
+        }
+        assert_eq!(getrfs, 1, "one LU factorisation serves the whole batch");
+    }
+
+    #[test]
+    fn mixed_spd_and_general_factor_identities_never_collide() {
+        use lamb_expr::cacheable_identities;
+        use lamb_perfmodel::{Executor as _, MeasuredExecutor, SimpleFactorStore};
+        use std::collections::HashSet;
+        // Same operand name, same dims: only the declared structure (and so
+        // the factorisation kind) distinguishes the two families.
+        let reqs = BatchRequest::parse_file(
+            "A^-1*B 64 9\n\
+             A^-1*B 64 9\n\
+             A[spd]^-1*B 64 9\n\
+             A[spd]^-1*B 64 9\n",
+        )
+        .unwrap();
+        let fc = Arc::new(FactorCache::new());
+        let planner = BatchPlanner::new().factor_cache(Arc::clone(&fc));
+        let outcome = planner.plan_batch(&reqs);
+        assert_eq!(outcome.stats.planned, 4);
+        let plans: Vec<&Plan> = outcome.plans().collect();
+        let identities = |plan: &Plan| -> HashSet<String> {
+            cacheable_identities(plan.chosen_algorithm())
+                .into_iter()
+                .map(|(_, _, id)| id)
+                .collect()
+        };
+        let lu = identities(plans[0]);
+        let chol = identities(plans[2]);
+        assert!(lu.iter().any(|i| i.starts_with("getrf(")), "{lu:?}");
+        assert!(chol.iter().any(|i| i.starts_with("potrf(")), "{chol:?}");
+        assert!(
+            lu.is_disjoint(&chol),
+            "LU and Cholesky factor identities must never collide: {lu:?} vs {chol:?}"
+        );
+        // And under one shared store, each family factors exactly once.
+        let store = SimpleFactorStore::new();
+        let mut exec = MeasuredExecutor::quick();
+        let (mut getrfs, mut potrfs) = (0, 0);
+        for plan in &plans {
+            let (_, report) = exec.execute_algorithm_reusing(plan.chosen_algorithm(), &store);
+            getrfs += report.executed("getrf");
+            potrfs += report.executed("potrf");
+        }
+        assert_eq!((getrfs, potrfs), (1, 1));
+    }
+
+    #[test]
     fn empty_batches_are_fine() {
         let outcome = BatchPlanner::new().plan_batch(&[]);
         assert!(outcome.results.is_empty());

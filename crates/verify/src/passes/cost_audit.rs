@@ -29,8 +29,10 @@ use std::collections::{HashMap, HashSet};
 const PASS: PassId = PassId::CostAudit;
 
 /// Logical dimensions of a call derived from the operand table, in the same
-/// layout the op claims them: `[m, n, k]` for GEMM/SYRK (SYRK ignores `m`),
-/// `[m, n]` for SYMM/TRMM/TRSM, `[n]` for POTRF/COPY.
+/// layout the op claims them: `[m, n, k]` for GEMM/SYRK (SYRK ignores `m`)
+/// and ORMQR, `[m, n]` for SYMM/TRMM/TRSM/QR/LASWP, `[n]` for
+/// POTRF/COPY/GETRF/FACTORTRI. Packed-factor inputs carry one extra column
+/// (pivots or taus), so the factor order is `cols − 1`.
 fn derived_dims(alg: &Algorithm, call: &lamb_expr::KernelCall) -> Option<Vec<usize>> {
     let shape = |slot: usize| stored(alg, *call.inputs.get(slot)?);
     match call.op {
@@ -47,7 +49,23 @@ fn derived_dims(alg: &Algorithm, call: &lamb_expr::KernelCall) -> Option<Vec<usi
             let rhs = shape(1)?;
             Some(vec![rhs.0, rhs.1])
         }
-        KernelOp::Potrf { .. } | KernelOp::CopyTriangle { .. } => Some(vec![shape(0)?.0]),
+        KernelOp::Potrf { .. } | KernelOp::CopyTriangle { .. } | KernelOp::Getrf { .. } => {
+            Some(vec![shape(0)?.0])
+        }
+        KernelOp::Qr { .. } => {
+            let a = shape(0)?;
+            Some(vec![a.0, a.1])
+        }
+        KernelOp::Ormqr { .. } => {
+            let f = shape(0)?;
+            let b = shape(1)?;
+            Some(vec![f.0, f.1.saturating_sub(1), b.1])
+        }
+        KernelOp::FactorTri { .. } => Some(vec![shape(0)?.1.saturating_sub(1)]),
+        KernelOp::PivotApply { .. } => {
+            let b = shape(1)?;
+            Some(vec![b.0, b.1])
+        }
     }
 }
 
@@ -59,7 +77,12 @@ fn claimed_dims(op: &KernelOp) -> Vec<usize> {
         KernelOp::Symm { m, n, .. } | KernelOp::Trmm { m, n, .. } | KernelOp::Trsm { m, n, .. } => {
             vec![m, n]
         }
-        KernelOp::Potrf { n, .. } | KernelOp::CopyTriangle { n, .. } => vec![n],
+        KernelOp::Potrf { n, .. }
+        | KernelOp::CopyTriangle { n, .. }
+        | KernelOp::Getrf { n }
+        | KernelOp::FactorTri { n, .. } => vec![n],
+        KernelOp::Qr { m, n } | KernelOp::PivotApply { m, n } => vec![m, n],
+        KernelOp::Ormqr { m, n, k } => vec![m, n, k],
     }
 }
 
@@ -79,7 +102,12 @@ fn expected_flops(op: &KernelOp, d: &[usize]) -> u64 {
         }
         KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => at(0) * at(0) * at(1),
         KernelOp::Potrf { .. } => at(0).pow(3) / 3,
-        KernelOp::CopyTriangle { .. } => 0,
+        KernelOp::Getrf { .. } => 2 * at(0).pow(3) / 3,
+        KernelOp::Qr { .. } => 2 * at(1) * at(1) * (3 * at(0)).saturating_sub(at(1)) / 3,
+        KernelOp::Ormqr { .. } => 2 * at(1) * at(2) * (2 * at(0)).saturating_sub(at(1)),
+        KernelOp::CopyTriangle { .. }
+        | KernelOp::FactorTri { .. }
+        | KernelOp::PivotApply { .. } => 0,
     }
 }
 
@@ -91,8 +119,14 @@ fn expected_output_elements(op: &KernelOp, d: &[usize]) -> u64 {
         | KernelOp::Symm { .. }
         | KernelOp::Trmm { .. }
         | KernelOp::Trsm { .. } => at(0) * at(1),
-        KernelOp::Syrk { .. } | KernelOp::Potrf { .. } => at(0) * (at(0) + 1) / 2,
+        KernelOp::Syrk { .. } | KernelOp::Potrf { .. } | KernelOp::FactorTri { .. } => {
+            at(0) * (at(0) + 1) / 2
+        }
         KernelOp::CopyTriangle { .. } => at(0) * at(0).saturating_sub(1) / 2,
+        KernelOp::Getrf { .. } => at(0) * (at(0) + 1),
+        KernelOp::Qr { .. } => at(0) * (at(1) + 1),
+        KernelOp::Ormqr { .. } => at(1) * at(2),
+        KernelOp::PivotApply { .. } => at(0) * at(1),
     }
 }
 

@@ -27,8 +27,15 @@ fn arity(op: &KernelOp) -> usize {
         KernelOp::Gemm { .. }
         | KernelOp::Symm { .. }
         | KernelOp::Trmm { .. }
-        | KernelOp::Trsm { .. } => 2,
-        KernelOp::Syrk { .. } | KernelOp::Potrf { .. } | KernelOp::CopyTriangle { .. } => 1,
+        | KernelOp::Trsm { .. }
+        | KernelOp::Ormqr { .. }
+        | KernelOp::PivotApply { .. } => 2,
+        KernelOp::Syrk { .. }
+        | KernelOp::Potrf { .. }
+        | KernelOp::Getrf { .. }
+        | KernelOp::Qr { .. }
+        | KernelOp::FactorTri { .. }
+        | KernelOp::CopyTriangle { .. } => 1,
     }
 }
 
@@ -197,6 +204,136 @@ fn check_call(alg: &Algorithm, i: usize, report: &mut Report) {
                 return;
             }
             check_out(x, report);
+        }
+        KernelOp::Getrf { .. } => {
+            let s = shapes[0];
+            if !require_square(s, "getrf operand", report) {
+                return;
+            }
+            // Packed factor: L\U in the square block, pivot indices in an
+            // extra trailing column.
+            check_out((s.0, s.1 + 1), report);
+        }
+        KernelOp::Qr { .. } => {
+            let s = shapes[0];
+            if s.0 < s.1 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!("qr requires a tall operand (rows ≥ cols), got {}", dims(s)),
+                );
+                return;
+            }
+            // Packed factor: V below the diagonal, R on/above, taus in an
+            // extra trailing column.
+            check_out((s.0, s.1 + 1), report);
+        }
+        KernelOp::FactorTri { uplo, .. } => {
+            // Extracts an n×n triangle from a packed factor of n+1 columns.
+            let f = shapes[0];
+            if f.1 == 0 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    "factortri input has zero columns — not a packed factor",
+                );
+                return;
+            }
+            let n = f.1 - 1;
+            if f.0 < n {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!(
+                        "factortri input {} is too short for an order-{n} triangle",
+                        dims(f)
+                    ),
+                );
+                return;
+            }
+            if uplo == lamb_matrix::Uplo::Lower && f.0 != n {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!(
+                        "factortri(lower) expects a square packed LU factor, got {}",
+                        dims(f)
+                    ),
+                );
+                return;
+            }
+            check_out((n, n), report);
+        }
+        KernelOp::Ormqr { .. } => {
+            // inputs: [packed QR factor (m, n+1), rhs (m, k)] → (n, k).
+            let f = shapes[0];
+            let b = shapes[1];
+            if f.1 == 0 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    "ormqr factor input has zero columns — not a packed factor",
+                );
+                return;
+            }
+            let (m, n) = (f.0, f.1 - 1);
+            if m < n {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!("ormqr factor {} is wider than tall", dims(f)),
+                );
+                return;
+            }
+            if b.0 != m {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[1]),
+                    format!(
+                        "ormqr right-hand side has {} rows but the factor implies {m}",
+                        b.0
+                    ),
+                );
+                return;
+            }
+            check_out((n, b.1), report);
+        }
+        KernelOp::PivotApply { .. } => {
+            // inputs: [packed LU factor (m, m+1), rhs (m, k)] → (m, k).
+            let f = shapes[0];
+            let b = shapes[1];
+            if f.1 != f.0 + 1 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[0]),
+                    format!(
+                        "laswp pivot source {} is not a packed square LU factor",
+                        dims(f)
+                    ),
+                );
+                return;
+            }
+            if b.0 != f.0 {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(call.inputs[1]),
+                    format!(
+                        "laswp right-hand side has {} rows but the pivot vector has length {}",
+                        b.0, f.0
+                    ),
+                );
+                return;
+            }
+            check_out(b, report);
         }
     }
 }

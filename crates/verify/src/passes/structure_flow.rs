@@ -19,7 +19,20 @@
 //! stored triangle matches the call's `uplo`; POTRF requires a declared-SPD
 //! operand and a factor declared triangular in the factored `uplo`; and any
 //! intermediate declared triangular must be justified by its producing call
-//! (a POTRF factor, or a same-effective-triangle product/solve).
+//! (a POTRF factor, a FACTORTRI extraction, or a same-effective-triangle
+//! product/solve).
+//!
+//! A third tracked property covers the general-solver tier: **packed
+//! factors**. GETRF and QR write factors in packed form (L\U plus a pivot
+//! column; V\R plus a tau column) that are *not* ordinary matrices. Only the
+//! dedicated readers may touch them — FACTORTRI (triangle extraction), LASWP
+//! (pivot application, LU factors only) and ORMQR (Qᵀ application, QR factors
+//! only). Any other read — a GEMM on a packed factor, a LASWP whose pivot
+//! source is not a GETRF result (a forged pivot vector), an ORMQR driven by
+//! an LU factor — is unsound and reported here. Algorithm *inputs* are
+//! trusted as externally supplied packed factors (the factor-cache boundary
+//! and the isolated-call benchmark fixtures); only intermediates need a
+//! factorisation call as provenance.
 
 use crate::diagnostic::{PassId, Report};
 use crate::passes::is_in_place_copy;
@@ -40,9 +53,28 @@ enum State {
     TriangleOnly(Uplo),
 }
 
+/// Which factorisation produced a packed factor operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Packed {
+    /// A GETRF result: L\U with the pivot indices in a trailing column.
+    Lu,
+    /// A QR result: V\R with the Householder taus in a trailing column.
+    Qr,
+}
+
+impl Packed {
+    fn tag(self) -> &'static str {
+        match self {
+            Packed::Lu => "LU",
+            Packed::Qr => "QR",
+        }
+    }
+}
+
 struct Flow {
     state: HashMap<OperandId, State>,
     symmetric: HashSet<OperandId>,
+    packed: HashMap<OperandId, Packed>,
 }
 
 impl Flow {
@@ -61,6 +93,7 @@ pub fn run(alg: &Algorithm, report: &mut Report) {
     let mut flow = Flow {
         state: HashMap::new(),
         symmetric: HashSet::new(),
+        packed: HashMap::new(),
     };
     for operand in &alg.operands {
         if operand.role == OperandRole::Input && operand.structure.is_spd() {
@@ -120,12 +153,42 @@ fn check_reads(alg: &Algorithm, i: usize, flow: &Flow, report: &mut Report) {
             );
         }
     }
+    // Packed factors may only be read by their dedicated consumers; kind
+    // mismatches (laswp on a QR factor, ormqr on an LU factor) are caught in
+    // `check_call` where the kind requirement is known.
+    for (slot, &input) in call.inputs.iter().enumerate() {
+        let packed_tolerant = matches!(
+            call.op,
+            KernelOp::FactorTri { .. } | KernelOp::PivotApply { .. } | KernelOp::Ormqr { .. }
+        ) && slot == 0;
+        if packed_tolerant {
+            continue;
+        }
+        if let Some(kind) = flow.packed.get(&input) {
+            let name = alg.operand(input).map_or("?", |o| o.name.as_str());
+            report.error(
+                PASS,
+                Some(i),
+                Some(input),
+                format!(
+                    "{} reads `{name}`, a packed {} factor, as an ordinary matrix",
+                    call.op.mnemonic(),
+                    kind.tag()
+                ),
+            );
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
 fn check_call(alg: &Algorithm, i: usize, flow: &mut Flow, report: &mut Report) {
     let call = &alg.calls[i];
     let out = call.output;
+    // Overwriting an operand clears any packed-factor marking (GETRF/QR
+    // re-insert theirs below).
+    if !is_in_place_copy(call) {
+        flow.packed.remove(&out);
+    }
     // Does the producing call justify a `Triangular` declaration on its
     // output operand? `None` means the op can never produce a triangular
     // result; `Some(u)` is the triangle it provably produces.
@@ -261,6 +324,86 @@ fn check_call(alg: &Algorithm, i: usize, flow: &mut Flow, report: &mut Report) {
                     format!(
                         "potrf factor must be declared triangular in the factored triangle ({})",
                         uplo.tag()
+                    ),
+                );
+            }
+        }
+        KernelOp::Getrf { .. } => {
+            flow.state.insert(out, State::Full);
+            flow.packed.insert(out, Packed::Lu);
+        }
+        KernelOp::Qr { .. } => {
+            flow.state.insert(out, State::Full);
+            flow.packed.insert(out, Packed::Qr);
+        }
+        KernelOp::FactorTri { uplo, .. } => {
+            flow.state.insert(out, State::Full);
+            let f = call.inputs[0];
+            let from_outside = alg.operand(f).is_some_and(|o| o.role == OperandRole::Input);
+            match flow.packed.get(&f).copied() {
+                None if !from_outside => {
+                    let name = alg.operand(f).map_or("?", |o| o.name.as_str());
+                    report.error(
+                        PASS,
+                        Some(i),
+                        Some(f),
+                        format!(
+                            "factortri input `{name}` is not a packed factor produced by getrf or qr"
+                        ),
+                    );
+                }
+                None => {}
+                Some(Packed::Qr) if uplo == Uplo::Lower => {
+                    report.error(
+                        PASS,
+                        Some(i),
+                        Some(f),
+                        "factortri(lower) on a packed QR factor: the sub-diagonal holds Householder vectors, not a triangular factor",
+                    );
+                }
+                Some(_) => {}
+            }
+            justified_triangle = Some(uplo);
+            if declared_triangle(alg, out) != Some(uplo) {
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(out),
+                    format!(
+                        "factortri output must be declared triangular in the extracted triangle ({})",
+                        uplo.tag()
+                    ),
+                );
+            }
+        }
+        KernelOp::PivotApply { .. } => {
+            flow.state.insert(out, State::Full);
+            let f = call.inputs[0];
+            let from_outside = alg.operand(f).is_some_and(|o| o.role == OperandRole::Input);
+            if flow.packed.get(&f) != Some(&Packed::Lu) && !from_outside {
+                let name = alg.operand(f).map_or("?", |o| o.name.as_str());
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(f),
+                    format!(
+                        "laswp pivot source `{name}` is not a packed LU factor produced by getrf — pivot indices cannot be trusted"
+                    ),
+                );
+            }
+        }
+        KernelOp::Ormqr { .. } => {
+            flow.state.insert(out, State::Full);
+            let f = call.inputs[0];
+            let from_outside = alg.operand(f).is_some_and(|o| o.role == OperandRole::Input);
+            if flow.packed.get(&f) != Some(&Packed::Qr) && !from_outside {
+                let name = alg.operand(f).map_or("?", |o| o.name.as_str());
+                report.error(
+                    PASS,
+                    Some(i),
+                    Some(f),
+                    format!(
+                        "ormqr factor `{name}` is not a packed QR factor produced by qr — Householder vectors cannot be trusted"
                     ),
                 );
             }

@@ -299,6 +299,120 @@ fn verify_call_table_rejects_non_finite_times() {
         .any(|d| d.message.contains("unusable time")));
 }
 
+/// The LU pipeline of `A^-1*B`: getrf, two triangle extractions, the pivot
+/// application, two solves.
+fn lu_solve_algorithm() -> Algorithm {
+    let expr = Expr::var("A", 12, 12).inv().mul(Expr::var("B", 12, 5));
+    enumerate_expr_algorithms(&expr)
+        .unwrap()
+        .into_iter()
+        .find(|a| {
+            a.calls
+                .iter()
+                .any(|c| matches!(c.op, KernelOp::Getrf { .. }))
+        })
+        .expect("a general solve must offer an LU algorithm")
+}
+
+#[test]
+fn structure_flow_rejects_a_forged_pivot_vector() {
+    // GETRF packs pivot row indices into the factor's trailing column; QR
+    // packs Householder taus into the same column of an identically-shaped
+    // factor. Forging the producer from GETRF into a square QR keeps every
+    // shape conformant and every cost claim true — only the provenance
+    // tracking can see LASWP would now permute by tau values.
+    let mut alg = lu_solve_algorithm();
+    assert!(verify_algorithm(&alg).is_clean());
+    let getrf_index = alg
+        .calls
+        .iter()
+        .position(|c| matches!(c.op, KernelOp::Getrf { .. }))
+        .unwrap();
+    let KernelOp::Getrf { n } = alg.calls[getrf_index].op else {
+        unreachable!()
+    };
+    alg.calls[getrf_index].op = KernelOp::Qr { m: n, n };
+    let laswp_index = alg
+        .calls
+        .iter()
+        .position(|c| matches!(c.op, KernelOp::PivotApply { .. }))
+        .unwrap();
+    let report = verify_algorithm(&alg);
+    // The mutation is invisible to every dimensional pass.
+    assert_eq!(report.errors_from(PassId::ShapeFlow).count(), 0);
+    assert_eq!(report.errors_from(PassId::CostAudit).count(), 0);
+    let finding = report
+        .errors_from(PassId::StructureFlow)
+        .find(|d| d.call_index == Some(laswp_index))
+        .expect("structure-flow must reject the forged pivot vector");
+    assert!(finding.message.contains("pivot indices cannot be trusted"));
+    // The companion defect is caught too: extracting a unit-lower triangle
+    // from a factor whose sub-diagonal holds Householder vectors.
+    assert!(report
+        .errors_from(PassId::StructureFlow)
+        .any(|d| d.message.contains("Householder")));
+}
+
+#[test]
+fn shape_flow_rejects_getrf_of_the_right_hand_side() {
+    // Repoint the GETRF at the (non-square) right-hand side: the swapped
+    // input breaks squareness, and only squareness.
+    let mut alg = lu_solve_algorithm();
+    let getrf_index = alg
+        .calls
+        .iter()
+        .position(|c| matches!(c.op, KernelOp::Getrf { .. }))
+        .unwrap();
+    let rhs = alg
+        .operands
+        .iter()
+        .find(|o| o.role == OperandRole::Input && o.rows != o.cols)
+        .expect("the right-hand side is rectangular")
+        .id;
+    alg.calls[getrf_index].inputs[0] = rhs;
+    let report = verify_algorithm(&alg);
+    let finding = report
+        .errors_from(PassId::ShapeFlow)
+        .next()
+        .expect("shape-flow must reject a rectangular getrf operand");
+    assert_eq!(finding.call_index, Some(getrf_index));
+    assert!(finding.message.contains("getrf operand must be square"));
+}
+
+#[test]
+fn cost_audit_rejects_forged_qr_dimensions() {
+    // The QR least-squares pipeline of `A^+*b`. Bump the QR's claimed
+    // column count: the operand table still conforms among itself, so
+    // shape-flow stays silent — the cost audit sees the forged dimensions,
+    // the forged FLOP count, and the forged written-element count.
+    let expr = Expr::var("A", 34, 9).pinv().mul(Expr::var("b", 34, 2));
+    let mut alg = enumerate_expr_algorithms(&expr)
+        .unwrap()
+        .into_iter()
+        .find(|a| a.calls.iter().any(|c| matches!(c.op, KernelOp::Qr { .. })))
+        .expect("a least-squares solve must offer a QR algorithm");
+    assert!(verify_algorithm(&alg).is_clean());
+    let qr_index = alg
+        .calls
+        .iter()
+        .position(|c| matches!(c.op, KernelOp::Qr { .. }))
+        .unwrap();
+    if let KernelOp::Qr { ref mut n, .. } = alg.calls[qr_index].op {
+        *n += 2;
+    }
+    let report = verify_algorithm(&alg);
+    assert_eq!(report.errors_from(PassId::ShapeFlow).count(), 0);
+    let findings: Vec<_> = report.errors_from(PassId::CostAudit).collect();
+    for needle in ["claims logical dimensions", "FLOPs", "written elements"] {
+        assert!(
+            findings
+                .iter()
+                .any(|d| d.call_index == Some(qr_index) && d.message.contains(needle)),
+            "cost audit must flag the forged `{needle}` claim:\n{report}"
+        );
+    }
+}
+
 #[test]
 fn forged_output_shape_is_attributed_to_shape_flow() {
     let mut alg = chain_algorithm();

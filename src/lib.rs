@@ -64,6 +64,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod conformance;
+
 pub use lamb_experiments as experiments;
 pub use lamb_expr as expr;
 pub use lamb_kernels as kernels;
@@ -87,7 +89,10 @@ pub mod prelude {
         EnumerateOptions, Expression, KernelCall, KernelOp, MatrixChainExpression, ParseError,
         TreeExpression,
     };
-    pub use lamb_kernels::{gemm, gemm_new, symm, symm_new, syrk, syrk_new, BlockConfig};
+    pub use lamb_kernels::{
+        gemm, gemm_new, solve_auto, solver_for, symm, symm_new, syrk, syrk_new, BlockConfig,
+        CholeskySolver, LuSolver, QrSolver, Solver,
+    };
     pub use lamb_matrix::{Matrix, Side, Trans, Uplo};
     pub use lamb_perfmodel::{
         AlgorithmTiming, AnalyticEfficiencyModel, CalibrationStore, CallTimeTable, Executor,

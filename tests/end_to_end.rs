@@ -110,7 +110,10 @@ fn figure1_data_reproduces_kernel_ordering() {
     let out = run_figure1(&mut exec, &[200, 600, 1000, 2000, 3000], &dir).unwrap();
     let csv = std::fs::read_to_string(&out.artifacts[0].1).unwrap();
     let mut lines = csv.lines();
-    assert_eq!(lines.next().unwrap(), "size,gemm,syrk,symm,trmm,trsm,potrf");
+    assert_eq!(
+        lines.next().unwrap(),
+        "size,gemm,syrk,symm,trmm,trsm,potrf,getrf,qr"
+    );
     for line in lines {
         let cells: Vec<f64> = line
             .split(',')

@@ -75,6 +75,17 @@ fn interpret(alg: &Algorithm, seed: u64) -> Matrix {
                     b: input(1),
                 },
                 KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: input(0) },
+                KernelOp::Getrf { .. } => Kernel::Getrf { a: input(0) },
+                KernelOp::Qr { .. } => Kernel::Qr { a: input(0) },
+                KernelOp::Ormqr { .. } => Kernel::Ormqr {
+                    f: input(0),
+                    b: input(1),
+                },
+                KernelOp::FactorTri { uplo, .. } => Kernel::FactorTri { uplo, f: input(0) },
+                KernelOp::PivotApply { .. } => Kernel::PivotApply {
+                    f: input(0),
+                    b: input(1),
+                },
                 KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
             };
             kernel.run_into(&mut out, &cfg).unwrap();
@@ -151,6 +162,83 @@ fn triangular_algorithm_variants_compute_the_same_matrix() {
             let diff = max_abs_diff(&results[0], r).unwrap();
             assert!(diff < 1e-9, "{text}: `{}` differs by {diff}", alg.name);
         }
+    }
+}
+
+#[test]
+fn general_solve_and_least_squares_interpret_correctly() {
+    use lamb::matrix::ops::{axpy, max_abs};
+    use lamb::matrix::Trans;
+    let cfg = BlockConfig::default();
+    // Rebuild an input operand exactly as `interpret` seeds it.
+    let operand = |alg: &Algorithm, name: &str, seed: u64| {
+        let info = alg.operands.iter().find(|o| o.name == name).unwrap();
+        random_seeded(info.rows, info.cols, seed ^ info.id.index() as u64)
+    };
+
+    // A^-1*B lowers to the LU pipeline and solves the system it claims to.
+    let expr = TreeExpression::parse("A^-1*B").unwrap();
+    let algorithms = expr.algorithms(&[26, 7]).unwrap();
+    assert_eq!(algorithms.len(), 1);
+    let x = interpret(&algorithms[0], 17);
+    let a = operand(&algorithms[0], "A", 17);
+    let b = operand(&algorithms[0], "B", 17);
+    let mut resid = Kernel::Gemm {
+        transa: Trans::No,
+        a: &a,
+        transb: Trans::No,
+        b: &x,
+    }
+    .run_new(&cfg)
+    .unwrap();
+    axpy(-1.0, &b, &mut resid).unwrap();
+    assert!(
+        max_abs(&resid) < 1e-10 * 26.0,
+        "A*X != B: {}",
+        max_abs(&resid)
+    );
+
+    // A^+*b lowers to the QR pipeline; the result satisfies the normal
+    // equations A^T(A*x - b) = 0 of the least-squares problem.
+    let expr = TreeExpression::parse("A^+*b").unwrap();
+    let algorithms = expr.algorithms(&[9, 34, 2]).unwrap();
+    assert_eq!(algorithms.len(), 1);
+    let x = interpret(&algorithms[0], 23);
+    let a = operand(&algorithms[0], "A", 23);
+    let b = operand(&algorithms[0], "b", 23);
+    assert_eq!(a.shape(), (34, 9));
+    assert_eq!(x.shape(), (9, 2));
+    let mut resid = Kernel::Gemm {
+        transa: Trans::No,
+        a: &a,
+        transb: Trans::No,
+        b: &x,
+    }
+    .run_new(&cfg)
+    .unwrap();
+    axpy(-1.0, &b, &mut resid).unwrap();
+    let normal = Kernel::Gemm {
+        transa: Trans::Yes,
+        a: &a,
+        transb: Trans::No,
+        b: &resid,
+    }
+    .run_new(&cfg)
+    .unwrap();
+    assert!(
+        max_abs(&normal) < 1e-10 * 34.0,
+        "normal equations violated: {}",
+        max_abs(&normal)
+    );
+
+    // A^-1*B*C enumerates both merge orders; they agree numerically.
+    let expr = TreeExpression::parse("A^-1*B*C").unwrap();
+    let algorithms = expr.algorithms(&[20, 14, 11]).unwrap();
+    assert!(algorithms.len() >= 2, "expected both merge orders");
+    let results: Vec<Matrix> = algorithms.iter().map(|alg| interpret(alg, 41)).collect();
+    for (alg, r) in algorithms.iter().zip(&results).skip(1) {
+        let diff = max_abs_diff(&results[0], r).unwrap();
+        assert!(diff < 1e-9, "`{}` differs by {diff}", alg.name);
     }
 }
 

@@ -50,9 +50,10 @@ fn degenerate_dims4() -> impl proptest::strategy::Strategy<Value = [usize; 4]> {
     ]
 }
 
-/// The scenario texts whose union of kernel lowerings covers all seven
-/// kernel ops: GEMM, SYRK, SYMM (+ the triangle copy), TRMM, TRSM and POTRF.
-const DEGENERATE_SCENARIOS: [&str; 7] = [
+/// The scenario texts whose union of kernel lowerings covers the full kernel
+/// vocabulary: GEMM, SYRK, SYMM (+ the triangle copy), TRMM, TRSM, POTRF,
+/// and the general-solve tier (GETRF, QR, ORMQR, FACTORTRI, LASWP).
+const DEGENERATE_SCENARIOS: [&str; 9] = [
     "A*B*C",         // gemm
     "A*A^T*B",       // syrk, symm, copy, gemm
     "A*A^T",         // syrk + copy as the final merge
@@ -60,7 +61,20 @@ const DEGENERATE_SCENARIOS: [&str; 7] = [
     "L[lower]^-1*B", // trsm
     "S[spd]^-1*B*C", // potrf + trsm (+ gemm order competition)
     "S[spd]*B",      // symm on a full-stored SPD operand
+    "A^-1*B",        // getrf + factortri + laswp + trsm
+    "A^+*b",         // qr + factortri + ormqr + trsm
 ];
+
+/// Massage a drawn instance so the scenario is realisable: the QR-based
+/// least-squares solve needs its operand at least as tall as it is wide
+/// (dims are in flattened logical order, so `A^+` puts cols before rows).
+fn realisable(text: &str, dims: &[usize]) -> Vec<usize> {
+    let mut instance = dims.to_vec();
+    if text.contains("^+") && instance[0] > instance[1] {
+        instance.swap(0, 1);
+    }
+    instance
+}
 
 /// Execute every algorithm with the real kernels (via the measured executor)
 /// and check well-formedness plus numerical identity of the results within
@@ -233,8 +247,9 @@ proptest! {
         // numerically divergent results, for instances containing zero and
         // unit dimensions, across expressions that jointly reach all seven
         // kernel ops.
-        let expr = TreeExpression::parse(DEGENERATE_SCENARIOS[scenario]).expect("scenario parses");
-        let instance = &dims[..expr.num_dims()];
+        let text = DEGENERATE_SCENARIOS[scenario];
+        let expr = TreeExpression::parse(text).expect("scenario parses");
+        let instance = &realisable(text, &dims[..expr.num_dims()]);
         let algorithms = expr.algorithms(instance).expect("degenerate instance enumerates");
         prop_assert!(!algorithms.is_empty());
         for alg in &algorithms {
@@ -263,6 +278,48 @@ proptest! {
     }
 
     #[test]
+    fn general_solve_pipelines_plan_verify_and_execute(
+        dims in small_dims7(),
+        zeros in degenerate_dims4(),
+        scenario in 0usize..4,
+        degenerate in 0usize..2,
+    ) {
+        // The general-solve tier end to end: random general-inverse and
+        // least-squares expressions go through parse -> enumerate -> verify
+        // -> plan -> measured execution, at ordinary and at zero/unit
+        // dimensions. Every enumerated algorithm must verify clean (the LU
+        // and QR pipelines carry packed factors the analyser tracks), and
+        // all algorithms of an instance must agree numerically.
+        let texts = ["A^-1*B", "A^-1*B*C", "A^+*b", "A^+*B*C"];
+        let text = texts[scenario];
+        let expr = TreeExpression::parse(text).expect("scenario parses");
+        let drawn: &[usize] = if degenerate == 1 { &zeros } else { &dims };
+        let instance = realisable(text, &drawn[..expr.num_dims()]);
+        let algorithms = expr.algorithms(&instance).expect("solve instance enumerates");
+        prop_assert!(!algorithms.is_empty());
+        for alg in &algorithms {
+            prop_assert!(alg.is_well_formed(), "{} is malformed", alg.name);
+            let report = lamb::verify::verify_algorithm(alg);
+            prop_assert!(
+                !report.has_errors(),
+                "`{text}` {instance:?} algorithm `{}` failed verification:\n{report}",
+                alg.name
+            );
+        }
+        let mut executor =
+            MeasuredExecutor::new(MachineModel::generic_laptop(), BlockConfig::default(), 1, 0)
+                .with_seed(20220829);
+        let plan = Planner::for_expression(&expr)
+            .strategy(Strategy::MinFlops)
+            .plan_with(&instance, &mut executor)
+            .expect("solve instance plans");
+        let out = plan.chosen_algorithm().output().expect("output declared");
+        let (rows, cols) = expr.bind(&instance).shape().expect("consistent shape");
+        prop_assert_eq!((out.rows, out.cols), (rows, cols));
+        assert_numerically_identical(&algorithms)?;
+    }
+
+    #[test]
     fn oracle_strategy_is_never_beaten(dims in dims3()) {
         let [d0, d1, d2] = dims;
         let mut exec = SimulatedExecutor::paper_like();
@@ -277,7 +334,7 @@ proptest! {
 }
 
 #[test]
-fn degenerate_scenarios_jointly_cover_all_seven_kernel_ops() {
+fn degenerate_scenarios_jointly_cover_every_kernel_op() {
     // The proptest above samples scenarios; this deterministic companion
     // pins the coverage claim: at unit dimensions (and at zero dimensions)
     // the scenario set reaches every kernel op in the vocabulary, and every
@@ -302,8 +359,21 @@ fn degenerate_scenarios_jointly_cover_all_seven_kernel_ops() {
         }
         assert_eq!(
             reached.into_iter().collect::<Vec<_>>(),
-            vec!["copy", "gemm", "potrf", "symm", "syrk", "trmm", "trsm"],
-            "unit = {unit}: the scenario set must reach all seven kernel ops"
+            vec![
+                "copy",
+                "factortri",
+                "gemm",
+                "getrf",
+                "laswp",
+                "ormqr",
+                "potrf",
+                "qr",
+                "symm",
+                "syrk",
+                "trmm",
+                "trsm"
+            ],
+            "unit = {unit}: the scenario set must reach every kernel op"
         );
     }
 }

@@ -1,0 +1,58 @@
+//! The factorisation conformance kit, instantiated for all three stock
+//! [`Solver`](lamb::kernels::Solver) implementations. Each macro invocation
+//! expands to the full eight-test contract of
+//! [`lamb::conformance`]: dispatch/purity, reconstruction, residual,
+//! round-trip determinism, degenerate dimensions, poison inputs, verifier
+//! cleanliness and factor-cache identity stability.
+
+lamb::solver_conformance_suite! {
+    mod cholesky_solver {
+        solver: lamb::kernels::CholeskySolver,
+        structure: lamb::matrix::Structure::Spd,
+        shape: |n| (n, n),
+        operand: |rows, _cols, seed| lamb::matrix::random::random_spd(rows, seed),
+        expression: "S[spd]^-1*B",
+        dims: [20, 4],
+    }
+}
+
+lamb::solver_conformance_suite! {
+    mod lu_solver {
+        solver: lamb::kernels::LuSolver,
+        structure: lamb::matrix::Structure::General,
+        shape: |n| (n, n),
+        operand: lamb::matrix::random::random_seeded,
+        expression: "A^-1*B",
+        dims: [20, 4],
+    }
+}
+
+lamb::solver_conformance_suite! {
+    mod qr_solver {
+        solver: lamb::kernels::QrSolver,
+        structure: lamb::matrix::Structure::General,
+        // Tall by construction: three surplus rows at every nominal order.
+        shape: |n| (n + 3, n),
+        operand: lamb::matrix::random::random_seeded,
+        expression: "A^+*b",
+        dims: [6, 20, 3],
+    }
+}
+
+/// The kit itself is host-agnostic: `solver_for` hands back the same three
+/// implementations the suites above exercise, so a new `Solver` only needs
+/// its own `solver_conformance_suite!` invocation to join the contract.
+#[test]
+fn the_kit_covers_every_dispatchable_solver() {
+    use lamb::matrix::Structure;
+    let dispatched: Vec<&'static str> = [
+        (Structure::Spd, (8, 8)),
+        (Structure::General, (8, 8)),
+        (Structure::General, (12, 8)),
+    ]
+    .into_iter()
+    .filter_map(|(s, shape)| lamb::kernels::solver_for(s, shape))
+    .map(|s| s.name())
+    .collect();
+    assert_eq!(dispatched, vec!["cholesky", "lu", "qr"]);
+}
