@@ -28,12 +28,43 @@ use lamb_plan::{BatchPlanner, BatchRequest};
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = common::parse(args)?;
     let executor_label = opts.executor_label()?;
-    let mut executor = opts.build_executor()?;
-    let (block_fingerprint, timing_reps) = opts.timing_metadata();
+
+    // `--autotune`: search the blocking space first, so the sweep below runs
+    // under — and is fingerprinted with — the winning configuration.
+    let tuned = if opts.autotune {
+        let base = opts.block_config();
+        println!(
+            "autotuning block configuration ({} mode, starting from {}) ...",
+            if opts.quick { "quick" } else { "full" },
+            base.fingerprint()
+        );
+        let (outcome, tuned) = lamb_perfmodel::autotune_measured(&base, opts.quick);
+        println!(
+            "  winner : {} after {} evaluation(s) in {} pass(es)",
+            tuned.config.fingerprint(),
+            outcome.evaluations,
+            outcome.passes
+        );
+        println!(
+            "  gemm   : {:.2} GFLOP/s under the tuned configuration",
+            tuned.gflops
+        );
+        Some(tuned)
+    } else {
+        None
+    };
+    let block_config = tuned
+        .as_ref()
+        .map(|t| t.config.clone())
+        .unwrap_or_else(|| opts.block_config());
+    let block_fingerprint = block_config.fingerprint();
+    let (_, timing_reps) = opts.timing_metadata();
+    let mut executor = opts.build_executor_with(block_config)?;
 
     let mut store = CalibrationStore::new(executor.machine().clone(), executor_label);
     store.meta.block_fingerprint = block_fingerprint.clone();
     store.meta.timing_reps = timing_reps;
+    store.tuned = tuned;
 
     // Square sweep: benchmark every compute kernel on square operands, fill
     // the call table, and derive the efficiency curves from the same times.
@@ -104,9 +135,28 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // Merge into (or replace) the on-disk store.
+    // Merge into (or replace) the on-disk store. A newly tuned block
+    // configuration makes old timings incomparable, so when `--autotune`
+    // lands on a different fingerprint than the existing store was measured
+    // under, the sweep replaces the store instead of merging (which the
+    // store's own fingerprint check would refuse anyway).
     let path = opts.store_path();
-    let final_store = if path.exists() && !opts.no_merge {
+    let mut merge = path.exists() && !opts.no_merge;
+    if merge && opts.autotune {
+        if let Ok(existing) = CalibrationStore::load(&path) {
+            if !existing.meta.block_fingerprint.is_empty()
+                && existing.meta.block_fingerprint != block_fingerprint
+            {
+                println!(
+                    "  note   : existing store was measured under `{}`; replacing it — \
+                     timings under the tuned `{}` are not comparable",
+                    existing.meta.block_fingerprint, block_fingerprint
+                );
+                merge = false;
+            }
+        }
+    }
+    let final_store = if merge {
         let mut existing = CalibrationStore::load(&path).map_err(|e| {
             format!(
                 "cannot merge into {}: {e} (use --no-merge to overwrite)",
@@ -155,6 +205,13 @@ fn print_coverage(store: &CalibrationStore, opts: &CommonOptions, block_fingerpr
         store.calls.len(),
         per_kernel.join(", ")
     );
+    if let Some(tuned) = &store.tuned {
+        println!(
+            "  tuned  : {} ({:.2} GFLOP/s GEMM)",
+            tuned.config.fingerprint(),
+            tuned.gflops
+        );
+    }
     let missing = store.missing_kernels();
     if !missing.is_empty() {
         println!(
@@ -265,6 +322,43 @@ mod tests {
         let requests = BatchRequest::parse_file(&std::fs::read_to_string(&exprs).unwrap()).unwrap();
         let outcome = BatchPlanner::new().with_store(&store).plan_batch(&requests);
         assert_eq!(outcome.stats.cache_misses, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn autotune_records_a_tuned_config_and_warm_starts_use_it() {
+        let dir = temp_dir("autotune");
+        let store_path = dir.join("calibration.json");
+        let store_arg = store_path.to_string_lossy().to_string();
+        run(&strs(&[
+            "--store",
+            &store_arg,
+            "--sizes",
+            "100",
+            "--autotune",
+            "--quick",
+        ]))
+        .unwrap();
+        let store = CalibrationStore::load(&store_path).unwrap();
+        let tuned = store
+            .tuned
+            .as_ref()
+            .expect("--autotune records a tuned configuration");
+        assert_eq!(store.meta.block_fingerprint, tuned.config.fingerprint());
+        assert!(tuned.gflops > 0.0);
+
+        // Warm start: options pointed at the store resolve the tuned config,
+        // so executors and staleness fingerprints both follow it.
+        let opts = common::parse(&strs(&["--store", &store_arg])).unwrap();
+        assert_eq!(opts.block_config(), tuned.config);
+        assert_eq!(opts.timing_metadata().0, tuned.config.fingerprint());
+
+        // A later plain sweep runs under the tuned fingerprint, so it merges
+        // instead of being refused, and the tuned section survives the merge.
+        run(&strs(&["--store", &store_arg, "--sizes", "200"])).unwrap();
+        let merged = CalibrationStore::load(&store_path).unwrap();
+        assert_eq!(merged.meta.sweeps, 2);
+        assert_eq!(merged.tuned, store.tuned);
         std::fs::remove_dir_all(&dir).ok();
     }
 

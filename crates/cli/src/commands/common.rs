@@ -3,7 +3,9 @@
 use lamb_experiments::{LineConfig, SearchConfig};
 use lamb_expr::{AatbExpression, Expression, MatrixChainExpression, TreeExpression};
 use lamb_kernels::BlockConfig;
-use lamb_perfmodel::{Executor, MachineModel, MeasuredExecutor, SimulatedExecutor};
+use lamb_perfmodel::{
+    CalibrationStore, Executor, MachineModel, MeasuredExecutor, SimulatedExecutor,
+};
 use std::path::PathBuf;
 
 /// Options shared by the experiment-style subcommands.
@@ -54,6 +56,12 @@ pub struct CommonOptions {
     /// CSE on and off and checks the chosen algorithms compute identical
     /// numerics.
     pub cse_parity: bool,
+    /// `--autotune`: run the coordinate-descent blocking autotuner before a
+    /// calibration sweep and record the winning configuration in the store.
+    pub autotune: bool,
+    /// `--quick`: reduced problem size and repetition count for the
+    /// autotuner (CI smoke mode).
+    pub quick: bool,
 }
 
 impl Default for CommonOptions {
@@ -78,6 +86,8 @@ impl Default for CommonOptions {
             no_cse: false,
             no_factor_cache: false,
             cse_parity: false,
+            autotune: false,
+            quick: false,
         }
     }
 }
@@ -168,6 +178,12 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
             "--cse-parity" => {
                 opts.cse_parity = true;
             }
+            "--autotune" => {
+                opts.autotune = true;
+            }
+            "--quick" => {
+                opts.quick = true;
+            }
             "--update-store" => {
                 opts.update_store = true;
             }
@@ -227,14 +243,22 @@ pub fn parse_strategy(name: &str) -> Result<lamb_select::Strategy, String> {
 }
 
 impl CommonOptions {
-    /// Build the requested executor.
+    /// Build the requested executor under [`CommonOptions::block_config`].
     pub fn build_executor(&self) -> Result<Box<dyn Executor>, String> {
+        self.build_executor_with(self.block_config())
+    }
+
+    /// Build the requested executor under an explicit block configuration
+    /// (the simulated back ends ignore it). `lamb calibrate --autotune` uses
+    /// this to run its sweep under a configuration it just discovered — one
+    /// that is not yet persisted where [`CommonOptions::block_config`] looks.
+    pub fn build_executor_with(&self, cfg: BlockConfig) -> Result<Box<dyn Executor>, String> {
         match self.executor.as_str() {
             "simulated" | "sim" => Ok(Box::new(SimulatedExecutor::paper_like())),
             "smooth" | "simulated-smooth" => Ok(Box::new(SimulatedExecutor::paper_like_smooth())),
             "measured" | "real" => Ok(Box::new(MeasuredExecutor::new(
                 MachineModel::generic_laptop(),
-                self.block_config(),
+                cfg,
                 MEASURED_REPS,
                 MEASURED_FLUSH_BYTES,
             ))),
@@ -245,8 +269,27 @@ impl CommonOptions {
     }
 
     /// The kernel block configuration the measured executor runs under.
+    ///
+    /// When the calibration store at [`CommonOptions::store_path`] exists and
+    /// carries an autotuned configuration (schema v5 `tuned` section), that
+    /// configuration wins — so a warm start after `lamb calibrate --autotune`
+    /// both runs the kernels under the tuned blocking *and* records/compares
+    /// the matching fingerprint in [`CommonOptions::timing_metadata`].
+    /// Otherwise the compiled-in default applies.
     pub fn block_config(&self) -> BlockConfig {
-        BlockConfig::default()
+        self.stored_tuned_config().unwrap_or_default()
+    }
+
+    /// The autotuned block configuration persisted in the calibration store
+    /// at [`CommonOptions::store_path`], when one exists. Unreadable or
+    /// pre-v5 stores simply yield `None`; they are diagnosed elsewhere.
+    pub fn stored_tuned_config(&self) -> Option<BlockConfig> {
+        let path = self.store_path();
+        if !path.exists() {
+            return None;
+        }
+        let store = CalibrationStore::load(&path).ok()?;
+        store.tuned_block_config().cloned()
     }
 
     /// Resolve the expression: either parsed from `--expr <text>` or named

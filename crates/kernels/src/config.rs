@@ -1,9 +1,111 @@
 //! Blocking and parallelisation configuration for the BLAS-3 kernels.
 
-/// Register-tile height of the micro-kernel (rows of `C` per micro-tile).
-pub const MR: usize = 8;
-/// Register-tile width of the micro-kernel (columns of `C` per micro-tile).
-pub const NR: usize = 4;
+use std::fmt;
+
+/// A register-tile shape of the micro-kernel: the `MR x NR` block of `C` one
+/// micro-kernel invocation accumulates.
+///
+/// Each variant names a dedicated, monomorphised instantiation of
+/// [`crate::microkernel::microkernel`] (see
+/// [`crate::microkernel::microkernel_dyn`] for the runtime dispatch), so the
+/// compiler sees fixed `MR`/`NR` and reliably unrolls and auto-vectorises the
+/// accumulator columns. Which variant is fastest depends on the machine's
+/// vector width and register file — that is exactly what
+/// `lamb calibrate --autotune` measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileVariant {
+    /// 8 rows x 4 columns — the historical default: modest register
+    /// pressure, good fit for 128/256-bit vector units.
+    #[default]
+    T8x4,
+    /// 8 x 8 — double the B-reuse per packed A load; needs a large register
+    /// file (pays off on 512-bit units).
+    T8x8,
+    /// 4 x 8 — the transposed default; favours wide-`n` outputs.
+    T4x8,
+    /// 16 x 4 — tall tile, maximises A-panel throughput per B element.
+    T16x4,
+    /// 8 x 12 — the classic BLIS-style wide tile for machines with many
+    /// vector registers.
+    T8x12,
+}
+
+impl TileVariant {
+    /// Every supported variant, in autotune candidate order.
+    pub const ALL: [TileVariant; 5] = [
+        TileVariant::T8x4,
+        TileVariant::T8x8,
+        TileVariant::T4x8,
+        TileVariant::T16x4,
+        TileVariant::T8x12,
+    ];
+
+    /// Register-tile height (rows of `C` per micro-tile).
+    #[must_use]
+    pub const fn mr(self) -> usize {
+        match self {
+            TileVariant::T8x4 | TileVariant::T8x8 | TileVariant::T8x12 => 8,
+            TileVariant::T4x8 => 4,
+            TileVariant::T16x4 => 16,
+        }
+    }
+
+    /// Register-tile width (columns of `C` per micro-tile).
+    #[must_use]
+    pub const fn nr(self) -> usize {
+        match self {
+            TileVariant::T8x4 | TileVariant::T16x4 => 4,
+            TileVariant::T8x8 | TileVariant::T4x8 => 8,
+            TileVariant::T8x12 => 12,
+        }
+    }
+
+    /// Accumulator length (`mr * nr`) of this variant.
+    #[must_use]
+    pub const fn acc_len(self) -> usize {
+        self.mr() * self.nr()
+    }
+
+    /// Stable textual tag (`"8x4"`, ...), used in fingerprints and in the
+    /// calibration-store document.
+    #[must_use]
+    pub const fn tag(self) -> &'static str {
+        match self {
+            TileVariant::T8x4 => "8x4",
+            TileVariant::T8x8 => "8x8",
+            TileVariant::T4x8 => "4x8",
+            TileVariant::T16x4 => "16x4",
+            TileVariant::T8x12 => "8x12",
+        }
+    }
+
+    /// Parse a [`TileVariant::tag`] back into the variant.
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        TileVariant::ALL.into_iter().find(|v| v.tag() == tag)
+    }
+}
+
+impl fmt::Display for TileVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Largest accumulator any [`TileVariant`] needs; the driver's stack scratch
+/// is sized by this so tile dispatch never allocates.
+pub const MAX_TILE_ACC: usize = {
+    let mut max = 0;
+    let mut i = 0;
+    while i < TileVariant::ALL.len() {
+        let len = TileVariant::ALL[i].acc_len();
+        if len > max {
+            max = len;
+        }
+        i += 1;
+    }
+    max
+};
 
 /// Cache-blocking and parallelisation parameters shared by GEMM, SYRK and
 /// SYMM.
@@ -22,6 +124,10 @@ pub struct BlockConfig {
     /// walk the triangular operand in diagonal blocks of this order, handling
     /// everything off the diagonal block with the packed rectangular core.
     pub tri_block: usize,
+    /// Register-tile shape of the micro-kernel. A tunable like the cache
+    /// blocks: the autotuner sweeps it, and it participates in the
+    /// fingerprint because timings under different tiles are not comparable.
+    pub tile: TileVariant,
     /// Whether to parallelise over column panels of `C` with Rayon.
     pub parallel: bool,
     /// Minimum number of useful FLOPs before the parallel path is taken;
@@ -36,6 +142,7 @@ impl Default for BlockConfig {
             kc: 256,
             nc: 4096,
             tri_block: 64,
+            tile: TileVariant::default(),
             parallel: true,
             parallel_flop_threshold: 2 * 64 * 64 * 64,
         }
@@ -62,9 +169,16 @@ impl BlockConfig {
             kc: 8,
             nc: 8,
             tri_block: 3,
+            tile: TileVariant::default(),
             parallel: false,
             parallel_flop_threshold: u64::MAX,
         }
+    }
+
+    /// This configuration re-tiled to `tile` (blocks untouched).
+    #[must_use]
+    pub fn with_tile(self, tile: TileVariant) -> Self {
+        BlockConfig { tile, ..self }
     }
 
     /// Decide whether a problem of the given logical dimensions should run in
@@ -75,41 +189,43 @@ impl BlockConfig {
             return false;
         }
         let flops = 2 * (m as u64) * (n as u64) * (k as u64);
-        flops >= self.parallel_flop_threshold && n >= 2 * NR
+        flops >= self.parallel_flop_threshold && n >= 2 * self.tile.nr()
     }
 
     /// Width of the column panels distributed to Rayon workers for an output
     /// matrix with `n` columns.
     #[must_use]
     pub fn parallel_panel_width(&self, n: usize) -> usize {
+        let nr = self.tile.nr();
         let threads = rayon::current_num_threads().max(1);
-        let target = n.div_ceil(threads * 3).max(NR);
+        let target = n.div_ceil(threads * 3).max(nr);
         // Round up to a multiple of NR so that full micro-tiles dominate.
-        target.div_ceil(NR) * NR
+        target.div_ceil(nr) * nr
     }
 
     /// A short, stable fingerprint of every parameter that affects kernel
     /// timing (cache blocks, the triangular-kernel diagonal block, register
-    /// tiles, parallel policy). Calibration stores record it as staleness
+    /// tile, parallel policy). Calibration stores record it as staleness
     /// metadata: benchmark times taken under one configuration are not
     /// comparable to runs under another, so every timing-relevant knob —
     /// including the block sizes of kernels added after a store was written —
     /// must contribute to the fingerprint.
+    ///
+    /// `parallel_flop_threshold` is included unconditionally (not only when
+    /// `parallel` is set): two configs that differ only in the parallel
+    /// cutoff time differently, and collapsing them to one fingerprint would
+    /// defeat store staleness detection.
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "mc{}-kc{}-nc{}-tb{}-r{}x{}-{}",
+            "mc{}-kc{}-nc{}-tb{}-r{}-pft{}-{}",
             self.mc,
             self.kc,
             self.nc,
             self.tri_block,
-            MR,
-            NR,
-            if self.parallel {
-                format!("par{}", self.parallel_flop_threshold)
-            } else {
-                "serial".to_string()
-            }
+            self.tile.tag(),
+            self.parallel_flop_threshold,
+            if self.parallel { "par" } else { "serial" }
         )
     }
 }
@@ -121,9 +237,21 @@ mod tests {
     #[test]
     fn default_blocks_are_multiples_of_register_tiles() {
         let c = BlockConfig::default();
-        assert_eq!(c.mc % MR, 0);
-        assert_eq!(c.nc % NR, 0);
+        assert_eq!(c.mc % c.tile.mr(), 0);
+        assert_eq!(c.nc % c.tile.nr(), 0);
         assert!(c.parallel);
+    }
+
+    #[test]
+    fn tile_variants_expose_consistent_dimensions() {
+        for tile in TileVariant::ALL {
+            assert_eq!(tile.acc_len(), tile.mr() * tile.nr());
+            assert!(tile.acc_len() <= MAX_TILE_ACC);
+            assert_eq!(TileVariant::parse(tile.tag()), Some(tile), "{tile}");
+            assert_eq!(tile.tag(), format!("{}x{}", tile.mr(), tile.nr()));
+        }
+        assert_eq!(TileVariant::parse("3x3"), None);
+        assert_eq!(TileVariant::default(), TileVariant::T8x4);
     }
 
     #[test]
@@ -150,6 +278,41 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_covers_the_register_tile() {
+        // Tile dispatch changes every kernel's timing, so two configs that
+        // differ only in the register tile must fingerprint differently.
+        let mut seen = std::collections::HashSet::new();
+        for tile in TileVariant::ALL {
+            let fp = BlockConfig::default().with_tile(tile).fingerprint();
+            assert!(fp.contains(&format!("r{}", tile.tag())), "{fp}");
+            assert!(seen.insert(fp), "duplicate fingerprint for {tile}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_the_parallel_flop_threshold() {
+        // Regression for the staleness contract: two configs differing only
+        // in the parallel cutoff time differently (one forks, one does not),
+        // so they must not collapse to one fingerprint — in either parallel
+        // mode.
+        let default = BlockConfig::default();
+        let retuned = BlockConfig {
+            parallel_flop_threshold: default.parallel_flop_threshold * 4,
+            ..default.clone()
+        };
+        assert_ne!(default.fingerprint(), retuned.fingerprint());
+        let serial = BlockConfig::serial();
+        let serial_retuned = BlockConfig {
+            parallel_flop_threshold: serial.parallel_flop_threshold * 4,
+            ..serial.clone()
+        };
+        assert_ne!(serial.fingerprint(), serial_retuned.fingerprint());
+        assert!(default
+            .fingerprint()
+            .contains(&format!("pft{}", default.parallel_flop_threshold)));
+    }
+
+    #[test]
     fn fingerprint_covers_the_triangular_block_size() {
         // Regression for the staleness contract: TRMM/TRSM timings depend on
         // `tri_block`, so changing it must change the fingerprint (and thereby
@@ -167,11 +330,13 @@ mod tests {
 
     #[test]
     fn panel_width_is_positive_multiple_of_nr() {
-        let c = BlockConfig::default();
-        for n in [1, 7, 64, 1000, 5000] {
-            let w = c.parallel_panel_width(n);
-            assert!(w >= NR);
-            assert_eq!(w % NR, 0);
+        for tile in TileVariant::ALL {
+            let c = BlockConfig::default().with_tile(tile);
+            for n in [1, 7, 64, 1000, 5000] {
+                let w = c.parallel_panel_width(n);
+                assert!(w >= tile.nr());
+                assert_eq!(w % tile.nr(), 0);
+            }
         }
     }
 }

@@ -20,12 +20,54 @@
 //! the same packed core. Presenting operands through accessors is what lets
 //! every kernel share one loop nest without materialising transposed, mirrored
 //! or masked copies.
+//!
+//! ## Tile dispatch
+//!
+//! The register tile is chosen at runtime ([`BlockConfig::tile`]) but the hot
+//! loop nest is monomorphic: [`BlockedDriver::accumulate_serial`] matches the
+//! [`TileVariant`] exactly once per call and enters a `const`-generic core, so
+//! the macro-kernel, the partial-tile edge handling and the micro-kernel all
+//! see compile-time `MR`/`NR`.
+//!
+//! ## Packing-buffer reuse
+//!
+//! The packed-panel buffers are thread-local scratch, taken at the start of a
+//! serial-core call and returned at the end, so the cache-block loop nest —
+//! and every subsequent kernel call on the same thread (or Rayon worker) —
+//! reuses one pair of allocations instead of reallocating per panel.
+//! [`pack_buffer_growth_events`] counts how often a buffer actually had to
+//! grow, which tests use to assert the steady state allocates nothing.
 
-use crate::config::{BlockConfig, MR, NR};
+use crate::config::{BlockConfig, TileVariant, MAX_TILE_ACC};
 use crate::microkernel::microkernel;
-use crate::pack::{pack_a, pack_b};
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len};
 use lamb_matrix::MatrixViewMut;
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Per-thread packed-panel scratch: `(a_pack, b_pack)`. Taken (moved out)
+    /// for the duration of a serial-core call rather than borrowed, so a
+    /// reentrant call through an element accessor can never hit a `RefCell`
+    /// double-borrow — it simply starts from empty buffers.
+    static PACK_SCRATCH: RefCell<Option<(Vec<f64>, Vec<f64>)>> = const { RefCell::new(None) };
+}
+
+/// Global count of packed-buffer growth events (a pack call that had to
+/// enlarge its scratch allocation). Monotonically increasing across all
+/// threads; see [`pack_buffer_growth_events`].
+static PACK_GROWTH_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of times any packing buffer had to grow since process start.
+///
+/// After a warm-up call of a given shape, further kernel calls of the same
+/// (or smaller) blocking reuse the thread-local scratch and this counter
+/// stays flat — the property the allocation-reuse regression test pins down.
+#[must_use]
+pub fn pack_buffer_growth_events() -> u64 {
+    PACK_GROWTH_EVENTS.load(Ordering::Relaxed)
+}
 
 /// `C := beta * C` over a view, with the BLAS convention that `beta == 0`
 /// writes zeros without reading the (possibly uninitialised) contents.
@@ -69,8 +111,40 @@ impl<'a> BlockedDriver<'a> {
     /// Accumulate `C += alpha * OpA * OpB` serially with cache blocking and
     /// packing. `load_a(i, p)` is the logical `m x k` left operand and
     /// `load_b(p, j)` the logical `k x n` right operand.
+    ///
+    /// Dispatches once on [`BlockConfig::tile`] into a monomorphic core, so
+    /// the entire blocked loop nest below this call sees compile-time
+    /// `MR`/`NR`.
     #[allow(clippy::too_many_arguments)] // BLAS-style interface
     pub fn accumulate_serial<FA, FB>(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        load_a: &FA,
+        load_b: &FB,
+        c: &mut MatrixViewMut<'_>,
+    ) where
+        FA: Fn(usize, usize) -> f64,
+        FB: Fn(usize, usize) -> f64,
+    {
+        match self.cfg.tile {
+            TileVariant::T8x4 => self.serial_core::<8, 4, _, _>(m, n, k, alpha, load_a, load_b, c),
+            TileVariant::T8x8 => self.serial_core::<8, 8, _, _>(m, n, k, alpha, load_a, load_b, c),
+            TileVariant::T4x8 => self.serial_core::<4, 8, _, _>(m, n, k, alpha, load_a, load_b, c),
+            TileVariant::T16x4 => {
+                self.serial_core::<16, 4, _, _>(m, n, k, alpha, load_a, load_b, c)
+            }
+            TileVariant::T8x12 => {
+                self.serial_core::<8, 12, _, _>(m, n, k, alpha, load_a, load_b, c)
+            }
+        }
+    }
+
+    /// The monomorphic serial core behind [`BlockedDriver::accumulate_serial`].
+    #[allow(clippy::too_many_arguments)]
+    fn serial_core<const MR: usize, const NR: usize, FA, FB>(
         &self,
         m: usize,
         n: usize,
@@ -92,9 +166,12 @@ impl<'a> BlockedDriver<'a> {
         let kc = self.cfg.kc.max(1);
         let nc = self.cfg.nc.max(NR);
 
-        let mut a_pack: Vec<f64> = Vec::new();
-        let mut b_pack: Vec<f64> = Vec::new();
-        let mut acc = [0.0f64; MR * NR];
+        // Move the thread-local scratch out (never borrow across the packing
+        // closures), use it for the whole loop nest, then return it.
+        let (mut a_pack, mut b_pack) =
+            PACK_SCRATCH.with(|cell| cell.borrow_mut().take().unwrap_or_default());
+        let mut acc = [0.0f64; MAX_TILE_ACC];
+        let acc = &mut acc[..MR * NR];
 
         let mut jc = 0;
         while jc < n {
@@ -102,12 +179,18 @@ impl<'a> BlockedDriver<'a> {
             let mut pc = 0;
             while pc < k {
                 let kcb = kc.min(k - pc);
-                pack_b(kcb, ncb, |p, j| load_b(pc + p, jc + j), &mut b_pack);
+                if b_pack.capacity() < packed_b_len(NR, kcb, ncb) {
+                    PACK_GROWTH_EVENTS.fetch_add(1, Ordering::Relaxed);
+                }
+                pack_b(NR, kcb, ncb, |p, j| load_b(pc + p, jc + j), &mut b_pack);
                 let mut ic = 0;
                 while ic < m {
                     let mcb = mc.min(m - ic);
-                    pack_a(mcb, kcb, |i, p| load_a(ic + i, pc + p), &mut a_pack);
-                    macro_kernel(
+                    if a_pack.capacity() < packed_a_len(MR, mcb, kcb) {
+                        PACK_GROWTH_EVENTS.fetch_add(1, Ordering::Relaxed);
+                    }
+                    pack_a(MR, mcb, kcb, |i, p| load_a(ic + i, pc + p), &mut a_pack);
+                    macro_kernel::<MR, NR>(
                         mcb,
                         ncb,
                         kcb,
@@ -115,7 +198,7 @@ impl<'a> BlockedDriver<'a> {
                         &a_pack,
                         &b_pack,
                         &mut c.subview_mut(ic, jc, mcb, ncb),
-                        &mut acc,
+                        acc,
                     );
                     ic += mc;
                 }
@@ -123,6 +206,8 @@ impl<'a> BlockedDriver<'a> {
             }
             jc += nc;
         }
+
+        PACK_SCRATCH.with(|cell| *cell.borrow_mut() = Some((a_pack, b_pack)));
     }
 
     /// Accumulate `C += alpha * OpA * OpB`, automatically distributing
@@ -189,9 +274,11 @@ impl<'a> BlockedDriver<'a> {
 }
 
 /// Inner macro-kernel: sweep the packed block with `MR x NR` micro-tiles and
-/// accumulate `alpha` times the result into the output block.
+/// accumulate `alpha` times the result into the output block. Monomorphic in
+/// the tile shape; partial edge tiles read only the `mrb x nrb` valid corner
+/// of the accumulator.
 #[allow(clippy::too_many_arguments)]
-fn macro_kernel(
+fn macro_kernel<const MR: usize, const NR: usize>(
     mcb: usize,
     ncb: usize,
     kcb: usize,
@@ -199,7 +286,7 @@ fn macro_kernel(
     a_pack: &[f64],
     b_pack: &[f64],
     c_block: &mut MatrixViewMut<'_>,
-    acc: &mut [f64; MR * NR],
+    acc: &mut [f64],
 ) {
     let mut jr = 0;
     while jr < ncb {
@@ -209,7 +296,7 @@ fn macro_kernel(
         while ir < mcb {
             let mrb = MR.min(mcb - ir);
             let a_panel = &a_pack[(ir / MR) * kcb * MR..(ir / MR + 1) * kcb * MR];
-            microkernel(kcb, a_panel, b_panel, acc);
+            microkernel::<MR, NR>(kcb, a_panel, b_panel, acc);
             for jj in 0..nrb {
                 let col = c_block.col_mut(jr + jj);
                 let acc_col = &acc[jj * MR..jj * MR + mrb];
@@ -248,34 +335,40 @@ mod tests {
 
     #[test]
     fn serial_core_matches_naive_for_awkward_sizes() {
-        // Sizes chosen to produce partial tiles in every blocking dimension.
-        for &(m, n, k) in &[
-            (1, 1, 1),
-            (3, 5, 7),
-            (17, 13, 9),
-            (33, 29, 31),
-            (40, 24, 56),
-        ] {
-            let a = random_seeded(m, k, 1000 + m as u64);
-            let b = random_seeded(k, n, 2000 + n as u64);
-            let mut c = Matrix::zeros(m, n);
-            let cfg = BlockConfig::tiny();
-            let a_s = a.as_slice();
-            let b_s = b.as_slice();
-            BlockedDriver::new(&cfg).accumulate_serial(
-                m,
-                n,
-                k,
-                1.0,
-                &|i, p| a_s[i + p * m],
-                &|p, j| b_s[p + j * k],
-                &mut c.view_mut(),
-            );
-            let expected = reference(&a, &b, 1.0);
-            assert!(
-                max_abs_diff(&c, &expected).unwrap() < 1e-12,
-                "size {m}x{n}x{k}"
-            );
+        // Sizes chosen to produce partial tiles in every blocking dimension,
+        // under every register-tile variant.
+        for tile in TileVariant::ALL {
+            for &(m, n, k) in &[
+                (1, 1, 1),
+                (3, 5, 7),
+                (17, 13, 9),
+                (33, 29, 31),
+                (40, 24, 56),
+            ] {
+                let a = random_seeded(m, k, 1000 + m as u64);
+                let b = random_seeded(k, n, 2000 + n as u64);
+                let mut c = Matrix::zeros(m, n);
+                let cfg = BlockConfig {
+                    tile,
+                    ..BlockConfig::tiny()
+                };
+                let a_s = a.as_slice();
+                let b_s = b.as_slice();
+                BlockedDriver::new(&cfg).accumulate_serial(
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &|i, p| a_s[i + p * m],
+                    &|p, j| b_s[p + j * k],
+                    &mut c.view_mut(),
+                );
+                let expected = reference(&a, &b, 1.0);
+                assert!(
+                    max_abs_diff(&c, &expected).unwrap() < 1e-12,
+                    "{tile} size {m}x{n}x{k}"
+                );
+            }
         }
     }
 
@@ -362,6 +455,42 @@ mod tests {
             &mut c_parallel.view_mut(),
         );
         assert!(max_abs_diff(&c_serial, &c_parallel).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn pack_scratch_is_reused_after_warmup() {
+        // Two identical calls: the first may grow the thread-local scratch,
+        // the second must not allocate at all.
+        let (m, n, k) = (48, 48, 48);
+        let a = random_seeded(m, k, 31);
+        let b = random_seeded(k, n, 32);
+        let a_s = a.as_slice();
+        let b_s = b.as_slice();
+        let cfg = BlockConfig::serial();
+        let driver = BlockedDriver::new(&cfg);
+        let run = || {
+            let mut c = Matrix::zeros(m, n);
+            driver.accumulate_serial(
+                m,
+                n,
+                k,
+                1.0,
+                &|i, p| a_s[i + p * m],
+                &|p, j| b_s[p + j * k],
+                &mut c.view_mut(),
+            );
+            c
+        };
+        let first = run();
+        let before = pack_buffer_growth_events();
+        let second = run();
+        let after = pack_buffer_growth_events();
+        assert_eq!(
+            after - before,
+            0,
+            "warm repeat call must not grow packing buffers"
+        );
+        assert!(max_abs_diff(&first, &second).unwrap() == 0.0);
     }
 
     #[test]

@@ -67,15 +67,16 @@ pub mod trmm;
 pub mod trsm;
 
 pub use cache::CacheFlusher;
-pub use config::BlockConfig;
+pub use config::{BlockConfig, TileVariant, MAX_TILE_ACC};
 pub use dispatch::{
     factor_tri_new, gemm_into, gemm_new, getrf_new, ormqr_new, pivot_apply_new, potrf_new, qr_new,
     symm_into, symm_new, syrk_into, syrk_new, trmm_new, trsm_new, Kernel,
 };
-pub use driver::BlockedDriver;
+pub use driver::{pack_buffer_growth_events, BlockedDriver};
 pub use gemm::gemm;
 pub use gemm::naive::gemm_naive;
 pub use getrf::{factor_triangle, getrf, getrf_naive, getrf_packed, pivot_apply};
+pub use microkernel::{microkernel, microkernel_dyn};
 pub use potrf::{potrf, potrf_naive};
 pub use qr::{ormqr, qr, qr_naive, qr_packed};
 pub use solver::{solve_auto, solver_for, CholeskySolver, LuSolver, QrSolver, Solver};

@@ -1,81 +1,107 @@
 //! Operand packing into contiguous panels, the heart of the GotoBLAS/BLIS
 //! kernel structure.
 //!
-//! * `op(A)` blocks are packed into consecutive `MR`-row panels: panel `q`
-//!   stores, for `p = 0..k`, the `MR` values `op(A)[q*MR + r, p]`
-//!   (`r = 0..MR`), zero-padded past the block edge.
-//! * `op(B)` blocks are packed into consecutive `NR`-column panels with the
+//! * `op(A)` blocks are packed into consecutive `mr`-row panels: panel `q`
+//!   stores, for `p = 0..k`, the `mr` values `op(A)[q*mr + r, p]`
+//!   (`r = 0..mr`), zero-padded past the block edge.
+//! * `op(B)` blocks are packed into consecutive `nr`-column panels with the
 //!   symmetric layout.
 //!
 //! Packing goes through element accessor closures, which lets the same code
 //! path serve plain GEMM (`A` as stored), transposed operands (`Aᵀ` read
 //! during packing) and SYMM (elements mirrored from the stored triangle).
+//!
+//! The panel heights/widths are *runtime* parameters — the packing loops are
+//! memory-bound, so unlike the micro-kernel they gain nothing from
+//! monomorphisation, and keeping them dynamic means one packing routine
+//! serves every [`crate::config::TileVariant`].
 
-use crate::config::{MR, NR};
-
-/// Number of `f64` slots required to pack an `mb x kb` block of `op(A)`.
+/// Number of `f64` slots required to pack an `mb x kb` block of `op(A)` into
+/// `mr`-row panels.
 #[must_use]
-pub fn packed_a_len(mb: usize, kb: usize) -> usize {
-    mb.div_ceil(MR) * MR * kb
+pub fn packed_a_len(mr: usize, mb: usize, kb: usize) -> usize {
+    mb.div_ceil(mr) * mr * kb
 }
 
-/// Number of `f64` slots required to pack a `kb x nb` block of `op(B)`.
+/// Number of `f64` slots required to pack a `kb x nb` block of `op(B)` into
+/// `nr`-column panels.
 #[must_use]
-pub fn packed_b_len(kb: usize, nb: usize) -> usize {
-    nb.div_ceil(NR) * NR * kb
+pub fn packed_b_len(nr: usize, kb: usize, nb: usize) -> usize {
+    nb.div_ceil(nr) * nr * kb
 }
 
-/// Pack an `mb x kb` block of `op(A)` into `buf` using MR-row panels.
+/// Pack an `mb x kb` block of `op(A)` into `buf` using `mr`-row panels.
 ///
 /// `load(i, p)` must return the logical element `op(A)[i, p]` for
 /// `i < mb`, `p < kb`. Rows past `mb` within the last panel are zero-padded.
-pub fn pack_a<F: Fn(usize, usize) -> f64>(mb: usize, kb: usize, load: F, buf: &mut Vec<f64>) {
+pub fn pack_a<F: Fn(usize, usize) -> f64>(
+    mr: usize,
+    mb: usize,
+    kb: usize,
+    load: F,
+    buf: &mut Vec<f64>,
+) {
     buf.clear();
-    buf.reserve(packed_a_len(mb, kb));
+    buf.reserve(packed_a_len(mr, mb, kb));
     let mut ir = 0;
     while ir < mb {
-        let rows = MR.min(mb - ir);
+        let rows = mr.min(mb - ir);
         for p in 0..kb {
-            for r in 0..MR {
+            for r in 0..mr {
                 let v = if r < rows { load(ir + r, p) } else { 0.0 };
                 buf.push(v);
             }
         }
-        ir += MR;
+        ir += mr;
     }
 }
 
-/// Pack a `kb x nb` block of `op(B)` into `buf` using NR-column panels.
+/// Pack a `kb x nb` block of `op(B)` into `buf` using `nr`-column panels.
 ///
 /// `load(p, j)` must return the logical element `op(B)[p, j]` for
 /// `p < kb`, `j < nb`. Columns past `nb` within the last panel are zero-padded.
-pub fn pack_b<F: Fn(usize, usize) -> f64>(kb: usize, nb: usize, load: F, buf: &mut Vec<f64>) {
+pub fn pack_b<F: Fn(usize, usize) -> f64>(
+    nr: usize,
+    kb: usize,
+    nb: usize,
+    load: F,
+    buf: &mut Vec<f64>,
+) {
     buf.clear();
-    buf.reserve(packed_b_len(kb, nb));
+    buf.reserve(packed_b_len(nr, kb, nb));
     let mut jr = 0;
     while jr < nb {
-        let cols = NR.min(nb - jr);
+        let cols = nr.min(nb - jr);
         for p in 0..kb {
-            for c in 0..NR {
+            for c in 0..nr {
                 let v = if c < cols { load(p, jr + c) } else { 0.0 };
                 buf.push(v);
             }
         }
-        jr += NR;
+        jr += nr;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TileVariant;
+
+    // The historical default tile; layout expectations below are written
+    // against these panel dimensions.
+    const MR: usize = 8;
+    const NR: usize = 4;
 
     #[test]
     fn packed_lengths_round_up_to_full_panels() {
-        assert_eq!(packed_a_len(MR, 3), MR * 3);
-        assert_eq!(packed_a_len(MR + 1, 3), 2 * MR * 3);
-        assert_eq!(packed_b_len(3, NR), NR * 3);
-        assert_eq!(packed_b_len(3, NR + 1), 2 * NR * 3);
-        assert_eq!(packed_a_len(0, 5), 0);
+        for tile in TileVariant::ALL {
+            let (mr, nr) = (tile.mr(), tile.nr());
+            assert_eq!(packed_a_len(mr, mr, 3), mr * 3);
+            assert_eq!(packed_a_len(mr, mr + 1, 3), 2 * mr * 3);
+            assert_eq!(packed_b_len(nr, 3, nr), nr * 3);
+            assert_eq!(packed_b_len(nr, 3, nr + 1), 2 * nr * 3);
+            assert_eq!(packed_a_len(mr, 0, 5), 0);
+        }
     }
 
     #[test]
@@ -84,8 +110,8 @@ mod tests {
         let mb = 3;
         let kb = 2;
         let mut buf = Vec::new();
-        pack_a(mb, kb, |i, p| (10 * i + p) as f64, &mut buf);
-        assert_eq!(buf.len(), packed_a_len(mb, kb));
+        pack_a(MR, mb, kb, |i, p| (10 * i + p) as f64, &mut buf);
+        assert_eq!(buf.len(), packed_a_len(MR, mb, kb));
         // Panel stores column p = 0 first: rows 0,1,2 then padding.
         assert_eq!(&buf[0..3], &[0.0, 10.0, 20.0]);
         assert!(buf[3..MR].iter().all(|&x| x == 0.0));
@@ -98,7 +124,7 @@ mod tests {
         let mb = MR + 2;
         let kb = 1;
         let mut buf = Vec::new();
-        pack_a(mb, kb, |i, _| i as f64, &mut buf);
+        pack_a(MR, mb, kb, |i, _| i as f64, &mut buf);
         assert_eq!(buf.len(), 2 * MR);
         // First panel holds rows 0..MR.
         for (r, &v) in buf.iter().take(MR).enumerate() {
@@ -115,8 +141,8 @@ mod tests {
         let kb = 2;
         let nb = 3;
         let mut buf = Vec::new();
-        pack_b(kb, nb, |p, j| (100 * p + j) as f64, &mut buf);
-        assert_eq!(buf.len(), packed_b_len(kb, nb));
+        pack_b(NR, kb, nb, |p, j| (100 * p + j) as f64, &mut buf);
+        assert_eq!(buf.len(), packed_b_len(NR, kb, nb));
         // Row p = 0 of the single panel: columns 0,1,2, padding.
         assert_eq!(&buf[0..3], &[0.0, 1.0, 2.0]);
         assert_eq!(buf[3], 0.0);
@@ -129,7 +155,7 @@ mod tests {
         let kb = 1;
         let nb = NR + 1;
         let mut buf = Vec::new();
-        pack_b(kb, nb, |_, j| j as f64, &mut buf);
+        pack_b(NR, kb, nb, |_, j| j as f64, &mut buf);
         assert_eq!(buf.len(), 2 * NR);
         for (c, &v) in buf.iter().take(NR).enumerate() {
             assert_eq!(v, c as f64);
@@ -139,12 +165,29 @@ mod tests {
     }
 
     #[test]
+    fn packing_is_tile_agnostic_in_content() {
+        // Same logical block packed under two tiles holds the same elements,
+        // just grouped into different panels.
+        let (mb, kb) = (10, 3);
+        let load = |i: usize, p: usize| (i * 100 + p) as f64;
+        for tile in TileVariant::ALL {
+            let mr = tile.mr();
+            let mut buf = Vec::new();
+            pack_a(mr, mb, kb, load, &mut buf);
+            assert_eq!(buf.len(), packed_a_len(mr, mb, kb));
+            let nonzero: f64 = buf.iter().sum();
+            let expected: f64 = (0..mb).flat_map(|i| (0..kb).map(move |p| load(i, p))).sum();
+            assert!((nonzero - expected).abs() < 1e-12, "{tile}");
+        }
+    }
+
+    #[test]
     fn packing_reuses_buffer_capacity() {
         let mut buf = Vec::new();
-        pack_a(MR, 16, |i, p| (i * p) as f64, &mut buf);
+        pack_a(MR, MR, 16, |i, p| (i * p) as f64, &mut buf);
         let cap = buf.capacity();
-        pack_a(MR, 8, |i, p| (i + p) as f64, &mut buf);
+        pack_a(MR, MR, 8, |i, p| (i + p) as f64, &mut buf);
         assert!(buf.capacity() >= cap.min(buf.len()));
-        assert_eq!(buf.len(), packed_a_len(MR, 8));
+        assert_eq!(buf.len(), packed_a_len(MR, MR, 8));
     }
 }

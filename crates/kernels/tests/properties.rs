@@ -4,7 +4,7 @@
 
 use lamb_kernels::{
     factor_triangle, gemm, gemm_naive, getrf, getrf_naive, ormqr, pivot_apply, qr, qr_naive,
-    qr_packed, symm, syrk, trmm, trmm_naive, trsm, trsm_naive, BlockConfig,
+    qr_packed, symm, syrk, trmm, trmm_naive, trsm, trsm_naive, BlockConfig, TileVariant,
 };
 use lamb_matrix::ops::{frobenius_norm, max_abs_diff, zero_opposite_triangle};
 use lamb_matrix::random::{random_seeded, random_symmetric, random_triangular};
@@ -21,15 +21,31 @@ fn uplo_strategy() -> impl Strategy<Value = Uplo> {
     prop_oneof![Just(Uplo::Lower), Just(Uplo::Upper)]
 }
 
-fn config_strategy() -> impl Strategy<Value = BlockConfig> {
+fn tile_strategy() -> impl Strategy<Value = TileVariant> {
     prop_oneof![
-        Just(BlockConfig::tiny()),
-        Just(BlockConfig::serial()),
-        Just(BlockConfig {
-            parallel_flop_threshold: 1,
-            ..BlockConfig::default()
-        }),
+        Just(TileVariant::T8x4),
+        Just(TileVariant::T8x8),
+        Just(TileVariant::T4x8),
+        Just(TileVariant::T16x4),
+        Just(TileVariant::T8x12),
     ]
+}
+
+fn config_strategy() -> impl Strategy<Value = BlockConfig> {
+    // Every blocking regime crossed with every register-tile variant, so each
+    // kernel property exercises each micro-kernel instantiation.
+    (
+        prop_oneof![
+            Just(BlockConfig::tiny()),
+            Just(BlockConfig::serial()),
+            Just(BlockConfig {
+                parallel_flop_threshold: 1,
+                ..BlockConfig::default()
+            }),
+        ],
+        tile_strategy(),
+    )
+        .prop_map(|(base, tile)| base.with_tile(tile))
 }
 
 proptest! {
@@ -217,6 +233,44 @@ proptest! {
         let mut gram_r = Matrix::zeros(n, n);
         gemm_naive(Trans::Yes, Trans::No, 1.0, &r.view(), &r.view(), 0.0, &mut gram_r.view_mut()).unwrap();
         prop_assert!(max_abs_diff(&gram_a, &gram_r).unwrap() < 1e-9 * norm * norm);
+    }
+
+    #[test]
+    fn tile_variants_handle_partial_tiles(
+        tile in tile_strategy(),
+        mi in 0usize..4,
+        ni in 0usize..4,
+        mq in 1usize..4,
+        nq in 1usize..4,
+        k in 1usize..24,
+        transa in trans_strategy(),
+        transb in trans_strategy(),
+        serial_blocks in prop_oneof![Just(false), Just(true)],
+        seed in 0u64..10_000,
+    ) {
+        // Operand extents sit exactly on the register-tile edge cases: a
+        // whole number of MR/NR tiles, one past, one short, and a single
+        // tile plus one — the shapes where the masked partial-tile writeback
+        // must not read or write out of range.
+        let edge = |q: usize, t: usize, which: usize| match which {
+            0 => q * t,                       // ≡ 0 (mod tile)
+            1 => q * t + 1,                   // ≡ 1
+            2 => (q * t).saturating_sub(1).max(1), // ≡ tile-1
+            _ => t + 1,                       // tile+1
+        };
+        let m = edge(mq, tile.mr(), mi);
+        let n = edge(nq, tile.nr(), ni);
+        let cfg = if serial_blocks { BlockConfig::serial() } else { BlockConfig::tiny() }.with_tile(tile);
+        let (ar, ac) = transa.apply((m, k));
+        let (br, bc) = transb.apply((k, n));
+        let a = random_seeded(ar, ac, seed);
+        let b = random_seeded(br, bc, seed.wrapping_add(13));
+        let c0 = random_seeded(m, n, seed.wrapping_add(14));
+        let mut fast = c0.clone();
+        let mut reference = c0;
+        gemm(transa, transb, 2.0, &a.view(), &b.view(), 0.25, &mut fast.view_mut(), &cfg).unwrap();
+        gemm_naive(transa, transb, 2.0, &a.view(), &b.view(), 0.25, &mut reference.view_mut()).unwrap();
+        prop_assert!(max_abs_diff(&fast, &reference).unwrap() < 1e-11 * k as f64);
     }
 
     #[test]

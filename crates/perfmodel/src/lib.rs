@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod autotune;
 pub mod calibrate;
 pub mod efficiency;
 pub mod executor;
@@ -38,6 +39,7 @@ pub mod reuse;
 pub mod simulate;
 pub mod store;
 
+pub use autotune::{autotune_measured, coordinate_descent, measured_gemm_gflops, TuneOutcome};
 pub use calibrate::{
     estimate_peak_flops, measure_square_profiles, single_call_algorithm, SQUARE_SWEEP_KERNELS,
 };
@@ -49,6 +51,6 @@ pub use profile::{CallTimeTable, SquareProfile};
 pub use reuse::{FactorStore, ReuseReport, SimpleFactorStore};
 pub use simulate::{SimulatedExecutor, SimulatorConfig};
 pub use store::{
-    CalibrationStore, StalenessWarning, StoreError, StoreMeta, EXPECTED_KERNELS,
+    CalibrationStore, StalenessWarning, StoreError, StoreMeta, TunedConfig, EXPECTED_KERNELS,
     STORE_FORMAT_VERSION, STORE_MIN_SUPPORTED_VERSION,
 };

@@ -46,6 +46,7 @@ use crate::json::{Json, JsonError};
 use crate::machine::MachineModel;
 use crate::profile::{CallTimeTable, SquareProfile};
 use lamb_expr::KernelOp;
+use lamb_kernels::{BlockConfig, TileVariant};
 use lamb_matrix::{Side, Trans, Uplo};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -71,7 +72,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 ///   triangle extraction, keeps its `uplo`) and LASWP (pivot application).
 ///   Same migration contract: v1-v3 documents load as-is, report GETRF and
 ///   QR as missing sweep coverage, and are upgraded to v4 on the next save.
-pub const STORE_FORMAT_VERSION: u64 = 4;
+/// * **v5** — adds the optional `tuned` section recording the autotuned
+///   [`BlockConfig`] (cache blocks, triangular block, register tile, parallel
+///   policy) and the GFLOP/s it achieved, written by
+///   `lamb calibrate --autotune`. Same migration contract: v1-v4 documents
+///   load as-is with no tuned config ([`CalibrationStore::tuned`] is `None`),
+///   and are upgraded to v5 on the next save.
+pub const STORE_FORMAT_VERSION: u64 = 5;
 
 /// Oldest on-disk format version this build still reads (and migrates).
 pub const STORE_MIN_SUPPORTED_VERSION: u64 = 1;
@@ -194,6 +201,19 @@ impl fmt::Display for StalenessWarning {
     }
 }
 
+/// The autotuned block configuration a store carries with it (format v5):
+/// the coordinate-descent winner over `(tile, mc, kc, nc, tri_block,
+/// parallel_flop_threshold)` and the GFLOP/s it achieved on the tuning
+/// workload, so a calibrated store reproduces its machine's blocking on warm
+/// start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedConfig {
+    /// The winning block configuration.
+    pub config: BlockConfig,
+    /// Best observed GFLOP/s under `config` on the tuning workload.
+    pub gflops: f64,
+}
+
 /// Persistent calibration data for one machine + executor + block
 /// configuration. See the [module docs](self) for the format contract.
 #[derive(Debug, Clone)]
@@ -206,6 +226,9 @@ pub struct CalibrationStore {
     pub profiles: Vec<SquareProfile>,
     /// Isolated-call benchmark times keyed by canonical timing key.
     pub calls: CallTimeTable,
+    /// The autotuned block configuration, when a `--autotune` sweep has run
+    /// (`None` for stores written by v1-v4 builds or untuned sweeps).
+    pub tuned: Option<TunedConfig>,
 }
 
 /// Current Unix time in seconds (0 if the clock is before the epoch).
@@ -234,7 +257,15 @@ impl CalibrationStore {
             machine,
             profiles: Vec::new(),
             calls: CallTimeTable::new(),
+            tuned: None,
         }
+    }
+
+    /// The autotuned block configuration this store carries, if any — what
+    /// warm-starting planners and executors run their kernels under.
+    #[must_use]
+    pub fn tuned_block_config(&self) -> Option<&BlockConfig> {
+        self.tuned.as_ref().map(|t| &t.config)
     }
 
     /// Merge `other` (assumed fresher) into this store: call times and
@@ -274,6 +305,9 @@ impl CalibrationStore {
             }
         }
         self.machine = other.machine.clone();
+        if other.tuned.is_some() {
+            self.tuned = other.tuned.clone();
+        }
         if !other.meta.block_fingerprint.is_empty() {
             self.meta.block_fingerprint = other.meta.block_fingerprint.clone();
         }
@@ -397,15 +431,34 @@ impl CalibrationStore {
                 .map(|(op, seconds)| op_to_json(op, seconds))
                 .collect(),
         );
-        Json::Obj(vec![
+        let mut fields = vec![
             ("format".into(), Json::Str(STORE_FORMAT_NAME.into())),
             ("version".into(), Json::Num(STORE_FORMAT_VERSION as f64)),
             ("meta".into(), meta),
             ("machine".into(), machine),
             ("profiles".into(), profiles),
             ("calls".into(), calls),
-        ])
-        .pretty()
+        ];
+        if let Some(tuned) = &self.tuned {
+            let cfg = &tuned.config;
+            fields.push((
+                "tuned".into(),
+                Json::Obj(vec![
+                    ("mc".into(), Json::Num(cfg.mc as f64)),
+                    ("kc".into(), Json::Num(cfg.kc as f64)),
+                    ("nc".into(), Json::Num(cfg.nc as f64)),
+                    ("tri_block".into(), Json::Num(cfg.tri_block as f64)),
+                    ("tile".into(), Json::Str(cfg.tile.tag().into())),
+                    ("parallel".into(), Json::Bool(cfg.parallel)),
+                    (
+                        "parallel_flop_threshold".into(),
+                        Json::Num(cfg.parallel_flop_threshold as f64),
+                    ),
+                    ("gflops".into(), Json::Num(tuned.gflops)),
+                ]),
+            ));
+        }
+        Json::Obj(fields).pretty()
     }
 
     /// Parse a store from its JSON document.
@@ -484,11 +537,37 @@ impl CalibrationStore {
             let (op, seconds) = op_from_json(entry)?;
             calls.insert(op, seconds);
         }
+        let tuned = match doc.get("tuned") {
+            None | Some(Json::Null) => None,
+            Some(t) => {
+                let tile_tag = field_str(t, "tile")?;
+                let tile = TileVariant::parse(&tile_tag).ok_or_else(|| {
+                    StoreError::Format(format!("unknown register tile `{tile_tag}`"))
+                })?;
+                let config = BlockConfig {
+                    mc: field_u64(t, "mc")? as usize,
+                    kc: field_u64(t, "kc")? as usize,
+                    nc: field_u64(t, "nc")? as usize,
+                    tri_block: field_u64(t, "tri_block")? as usize,
+                    tile,
+                    parallel: field_bool(t, "parallel")?,
+                    parallel_flop_threshold: field_u64(t, "parallel_flop_threshold")?,
+                };
+                let gflops = field_f64(t, "gflops")?;
+                if !(gflops.is_finite() && gflops >= 0.0) {
+                    return Err(StoreError::Format(format!(
+                        "tuned config has invalid gflops {gflops}"
+                    )));
+                }
+                Some(TunedConfig { config, gflops })
+            }
+        };
         Ok(CalibrationStore {
             meta,
             machine,
             profiles,
             calls,
+            tuned,
         })
     }
 
@@ -673,6 +752,15 @@ fn field_u64(doc: &Json, key: &str) -> Result<u64, StoreError> {
     doc.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| StoreError::Format(format!("missing or non-integer field `{key}`")))
+}
+
+fn field_bool(doc: &Json, key: &str) -> Result<bool, StoreError> {
+    match doc.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(StoreError::Format(format!(
+            "missing or non-boolean field `{key}`"
+        ))),
+    }
 }
 
 fn field_f64(doc: &Json, key: &str) -> Result<f64, StoreError> {
@@ -1257,5 +1345,114 @@ mod tests {
             let t = calls.lookup(&op).unwrap();
             assert_eq!(t.to_bits(), expected.to_bits(), "{op}");
         }
+    }
+
+    fn sample_tuned() -> TunedConfig {
+        TunedConfig {
+            config: BlockConfig {
+                mc: 192,
+                kc: 384,
+                nc: 2048,
+                tri_block: 96,
+                tile: TileVariant::T8x8,
+                parallel: true,
+                parallel_flop_threshold: 1 << 21,
+            },
+            // Not exactly representable: a real bit-identity test.
+            gflops: 100.0 / 7.0,
+        }
+    }
+
+    #[test]
+    fn v4_documents_load_without_tuned_config_and_migrate_bit_identically() {
+        // Reconstruct what the v4 build wrote: full call coverage, no
+        // `tuned` section.
+        let old = sample_store();
+        assert!(old.tuned.is_none());
+        let v4_text = old.to_json().replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 4",
+        );
+
+        // It loads under the v5 build with no tuned config and full
+        // coverage...
+        let migrated = CalibrationStore::from_json(&v4_text).unwrap();
+        assert_eq!(migrated.calls.len(), old.calls.len());
+        assert!(migrated.tuned.is_none());
+        assert!(migrated.tuned_block_config().is_none());
+        assert!(migrated.missing_kernels().is_empty());
+
+        // ...the resave upgrades only the version number, bit-for-bit...
+        let resaved = migrated.to_json();
+        assert_eq!(
+            resaved,
+            v4_text.replace(
+                "\"version\": 4",
+                &format!("\"version\": {STORE_FORMAT_VERSION}")
+            ),
+            "v4→v5 migration must only bump the version"
+        );
+
+        // ...and after merging an autotune sweep the tuned config round-trips
+        // bit-identically.
+        let mut merged = migrated;
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
+        sweep.tuned = Some(sample_tuned());
+        merged.merge_from(&sweep).unwrap();
+        assert_eq!(merged.tuned, Some(sample_tuned()));
+        let text = merged.to_json();
+        assert!(text.contains(&format!("\"version\": {STORE_FORMAT_VERSION}")));
+        assert!(text.contains("\"tuned\""));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "v4→v5 migration must round-trip");
+        let tuned = back.tuned.unwrap();
+        assert_eq!(tuned.config, sample_tuned().config);
+        assert_eq!(tuned.gflops.to_bits(), sample_tuned().gflops.to_bits());
+    }
+
+    #[test]
+    fn tuned_config_round_trips_bit_identically() {
+        let mut store = sample_store();
+        store.tuned = Some(sample_tuned());
+        let text = store.to_json();
+        let back = CalibrationStore::from_json(&text).unwrap();
+        let tuned = back.tuned.as_ref().unwrap();
+        assert_eq!(tuned.config, sample_tuned().config);
+        assert_eq!(
+            tuned.config.fingerprint(),
+            sample_tuned().config.fingerprint()
+        );
+        assert_eq!(tuned.gflops.to_bits(), sample_tuned().gflops.to_bits());
+        assert_eq!(back.tuned_block_config(), Some(&sample_tuned().config));
+        // Serialisation is deterministic: same tuned store, same bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn malformed_tuned_sections_are_rejected() {
+        let mut store = sample_store();
+        store.tuned = Some(sample_tuned());
+        let text = store.to_json();
+        let bad_tile = text.replace("\"tile\": \"8x8\"", "\"tile\": \"3x5\"");
+        assert!(CalibrationStore::from_json(&bad_tile)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown register tile"));
+        let bad_parallel = text.replace("\"parallel\": true", "\"parallel\": 1");
+        assert!(CalibrationStore::from_json(&bad_parallel)
+            .unwrap_err()
+            .to_string()
+            .contains("non-boolean"));
+    }
+
+    #[test]
+    fn merge_keeps_existing_tuned_config_when_sweep_has_none() {
+        let mut base = sample_store();
+        base.tuned = Some(sample_tuned());
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = base.meta.block_fingerprint.clone();
+        base.merge_from(&sweep).unwrap();
+        assert_eq!(base.tuned, Some(sample_tuned()));
     }
 }

@@ -331,7 +331,12 @@ impl BatchPlanner {
         self
     }
 
-    /// Warm-start the shared cache from a persisted calibration store.
+    /// Warm-start the shared cache from a persisted calibration store. When
+    /// the store carries an autotuned block configuration
+    /// ([`CalibrationStore::tuned_block_config`]), pair this with an
+    /// [`BatchPlanner::executor_factory`] that builds its measured executors
+    /// under that configuration, so cached timings and fresh benchmarks
+    /// describe the same blocking.
     #[must_use]
     pub fn with_store(self, store: &CalibrationStore) -> Self {
         self.cache.preload(&store.calls);

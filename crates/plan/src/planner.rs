@@ -117,6 +117,12 @@ impl<'e> Planner<'e> {
     /// covers is a cache hit instead of a fresh benchmark. See the
     /// `calibrate` CLI command and [`Planner::snapshot_cache`] for the other
     /// half of the round trip.
+    ///
+    /// Stores written by `calibrate --autotune` also carry the autotuned
+    /// `BlockConfig`
+    /// ([`CalibrationStore::tuned_block_config`]); construct the measured
+    /// executor under that configuration so the preloaded timings describe
+    /// the blocking actually run (the CLI's executor factory does this).
     #[must_use]
     pub fn with_store(self, store: &CalibrationStore) -> Self {
         self.cache.preload(&store.calls);

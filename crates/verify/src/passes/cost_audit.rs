@@ -16,6 +16,15 @@
 //!   and written elements — the lint for the cache-poisoning bug class where
 //!   a non-canonical key splits one benchmark entry into several.
 //!
+//! The audit is deliberately **tile-agnostic**: every quantity it recomputes
+//! is a function of the IR's logical dimensions alone. Register-tile shape
+//! and cache blocking (`lamb-kernels`' `BlockConfig`, including anything
+//! `calibrate --autotune` discovers) are execution details that change *how
+//! fast* a call runs, never how many useful FLOPs it performs — so nothing
+//! in this module accepts a blocking parameter, and retuning a machine can
+//! never invalidate an audited cost claim (guarded by the
+//! `tile_agnostic` integration test).
+//!
 //! Calls the shape pass rejected are skipped: their derived dimensions are
 //! not trustworthy, and double-reporting would mis-attribute the defect.
 

@@ -2,7 +2,8 @@
 //!
 //! The build environment for this repository has no access to a crates
 //! registry, so the workspace vendors the slice of `proptest` it uses: the
-//! [`strategy::Strategy`] trait implemented for ranges, tuples and arrays,
+//! [`strategy::Strategy`] trait (with the [`strategy::Strategy::prop_map`]
+//! adapter) implemented for ranges, tuples and arrays,
 //! [`strategy::Just`], the [`prop_oneof!`] union, and the [`proptest!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros driven by
 //! [`test_runner::ProptestConfig`].
@@ -153,6 +154,12 @@ mod tests {
         #[test]
         fn oneof_and_just_produce_listed_values(v in prop_oneof![Just(2usize), Just(7usize)]) {
             prop_assert!(v == 2 || v == 7);
+        }
+
+        #[test]
+        fn prop_map_transforms_generated_values(v in (1usize..5).prop_map(|x| x * 10)) {
+            prop_assert!((10..50).contains(&v));
+            prop_assert_eq!(v % 10, 0);
         }
     }
 

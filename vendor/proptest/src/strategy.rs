@@ -12,6 +12,34 @@ pub trait Strategy {
 
     /// Generate one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `map` (the `prop_map` adapter of
+    /// real proptest, minus shrinking).
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
