@@ -19,6 +19,7 @@ use lamb_experiments::all_scenarios;
 use lamb_perfmodel::store::now_unix;
 use lamb_perfmodel::CalibrationStore;
 use lamb_plan::{BatchOutcome, BatchPlanner, BatchRequest, FactorCache};
+use lamb_select::{assign_backends, pinned_backends, BackendAssignment};
 use std::sync::Arc;
 
 /// Run the subcommand.
@@ -100,11 +101,34 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let outcome = planner.plan_batch(&requests);
 
+    // Per-call backend assignments over the chosen algorithms: the
+    // benchmark-driven argmin, or every call pinned by `--backend <name>`.
+    let mut backend_exec = opts.build_executor()?;
+    if let Some(name) = &opts.backend {
+        let names = backend_exec.backend_names();
+        if !names.iter().any(|n| n == name) {
+            return Err(format!(
+                "unknown backend `{name}` (this executor offers: {})",
+                names.join(", ")
+            ));
+        }
+    }
+    let assignments: Vec<Option<BackendAssignment>> = outcome
+        .results
+        .iter()
+        .map(|result| {
+            result.as_ref().ok().map(|plan| match &opts.backend {
+                Some(name) => pinned_backends(plan.chosen_algorithm(), backend_exec.as_mut(), name),
+                None => assign_backends(plan.chosen_algorithm(), backend_exec.as_mut()),
+            })
+        })
+        .collect();
+
     // The CSV report.
     std::fs::create_dir_all(&opts.out_dir)
         .map_err(|e| format!("cannot create {}: {e}", opts.out_dir.display()))?;
     let report_path = opts.out_dir.join("batch_report.csv");
-    std::fs::write(&report_path, report_csv(&requests, &outcome))
+    std::fs::write(&report_path, report_csv(&requests, &outcome, &assignments))
         .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
 
     // Optionally persist what this batch benchmarked. The new calls are
@@ -167,6 +191,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stats.flop_optimal_predicted_seconds,
         stats.predicted_seconds_saved()
     );
+    let mixed = assignments
+        .iter()
+        .flatten()
+        .filter(|a| a.is_mixed())
+        .count();
+    match &opts.backend {
+        Some(name) => println!("backends: every call pinned to `{name}` (--backend)"),
+        None => println!(
+            "backends: {mixed} of {} chosen algorithm(s) mix backends",
+            assignments.iter().flatten().count()
+        ),
+    }
     match &factor_cache {
         Some(fc) => println!(
             "factor cache: {} reusable factor identity(ies) across the batch",
@@ -194,11 +230,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One CSV row per request: what was planned, what it costs, and whether the
-/// FLOP discriminant is predicted to be misled (at each plan's threshold).
-fn report_csv(requests: &[BatchRequest], outcome: &BatchOutcome) -> String {
+/// One CSV row per request: what was planned, what it costs, whether the
+/// FLOP discriminant is predicted to be misled (at each plan's threshold),
+/// and which backends the chosen algorithm's calls were assigned.
+fn report_csv(
+    requests: &[BatchRequest],
+    outcome: &BatchOutcome,
+    assignments: &[Option<BackendAssignment>],
+) -> String {
     let mut rows: Vec<Vec<String>> = Vec::with_capacity(requests.len());
-    for (req, result) in requests.iter().zip(&outcome.results) {
+    for ((req, result), assignment) in requests.iter().zip(&outcome.results).zip(assignments) {
         let dims = req
             .dims
             .iter()
@@ -220,12 +261,16 @@ fn report_csv(requests: &[BatchRequest], outcome: &BatchOutcome) -> String {
                     format_opt_seconds(chosen.predicted_seconds),
                     format_opt_seconds(flop_optimal.predicted_seconds),
                     plan.predicted_anomaly().unwrap_or(false).to_string(),
+                    assignment
+                        .as_ref()
+                        .map_or(String::new(), |a| a.backends_used().join("+")),
                 ]);
             }
             Err(e) => rows.push(vec![
                 req.text.clone(),
                 dims,
                 format!("error: {e}"),
+                String::new(),
                 String::new(),
                 String::new(),
                 String::new(),
@@ -248,6 +293,7 @@ fn report_csv(requests: &[BatchRequest], outcome: &BatchOutcome) -> String {
             "chosen_predicted_s",
             "flop_optimal_predicted_s",
             "predicted_anomaly",
+            "backends",
         ],
         &rows,
     )
@@ -290,9 +336,11 @@ mod tests {
         let report = std::fs::read_to_string(dir.join("batch_report.csv")).unwrap();
         assert_eq!(report.lines().count(), 3);
         assert!(report.starts_with("expression,dims,status,"));
-        // The Figure-11 instance is a predicted anomaly.
+        // The Figure-11 instance is a predicted anomaly, and every ok row
+        // carries a backend assignment in the trailing column.
         let row = report.lines().find(|l| l.starts_with("A*A^T*B")).unwrap();
-        assert!(row.ends_with(",true"), "{row}");
+        assert_eq!(row.rsplit(',').nth(1), Some("true"), "{row}");
+        assert!(row.rsplit(',').next().unwrap().contains("native"), "{row}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -379,12 +427,12 @@ mod tests {
         // The chosen-algorithm name may itself contain commas (its kernel
         // summary), so index the comma-free numeric columns from the end:
         // ..., chosen_flops, min_flops, chosen_predicted_s,
-        // flop_optimal_predicted_s, predicted_anomaly.
+        // flop_optimal_predicted_s, predicted_anomaly, backends.
         let chosen_flops = |report: &str| -> Vec<u64> {
             report
                 .lines()
                 .skip(1)
-                .map(|l| l.rsplit(',').nth(4).unwrap().parse().unwrap())
+                .map(|l| l.rsplit(',').nth(5).unwrap().parse().unwrap())
                 .collect()
         };
         // Warm requests are discounted: the resident POTRF/TRSM factors make

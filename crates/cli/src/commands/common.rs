@@ -62,6 +62,9 @@ pub struct CommonOptions {
     /// `--quick`: reduced problem size and repetition count for the
     /// autotuner (CI smoke mode).
     pub quick: bool,
+    /// `--backend <name>`: pin every kernel call to the named backend
+    /// instead of letting the planner assign backends per call (ablation).
+    pub backend: Option<String>,
 }
 
 impl Default for CommonOptions {
@@ -88,6 +91,7 @@ impl Default for CommonOptions {
             cse_parity: false,
             autotune: false,
             quick: false,
+            backend: None,
         }
     }
 }
@@ -186,6 +190,10 @@ pub fn parse(args: &[String]) -> Result<CommonOptions, String> {
             }
             "--update-store" => {
                 opts.update_store = true;
+            }
+            "--backend" => {
+                opts.backend = Some(value("--backend")?);
+                i += 1;
             }
             "--threshold" => {
                 let t: f64 = value("--threshold")?

@@ -124,8 +124,29 @@ pub fn lu_qr_scenarios() -> Vec<Scenario> {
     ]
 }
 
+/// The right-side scenario family: structured operands appearing on the
+/// *right* of the product, unlocking the `side = Right` TRMM/TRSM/SYMM
+/// kernels (`B·L`, `B·L⁻¹`, `A·S`). The FLOP counts mirror the left-side
+/// family exactly, so any abundance difference against the left-side twins
+/// is purely a property of the sided kernels' FLOP-rate surfaces — and at
+/// small orders these scenarios are also where the reference backend's flat
+/// cost profile beats the blocked native kernels, making them the natural
+/// workload for the per-call backend assignment demo.
+#[must_use]
+pub fn right_side_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new("trmm_r", "B*L[lower]"),
+        Scenario::new("trmm_r_upper", "B*U[upper]^T"),
+        Scenario::new("trmm_r_chain", "A*B*L[lower]"),
+        Scenario::new("trsm_r", "B*L[lower]^-1"),
+        Scenario::new("trsm_r_chain", "A*B*L[lower]^-1"),
+        Scenario::new("symm_r", "A*S[spd]"),
+        Scenario::new("symm_r_chain", "A*S[spd]*B"),
+    ]
+}
+
 /// Every standing scenario: the mixed-transpose set plus the triangular,
-/// SPD and general-solve (LU/QR) families — the workload behind
+/// SPD, general-solve (LU/QR) and right-side families — the workload behind
 /// `lamb batch --demo`, `lamb verify --demo` and the throughput benches.
 #[must_use]
 pub fn all_scenarios() -> Vec<Scenario> {
@@ -133,6 +154,7 @@ pub fn all_scenarios() -> Vec<Scenario> {
     scenarios.extend(triangular_scenarios());
     scenarios.extend(spd_scenarios());
     scenarios.extend(lu_qr_scenarios());
+    scenarios.extend(right_side_scenarios());
     scenarios
 }
 
@@ -413,12 +435,43 @@ mod tests {
                 + scenarios.len()
                 + spd_scenarios().len()
                 + lu_qr_scenarios().len()
+                + right_side_scenarios().len()
         );
         let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
         assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn right_side_scenarios_parse_and_reach_the_sided_kernels() {
+        let scenarios = right_side_scenarios();
+        assert!(scenarios.len() >= 5);
+        for s in &scenarios {
+            assert!(s.algorithm_count() >= 1, "{} enumerates nothing", s.name);
+        }
+        // Each headline scenario must reach its right-side kernel somewhere
+        // in the enumerated set (the GEMM realisation coexists).
+        for (name, kernel) in [
+            ("trmm_r", "trmm"),
+            ("trsm_r", "trsm"),
+            ("symm_r", "symm"),
+            ("trmm_r_chain", "trmm"),
+            ("trsm_r_chain", "trsm"),
+        ] {
+            let s = scenarios.iter().find(|s| s.name == name).unwrap();
+            let dims = vec![64; s.expression.num_dims()];
+            let algs = s.expression.algorithms(&dims).unwrap();
+            assert!(
+                algs.iter().any(|a| a.kernel_summary().contains(kernel)),
+                "{name} never reaches {kernel}"
+            );
+        }
+        // The pure right-side solve has exactly one realisation, like its
+        // left-side twin.
+        let trsm_r = scenarios.iter().find(|s| s.name == "trsm_r").unwrap();
+        assert_eq!(trsm_r.algorithm_count(), 1);
     }
 
     #[test]

@@ -274,7 +274,7 @@ pub fn cacheable_identities(alg: &Algorithm) -> Vec<(usize, OperandId, String)> 
 mod tests {
     use super::*;
     use crate::algorithm::OperandInfo;
-    use lamb_matrix::{Structure, Trans, Uplo};
+    use lamb_matrix::{Side, Structure, Trans, Uplo};
 
     fn op_gemm(m: usize, n: usize, k: usize) -> KernelOp {
         KernelOp::Gemm {
@@ -546,6 +546,7 @@ mod tests {
             n: 5,
         };
         let trsm = KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: 5,

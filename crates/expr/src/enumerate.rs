@@ -304,11 +304,14 @@ pub fn enumerate_expr_algorithms_with(
     };
     recurse(&mut ctx, &segments, &[], &[], 0);
     if ctx.out.is_empty() {
-        // Every merge order hit a variant-free merge. With the current
-        // vocabulary that means an inverse had no legal TRSM position in any
-        // order: it sat on the right of every split (`A * L^-1`), or its
-        // right-hand side was transposed or triangle-stored everywhere
-        // (`L^-1 * B^T`).
+        // Every merge order hit a variant-free merge. Inverses realise from
+        // either side now (left- and right-side TRSM/Cholesky/LU lowerings),
+        // so the remaining dead ends are: a solve whose rectangular partner
+        // is transposed or triangle-stored in every order (`L^-1 * B^T`),
+        // two inverses meeting in one merge (`L^-1 * M^-1`), a transposed
+        // general inverse (`A^-T` — GETRF carries no transposition flag),
+        // or a pseudo-inverse on the right of every split (`b * A^+` —
+        // ORMQR applies Q₁ᵀ from the left only).
         return Err(GenerateError::NoRealisation {
             expression: expr.to_string(),
         });
@@ -486,8 +489,14 @@ fn build_merge(
     if kind == MergeKind::CholeskySolve {
         return build_cholesky_solve(left, right, base_id, base_m);
     }
+    if kind == MergeKind::CholeskySolveRight {
+        return build_cholesky_solve_right(left, right, base_id, base_m);
+    }
     if kind == MergeKind::LuSolve {
         return build_lu_solve(left, right, base_id, base_m);
+    }
+    if kind == MergeKind::LuSolveRight {
+        return build_lu_solve_right(left, right, base_id, base_m);
     }
     if kind == MergeKind::QrSolve {
         return build_qr_solve(left, right, base_id, base_m);
@@ -542,27 +551,43 @@ fn build_merge(
         output: out_id,
         label: product_label("syrk"),
     };
-    let trmm_call = || KernelCall {
-        op: KernelOp::Trmm {
-            uplo: left.tri.expect("TRMM requires a triangular left side"),
-            trans: left.trans,
-            m,
-            n,
-        },
-        inputs: vec![left.id, right.id],
-        output: out_id,
-        label: product_label("trmm"),
+    // The triangular operand leads the input list for both sides, matching
+    // the kernel argument order (triangle, then the rectangular operand).
+    let trmm_call = |side: Side| {
+        let (tri_seg, rect_seg) = match side {
+            Side::Left => (left, right),
+            Side::Right => (right, left),
+        };
+        KernelCall {
+            op: KernelOp::Trmm {
+                side,
+                uplo: tri_seg.tri.expect("TRMM requires a triangular operand"),
+                trans: tri_seg.trans,
+                m,
+                n,
+            },
+            inputs: vec![tri_seg.id, rect_seg.id],
+            output: out_id,
+            label: product_label("trmm"),
+        }
     };
-    let trsm_call = || KernelCall {
-        op: KernelOp::Trsm {
-            uplo: left.tri.expect("TRSM requires a triangular left side"),
-            trans: left.trans,
-            m,
-            n,
-        },
-        inputs: vec![left.id, right.id],
-        output: out_id,
-        label: product_label("trsm"),
+    let trsm_call = |side: Side| {
+        let (tri_seg, rect_seg) = match side {
+            Side::Left => (left, right),
+            Side::Right => (right, left),
+        };
+        KernelCall {
+            op: KernelOp::Trsm {
+                side,
+                uplo: tri_seg.tri.expect("TRSM requires a triangular operand"),
+                trans: tri_seg.trans,
+                m,
+                n,
+            },
+            inputs: vec![tri_seg.id, rect_seg.id],
+            output: out_id,
+            label: product_label("trsm"),
+        }
     };
 
     let calls = match kind {
@@ -600,9 +625,15 @@ fn build_merge(
         ],
         MergeKind::CopyRightThenSymmLeft => vec![copy_call(right), symm_call(Side::Left)],
         MergeKind::CopyLeftThenSymmRight => vec![copy_call(left), symm_call(Side::Right)],
-        MergeKind::Trmm => vec![trmm_call()],
-        MergeKind::Trsm => vec![trsm_call()],
-        MergeKind::CholeskySolve | MergeKind::LuSolve | MergeKind::QrSolve => {
+        MergeKind::Trmm => vec![trmm_call(Side::Left)],
+        MergeKind::TrmmRight => vec![trmm_call(Side::Right)],
+        MergeKind::Trsm => vec![trsm_call(Side::Left)],
+        MergeKind::TrsmRight => vec![trsm_call(Side::Right)],
+        MergeKind::CholeskySolve
+        | MergeKind::CholeskySolveRight
+        | MergeKind::LuSolve
+        | MergeKind::LuSolveRight
+        | MergeKind::QrSolve => {
             unreachable!("handled above")
         }
     };
@@ -675,6 +706,7 @@ fn build_cholesky_solve(
         },
         KernelCall {
             op: KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m,
@@ -686,6 +718,7 @@ fn build_cholesky_solve(
         },
         KernelCall {
             op: KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::Yes,
                 m,
@@ -792,13 +825,18 @@ fn build_lu_solve(
             label: format!("{u_name} := triu({f_name}) (factortri)"),
         },
         KernelCall {
-            op: KernelOp::PivotApply { m, n },
+            op: KernelOp::PivotApply {
+                side: Side::Left,
+                m,
+                n,
+            },
             inputs: vec![f_id, right.id],
             output: bp_id,
             label: format!("{bp_name} := P*{} (laswp)", right.text),
         },
         KernelCall {
             op: KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m,
@@ -810,6 +848,7 @@ fn build_lu_solve(
         },
         KernelCall {
             op: KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m,
@@ -889,6 +928,259 @@ fn build_lu_solve(
     (calls, merged, infos)
 }
 
+/// Build the three-call Cholesky realisation of a *right-side* SPD inverse
+/// merge `B·S⁻¹`: `L := POTRF(S)`, `Y := B·L⁻ᵀ`, `X := Y·L⁻¹` (from
+/// `S⁻¹ = L⁻ᵀ·L⁻¹`) — both solves right-side TRSMs, never a transpose
+/// round-trip. Introduces three intermediates, result last.
+fn build_cholesky_solve_right(
+    left: &Segment,
+    right: &Segment,
+    base_id: usize,
+    base_m: usize,
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
+    let (m, n) = (left.rows, right.cols);
+    debug_assert_eq!(right.rows, right.cols, "SPD operands are square");
+    let l_id = OperandId(base_id);
+    let y_id = OperandId(base_id + 1);
+    let out_id = OperandId(base_id + 2);
+    let l_name = format!("M{base_m}");
+    let y_name = format!("M{}", base_m + 1);
+    let out_name = format!("M{}", base_m + 2);
+    let calls = vec![
+        KernelCall {
+            op: KernelOp::Potrf {
+                uplo: Uplo::Lower,
+                n,
+            },
+            inputs: vec![right.id],
+            output: l_id,
+            label: format!("{l_name} := chol({}) (potrf)", right.name),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                m,
+                n,
+            },
+            inputs: vec![l_id, left.id],
+            output: y_id,
+            label: format!("{y_name} := {}*{l_name}^-T (trsm)", left.text),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![l_id, y_id],
+            output: out_id,
+            label: format!("{out_name} := {y_name}*{l_name}^-1 (trsm)"),
+        },
+    ];
+    let infos = vec![
+        OperandInfo {
+            id: l_id,
+            rows: n,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Lower),
+            name: l_name,
+        },
+        OperandInfo {
+            id: y_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: y_name,
+        },
+        OperandInfo {
+            id: out_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: out_name.clone(),
+        },
+    ];
+    let merged = Segment {
+        id: out_id,
+        rows: m,
+        cols: n,
+        trans: Trans::No,
+        leaf: None,
+        storage: Storage::General,
+        tri: None,
+        spd: false,
+        inv: false,
+        pinv: false,
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name,
+    };
+    (calls, merged, infos)
+}
+
+/// Build the six-call pivoted LU realisation of a *right-side* general
+/// inverse merge `B·A⁻¹`: from `P·A = L·U` follows
+/// `A⁻¹ = U⁻¹·L⁻¹·P`, so `F := GETRF(A)`, `L := tril(F)`, `U := triu(F)`,
+/// `Y := B·U⁻¹`, `Z := Y·L⁻¹` (both right-side TRSMs), and last
+/// `X := Z·P` — the pivot application as *column* swaps. Introduces six
+/// intermediates, result last.
+fn build_lu_solve_right(
+    left: &Segment,
+    right: &Segment,
+    base_id: usize,
+    base_m: usize,
+) -> (Vec<KernelCall>, Segment, Vec<OperandInfo>) {
+    let (m, n) = (left.rows, right.cols);
+    debug_assert_eq!(right.rows, right.cols, "general inverses are square");
+    let f_id = OperandId(base_id);
+    let l_id = OperandId(base_id + 1);
+    let u_id = OperandId(base_id + 2);
+    let y_id = OperandId(base_id + 3);
+    let z_id = OperandId(base_id + 4);
+    let out_id = OperandId(base_id + 5);
+    let f_name = format!("M{base_m}");
+    let l_name = format!("M{}", base_m + 1);
+    let u_name = format!("M{}", base_m + 2);
+    let y_name = format!("M{}", base_m + 3);
+    let z_name = format!("M{}", base_m + 4);
+    let out_name = format!("M{}", base_m + 5);
+    let calls = vec![
+        KernelCall {
+            op: KernelOp::Getrf { n },
+            inputs: vec![right.id],
+            output: f_id,
+            label: format!("{f_name} := lu({}) (getrf)", right.name),
+        },
+        KernelCall {
+            op: KernelOp::FactorTri {
+                uplo: Uplo::Lower,
+                n,
+            },
+            inputs: vec![f_id],
+            output: l_id,
+            label: format!("{l_name} := tril({f_name}) (factortri)"),
+        },
+        KernelCall {
+            op: KernelOp::FactorTri {
+                uplo: Uplo::Upper,
+                n,
+            },
+            inputs: vec![f_id],
+            output: u_id,
+            label: format!("{u_name} := triu({f_name}) (factortri)"),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![u_id, left.id],
+            output: y_id,
+            label: format!("{y_name} := {}*{u_name}^-1 (trsm)", left.text),
+        },
+        KernelCall {
+            op: KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m,
+                n,
+            },
+            inputs: vec![l_id, y_id],
+            output: z_id,
+            label: format!("{z_name} := {y_name}*{l_name}^-1 (trsm)"),
+        },
+        KernelCall {
+            op: KernelOp::PivotApply {
+                side: Side::Right,
+                m,
+                n,
+            },
+            inputs: vec![f_id, z_id],
+            output: out_id,
+            label: format!("{out_name} := {z_name}*P (laswp)"),
+        },
+    ];
+    let infos = vec![
+        OperandInfo {
+            id: f_id,
+            rows: n,
+            cols: n + 1,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: f_name,
+        },
+        OperandInfo {
+            id: l_id,
+            rows: n,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Lower),
+            name: l_name,
+        },
+        OperandInfo {
+            id: u_id,
+            rows: n,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::Triangular(Uplo::Upper),
+            name: u_name,
+        },
+        OperandInfo {
+            id: y_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: y_name,
+        },
+        OperandInfo {
+            id: z_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: z_name,
+        },
+        OperandInfo {
+            id: out_id,
+            rows: m,
+            cols: n,
+            role: OperandRole::Intermediate,
+            structure: Structure::General,
+            name: out_name.clone(),
+        },
+    ];
+    let merged = Segment {
+        id: out_id,
+        rows: m,
+        cols: n,
+        trans: Trans::No,
+        leaf: None,
+        storage: Storage::General,
+        tri: None,
+        spd: false,
+        inv: false,
+        pinv: false,
+        start: left.start,
+        end: right.end,
+        text: format!("({} {})", left.text, right.text),
+        name: out_name,
+    };
+    (calls, merged, infos)
+}
+
 /// Build the four-call QR realisation of a pseudo-inverse merge `A⁺·B` (the
 /// least-squares solve `argmin‖A·X − B‖₂` for a tall `A`): `F := QR(A)` (the
 /// packed Householder factor with the tau column), `R := triu(F)` (zero-FLOP
@@ -937,6 +1229,7 @@ fn build_qr_solve(
         },
         KernelCall {
             op: KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m: nn,
@@ -1006,19 +1299,23 @@ fn build_qr_solve(
 ///
 /// * adjacent Gram leaf pairs, which may use the cheaper SYRK count
 ///   `(n+1)·n·k`, and
-/// * merges whose left span starts with a triangular or inverse-marked
-///   segment, which may reach the TRMM/TRSM count `m·n·k` (half of GEMM).
+/// * merges whose left span starts — or whose right span ends — with a
+///   triangular or inverse-marked segment, which may reach the sided
+///   TRMM/TRSM count `m·n·k` (half of GEMM).
 ///
 /// The triangular discount is applied whenever the *leftmost* segment of the
 /// left span is structured — a necessary condition for the merged left side
-/// to be structured — so the bound never overestimates; triangle copies cost
-/// 0 FLOPs and SYMM ties GEMM, so no completion can beat this bound. The
-/// Cholesky realisation of an SPD inverse costs `m³/3 + 2·m²·n ≥ m·n·k`
-/// (SPD operands are square, `k = m`), so the same `m·n·k` discount remains
-/// a valid lower bound for inverse-marked SPD segments. The LU realisation
-/// of a general inverse costs `2·m³/3 + 2·m²·n ≥ m·n·k` and the QR
-/// realisation of a pseudo-inverse costs at least `2·nn·mm·k ≥ nn·mm·k`
-/// (ORMQR alone), so the discount stays admissible for those too.
+/// to be structured — or, symmetrically, whenever the *rightmost* segment of
+/// the right span is structured (necessary for the merged right side to
+/// drive a right-side TRMM/TRSM), so the bound never overestimates; triangle
+/// copies cost 0 FLOPs and SYMM ties GEMM, so no completion can beat this
+/// bound. The Cholesky realisation of an SPD inverse costs
+/// `m³/3 + 2·m²·n ≥ m·n·k` (SPD operands are square, `k = m`), so the same
+/// `m·n·k` discount remains a valid lower bound for inverse-marked SPD
+/// segments on either side. The LU realisation of a general inverse costs
+/// `2·m³/3 + 2·m²·n ≥ m·n·k` and the QR realisation of a pseudo-inverse
+/// costs at least `2·nn·mm·k ≥ nn·mm·k` (ORMQR alone), so the discount stays
+/// admissible for those too.
 fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64 {
     let t = segments.len();
     if t <= 1 {
@@ -1049,7 +1346,13 @@ fn lower_bound(memo: &mut HashMap<Vec<usize>, u64>, segments: &[Segment]) -> u64
             let j = i + len - 1;
             let mut best = u64::MAX;
             for s in i..j {
-                let merge = if structured[i] {
+                // The sided structured discount: a structured merged left
+                // side needs structured[i], a structured merged right side
+                // needs structured[j] — either way the cost can halve, and
+                // both discounts share the `d[i]·d[s+1]·d[j+1]` form
+                // (triangular operands are square, so order²·other equals
+                // the dimension product on whichever side the triangle is).
+                let merge = if structured[i] || structured[j] {
                     d[i] * d[s + 1] * d[j + 1]
                 } else if len == 2 && gram[i] {
                     (d[i] + 1) * d[i] * d[i + 1]
@@ -1328,7 +1631,14 @@ mod tests {
             .find(|a| a.kernel_summary() == "trmm")
             .expect("TRMM variant exists for L^T*B");
         match trmm.calls[0].op {
-            KernelOp::Trmm { uplo, trans, m, n } => {
+            KernelOp::Trmm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                assert_eq!(side, Side::Left);
                 assert_eq!(uplo, Uplo::Lower, "the call records the stored triangle");
                 assert_eq!(trans, Trans::Yes);
                 assert_eq!((m, n), (8, 5));
@@ -1411,12 +1721,182 @@ mod tests {
         assert_eq!(algs.len(), 1, "a solve has exactly one realisation");
         assert_eq!(algs[0].kernel_summary(), "trsm");
         match algs[0].calls[0].op {
-            KernelOp::Trsm { uplo, trans, m, n } => {
+            KernelOp::Trsm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                assert_eq!(side, Side::Left);
                 assert_eq!(uplo, Uplo::Lower);
                 assert_eq!(trans, Trans::No);
                 assert_eq!((m, n), (9, 5));
             }
             ref other => panic!("expected TRSM, got {other}"),
+        }
+    }
+
+    #[test]
+    fn triangular_right_operand_enumerates_right_trmm_and_gemm() {
+        // B*L: the triangle on the right multiplies through the sided TRMM.
+        let b = Expr::var("B", 7, 10);
+        let l = Expr::tri_var("L", 10, Uplo::Lower);
+        let algs = enumerate_expr_algorithms(&b.mul(l)).unwrap();
+        assert_eq!(algs.len(), 2);
+        assert_eq!(algs[0].kernel_summary(), "trmm");
+        assert_eq!(algs[1].kernel_summary(), "gemm");
+        match algs[0].calls[0].op {
+            KernelOp::Trmm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                assert_eq!(side, Side::Right);
+                assert_eq!(uplo, Uplo::Lower);
+                assert_eq!(trans, Trans::No);
+                assert_eq!((m, n), (7, 10));
+            }
+            ref other => panic!("expected right-side TRMM, got {other}"),
+        }
+        // The triangle leads the input list (kernel argument order).
+        let l_info = algs[0].inputs().find(|o| o.name == "L").unwrap();
+        assert_eq!(algs[0].calls[0].inputs[0], l_info.id);
+        // n²·m FLOPs: half the GEMM variant.
+        assert_eq!(algs[0].flops() * 2, algs[1].flops());
+    }
+
+    #[test]
+    fn triangular_right_inverse_lowers_to_right_trsm() {
+        // B*L^-1 realises directly as one right-side TRSM — never via a
+        // transpose round-trip.
+        let b = Expr::var("B", 7, 9);
+        let l = Expr::tri_var("L", 9, Uplo::Lower);
+        let algs = enumerate_expr_algorithms(&b.mul(l.inv())).unwrap();
+        assert_eq!(algs.len(), 1, "a right solve has exactly one realisation");
+        assert_eq!(algs[0].kernel_summary(), "trsm");
+        match algs[0].calls[0].op {
+            KernelOp::Trsm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                assert_eq!(side, Side::Right);
+                assert_eq!(uplo, Uplo::Lower);
+                assert_eq!(trans, Trans::No);
+                assert_eq!((m, n), (7, 9));
+            }
+            ref other => panic!("expected right-side TRSM, got {other}"),
+        }
+        assert!(algs[0].is_well_formed());
+        assert_eq!(algs[0].flops(), 9 * 9 * 7);
+    }
+
+    #[test]
+    fn spd_right_inverse_lowers_to_potrf_and_two_right_trsms() {
+        let b = Expr::var("B", 5, 12);
+        let s = Expr::spd_var("S", 12);
+        let algs = enumerate_expr_algorithms(&b.mul(s.inv())).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
+        assert!(algs[0].is_well_formed());
+        // B·S⁻¹ = (B·L⁻ᵀ)·L⁻¹: transposed solve first, then plain.
+        match (&algs[0].calls[1].op, &algs[0].calls[2].op) {
+            (
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    trans: Trans::Yes,
+                    ..
+                },
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    trans: Trans::No,
+                    ..
+                },
+            ) => {}
+            other => panic!("expected two right-side TRSMs, got {other:?}"),
+        }
+        // Same FLOP model as the left-side solve: n³/3 + 2·n²·m.
+        assert_eq!(algs[0].flops(), 12u64.pow(3) / 3 + 2 * 12 * 12 * 5);
+        assert_eq!(algs[0].output().unwrap().name, "X");
+    }
+
+    #[test]
+    fn general_right_inverse_lowers_to_the_mirrored_lu_realisation() {
+        let b = Expr::var("B", 5, 12);
+        let a = Expr::var("A", 12, 12);
+        let algs = enumerate_expr_algorithms(&b.mul(a.inv())).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(
+            algs[0].kernel_summary(),
+            "getrf,factortri,factortri,trsm,trsm,laswp"
+        );
+        assert!(algs[0].is_well_formed());
+        // B·A⁻¹ = ((B·U⁻¹)·L⁻¹)·P: upper solve, lower solve, column pivots
+        // last.
+        match (&algs[0].calls[3].op, &algs[0].calls[4].op) {
+            (
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    ..
+                },
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    uplo: Uplo::Lower,
+                    ..
+                },
+            ) => {}
+            other => panic!("expected upper then lower right TRSM, got {other:?}"),
+        }
+        match algs[0].calls[5].op {
+            KernelOp::PivotApply { side, m, n } => {
+                assert_eq!(side, Side::Right);
+                assert_eq!((m, n), (5, 12));
+            }
+            ref other => panic!("expected right-side pivot application, got {other}"),
+        }
+        assert_eq!(algs[0].flops(), 2 * 12u64.pow(3) / 3 + 2 * 12 * 12 * 5);
+        assert_eq!(algs[0].output().unwrap().name, "X");
+    }
+
+    #[test]
+    fn right_solve_chains_enumerate_competing_orders() {
+        // A*B*L^-1: multiply-then-solve versus solve-then-multiply, the
+        // right-side mirror of the left solve chain test.
+        let a = Expr::var("A", 6, 8);
+        let b = Expr::var("B", 8, 10);
+        let l = Expr::tri_var("L", 10, Uplo::Upper);
+        let algs = enumerate_expr_algorithms(&a.mul(b).mul(l.inv())).unwrap();
+        let summaries: Vec<String> = algs.iter().map(Algorithm::kernel_summary).collect();
+        assert!(summaries.iter().any(|s| s == "gemm,trsm"));
+        assert!(summaries.iter().any(|s| s == "trsm,gemm"));
+        assert!(algs.iter().all(Algorithm::is_well_formed));
+    }
+
+    #[test]
+    fn top_k_pruning_agrees_with_full_enumeration_on_right_side_chains() {
+        // The admissibility of the rightmost-segment structured discount:
+        // pruned enumeration must return exactly the cheapest algorithms.
+        let a = Expr::var("A", 18, 14);
+        let b = Expr::var("B", 14, 40);
+        let l = Expr::tri_var("L", 40, Uplo::Lower);
+        let expr = a.mul(b).mul(l.inv());
+        let full = enumerate_expr_algorithms(&expr).unwrap();
+        let mut flops: Vec<u64> = full.iter().map(Algorithm::flops).collect();
+        flops.sort_unstable();
+        for k in [1, 2, 3] {
+            let opts = EnumerateOptions {
+                top_k: Some(k),
+                ..EnumerateOptions::default()
+            };
+            let pruned = enumerate_expr_algorithms_with(&expr, &opts).unwrap();
+            let got: Vec<u64> = pruned.iter().map(Algorithm::flops).collect();
+            assert_eq!(got, flops[..k.min(flops.len())].to_vec(), "k = {k}");
         }
     }
 
@@ -1439,16 +1919,24 @@ mod tests {
         let a = Expr::var("A", 5, 5);
         let b = Expr::var("B", 5, 3);
         assert!(enumerate_expr_algorithms(&a.clone().inv().mul(b.clone())).is_ok());
-        // An inverse on the right of every split has no realisation.
+        // An inverse on the right of every split realises too, through the
+        // right-side TRSM — no longer a dead end.
         let l = Expr::tri_var("L", 3, Uplo::Lower);
         let c = Expr::var("C", 5, 3);
-        let err = enumerate_expr_algorithms(&c.mul(l.clone().inv())).unwrap_err();
+        assert!(enumerate_expr_algorithms(&c.mul(l.clone().inv())).is_ok());
+        // A solve whose rectangular partner is transposed everywhere still
+        // has no realisation (the sided TRSMs read their rectangular operand
+        // as stored).
+        let bt = Expr::var("B", 5, 3);
+        let err = enumerate_expr_algorithms(&l.clone().inv().mul(bt.t())).unwrap_err();
         assert!(matches!(err, GenerateError::NoRealisation { .. }));
         assert!(err.to_string().contains("solve"));
-        // ...as does a solve whose right-hand side is transposed everywhere.
-        let bt = Expr::var("B", 5, 3);
+        // Two inverses meeting in one merge have no realisation either: each
+        // solve needs a plain rectangular partner.
+        let l5 = Expr::tri_var("L5", 5, Uplo::Lower);
+        let m5 = Expr::tri_var("M5", 5, Uplo::Upper);
         assert!(matches!(
-            enumerate_expr_algorithms(&l.clone().inv().mul(bt.t())),
+            enumerate_expr_algorithms(&l5.inv().mul(m5.inv())),
             Err(GenerateError::NoRealisation { .. })
         ));
         // A bare inverse gets its own diagnosis (not the transpose message).
@@ -1698,12 +2186,12 @@ mod tests {
             enumerate_expr_algorithms(&s.clone().inv()),
             Err(GenerateError::BareInverse { .. })
         ));
-        // Inverse on the right of every split.
+        // An SPD inverse on the right of every split realises now, through
+        // POTRF and two right-side TRSMs.
         let a = Expr::var("A", 4, 6);
-        assert!(matches!(
-            enumerate_expr_algorithms(&a.mul(s.inv())),
-            Err(GenerateError::NoRealisation { .. })
-        ));
+        let algs = enumerate_expr_algorithms(&a.mul(s.inv())).unwrap();
+        assert_eq!(algs.len(), 1);
+        assert_eq!(algs[0].kernel_summary(), "potrf,trsm,trsm");
     }
 
     #[test]

@@ -64,10 +64,14 @@ pub enum GenerateError {
         /// The offending operand's name.
         name: String,
     },
-    /// No merge order of the expression reaches a complete kernel sequence:
-    /// an inverse has no legal TRSM position in any order (it sits on the
-    /// right of every split, as in `A * L^-1`, or its right-hand side is
-    /// always transposed, as in `L^-1 * B^T`).
+    /// No merge order of the expression reaches a complete kernel sequence.
+    /// Inverses realise from either side (left- and right-side solves), so
+    /// this now means: a solve's rectangular partner is transposed or
+    /// triangle-stored in every order (as in `L^-1 * B^T`), two inverses
+    /// meet in every merge (`L^-1 * M^-1`), a general inverse is transposed
+    /// (`A^-T` — GETRF carries no transposition flag), or a pseudo-inverse
+    /// sits on the right of every split (`b * A^+` — ORMQR applies `Q₁ᵀ`
+    /// from the left only).
     NoRealisation {
         /// Display form of the unrealisable expression.
         expression: String,
@@ -125,8 +129,9 @@ impl fmt::Display for GenerateError {
                 write!(
                     f,
                     "no kernel sequence realises `{expression}`: in every multiplication \
-                     order an inverse has no legal solve position (TRSM solves from the \
-                     left against an untransposed right-hand side)"
+                     order a solve lacks a legal position — solves run from either side \
+                     but need an untransposed, fully-stored rectangular partner (and a \
+                     pseudo-inverse applies from the left only)"
                 )
             }
         }

@@ -46,28 +46,34 @@ pub enum KernelOp {
         /// Columns of the result.
         n: usize,
     },
-    /// `C := op(L)·B` with `L ∈ R^{m×m}` triangular (stored `uplo` triangle)
-    /// and `B ∈ R^{m×n}`.
+    /// `C := op(L)·B` (Left, `L ∈ R^{m×m}`) or `C := B·op(L)` (Right,
+    /// `L ∈ R^{n×n}`) with `L` triangular (stored `uplo` triangle) and the
+    /// result `C ∈ R^{m×n}`.
     Trmm {
+        /// Side from which the triangular operand multiplies.
+        side: Side,
         /// Stored triangle of the triangular operand.
         uplo: Uplo,
         /// Transposition of the triangular operand.
         trans: Trans,
-        /// Order of the triangular operand (= rows of the result).
+        /// Rows of the result (= order of the triangle when `side = Left`).
         m: usize,
-        /// Columns of the result.
+        /// Columns of the result (= order of the triangle when `side = Right`).
         n: usize,
     },
-    /// `X := op(L)⁻¹·B` with `L ∈ R^{m×m}` triangular (stored `uplo`
-    /// triangle) and `B ∈ R^{m×n}`.
+    /// `X := op(L)⁻¹·B` (Left, `L ∈ R^{m×m}`) or `X := B·op(L)⁻¹` (Right,
+    /// `L ∈ R^{n×n}`) with `L` triangular (stored `uplo` triangle) and the
+    /// result `X ∈ R^{m×n}`.
     Trsm {
+        /// Side from which the triangular operand divides.
+        side: Side,
         /// Stored triangle of the triangular operand.
         uplo: Uplo,
         /// Transposition of the triangular operand.
         trans: Trans,
-        /// Order of the triangular operand (= rows of the result).
+        /// Rows of the result (= order of the triangle when `side = Left`).
         m: usize,
-        /// Columns of the result.
+        /// Columns of the result (= order of the triangle when `side = Right`).
         n: usize,
     },
     /// `L := chol(A)`: the Cholesky factorisation of an `n×n` SPD operand
@@ -126,12 +132,19 @@ pub enum KernelOp {
         /// Order of the extracted triangle.
         n: usize,
     },
-    /// `Bp := P·B`: apply the row permutation recorded in a packed `m×(m+1)`
-    /// LU factor's pivot column to `m×n` right-hand sides. Zero FLOPs.
+    /// `Bp := P·B` (Left) or `Bp := B·P` (Right): apply the permutation
+    /// recorded in a packed LU factor's pivot column to the rows (Left,
+    /// factor order `m`) or columns (Right, factor order `n`) of an `m×n`
+    /// operand. Zero FLOPs.
     PivotApply {
-        /// Rows of the right-hand sides (= order of the LU factor).
+        /// Side from which the permutation applies: `Left` permutes rows
+        /// (swaps in recorded order), `Right` permutes columns (swaps in
+        /// reverse order, realising the right-multiplication by `P`).
+        side: Side,
+        /// Rows of the operand (= order of the LU factor when `side = Left`).
         m: usize,
-        /// Columns of the right-hand sides.
+        /// Columns of the operand (= order of the LU factor when
+        /// `side = Right`).
         n: usize,
     },
 }
@@ -151,9 +164,14 @@ impl KernelOp {
                 2 * sym_dim * sym_dim * other
             }
             // The triangular kernels perform half the work of the equal-shape
-            // GEMM: m²·n for both the multiply and the solve.
-            KernelOp::Trmm { m, n, .. } | KernelOp::Trsm { m, n, .. } => {
-                (m as u64) * (m as u64) * (n as u64)
+            // GEMM: order²·other for both the multiply and the solve, where
+            // `order` is the triangle's order (m on the left, n on the right).
+            KernelOp::Trmm { side, m, n, .. } | KernelOp::Trsm { side, m, n, .. } => {
+                let (order, other) = match side {
+                    Side::Left => (m as u64, n as u64),
+                    Side::Right => (n as u64, m as u64),
+                };
+                order * order * other
             }
             // Cholesky: the Section-3.1-style leading-order count n³/3.
             KernelOp::Potrf { n, .. } => (n as u64).pow(3) / 3,
@@ -189,7 +207,7 @@ impl KernelOp {
             KernelOp::Qr { m, n } => (m, n + 1),
             KernelOp::Ormqr { n, k, .. } => (n, k),
             KernelOp::FactorTri { n, .. } => (n, n),
-            KernelOp::PivotApply { m, n } => (m, n),
+            KernelOp::PivotApply { m, n, .. } => (m, n),
         }
     }
 
@@ -213,7 +231,7 @@ impl KernelOp {
             KernelOp::Qr { m, n } => (m as u64) * (n as u64 + 1),
             KernelOp::Ormqr { n, k, .. } => (n as u64) * (k as u64),
             KernelOp::FactorTri { n, .. } => (n as u64) * (n as u64 + 1) / 2,
-            KernelOp::PivotApply { m, n } => (m as u64) * (n as u64),
+            KernelOp::PivotApply { m, n, .. } => (m as u64) * (n as u64),
         }
     }
 
@@ -266,7 +284,11 @@ impl KernelOp {
     /// triangle with the transposition cleared: `op(L)` for a stored-lower
     /// `L` with `trans = T` occupies the upper triangle, walks memory like a
     /// stored-upper untransposed operand, and performs identical work — so
-    /// `(Lower, T)` and `(Upper, N)` share one benchmark entry.
+    /// `(Lower, T)` and `(Upper, N)` share one benchmark entry. The `side`
+    /// flag is *kept*: multiplying (or solving) from the right walks memory
+    /// column-block-wise rather than row-block-wise and parallelises
+    /// differently, so left and right variants are separate benchmark
+    /// entries even at equal FLOP counts.
     ///
     /// POTRF keeps its `uplo`: factoring into the lower versus the upper
     /// triangle walks memory differently, and the timing layer makes no
@@ -285,13 +307,27 @@ impl KernelOp {
                 n,
                 k,
             },
-            KernelOp::Trmm { uplo, trans, m, n } => KernelOp::Trmm {
+            KernelOp::Trmm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => KernelOp::Trmm {
+                side,
                 uplo: uplo.under(trans),
                 trans: Trans::No,
                 m,
                 n,
             },
-            KernelOp::Trsm { uplo, trans, m, n } => KernelOp::Trsm {
+            KernelOp::Trsm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => KernelOp::Trsm {
+                side,
                 uplo: uplo.under(trans),
                 trans: Trans::No,
                 m,
@@ -326,11 +362,39 @@ impl fmt::Display for KernelOp {
             KernelOp::Symm { side, uplo, m, n } => {
                 write!(f, "symm({}{} {}x{})", side.tag(), uplo.tag(), m, n)
             }
-            KernelOp::Trmm { uplo, trans, m, n } => {
-                write!(f, "trmm({}{} {}x{})", uplo.tag(), trans.tag(), m, n)
+            KernelOp::Trmm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                write!(
+                    f,
+                    "trmm({}{}{} {}x{})",
+                    side.tag(),
+                    uplo.tag(),
+                    trans.tag(),
+                    m,
+                    n
+                )
             }
-            KernelOp::Trsm { uplo, trans, m, n } => {
-                write!(f, "trsm({}{} {}x{})", uplo.tag(), trans.tag(), m, n)
+            KernelOp::Trsm {
+                side,
+                uplo,
+                trans,
+                m,
+                n,
+            } => {
+                write!(
+                    f,
+                    "trsm({}{}{} {}x{})",
+                    side.tag(),
+                    uplo.tag(),
+                    trans.tag(),
+                    m,
+                    n
+                )
             }
             KernelOp::Potrf { uplo, n } => {
                 write!(f, "potrf({} {}x{})", uplo.tag(), n, n)
@@ -344,7 +408,9 @@ impl fmt::Display for KernelOp {
             KernelOp::FactorTri { uplo, n } => {
                 write!(f, "factortri({} {}x{})", uplo.tag(), n, n)
             }
-            KernelOp::PivotApply { m, n } => write!(f, "laswp({m}x{n})"),
+            KernelOp::PivotApply { side, m, n } => {
+                write!(f, "laswp({} {m}x{n})", side.tag())
+            }
         }
     }
 }
@@ -503,12 +569,14 @@ mod tests {
     #[test]
     fn triangular_ops_follow_the_half_gemm_model() {
         let trmm = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: 10,
             n: 7,
         };
         let trsm = KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Upper,
             trans: Trans::Yes,
             m: 10,
@@ -516,6 +584,24 @@ mod tests {
         };
         assert_eq!(trmm.flops(), 10 * 10 * 7);
         assert_eq!(trsm.flops(), trmm.flops());
+        // On the right the triangle's order is n, so the count flips to n²·m.
+        let trmm_r = KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 10,
+            n: 7,
+        };
+        let trsm_r = KernelOp::Trsm {
+            side: Side::Right,
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 10,
+            n: 7,
+        };
+        assert_eq!(trmm_r.flops(), 7 * 7 * 10);
+        assert_eq!(trsm_r.flops(), trmm_r.flops());
+        assert_eq!(trmm_r.output_shape(), (10, 7));
         assert_eq!(trmm.output_shape(), (10, 7));
         assert_eq!(trmm.output_elements(), 70);
         assert!(trmm.is_compute());
@@ -535,12 +621,14 @@ mod tests {
     fn triangular_timing_keys_canonicalise_to_the_effective_triangle() {
         // (Lower, T) and (Upper, N) walk the same effective triangle.
         let stored_lower_t = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::Yes,
             m: 64,
             n: 32,
         };
         let stored_upper_n = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Upper,
             trans: Trans::No,
             m: 64,
@@ -549,6 +637,7 @@ mod tests {
         assert_eq!(stored_lower_t.timing_key(), stored_upper_n.timing_key());
         // But opposite effective triangles stay distinct.
         let stored_lower_n = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: 64,
@@ -557,6 +646,7 @@ mod tests {
         assert_ne!(stored_lower_n.timing_key(), stored_upper_n.timing_key());
         // Same canonicalisation for the solve, and the two ops never collide.
         let trsm = KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::Yes,
             m: 64,
@@ -565,6 +655,7 @@ mod tests {
         assert_eq!(
             trsm.timing_key(),
             KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m: 64,
@@ -572,6 +663,58 @@ mod tests {
             }
         );
         assert_ne!(trsm.timing_key(), stored_lower_t.timing_key());
+    }
+
+    #[test]
+    fn triangular_timing_keys_keep_the_side_flag() {
+        // Left and right variants never share a benchmark entry, even at
+        // equal logical dimensions and FLOP counts — but within one side the
+        // effective-triangle canonicalisation still folds (Lower, T) onto
+        // (Upper, N).
+        let right_lower_t = KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::Yes,
+            m: 64,
+            n: 64,
+        };
+        let right_upper_n = KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 64,
+            n: 64,
+        };
+        let left_upper_n = KernelOp::Trmm {
+            side: Side::Left,
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 64,
+            n: 64,
+        };
+        assert_eq!(right_lower_t.timing_key(), right_upper_n.timing_key());
+        assert_ne!(right_upper_n.timing_key(), left_upper_n.timing_key());
+        assert_eq!(right_lower_t.flops(), left_upper_n.flops());
+        let trsm_r = KernelOp::Trsm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::Yes,
+            m: 40,
+            n: 24,
+        };
+        assert_eq!(
+            trsm_r.timing_key(),
+            KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 40,
+                n: 24,
+            }
+        );
+        // Display distinguishes the sides.
+        assert!(right_upper_n.to_string().contains("trmm(RU"));
+        assert!(left_upper_n.to_string().contains("trmm(LU"));
     }
 
     #[test]
@@ -632,12 +775,14 @@ mod tests {
                 n: 0,
             },
             KernelOp::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m: 0,
                 n: 0,
             },
             KernelOp::Trsm {
+                side: Side::Right,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m: 0,
@@ -725,7 +870,11 @@ mod tests {
         assert_eq!(tri.output_elements(), 40 * 41 / 2);
         assert_eq!(tri.mnemonic(), "factortri");
 
-        let piv = KernelOp::PivotApply { m: 90, n: 7 };
+        let piv = KernelOp::PivotApply {
+            side: Side::Left,
+            m: 90,
+            n: 7,
+        };
         assert_eq!(piv.flops(), 0);
         assert!(!piv.is_compute());
         assert_eq!(piv.output_shape(), (90, 7));
@@ -768,7 +917,11 @@ mod tests {
                 uplo: Uplo::Lower,
                 n: 0,
             },
-            KernelOp::PivotApply { m: 0, n: 0 },
+            KernelOp::PivotApply {
+                side: Side::Left,
+                m: 0,
+                n: 0,
+            },
         ] {
             assert_eq!(op.flops(), 0, "{op}");
             assert_eq!(op.output_elements(), 0, "{op}");

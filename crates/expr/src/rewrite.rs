@@ -30,21 +30,24 @@
 //!   rewrite: the Gram rule fires first and the SYRK/GEMM pair already
 //!   captures the paper's algorithm set for them.
 //! * **Triangular inverses**: an inverse-marked triangular side `L⁻¹·B`
-//!   lowers to TRSM — the only realisation, since no kernel materialises an
-//!   explicit inverse. An inverse on the *right* of a merge (`B·L⁻¹`) has no
-//!   kernel in this vocabulary, so that merge contributes no variants and
-//!   the enumerator abandons the order.
+//!   lowers to a left-side TRSM and `B·L⁻¹` to a right-side TRSM — the only
+//!   realisations, since no kernel materialises an explicit inverse. Both
+//!   sides lower *directly*: a right-side solve is one sided kernel call,
+//!   never a transpose round-trip.
 //! * **SPD operands**: a symmetric positive-definite side is symmetric and
 //!   stored in full, so plain products through it pick up the SYMM-versus-
 //!   GEMM variant pair of any full-stored symmetric operand. An
 //!   inverse-marked SPD side `S⁻¹·B` lowers to the **Cholesky realisation**
 //!   `POTRF(S) = L; TRSM(L,·); TRSM(Lᵀ,·)` — the only realisation of an SPD
 //!   inverse, turning expressions that previously died with
-//!   `NoRealisation` into planable algorithm sets.
+//!   `NoRealisation` into planable algorithm sets. The mirrored `B·S⁻¹`
+//!   lowers to the same POTRF followed by two *right-side* TRSMs.
 //! * **General inverses**: an inverse-marked general square side `A⁻¹·B`
 //!   lowers to the **pivoted LU realisation** `F := GETRF(A)`;
 //!   `Bₚ := P·B`; `Y := L⁻¹·Bₚ`; `X := U⁻¹·Y` — the only realisation of a
-//!   general inverse (no kernel materialises an explicit inverse).
+//!   general inverse (no kernel materialises an explicit inverse). The
+//!   mirrored `B·A⁻¹ = ((B·U⁻¹)·L⁻¹)·P` runs the right-side solves first and
+//!   applies the pivots as *column* swaps last.
 //! * **Pseudo-inverses**: a pseudo-inverse-marked tall side `A⁺·b` (the
 //!   least-squares solve `argmin‖A·x − b‖₂`) lowers to the **QR
 //!   realisation** `F := QR(A)`; `C := Q₁ᵀ·b`; `x := R⁻¹·C`.
@@ -249,15 +252,30 @@ pub enum MergeKind {
     /// The left operand is triangular: multiply through TRMM, reading only
     /// its effective triangle (`m²·n` FLOPs versus GEMM's `2·m²·n`).
     Trmm,
+    /// The *right* operand is triangular (`B·L`): multiply through a
+    /// right-side TRMM, reading only its effective triangle (`n²·m` FLOPs
+    /// versus GEMM's `2·n²·m`).
+    TrmmRight,
     /// The left operand is an inverse-marked triangular: solve through TRSM
     /// (`m²·n` FLOPs). The only realisation of a triangular inverse.
     Trsm,
+    /// The *right* operand is an inverse-marked triangular (`B·L⁻¹`): solve
+    /// through a right-side TRSM (`n²·m` FLOPs) — realised directly as one
+    /// sided kernel call, never via a transpose round-trip. The only
+    /// realisation of a right-side triangular inverse.
+    TrsmRight,
     /// The left operand is an inverse-marked SPD matrix `S⁻¹`: realise the
     /// solve through a Cholesky factorisation and two triangular solves —
     /// `L := POTRF(S)`, `Y := L⁻¹·B`, `X := L⁻ᵀ·Y` — for `m³/3 + 2·m²·n`
     /// FLOPs. The only realisation of an SPD inverse (no kernel materialises
     /// an explicit inverse).
     CholeskySolve,
+    /// The *right* operand is an inverse-marked SPD matrix (`B·S⁻¹`):
+    /// realise the solve through a Cholesky factorisation and two
+    /// *right-side* triangular solves — `L := POTRF(S)`, `Y := B·L⁻ᵀ`,
+    /// `X := Y·L⁻¹` — for `n³/3 + 2·n²·m` FLOPs. The only realisation of a
+    /// right-side SPD inverse.
+    CholeskySolveRight,
     /// The left operand is an inverse-marked *general* square matrix `A⁻¹`:
     /// realise the solve through a pivoted LU factorisation — `F := GETRF(A)`
     /// (packed `L\U` with the pivot column), extract `L` and `U`, apply the
@@ -265,6 +283,13 @@ pub enum MergeKind {
     /// triangular solves — for `2·m³/3 + 2·m²·n` FLOPs. The only realisation
     /// of a general inverse.
     LuSolve,
+    /// The *right* operand is an inverse-marked *general* square matrix
+    /// (`B·A⁻¹`): realise the solve through the same pivoted LU
+    /// factorisation mirrored — `F := GETRF(A)`, extract `U` and `L`, solve
+    /// `Y := B·U⁻¹` and `Z := Y·L⁻¹` from the right, and apply the recorded
+    /// pivots as *column* swaps last (`X := Z·P`) — for `2·n³/3 + 2·n²·m`
+    /// FLOPs. The only realisation of a right-side general inverse.
+    LuSolveRight,
     /// The left operand is a pseudo-inverse-marked tall matrix `A⁺`: realise
     /// the least-squares solve `argmin‖A·x − b‖₂` through a Householder QR
     /// factorisation — `F := QR(A)`, extract `R`, form `C := Q₁ᵀ·b` with
@@ -292,7 +317,14 @@ impl MergeKind {
     /// there).
     #[must_use]
     pub fn preserves_triangle(self) -> bool {
-        matches!(self, MergeKind::Trmm | MergeKind::Trsm | MergeKind::Gemm)
+        matches!(
+            self,
+            MergeKind::Trmm
+                | MergeKind::TrmmRight
+                | MergeKind::Trsm
+                | MergeKind::TrsmRight
+                | MergeKind::Gemm
+        )
     }
 }
 
@@ -321,9 +353,12 @@ pub fn is_gram_pair(left: &MergeOperand, right: &MergeOperand) -> bool {
 /// inverse-marked sides, whose TRSM lowering is a *realisation*, not an
 /// optimisation, and therefore survives the ablation.
 ///
-/// An inverse-marked *right* side yields no variants: `B·L⁻¹` (and `B·S⁻¹`)
-/// has no kernel in this vocabulary, and the enumerator abandons such merge
-/// orders.
+/// Inverse-marked sides realise from *either* side: `L⁻¹·B` lowers to a
+/// left-side TRSM and `B·L⁻¹` to a right-side TRSM (likewise the Cholesky
+/// and LU realisations mirror for `B·S⁻¹` and `B·A⁻¹`). The only remaining
+/// dead end in the inverse family is the pseudo-inverse on the right
+/// (`b·A⁺`): ORMQR applies `Q₁ᵀ` from the left only, so no kernel sequence
+/// realises it and the enumerator abandons such merge orders.
 #[must_use]
 pub fn merge_variants(
     left: &MergeOperand,
@@ -331,11 +366,36 @@ pub fn merge_variants(
     is_final: bool,
     rewrites: bool,
 ) -> Vec<MergeKind> {
-    // TRSM/TRMM read their rectangular operand as stored: a transposed or
-    // triangle-stored right side rules the structured lowering out.
+    // The sided kernels read their rectangular operand as stored: a
+    // transposed or triangle-stored partner side rules the structured
+    // lowering out.
     let right_plain = right.trans == Trans::No && right.storage != Storage::SymmetricTriangle;
-    if right.inv || right.pinv {
+    let left_plain = left.trans == Trans::No && left.storage != Storage::SymmetricTriangle;
+    if right.pinv {
+        // `b·A⁺` stays unrealisable: ORMQR only applies Q₁ᵀ from the left.
         return Vec::new();
+    }
+    if right.inv {
+        // Right-side inverse realisations mirror the left-side family and,
+        // like it, survive the rewrites-off ablation. Two inverses in one
+        // merge (`L⁻¹·M⁻¹`) stay unrealisable: each solve needs a plain
+        // rectangular partner.
+        if !left_plain || left.inv || left.pinv {
+            return Vec::new();
+        }
+        return if right.spd {
+            // S⁻ᵀ = S⁻¹ for symmetric S, so transposition is immaterial.
+            vec![MergeKind::CholeskySolveRight]
+        } else if right.tri.is_some() {
+            // Right TRSM carries a transposition flag, so B·L⁻ᵀ realises.
+            vec![MergeKind::TrsmRight]
+        } else if right.trans == Trans::No {
+            // GETRF carries no transposition flag: only the untransposed
+            // general inverse realises.
+            vec![MergeKind::LuSolveRight]
+        } else {
+            Vec::new()
+        };
     }
     if left.inv {
         // Inverse lowerings are *realisations*, not optimisations: they
@@ -442,6 +502,12 @@ pub fn merge_variants(
         // A triangular left side multiplies through TRMM, reading only its
         // effective triangle — the structured variant leads, like SYRK/SYMM.
         variants.insert(0, MergeKind::Trmm);
+    } else if right.tri.is_some() && left_plain {
+        // A triangular *right* side multiplies through a right-side TRMM —
+        // realised directly as one sided kernel, never a transpose
+        // round-trip. (When both sides are triangular the left-side TRMM
+        // above already leads; one structured variant per merge suffices.)
+        variants.insert(0, MergeKind::TrmmRight);
     }
     variants
 }
@@ -559,10 +625,13 @@ mod tests {
             vec![MergeKind::Trmm, MergeKind::Gemm]
         );
         // ...but a transposed *right* side rules TRMM out (no transb flag),
-        // and a triangular right side has no right-side TRMM kernel.
+        // while a triangular right side goes through the right-side TRMM.
         let bt = MergeOperand::leaf(1, Trans::Yes);
         assert_eq!(merge_variants(&l, &bt, true, true), vec![MergeKind::Gemm]);
-        assert_eq!(merge_variants(&b, &l, true, true), vec![MergeKind::Gemm]);
+        assert_eq!(
+            merge_variants(&b, &l, true, true),
+            vec![MergeKind::TrmmRight, MergeKind::Gemm]
+        );
         // The triangular intermediate (a product of same-triangle factors)
         // behaves like the leaf.
         let tri_m = MergeOperand::tri_intermediate(Uplo::Lower);
@@ -603,11 +672,66 @@ mod tests {
         // A transposed right side has no kernel.
         let bt = MergeOperand::leaf(1, Trans::Yes);
         assert!(merge_variants(&linv, &bt, true, true).is_empty());
-        // An inverse on the right is a dead end, whatever the left side is.
-        assert!(merge_variants(&b, &linv, true, true).is_empty());
         // Inverses never form Gram pairs.
         let linv_t = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, true);
         assert!(!is_gram_pair(&linv, &linv_t));
+    }
+
+    #[test]
+    fn inverse_right_side_lowers_to_the_right_trsm_only() {
+        let linv = MergeOperand::tri_leaf(0, Trans::No, Uplo::Lower, true);
+        let b = MergeOperand::leaf(1, Trans::No);
+        // B·L⁻¹ realises directly as one right-side TRSM — no transpose
+        // round-trip, and it survives the rewrites-off ablation.
+        assert_eq!(
+            merge_variants(&b, &linv, true, true),
+            vec![MergeKind::TrsmRight]
+        );
+        assert_eq!(
+            merge_variants(&b, &linv, true, false),
+            vec![MergeKind::TrsmRight]
+        );
+        // B·L⁻ᵀ realises too: the right TRSM carries the transposition flag.
+        let linv_t = MergeOperand::tri_leaf(0, Trans::Yes, Uplo::Upper, true);
+        assert_eq!(
+            merge_variants(&b, &linv_t, true, true),
+            vec![MergeKind::TrsmRight]
+        );
+        // A transposed or triangle-stored *left* partner has no kernel, and
+        // two inverses in one merge stay unrealisable.
+        let bt = MergeOperand::leaf(1, Trans::Yes);
+        assert!(merge_variants(&bt, &linv, true, true).is_empty());
+        assert!(merge_variants(&linv, &linv_t, true, true).is_empty());
+    }
+
+    #[test]
+    fn inverse_right_spd_and_general_sides_mirror_the_left_realisations() {
+        let b = MergeOperand::leaf(1, Trans::No);
+        let sinv = MergeOperand::spd_leaf(0, Trans::No, true);
+        assert_eq!(
+            merge_variants(&b, &sinv, true, true),
+            vec![MergeKind::CholeskySolveRight]
+        );
+        assert_eq!(
+            merge_variants(&b, &sinv, true, false),
+            vec![MergeKind::CholeskySolveRight]
+        );
+        let ainv = MergeOperand::inv_leaf(0, Trans::No);
+        assert_eq!(
+            merge_variants(&b, &ainv, true, true),
+            vec![MergeKind::LuSolveRight]
+        );
+        assert_eq!(
+            merge_variants(&b, &ainv, true, false),
+            vec![MergeKind::LuSolveRight]
+        );
+        // GETRF carries no transposition flag: A⁻ᵀ on the right stays dead.
+        let ainv_t = MergeOperand::inv_leaf(0, Trans::Yes);
+        assert!(merge_variants(&b, &ainv_t, true, true).is_empty());
+        // The pseudo-inverse on the right stays unrealisable (ORMQR applies
+        // Q₁ᵀ from the left only).
+        let apinv = MergeOperand::pinv_leaf(0, Trans::No);
+        assert!(merge_variants(&b, &apinv, true, true).is_empty());
     }
 
     #[test]
@@ -624,11 +748,9 @@ mod tests {
             merge_variants(&ainv, &b, true, false),
             vec![MergeKind::LuSolve]
         );
-        // A transposed right-hand side has no kernel; a general inverse on
-        // the right is a dead end.
+        // A transposed right-hand side has no kernel.
         let bt = MergeOperand::leaf(1, Trans::Yes);
         assert!(merge_variants(&ainv, &bt, true, true).is_empty());
-        assert!(merge_variants(&b, &ainv, true, true).is_empty());
         // Inverses never form Gram pairs.
         let ainv_t = MergeOperand::inv_leaf(0, Trans::Yes);
         assert!(!is_gram_pair(&ainv, &ainv_t));
@@ -670,11 +792,9 @@ mod tests {
             merge_variants(&sinv, &b, true, false),
             vec![MergeKind::CholeskySolve]
         );
-        // A transposed right-hand side has no kernel; an SPD inverse on the
-        // right is a dead end.
+        // A transposed right-hand side has no kernel.
         let bt = MergeOperand::leaf(1, Trans::Yes);
         assert!(merge_variants(&sinv, &bt, true, true).is_empty());
-        assert!(merge_variants(&b, &sinv, true, true).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::config::BlockConfig;
 use crate::gemm::gemm;
-use crate::getrf::{factor_triangle, getrf_packed, pivot_apply};
+use crate::getrf::{factor_triangle, getrf_packed, pivot_apply, pivot_apply_right};
 use crate::potrf::potrf;
 use crate::qr::{ormqr, qr_packed};
 use crate::symm::symm;
@@ -54,8 +54,11 @@ pub enum Kernel<'a> {
         /// The rectangular operand.
         b: &'a Matrix,
     },
-    /// `C := op(L) · B` with `L` triangular.
+    /// `C := op(L) · B` (Left) or `C := B · op(L)` (Right) with `L`
+    /// triangular.
     Trmm {
+        /// Side from which the triangular operand multiplies.
+        side: Side,
         /// Stored triangle of `L`.
         uplo: Uplo,
         /// Transposition of `L`.
@@ -65,8 +68,11 @@ pub enum Kernel<'a> {
         /// The rectangular operand.
         b: &'a Matrix,
     },
-    /// `X := op(L)⁻¹ · B` with `L` triangular.
+    /// `X := op(L)⁻¹ · B` (Left) or `X := B · op(L)⁻¹` (Right) with `L`
+    /// triangular.
     Trsm {
+        /// Side from which the triangular operand divides.
+        side: Side,
         /// Stored triangle of `L`.
         uplo: Uplo,
         /// Transposition of `L`.
@@ -119,12 +125,17 @@ pub enum Kernel<'a> {
         /// The packed factor operand (`r x (n+1)`).
         f: &'a Matrix,
     },
-    /// `Bp := P·B`: apply the row permutation recorded in a packed LU
-    /// factor's pivot column. Zero FLOPs. See [`crate::getrf::pivot_apply`].
+    /// `Bp := P·B` (left) or `Bp := B·P` (right): apply the permutation
+    /// recorded in a packed LU factor's pivot column to `b`'s rows or
+    /// columns. Zero FLOPs. See [`crate::getrf::pivot_apply`] and
+    /// [`crate::getrf::pivot_apply_right`].
     PivotApply {
-        /// The packed LU factor (`m x (m+1)`).
+        /// Which side the permutation multiplies from.
+        side: Side,
+        /// The packed LU factor (`r x (r+1)` where `r` is `b`'s row count
+        /// on the left, column count on the right).
         f: &'a Matrix,
-        /// The right-hand sides (`m x k`).
+        /// The operand being permuted.
         b: &'a Matrix,
     },
 }
@@ -202,7 +213,14 @@ impl Kernel<'_> {
                 &mut c.view_mut(),
                 cfg,
             ),
-            Kernel::Trmm { uplo, trans, l, b } => trmm(
+            Kernel::Trmm {
+                side,
+                uplo,
+                trans,
+                l,
+                b,
+            } => trmm(
+                side,
                 uplo,
                 trans,
                 1.0,
@@ -211,7 +229,14 @@ impl Kernel<'_> {
                 &mut c.view_mut(),
                 cfg,
             ),
-            Kernel::Trsm { uplo, trans, l, b } => trsm(
+            Kernel::Trsm {
+                side,
+                uplo,
+                trans,
+                l,
+                b,
+            } => trsm(
+                side,
                 uplo,
                 trans,
                 1.0,
@@ -229,7 +254,10 @@ impl Kernel<'_> {
             Kernel::Qr { a } => copy_into(c, &qr_packed(a, cfg)?),
             Kernel::Ormqr { f, b } => copy_into(c, &ormqr(f, b)?),
             Kernel::FactorTri { uplo, f } => copy_into(c, &factor_triangle(uplo, f)?),
-            Kernel::PivotApply { f, b } => copy_into(c, &pivot_apply(f, b)?),
+            Kernel::PivotApply { side, f, b } => match side {
+                Side::Left => copy_into(c, &pivot_apply(f, b)?),
+                Side::Right => copy_into(c, &pivot_apply_right(f, b)?),
+            },
         }
     }
 
@@ -357,34 +385,51 @@ pub fn symm_into(
     .run_into(c, cfg)
 }
 
-/// `op(L) · B` into a freshly allocated matrix.
+/// `op(L) · B` (Left) or `B · op(L)` (Right) into a freshly allocated matrix.
 ///
 /// # Errors
 ///
 /// Propagates shape errors from [`trmm`].
 pub fn trmm_new(
+    side: Side,
     uplo: Uplo,
     trans: Trans,
     l: &Matrix,
     b: &Matrix,
     cfg: &BlockConfig,
 ) -> Result<Matrix> {
-    Kernel::Trmm { uplo, trans, l, b }.run_new(cfg)
+    Kernel::Trmm {
+        side,
+        uplo,
+        trans,
+        l,
+        b,
+    }
+    .run_new(cfg)
 }
 
-/// `op(L)⁻¹ · B` into a freshly allocated matrix.
+/// `op(L)⁻¹ · B` (Left) or `B · op(L)⁻¹` (Right) into a freshly allocated
+/// matrix.
 ///
 /// # Errors
 ///
 /// Propagates shape and singularity errors from [`trsm`].
 pub fn trsm_new(
+    side: Side,
     uplo: Uplo,
     trans: Trans,
     l: &Matrix,
     b: &Matrix,
     cfg: &BlockConfig,
 ) -> Result<Matrix> {
-    Kernel::Trsm { uplo, trans, l, b }.run_new(cfg)
+    Kernel::Trsm {
+        side,
+        uplo,
+        trans,
+        l,
+        b,
+    }
+    .run_new(cfg)
 }
 
 /// The explicitly triangular Cholesky factor of an SPD matrix, freshly
@@ -436,14 +481,15 @@ pub fn factor_tri_new(uplo: Uplo, f: &Matrix, cfg: &BlockConfig) -> Result<Matri
     Kernel::FactorTri { uplo, f }.run_new(cfg)
 }
 
-/// The pivoted right-hand sides `P·B` from a packed LU factor, freshly
-/// allocated.
+/// The pivoted operand `P·B` (left) or `B·P` (right) from a packed LU
+/// factor, freshly allocated.
 ///
 /// # Errors
 ///
-/// Propagates shape errors from [`crate::getrf::pivot_apply`].
-pub fn pivot_apply_new(f: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
-    Kernel::PivotApply { f, b }.run_new(cfg)
+/// Propagates shape errors from [`crate::getrf::pivot_apply`] /
+/// [`crate::getrf::pivot_apply_right`].
+pub fn pivot_apply_new(side: Side, f: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
+    Kernel::PivotApply { side, f, b }.run_new(cfg)
 }
 
 /// Copy an owned kernel result into the caller's output operand, rejecting a
@@ -524,6 +570,7 @@ mod tests {
         );
         assert_eq!(
             Kernel::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 l: &sq,
@@ -534,9 +581,24 @@ mod tests {
         );
         assert_eq!(
             Kernel::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::Yes,
                 l: &sq,
+                b: &b,
+            }
+            .output_shape(),
+            (6, 9)
+        );
+        // Right side: the triangle sits on the column dimension, the output
+        // shape is still B's.
+        let t9 = Matrix::zeros(9, 9);
+        assert_eq!(
+            Kernel::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                l: &t9,
                 b: &b,
             }
             .output_shape(),
@@ -625,9 +687,9 @@ mod tests {
         assert_eq!(f.shape(), (n, n + 1));
         let l = factor_tri_new(Uplo::Lower, &f, &cfg).unwrap();
         let u = factor_tri_new(Uplo::Upper, &f, &cfg).unwrap();
-        let bp = pivot_apply_new(&f, &b, &cfg).unwrap();
-        let y = trsm_new(Uplo::Lower, Trans::No, &l, &bp, &cfg).unwrap();
-        let x = trsm_new(Uplo::Upper, Trans::No, &u, &y, &cfg).unwrap();
+        let bp = pivot_apply_new(Side::Left, &f, &b, &cfg).unwrap();
+        let y = trsm_new(Side::Left, Uplo::Lower, Trans::No, &l, &bp, &cfg).unwrap();
+        let x = trsm_new(Side::Left, Uplo::Upper, Trans::No, &u, &y, &cfg).unwrap();
         let ax = gemm_new(Trans::No, &a, Trans::No, &x, &cfg).unwrap();
         assert!(max_abs_diff(&ax, &b).unwrap() < 1e-10 * n as f64);
         // QR: argmin ‖Ax - b‖ through QR → ORMQR → one TRSM.
@@ -639,7 +701,7 @@ mod tests {
         let r = factor_tri_new(Uplo::Upper, &fq, &cfg).unwrap();
         let c = ormqr_new(&fq, &rhs, &cfg).unwrap();
         assert_eq!(c.shape(), (k, 3));
-        let x = trsm_new(Uplo::Upper, Trans::No, &r, &c, &cfg).unwrap();
+        let x = trsm_new(Side::Left, Uplo::Upper, Trans::No, &r, &c, &cfg).unwrap();
         // Optimality: Aᵀ(A·X - B) = 0.
         let ax = gemm_new(Trans::No, &t, Trans::No, &x, &cfg).unwrap();
         let resid = Matrix::from_fn(m, 3, |i, j| ax[(i, j)] - rhs[(i, j)]);
@@ -655,9 +717,14 @@ mod tests {
         let cfg = BlockConfig::default();
         let l = random_triangular(14, Uplo::Lower, 3);
         let b = random_seeded(14, 6, 4);
-        let lb = trmm_new(Uplo::Lower, Trans::No, &l, &b, &cfg).unwrap();
-        let back = trsm_new(Uplo::Lower, Trans::No, &l, &lb, &cfg).unwrap();
+        let lb = trmm_new(Side::Left, Uplo::Lower, Trans::No, &l, &b, &cfg).unwrap();
+        let back = trsm_new(Side::Left, Uplo::Lower, Trans::No, &l, &lb, &cfg).unwrap();
         assert!(max_abs_diff(&back, &b).unwrap() < 1e-10);
+        // Right side: B·L then (B·L)·L⁻¹ recovers B.
+        let r = random_triangular(6, Uplo::Upper, 5);
+        let bl = trmm_new(Side::Right, Uplo::Upper, Trans::No, &r, &b, &cfg).unwrap();
+        let back_r = trsm_new(Side::Right, Uplo::Upper, Trans::No, &r, &bl, &cfg).unwrap();
+        assert!(max_abs_diff(&back_r, &b).unwrap() < 1e-10);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 use crate::config::BlockConfig;
 use crate::gemm::gemm;
 use crate::trsm::trsm;
-use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Trans, Uplo};
+use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Side, Trans, Uplo};
 
 /// Factor the square matrix `a` in place as `P·A = L·U` with partial
 /// pivoting. On return `piv` holds, for each step `j`, the absolute index of
@@ -70,6 +70,7 @@ pub fn getrf(a: &mut MatrixViewMut<'_>, piv: &mut Vec<usize>, cfg: &BlockConfig)
             let a12 = Matrix::from_fn(kb, rest, |i, j| a.at(k0 + i, k0 + kb + j));
             let mut u12 = Matrix::zeros(kb, rest);
             trsm(
+                Side::Left,
                 Uplo::Lower,
                 Trans::No,
                 1.0,
@@ -252,6 +253,45 @@ pub fn pivot_apply(f: &Matrix, b: &Matrix) -> Result<Matrix> {
     Ok(out)
 }
 
+/// Apply the permutation recorded in the pivot column of a packed LU factor
+/// `f` (`n x (n+1)`, see [`getrf_packed`]) to the *columns* of a fresh copy
+/// of `b`: `Bp := B·P`. With `P = Pₙ₋₁···P₀` (the forward row swaps of
+/// [`pivot_apply`]), right-multiplication applies the same transpositions as
+/// column swaps in *reverse* order, `j = n-1` down to `0` — this is the last
+/// step of the right-side LU solve `B·A⁻¹ = ((B·U⁻¹)·L⁻¹)·P`. Pivot entries
+/// are rounded and clamped to the legal range like the left-side apply.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] when `f` is not `n x (n+1)`
+/// for `b`'s column count `n`.
+pub fn pivot_apply_right(f: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = b.cols();
+    if f.rows() != n || f.cols() != n + 1 {
+        return Err(MatrixError::DimensionMismatch {
+            op: "pivot_apply_right",
+            lhs: f.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = b.clone();
+    if n == 0 {
+        return Ok(out);
+    }
+    for j in (0..n).rev() {
+        // Clamp untrusted pivot data into range rather than panicking.
+        let p = (f[(j, n)].round().max(0.0) as usize).clamp(j, n - 1);
+        if p != j {
+            for r in 0..out.rows() {
+                let tmp = out[(r, j)];
+                out[(r, j)] = out[(r, p)];
+                out[(r, p)] = tmp;
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Extract an explicit triangular factor from a packed factor operand `f`
 /// (`r x (n+1)`, `n = cols - 1`; see [`getrf_packed`] and
 /// [`crate::qr::qr_packed`]): [`Uplo::Lower`] materialises the unit-lower
@@ -410,6 +450,7 @@ mod tests {
         let bp = pivot_apply(&f, &b).unwrap();
         let mut y = Matrix::zeros(n, 6);
         trsm_naive(
+            Side::Left,
             Uplo::Lower,
             Trans::No,
             1.0,
@@ -420,6 +461,7 @@ mod tests {
         .unwrap();
         let mut x = Matrix::zeros(n, 6);
         trsm_naive(
+            Side::Left,
             Uplo::Upper,
             Trans::No,
             1.0,
@@ -488,6 +530,89 @@ mod tests {
             Err(MatrixError::NotSquare { .. })
         ));
         assert!(getrf_packed(&Matrix::zeros(2, 5), &cfg).is_err());
+    }
+
+    #[test]
+    fn right_pivot_apply_closes_the_mirrored_lu_solve() {
+        // The LU realisation of B·A⁻¹: GETRF(A), then B·U⁻¹, then ·L⁻¹,
+        // then ·P applied as reverse-order column swaps. The residual
+        // X·A - B certifies the right-side pipeline end to end.
+        let cfg = BlockConfig::serial();
+        let (m, n) = (6, 23);
+        let a = random_seeded(n, n, 11);
+        let b = random_seeded(m, n, 12);
+        let f = getrf_packed(&a, &cfg).unwrap();
+        let l = factor_triangle(Uplo::Lower, &f).unwrap();
+        let u = factor_triangle(Uplo::Upper, &f).unwrap();
+        let mut y = Matrix::zeros(m, n);
+        trsm_naive(
+            Side::Right,
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            &u.view(),
+            &b.view(),
+            &mut y.view_mut(),
+        )
+        .unwrap();
+        let mut z = Matrix::zeros(m, n);
+        trsm_naive(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &y.view(),
+            &mut z.view_mut(),
+        )
+        .unwrap();
+        let x = pivot_apply_right(&f, &z).unwrap();
+        let mut xa = Matrix::zeros(m, n);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &x.view(),
+            &a.view(),
+            0.0,
+            &mut xa.view_mut(),
+        )
+        .unwrap();
+        assert!(max_abs_diff(&xa, &b).unwrap() < 1e-10 * n as f64);
+        // The right apply inverts the left one: P·(Pᵀ·B)ᵀ round-trips.
+        // Equivalently, (P·C)ᵀ = Cᵀ·Pᵀ, so applying the right swap order
+        // to rows would undo the left apply; check via the simpler
+        // identity-permutation and shape-error paths instead.
+        assert!(pivot_apply_right(&Matrix::zeros(n, n), &b).is_err());
+        let empty = pivot_apply_right(&Matrix::zeros(0, 1), &Matrix::zeros(4, 0)).unwrap();
+        assert_eq!(empty.shape(), (4, 0));
+    }
+
+    #[test]
+    fn right_pivot_apply_is_the_transpose_of_the_left_apply() {
+        // B·P = (Pᵀ·Bᵀ)ᵀ and P⁻¹ = Pᵀ, so the right apply composed with
+        // the left apply through a transpose must reproduce the operand
+        // structure: compare against an explicitly materialised P.
+        let cfg = BlockConfig::serial();
+        let n = 9;
+        let a = random_seeded(n, n, 13);
+        let f = getrf_packed(&a, &cfg).unwrap();
+        // P·I gives the permutation matrix; then B·P via plain GEMM.
+        let p = pivot_apply(&f, &Matrix::identity(n)).unwrap();
+        let b = random_seeded(4, n, 14);
+        let mut expect = Matrix::zeros(4, n);
+        gemm_naive(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &b.view(),
+            &p.view(),
+            0.0,
+            &mut expect.view_mut(),
+        )
+        .unwrap();
+        let got = pivot_apply_right(&f, &b).unwrap();
+        assert!(max_abs_diff(&got, &expect).unwrap() < 1e-12);
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub use dispatch::{
 pub use driver::{pack_buffer_growth_events, BlockedDriver};
 pub use gemm::gemm;
 pub use gemm::naive::gemm_naive;
-pub use getrf::{factor_triangle, getrf, getrf_naive, getrf_packed, pivot_apply};
+pub use getrf::{
+    factor_triangle, getrf, getrf_naive, getrf_packed, pivot_apply, pivot_apply_right,
+};
 pub use microkernel::{microkernel, microkernel_dyn};
 pub use potrf::{potrf, potrf_naive};
 pub use qr::{ormqr, qr, qr_naive, qr_packed};

@@ -32,7 +32,7 @@
 use crate::config::BlockConfig;
 use crate::syrk::syrk;
 use crate::trsm::trsm;
-use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Trans, Uplo};
+use lamb_matrix::{Matrix, MatrixError, MatrixViewMut, Result, Side, Trans, Uplo};
 
 /// Factor the `uplo` triangle of the square matrix `a` in place:
 /// `A = L·Lᵀ` for [`Uplo::Lower`], `A = Uᵀ·U` for [`Uplo::Upper`]. Only the
@@ -64,6 +64,7 @@ pub fn potrf(uplo: Uplo, a: &mut MatrixViewMut<'_>, cfg: &BlockConfig) -> Result
                     let a21t = Matrix::from_fn(kb, rest, |i, j| a.at(k0 + kb + j, k0 + i));
                     let mut l21t = Matrix::zeros(kb, rest);
                     trsm(
+                        Side::Left,
                         Uplo::Lower,
                         Trans::No,
                         1.0,
@@ -96,6 +97,7 @@ pub fn potrf(uplo: Uplo, a: &mut MatrixViewMut<'_>, cfg: &BlockConfig) -> Result
                     let a12 = Matrix::from_fn(kb, rest, |i, j| a.at(k0 + i, k0 + kb + j));
                     let mut u12 = Matrix::zeros(kb, rest);
                     trsm(
+                        Side::Left,
                         Uplo::Upper,
                         Trans::Yes,
                         1.0,
@@ -312,6 +314,7 @@ mod tests {
         let l = explicit_triangle(&f, Uplo::Lower);
         let mut y = Matrix::zeros(n, 6);
         trsm_naive(
+            Side::Left,
             Uplo::Lower,
             Trans::No,
             1.0,
@@ -322,6 +325,7 @@ mod tests {
         .unwrap();
         let mut x = Matrix::zeros(n, 6);
         trsm_naive(
+            Side::Left,
             Uplo::Lower,
             Trans::Yes,
             1.0,

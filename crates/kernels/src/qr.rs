@@ -282,7 +282,7 @@ mod tests {
     use crate::trsm::trsm_naive;
     use lamb_matrix::ops::max_abs_diff;
     use lamb_matrix::random::random_seeded;
-    use lamb_matrix::Uplo;
+    use lamb_matrix::{Side, Uplo};
 
     /// `Q·B` from a packed factor: apply the reflectors in reverse order.
     fn apply_q(f: &Matrix, b: &Matrix) -> Matrix {
@@ -376,6 +376,7 @@ mod tests {
         let c = ormqr(&f, &b).unwrap();
         let mut x = Matrix::zeros(n, k);
         trsm_naive(
+            Side::Left,
             Uplo::Upper,
             Trans::No,
             1.0,

@@ -20,7 +20,7 @@ use crate::config::BlockConfig;
 use crate::dispatch::{
     factor_tri_new, getrf_new, ormqr_new, pivot_apply_new, potrf_new, qr_new, trsm_new,
 };
-use lamb_matrix::{Matrix, MatrixError, Result, Structure, Trans, Uplo};
+use lamb_matrix::{Matrix, MatrixError, Result, Side, Structure, Trans, Uplo};
 
 /// A factorisation-backed linear solver: factor once, solve many.
 ///
@@ -98,8 +98,8 @@ impl Solver for CholeskySolver {
     }
 
     fn solve_factored(&self, factor: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
-        let y = trsm_new(Uplo::Lower, Trans::No, factor, b, cfg)?;
-        trsm_new(Uplo::Lower, Trans::Yes, factor, &y, cfg)
+        let y = trsm_new(Side::Left, Uplo::Lower, Trans::No, factor, b, cfg)?;
+        trsm_new(Side::Left, Uplo::Lower, Trans::Yes, factor, &y, cfg)
     }
 }
 
@@ -130,11 +130,11 @@ impl Solver for LuSolver {
     }
 
     fn solve_factored(&self, factor: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
-        let bp = pivot_apply_new(factor, b, cfg)?;
+        let bp = pivot_apply_new(Side::Left, factor, b, cfg)?;
         let l = factor_tri_new(Uplo::Lower, factor, cfg)?;
         let u = factor_tri_new(Uplo::Upper, factor, cfg)?;
-        let y = trsm_new(Uplo::Lower, Trans::No, &l, &bp, cfg)?;
-        trsm_new(Uplo::Upper, Trans::No, &u, &y, cfg)
+        let y = trsm_new(Side::Left, Uplo::Lower, Trans::No, &l, &bp, cfg)?;
+        trsm_new(Side::Left, Uplo::Upper, Trans::No, &u, &y, cfg)
     }
 }
 
@@ -167,7 +167,7 @@ impl Solver for QrSolver {
     fn solve_factored(&self, factor: &Matrix, b: &Matrix, cfg: &BlockConfig) -> Result<Matrix> {
         let c = ormqr_new(factor, b, cfg)?;
         let r = factor_tri_new(Uplo::Upper, factor, cfg)?;
-        trsm_new(Uplo::Upper, Trans::No, &r, &c, cfg)
+        trsm_new(Side::Left, Uplo::Upper, Trans::No, &r, &c, cfg)
     }
 }
 

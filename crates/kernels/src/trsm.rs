@@ -1,30 +1,35 @@
 //! Triangular solve with multiple right-hand sides:
-//! `X := alpha * op(L)⁻¹ * B` with `L` an `m x m` triangular matrix of which
-//! only the [`Uplo`] triangle is referenced.
+//! `X := alpha * op(L)⁻¹ * B` (`side == Left`, `L` an `m x m` triangle) or
+//! `X := alpha * B * op(L)⁻¹` (`side == Right`, `L` an `n x n` triangle),
+//! where only the [`Uplo`] triangle of `L` is referenced.
 //!
 //! Out-of-place, like [`crate::trmm::trmm`]: `B` is read, `X` is written. The
-//! Section-3.1-style FLOP model attributes `m²·n` FLOPs to the solve — half
-//! of the `2·m²·n` of a GEMM with the inverse explicitly formed — making
-//! TRSM, like TRMM, a structured kernel whose FLOP savings need not
-//! translate into time savings.
+//! Section-3.1-style FLOP model attributes `m²·n` FLOPs to the left solve and
+//! `n²·m` to the right solve — half of the GEMM with the inverse explicitly
+//! formed — making TRSM, like TRMM, a structured kernel whose FLOP savings
+//! need not translate into time savings.
 //!
-//! Structure on the shared [`BlockedDriver`]: the right-hand-side columns are
-//! completely independent, so they are distributed as column panels. Within a
-//! panel the classic blocked substitution runs over diagonal blocks of
-//! [`BlockConfig::tri_block`] rows: the already-solved rows are folded in
-//! with the packed rectangular core, then the small diagonal system is
-//! solved by scalar forward/backward substitution.
+//! Structure on the shared [`BlockedDriver`]: on the left the right-hand-side
+//! columns are completely independent, so they are distributed as column
+//! panels, and within a panel the classic blocked substitution runs over
+//! diagonal blocks of [`BlockConfig::tri_block`] rows. On the right the
+//! *columns* are coupled by the substitution (each output column folds in the
+//! already-solved columns) while the rows are independent; the blocked
+//! substitution walks column blocks in solve order, folding the solved
+//! columns with the packed rectangular core, and runs serially — the packed
+//! core itself is the compute-heavy part.
 
 use crate::config::BlockConfig;
 use crate::driver::BlockedDriver;
 use crate::trmm::check_triangular_shapes;
-use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Trans, Uplo};
+use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Side, Trans, Uplo};
 
-/// `X := alpha * op(L)⁻¹ * B` where `op(L)` is `L` or `Lᵀ` and only the
-/// `uplo` triangle of `L` is referenced.
+/// `X := alpha * op(L)⁻¹ * B` (Left) or `X := alpha * B * op(L)⁻¹` (Right)
+/// where `op(L)` is `L` or `Lᵀ` and only the `uplo` triangle of `L` is
+/// referenced.
 ///
-/// The FLOP count attributed to this kernel is `m²·n`
-/// (see [`crate::flops::trsm_flops`]).
+/// The FLOP count attributed to this kernel is `m²·n` (Left) or `n²·m`
+/// (Right); see [`crate::flops::trsm_flops`].
 ///
 /// # Errors
 ///
@@ -33,6 +38,7 @@ use lamb_matrix::{Matrix, MatrixError, MatrixView, MatrixViewMut, Result, Trans,
 /// diagonal element of `L` is exactly zero (the solve does not exist).
 #[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub fn trsm(
+    side: Side,
     uplo: Uplo,
     trans: Trans,
     alpha: f64,
@@ -41,10 +47,14 @@ pub fn trsm(
     x: &mut MatrixViewMut<'_>,
     cfg: &BlockConfig,
 ) -> Result<()> {
-    let (m, n) = check_triangular_shapes("trsm operand shape", l, b, x)?;
+    let (m, n) = check_triangular_shapes("trsm operand shape", side, l, b, x)?;
+    let order = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
     let l_data = l.as_slice();
     let ldl = l.ld();
-    for i in 0..m {
+    for i in 0..order {
         if l_data[i + i * ldl] == 0.0 {
             return Err(MatrixError::SingularDiagonal { index: i });
         }
@@ -66,89 +76,166 @@ pub fn trsm(
         Trans::Yes => l_data[p + i * ldl],
     };
     // The triangle op(L) effectively occupies; Lower solves forward (top
-    // down), Upper backward (bottom up).
+    // down / right to left), Upper backward (bottom up / left to right).
     let eff = uplo.under(trans);
 
     let driver = BlockedDriver::new(cfg);
     let tb = cfg.tri_block.max(1);
-    let parallel = cfg.should_parallelise(m, n, m);
-    driver.for_each_panel(x.subview_mut(0, 0, m, n), parallel, |_, mut panel| {
-        let w = panel.cols();
-        // Diagonal-block start offsets in solve order.
-        let starts: Vec<usize> = match eff {
-            Uplo::Lower => (0..m).step_by(tb).collect(),
-            Uplo::Upper => {
-                let mut s: Vec<usize> = (0..m).step_by(tb).collect();
-                s.reverse();
-                s
-            }
-        };
-        let mut update = Matrix::zeros(tb.min(m), w);
-        for i0 in starts {
-            let mb = tb.min(m - i0);
-            // Fold the already-solved rows into this block:
-            // update := op(L)[block, solved] * X[solved, panel].
-            let (solved_start, solved_len) = match eff {
-                Uplo::Lower => (0, i0),
-                Uplo::Upper => (i0 + mb, m - (i0 + mb)),
-            };
-            let mut update_full = update.view_mut();
-            let mut upd = update_full.subview_mut(0, 0, mb, w);
-            upd.fill(0.0);
-            if solved_len > 0 {
-                // `panel.as_slice()` is an immutable borrow that ends before
-                // the mutable writes below — the solved rows are disjoint
-                // from the block being updated, but the borrow checker cannot
-                // see row disjointness through a column-major view, so the
-                // contribution goes through a scratch block.
-                let p_data = panel.as_slice();
-                let ldp = panel.ld();
-                driver.accumulate_serial(
-                    mb,
-                    w,
-                    solved_len,
-                    1.0,
-                    &|i, p| op_l(i0 + i, solved_start + p),
-                    &|p, j| p_data[(solved_start + p) + j * ldp],
-                    &mut upd,
-                );
-            }
-            // Scalar substitution on the diagonal block.
-            for j in 0..w {
-                match eff {
-                    Uplo::Lower => {
-                        for i in 0..mb {
-                            let mut s = panel.at(i0 + i, j) - update[(i, j)];
-                            for p in 0..i {
-                                s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+    match side {
+        Side::Left => {
+            let parallel = cfg.should_parallelise(m, n, m);
+            driver.for_each_panel(x.subview_mut(0, 0, m, n), parallel, |_, mut panel| {
+                let w = panel.cols();
+                // Diagonal-block start offsets in solve order.
+                let starts: Vec<usize> = match eff {
+                    Uplo::Lower => (0..m).step_by(tb).collect(),
+                    Uplo::Upper => {
+                        let mut s: Vec<usize> = (0..m).step_by(tb).collect();
+                        s.reverse();
+                        s
+                    }
+                };
+                let mut update = Matrix::zeros(tb.min(m), w);
+                for i0 in starts {
+                    let mb = tb.min(m - i0);
+                    // Fold the already-solved rows into this block:
+                    // update := op(L)[block, solved] * X[solved, panel].
+                    let (solved_start, solved_len) = match eff {
+                        Uplo::Lower => (0, i0),
+                        Uplo::Upper => (i0 + mb, m - (i0 + mb)),
+                    };
+                    let mut update_full = update.view_mut();
+                    let mut upd = update_full.subview_mut(0, 0, mb, w);
+                    upd.fill(0.0);
+                    if solved_len > 0 {
+                        // `panel.as_slice()` is an immutable borrow that ends
+                        // before the mutable writes below — the solved rows
+                        // are disjoint from the block being updated, but the
+                        // borrow checker cannot see row disjointness through
+                        // a column-major view, so the contribution goes
+                        // through a scratch block.
+                        let p_data = panel.as_slice();
+                        let ldp = panel.ld();
+                        driver.accumulate_serial(
+                            mb,
+                            w,
+                            solved_len,
+                            1.0,
+                            &|i, p| op_l(i0 + i, solved_start + p),
+                            &|p, j| p_data[(solved_start + p) + j * ldp],
+                            &mut upd,
+                        );
+                    }
+                    // Scalar substitution on the diagonal block.
+                    for j in 0..w {
+                        match eff {
+                            Uplo::Lower => {
+                                for i in 0..mb {
+                                    let mut s = panel.at(i0 + i, j) - update[(i, j)];
+                                    for p in 0..i {
+                                        s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+                                    }
+                                    *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                                }
                             }
-                            *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                            Uplo::Upper => {
+                                for i in (0..mb).rev() {
+                                    let mut s = panel.at(i0 + i, j) - update[(i, j)];
+                                    for p in (i + 1)..mb {
+                                        s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+                                    }
+                                    *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                                }
+                            }
                         }
                     }
+                }
+            });
+        }
+        Side::Right => {
+            // X·op(L) = alpha·B: column-block substitution over X. Column q
+            // of the product reads X columns p with op(L)[p, q] nonzero, so
+            // the effective Upper triangle solves columns left to right and
+            // the effective Lower triangle right to left.
+            let starts: Vec<usize> = match eff {
+                Uplo::Upper => (0..n).step_by(tb).collect(),
+                Uplo::Lower => {
+                    let mut s: Vec<usize> = (0..n).step_by(tb).collect();
+                    s.reverse();
+                    s
+                }
+            };
+            let mut update = Matrix::zeros(m, tb.min(n));
+            for c0 in starts {
+                let cb = tb.min(n - c0);
+                // Fold the already-solved columns into this block:
+                // update := X[:, solved] * op(L)[solved, block].
+                let (solved_start, solved_len) = match eff {
+                    Uplo::Upper => (0, c0),
+                    Uplo::Lower => (c0 + cb, n - (c0 + cb)),
+                };
+                let mut update_full = update.view_mut();
+                let mut upd = update_full.subview_mut(0, 0, m, cb);
+                upd.fill(0.0);
+                if solved_len > 0 {
+                    // Same scratch-block pattern as the left side: the solved
+                    // columns are disjoint from the block being updated, but
+                    // that is invisible to the borrow checker.
+                    let x_data = x.as_slice();
+                    let ldx = x.ld();
+                    driver.accumulate_serial(
+                        m,
+                        cb,
+                        solved_len,
+                        1.0,
+                        &|i, p| x_data[i + (solved_start + p) * ldx],
+                        &|p, j| op_l(solved_start + p, c0 + j),
+                        &mut upd,
+                    );
+                }
+                // Scalar substitution over the columns of the diagonal block.
+                match eff {
                     Uplo::Upper => {
-                        for i in (0..mb).rev() {
-                            let mut s = panel.at(i0 + i, j) - update[(i, j)];
-                            for p in (i + 1)..mb {
-                                s -= op_l(i0 + i, i0 + p) * panel.at(i0 + p, j);
+                        for j in 0..cb {
+                            let d = op_l(c0 + j, c0 + j);
+                            for i in 0..m {
+                                let mut s = x.at(i, c0 + j) - update[(i, j)];
+                                for p in 0..j {
+                                    s -= x.at(i, c0 + p) * op_l(c0 + p, c0 + j);
+                                }
+                                *x.at_mut(i, c0 + j) = s / d;
                             }
-                            *panel.at_mut(i0 + i, j) = s / op_l(i0 + i, i0 + i);
+                        }
+                    }
+                    Uplo::Lower => {
+                        for j in (0..cb).rev() {
+                            let d = op_l(c0 + j, c0 + j);
+                            for i in 0..m {
+                                let mut s = x.at(i, c0 + j) - update[(i, j)];
+                                for p in (j + 1)..cb {
+                                    s -= x.at(i, c0 + p) * op_l(c0 + p, c0 + j);
+                                }
+                                *x.at_mut(i, c0 + j) = s / d;
+                            }
                         }
                     }
                 }
             }
         }
-    });
+    }
     Ok(())
 }
 
-/// Reference TRSM: unblocked column-by-column forward/backward substitution.
-/// Used by the unit and property tests to validate the blocked kernel.
+/// Reference TRSM: unblocked column-by-column (Left) or column-recurrence
+/// (Right) forward/backward substitution. Used by the unit and property tests
+/// to validate the blocked kernel.
 ///
 /// # Errors
 ///
 /// Same checks as [`trsm`].
 #[allow(clippy::too_many_arguments)] // BLAS-style interface
 pub fn trsm_naive(
+    side: Side,
     uplo: Uplo,
     trans: Trans,
     alpha: f64,
@@ -156,8 +243,12 @@ pub fn trsm_naive(
     b: &MatrixView<'_>,
     x: &mut MatrixViewMut<'_>,
 ) -> Result<()> {
-    let (m, n) = check_triangular_shapes("trsm operand shape", l, b, x)?;
-    for i in 0..m {
+    let (m, n) = check_triangular_shapes("trsm operand shape", side, l, b, x)?;
+    let order = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    for i in 0..order {
         if l.at(i, i) == 0.0 {
             return Err(MatrixError::SingularDiagonal { index: i });
         }
@@ -167,24 +258,52 @@ pub fn trsm_naive(
         Trans::Yes => l.at(p, i),
     };
     let eff = uplo.under(trans);
-    for j in 0..n {
-        match eff {
-            Uplo::Lower => {
-                for i in 0..m {
-                    let mut s = alpha * b.at(i, j);
-                    for p in 0..i {
-                        s -= op_l(i, p) * x.at(p, j);
+    match side {
+        Side::Left => {
+            for j in 0..n {
+                match eff {
+                    Uplo::Lower => {
+                        for i in 0..m {
+                            let mut s = alpha * b.at(i, j);
+                            for p in 0..i {
+                                s -= op_l(i, p) * x.at(p, j);
+                            }
+                            *x.at_mut(i, j) = s / op_l(i, i);
+                        }
                     }
-                    *x.at_mut(i, j) = s / op_l(i, i);
+                    Uplo::Upper => {
+                        for i in (0..m).rev() {
+                            let mut s = alpha * b.at(i, j);
+                            for p in (i + 1)..m {
+                                s -= op_l(i, p) * x.at(p, j);
+                            }
+                            *x.at_mut(i, j) = s / op_l(i, i);
+                        }
+                    }
                 }
             }
-            Uplo::Upper => {
-                for i in (0..m).rev() {
+        }
+        Side::Right => {
+            let cols: Vec<usize> = match eff {
+                Uplo::Upper => (0..n).collect(),
+                Uplo::Lower => (0..n).rev().collect(),
+            };
+            for j in cols {
+                for i in 0..m {
                     let mut s = alpha * b.at(i, j);
-                    for p in (i + 1)..m {
-                        s -= op_l(i, p) * x.at(p, j);
+                    match eff {
+                        Uplo::Upper => {
+                            for p in 0..j {
+                                s -= x.at(i, p) * op_l(p, j);
+                            }
+                        }
+                        Uplo::Lower => {
+                            for p in (j + 1)..n {
+                                s -= x.at(i, p) * op_l(p, j);
+                            }
+                        }
                     }
-                    *x.at_mut(i, j) = s / op_l(i, i);
+                    *x.at_mut(i, j) = s / op_l(j, j);
                 }
             }
         }
@@ -199,11 +318,24 @@ mod tests {
     use lamb_matrix::ops::max_abs_diff;
     use lamb_matrix::random::{random_seeded, random_triangular};
 
-    fn check(uplo: Uplo, trans: Trans, m: usize, n: usize, alpha: f64, cfg: &BlockConfig) {
-        let l = random_triangular(m, uplo, 9 + m as u64);
+    fn check(
+        side: Side,
+        uplo: Uplo,
+        trans: Trans,
+        m: usize,
+        n: usize,
+        alpha: f64,
+        cfg: &BlockConfig,
+    ) {
+        let order = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let l = random_triangular(order, uplo, 9 + order as u64);
         let b = random_seeded(m, n, 200 + n as u64);
         let mut fast = Matrix::filled(m, n, f64::NAN);
         trsm(
+            side,
             uplo,
             trans,
             alpha,
@@ -215,6 +347,7 @@ mod tests {
         .unwrap();
         let mut reference = Matrix::zeros(m, n);
         trsm_naive(
+            side,
             uplo,
             trans,
             alpha,
@@ -225,18 +358,20 @@ mod tests {
         .unwrap();
         let diff = max_abs_diff(&fast, &reference).unwrap();
         assert!(
-            diff < 1e-10 * (m as f64).max(1.0),
-            "uplo {uplo:?} trans {trans:?} {m}x{n} alpha {alpha}: diff {diff}"
+            diff < 1e-10 * (order as f64).max(1.0),
+            "side {side:?} uplo {uplo:?} trans {trans:?} {m}x{n} alpha {alpha}: diff {diff}"
         );
     }
 
     #[test]
-    fn all_uplo_trans_combinations_match_naive() {
+    fn all_side_uplo_trans_combinations_match_naive() {
         let cfg = BlockConfig::serial();
-        for uplo in [Uplo::Lower, Uplo::Upper] {
-            for trans in [Trans::No, Trans::Yes] {
-                check(uplo, trans, 23, 17, 1.0, &cfg);
-                check(uplo, trans, 9, 31, -2.0, &cfg);
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    check(side, uplo, trans, 23, 17, 1.0, &cfg);
+                    check(side, uplo, trans, 9, 31, -2.0, &cfg);
+                }
             }
         }
     }
@@ -244,8 +379,10 @@ mod tests {
     #[test]
     fn tiny_blocking_exercises_partial_diag_blocks() {
         let cfg = BlockConfig::tiny();
-        check(Uplo::Lower, Trans::No, 13, 7, 1.0, &cfg);
-        check(Uplo::Upper, Trans::Yes, 11, 9, 0.5, &cfg);
+        check(Side::Left, Uplo::Lower, Trans::No, 13, 7, 1.0, &cfg);
+        check(Side::Left, Uplo::Upper, Trans::Yes, 11, 9, 0.5, &cfg);
+        check(Side::Right, Uplo::Lower, Trans::No, 13, 7, 1.0, &cfg);
+        check(Side::Right, Uplo::Upper, Trans::Yes, 7, 13, 0.5, &cfg);
     }
 
     #[test]
@@ -254,41 +391,58 @@ mod tests {
             parallel_flop_threshold: 1,
             ..BlockConfig::default()
         };
-        check(Uplo::Lower, Trans::No, 90, 70, 1.0, &cfg);
-        check(Uplo::Upper, Trans::No, 64, 110, 1.0, &cfg);
+        check(Side::Left, Uplo::Lower, Trans::No, 90, 70, 1.0, &cfg);
+        check(Side::Left, Uplo::Upper, Trans::No, 64, 110, 1.0, &cfg);
+        check(Side::Right, Uplo::Lower, Trans::No, 90, 70, 1.0, &cfg);
     }
 
     #[test]
     fn solve_inverts_the_triangular_product() {
         // trsm(L, trmm(L, B)) == B — the round trip that certifies the two
-        // triangular kernels against each other.
+        // triangular kernels against each other, on both sides.
         let cfg = BlockConfig::serial();
         let m = 27;
         let n = 11;
-        for (uplo, trans) in [
-            (Uplo::Lower, Trans::No),
-            (Uplo::Upper, Trans::No),
-            (Uplo::Lower, Trans::Yes),
-        ] {
-            let l = random_triangular(m, uplo, 33);
-            let b = random_seeded(m, n, 34);
-            let mut lb = Matrix::zeros(m, n);
-            trmm_naive(uplo, trans, 1.0, &l.view(), &b.view(), &mut lb.view_mut()).unwrap();
-            let mut recovered = Matrix::zeros(m, n);
-            trsm(
-                uplo,
-                trans,
-                1.0,
-                &l.view(),
-                &lb.view(),
-                &mut recovered.view_mut(),
-                &cfg,
-            )
-            .unwrap();
-            assert!(
-                max_abs_diff(&recovered, &b).unwrap() < 1e-10,
-                "{uplo:?}/{trans:?}"
-            );
+        for side in [Side::Left, Side::Right] {
+            let order = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
+            for (uplo, trans) in [
+                (Uplo::Lower, Trans::No),
+                (Uplo::Upper, Trans::No),
+                (Uplo::Lower, Trans::Yes),
+            ] {
+                let l = random_triangular(order, uplo, 33);
+                let b = random_seeded(m, n, 34);
+                let mut lb = Matrix::zeros(m, n);
+                trmm_naive(
+                    side,
+                    uplo,
+                    trans,
+                    1.0,
+                    &l.view(),
+                    &b.view(),
+                    &mut lb.view_mut(),
+                )
+                .unwrap();
+                let mut recovered = Matrix::zeros(m, n);
+                trsm(
+                    side,
+                    uplo,
+                    trans,
+                    1.0,
+                    &l.view(),
+                    &lb.view(),
+                    &mut recovered.view_mut(),
+                    &cfg,
+                )
+                .unwrap();
+                assert!(
+                    max_abs_diff(&recovered, &b).unwrap() < 1e-10,
+                    "{side:?}/{uplo:?}/{trans:?}"
+                );
+            }
         }
     }
 
@@ -300,6 +454,7 @@ mod tests {
         let b = random_seeded(5, 2, 2);
         let mut x = Matrix::zeros(5, 2);
         let err = trsm(
+            Side::Left,
             Uplo::Lower,
             Trans::No,
             1.0,
@@ -311,6 +466,7 @@ mod tests {
         .unwrap_err();
         assert_eq!(err, MatrixError::SingularDiagonal { index: 3 });
         assert!(trsm_naive(
+            Side::Left,
             Uplo::Lower,
             Trans::No,
             1.0,
@@ -319,6 +475,21 @@ mod tests {
             &mut x.view_mut()
         )
         .is_err());
+        // Right side: the singular triangle sits on the column dimension.
+        let b_r = random_seeded(2, 5, 3);
+        let mut x_r = Matrix::zeros(2, 5);
+        let err_r = trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l.view(),
+            &b_r.view(),
+            &mut x_r.view_mut(),
+            &cfg,
+        )
+        .unwrap_err();
+        assert_eq!(err_r, MatrixError::SingularDiagonal { index: 3 });
     }
 
     #[test]
@@ -328,10 +499,24 @@ mod tests {
         let b = Matrix::zeros(3, 2);
         let mut x = Matrix::zeros(3, 2);
         assert!(trsm(
+            Side::Left,
             Uplo::Lower,
             Trans::No,
             1.0,
             &l.view(),
+            &b.view(),
+            &mut x.view_mut(),
+            &cfg
+        )
+        .is_err());
+        // Right side: a square L of the wrong order is rejected.
+        let l3 = Matrix::zeros(3, 3);
+        assert!(trsm(
+            Side::Right,
+            Uplo::Lower,
+            Trans::No,
+            1.0,
+            &l3.view(),
             &b.view(),
             &mut x.view_mut(),
             &cfg

@@ -21,6 +21,10 @@ fn uplo_strategy() -> impl Strategy<Value = Uplo> {
     prop_oneof![Just(Uplo::Lower), Just(Uplo::Upper)]
 }
 
+fn side_strategy() -> impl Strategy<Value = Side> {
+    prop_oneof![Just(Side::Left), Just(Side::Right)]
+}
+
 fn tile_strategy() -> impl Strategy<Value = TileVariant> {
     prop_oneof![
         Just(TileVariant::T8x4),
@@ -123,17 +127,19 @@ proptest! {
     fn trmm_matches_naive(
         m in 1usize..40,
         n in 1usize..40,
+        side in side_strategy(),
         uplo in uplo_strategy(),
         trans in trans_strategy(),
         cfg in config_strategy(),
         seed in 0u64..10_000,
     ) {
-        let l = random_triangular(m, uplo, seed);
+        let order = match side { Side::Left => m, Side::Right => n };
+        let l = random_triangular(order, uplo, seed);
         let b = random_seeded(m, n, seed.wrapping_add(5));
         let mut fast = Matrix::zeros(m, n);
-        trmm(uplo, trans, 1.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
+        trmm(side, uplo, trans, 1.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
         let mut reference = Matrix::zeros(m, n);
-        trmm_naive(uplo, trans, 1.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
+        trmm_naive(side, uplo, trans, 1.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
         let norm = frobenius_norm(&reference).max(1.0);
         prop_assert!(max_abs_diff(&fast, &reference).unwrap() < 1e-10 * norm);
     }
@@ -142,6 +148,7 @@ proptest! {
     fn trsm_matches_naive(
         m in 1usize..40,
         n in 1usize..40,
+        side in side_strategy(),
         uplo in uplo_strategy(),
         trans in trans_strategy(),
         cfg in config_strategy(),
@@ -149,12 +156,13 @@ proptest! {
     ) {
         // random_triangular is diagonally dominant, so the solves stay well
         // conditioned and the 1e-10·norm tolerance is meaningful.
-        let l = random_triangular(m, uplo, seed);
+        let order = match side { Side::Left => m, Side::Right => n };
+        let l = random_triangular(order, uplo, seed);
         let b = random_seeded(m, n, seed.wrapping_add(7));
         let mut fast = Matrix::zeros(m, n);
-        trsm(uplo, trans, -0.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
+        trsm(side, uplo, trans, -0.5, &l.view(), &b.view(), &mut fast.view_mut(), &cfg).unwrap();
         let mut reference = Matrix::zeros(m, n);
-        trsm_naive(uplo, trans, -0.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
+        trsm_naive(side, uplo, trans, -0.5, &l.view(), &b.view(), &mut reference.view_mut()).unwrap();
         let norm = frobenius_norm(&reference).max(1.0);
         prop_assert!(max_abs_diff(&fast, &reference).unwrap() < 1e-10 * norm);
     }
@@ -163,17 +171,19 @@ proptest! {
     fn trsm_undoes_trmm(
         m in 1usize..32,
         n in 1usize..32,
+        side in side_strategy(),
         uplo in uplo_strategy(),
         trans in trans_strategy(),
         cfg in config_strategy(),
         seed in 0u64..10_000,
     ) {
-        let l = random_triangular(m, uplo, seed);
+        let order = match side { Side::Left => m, Side::Right => n };
+        let l = random_triangular(order, uplo, seed);
         let b = random_seeded(m, n, seed.wrapping_add(11));
         let mut lb = Matrix::zeros(m, n);
-        trmm(uplo, trans, 1.0, &l.view(), &b.view(), &mut lb.view_mut(), &cfg).unwrap();
+        trmm(side, uplo, trans, 1.0, &l.view(), &b.view(), &mut lb.view_mut(), &cfg).unwrap();
         let mut recovered = Matrix::zeros(m, n);
-        trsm(uplo, trans, 1.0, &l.view(), &lb.view(), &mut recovered.view_mut(), &cfg).unwrap();
+        trsm(side, uplo, trans, 1.0, &l.view(), &lb.view(), &mut recovered.view_mut(), &cfg).unwrap();
         let norm = frobenius_norm(&b).max(1.0);
         prop_assert!(max_abs_diff(&recovered, &b).unwrap() < 1e-10 * norm);
     }

@@ -18,7 +18,7 @@
 use crate::store::TunedConfig;
 use lamb_kernels::{gemm_new, syrk_new, trsm_new, BlockConfig, TileVariant};
 use lamb_matrix::random::{random_seeded, random_triangular};
-use lamb_matrix::{Trans, Uplo};
+use lamb_matrix::{Side, Trans, Uplo};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -157,7 +157,7 @@ pub fn measured_score(cfg: &BlockConfig, size: usize, reps: usize) -> f64 {
         let start = Instant::now();
         let c = gemm_new(Trans::No, &a, Trans::No, &b, cfg).expect("square gemm");
         let s = syrk_new(Uplo::Lower, Trans::No, &a, cfg).expect("square syrk");
-        let x = trsm_new(Uplo::Lower, Trans::No, &l, &b, cfg).expect("square trsm");
+        let x = trsm_new(Side::Left, Uplo::Lower, Trans::No, &l, &b, cfg).expect("square trsm");
         let dt = start.elapsed().as_secs_f64();
         std::hint::black_box((c, s, x));
         best = best.min(dt);

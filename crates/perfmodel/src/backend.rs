@@ -1,0 +1,544 @@
+//! Kernel backends: interchangeable implementations of the kernel-call
+//! vocabulary the planner can choose between *per call*.
+//!
+//! The paper's discriminant question — "which algorithm is fastest?" — has a
+//! second axis in any real library: which *implementation* of each kernel
+//! runs. A [`Backend`] binds a [`lamb_expr::KernelOp`] plus its input
+//! matrices to one concrete implementation:
+//!
+//! * [`NativeBackend`] dispatches to the blocked, packed, Rayon-parallel
+//!   `lamb-kernels` drivers — asymptotically fast, but every call pays
+//!   packing and blocking overheads;
+//! * [`ReferenceBackend`] runs straight-loop naive kernels for the BLAS-3
+//!   multiplication family — no packing, no blocking, no parallel ramp-up,
+//!   which makes it *faster* on sufficiently small operands and far slower on
+//!   large ones.
+//!
+//! The two surfaces genuinely cross, so a plan over a mixed-size kernel-call
+//! sequence can be time-optimal only by assigning *different* backends to
+//! different calls — which is exactly what the measured-time selection
+//! strategies do once the calibration store carries per-backend call tables
+//! (format v6, see [`crate::store`]).
+//!
+//! Factorisations (POTRF/GETRF/QR), reflector application and the zero-FLOP
+//! packed-factor movers have a single shared implementation: the reference
+//! backend delegates them to the native one, so *every* backend supports the
+//! full vocabulary and a `--backend` pin can execute any algorithm
+//! end-to-end.
+
+use lamb_expr::KernelOp;
+use lamb_kernels::{gemm_naive, trmm_naive, trsm_naive, BlockConfig, Kernel};
+use lamb_matrix::{Matrix, MatrixError, Result, Side, Trans, Uplo};
+
+/// Name of the default blocked-driver backend.
+pub const NATIVE_BACKEND_NAME: &str = "native";
+
+/// Name of the naive straight-loop backend.
+pub const REFERENCE_BACKEND_NAME: &str = "reference";
+
+/// An interchangeable implementation of the kernel-call vocabulary.
+///
+/// Object safe: plans store `Arc<dyn Backend>` assignments per call, and the
+/// measured executor runs whichever backend the plan chose.
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Stable name of this backend — the key its calibration data is stored
+    /// under (see [`crate::CalibrationStore::backend_tables_mut`]) and what
+    /// `lamb select --backend <name>` pins.
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can execute the given operation. Honest by
+    /// contract: `supports(op)` implies [`Backend::run_into`] succeeds on
+    /// well-shaped operands.
+    fn supports(&self, op: &KernelOp) -> bool;
+
+    /// Execute `op` over `inputs` into `out` (already allocated at the op's
+    /// output shape). Input order follows the kernel-call IR convention: the
+    /// structured operand (triangle, symmetric operand, packed factor)
+    /// first, then the rectangular operand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying kernel's shape errors, TRSM's singularity
+    /// error and POTRF's indefiniteness error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is shorter than the operation's arity — a
+    /// malformed kernel call, not a recoverable condition.
+    fn run_into(
+        &self,
+        op: &KernelOp,
+        inputs: &[&Matrix],
+        out: &mut Matrix,
+        cfg: &BlockConfig,
+    ) -> Result<()>;
+}
+
+/// The blocked, packed, Rayon-parallel `lamb-kernels` drivers — the default
+/// backend, and the one the store's top-level calibration tables describe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeBackend;
+
+impl Backend for NativeBackend {
+    fn name(&self) -> &'static str {
+        NATIVE_BACKEND_NAME
+    }
+
+    fn supports(&self, _op: &KernelOp) -> bool {
+        true
+    }
+
+    fn run_into(
+        &self,
+        op: &KernelOp,
+        inputs: &[&Matrix],
+        out: &mut Matrix,
+        cfg: &BlockConfig,
+    ) -> Result<()> {
+        // The in-place triangle copy is the one op outside the Kernel
+        // vocabulary: the output operand already holds the triangle.
+        if let KernelOp::CopyTriangle { uplo, .. } = op {
+            return out.symmetrize_from(*uplo);
+        }
+        let kernel = match *op {
+            KernelOp::Gemm { transa, transb, .. } => Kernel::Gemm {
+                transa,
+                a: inputs[0],
+                transb,
+                b: inputs[1],
+            },
+            KernelOp::Syrk { uplo, trans, .. } => Kernel::Syrk {
+                uplo,
+                trans,
+                a: inputs[0],
+            },
+            KernelOp::Symm { side, uplo, .. } => Kernel::Symm {
+                side,
+                uplo,
+                a_sym: inputs[0],
+                b: inputs[1],
+            },
+            KernelOp::Trmm {
+                side, uplo, trans, ..
+            } => Kernel::Trmm {
+                side,
+                uplo,
+                trans,
+                l: inputs[0],
+                b: inputs[1],
+            },
+            KernelOp::Trsm {
+                side, uplo, trans, ..
+            } => Kernel::Trsm {
+                side,
+                uplo,
+                trans,
+                l: inputs[0],
+                b: inputs[1],
+            },
+            KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: inputs[0] },
+            KernelOp::Getrf { .. } => Kernel::Getrf { a: inputs[0] },
+            KernelOp::Qr { .. } => Kernel::Qr { a: inputs[0] },
+            KernelOp::Ormqr { .. } => Kernel::Ormqr {
+                f: inputs[0],
+                b: inputs[1],
+            },
+            KernelOp::FactorTri { uplo, .. } => Kernel::FactorTri { uplo, f: inputs[0] },
+            KernelOp::PivotApply { side, .. } => Kernel::PivotApply {
+                side,
+                f: inputs[0],
+                b: inputs[1],
+            },
+            KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
+        };
+        kernel.run_into(out, cfg)
+    }
+}
+
+/// Straight-loop naive kernels for the BLAS-3 multiplication family (GEMM,
+/// SYRK, SYMM, TRMM, TRSM on either side); everything else delegates to the
+/// native implementations.
+///
+/// Deliberately *not* a slowed-down copy of the native backend: the naive
+/// loops skip packing, blocking and the parallel runtime entirely, so their
+/// efficiency surface is nearly flat — above the native surface at small
+/// operand orders (where packing overhead dominates) and far below it at
+/// large ones. The crossover is what makes per-call backend selection a real
+/// decision rather than a constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceBackend;
+
+impl Backend for ReferenceBackend {
+    fn name(&self) -> &'static str {
+        REFERENCE_BACKEND_NAME
+    }
+
+    fn supports(&self, _op: &KernelOp) -> bool {
+        true
+    }
+
+    fn run_into(
+        &self,
+        op: &KernelOp,
+        inputs: &[&Matrix],
+        out: &mut Matrix,
+        cfg: &BlockConfig,
+    ) -> Result<()> {
+        match *op {
+            KernelOp::Gemm { transa, transb, .. } => gemm_naive(
+                transa,
+                transb,
+                1.0,
+                &inputs[0].view(),
+                &inputs[1].view(),
+                0.0,
+                &mut out.view_mut(),
+            ),
+            KernelOp::Syrk { uplo, trans, .. } => syrk_reference(uplo, trans, inputs[0], out),
+            KernelOp::Symm { side, uplo, .. } => {
+                symm_reference(side, uplo, inputs[0], inputs[1], out)
+            }
+            KernelOp::Trmm {
+                side, uplo, trans, ..
+            } => trmm_naive(
+                side,
+                uplo,
+                trans,
+                1.0,
+                &inputs[0].view(),
+                &inputs[1].view(),
+                &mut out.view_mut(),
+            ),
+            KernelOp::Trsm {
+                side, uplo, trans, ..
+            } => trsm_naive(
+                side,
+                uplo,
+                trans,
+                1.0,
+                &inputs[0].view(),
+                &inputs[1].view(),
+                &mut out.view_mut(),
+            ),
+            // Factorisations and packed-factor movers have one shared
+            // implementation; see the module docs.
+            _ => NativeBackend.run_into(op, inputs, out, cfg),
+        }
+    }
+}
+
+/// One triangle of `op(A)·op(A)ᵀ` by plain triple loop, the other triangle
+/// left at zero — the same output contract as the blocked SYRK.
+fn syrk_reference(uplo: Uplo, trans: Trans, a: &Matrix, c: &mut Matrix) -> Result<()> {
+    let (n, k) = trans.apply(a.shape());
+    if c.shape() != (n, n) {
+        return Err(MatrixError::DimensionMismatch {
+            op: "syrk (reference)",
+            lhs: c.shape(),
+            rhs: (n, n),
+        });
+    }
+    let get = |i: usize, p: usize| match trans {
+        Trans::No => a[(i, p)],
+        Trans::Yes => a[(p, i)],
+    };
+    c.fill(0.0);
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Lower => (j, n),
+            Uplo::Upper => (0, j + 1),
+        };
+        for i in lo..hi {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += get(i, p) * get(j, p);
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    Ok(())
+}
+
+/// `A_sym·B` (Left) or `B·A_sym` (Right) by plain triple loop, reading the
+/// symmetric operand through a mirror of its stored triangle — the same
+/// input contract as the blocked SYMM.
+fn symm_reference(
+    side: Side,
+    uplo: Uplo,
+    a_sym: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+) -> Result<()> {
+    let order = a_sym.rows();
+    let ok = a_sym.cols() == order
+        && c.shape() == b.shape()
+        && match side {
+            Side::Left => b.rows() == order,
+            Side::Right => b.cols() == order,
+        };
+    if !ok {
+        return Err(MatrixError::DimensionMismatch {
+            op: "symm (reference)",
+            lhs: a_sym.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let sym = |i: usize, j: usize| {
+        let mirrored = match uplo {
+            Uplo::Lower => i < j,
+            Uplo::Upper => i > j,
+        };
+        if mirrored {
+            a_sym[(j, i)]
+        } else {
+            a_sym[(i, j)]
+        }
+    };
+    let (m, n) = b.shape();
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            match side {
+                Side::Left => {
+                    for p in 0..order {
+                        acc += sym(i, p) * b[(p, j)];
+                    }
+                }
+                Side::Right => {
+                    for p in 0..order {
+                        acc += b[(i, p)] * sym(p, j);
+                    }
+                }
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    Ok(())
+}
+
+/// Look up a backend by its stable name.
+#[must_use]
+pub fn backend_by_name(name: &str) -> Option<std::sync::Arc<dyn Backend>> {
+    match name {
+        NATIVE_BACKEND_NAME => Some(std::sync::Arc::new(NativeBackend)),
+        REFERENCE_BACKEND_NAME => Some(std::sync::Arc::new(ReferenceBackend)),
+        _ => None,
+    }
+}
+
+/// Every backend this build ships, native first.
+#[must_use]
+pub fn all_backends() -> Vec<std::sync::Arc<dyn Backend>> {
+    vec![
+        std::sync::Arc::new(NativeBackend),
+        std::sync::Arc::new(ReferenceBackend),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_matrix::ops::max_abs_diff;
+    use lamb_matrix::random::{random_seeded, random_spd, random_triangular};
+
+    fn run(backend: &dyn Backend, op: &KernelOp, inputs: &[&Matrix]) -> Matrix {
+        let (m, n) = op.output_shape();
+        let mut out = Matrix::zeros(m, n);
+        backend
+            .run_into(op, inputs, &mut out, &BlockConfig::default())
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn backends_agree_on_the_multiplication_family_both_sides() {
+        let a = random_seeded(17, 13, 1);
+        let b = random_seeded(13, 9, 2);
+        let s = random_spd(17, 3);
+        let sr = random_spd(9, 4);
+        let l = random_triangular(17, Uplo::Lower, 5);
+        let u = random_triangular(9, Uplo::Upper, 6);
+        let rect = random_seeded(17, 9, 7);
+        let cases: Vec<(KernelOp, Vec<&Matrix>)> = vec![
+            (
+                KernelOp::Gemm {
+                    transa: Trans::No,
+                    transb: Trans::No,
+                    m: 17,
+                    n: 9,
+                    k: 13,
+                },
+                vec![&a, &b],
+            ),
+            (
+                KernelOp::Syrk {
+                    uplo: Uplo::Lower,
+                    trans: Trans::No,
+                    n: 17,
+                    k: 13,
+                },
+                vec![&a],
+            ),
+            (
+                KernelOp::Syrk {
+                    uplo: Uplo::Upper,
+                    trans: Trans::Yes,
+                    n: 13,
+                    k: 17,
+                },
+                vec![&a],
+            ),
+            (
+                KernelOp::Symm {
+                    side: Side::Left,
+                    uplo: Uplo::Lower,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&s, &rect],
+            ),
+            (
+                KernelOp::Symm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&sr, &rect],
+            ),
+            (
+                KernelOp::Trmm {
+                    side: Side::Left,
+                    uplo: Uplo::Lower,
+                    trans: Trans::No,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&l, &rect],
+            ),
+            (
+                KernelOp::Trmm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    trans: Trans::Yes,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&u, &rect],
+            ),
+            (
+                KernelOp::Trsm {
+                    side: Side::Left,
+                    uplo: Uplo::Lower,
+                    trans: Trans::No,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&l, &rect],
+            ),
+            (
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    trans: Trans::No,
+                    m: 17,
+                    n: 9,
+                },
+                vec![&u, &rect],
+            ),
+        ];
+        for (op, inputs) in cases {
+            let native = run(&NativeBackend, &op, &inputs);
+            let reference = run(&ReferenceBackend, &op, &inputs);
+            assert!(max_abs_diff(&native, &reference).unwrap() < 1e-10, "{op}");
+        }
+    }
+
+    #[test]
+    fn reference_backend_delegates_the_factorisations() {
+        let s = random_spd(12, 8);
+        let op = KernelOp::Potrf {
+            uplo: Uplo::Lower,
+            n: 12,
+        };
+        let native = run(&NativeBackend, &op, &[&s]);
+        let reference = run(&ReferenceBackend, &op, &[&s]);
+        assert_eq!(max_abs_diff(&native, &reference).unwrap(), 0.0);
+        let a = random_seeded(10, 10, 9);
+        let op = KernelOp::Getrf { n: 10 };
+        let native = run(&NativeBackend, &op, &[&a]);
+        let reference = run(&ReferenceBackend, &op, &[&a]);
+        assert_eq!(max_abs_diff(&native, &reference).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn both_backends_support_the_full_vocabulary() {
+        let ops = [
+            KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: 4,
+                n: 4,
+                k: 4,
+            },
+            KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 4,
+                n: 4,
+            },
+            KernelOp::PivotApply {
+                side: Side::Right,
+                m: 4,
+                n: 4,
+            },
+            KernelOp::Qr { m: 6, n: 4 },
+        ];
+        for op in &ops {
+            assert!(NativeBackend.supports(op));
+            assert!(ReferenceBackend.supports(op));
+        }
+        assert_eq!(NativeBackend.name(), "native");
+        assert_eq!(ReferenceBackend.name(), "reference");
+        assert!(backend_by_name("native").is_some());
+        assert!(backend_by_name("reference").is_some());
+        assert!(backend_by_name("mkl").is_none());
+        assert_eq!(all_backends().len(), 2);
+    }
+
+    #[test]
+    fn degenerate_zero_dimensions_execute_cleanly() {
+        let empty = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 5);
+        let op = KernelOp::Trmm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 0,
+            n: 5,
+        };
+        for backend in all_backends() {
+            let out = run(backend.as_ref(), &op, &[&empty, &b]);
+            assert_eq!(out.shape(), (0, 5));
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported_not_panicked() {
+        let bad = Matrix::zeros(3, 3);
+        let b = Matrix::zeros(4, 5);
+        let op = KernelOp::Symm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            m: 4,
+            n: 5,
+        };
+        let mut out = Matrix::zeros(4, 5);
+        for backend in all_backends() {
+            assert!(backend
+                .run_into(&op, &[&bad, &b], &mut out, &BlockConfig::default())
+                .is_err());
+        }
+    }
+}

@@ -91,11 +91,22 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
             });
             vec![OperandId(0), OperandId(1)]
         }
-        KernelOp::Trmm { uplo, m, n, .. } | KernelOp::Trsm { uplo, m, n, .. } => {
+        KernelOp::Trmm {
+            side, uplo, m, n, ..
+        }
+        | KernelOp::Trsm {
+            side, uplo, m, n, ..
+        } => {
+            // The triangle's order is B's row count on the left and its
+            // column count on the right.
+            let order = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
             operands.push(OperandInfo {
                 id: OperandId(0),
-                rows: m,
-                cols: m,
+                rows: order,
+                cols: order,
                 role: OperandRole::Input,
                 structure: lamb_matrix::Structure::Triangular(uplo),
                 name: "L".into(),
@@ -188,11 +199,17 @@ pub fn single_call_algorithm(op: KernelOp) -> Algorithm {
             });
             vec![OperandId(0)]
         }
-        KernelOp::PivotApply { m, n } => {
+        KernelOp::PivotApply { side, m, n } => {
+            // The packed pivot factor's order is the permuted dimension: B's
+            // row count on the left, its column count on the right.
+            let r = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
             operands.push(OperandInfo {
                 id: OperandId(0),
-                rows: m,
-                cols: m + 1,
+                rows: r,
+                cols: r + 1,
                 role: OperandRole::Input,
                 structure: lamb_matrix::Structure::General,
                 name: "F".into(),
@@ -262,18 +279,20 @@ pub fn estimate_peak_flops(cfg: &BlockConfig, size: usize, trials: usize) -> f64
 
 /// Names of the compute kernels swept by the square calibration, in sweep
 /// order (the paper's Figure 1 trio plus the triangular, SPD and general
-/// factorisation extensions).
-pub const SQUARE_SWEEP_KERNELS: [&str; 8] = [
-    "gemm", "syrk", "symm", "trmm", "trsm", "potrf", "getrf", "qr",
+/// factorisation extensions, then the right-side variants of the sided
+/// kernels — appended last so profile indices of the original eight are
+/// stable across store versions).
+pub const SQUARE_SWEEP_KERNELS: [&str; 11] = [
+    "gemm", "syrk", "symm", "trmm", "trsm", "potrf", "getrf", "qr", "symm_r", "trmm_r", "trsm_r",
 ];
 
 /// The square-operand kernel operations of the calibration sweep at a given
 /// size: the paper's Figure 1 trio (GEMM, SYRK, SYMM) extended with the
-/// triangular kernels (TRMM, TRSM), the Cholesky factorisation (POTRF) and
-/// the general factorisations (GETRF, square QR), in
-/// [`SQUARE_SWEEP_KERNELS`] order.
+/// triangular kernels (TRMM, TRSM), the Cholesky factorisation (POTRF), the
+/// general factorisations (GETRF, square QR) and the right-side variants of
+/// the sided kernels, in [`SQUARE_SWEEP_KERNELS`] order.
 #[must_use]
-pub fn square_ops(size: usize) -> [KernelOp; 8] {
+pub fn square_ops(size: usize) -> [KernelOp; 11] {
     [
         KernelOp::Gemm {
             transa: Trans::No,
@@ -295,12 +314,14 @@ pub fn square_ops(size: usize) -> [KernelOp; 8] {
             n: size,
         },
         KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: size,
             n: size,
         },
         KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: size,
@@ -312,6 +333,26 @@ pub fn square_ops(size: usize) -> [KernelOp; 8] {
         },
         KernelOp::Getrf { n: size },
         KernelOp::Qr { m: size, n: size },
+        KernelOp::Symm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            m: size,
+            n: size,
+        },
+        KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: size,
+            n: size,
+        },
+        KernelOp::Trsm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: size,
+            n: size,
+        },
     ]
 }
 
@@ -368,16 +409,32 @@ mod tests {
                 n: 9,
             },
             KernelOp::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::Yes,
                 m: 7,
                 n: 4,
             },
+            KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 4,
+                n: 7,
+            },
             KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m: 6,
                 n: 5,
+            },
+            KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                m: 5,
+                n: 6,
             },
             KernelOp::Potrf {
                 uplo: Uplo::Lower,
@@ -394,7 +451,16 @@ mod tests {
                 uplo: Uplo::Upper,
                 n: 5,
             },
-            KernelOp::PivotApply { m: 8, n: 2 },
+            KernelOp::PivotApply {
+                side: Side::Left,
+                m: 8,
+                n: 2,
+            },
+            KernelOp::PivotApply {
+                side: Side::Right,
+                m: 2,
+                n: 8,
+            },
         ];
         for op in ops {
             let alg = single_call_algorithm(op.clone());

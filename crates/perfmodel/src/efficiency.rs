@@ -322,15 +322,27 @@ impl EfficiencyModel for AnalyticEfficiencyModel {
                     * self.rel(self.symm_rel, sym_dim)
                     * self.symm_variant_factor(sym_dim, other)
             }
-            KernelOp::Trmm { m, n, .. } => {
-                self.gemm_efficiency(m, n, m)
-                    * self.rel(self.trmm_rel, m)
-                    * self.trmm_variant_factor(m, n)
+            KernelOp::Trmm { side, m, n, .. } => {
+                // The surface depends on the triangular order and the width
+                // of the rectangular operand, whichever side the triangle
+                // multiplies from (the `trmm_r` surface mirrors the left one,
+                // exactly like SYMM's two sides).
+                let (order, other) = match side {
+                    Side::Left => (m, n),
+                    Side::Right => (n, m),
+                };
+                self.gemm_efficiency(order, other, order)
+                    * self.rel(self.trmm_rel, order)
+                    * self.trmm_variant_factor(order, other)
             }
-            KernelOp::Trsm { m, n, .. } => {
-                self.gemm_efficiency(m, n, m)
-                    * self.rel(self.trsm_rel, m)
-                    * self.trsm_variant_factor(m, n)
+            KernelOp::Trsm { side, m, n, .. } => {
+                let (order, other) = match side {
+                    Side::Left => (m, n),
+                    Side::Right => (n, m),
+                };
+                self.gemm_efficiency(order, other, order)
+                    * self.rel(self.trsm_rel, order)
+                    * self.trsm_variant_factor(order, other)
             }
             KernelOp::Potrf { n, .. } => {
                 self.gemm_efficiency(n, n, n)
@@ -357,6 +369,62 @@ impl EfficiencyModel for AnalyticEfficiencyModel {
             | KernelOp::PivotApply { .. } => 1.0,
         };
         e.clamp(1.0e-4, 1.0)
+    }
+}
+
+/// Efficiency surface of the *reference* backend
+/// ([`crate::ReferenceBackend`]): unblocked scalar loops for the BLAS-3
+/// multiplication family, everything else delegated to the native blocked
+/// kernels.
+///
+/// The naive loops have no packing, no dispatch and no threading overhead, so
+/// at very small operands they *beat* the blocked path (whose efficiency
+/// collapses under its fixed costs there) — but they never block for cache,
+/// so their rate decays towards a low memory-bound floor as the operands
+/// outgrow it. That real crossover is what per-call backend selection
+/// exploits: a plan can route a tiny triangular update through the reference
+/// loops while the large trailing GEMM stays on the native backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceEfficiencyModel {
+    /// The native surface used for the delegated kernels (factorisations and
+    /// data movement, which the reference backend runs natively anyway).
+    pub native: AnalyticEfficiencyModel,
+    /// Asymptotic (cache-thrashing) efficiency of the scalar loops.
+    pub floor: f64,
+    /// Extra efficiency at vanishing size, where the absence of packing and
+    /// dispatch overhead dominates.
+    pub small_gain: f64,
+    /// Half-decay work order of the small-size advantage.
+    pub half: f64,
+}
+
+impl Default for ReferenceEfficiencyModel {
+    fn default() -> Self {
+        ReferenceEfficiencyModel {
+            native: AnalyticEfficiencyModel::default(),
+            floor: 0.008,
+            small_gain: 0.052,
+            half: 200.0,
+        }
+    }
+}
+
+impl EfficiencyModel for ReferenceEfficiencyModel {
+    fn efficiency(&self, op: &KernelOp) -> f64 {
+        match op {
+            KernelOp::Gemm { .. }
+            | KernelOp::Syrk { .. }
+            | KernelOp::Symm { .. }
+            | KernelOp::Trmm { .. }
+            | KernelOp::Trsm { .. } => {
+                // One flat surface in the *work order* (the cube root of the
+                // multiply-add count): scalar loops have no shape-dependent
+                // blocking, so only the total volume of work matters.
+                let order = ((op.flops().max(2) as f64) / 2.0).cbrt();
+                (self.floor + self.small_gain * self.half / (order + self.half)).clamp(1.0e-4, 1.0)
+            }
+            _ => self.native.efficiency(op),
+        }
     }
 }
 
@@ -446,6 +514,7 @@ mod tests {
 
     fn trmm_op(m: usize, n: usize) -> KernelOp {
         KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m,
@@ -455,6 +524,7 @@ mod tests {
 
     fn trsm_op(m: usize, n: usize) -> KernelOp {
         KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m,
@@ -608,7 +678,14 @@ mod tests {
             }),
             1.0
         );
-        assert_eq!(model.efficiency(&KernelOp::PivotApply { m: 64, n: 8 }), 1.0);
+        assert_eq!(
+            model.efficiency(&KernelOp::PivotApply {
+                side: Side::Left,
+                m: 64,
+                n: 8
+            }),
+            1.0
+        );
     }
 
     #[test]
@@ -644,6 +721,43 @@ mod tests {
     }
 
     #[test]
+    fn triangular_right_sides_mirror_the_left_surfaces() {
+        // B·L (m x n, triangle of order n) must price like L'·B' with the
+        // triangle of the same order and the same rectangular width.
+        let model = AnalyticEfficiencyModel::default();
+        let left = model.efficiency(&KernelOp::Trmm {
+            side: Side::Left,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 800,
+            n: 50,
+        });
+        let right = model.efficiency(&KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 50,
+            n: 800,
+        });
+        assert!((left - right).abs() < 1e-12);
+        let left_s = model.efficiency(&KernelOp::Trsm {
+            side: Side::Left,
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 640,
+            n: 70,
+        });
+        let right_s = model.efficiency(&KernelOp::Trsm {
+            side: Side::Right,
+            uplo: Uplo::Upper,
+            trans: Trans::No,
+            m: 70,
+            n: 640,
+        });
+        assert!((left_s - right_s).abs() < 1e-12);
+    }
+
+    #[test]
     fn aatb_small_d0_regime_favours_gemm_algorithms_despite_more_flops() {
         // The mechanism behind the paper's Figure 11 centre/right columns:
         // with d0 = 80, algorithm 4 (gemm+gemm, 2·d0²(d1+d2) FLOPs) beats
@@ -672,5 +786,33 @@ mod tests {
             alg4 < alg1 * 0.9,
             "alg4 should be >10% faster: alg1 {alg1}, alg4 {alg4}"
         );
+    }
+
+    #[test]
+    fn reference_surface_crosses_the_native_surface_at_small_sizes() {
+        // The backend-selection premise: the scalar reference loops win on
+        // tiny operands (no packing/dispatch overhead) and lose decisively on
+        // large ones (no cache blocking). Time ∝ flops/eff at equal FLOPs, so
+        // comparing efficiencies compares times.
+        let native = AnalyticEfficiencyModel::default();
+        let reference = ReferenceEfficiencyModel::default();
+        assert!(
+            reference.efficiency(&gemm_op(12, 12, 12)) > native.efficiency(&gemm_op(12, 12, 12))
+        );
+        assert!(
+            native.efficiency(&gemm_op(400, 400, 400))
+                > 4.0 * reference.efficiency(&gemm_op(400, 400, 400))
+        );
+        // The delegated family is priced exactly like the native backend.
+        let potrf = KernelOp::Potrf {
+            uplo: Uplo::Lower,
+            n: 90,
+        };
+        assert_eq!(reference.efficiency(&potrf), native.efficiency(&potrf));
+        // Bounded everywhere.
+        for order in [1usize, 8, 64, 512, 4096] {
+            let e = reference.efficiency(&gemm_op(order, order, order));
+            assert!(e > 0.0 && e <= 1.0);
+        }
     }
 }

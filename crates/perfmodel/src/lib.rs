@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 
 pub mod autotune;
+pub mod backend;
 pub mod calibrate;
 pub mod efficiency;
 pub mod executor;
@@ -40,10 +41,14 @@ pub mod simulate;
 pub mod store;
 
 pub use autotune::{autotune_measured, coordinate_descent, measured_gemm_gflops, TuneOutcome};
+pub use backend::{
+    all_backends, backend_by_name, Backend, NativeBackend, ReferenceBackend, NATIVE_BACKEND_NAME,
+    REFERENCE_BACKEND_NAME,
+};
 pub use calibrate::{
     estimate_peak_flops, measure_square_profiles, single_call_algorithm, SQUARE_SWEEP_KERNELS,
 };
-pub use efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
+pub use efficiency::{AnalyticEfficiencyModel, EfficiencyModel, ReferenceEfficiencyModel};
 pub use executor::{AlgorithmTiming, CallTiming, Executor};
 pub use machine::MachineModel;
 pub use measured::MeasuredExecutor;
@@ -51,6 +56,6 @@ pub use profile::{CallTimeTable, SquareProfile};
 pub use reuse::{FactorStore, ReuseReport, SimpleFactorStore};
 pub use simulate::{SimulatedExecutor, SimulatorConfig};
 pub use store::{
-    CalibrationStore, StalenessWarning, StoreError, StoreMeta, TunedConfig, EXPECTED_KERNELS,
-    STORE_FORMAT_VERSION, STORE_MIN_SUPPORTED_VERSION,
+    kernel_coverage_key, BackendCalibration, CalibrationStore, StalenessWarning, StoreError,
+    StoreMeta, TunedConfig, EXPECTED_KERNELS, STORE_FORMAT_VERSION, STORE_MIN_SUPPORTED_VERSION,
 };

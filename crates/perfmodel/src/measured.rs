@@ -3,12 +3,13 @@
 //! the paper's protocol (median of N repetitions, cache flushed before each
 //! repetition).
 
+use crate::backend::{all_backends, backend_by_name, Backend, NativeBackend};
 use crate::executor::{AlgorithmTiming, CallTiming, Executor};
 use crate::machine::MachineModel;
 use crate::reuse::{FactorStore, ReuseReport};
 use lamb_expr::cse::cacheable_identities;
 use lamb_expr::{Algorithm, KernelCall, KernelOp, OperandId, OperandInfo, OperandRole};
-use lamb_kernels::{BlockConfig, CacheFlusher, Kernel};
+use lamb_kernels::{BlockConfig, CacheFlusher};
 use lamb_matrix::ops::{is_symmetric, is_triangular};
 use lamb_matrix::random::{random_seeded, random_spd, random_triangular};
 use lamb_matrix::{Matrix, Structure};
@@ -24,6 +25,8 @@ pub struct MeasuredExecutor {
     reps: usize,
     flusher: Option<CacheFlusher>,
     seed: u64,
+    backend: Arc<dyn Backend>,
+    call_backends: HashMap<usize, Arc<dyn Backend>>,
 }
 
 impl MeasuredExecutor {
@@ -42,6 +45,8 @@ impl MeasuredExecutor {
                 None
             },
             seed: 42,
+            backend: Arc::new(NativeBackend),
+            call_backends: HashMap::new(),
         }
     }
 
@@ -62,6 +67,27 @@ impl MeasuredExecutor {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Run every kernel call through the given backend (the default is the
+    /// blocked native backend) — what a `--backend <name>` pin constructs.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend calls run through when no per-call override applies.
+    #[must_use]
+    pub fn backend(&self) -> &Arc<dyn Backend> {
+        &self.backend
+    }
+
+    /// Install per-call backend overrides, keyed by call index within the
+    /// next executed algorithm — how a plan's per-call backend assignment
+    /// reaches the kernels. Calls without an entry use the default backend.
+    pub fn set_call_backends(&mut self, assignment: HashMap<usize, Arc<dyn Backend>>) {
+        self.call_backends = assignment;
     }
 
     /// Number of repetitions per measurement.
@@ -109,79 +135,36 @@ impl MeasuredExecutor {
     ///
     /// Panics if the algorithm references operands it does not declare or if
     /// kernel shape checks fail — both indicate a malformed algorithm.
-    fn run_call(&self, call: &KernelCall, operands: &mut HashMap<OperandId, Matrix>) {
+    fn run_call(&self, index: usize, call: &KernelCall, operands: &mut HashMap<OperandId, Matrix>) {
         let mut out = operands
             .remove(&call.output)
             .expect("output operand must be allocated");
-        // Lower the symbolic op onto the kernels crate's unified dispatcher;
-        // only the in-place triangle copy falls outside the Kernel vocabulary.
-        let input = |i: usize| &operands[&call.inputs[i]];
-        if let KernelOp::CopyTriangle { uplo, .. } = call.op {
-            out.symmetrize_from(uplo).expect("copy target is square");
+        // The in-place triangle copy reads only the output operand, which is
+        // already removed from the map — give the backend no inputs for it.
+        let inputs: Vec<&Matrix> = if matches!(call.op, KernelOp::CopyTriangle { .. }) {
+            Vec::new()
         } else {
-            let kernel = match call.op {
-                KernelOp::Gemm { transa, transb, .. } => Kernel::Gemm {
-                    transa,
-                    a: input(0),
-                    transb,
-                    b: input(1),
-                },
-                KernelOp::Syrk { uplo, trans, .. } => Kernel::Syrk {
-                    uplo,
-                    trans,
-                    a: input(0),
-                },
-                KernelOp::Symm { side, uplo, .. } => Kernel::Symm {
-                    side,
-                    uplo,
-                    a_sym: input(0),
-                    b: input(1),
-                },
-                KernelOp::Trmm { uplo, trans, .. } => Kernel::Trmm {
-                    uplo,
-                    trans,
-                    l: input(0),
-                    b: input(1),
-                },
-                KernelOp::Trsm { uplo, trans, .. } => Kernel::Trsm {
-                    uplo,
-                    trans,
-                    l: input(0),
-                    b: input(1),
-                },
-                KernelOp::Potrf { uplo, .. } => Kernel::Potrf { uplo, a: input(0) },
-                KernelOp::Getrf { .. } => Kernel::Getrf { a: input(0) },
-                KernelOp::Qr { .. } => Kernel::Qr { a: input(0) },
-                KernelOp::Ormqr { .. } => Kernel::Ormqr {
-                    f: input(0),
-                    b: input(1),
-                },
-                KernelOp::FactorTri { uplo, .. } => Kernel::FactorTri { uplo, f: input(0) },
-                KernelOp::PivotApply { .. } => Kernel::PivotApply {
-                    f: input(0),
-                    b: input(1),
-                },
-                KernelOp::CopyTriangle { .. } => unreachable!("handled above"),
-            };
-            if let Kernel::Trmm { uplo, l, .. } | Kernel::Trsm { uplo, l, .. } = kernel {
-                debug_assert!(
-                    is_triangular(l, uplo).unwrap_or(false),
-                    "triangular operand of {} is not {uplo:?}-triangular",
-                    call.op.mnemonic()
-                );
-            }
-            if let Kernel::Potrf { a, .. } = kernel {
-                // Full SPD validation is O(n³); assert the cheap symmetric
-                // half here — POTRF itself reports indefiniteness exactly.
-                debug_assert!(
-                    is_symmetric(a, 0.0).unwrap_or(false),
-                    "SPD operand of potrf is not exactly symmetric"
-                );
-            }
-            kernel
-                .run_into(&mut out, &self.cfg)
-                .expect("kernel shapes consistent (TRSM nonsingular, POTRF positive definite)");
+            call.inputs.iter().map(|id| &operands[id]).collect()
+        };
+        if let KernelOp::Trmm { uplo, .. } | KernelOp::Trsm { uplo, .. } = call.op {
+            debug_assert!(
+                is_triangular(inputs[0], uplo).unwrap_or(false),
+                "triangular operand of {} is not {uplo:?}-triangular",
+                call.op.mnemonic()
+            );
         }
+        if let KernelOp::Potrf { .. } = call.op {
+            // Full SPD validation is O(n³); assert the cheap symmetric
+            // half here — POTRF itself reports indefiniteness exactly.
+            debug_assert!(
+                is_symmetric(inputs[0], 0.0).unwrap_or(false),
+                "SPD operand of potrf is not exactly symmetric"
+            );
+        }
+        let backend = self.call_backends.get(&index).unwrap_or(&self.backend);
+        backend
+            .run_into(&call.op, &inputs, &mut out, &self.cfg)
+            .expect("kernel shapes consistent (TRSM nonsingular, POTRF positive definite)");
         operands.insert(call.output, out);
     }
 
@@ -198,8 +181,8 @@ impl MeasuredExecutor {
     #[must_use]
     pub fn compute_result(&self, alg: &Algorithm) -> Matrix {
         let mut operands = self.allocate_operands(alg);
-        for call in &alg.calls {
-            self.run_call(call, &mut operands);
+        for (i, call) in alg.calls.iter().enumerate() {
+            self.run_call(i, call, &mut operands);
         }
         let out_id = alg.output().expect("algorithm declares an output").id;
         operands.remove(&out_id).expect("output operand allocated")
@@ -234,7 +217,7 @@ impl MeasuredExecutor {
                 report.record_reused(call.flops());
                 continue;
             }
-            self.run_call(call, &mut operands);
+            self.run_call(i, call, &mut operands);
             report.record_executed(call.op.mnemonic());
             if let Some(key) = cacheable.get(&i) {
                 store.store(key, Arc::new(operands[&call.output].clone()));
@@ -279,7 +262,7 @@ impl Executor for MeasuredExecutor {
             let mut total = 0.0;
             for (i, call) in alg.calls.iter().enumerate() {
                 let start = Instant::now();
-                self.run_call(call, &mut operands);
+                self.run_call(i, call, &mut operands);
                 let dt = start.elapsed().as_secs_f64();
                 call_samples[i].push(dt);
                 total += dt;
@@ -338,7 +321,7 @@ impl Executor for MeasuredExecutor {
                 continue;
             }
             let start = Instant::now();
-            self.run_call(call, &mut operands);
+            self.run_call(i, call, &mut operands);
             let dt = start.elapsed().as_secs_f64();
             report.record_executed(call.op.mnemonic());
             if let Some(key) = cacheable.get(&i) {
@@ -383,10 +366,42 @@ impl Executor for MeasuredExecutor {
                 flusher.flush();
             }
             let start = Instant::now();
-            self.run_call(call, &mut operands);
+            self.run_call(call_index, call, &mut operands);
             samples.push(start.elapsed().as_secs_f64());
         }
         Self::median(samples)
+    }
+
+    fn backend_names(&self) -> Vec<String> {
+        // Default backend first, then every other registered backend.
+        let mut names = vec![self.backend.name().to_string()];
+        for b in all_backends() {
+            if b.name() != self.backend.name() {
+                names.push(b.name().to_string());
+            }
+        }
+        names
+    }
+
+    fn time_isolated_call_on(&mut self, alg: &Algorithm, call_index: usize, backend: &str) -> f64 {
+        let Some(requested) = backend_by_name(backend) else {
+            return self.time_isolated_call(alg, call_index);
+        };
+        // Swap in the requested backend (and suspend per-call overrides, which
+        // would shadow it) for the duration of the measurement.
+        let saved_backend = std::mem::replace(&mut self.backend, requested);
+        let saved_overrides = std::mem::take(&mut self.call_backends);
+        let seconds = self.time_isolated_call(alg, call_index);
+        self.backend = saved_backend;
+        self.call_backends = saved_overrides;
+        seconds
+    }
+
+    fn set_backend_assignment(&mut self, assignment: &HashMap<usize, String>) {
+        self.call_backends = assignment
+            .iter()
+            .filter_map(|(&i, name)| backend_by_name(name).map(|b| (i, b)))
+            .collect();
     }
 }
 
@@ -409,8 +424,8 @@ mod tests {
         let mut results = Vec::new();
         for alg in &algs {
             let mut operands = exec.allocate_operands(alg);
-            for call in &alg.calls {
-                exec.run_call(call, &mut operands);
+            for (i, call) in alg.calls.iter().enumerate() {
+                exec.run_call(i, call, &mut operands);
             }
             let out_id = alg.output().unwrap().id;
             results.push(operands.remove(&out_id).unwrap());
@@ -427,8 +442,8 @@ mod tests {
         let mut results = Vec::new();
         for alg in &algs {
             let mut operands = exec.allocate_operands(alg);
-            for call in &alg.calls {
-                exec.run_call(call, &mut operands);
+            for (i, call) in alg.calls.iter().enumerate() {
+                exec.run_call(i, call, &mut operands);
             }
             let out_id = alg.output().unwrap().id;
             results.push(operands.remove(&out_id).unwrap());
@@ -591,5 +606,39 @@ mod tests {
         let t = exec.execute_algorithm(alg);
         assert!(t.seconds > 0.0);
         assert!(exec.machine().peak_flops > 0.0);
+    }
+
+    #[test]
+    fn reference_backend_execution_matches_native_numerics() {
+        use crate::backend::{backend_by_name, ReferenceBackend};
+        use lamb_expr::{Expression, TreeExpression};
+        let expr = TreeExpression::parse("L[lower]*A*B").unwrap();
+        let algs = expr.algorithms(&[20, 14, 9]).unwrap();
+        let native = tiny_executor();
+        let reference = tiny_executor().with_backend(Arc::new(ReferenceBackend));
+        assert_eq!(reference.backend().name(), "reference");
+        for alg in &algs {
+            let a = native.compute_result(alg);
+            let b = reference.compute_result(alg);
+            assert!(max_abs_diff(&a, &b).unwrap() < 1e-9, "{}", alg.name);
+        }
+        assert!(backend_by_name("reference").is_some());
+    }
+
+    #[test]
+    fn per_call_backend_overrides_execute_and_preserve_numerics() {
+        use crate::backend::ReferenceBackend;
+        let alg = &enumerate_chain_algorithms(&[18, 14, 10, 8, 6]).unwrap()[0];
+        let expected = tiny_executor().compute_result(alg);
+        let mut mixed = tiny_executor();
+        // Route only the first call through the reference backend.
+        mixed.set_call_backends(HashMap::from([(
+            0usize,
+            Arc::new(ReferenceBackend) as Arc<dyn Backend>,
+        )]));
+        let got = mixed.compute_result(alg);
+        assert!(max_abs_diff(&expected, &got).unwrap() < 1e-9);
+        let timing = mixed.execute_algorithm(alg);
+        assert!(timing.seconds > 0.0);
     }
 }

@@ -20,7 +20,8 @@
 //! run and instance-to-instance measurement variability without breaking
 //! reproducibility.
 
-use crate::efficiency::{AnalyticEfficiencyModel, EfficiencyModel};
+use crate::backend::{NATIVE_BACKEND_NAME, REFERENCE_BACKEND_NAME};
+use crate::efficiency::{AnalyticEfficiencyModel, EfficiencyModel, ReferenceEfficiencyModel};
 use crate::executor::{AlgorithmTiming, CallTiming, Executor};
 use crate::machine::MachineModel;
 use crate::reuse::{FactorStore, ReuseReport};
@@ -76,6 +77,11 @@ pub struct SimulatedExecutor<E: EfficiencyModel = AnalyticEfficiencyModel> {
     machine: MachineModel,
     model: E,
     config: SimulatorConfig,
+    /// Surface standing in for the naive reference backend, so the simulator
+    /// can attribute distinct times per backend like the measured executor.
+    reference: ReferenceEfficiencyModel,
+    /// Per-call backend assignment honoured by whole-algorithm execution.
+    backend_assignment: HashMap<usize, String>,
 }
 
 impl SimulatedExecutor<AnalyticEfficiencyModel> {
@@ -110,6 +116,8 @@ impl<E: EfficiencyModel> SimulatedExecutor<E> {
             machine,
             model,
             config,
+            reference: ReferenceEfficiencyModel::default(),
+            backend_assignment: HashMap::new(),
         }
     }
 
@@ -125,8 +133,9 @@ impl<E: EfficiencyModel> SimulatedExecutor<E> {
         &self.config
     }
 
-    /// Base (noise-free, isolation) time of a single call.
-    fn base_call_time(&self, call: &KernelCall) -> f64 {
+    /// Base (noise-free, isolation) time of a single call under a given
+    /// efficiency surface.
+    fn base_call_time_for(&self, call: &KernelCall, model: &dyn EfficiencyModel) -> f64 {
         let t = match call.op {
             KernelOp::CopyTriangle { n, .. } => {
                 // Read one triangle, write the other: n(n-1)/2 elements each way.
@@ -135,11 +144,26 @@ impl<E: EfficiencyModel> SimulatedExecutor<E> {
                 bytes / self.machine.mem_bandwidth
             }
             _ => {
-                let eff = self.model.efficiency(&call.op);
+                let eff = model.efficiency(&call.op);
                 self.machine.time_at_efficiency(call.flops(), eff)
             }
         };
         t + self.config.per_call_overhead
+    }
+
+    /// Base (noise-free, isolation) time of a single call under the default
+    /// (native) surface.
+    fn base_call_time(&self, call: &KernelCall) -> f64 {
+        self.base_call_time_for(call, &self.model)
+    }
+
+    /// The efficiency surface attributed to call `index` by the current
+    /// backend assignment.
+    fn call_model(&self, index: usize) -> &dyn EfficiencyModel {
+        match self.backend_assignment.get(&index) {
+            Some(name) if name == REFERENCE_BACKEND_NAME => &self.reference,
+            _ => &self.model,
+        }
     }
 
     /// Deterministic multiplicative noise in `[1 - 2σ, 1 + 2σ]`, keyed by an
@@ -197,7 +221,7 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
             .iter()
             .enumerate()
             .map(|(i, call)| {
-                let t = self.base_call_time(call)
+                let t = self.base_call_time_for(call, self.call_model(i))
                     * self.cache_reuse_factor(alg, i)
                     * self.noise_factor(&call.op, i, "sequence");
                 CallTiming {
@@ -246,7 +270,7 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
                             store.note(key);
                         }
                         report.record_executed(call.op.mnemonic());
-                        self.base_call_time(call)
+                        self.base_call_time_for(call, self.call_model(i))
                             * self.cache_reuse_factor(alg, i)
                             * self.noise_factor(&call.op, i, "sequence")
                     }
@@ -280,6 +304,28 @@ impl<E: EfficiencyModel> Executor for SimulatedExecutor<E> {
         // identical isolated times.
         let call = &alg.calls[call_index];
         self.base_call_time(call) * self.noise_factor(&call.op.timing_key(), 0, "isolated")
+    }
+
+    fn backend_names(&self) -> Vec<String> {
+        vec![
+            NATIVE_BACKEND_NAME.to_string(),
+            REFERENCE_BACKEND_NAME.to_string(),
+        ]
+    }
+
+    fn time_isolated_call_on(&mut self, alg: &Algorithm, call_index: usize, backend: &str) -> f64 {
+        if backend != REFERENCE_BACKEND_NAME {
+            return self.time_isolated_call(alg, call_index);
+        }
+        // Same memoisability contract as the native isolated benchmark, under
+        // the reference surface and a backend-distinguishing noise context.
+        let call = &alg.calls[call_index];
+        self.base_call_time_for(call, &self.reference)
+            * self.noise_factor(&call.op.timing_key(), 0, "isolated:reference")
+    }
+
+    fn set_backend_assignment(&mut self, assignment: &HashMap<usize, String>) {
+        self.backend_assignment = assignment.clone();
     }
 }
 
@@ -418,6 +464,49 @@ mod tests {
         );
         // Reused calls are attributed exactly zero seconds.
         assert!(warm_t.per_call.iter().any(|c| c.seconds == 0.0));
+    }
+
+    #[test]
+    fn backend_timings_cross_over_and_assignments_are_honoured() {
+        use crate::calibrate::single_call_algorithm;
+        use lamb_matrix::Trans;
+        let mut sim = SimulatedExecutor::paper_like();
+        assert_eq!(sim.backend_names(), vec!["native", "reference"]);
+        let square = |n: usize| {
+            single_call_algorithm(KernelOp::Gemm {
+                transa: Trans::No,
+                transb: Trans::No,
+                m: n,
+                n,
+                k: n,
+            })
+        };
+        // Crossover: at tiny sizes the reference (lower overhead per call in
+        // relative efficiency terms) wins; at large sizes native wins big.
+        let small = square(12);
+        assert!(
+            sim.time_isolated_call_on(&small, 0, "reference")
+                < sim.time_isolated_call_on(&small, 0, "native")
+        );
+        let large = square(400);
+        assert!(
+            sim.time_isolated_call_on(&large, 0, "native") * 4.0
+                < sim.time_isolated_call_on(&large, 0, "reference")
+        );
+        // Unknown names fall back to the default backend's time.
+        assert_eq!(
+            sim.time_isolated_call_on(&large, 0, "no-such-backend"),
+            sim.time_isolated_call(&large, 0)
+        );
+        // A per-call assignment changes sequence execution deterministically.
+        let alg = &enumerate_chain_algorithms(&[200, 200, 200, 200, 200]).unwrap()[0];
+        let native_t = sim.execute_algorithm(alg);
+        sim.set_backend_assignment(&HashMap::from([(0usize, "reference".to_string())]));
+        let mixed_t = sim.execute_algorithm(alg);
+        assert!(mixed_t.per_call[0].seconds > native_t.per_call[0].seconds);
+        assert_eq!(mixed_t.per_call[1].seconds, native_t.per_call[1].seconds);
+        sim.set_backend_assignment(&HashMap::new());
+        assert_eq!(sim.execute_algorithm(alg), native_t);
     }
 
     #[test]

@@ -78,7 +78,17 @@ use std::time::{SystemTime, UNIX_EPOCH};
 ///   `lamb calibrate --autotune`. Same migration contract: v1-v4 documents
 ///   load as-is with no tuned config ([`CalibrationStore::tuned`] is `None`),
 ///   and are upgraded to v5 on the next save.
-pub const STORE_FORMAT_VERSION: u64 = 5;
+/// * **v6** — makes the kernel *side* explicit: TRMM/TRSM and LASWP call
+///   entries carry a `side` tag (documents without one parse as left-side,
+///   which is the only side older builds could express), the sweep grows the
+///   right-side variants `symm_r`/`trmm_r`/`trsm_r`, and an optional
+///   `backends` section holds per-backend call tables and profiles for
+///   non-default kernel backends (the top-level `profiles`/`calls` remain
+///   the `native` backend's data, so v1-v5 documents are unchanged byte for
+///   byte). Same migration contract: v1-v5 documents load as-is, report the
+///   right-side kernels as missing sweep coverage, and are upgraded to v6 on
+///   the next save.
+pub const STORE_FORMAT_VERSION: u64 = 6;
 
 /// Oldest on-disk format version this build still reads (and migrates).
 pub const STORE_MIN_SUPPORTED_VERSION: u64 = 1;
@@ -89,7 +99,7 @@ pub const STORE_FORMAT_NAME: &str = "lamb-calibration-store";
 /// The compute kernels a fully-covered store is expected to have benchmark
 /// entries for — by definition, exactly the kernels the square calibration
 /// sweep covers, so the two lists cannot drift apart.
-pub const EXPECTED_KERNELS: [&str; 8] = crate::calibrate::SQUARE_SWEEP_KERNELS;
+pub const EXPECTED_KERNELS: [&str; 11] = crate::calibrate::SQUARE_SWEEP_KERNELS;
 
 /// Relative peak-FLOPS drift beyond which a store is flagged as stale.
 pub const PEAK_DRIFT_TOLERANCE: f64 = 0.05;
@@ -214,6 +224,21 @@ pub struct TunedConfig {
     pub gflops: f64,
 }
 
+/// Calibration data for one non-default kernel backend (format v6): the
+/// same profile curves and isolated-call table the store keeps at top level
+/// for the `native` backend, attributed to another [`crate::Backend`]
+/// implementation so per-call backend selection can compare measured times.
+#[derive(Debug, Clone)]
+pub struct BackendCalibration {
+    /// Backend name (`"reference"`, ...); the `native` backend's data lives
+    /// in the store's top-level `profiles`/`calls` instead.
+    pub name: String,
+    /// Square-operand efficiency curves measured through this backend.
+    pub profiles: Vec<SquareProfile>,
+    /// Isolated-call benchmark times measured through this backend.
+    pub calls: CallTimeTable,
+}
+
 /// Persistent calibration data for one machine + executor + block
 /// configuration. See the [module docs](self) for the format contract.
 #[derive(Debug, Clone)]
@@ -222,13 +247,18 @@ pub struct CalibrationStore {
     pub meta: StoreMeta,
     /// The machine the times were measured (or simulated) on.
     pub machine: MachineModel,
-    /// Square-operand efficiency curves, one per kernel (Figure 1 data).
+    /// Square-operand efficiency curves, one per kernel (Figure 1 data),
+    /// measured through the default (`native`) backend.
     pub profiles: Vec<SquareProfile>,
-    /// Isolated-call benchmark times keyed by canonical timing key.
+    /// Isolated-call benchmark times keyed by canonical timing key,
+    /// measured through the default (`native`) backend.
     pub calls: CallTimeTable,
     /// The autotuned block configuration, when a `--autotune` sweep has run
     /// (`None` for stores written by v1-v4 builds or untuned sweeps).
     pub tuned: Option<TunedConfig>,
+    /// Per-backend tables for non-default backends (format v6; empty for
+    /// stores written by v1-v5 builds or single-backend sweeps).
+    pub backends: Vec<BackendCalibration>,
 }
 
 /// Current Unix time in seconds (0 if the clock is before the epoch).
@@ -258,7 +288,94 @@ impl CalibrationStore {
             profiles: Vec::new(),
             calls: CallTimeTable::new(),
             tuned: None,
+            backends: Vec::new(),
         }
+    }
+
+    /// The isolated-call table of the named backend: the top-level table for
+    /// `native`, the matching `backends` section otherwise.
+    #[must_use]
+    pub fn backend_calls(&self, name: &str) -> Option<&CallTimeTable> {
+        if name == crate::backend::NATIVE_BACKEND_NAME {
+            Some(&self.calls)
+        } else {
+            self.backends
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| &b.calls)
+        }
+    }
+
+    /// The square-profile curves of the named backend.
+    #[must_use]
+    pub fn backend_profiles(&self, name: &str) -> Option<&[SquareProfile]> {
+        if name == crate::backend::NATIVE_BACKEND_NAME {
+            Some(&self.profiles)
+        } else {
+            self.backends
+                .iter()
+                .find(|b| b.name == name)
+                .map(|b| b.profiles.as_slice())
+        }
+    }
+
+    /// Mutable per-backend tables, creating the backend's section on first
+    /// use; `native` aliases the store's top-level tables. This is what a
+    /// calibration sweep writes through.
+    pub fn backend_tables_mut(
+        &mut self,
+        name: &str,
+    ) -> (&mut Vec<SquareProfile>, &mut CallTimeTable) {
+        if name == crate::backend::NATIVE_BACKEND_NAME {
+            return (&mut self.profiles, &mut self.calls);
+        }
+        if !self.backends.iter().any(|b| b.name == name) {
+            self.backends.push(BackendCalibration {
+                name: name.to_string(),
+                profiles: Vec::new(),
+                calls: CallTimeTable::new(),
+            });
+        }
+        let section = self
+            .backends
+            .iter_mut()
+            .find(|b| b.name == name)
+            .expect("just inserted");
+        (&mut section.profiles, &mut section.calls)
+    }
+
+    /// Every backend this store has calibration data for, `native` first.
+    #[must_use]
+    pub fn backend_names(&self) -> Vec<String> {
+        let mut names = vec![crate::backend::NATIVE_BACKEND_NAME.to_string()];
+        let mut extra: Vec<String> = self.backends.iter().map(|b| b.name.clone()).collect();
+        extra.sort();
+        names.extend(extra);
+        names
+    }
+
+    /// Distinct benchmarked calls per coverage key for the named backend —
+    /// [`CalibrationStore::coverage`], per backend.
+    #[must_use]
+    pub fn backend_coverage(&self, name: &str) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        if let Some(calls) = self.backend_calls(name) {
+            for (op, _) in calls.entries() {
+                *counts.entry(kernel_coverage_key(op)).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Sweep kernels the named backend has no benchmark entry for.
+    #[must_use]
+    pub fn backend_missing_kernels(&self, name: &str) -> Vec<&'static str> {
+        let coverage = self.backend_coverage(name);
+        EXPECTED_KERNELS
+            .iter()
+            .copied()
+            .filter(|kernel| !coverage.contains_key(*kernel))
+            .collect()
     }
 
     /// The autotuned block configuration this store carries, if any — what
@@ -302,6 +419,24 @@ impl CalibrationStore {
             {
                 Some(mine) => *mine = merge_profiles(mine, profile),
                 None => self.profiles.push(profile.clone()),
+            }
+        }
+        for theirs in &other.backends {
+            match self.backends.iter_mut().find(|b| b.name == theirs.name) {
+                Some(mine) => {
+                    mine.calls.merge_from(&theirs.calls);
+                    for profile in &theirs.profiles {
+                        match mine
+                            .profiles
+                            .iter_mut()
+                            .find(|p| p.kernel == profile.kernel)
+                        {
+                            Some(p) => *p = merge_profiles(p, profile),
+                            None => mine.profiles.push(profile.clone()),
+                        }
+                    }
+                }
+                None => self.backends.push(theirs.clone()),
             }
         }
         self.machine = other.machine.clone();
@@ -356,7 +491,7 @@ impl CalibrationStore {
     pub fn coverage(&self) -> BTreeMap<String, usize> {
         let mut counts = BTreeMap::new();
         for (op, _) in self.calls.entries() {
-            *counts.entry(op.mnemonic().to_string()).or_insert(0) += 1;
+            *counts.entry(kernel_coverage_key(op)).or_insert(0) += 1;
         }
         counts
     }
@@ -405,32 +540,8 @@ impl CalibrationStore {
                 Json::Num(self.machine.mem_bandwidth),
             ),
         ]);
-        let profiles = Json::Arr(
-            self.profiles
-                .iter()
-                .map(|p| {
-                    Json::Obj(vec![
-                        ("kernel".into(), Json::Str(p.kernel.clone())),
-                        (
-                            "sizes".into(),
-                            Json::Arr(p.sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
-                        ),
-                        (
-                            "efficiencies".into(),
-                            Json::Arr(p.efficiencies.iter().map(|&e| Json::Num(e)).collect()),
-                        ),
-                    ])
-                })
-                .collect(),
-        );
-        let mut entries: Vec<(&KernelOp, f64)> = self.calls.entries().collect();
-        entries.sort_by_key(|(op, _)| op.to_string());
-        let calls = Json::Arr(
-            entries
-                .into_iter()
-                .map(|(op, seconds)| op_to_json(op, seconds))
-                .collect(),
-        );
+        let profiles = profiles_to_json(&self.profiles);
+        let calls = calls_to_json(&self.calls);
         let mut fields = vec![
             ("format".into(), Json::Str(STORE_FORMAT_NAME.into())),
             ("version".into(), Json::Num(STORE_FORMAT_VERSION as f64)),
@@ -456,6 +567,25 @@ impl CalibrationStore {
                     ),
                     ("gflops".into(), Json::Num(tuned.gflops)),
                 ]),
+            ));
+        }
+        if !self.backends.is_empty() {
+            let mut sections: Vec<&BackendCalibration> = self.backends.iter().collect();
+            sections.sort_by(|a, b| a.name.cmp(&b.name));
+            fields.push((
+                "backends".into(),
+                Json::Arr(
+                    sections
+                        .into_iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(b.name.clone())),
+                                ("profiles".into(), profiles_to_json(&b.profiles)),
+                                ("calls".into(), calls_to_json(&b.calls)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ));
         }
         Json::Obj(fields).pretty()
@@ -503,39 +633,17 @@ impl CalibrationStore {
             llc_bytes: field_u64(machine_doc, "llc_bytes")?,
             mem_bandwidth: field_f64(machine_doc, "mem_bandwidth")?,
         };
-        let mut profiles = Vec::new();
-        for p in field_array(&doc, "profiles")? {
-            let kernel = field_str(p, "kernel")?;
-            let sizes: Vec<usize> = field_array(p, "sizes")?
-                .iter()
-                .map(|s| {
-                    s.as_u64()
-                        .map(|v| v as usize)
-                        .ok_or_else(|| StoreError::Format("profile size is not an integer".into()))
-                })
-                .collect::<Result<_, _>>()?;
-            let efficiencies: Vec<f64> = field_array(p, "efficiencies")?
-                .iter()
-                .map(|e| {
-                    e.as_f64().ok_or_else(|| {
-                        StoreError::Format("profile efficiency is not a number".into())
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            if sizes.len() != efficiencies.len()
-                || sizes.is_empty()
-                || !sizes.windows(2).all(|w| w[0] < w[1])
-            {
-                return Err(StoreError::Format(format!(
-                    "profile `{kernel}` has inconsistent samples"
-                )));
+        let profiles = profiles_from_json(field_array(&doc, "profiles")?)?;
+        let calls = calls_from_json(field_array(&doc, "calls")?)?;
+        let mut backends = Vec::new();
+        if let Some(sections) = doc.get("backends").and_then(Json::as_array) {
+            for section in sections {
+                backends.push(BackendCalibration {
+                    name: field_str(section, "name")?,
+                    profiles: profiles_from_json(field_array(section, "profiles")?)?,
+                    calls: calls_from_json(field_array(section, "calls")?)?,
+                });
             }
-            profiles.push(SquareProfile::new(&kernel, sizes, efficiencies));
-        }
-        let mut calls = CallTimeTable::new();
-        for entry in field_array(&doc, "calls")? {
-            let (op, seconds) = op_from_json(entry)?;
-            calls.insert(op, seconds);
         }
         let tuned = match doc.get("tuned") {
             None | Some(Json::Null) => None,
@@ -568,6 +676,7 @@ impl CalibrationStore {
             profiles,
             calls,
             tuned,
+            backends,
         })
     }
 
@@ -611,6 +720,99 @@ fn merge_profiles(older: &SquareProfile, newer: &SquareProfile) -> SquareProfile
     SquareProfile::new(&older.kernel, sizes, efficiencies)
 }
 
+/// Coverage-report key for a benchmarked call: the kernel mnemonic, with a
+/// `_r` suffix for the right-side variants of the sided compute kernels so
+/// sweep coverage of `B·L` is never mistaken for coverage of `L·B`. The keys
+/// match the [`crate::calibrate::SQUARE_SWEEP_KERNELS`] naming.
+#[must_use]
+pub fn kernel_coverage_key(op: &KernelOp) -> String {
+    match op {
+        KernelOp::Symm {
+            side: Side::Right, ..
+        }
+        | KernelOp::Trmm {
+            side: Side::Right, ..
+        }
+        | KernelOp::Trsm {
+            side: Side::Right, ..
+        } => format!("{}_r", op.mnemonic()),
+        _ => op.mnemonic().to_string(),
+    }
+}
+
+fn profiles_to_json(profiles: &[SquareProfile]) -> Json {
+    Json::Arr(
+        profiles
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("kernel".into(), Json::Str(p.kernel.clone())),
+                    (
+                        "sizes".into(),
+                        Json::Arr(p.sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+                    ),
+                    (
+                        "efficiencies".into(),
+                        Json::Arr(p.efficiencies.iter().map(|&e| Json::Num(e)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn calls_to_json(calls: &CallTimeTable) -> Json {
+    let mut entries: Vec<(&KernelOp, f64)> = calls.entries().collect();
+    entries.sort_by_key(|(op, _)| op.to_string());
+    Json::Arr(
+        entries
+            .into_iter()
+            .map(|(op, seconds)| op_to_json(op, seconds))
+            .collect(),
+    )
+}
+
+fn profiles_from_json(docs: &[Json]) -> Result<Vec<SquareProfile>, StoreError> {
+    let mut profiles = Vec::new();
+    for p in docs {
+        let kernel = field_str(p, "kernel")?;
+        let sizes: Vec<usize> = field_array(p, "sizes")?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .map(|v| v as usize)
+                    .ok_or_else(|| StoreError::Format("profile size is not an integer".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let efficiencies: Vec<f64> = field_array(p, "efficiencies")?
+            .iter()
+            .map(|e| {
+                e.as_f64()
+                    .ok_or_else(|| StoreError::Format("profile efficiency is not a number".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        if sizes.len() != efficiencies.len()
+            || sizes.is_empty()
+            || !sizes.windows(2).all(|w| w[0] < w[1])
+        {
+            return Err(StoreError::Format(format!(
+                "profile `{kernel}` has inconsistent samples"
+            )));
+        }
+        profiles.push(SquareProfile::new(&kernel, sizes, efficiencies));
+    }
+    Ok(profiles)
+}
+
+fn calls_from_json(docs: &[Json]) -> Result<CallTimeTable, StoreError> {
+    let mut calls = CallTimeTable::new();
+    for entry in docs {
+        let (op, seconds) = op_from_json(entry)?;
+        calls.insert(op, seconds);
+    }
+    Ok(calls)
+}
+
 fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
     let mut fields: Vec<(String, Json)> = vec![("op".into(), Json::Str(op.mnemonic().into()))];
     match *op {
@@ -633,9 +835,15 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
             fields.push(("m".into(), Json::Num(m as f64)));
             fields.push(("n".into(), Json::Num(n as f64)));
         }
-        // TRMM/TRSM are stored by timing key (effective triangle, canonical
-        // cleared transposition), so only the uplo tag is written.
-        KernelOp::Trmm { uplo, m, n, .. } | KernelOp::Trsm { uplo, m, n, .. } => {
+        // TRMM/TRSM are stored by timing key (side kept, effective triangle,
+        // canonical cleared transposition), so side + uplo tags are written.
+        KernelOp::Trmm {
+            side, uplo, m, n, ..
+        }
+        | KernelOp::Trsm {
+            side, uplo, m, n, ..
+        } => {
+            fields.push(("side".into(), Json::Str(side.tag().to_string())));
             fields.push(("uplo".into(), Json::Str(uplo.tag().to_string())));
             fields.push(("m".into(), Json::Num(m as f64)));
             fields.push(("n".into(), Json::Num(n as f64)));
@@ -651,7 +859,12 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
         KernelOp::Getrf { n } => {
             fields.push(("n".into(), Json::Num(n as f64)));
         }
-        KernelOp::Qr { m, n } | KernelOp::PivotApply { m, n } => {
+        KernelOp::Qr { m, n } => {
+            fields.push(("m".into(), Json::Num(m as f64)));
+            fields.push(("n".into(), Json::Num(n as f64)));
+        }
+        KernelOp::PivotApply { side, m, n } => {
+            fields.push(("side".into(), Json::Str(side.tag().to_string())));
             fields.push(("m".into(), Json::Num(m as f64)));
             fields.push(("n".into(), Json::Num(n as f64)));
         }
@@ -672,6 +885,12 @@ fn op_to_json(op: &KernelOp, seconds: f64) -> Json {
 fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
     let kind = field_str(entry, "op")?;
     let dim = |name: &str| field_u64(entry, name).map(|v| v as usize);
+    // Documents from before format v6 have no `side` tag on TRMM/TRSM/LASWP
+    // entries; those builds could only express the left side.
+    let side_or_left = || match entry.get("side").and_then(Json::as_str) {
+        Some(tag) => parse_side(tag),
+        None => Ok(Side::Left),
+    };
     let op = match kind.as_str() {
         "gemm" => KernelOp::Gemm {
             transa: Trans::No,
@@ -693,12 +912,14 @@ fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
             n: dim("n")?,
         },
         "trmm" => KernelOp::Trmm {
+            side: side_or_left()?,
             uplo: parse_uplo(&field_str(entry, "uplo")?)?,
             trans: Trans::No,
             m: dim("m")?,
             n: dim("n")?,
         },
         "trsm" => KernelOp::Trsm {
+            side: side_or_left()?,
             uplo: parse_uplo(&field_str(entry, "uplo")?)?,
             trans: Trans::No,
             m: dim("m")?,
@@ -727,6 +948,7 @@ fn op_from_json(entry: &Json) -> Result<(KernelOp, f64), StoreError> {
             n: dim("n")?,
         },
         "laswp" => KernelOp::PivotApply {
+            side: side_or_left()?,
             m: dim("m")?,
             n: dim("n")?,
         },
@@ -842,7 +1064,17 @@ mod tests {
             1.125e-5,
         );
         store.calls.insert(
+            KernelOp::Symm {
+                side: Side::Left,
+                uplo: Uplo::Lower,
+                m: 44,
+                n: 28,
+            },
+            6.5e-5,
+        );
+        store.calls.insert(
             KernelOp::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::Yes, // canonicalised to (Upper, N) on insert
                 m: 80,
@@ -851,13 +1083,34 @@ mod tests {
             3.25e-4,
         );
         store.calls.insert(
+            KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 30,
+                n: 66,
+            },
+            2.75e-4,
+        );
+        store.calls.insert(
             KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m: 64,
                 n: 16,
             },
             9.5e-5,
+        );
+        store.calls.insert(
+            KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Upper,
+                trans: Trans::Yes, // canonicalised to (R, Lower, N) on insert
+                m: 12,
+                n: 48,
+            },
+            1.75e-4,
         );
         store.calls.insert(
             KernelOp::Potrf {
@@ -885,9 +1138,14 @@ mod tests {
             },
             4.0e-7,
         );
-        store
-            .calls
-            .insert(KernelOp::PivotApply { m: 56, n: 5 }, 2.0e-7);
+        store.calls.insert(
+            KernelOp::PivotApply {
+                side: Side::Left,
+                m: 56,
+                n: 5,
+            },
+            2.0e-7,
+        );
         store
     }
 
@@ -1061,8 +1319,11 @@ mod tests {
             "gemm",
             "syrk",
             "symm",
+            "symm_r",
             "trmm",
+            "trmm_r",
             "trsm",
+            "trsm_r",
             "potrf",
             "copy",
             "getrf",
@@ -1083,12 +1344,14 @@ mod tests {
         let back = CalibrationStore::from_json(&sample_store().to_json()).unwrap();
         let mut calls = back.calls;
         let stored_lower_t = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::Yes,
             m: 80,
             n: 35,
         };
         let stored_upper_n = KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Upper,
             trans: Trans::No,
             m: 80,
@@ -1128,7 +1391,7 @@ mod tests {
         // ...reports the coverage gap for every newer sweep kernel...
         assert_eq!(
             migrated.missing_kernels(),
-            vec!["trmm", "trsm", "potrf", "getrf", "qr"]
+            vec!["trmm", "trsm", "potrf", "getrf", "qr", "trmm_r", "trsm_r"]
         );
 
         // ...and after merging a sweep that fills the gap, round-trips
@@ -1138,6 +1401,7 @@ mod tests {
         sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
         sweep.calls.insert(
             KernelOp::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m: 100,
@@ -1146,13 +1410,34 @@ mod tests {
             1.0 / 7.0, // not exactly representable: a real bit-identity test
         );
         sweep.calls.insert(
+            KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            },
+            3.0 / 7.0,
+        );
+        sweep.calls.insert(
             KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m: 100,
                 n: 100,
             },
             2.0 / 3.0,
+        );
+        sweep.calls.insert(
+            KernelOp::Trsm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            },
+            5.0 / 9.0,
         );
         sweep.calls.insert(
             KernelOp::Potrf {
@@ -1174,6 +1459,7 @@ mod tests {
         let mut calls = back.calls;
         let t = calls
             .lookup(&KernelOp::Trmm {
+                side: Side::Left,
                 uplo: Uplo::Lower,
                 trans: Trans::No,
                 m: 100,
@@ -1181,6 +1467,16 @@ mod tests {
             })
             .unwrap();
         assert_eq!(t.to_bits(), (1.0f64 / 7.0).to_bits());
+        let tr = calls
+            .lookup(&KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 100,
+                n: 100,
+            })
+            .unwrap();
+        assert_eq!(tr.to_bits(), (3.0f64 / 7.0).to_bits());
     }
 
     #[test]
@@ -1216,6 +1512,7 @@ mod tests {
         let mut calls_check = migrated.calls.clone();
         assert_eq!(
             calls_check.lookup(&KernelOp::Trsm {
+                side: Side::Left,
                 uplo: Uplo::Upper,
                 trans: Trans::No,
                 m: 64,
@@ -1319,9 +1616,14 @@ mod tests {
             },
             1.0 / 43.0,
         );
-        sweep
-            .calls
-            .insert(KernelOp::PivotApply { m: 88, n: 4 }, 1.0 / 47.0);
+        sweep.calls.insert(
+            KernelOp::PivotApply {
+                side: Side::Left,
+                m: 88,
+                n: 4,
+            },
+            1.0 / 47.0,
+        );
         merged.merge_from(&sweep).unwrap();
         assert!(merged.missing_kernels().is_empty());
         let text = merged.to_json();
@@ -1340,7 +1642,14 @@ mod tests {
                 },
                 1.0 / 43.0,
             ),
-            (KernelOp::PivotApply { m: 88, n: 4 }, 1.0 / 47.0),
+            (
+                KernelOp::PivotApply {
+                    side: Side::Left,
+                    m: 88,
+                    n: 4,
+                },
+                1.0 / 47.0,
+            ),
         ] {
             let t = calls.lookup(&op).unwrap();
             assert_eq!(t.to_bits(), expected.to_bits(), "{op}");
@@ -1412,6 +1721,67 @@ mod tests {
     }
 
     #[test]
+    fn v5_documents_load_without_backend_tables_and_migrate_bit_identically() {
+        // Reconstruct what the v5 build wrote: full call coverage, a tuned
+        // section, no `backends` section.
+        let mut old = sample_store();
+        old.tuned = Some(sample_tuned());
+        assert!(old.backends.is_empty());
+        let v5_text = old.to_json().replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 5",
+        );
+
+        // It loads under the v6 build with no per-backend tables and full
+        // native coverage...
+        let migrated = CalibrationStore::from_json(&v5_text).unwrap();
+        assert_eq!(migrated.calls.len(), old.calls.len());
+        assert!(migrated.backends.is_empty());
+        assert_eq!(migrated.backend_names(), vec!["native".to_string()]);
+        assert!(migrated.missing_kernels().is_empty());
+
+        // ...the resave upgrades only the version number, bit-for-bit...
+        let resaved = migrated.to_json();
+        assert_eq!(
+            resaved,
+            v5_text.replace(
+                "\"version\": 5",
+                &format!("\"version\": {STORE_FORMAT_VERSION}")
+            ),
+            "v5→v6 migration must only bump the version"
+        );
+
+        // ...and after merging a reference-backend sweep the new section
+        // round-trips while the native tables stay untouched.
+        let mut merged = migrated;
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = merged.meta.block_fingerprint.clone();
+        let (_, calls) = sweep.backend_tables_mut("reference");
+        let op = KernelOp::Gemm {
+            transa: Trans::No,
+            transb: Trans::No,
+            m: 24,
+            n: 24,
+            k: 24,
+        };
+        calls.insert(op.clone(), 3.25e-6);
+        merged.merge_from(&sweep).unwrap();
+        assert_eq!(merged.calls.len(), old.calls.len());
+        assert_eq!(
+            merged.backend_names(),
+            vec!["native".to_string(), "reference".to_string()]
+        );
+        let text = merged.to_json();
+        assert!(text.contains("\"backends\""));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "v5→v6 migration must round-trip");
+        assert_eq!(
+            back.backend_calls("reference").and_then(|t| t.get(&op)),
+            Some(3.25e-6)
+        );
+    }
+
+    #[test]
     fn tuned_config_round_trips_bit_identically() {
         let mut store = sample_store();
         store.tuned = Some(sample_tuned());
@@ -1454,5 +1824,156 @@ mod tests {
         sweep.meta.block_fingerprint = base.meta.block_fingerprint.clone();
         base.merge_from(&sweep).unwrap();
         assert_eq!(base.tuned, Some(sample_tuned()));
+    }
+
+    #[test]
+    fn sideless_legacy_call_entries_parse_as_left_side() {
+        // Pre-v6 documents carry no `side` tag on trmm/trsm/laswp entries;
+        // strip the tags the current serialiser writes and check the entries
+        // land on the left side — the only side those builds could express.
+        let store = sample_store();
+        let text = store.to_json();
+        let mut stripped_lines: Vec<&str> = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i];
+            let sided_kernel = line.contains("\"op\": \"trmm\"")
+                || line.contains("\"op\": \"trsm\"")
+                || line.contains("\"op\": \"laswp\"");
+            stripped_lines.push(line);
+            if sided_kernel && i + 1 < lines.len() && lines[i + 1].contains("\"side\"") {
+                i += 2; // skip the side line
+                continue;
+            }
+            i += 1;
+        }
+        let legacy = stripped_lines.join("\n").replace(
+            &format!("\"version\": {STORE_FORMAT_VERSION}"),
+            "\"version\": 5",
+        );
+        assert!(!legacy.contains("\"op\": \"trmm\",\n      \"side\""));
+        let migrated = CalibrationStore::from_json(&legacy).unwrap();
+        let mut calls = migrated.calls;
+        // The left-side entries are reachable under their sided keys...
+        assert_eq!(
+            calls.lookup(&KernelOp::Trmm {
+                side: Side::Left,
+                uplo: Uplo::Lower,
+                trans: Trans::Yes,
+                m: 80,
+                n: 35,
+            }),
+            Some(3.25e-4)
+        );
+        assert_eq!(
+            calls.lookup(&KernelOp::Trsm {
+                side: Side::Left,
+                uplo: Uplo::Upper,
+                trans: Trans::No,
+                m: 64,
+                n: 16,
+            }),
+            Some(9.5e-5)
+        );
+        // ...while the stripped right-side entries collapsed onto left-side
+        // keys (their dimensions differ, so they collide with nothing).
+        assert_eq!(
+            calls.lookup(&KernelOp::Trmm {
+                side: Side::Right,
+                uplo: Uplo::Lower,
+                trans: Trans::No,
+                m: 30,
+                n: 66,
+            }),
+            None,
+            "a legacy document cannot provide right-side coverage"
+        );
+    }
+
+    #[test]
+    fn backends_section_round_trips_and_is_omitted_when_empty() {
+        let plain = sample_store();
+        assert!(!plain.to_json().contains("\"backends\""));
+        let mut store = sample_store();
+        {
+            let (profiles, calls) = store.backend_tables_mut("reference");
+            profiles.push(SquareProfile::new("gemm", vec![50, 150], vec![0.11, 0.21]));
+            calls.insert(
+                KernelOp::Gemm {
+                    transa: Trans::No,
+                    transb: Trans::No,
+                    m: 50,
+                    n: 50,
+                    k: 50,
+                },
+                1.0 / 53.0, // not exactly representable: a real bit-identity test
+            );
+            calls.insert(
+                KernelOp::Trsm {
+                    side: Side::Right,
+                    uplo: Uplo::Lower,
+                    trans: Trans::No,
+                    m: 20,
+                    n: 50,
+                },
+                1.0 / 59.0,
+            );
+        }
+        let text = store.to_json();
+        assert!(text.contains("\"backends\""));
+        let back = CalibrationStore::from_json(&text).unwrap();
+        assert_eq!(back.backend_names(), vec!["native", "reference"]);
+        let reference = back.backend_calls("reference").unwrap().clone();
+        let mut reference = reference;
+        assert_eq!(
+            reference
+                .lookup(&KernelOp::Gemm {
+                    transa: Trans::No,
+                    transb: Trans::No,
+                    m: 50,
+                    n: 50,
+                    k: 50,
+                })
+                .unwrap()
+                .to_bits(),
+            (1.0f64 / 53.0).to_bits()
+        );
+        // The native tables are reachable through the same accessor.
+        assert_eq!(
+            back.backend_calls("native").unwrap().len(),
+            sample_store().calls.len()
+        );
+        // Per-backend coverage distinguishes the sides.
+        let cov = back.backend_coverage("reference");
+        assert_eq!(cov.get("trsm_r"), Some(&1));
+        assert!(back.backend_missing_kernels("reference").contains(&"trsm"));
+        // Deterministic bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn merging_stores_unions_backend_sections() {
+        let mut base = sample_store();
+        {
+            let (profiles, calls) = base.backend_tables_mut("reference");
+            profiles.push(SquareProfile::new("gemm", vec![100], vec![0.1]));
+            calls.insert(KernelOp::Getrf { n: 32 }, 4.0e-4);
+        }
+        let mut sweep = CalibrationStore::new(MachineModel::paper_xeon_silver_4210(), "simulated");
+        sweep.meta.block_fingerprint = base.meta.block_fingerprint.clone();
+        {
+            let (profiles, calls) = sweep.backend_tables_mut("reference");
+            profiles.push(SquareProfile::new("gemm", vec![100, 200], vec![0.15, 0.2]));
+            calls.insert(KernelOp::Getrf { n: 32 }, 3.5e-4); // fresher wins
+            calls.insert(KernelOp::Getrf { n: 64 }, 9.0e-4);
+        }
+        base.merge_from(&sweep).unwrap();
+        let mut merged = base.backend_calls("reference").unwrap().clone();
+        assert_eq!(merged.lookup(&KernelOp::Getrf { n: 32 }), Some(3.5e-4));
+        assert_eq!(merged.lookup(&KernelOp::Getrf { n: 64 }), Some(9.0e-4));
+        let profile = &base.backend_profiles("reference").unwrap()[0];
+        assert_eq!(profile.sizes, vec![100, 200]);
+        assert_eq!(profile.efficiencies, vec![0.15, 0.2]);
     }
 }

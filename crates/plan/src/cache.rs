@@ -288,7 +288,7 @@ mod tests {
         // external serialisation) can never silently turn warm starts into
         // cold re-benchmarks.
         use lamb_expr::KernelOp;
-        use lamb_matrix::{Trans, Uplo};
+        use lamb_matrix::{Side, Trans, Uplo};
         use lamb_perfmodel::single_call_algorithm;
 
         let variants = [
@@ -312,6 +312,7 @@ mod tests {
             ),
             (
                 KernelOp::Trmm {
+                    side: Side::Left,
                     uplo: Uplo::Lower,
                     trans: Trans::Yes,
                     m: 40,
@@ -319,9 +320,27 @@ mod tests {
                 },
                 2.5e-4,
             ),
+            // A *right*-side TRMM recorded under a transposed spelling. Its
+            // timing key folds `(uplo, trans)` but must keep `side`: folding
+            // side away would alias this entry with a left-side TRMM of the
+            // same dimensions and poison both predictions.
+            (
+                KernelOp::Trmm {
+                    side: Side::Right,
+                    uplo: Uplo::Upper,
+                    trans: Trans::Yes,
+                    m: 40,
+                    n: 24,
+                },
+                7.5e-4,
+            ),
         ]);
         let cache = PredictionCache::from_table(&table);
-        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.len(),
+            3,
+            "left- and right-side entries of equal dimensions must not alias"
+        );
         let mut exec = SimulatedExecutor::paper_like();
         for (transa, transb) in variants {
             let alg = single_call_algorithm(KernelOp::Gemm {
@@ -339,20 +358,32 @@ mod tests {
         }
         // The transposed TRMM's canonical spelling hits too.
         let trmm = single_call_algorithm(KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Upper,
             trans: Trans::No,
             m: 40,
             n: 24,
         });
         assert_eq!(cache.cached_isolated_call(&mut exec, &trmm, 0), 2.5e-4);
+        // The right-side entry hits under *its* canonical spelling and stays
+        // distinct from the left-side entry of identical dimensions.
+        let trmm_r = single_call_algorithm(KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 40,
+            n: 24,
+        });
+        assert_eq!(cache.cached_isolated_call(&mut exec, &trmm_r, 0), 7.5e-4);
         let (hits, misses) = cache.stats();
         assert_eq!(misses, 0, "a warm-started cache must never re-benchmark");
-        assert_eq!(hits, variants.len() + 1);
+        assert_eq!(hits, variants.len() + 2);
         // The snapshot/merge path preserves canonical keys bit-identically.
         let snapshot = cache.snapshot();
-        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.len(), 3);
         let rewarmed = PredictionCache::from_table(&snapshot);
         assert_eq!(rewarmed.cached_isolated_call(&mut exec, &trmm, 0), 2.5e-4);
+        assert_eq!(rewarmed.cached_isolated_call(&mut exec, &trmm_r, 0), 7.5e-4);
         assert_eq!(rewarmed.stats().1, 0);
     }
 

@@ -1,0 +1,172 @@
+//! Per-call backend assignment: once a policy has chosen *which algorithm*
+//! to run, the executor may still offer several kernel implementations
+//! (backends) per call. This module picks, for every call of the chosen
+//! algorithm, the backend whose isolated benchmark is fastest — the same
+//! benchmark-driven discrimination the paper applies to whole algorithms,
+//! applied one level down.
+
+use lamb_expr::Algorithm;
+use lamb_perfmodel::Executor;
+use std::collections::HashMap;
+
+/// The backend chosen for one kernel call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendChoice {
+    /// Index of the call within the algorithm.
+    pub call_index: usize,
+    /// The call's human-readable label.
+    pub label: String,
+    /// Name of the chosen backend.
+    pub backend: String,
+    /// Predicted (isolated-benchmark) time under the chosen backend.
+    pub seconds: f64,
+}
+
+/// A per-call backend assignment for one algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendAssignment {
+    /// One choice per kernel call, in call order.
+    pub per_call: Vec<BackendChoice>,
+    /// Sum of the chosen per-call predicted times.
+    pub seconds: f64,
+}
+
+impl BackendAssignment {
+    /// The assignment as the call-index → backend-name map that
+    /// [`Executor::set_backend_assignment`] consumes.
+    #[must_use]
+    pub fn as_map(&self) -> HashMap<usize, String> {
+        self.per_call
+            .iter()
+            .map(|c| (c.call_index, c.backend.clone()))
+            .collect()
+    }
+
+    /// Whether the assignment uses more than one distinct backend.
+    #[must_use]
+    pub fn is_mixed(&self) -> bool {
+        self.per_call
+            .windows(2)
+            .any(|w| w[0].backend != w[1].backend)
+    }
+
+    /// The distinct backend names used, in first-use order.
+    #[must_use]
+    pub fn backends_used(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for c in &self.per_call {
+            if !names.contains(&c.backend) {
+                names.push(c.backend.clone());
+            }
+        }
+        names
+    }
+}
+
+/// Assign each call of `alg` the backend whose isolated benchmark under
+/// `executor` is fastest. Ties (and executors that report a single backend)
+/// resolve to the earliest name in [`Executor::backend_names`] order, so the
+/// default backend wins when it is not strictly beaten.
+pub fn assign_backends(alg: &Algorithm, executor: &mut dyn Executor) -> BackendAssignment {
+    let names = executor.backend_names();
+    let per_call: Vec<BackendChoice> = alg
+        .calls
+        .iter()
+        .enumerate()
+        .map(|(i, call)| {
+            let mut best_name = names[0].clone();
+            let mut best_t = executor.time_isolated_call_on(alg, i, &names[0]);
+            for name in &names[1..] {
+                let t = executor.time_isolated_call_on(alg, i, name);
+                if t < best_t {
+                    best_t = t;
+                    best_name = name.clone();
+                }
+            }
+            BackendChoice {
+                call_index: i,
+                label: call.label.clone(),
+                backend: best_name,
+                seconds: best_t,
+            }
+        })
+        .collect();
+    BackendAssignment {
+        seconds: per_call.iter().map(|c| c.seconds).sum(),
+        per_call,
+    }
+}
+
+/// The assignment that pins *every* call of `alg` to the named backend — the
+/// `--backend <name>` ablation. The name is not validated here; executors
+/// fall back to their default backend for names they do not know.
+pub fn pinned_backends(
+    alg: &Algorithm,
+    executor: &mut dyn Executor,
+    backend: &str,
+) -> BackendAssignment {
+    let per_call: Vec<BackendChoice> = alg
+        .calls
+        .iter()
+        .enumerate()
+        .map(|(i, call)| BackendChoice {
+            call_index: i,
+            label: call.label.clone(),
+            backend: backend.to_string(),
+            seconds: executor.time_isolated_call_on(alg, i, backend),
+        })
+        .collect();
+    BackendAssignment {
+        seconds: per_call.iter().map(|c| c.seconds).sum(),
+        per_call,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamb_expr::enumerate_chain_algorithms;
+    use lamb_perfmodel::SimulatedExecutor;
+
+    #[test]
+    fn assignment_mixes_backends_when_call_sizes_straddle_the_crossover() {
+        // One large product (native wins) and one tiny product (reference
+        // wins) in a single chain.
+        let mut sim = SimulatedExecutor::paper_like();
+        let algs = enumerate_chain_algorithms(&[300, 300, 300, 8, 8]).unwrap();
+        let alg = algs
+            .iter()
+            .find(|a| {
+                let mut flops: Vec<u64> =
+                    a.calls.iter().map(lamb_expr::KernelCall::flops).collect();
+                flops.sort_unstable();
+                flops[0] * 100 < flops[flops.len() - 1]
+            })
+            .expect("a parenthesisation with one large and one tiny call");
+        let assignment = assign_backends(alg, &mut sim);
+        assert_eq!(assignment.per_call.len(), alg.calls.len());
+        assert!(
+            assignment.is_mixed(),
+            "expected mixed backends, got {:?}",
+            assignment.backends_used()
+        );
+        assert!(assignment.seconds > 0.0);
+        let map = assignment.as_map();
+        assert_eq!(map.len(), alg.calls.len());
+        // The assignment is at least as fast (per the model) as either pin.
+        for name in ["native", "reference"] {
+            let pinned = pinned_backends(alg, &mut sim, name);
+            assert!(assignment.seconds <= pinned.seconds + 1e-15, "{name}");
+        }
+    }
+
+    #[test]
+    fn pinned_assignment_uses_one_backend_everywhere() {
+        let mut sim = SimulatedExecutor::paper_like();
+        let alg = &enumerate_chain_algorithms(&[60, 60, 60, 60, 60]).unwrap()[0];
+        let pinned = pinned_backends(alg, &mut sim, "reference");
+        assert!(!pinned.is_mixed());
+        assert_eq!(pinned.backends_used(), vec!["reference".to_string()]);
+        assert!(pinned.per_call.iter().all(|c| c.seconds > 0.0));
+    }
+}

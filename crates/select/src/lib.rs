@@ -10,7 +10,10 @@
 //!   study), performance-profile-based prediction, a hybrid of the two, and
 //!   an empirical oracle, behind the object-safe [`SelectionPolicy`] trait
 //!   ([`policy`]), with the closed [`Strategy`] enum kept as a thin
-//!   constructor ([`strategy`]).
+//!   constructor ([`strategy`]), and
+//! * **per-call backend assignment** — after an algorithm is chosen, pick for
+//!   each kernel call the executor backend whose isolated benchmark is
+//!   fastest ([`backend`]).
 //!
 //! The `lamb-plan` crate builds the user-facing `Planner` pipeline on top of
 //! these pieces.
@@ -19,11 +22,13 @@
 #![deny(missing_docs)]
 
 pub mod anomaly;
+pub mod backend;
 pub mod policy;
 pub mod scores;
 pub mod strategy;
 
 pub use anomaly::{AlgorithmMeasurement, Classification, InstanceEvaluation};
+pub use backend::{assign_backends, pinned_backends, BackendAssignment, BackendChoice};
 pub use policy::{Hybrid, MinFlops, MinPredictedTime, Oracle, SelectError, SelectionPolicy};
 pub use scores::{flop_score, time_score};
 pub use strategy::{evaluate_instance, evaluate_strategy, Strategy, StrategyOutcome};

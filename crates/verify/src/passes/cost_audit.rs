@@ -90,7 +90,7 @@ fn claimed_dims(op: &KernelOp) -> Vec<usize> {
         | KernelOp::CopyTriangle { n, .. }
         | KernelOp::Getrf { n }
         | KernelOp::FactorTri { n, .. } => vec![n],
-        KernelOp::Qr { m, n } | KernelOp::PivotApply { m, n } => vec![m, n],
+        KernelOp::Qr { m, n } | KernelOp::PivotApply { m, n, .. } => vec![m, n],
         KernelOp::Ormqr { m, n, k } => vec![m, n, k],
     }
 }
@@ -109,7 +109,13 @@ fn expected_flops(op: &KernelOp, d: &[usize]) -> u64 {
             };
             2 * sym * sym * other
         }
-        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => at(0) * at(0) * at(1),
+        KernelOp::Trmm { side, .. } | KernelOp::Trsm { side, .. } => {
+            let (order, other) = match side {
+                Side::Left => (at(0), at(1)),
+                Side::Right => (at(1), at(0)),
+            };
+            order * order * other
+        }
         KernelOp::Potrf { .. } => at(0).pow(3) / 3,
         KernelOp::Getrf { .. } => 2 * at(0).pow(3) / 3,
         KernelOp::Qr { .. } => 2 * at(1) * at(1) * (3 * at(0)).saturating_sub(at(1)) / 3,

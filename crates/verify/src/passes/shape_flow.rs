@@ -171,20 +171,24 @@ fn check_call(alg: &Algorithm, i: usize, report: &mut Report) {
             }
             check_out(rect, report);
         }
-        KernelOp::Trmm { .. } | KernelOp::Trsm { .. } => {
+        KernelOp::Trmm { side, .. } | KernelOp::Trsm { side, .. } => {
             let tri = shapes[0];
             let rhs = shapes[1];
             if !require_square(tri, "triangular operand", report) {
                 return;
             }
-            if tri.0 != rhs.0 {
+            let needed = match side {
+                Side::Left => rhs.0,
+                Side::Right => rhs.1,
+            };
+            if tri.0 != needed {
                 report.error(
                     PASS,
                     Some(i),
                     Some(call.inputs[0]),
                     format!(
-                        "triangular operand has order {} but the right-hand side has {} rows",
-                        tri.0, rhs.0
+                        "triangular operand has order {} but the {side:?}-side product needs order {needed}",
+                        tri.0
                     ),
                 );
                 return;
@@ -305,8 +309,10 @@ fn check_call(alg: &Algorithm, i: usize, report: &mut Report) {
             }
             check_out((n, b.1), report);
         }
-        KernelOp::PivotApply { .. } => {
-            // inputs: [packed LU factor (m, m+1), rhs (m, k)] → (m, k).
+        KernelOp::PivotApply { side, .. } => {
+            // inputs: [packed LU factor (r, r+1), rhs] → rhs shape. The pivot
+            // order must match the rhs rows (`Left`, row swaps) or columns
+            // (`Right`, reverse-order column swaps).
             let f = shapes[0];
             let b = shapes[1];
             if f.1 != f.0 + 1 {
@@ -321,14 +327,18 @@ fn check_call(alg: &Algorithm, i: usize, report: &mut Report) {
                 );
                 return;
             }
-            if b.0 != f.0 {
+            let (needed, what) = match side {
+                Side::Left => (b.0, "rows"),
+                Side::Right => (b.1, "columns"),
+            };
+            if needed != f.0 {
                 report.error(
                     PASS,
                     Some(i),
                     Some(call.inputs[1]),
                     format!(
-                        "laswp right-hand side has {} rows but the pivot vector has length {}",
-                        b.0, f.0
+                        "laswp operand has {needed} {what} but the {side:?}-side pivot vector has length {}",
+                        f.0
                     ),
                 );
                 return;

@@ -153,16 +153,32 @@ fn calibration_fixtures_verify_clean() {
             n: 9,
         },
         KernelOp::Trmm {
+            side: Side::Left,
             uplo: Uplo::Upper,
             trans: Trans::Yes,
             m: 7,
             n: 4,
         },
         KernelOp::Trsm {
+            side: Side::Left,
             uplo: Uplo::Lower,
             trans: Trans::No,
             m: 6,
             n: 5,
+        },
+        KernelOp::Trmm {
+            side: Side::Right,
+            uplo: Uplo::Lower,
+            trans: Trans::No,
+            m: 4,
+            n: 7,
+        },
+        KernelOp::Trsm {
+            side: Side::Right,
+            uplo: Uplo::Upper,
+            trans: Trans::Yes,
+            m: 5,
+            n: 6,
         },
         KernelOp::Potrf {
             uplo: Uplo::Upper,

@@ -112,7 +112,7 @@ fn figure1_data_reproduces_kernel_ordering() {
     let mut lines = csv.lines();
     assert_eq!(
         lines.next().unwrap(),
-        "size,gemm,syrk,symm,trmm,trsm,potrf,getrf,qr"
+        "size,gemm,syrk,symm,trmm,trsm,potrf,getrf,qr,symm_r,trmm_r,trsm_r"
     );
     for line in lines {
         let cells: Vec<f64> = line
@@ -197,7 +197,7 @@ fn spd_solve_runs_end_to_end_and_matches_the_naive_solve() {
     use lamb::kernels::{gemm_naive, potrf_naive, trsm_naive};
     use lamb::matrix::ops::{max_abs, max_abs_diff};
     use lamb::matrix::random::{random_seeded, random_spd};
-    use lamb::matrix::{Matrix, Trans, Uplo};
+    use lamb::matrix::{Matrix, Side, Trans, Uplo};
 
     let expr = TreeExpression::parse("S[spd]^-1*B").unwrap();
     assert_eq!(expr.num_dims(), 2);
@@ -223,6 +223,7 @@ fn spd_solve_runs_end_to_end_and_matches_the_naive_solve() {
     let l = Matrix::from_fn(n, n, |i, j| if i >= j { l[(i, j)] } else { 0.0 });
     let mut y = Matrix::zeros(n, m);
     trsm_naive(
+        Side::Left,
         Uplo::Lower,
         Trans::No,
         1.0,
@@ -233,6 +234,7 @@ fn spd_solve_runs_end_to_end_and_matches_the_naive_solve() {
     .unwrap();
     let mut x_ref = Matrix::zeros(n, m);
     trsm_naive(
+        Side::Left,
         Uplo::Lower,
         Trans::Yes,
         1.0,

@@ -53,16 +53,19 @@ fn degenerate_dims4() -> impl proptest::strategy::Strategy<Value = [usize; 4]> {
 /// The scenario texts whose union of kernel lowerings covers the full kernel
 /// vocabulary: GEMM, SYRK, SYMM (+ the triangle copy), TRMM, TRSM, POTRF,
 /// and the general-solve tier (GETRF, QR, ORMQR, FACTORTRI, LASWP).
-const DEGENERATE_SCENARIOS: [&str; 9] = [
+const DEGENERATE_SCENARIOS: [&str; 12] = [
     "A*B*C",         // gemm
     "A*A^T*B",       // syrk, symm, copy, gemm
     "A*A^T",         // syrk + copy as the final merge
-    "L[lower]*A*B",  // trmm
-    "L[lower]^-1*B", // trsm
+    "L[lower]*A*B",  // trmm (left)
+    "L[lower]^-1*B", // trsm (left)
     "S[spd]^-1*B*C", // potrf + trsm (+ gemm order competition)
-    "S[spd]*B",      // symm on a full-stored SPD operand
-    "A^-1*B",        // getrf + factortri + laswp + trsm
+    "S[spd]*B",      // symm on a full-stored SPD operand (left)
+    "A^-1*B",        // getrf + factortri + laswp + trsm (left pipeline)
     "A^+*b",         // qr + factortri + ormqr + trsm
+    "B*L[lower]",    // trmm (right)
+    "B*L[lower]^-1", // trsm (right)
+    "A*S[spd]",      // symm (right)
 ];
 
 /// Massage a drawn instance so the scenario is realisable: the QR-based
@@ -316,6 +319,30 @@ proptest! {
         let out = plan.chosen_algorithm().output().expect("output declared");
         let (rows, cols) = expr.bind(&instance).shape().expect("consistent shape");
         prop_assert_eq!((out.rows, out.cols), (rows, cols));
+        assert_numerically_identical(&algorithms)?;
+    }
+
+    #[test]
+    fn right_side_structured_algorithms_execute_to_identical_matrices(
+        dims in small_dims7(),
+        scenario in 0usize..6,
+    ) {
+        // The right-side extension family: structured operands applied from
+        // the right (TRMM/TRSM/SYMM with side = Right), alone and inside
+        // chains where left- and right-side realisations compete across
+        // merge orders. Every enumerated algorithm computes the same matrix.
+        let texts = [
+            "B*L[lower]",
+            "B*U[upper]^T",
+            "B*L[lower]^-1",
+            "A*S[spd]",
+            "A*S[spd]*B",
+            "A*B*L[lower]",
+        ];
+        let expr = TreeExpression::parse(texts[scenario]).expect("scenario parses");
+        let instance = &dims[..expr.num_dims()];
+        let algorithms = expr.algorithms(instance).expect("valid right-side instance");
+        prop_assert!(!algorithms.is_empty());
         assert_numerically_identical(&algorithms)?;
     }
 
